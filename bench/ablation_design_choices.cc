@@ -1,0 +1,101 @@
+// Ablations of Harmony's own design choices (beyond the paper's Figure 9):
+//
+//  * pipeline batch size — the granularity at which partial results flow and
+//    the pruning threshold refreshes: tiny batches refine τ fastest but pay
+//    a per-message cost; huge batches starve the vector-level pipeline;
+//  * prewarm cache size — how many client-cached vectors per list seed the
+//    initial threshold;
+//  * α (cost-model imbalance weight) under a skewed workload — low α lets
+//    the planner chase communication savings into hot-spot territory, high
+//    α over-rotates to dimension splitting.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void BatchSizeSweep(benchmark::State& state, size_t batch) {
+  const BenchWorld& world = GetWorld("sift1m");
+  HarmonyOptions opts = MakeOptions(world, Mode::kHarmonyDimension, 4);
+  opts.pipeline_batch = batch;
+  auto engine = MakeEngine(opts, world);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunSearch(world, engine.get(), 10, 8, /*with_recall=*/false);
+  }
+  state.counters["qps"] = outcome.stats.qps;
+  state.counters["avg_prune_pct"] =
+      100.0 * outcome.stats.prune.AveragePruneRatio();
+  state.counters["msgs"] =
+      static_cast<double>(outcome.stats.breakdown.total_messages);
+}
+
+void PrewarmSweep(benchmark::State& state, size_t per_list) {
+  const BenchWorld& world = GetWorld("sift1m");
+  HarmonyOptions opts = MakeOptions(world, Mode::kHarmonyDimension, 4);
+  opts.prewarm_per_list = per_list;
+  auto engine = MakeEngine(opts, world);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunSearch(world, engine.get(), 10, 8, /*with_recall=*/false);
+  }
+  state.counters["qps"] = outcome.stats.qps;
+  state.counters["avg_prune_pct"] =
+      100.0 * outcome.stats.prune.AveragePruneRatio();
+  state.counters["client_cache_MB"] =
+      static_cast<double>(engine->IndexMemory().client_bytes) / 1e6;
+}
+
+void AlphaSweep(benchmark::State& state, double alpha) {
+  const BenchWorld& world = GetWorld("sift1m", /*zipf=*/2.0);
+  HarmonyOptions opts = MakeOptions(world, Mode::kHarmony, 4);
+  opts.alpha = alpha;
+  auto engine = MakeEngine(opts, world);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunSearch(world, engine.get(), 10, 2, /*with_recall=*/false);
+  }
+  state.counters["qps"] = outcome.stats.qps;
+  state.counters["chosen_b_dim"] =
+      static_cast<double>(engine->plan().num_dim_blocks);
+}
+
+void RegisterAll() {
+  for (const size_t batch : {16, 64, 256, 1024, 4096}) {
+    benchmark::RegisterBenchmark(
+        ("ablation/pipeline_batch:" + std::to_string(batch)).c_str(),
+        BatchSizeSweep, batch)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const size_t per_list : {0, 1, 4, 16, 64}) {
+    benchmark::RegisterBenchmark(
+        ("ablation/prewarm_per_list:" + std::to_string(per_list)).c_str(),
+        PrewarmSweep, per_list)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const double alpha : {0.0, 1.0, 4.0, 16.0, 64.0}) {
+    std::ostringstream name;
+    name << "ablation/alpha:" << alpha;
+    benchmark::RegisterBenchmark(name.str().c_str(), AlphaSweep, alpha)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  harmony::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

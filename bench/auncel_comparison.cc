@@ -1,0 +1,54 @@
+// Section 6.5.4: comparison with Auncel. Auncel distributes load with a
+// fixed vector-style partitioning (round-robin, no load-aware placement,
+// no pruning across machines); under skew it behaves like Harmony-vector,
+// while Harmony exploits pruning + fine-grained balancing.
+//
+// Expected shape: comparable QPS under uniform load; Harmony increasingly
+// ahead as skew grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void AuncelPoint(benchmark::State& state, const std::string& dataset,
+                 double zipf) {
+  const BenchWorld& world = GetWorld(dataset, zipf);
+  double auncel = 0.0, harmony_qps = 0.0;
+  for (auto _ : state) {
+    auncel = RunMode(world, Mode::kAuncelLike, 4, 10, 2, false).stats.qps;
+    harmony_qps = RunMode(world, Mode::kHarmony, 4, 10, 2, false).stats.qps;
+  }
+  state.counters["auncel_like_qps"] = auncel;
+  state.counters["harmony_qps"] = harmony_qps;
+  state.counters["harmony_over_auncel"] =
+      auncel > 0.0 ? harmony_qps / auncel : 0.0;
+  state.counters["zipf_theta"] = zipf;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  for (const std::string& dataset : {std::string("sift1m"),
+                                     std::string("deep1m"),
+                                     std::string("glove1.2m")}) {
+    for (const double zipf : {0.0, 1.0, 2.0}) {
+      std::ostringstream name;
+      name << "auncel/" << dataset << "/zipf:" << zipf;
+      benchmark::RegisterBenchmark(name.str().c_str(), harmony::bench::AuncelPoint,
+                                   dataset, zipf)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

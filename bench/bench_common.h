@@ -1,0 +1,178 @@
+#ifndef HARMONY_BENCH_BENCH_COMMON_H_
+#define HARMONY_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the per-figure/per-table benchmark binaries.
+//
+// Every binary reproduces one table or figure of the HARMONY paper
+// (SIGMOD 2025). Conventions:
+//  * datasets are the Table 2 stand-ins (dimensions faithful, cardinality
+//    scaled; rescale with the HARMONY_SCALE env var);
+//  * every distribution strategy shares one trained IVF clustering per
+//    dataset, as in the paper's methodology (Section 6.1);
+//  * performance numbers are virtual-time (simulated cluster) QPS /
+//    latency; recall is measured against exact brute-force ground truth.
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "util/logging.h"
+#include "workload/datasets.h"
+#include "workload/ground_truth.h"
+
+namespace harmony {
+namespace bench {
+
+/// Materialized dataset + shared clustering; queries vary by skew level but
+/// the base vectors and clustering are shared across skew levels.
+struct BenchWorld {
+  BenchData data;          // base vectors + queries at this skew level
+  const IvfIndex* index;   // shared clustering (owned by the cache)
+};
+
+inline size_t ScaledNlist(const StandInSpec& spec, size_t num_vectors) {
+  // Keep lists reasonably populated on scaled-down data: aim for >= 100
+  // vectors per list, but never fewer than 8 lists.
+  size_t nlist = spec.nlist_hint;
+  while (nlist > 8 && num_vectors / nlist < 100) nlist /= 2;
+  return nlist;
+}
+
+namespace internal {
+
+template <typename T>
+std::map<std::string, std::unique_ptr<T>>& Cache() {
+  static auto& cache = *new std::map<std::string, std::unique_ptr<T>>();
+  return cache;
+}
+
+}  // namespace internal
+
+/// Dataset + queries at the requested skew; the IVF clustering is built
+/// once per (dataset, scale) and shared across skew levels and strategies.
+inline const BenchWorld& GetWorld(const std::string& name, double zipf = 0.0) {
+  const double scale = EnvScale(1.0);
+  std::ostringstream key;
+  key << name << "/" << scale << "/" << zipf;
+  auto& worlds = internal::Cache<BenchWorld>();
+  if (auto it = worlds.find(key.str()); it != worlds.end()) {
+    return *it->second;
+  }
+
+  auto world = std::make_unique<BenchWorld>();
+  auto spec = GetStandIn(name);
+  HARMONY_CHECK_MSG(spec.ok(), spec.status().ToString());
+  auto data = MakeStandIn(spec.value(), scale, zipf);
+  HARMONY_CHECK_MSG(data.ok(), data.status().ToString());
+  world->data = std::move(data).value();
+
+  // Shared clustering per (dataset, scale).
+  std::ostringstream index_key;
+  index_key << name << "/" << scale;
+  auto& indexes = internal::Cache<IvfIndex>();
+  auto idx_it = indexes.find(index_key.str());
+  if (idx_it == indexes.end()) {
+    IvfParams params;
+    params.nlist = ScaledNlist(world->data.spec, world->data.spec.num_vectors);
+    params.seed = world->data.spec.seed;
+    auto index = std::make_unique<IvfIndex>(params);
+    HARMONY_CHECK(index->Train(world->data.mixture.vectors.View()).ok());
+    HARMONY_CHECK(index->Add(world->data.mixture.vectors.View()).ok());
+    idx_it = indexes.emplace(index_key.str(), std::move(index)).first;
+  }
+  world->index = idx_it->second.get();
+
+  return *worlds.emplace(key.str(), std::move(world)).first->second;
+}
+
+/// Exact top-`k` ground truth for a world's queries (cached; only computed
+/// by benches that report recall).
+inline const std::vector<std::vector<Neighbor>>& GetGroundTruth(
+    const BenchWorld& world, size_t k = 100) {
+  using Gt = std::vector<std::vector<Neighbor>>;
+  std::ostringstream key;
+  key << &world << "/" << k;
+  auto& cache = internal::Cache<Gt>();
+  if (auto it = cache.find(key.str()); it != cache.end()) return *it->second;
+  auto gt = ComputeGroundTruth(world.data.mixture.vectors.View(),
+                               world.data.workload.queries.View(), k,
+                               Metric::kL2);
+  HARMONY_CHECK_MSG(gt.ok(), gt.status().ToString());
+  return *cache.emplace(key.str(),
+                        std::make_unique<Gt>(std::move(gt).value()))
+              .first->second;
+}
+
+inline HarmonyOptions MakeOptions(const BenchWorld& world, Mode mode,
+                                  size_t machines) {
+  HarmonyOptions opts;
+  opts.mode = mode;
+  opts.num_machines = mode == Mode::kSingleNode ? 1 : machines;
+  opts.ivf.nlist = world.index->nlist();
+  opts.ivf.seed = world.data.spec.seed;
+  return opts;
+}
+
+/// Builds an engine sharing the world's clustering.
+inline std::unique_ptr<HarmonyEngine> MakeEngine(const HarmonyOptions& opts,
+                                                 const BenchWorld& world) {
+  auto engine = std::make_unique<HarmonyEngine>(opts);
+  HARMONY_CHECK(engine->BuildFromIndex(*world.index).ok());
+  return engine;
+}
+
+/// Cached engine per (world, mode, machines) so nprobe sweeps do not
+/// re-partition the data for every point.
+inline HarmonyEngine* GetEngine(const BenchWorld& world, Mode mode,
+                                size_t machines) {
+  std::ostringstream key;
+  key << &world << "/" << ModeToString(mode) << "/" << machines;
+  auto& cache = internal::Cache<HarmonyEngine>();
+  if (auto it = cache.find(key.str()); it != cache.end()) {
+    return it->second.get();
+  }
+  auto engine = std::make_unique<HarmonyEngine>(MakeOptions(world, mode,
+                                                            machines));
+  HARMONY_CHECK(engine->BuildFromIndex(*world.index).ok());
+  return cache.emplace(key.str(), std::move(engine)).first->second.get();
+}
+
+struct RunOutcome {
+  BatchStats stats;
+  double recall = 0.0;  // Only filled when with_recall = true.
+};
+
+inline RunOutcome RunSearch(const BenchWorld& world, HarmonyEngine* engine,
+                            size_t k, size_t nprobe, bool with_recall = true) {
+  auto result =
+      engine->SearchBatch(world.data.workload.queries.View(), k, nprobe);
+  HARMONY_CHECK_MSG(result.ok(), result.status().ToString());
+  RunOutcome outcome;
+  if (with_recall) {
+    outcome.recall =
+        MeanRecallAtK(result.value().results, GetGroundTruth(world, k), k);
+  }
+  outcome.stats = std::move(result.value().stats);
+  return outcome;
+}
+
+/// One-shot convenience: cached engine + search.
+inline RunOutcome RunMode(const BenchWorld& world, Mode mode, size_t machines,
+                          size_t k, size_t nprobe, bool with_recall = true) {
+  return RunSearch(world, GetEngine(world, mode, machines), k, nprobe,
+                   with_recall);
+}
+
+/// The eight small datasets of the 4-node experiments, in paper order.
+inline std::vector<std::string> SmallDatasetNames() {
+  std::vector<std::string> names;
+  for (const StandInSpec& spec : SmallStandIns()) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace bench
+}  // namespace harmony
+
+#endif  // HARMONY_BENCH_BENCH_COMMON_H_

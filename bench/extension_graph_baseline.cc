@@ -1,0 +1,116 @@
+// Extension study (paper Sections 1-2): graph-based vs cluster-based
+// indexing, and why Harmony distributes the latter. Two measurements on the
+// sift1m stand-in:
+//  1. single-node recall/time of HNSW vs IVF at matched effort — graphs
+//     win standalone, as the literature says;
+//  2. the fraction of HNSW edges that cross machine boundaries under an
+//     N-way partition — the paper's motivating claim that "query paths tend
+//     to introduce edges across machines", which makes graph traversal
+//     latency-bound in a distributed setting while IVF lists shard cleanly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "index/hnsw_index.h"
+#include "util/timer.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+const HnswIndex& GetHnsw(const BenchWorld& world) {
+  static auto& cache = *new std::map<const BenchWorld*,
+                                     std::unique_ptr<HnswIndex>>();
+  auto it = cache.find(&world);
+  if (it != cache.end()) return *it->second;
+  HnswParams params;
+  params.m = 16;
+  params.ef_construction = 120;
+  auto index = std::make_unique<HnswIndex>(params);
+  HARMONY_CHECK(index->Add(world.data.mixture.vectors.View()).ok());
+  return *cache.emplace(&world, std::move(index)).first->second;
+}
+
+void HnswVsIvf(benchmark::State& state, size_t ef, size_t nprobe) {
+  const BenchWorld& world = GetWorld("sift1m");
+  const HnswIndex& hnsw = GetHnsw(world);
+  const DatasetView queries = world.data.workload.queries.View();
+  const auto& gt = GetGroundTruth(world, 10);
+
+  double hnsw_recall = 0.0, ivf_recall = 0.0;
+  double hnsw_seconds = 0.0, ivf_seconds = 0.0;
+  for (auto _ : state) {
+    StopWatch w1;
+    double hr = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto r = hnsw.Search(queries.Row(q), 10, ef);
+      HARMONY_CHECK(r.ok());
+      hr += RecallAtK(r.value(), gt[q], 10);
+    }
+    hnsw_seconds = w1.ElapsedSeconds();
+    hnsw_recall = hr / static_cast<double>(queries.size());
+
+    StopWatch w2;
+    double ir = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto r = world.index->Search(queries.Row(q), 10, nprobe);
+      HARMONY_CHECK(r.ok());
+      ir += RecallAtK(r.value(), gt[q], 10);
+    }
+    ivf_seconds = w2.ElapsedSeconds();
+    ivf_recall = ir / static_cast<double>(queries.size());
+  }
+  state.counters["hnsw_recall"] = hnsw_recall;
+  state.counters["ivf_recall"] = ivf_recall;
+  state.counters["hnsw_qps_wall"] =
+      static_cast<double>(queries.size()) / hnsw_seconds;
+  state.counters["ivf_qps_wall"] =
+      static_cast<double>(queries.size()) / ivf_seconds;
+}
+
+void CrossEdges(benchmark::State& state, size_t machines) {
+  const BenchWorld& world = GetWorld("sift1m");
+  const HnswIndex& hnsw = GetHnsw(world);
+  double fraction = 0.0;
+  for (auto _ : state) {
+    const auto [cross, total] = hnsw.CrossPartitionEdges(machines);
+    fraction = total > 0 ? static_cast<double>(cross) /
+                               static_cast<double>(total)
+                         : 0.0;
+  }
+  state.counters["cross_edge_fraction"] = fraction;
+  state.counters["machines"] = static_cast<double>(machines);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  const struct {
+    size_t ef;
+    size_t nprobe;
+  } kPoints[] = {{16, 2}, {48, 4}, {128, 8}};
+  for (const auto& p : kPoints) {
+    benchmark::RegisterBenchmark(
+        ("extension_graph/hnsw_vs_ivf/ef:" + std::to_string(p.ef) +
+         "/nprobe:" + std::to_string(p.nprobe))
+            .c_str(),
+        harmony::bench::HnswVsIvf, p.ef, p.nprobe)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const size_t machines : {4, 8, 16}) {
+    benchmark::RegisterBenchmark(
+        ("extension_graph/cross_edges/machines:" + std::to_string(machines))
+            .c_str(),
+        harmony::bench::CrossEdges, machines)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

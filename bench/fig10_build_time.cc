@@ -1,0 +1,65 @@
+// Figure 10: index build time breakdown — Train (k-means), Add (assigning
+// base vectors to lists) and Pre-assign (distributing grid blocks to
+// machines) — for Harmony-vector / Harmony-dimension / Harmony on four
+// nodes, plus single-node Faiss.
+//
+// Expected shape: Train and Add are identical across methods (shared
+// clustering); Pre-assign is longer for the dimension-splitting methods
+// (slice copies + per-row intermediates) and scales with dataset bytes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void BuildTime(benchmark::State& state, const std::string& dataset,
+               Mode mode) {
+  const BenchWorld& world = GetWorld(dataset);
+  BuildStats build;
+  for (auto _ : state) {
+    // Fresh engine per iteration so Pre-assign is actually measured.
+    HarmonyOptions opts = MakeOptions(world, mode, 4);
+    HarmonyEngine engine(opts);
+    HARMONY_CHECK(engine.BuildFromIndex(*world.index).ok());
+    build = engine.build_stats();
+  }
+  state.counters["train_s"] = build.train_seconds;
+  state.counters["add_s"] = build.add_seconds;
+  state.counters["preassign_s"] = build.preassign_seconds;
+}
+
+void RegisterAll() {
+  const struct {
+    Mode mode;
+    const char* label;
+  } kModes[] = {
+      {Mode::kSingleNode, "faiss-1node"},
+      {Mode::kHarmonyVector, "vector"},
+      {Mode::kHarmonyDimension, "dimension"},
+      {Mode::kHarmony, "harmony"},
+  };
+  for (const std::string& dataset : SmallDatasetNames()) {
+    for (const auto& m : kModes) {
+      benchmark::RegisterBenchmark(("fig10/" + dataset + "/" + m.label).c_str(),
+                                   BuildTime, dataset, m.mode)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  harmony::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

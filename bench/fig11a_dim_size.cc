@@ -1,0 +1,110 @@
+// Figure 11(a): impact of dimensionality and dataset size on Harmony's
+// speedup over single-node Faiss, on Gaussian synthetic data, four nodes.
+//
+// Paper: dims 64..512, sizes 250K..1M; speedup grows ~26.8% per dimension
+// doubling and ~25.9% per size doubling, exceeding 4x (the machine count)
+// on the largest configuration thanks to pruning. Our stand-ins scale the
+// sizes down 50x (5K..20K) per DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workload/queries.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+struct SyntheticWorld {
+  GaussianMixture mixture;
+  QueryWorkload workload;
+  IvfIndex index;
+};
+
+const SyntheticWorld& GetSynthetic(size_t dim, size_t size) {
+  static auto& cache =
+      *new std::map<std::string, std::unique_ptr<SyntheticWorld>>();
+  const std::string key = std::to_string(dim) + "/" + std::to_string(size);
+  if (auto it = cache.find(key); it != cache.end()) return *it->second;
+
+  auto world = std::make_unique<SyntheticWorld>();
+  GaussianMixtureSpec spec;
+  spec.num_vectors = size;
+  spec.dim = dim;
+  spec.num_components = 64;
+  spec.seed = 1000 + dim + size;
+  auto mix = GenerateGaussianMixture(spec);
+  HARMONY_CHECK(mix.ok());
+  world->mixture = std::move(mix).value();
+
+  QueryWorkloadSpec qspec;
+  qspec.num_queries = 128;
+  qspec.seed = spec.seed ^ 0xF00D;
+  auto queries = GenerateQueries(world->mixture, qspec);
+  HARMONY_CHECK(queries.ok());
+  world->workload = std::move(queries).value();
+
+  IvfParams params;
+  params.nlist = 32;
+  params.seed = spec.seed;
+  world->index = IvfIndex(params);
+  HARMONY_CHECK(world->index.Train(world->mixture.vectors.View()).ok());
+  HARMONY_CHECK(world->index.Add(world->mixture.vectors.View()).ok());
+  return *cache.emplace(key, std::move(world)).first->second;
+}
+
+double QpsFor(const SyntheticWorld& world, Mode mode, size_t machines) {
+  HarmonyOptions opts;
+  opts.mode = mode;
+  opts.num_machines = machines;
+  opts.ivf.nlist = world.index.nlist();
+  HarmonyEngine engine(opts);
+  HARMONY_CHECK(engine.BuildFromIndex(world.index).ok());
+  auto result = engine.SearchBatch(world.workload.queries.View(), 10, 8);
+  HARMONY_CHECK(result.ok());
+  return result.value().stats.qps;
+}
+
+void DimSizePoint(benchmark::State& state, size_t dim, size_t size) {
+  const SyntheticWorld& world = GetSynthetic(dim, size);
+  double speedup = 0.0;
+  for (auto _ : state) {
+    const double single = QpsFor(world, Mode::kSingleNode, 1);
+    const double multi = QpsFor(world, Mode::kHarmony, 4);
+    speedup = single > 0.0 ? multi / single : 0.0;
+  }
+  state.counters["speedup_vs_faiss"] = speedup;
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["size"] = static_cast<double>(size);
+}
+
+void RegisterAll() {
+  const double scale = EnvScale(1.0);
+  for (const size_t dim : {64, 128, 256, 512}) {
+    for (const size_t paper_size : {250000, 500000, 1000000}) {
+      // DESIGN.md substitution: paper sizes scaled 1/50.
+      const size_t size = std::max<size_t>(
+          2000, static_cast<size_t>(paper_size / 50 * scale));
+      std::ostringstream name;
+      name << "fig11a/dim:" << dim << "/size:" << paper_size << "(scaled:"
+           << size << ")";
+      benchmark::RegisterBenchmark(name.str().c_str(), DimSizePoint, dim, size)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  harmony::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 11(b): scalability across 4 / 8 / 16 worker nodes per strategy.
+//
+// Expected shape: Harmony (grid/"group-based") exceeds linear speedup
+// thanks to pruning; Harmony-vector scales ~linearly; Harmony-dimension
+// gains then flattens/declines as finer dimension splits inflate
+// communication.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void ScalabilityPoint(benchmark::State& state, const std::string& dataset,
+                      Mode mode, size_t machines) {
+  const BenchWorld& world = GetWorld(dataset);
+  double speedup = 0.0, qps = 0.0;
+  for (auto _ : state) {
+    const double single =
+        RunMode(world, Mode::kSingleNode, 1, 10, 8, false).stats.qps;
+    qps = RunMode(world, mode, machines, 10, 8, false).stats.qps;
+    speedup = single > 0.0 ? qps / single : 0.0;
+  }
+  state.counters["qps"] = qps;
+  state.counters["speedup_vs_1node"] = speedup;
+  state.counters["nodes"] = static_cast<double>(machines);
+}
+
+void RegisterAll() {
+  const struct {
+    Mode mode;
+    const char* label;
+  } kModes[] = {
+      {Mode::kHarmony, "harmony"},
+      {Mode::kHarmonyVector, "harmony-vector"},
+      {Mode::kHarmonyDimension, "harmony-dimension"},
+  };
+  for (const auto& m : kModes) {
+    for (const size_t machines : {4, 8, 16}) {
+      std::ostringstream name;
+      name << "fig11b/sift1m/" << m.label << "/nodes:" << machines;
+      benchmark::RegisterBenchmark(name.str().c_str(), ScalabilityPoint, "sift1m",
+                                   m.mode, machines)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  harmony::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

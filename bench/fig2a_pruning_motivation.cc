@@ -1,0 +1,47 @@
+// Figure 2(a): pruning ratio by dimension quarter (motivation experiment).
+//
+// Four machines each hold one quarter of the dimensions (pure dimension
+// partition, fixed block order). Expected shape: ~0% pruned at the first
+// quarter, ~50% by the second, >80% at the third and fourth.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void PruningMotivation(benchmark::State& state, const std::string& dataset) {
+  const BenchWorld& world = GetWorld(dataset);
+  HarmonyOptions opts = MakeOptions(world, Mode::kHarmonyDimension, 4);
+  // Fixed physical block order so slice position == dimension quarter.
+  opts.enable_pipeline = false;
+  auto engine = MakeEngine(opts, world);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunSearch(world, engine.get(), /*k=*/10, /*nprobe=*/4,
+                        /*with_recall=*/false);
+  }
+  const PruneStats& prune = outcome.stats.prune;
+  state.counters["slice1_pruned_pct"] = 100.0 * prune.PruneRatioAt(0);
+  state.counters["slice2_pruned_pct"] = 100.0 * prune.PruneRatioAt(1);
+  state.counters["slice3_pruned_pct"] = 100.0 * prune.PruneRatioAt(2);
+  state.counters["slice4_pruned_pct"] = 100.0 * prune.PruneRatioAt(3);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  benchmark::RegisterBenchmark("fig2a/sift1m/4dim_slices",
+                               harmony::bench::PruningMotivation, "sift1m")
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

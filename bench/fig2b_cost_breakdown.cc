@@ -1,0 +1,64 @@
+// Figure 2(b): computation/communication/other breakdown for dimension-
+// based (D) vs vector-based (V) partitioning under blocking (B) and
+// non-blocking (NB) communication, Sift1M on four workers.
+//
+// Expected shape: V moves ~66% less communication time than D; NB modes
+// overlap transfers with compute and shrink the comm share.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void CostBreakdown(benchmark::State& state, Mode mode, CommMode comm) {
+  const BenchWorld& world = GetWorld("sift1m");
+  HarmonyOptions opts = MakeOptions(world, mode, 4);
+  opts.net.mode = comm;
+  // Keep pruning off: Figure 2(b) isolates the partitioning cost structure.
+  opts.enable_pruning = false;
+  auto engine = MakeEngine(opts, world);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunSearch(world, engine.get(), /*k=*/10, /*nprobe=*/8,
+                        /*with_recall=*/false);
+  }
+  const ClusterBreakdown& b = outcome.stats.breakdown;
+  state.counters["comp_ms"] = b.compute_seconds * 1e3;
+  state.counters["comm_ms"] = b.comm_seconds * 1e3;
+  state.counters["other_ms"] = b.other_seconds * 1e3;
+  state.counters["makespan_ms"] = b.makespan_seconds * 1e3;
+  state.counters["total_MB"] = static_cast<double>(b.total_bytes) / 1e6;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  using harmony::CommMode;
+  using harmony::Mode;
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  const struct {
+    const char* name;
+    Mode mode;
+    CommMode comm;
+  } kConfigs[] = {
+      {"fig2b/D-B", Mode::kHarmonyDimension, CommMode::kBlocking},
+      {"fig2b/D-NB", Mode::kHarmonyDimension, CommMode::kNonBlocking},
+      {"fig2b/V-B", Mode::kHarmonyVector, CommMode::kBlocking},
+      {"fig2b/V-NB", Mode::kHarmonyVector, CommMode::kNonBlocking},
+  };
+  for (const auto& config : kConfigs) {
+    benchmark::RegisterBenchmark(config.name, harmony::bench::CostBreakdown,
+                                 config.mode, config.comm)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

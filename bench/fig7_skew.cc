@@ -1,0 +1,76 @@
+// Figure 7: impact of load distribution (query skew) on query performance,
+// per distribution strategy, four worker nodes.
+//
+// Query sets are manipulated to increasing imbalance (Zipf exponent over
+// the data's cluster structure); imbalance is quantified by the variance of
+// per-node load (Section 4.2.1). Expected shape: Harmony-vector loses ~56%
+// QPS as skew grows; Harmony-dimension stays flat; Harmony tracks the best
+// of both and wins overall.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+double LoadVariance(const BatchStats& stats) {
+  const auto& loads = stats.node_compute_seconds;
+  if (loads.empty()) return 0.0;
+  double mean = 0.0;
+  for (const double l : loads) mean += l;
+  mean /= static_cast<double>(loads.size());
+  double var = 0.0;
+  for (const double l : loads) var += (l - mean) * (l - mean);
+  return var / static_cast<double>(loads.size());
+}
+
+void SkewPoint(benchmark::State& state, const std::string& dataset, Mode mode,
+               double zipf) {
+  const BenchWorld& world = GetWorld(dataset, zipf);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunMode(world, mode, 4, /*k=*/10, /*nprobe=*/1,
+                      /*with_recall=*/false);
+  }
+  state.counters["qps"] = outcome.stats.qps;
+  state.counters["zipf_theta"] = zipf;
+  state.counters["load_variance"] = LoadVariance(outcome.stats);
+}
+
+void RegisterAll() {
+  const struct {
+    Mode mode;
+    const char* label;
+  } kModes[] = {
+      {Mode::kHarmonyVector, "harmony-vector"},
+      {Mode::kHarmonyDimension, "harmony-dimension"},
+      {Mode::kHarmony, "harmony"},
+  };
+  for (const std::string& dataset : SmallDatasetNames()) {
+    for (const auto& m : kModes) {
+      for (const double zipf : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5}) {
+        std::ostringstream name;
+        name << "fig7/" << dataset << "/" << m.label << "/zipf:" << zipf;
+        benchmark::RegisterBenchmark(name.str().c_str(), SkewPoint, dataset, m.mode,
+                                     zipf)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  harmony::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

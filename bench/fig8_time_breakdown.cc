@@ -1,0 +1,63 @@
+// Figure 8: time breakdown (communication / computation / other) of the
+// three Harmony strategies across the eight small datasets, four workers.
+//
+// Expected shape: Harmony-vector has near-zero communication;
+// Harmony-dimension has the most (extra dimension slicing); Harmony sits in
+// between and has the lowest computation thanks to pruning. Communication
+// matters relatively more on low-dimensional datasets (e.g. Sift1M at 128
+// dims) than on high-dimensional ones (Msong at 420 dims).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void TimeBreakdown(benchmark::State& state, const std::string& dataset,
+                   Mode mode) {
+  const BenchWorld& world = GetWorld(dataset);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunMode(world, mode, 4, /*k=*/10, /*nprobe=*/8,
+                      /*with_recall=*/false);
+  }
+  const ClusterBreakdown& b = outcome.stats.breakdown;
+  state.counters["comp_ms"] = b.compute_seconds * 1e3;
+  state.counters["comm_ms"] = b.comm_seconds * 1e3;
+  state.counters["other_ms"] = b.other_seconds * 1e3;
+  state.counters["makespan_ms"] = b.makespan_seconds * 1e3;
+}
+
+void RegisterAll() {
+  const struct {
+    Mode mode;
+    const char* label;
+  } kModes[] = {
+      {Mode::kHarmonyVector, "harmony-vector"},
+      {Mode::kHarmonyDimension, "harmony-dimension"},
+      {Mode::kHarmony, "harmony"},
+  };
+  for (const std::string& dataset : SmallDatasetNames()) {
+    for (const auto& m : kModes) {
+      benchmark::RegisterBenchmark(("fig8/" + dataset + "/" + m.label).c_str(),
+                                   TimeBreakdown, dataset, m.mode)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  harmony::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Micro-benchmarks of the hot kernels (real measured wall time, classic
+// google-benchmark loops): distance kernels, partial-slice kernels, top-K
+// heap maintenance, k-means assignment. These are the building blocks whose
+// cost the simulator charges; the measured per-component throughput also
+// justifies the MachineParams::ops_per_sec calibration.
+
+#include <benchmark/benchmark.h>
+
+#include "index/distance.h"
+#include "index/kmeans.h"
+#include "util/rng.h"
+#include "util/topk.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+namespace {
+
+std::vector<float> RandomVec(size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(dim);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+void BM_L2SqDistance(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(dim, 1), b = RandomVec(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2SqDistance(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_L2SqDistance)->Arg(100)->Arg(128)->Arg(420)->Arg(1024)->Arg(2709);
+
+void BM_InnerProduct(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(dim, 3), b = RandomVec(dim, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InnerProduct(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_InnerProduct)->Arg(128)->Arg(420)->Arg(1024);
+
+void BM_PartialL2Slice(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(width, 5), b = RandomVec(width, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartialL2Sq(a.data(), b.data(), width));
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_PartialL2Slice)->Arg(32)->Arg(105)->Arg(256)->Arg(678);
+
+void BM_TopKHeapPush(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<float> dists(4096);
+  for (float& d : dists) d = rng.NextFloat();
+  for (auto _ : state) {
+    TopKHeap heap(k);
+    for (size_t i = 0; i < dists.size(); ++i) {
+      heap.Push(static_cast<int64_t>(i), dists[i]);
+    }
+    benchmark::DoNotOptimize(heap.threshold());
+  }
+  state.SetItemsProcessed(state.iterations() * dists.size());
+}
+BENCHMARK(BM_TopKHeapPush)->Arg(10)->Arg(100);
+
+void BM_NearestCentroid(benchmark::State& state) {
+  const size_t nlist = static_cast<size_t>(state.range(0));
+  GaussianMixtureSpec spec;
+  spec.num_vectors = nlist;
+  spec.dim = 128;
+  spec.num_components = nlist;
+  auto mix = GenerateGaussianMixture(spec);
+  const auto q = RandomVec(128, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NearestCentroid(mix.value().vectors.View(), q.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * nlist * 128);
+}
+BENCHMARK(BM_NearestCentroid)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace harmony
+
+BENCHMARK_MAIN();

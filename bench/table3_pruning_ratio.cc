@@ -1,0 +1,50 @@
+// Table 3: average pruning ratio per dimension slice (split of size 4)
+// across the eight small datasets, four nodes.
+//
+// Expected shape (paper): first slice 0%, second ~33.6% avg, third ~66.2%,
+// fourth ~92.3%; strongly dataset-dependent, with the final slice always
+// above 80%.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void PruningRatio(benchmark::State& state, const std::string& dataset) {
+  const BenchWorld& world = GetWorld(dataset);
+  HarmonyOptions opts = MakeOptions(world, Mode::kHarmonyDimension, 4);
+  opts.enable_pipeline = false;  // Fixed order: position == physical slice.
+  auto engine = MakeEngine(opts, world);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunSearch(world, engine.get(), /*k=*/10, /*nprobe=*/4,
+                        /*with_recall=*/false);
+  }
+  const PruneStats& prune = outcome.stats.prune;
+  state.counters["slice1_pct"] = 100.0 * prune.PruneRatioAt(0);
+  state.counters["slice2_pct"] = 100.0 * prune.PruneRatioAt(1);
+  state.counters["slice3_pct"] = 100.0 * prune.PruneRatioAt(2);
+  state.counters["slice4_pct"] = 100.0 * prune.PruneRatioAt(3);
+  state.counters["avg_pct"] = 100.0 * prune.AveragePruneRatio();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  for (const std::string& dataset : harmony::bench::SmallDatasetNames()) {
+    benchmark::RegisterBenchmark(("table3/" + dataset).c_str(),
+                                 harmony::bench::PruningRatio, dataset)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

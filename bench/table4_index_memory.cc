@@ -1,0 +1,54 @@
+// Table 4: index memory comparison — single-node Faiss vs the per-node
+// footprint of Harmony-vector / Harmony-dimension / Harmony on four nodes.
+//
+// Expected shape: each distributed per-node footprint is ~1/4 of Faiss;
+// dimension-splitting methods carry a small (~2%) overhead for replicated
+// row ids / per-row intermediates, with Harmony between vector and
+// dimension.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void IndexMemory(benchmark::State& state, const std::string& dataset) {
+  const BenchWorld& world = GetWorld(dataset);
+  uint64_t faiss = 0, vec = 0, dim = 0, har = 0;
+  for (auto _ : state) {
+    faiss = world.index->SizeBytes();
+    vec = GetEngine(world, Mode::kHarmonyVector, 4)
+              ->IndexMemory()
+              .index_bytes_max_node;
+    dim = GetEngine(world, Mode::kHarmonyDimension, 4)
+              ->IndexMemory()
+              .index_bytes_max_node;
+    har = GetEngine(world, Mode::kHarmony, 4)
+              ->IndexMemory()
+              .index_bytes_max_node;
+  }
+  state.counters["faiss_MB"] = static_cast<double>(faiss) / 1e6;
+  state.counters["harmony_vector_MB"] = static_cast<double>(vec) / 1e6;
+  state.counters["harmony_dimension_MB"] = static_cast<double>(dim) / 1e6;
+  state.counters["harmony_MB"] = static_cast<double>(har) / 1e6;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  for (const std::string& dataset : harmony::bench::SmallDatasetNames()) {
+    benchmark::RegisterBenchmark(("table4/" + dataset).c_str(),
+                                 harmony::bench::IndexMemory, dataset)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 5: peak per-node memory during query execution per strategy,
+// four nodes.
+//
+// Expected shape: peak memory proportional to dataset bytes; the
+// dimension-splitting strategies add intermediate-result overhead that
+// *shrinks relative to* stored data as dimensionality grows; Harmony sits
+// between Harmony-vector and Harmony-dimension.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+uint64_t PeakBytes(const BenchWorld& world, Mode mode) {
+  return RunMode(world, mode, 4, /*k=*/10, /*nprobe=*/8, /*with_recall=*/false)
+      .stats.memory.peak_query_bytes;
+}
+
+void PeakMemory(benchmark::State& state, const std::string& dataset) {
+  const BenchWorld& world = GetWorld(dataset);
+  uint64_t vec = 0, har = 0, dim = 0;
+  for (auto _ : state) {
+    vec = PeakBytes(world, Mode::kHarmonyVector);
+    har = PeakBytes(world, Mode::kHarmony);
+    dim = PeakBytes(world, Mode::kHarmonyDimension);
+  }
+  state.counters["harmony_vector_MB"] = static_cast<double>(vec) / 1e6;
+  state.counters["harmony_MB"] = static_cast<double>(har) / 1e6;
+  state.counters["harmony_dimension_MB"] = static_cast<double>(dim) / 1e6;
+  state.counters["dim_overhead_pct"] =
+      vec > 0 ? 100.0 * (static_cast<double>(dim) - static_cast<double>(vec)) /
+                    static_cast<double>(vec)
+              : 0.0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  for (const std::string& dataset : harmony::bench::SmallDatasetNames()) {
+    benchmark::RegisterBenchmark(("table5/" + dataset).c_str(),
+                                 harmony::bench::PeakMemory, dataset)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

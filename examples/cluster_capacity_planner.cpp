@@ -1,0 +1,75 @@
+// Scenario: capacity planning. An operator wants to know how many worker
+// nodes a deployment needs to hit a target QPS at a target recall, and how
+// the cost model's plan changes with cluster size. This drives the
+// planner's Explain() output — the "EXPLAIN" of the distributed ANN world —
+// plus a node-count sweep on the simulated cluster.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "workload/ground_truth.h"
+#include "workload/queries.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace harmony;
+
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 40000;
+  spec.dim = 128;
+  spec.num_components = 64;
+  spec.seed = 21;
+  auto data = GenerateGaussianMixture(spec);
+  if (!data.ok()) return 1;
+
+  QueryWorkloadSpec qspec;
+  qspec.num_queries = 150;
+  qspec.zipf_theta = 1.0;  // Mild production skew.
+  qspec.seed = 22;
+  auto workload = GenerateQueries(data.value(), qspec);
+  if (!workload.ok()) return 1;
+
+  auto gt = ComputeGroundTruth(data.value().vectors.View(),
+                               workload.value().queries.View(), 10,
+                               Metric::kL2);
+  if (!gt.ok()) return 1;
+
+  const double target_qps = 9000.0;
+  std::printf("capacity plan: 40K vectors x 128 dims, target %.0f QPS, "
+              "k=10, nprobe=8\n\n",
+              target_qps);
+  std::printf("%-7s %-10s %-10s %-24s\n", "nodes", "qps", "recall@10",
+              "chosen grid");
+
+  size_t chosen = 0;
+  for (const size_t nodes : {1, 2, 4, 8, 16}) {
+    HarmonyOptions options;
+    options.mode = nodes == 1 ? Mode::kSingleNode : Mode::kHarmony;
+    options.num_machines = nodes;
+    options.ivf.nlist = 64;
+    options.ivf.seed = 33;
+    HarmonyEngine engine(options);
+    if (!engine.Build(data.value().vectors.View()).ok()) return 1;
+    auto result = engine.SearchBatch(workload.value().queries.View(), 10, 8);
+    if (!result.ok()) return 1;
+    const double recall =
+        MeanRecallAtK(result.value().results, gt.value(), 10);
+    std::printf("%-7zu %-10.0f %-10.4f %s\n", nodes,
+                result.value().stats.qps, recall,
+                engine.plan().ToString().c_str());
+    if (chosen == 0 && result.value().stats.qps >= target_qps) chosen = nodes;
+
+    if (nodes == 4) {
+      std::printf("\nplanner explanation at 4 nodes:\n%s\n",
+                  engine.last_plan_choice().Explain().c_str());
+    }
+  }
+  if (chosen > 0) {
+    std::printf("\n=> smallest cluster meeting the target: %zu nodes\n",
+                chosen);
+  } else {
+    std::printf("\n=> target not met at 16 nodes; raise nodes or lower "
+                "nprobe\n");
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: build a Harmony engine over a synthetic vector collection,
+// run a search batch, and print results + instrumentation.
+//
+//   $ ./examples/quickstart
+//
+// Walks the whole public API surface: dataset generation, engine options,
+// Build(), SearchBatch(), recall measurement and the stats block.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "workload/ground_truth.h"
+#include "workload/queries.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace harmony;
+
+  // 1. Make a clustered synthetic collection: 20K vectors in 64 dims.
+  GaussianMixtureSpec data_spec;
+  data_spec.num_vectors = 20000;
+  data_spec.dim = 64;
+  data_spec.num_components = 32;
+  data_spec.seed = 42;
+  auto mixture = GenerateGaussianMixture(data_spec);
+  if (!mixture.ok()) {
+    std::fprintf(stderr, "data generation failed: %s\n",
+                 mixture.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. A query workload aimed at the same clusters.
+  QueryWorkloadSpec query_spec;
+  query_spec.num_queries = 100;
+  query_spec.seed = 7;
+  auto workload = GenerateQueries(mixture.value(), query_spec);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "query generation failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  const DatasetView base = mixture.value().vectors.View();
+  const DatasetView queries = workload.value().queries.View();
+
+  // 3. Configure Harmony: 4 worker nodes, adaptive (cost-model) mode.
+  HarmonyOptions options;
+  options.mode = Mode::kHarmony;
+  options.num_machines = 4;
+  options.ivf.nlist = 64;
+  HarmonyEngine engine(options);
+  if (Status st = engine.Build(base); !st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("built: %s\n", engine.plan().ToString().c_str());
+  std::printf("build stages: train=%.3fs add=%.3fs pre-assign=%.3fs\n",
+              engine.build_stats().train_seconds,
+              engine.build_stats().add_seconds,
+              engine.build_stats().preassign_seconds);
+
+  // 4. Search: top-10 neighbors probing 8 of 64 lists.
+  auto result = engine.SearchBatch(queries, /*k=*/10, /*nprobe=*/8);
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 5. Measure recall against exact ground truth.
+  auto gt = ComputeGroundTruth(base, queries, 10, Metric::kL2);
+  const double recall =
+      gt.ok() ? MeanRecallAtK(result.value().results, gt.value(), 10) : -1.0;
+
+  const BatchStats& stats = result.value().stats;
+  std::printf("\nfirst query's top-5 neighbors:\n");
+  for (size_t i = 0; i < 5 && i < result.value().results[0].size(); ++i) {
+    const Neighbor& n = result.value().results[0][i];
+    std::printf("  #%zu id=%lld distance=%.3f\n", i + 1,
+                static_cast<long long>(n.id), n.distance);
+  }
+  std::printf("\nrecall@10        : %.4f\n", recall);
+  std::printf("virtual QPS      : %.0f (4 simulated workers)\n", stats.qps);
+  std::printf("makespan         : %.3f ms\n", stats.makespan_seconds * 1e3);
+  std::printf("compute / comm   : %.3f / %.3f ms per worker\n",
+              stats.breakdown.compute_seconds * 1e3,
+              stats.breakdown.comm_seconds * 1e3);
+  std::printf("avg prune ratio  : %.1f%%\n",
+              100.0 * stats.prune.AveragePruneRatio());
+  std::printf("latency p50/p95  : %.3f / %.3f ms\n",
+              stats.latency_p50_seconds * 1e3, stats.latency_p95_seconds * 1e3);
+  std::printf("per-node index   : %.2f MB (max)\n",
+              static_cast<double>(stats.memory.index_bytes_max_node) / 1e6);
+  return 0;
+}

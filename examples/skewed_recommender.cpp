@@ -1,0 +1,73 @@
+// Scenario: a recommendation service during a flash sale. Item embeddings
+// are clustered by category; a handful of promoted categories receive the
+// vast majority of user queries (a Zipf-skewed workload) — exactly the
+// regime the paper's introduction motivates.
+//
+// The example compares the three distribution strategies under rising skew
+// and shows Harmony's cost model switching the partition grid to keep
+// per-node load flat.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "workload/queries.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace harmony;
+
+double RunQps(const GaussianMixture& catalog, const QueryWorkload& traffic,
+              Mode mode, std::string* plan_desc) {
+  HarmonyOptions options;
+  options.mode = mode;
+  options.num_machines = 4;
+  options.ivf.nlist = 32;
+  options.ivf.seed = 11;
+  HarmonyEngine engine(options);
+  if (!engine.Build(catalog.vectors.View()).ok()) return -1.0;
+  auto result = engine.SearchBatch(traffic.queries.View(), 10, 2);
+  if (!result.ok()) return -1.0;
+  if (plan_desc != nullptr) *plan_desc = engine.plan().ToString();
+  return result.value().stats.qps;
+}
+
+}  // namespace
+
+int main() {
+  // Item catalog: 30K embeddings, 96 dims, 32 categories.
+  GaussianMixtureSpec catalog_spec;
+  catalog_spec.num_vectors = 30000;
+  catalog_spec.dim = 96;
+  catalog_spec.num_components = 32;
+  catalog_spec.seed = 5;
+  auto catalog = GenerateGaussianMixture(catalog_spec);
+  if (!catalog.ok()) return 1;
+
+  std::printf("flash-sale traffic simulation: 4 worker nodes, 30K items\n");
+  std::printf("%-10s %-18s %-18s %-18s\n", "skew", "harmony-vector",
+              "harmony-dimension", "harmony (adaptive)");
+
+  for (const double zipf : {0.0, 1.0, 2.0, 3.0}) {
+    QueryWorkloadSpec traffic_spec;
+    traffic_spec.num_queries = 200;
+    traffic_spec.zipf_theta = zipf;
+    traffic_spec.seed = 77;
+    auto traffic = GenerateQueries(catalog.value(), traffic_spec);
+    if (!traffic.ok()) return 1;
+
+    std::string harmony_plan;
+    const double vec =
+        RunQps(catalog.value(), traffic.value(), Mode::kHarmonyVector, nullptr);
+    const double dim = RunQps(catalog.value(), traffic.value(),
+                              Mode::kHarmonyDimension, nullptr);
+    const double har = RunQps(catalog.value(), traffic.value(), Mode::kHarmony,
+                              &harmony_plan);
+    std::printf("theta=%-4.1f %-18.0f %-18.0f %-18.0f <- %s\n", zipf, vec, dim,
+                har, harmony_plan.c_str());
+  }
+  std::printf(
+      "\nNote how the adaptive mode holds throughput as the hot categories\n"
+      "concentrate, while the pure vector partition degrades.\n");
+  return 0;
+}

@@ -1,0 +1,285 @@
+#include "core/coordinator.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace harmony {
+
+namespace {
+
+/// Mutable per-query state shared across threads; the mutex guards the heap
+/// (pruning threshold reads and result merges).
+struct SharedQueryState {
+  explicit SharedQueryState(size_t k) : heap(k) {}
+  std::mutex mu;
+  TopKHeap heap;
+  std::unordered_set<int64_t> prewarmed_ids;
+};
+
+/// The baton passed machine-to-machine along one chain's dimension stages.
+struct ChainTask {
+  const QueryChain* chain = nullptr;
+  std::vector<size_t> order;  // dimension-block processing order
+  size_t pos = 0;             // current pipeline position
+  std::vector<int64_t> id;
+  std::vector<int32_t> list;
+  std::vector<int32_t> row;
+  std::vector<float> partial;
+  std::vector<float> rem_p_sq;
+  float rem_q_sq = 0.0f;
+  std::vector<float> q_block_norm;
+};
+
+struct BatchContext {
+  const IvfIndex* index = nullptr;
+  const PartitionPlan* plan = nullptr;
+  const std::vector<WorkerStore>* stores = nullptr;
+  const DatasetView* queries = nullptr;
+  const ExecOptions* opts = nullptr;
+  bool use_ip = false;
+  bool use_norms = false;
+  ThreadedCluster* cluster = nullptr;
+  std::vector<std::unique_ptr<SharedQueryState>> states;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t chains_remaining = 0;
+
+  void ChainDone() {
+    std::lock_guard<std::mutex> lock(done_mu);
+    if (--chains_remaining == 0) done_cv.notify_all();
+  }
+};
+
+void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task);
+
+void FinishChain(BatchContext* ctx, const std::shared_ptr<ChainTask>& task) {
+  SharedQueryState& state =
+      *ctx->states[static_cast<size_t>(task->chain->query)];
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (size_t i = 0; i < task->id.size(); ++i) {
+      const float dist = ctx->use_ip ? -task->partial[i] : task->partial[i];
+      state.heap.Push(task->id[i], dist);
+    }
+  }
+  ctx->ChainDone();
+}
+
+void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task) {
+  const PartitionPlan& plan = *ctx->plan;
+  const QueryChain& chain = *task->chain;
+  const size_t shard = static_cast<size_t>(chain.shard);
+  const size_t p = task->pos;
+  const size_t d = task->order[p];
+  const DimRange range = plan.dim_ranges[d];
+  const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
+  const WorkerStore& store = (*ctx->stores)[machine];
+  SharedQueryState& state = *ctx->states[static_cast<size_t>(chain.query)];
+  const float* qrow = ctx->queries->Row(static_cast<size_t>(chain.query));
+  const float* q_slice = qrow + range.begin;
+
+  // Stage 0 builds the candidate set from this machine's slices.
+  if (p == 0) {
+    for (size_t li = 0; li < chain.lists.size(); ++li) {
+      const ListSlice* ls = store.FindListSlice(shard, d, chain.lists[li]);
+      if (ls == nullptr) continue;
+      for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
+        const int64_t gid = ls->slice.GlobalId(r);
+        if (state.prewarmed_ids.count(gid) > 0) continue;
+        if (ctx->opts->labels != nullptr &&
+            (*ctx->opts->labels)[static_cast<size_t>(gid)] !=
+                ctx->opts->allowed_label) {
+          continue;
+        }
+        task->id.push_back(gid);
+        task->list.push_back(static_cast<int32_t>(li));
+        task->row.push_back(static_cast<int32_t>(r));
+        task->partial.push_back(0.0f);
+        if (ctx->use_norms) task->rem_p_sq.push_back(ls->total_norm_sq[r]);
+      }
+    }
+  }
+
+  float tau;
+  bool heap_full;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    tau = state.heap.threshold();
+    heap_full = state.heap.full();
+  }
+  const bool prune_here = ctx->opts->enable_pruning && p > 0 && heap_full;
+
+  std::vector<const ListSlice*> slices(chain.lists.size(), nullptr);
+  for (size_t li = 0; li < chain.lists.size(); ++li) {
+    slices[li] = store.FindListSlice(shard, d, chain.lists[li]);
+  }
+
+  size_t w = 0;
+  const size_t n = task->id.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (prune_here &&
+        CanPrune(ctx->opts->metric, task->partial[i],
+                 ctx->use_norms ? task->rem_p_sq[i] : 0.0f, task->rem_q_sq,
+                 tau)) {
+      continue;
+    }
+    const ListSlice* ls = slices[static_cast<size_t>(task->list[i])];
+    HARMONY_CHECK_MSG(ls != nullptr, "missing list slice on machine");
+    const float* vrow = ls->slice.Row(static_cast<size_t>(task->row[i]));
+    if (ctx->use_ip) {
+      task->partial[i] += PartialIp(q_slice, vrow, range.width());
+      if (ctx->use_norms) {
+        task->rem_p_sq[i] -= ls->block_norm_sq[static_cast<size_t>(task->row[i])];
+      }
+    } else {
+      task->partial[i] += PartialL2Sq(q_slice, vrow, range.width());
+    }
+    task->id[w] = task->id[i];
+    task->list[w] = task->list[i];
+    task->row[w] = task->row[i];
+    task->partial[w] = task->partial[i];
+    if (ctx->use_norms) task->rem_p_sq[w] = task->rem_p_sq[i];
+    ++w;
+  }
+  task->id.resize(w);
+  task->list.resize(w);
+  task->row.resize(w);
+  task->partial.resize(w);
+  if (ctx->use_norms) {
+    task->rem_p_sq.resize(w);
+    task->rem_q_sq -= task->q_block_norm[d];
+  }
+
+  if (p + 1 < task->order.size() && w > 0) {
+    task->pos = p + 1;
+    const size_t next_machine = static_cast<size_t>(
+        plan.MachineOf(shard, task->order[task->pos]));
+    ctx->cluster->Post(next_machine,
+                       [ctx, task]() mutable { RunStage(ctx, task); });
+    return;
+  }
+  FinishChain(ctx, task);
+}
+
+}  // namespace
+
+Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
+                                       const PartitionPlan& plan,
+                                       const std::vector<WorkerStore>& stores,
+                                       const PrewarmCache& prewarm,
+                                       const BatchRouting& routing,
+                                       const DatasetView& queries,
+                                       const ExecOptions& opts) {
+  if (stores.size() != plan.num_machines) {
+    return Status::InvalidArgument("store count does not match plan");
+  }
+  if (queries.dim() != index.dim()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  StopWatch watch;
+  const size_t b_dim = plan.num_dim_blocks;
+  const size_t dim = index.dim();
+
+  BatchContext ctx;
+  ctx.index = &index;
+  ctx.plan = &plan;
+  ctx.stores = &stores;
+  ctx.queries = &queries;
+  ctx.opts = &opts;
+  ctx.use_ip = opts.metric != Metric::kL2;
+  ctx.use_norms = ctx.use_ip && b_dim > 1;
+  ctx.states.reserve(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ctx.states.push_back(std::make_unique<SharedQueryState>(opts.k));
+  }
+
+  // Prewarm on the client (caller) thread.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    SharedQueryState& state = *ctx.states[q];
+    for (const int32_t list_id : routing.probe_lists[q]) {
+      const auto& ids = prewarm.ListIds(static_cast<size_t>(list_id));
+      const DatasetView vecs = prewarm.ListVectors(static_cast<size_t>(list_id));
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (opts.labels != nullptr &&
+            (*opts.labels)[static_cast<size_t>(ids[i])] !=
+                opts.allowed_label) {
+          continue;
+        }
+        state.heap.Push(ids[i],
+                        Distance(opts.metric, queries.Row(q), vecs.Row(i), dim));
+        state.prewarmed_ids.insert(ids[i]);
+      }
+    }
+  }
+
+  ThreadedCluster cluster(plan.num_machines);
+  ctx.cluster = &cluster;
+
+  // Vector pipeline: dispatch chains rank by rank with a barrier, so later
+  // ranks inherit tightened thresholds — the Figure 5(a) staging.
+  size_t begin = 0;
+  size_t chain_index = 0;
+  while (begin < routing.chains.size()) {
+    size_t end = begin;
+    const int32_t rank = routing.chains[begin].probe_rank;
+    while (end < routing.chains.size() &&
+           routing.chains[end].probe_rank == rank) {
+      ++end;
+    }
+    {
+      std::lock_guard<std::mutex> lock(ctx.done_mu);
+      ctx.chains_remaining = end - begin;
+    }
+    for (size_t c = begin; c < end; ++c, ++chain_index) {
+      auto task = std::make_shared<ChainTask>();
+      task->chain = &routing.chains[c];
+      task->order.resize(b_dim);
+      std::iota(task->order.begin(), task->order.end(), 0);
+      if (opts.enable_pipeline && b_dim > 1) {
+        std::rotate(task->order.begin(),
+                    task->order.begin() + (chain_index % b_dim),
+                    task->order.end());
+      }
+      if (ctx.use_norms) {
+        const float* qrow =
+            queries.Row(static_cast<size_t>(task->chain->query));
+        task->q_block_norm.resize(b_dim);
+        for (size_t d = 0; d < b_dim; ++d) {
+          const DimRange r = plan.dim_ranges[d];
+          task->q_block_norm[d] =
+              PartialIp(qrow + r.begin, qrow + r.begin, r.width());
+          task->rem_q_sq += task->q_block_norm[d];
+        }
+      }
+      const size_t shard = static_cast<size_t>(task->chain->shard);
+      const size_t first_machine =
+          static_cast<size_t>(plan.MachineOf(shard, task->order[0]));
+      ctx.cluster->Post(first_machine,
+                        [ctx_ptr = &ctx, task]() mutable {
+                          RunStage(ctx_ptr, task);
+                        });
+    }
+    {
+      std::unique_lock<std::mutex> lock(ctx.done_mu);
+      ctx.done_cv.wait(lock, [&ctx] { return ctx.chains_remaining == 0; });
+    }
+    begin = end;
+  }
+
+  ThreadedOutput out;
+  out.results.resize(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    out.results[q] = ctx.states[q]->heap.SortedResults();
+  }
+  out.wall_seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace harmony

@@ -1,0 +1,43 @@
+#ifndef HARMONY_CORE_COORDINATOR_H_
+#define HARMONY_CORE_COORDINATOR_H_
+
+#include <vector>
+
+#include "core/partition.h"
+#include "core/pipeline.h"
+#include "core/pruning.h"
+#include "core/router.h"
+#include "core/worker.h"
+#include "index/ivf_index.h"
+#include "net/threaded_cluster.h"
+#include "storage/dataset.h"
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Output of the threaded execution engine.
+struct ThreadedOutput {
+  std::vector<std::vector<Neighbor>> results;
+  double wall_seconds = 0.0;
+};
+
+/// \brief Runs the same vector/dimension pipeline as ExecuteSimulated on a
+/// real ThreadedCluster: every dimension-stage task executes on the thread
+/// of the machine that owns the grid block, and partial-result batons hop
+/// between machine mailboxes exactly as messages would between MPI ranks.
+///
+/// This engine validates that the algorithm is correctly parallelizable
+/// (no data races, sound pruning under concurrent threshold reads) and
+/// functionally agrees with the simulated engine. On a many-core host it is
+/// also a usable real deployment of the algorithm in one process.
+Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
+                                       const PartitionPlan& plan,
+                                       const std::vector<WorkerStore>& stores,
+                                       const PrewarmCache& prewarm,
+                                       const BatchRouting& routing,
+                                       const DatasetView& queries,
+                                       const ExecOptions& opts);
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_COORDINATOR_H_

@@ -1,0 +1,175 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace harmony {
+
+double WorkloadProfile::TotalProbedCandidates() const {
+  double total = 0.0;
+  for (size_t l = 0; l < list_probe_count.size(); ++l) {
+    total += list_probe_count[l] * static_cast<double>(list_sizes[l]);
+  }
+  return total;
+}
+
+WorkloadProfile ProfileWorkload(const IvfIndex& index,
+                                const DatasetView& queries, size_t k,
+                                size_t nprobe, size_t sample) {
+  WorkloadProfile profile;
+  profile.num_queries = queries.size();
+  profile.dim = index.dim();
+  profile.k = k;
+  profile.nprobe = nprobe;
+  profile.list_sizes = index.ListSizes();
+  profile.list_probe_count.assign(index.nlist(), 0.0);
+
+  size_t routed = queries.size();
+  if (sample > 0) routed = std::min(routed, sample);
+  if (routed == 0) return profile;
+  // Uniform stride so the sample spans the batch.
+  const size_t stride = std::max<size_t>(1, queries.size() / routed);
+  size_t seen = 0;
+  for (size_t q = 0; q < queries.size() && seen < routed; q += stride, ++seen) {
+    for (const int32_t l : index.ProbeLists(queries.Row(q), nprobe)) {
+      profile.list_probe_count[static_cast<size_t>(l)] += 1.0;
+    }
+  }
+  // Scale the sample back up to the full batch.
+  const double scale =
+      static_cast<double>(queries.size()) / static_cast<double>(seen);
+  for (double& c : profile.list_probe_count) c *= scale;
+  return profile;
+}
+
+std::string CostEstimate::ToString() const {
+  std::ostringstream os;
+  os << "cost{total=" << total_cost << "s comp=" << comp_seconds
+     << "s comm=" << comm_seconds << "s imbalance=" << imbalance << "s}";
+  return os.str();
+}
+
+CostEstimate EstimatePlanCost(const PartitionPlan& plan,
+                              const WorkloadProfile& profile,
+                              const CostModelParams& params) {
+  CostEstimate est;
+  est.node_load_seconds.assign(plan.num_machines, 0.0);
+  const NetworkModel net(params.net);
+  const double ops_per_sec = params.machine.ops_per_sec;
+  const size_t b_dim = plan.num_dim_blocks;
+
+  // Expected survival fraction of candidates entering dimension-pipeline
+  // position j. With rotation/dynamic ordering every machine sees every
+  // position equally often, so each machine's expected share uses the mean
+  // survival across positions.
+  double mean_survival = 1.0;
+  if (params.pruning_enabled && b_dim > 1) {
+    double total = 0.0, s = 1.0;
+    for (size_t j = 0; j < b_dim; ++j) {
+      total += s;
+      s *= params.pruning_survival;
+    }
+    mean_survival = total / static_cast<double>(b_dim);
+  }
+
+  // --- Computation: per probed list, candidates * dim ops split across the
+  // dimension blocks of the owning shard's row of the grid.
+  for (size_t l = 0; l < profile.list_probe_count.size(); ++l) {
+    const double probes = profile.list_probe_count[l];
+    if (probes <= 0.0) continue;
+    const double candidates = static_cast<double>(profile.list_sizes[l]);
+    const size_t shard = static_cast<size_t>(plan.list_to_shard[l]);
+    for (size_t d = 0; d < b_dim; ++d) {
+      const double width = static_cast<double>(plan.dim_ranges[d].width());
+      const double ops = probes * candidates * width * mean_survival;
+      const double secs = ops / ops_per_sec;
+      est.comp_seconds += secs;
+      est.node_load_seconds[static_cast<size_t>(plan.MachineOf(shard, d))] +=
+          secs;
+    }
+  }
+
+  // --- Communication: per probed (query, shard) pair:
+  //  * query dispatch: B_dim messages whose payload widths sum to dim;
+  //  * partial-result hops: (B_dim - 1) messages of surviving candidates;
+  //  * final result: one k-sized message back to the client.
+  // Expected probed shards per query: distinct shards among its probed
+  // lists; approximated from per-shard probe mass.
+  std::vector<double> shard_probe_mass(plan.num_vec_shards, 0.0);
+  double total_probes = 0.0;
+  for (size_t l = 0; l < profile.list_probe_count.size(); ++l) {
+    shard_probe_mass[static_cast<size_t>(plan.list_to_shard[l])] +=
+        profile.list_probe_count[l];
+    total_probes += profile.list_probe_count[l];
+  }
+  const double queries = static_cast<double>(profile.num_queries);
+  double expected_shard_visits = 0.0;
+  if (queries > 0.0) {
+    for (const double mass : shard_probe_mass) {
+      // P(query visits shard) ≈ 1 - (1 - m/(Q*nprobe))^nprobe, via the
+      // per-probe shard hit rate.
+      const double per_probe =
+          total_probes > 0.0 ? mass / total_probes : 0.0;
+      const double p_visit =
+          1.0 - std::pow(1.0 - per_probe,
+                         static_cast<double>(profile.nprobe));
+      expected_shard_visits += p_visit * queries;
+    }
+  }
+
+  const double mean_candidates_per_visit =
+      expected_shard_visits > 0.0
+          ? profile.TotalProbedCandidates() / expected_shard_visits
+          : 0.0;
+  // The executor streams each chain in pipeline batches; every batch emits
+  // its own partial-result hops and result message, so finer dimension
+  // splits multiply the per-message latency cost.
+  const double batches_per_visit = std::max(
+      1.0, std::ceil(mean_candidates_per_visit /
+                     static_cast<double>(std::max<size_t>(1, params.pipeline_batch))));
+  const double bytes_per_float = 4.0;
+  double comm = 0.0;
+  // Query dispatch: payload dim*4 bytes split over B_dim messages.
+  comm += expected_shard_visits *
+          (static_cast<double>(b_dim) * net.params().latency_seconds +
+           static_cast<double>(profile.dim) * bytes_per_float /
+               net.params().bandwidth_bytes_per_sec);
+  // Partial-result hops: ids (4B) + accumulated partials (4B) per survivor,
+  // one hop chain per batch.
+  if (b_dim > 1) {
+    double survivors = mean_candidates_per_visit;
+    double hop_bytes = 0.0;
+    double s = 1.0;
+    for (size_t j = 0; j + 1 < b_dim; ++j) {
+      if (params.pruning_enabled) s *= params.pruning_survival;
+      hop_bytes += survivors * s * 8.0;
+    }
+    comm += expected_shard_visits *
+            (batches_per_visit * static_cast<double>(b_dim - 1) *
+                 net.params().latency_seconds +
+             hop_bytes / net.params().bandwidth_bytes_per_sec);
+  }
+  // Result return: k neighbors of 8 bytes, one message per batch.
+  comm += expected_shard_visits *
+          (batches_per_visit * net.params().latency_seconds +
+           static_cast<double>(profile.k) * 8.0 /
+               net.params().bandwidth_bytes_per_sec);
+  est.comm_seconds = comm;
+
+  // --- Imbalance factor I(π): stddev of Load(n, π).
+  double mean_load = 0.0;
+  for (const double load : est.node_load_seconds) mean_load += load;
+  mean_load /= static_cast<double>(plan.num_machines);
+  double var = 0.0;
+  for (const double load : est.node_load_seconds) {
+    var += (load - mean_load) * (load - mean_load);
+  }
+  est.imbalance = std::sqrt(var / static_cast<double>(plan.num_machines));
+
+  est.total_cost =
+      est.comp_seconds + est.comm_seconds + params.alpha * est.imbalance;
+  return est;
+}
+
+}  // namespace harmony

@@ -1,0 +1,70 @@
+#ifndef HARMONY_CORE_COST_MODEL_H_
+#define HARMONY_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "index/ivf_index.h"
+#include "net/cluster.h"
+#include "net/network_model.h"
+#include "storage/dataset.h"
+
+namespace harmony {
+
+/// \brief Workload summary the cost model consumes: how often each IVF list
+/// is expected to be probed by the (sampled) query batch, Section 4.2.1's
+/// "lightweight metrics ... computed with minimal overhead".
+struct WorkloadProfile {
+  size_t num_queries = 0;
+  size_t dim = 0;
+  size_t k = 10;
+  size_t nprobe = 1;
+  std::vector<double> list_probe_count;  // per IVF list
+  std::vector<int64_t> list_sizes;       // per IVF list
+
+  double TotalProbedCandidates() const;
+};
+
+/// \brief Profiles a query batch by routing (a sample of) it through
+/// centroid assignment. `sample` caps how many queries are routed (0 = all).
+WorkloadProfile ProfileWorkload(const IvfIndex& index,
+                                const DatasetView& queries, size_t k,
+                                size_t nprobe, size_t sample = 0);
+
+/// \brief Tunables of the Section 4.2.1 cost model.
+struct CostModelParams {
+  /// α: weight of the imbalance factor I(π) in the overall objective.
+  double alpha = 4.0;
+  /// Expected fraction of candidates surviving into each successive
+  /// dimension block when pruning is enabled (the paper measures ~50%
+  /// surviving past the second quarter; 0.5 is the model default).
+  double pruning_survival = 0.5;
+  bool pruning_enabled = true;
+  /// Pipeline batch granularity of the execution engine; determines how
+  /// many partial-result messages a dimension chain emits.
+  size_t pipeline_batch = 256;
+  NetworkParams net;
+  MachineParams machine;
+};
+
+/// \brief Cost model output for one candidate plan.
+struct CostEstimate {
+  double total_cost = 0.0;      // C(π, Q) = Σ C_q(π) + α · I(π), seconds
+  double comp_seconds = 0.0;    // Σ_q Σ_blocks c_comp
+  double comm_seconds = 0.0;    // Σ_q Σ_blocks c_comm
+  double imbalance = 0.0;       // I(π): stddev of per-node load (seconds)
+  std::vector<double> node_load_seconds;  // Load(n, π) per machine
+
+  std::string ToString() const;
+};
+
+/// \brief Evaluates C(π, Q) for a plan against a workload profile.
+CostEstimate EstimatePlanCost(const PartitionPlan& plan,
+                              const WorkloadProfile& profile,
+                              const CostModelParams& params);
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_COST_MODEL_H_

@@ -1,0 +1,278 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/router.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace harmony {
+
+namespace {
+
+/// Uniform prior used at build time, before any queries are seen: every
+/// list equally likely to be probed.
+WorkloadProfile UniformPrior(const IvfIndex& index, size_t k, size_t nprobe) {
+  WorkloadProfile profile;
+  profile.num_queries = 1000;
+  profile.dim = index.dim();
+  profile.k = k;
+  profile.nprobe = nprobe;
+  profile.list_sizes = index.ListSizes();
+  const double per_list =
+      static_cast<double>(profile.num_queries) *
+      static_cast<double>(nprobe) / static_cast<double>(index.nlist());
+  profile.list_probe_count.assign(index.nlist(), per_list);
+  return profile;
+}
+
+}  // namespace
+
+HarmonyEngine::HarmonyEngine(HarmonyOptions options)
+    : options_(options), index_(options.ivf) {
+  effective_machines_ =
+      options_.mode == Mode::kSingleNode ? 1 : std::max<size_t>(1, options_.num_machines);
+  if (options_.mode == Mode::kSingleNode) {
+    // Client and the single worker are the same physical node: no network.
+    options_.net.latency_seconds = 0.0;
+    options_.net.bandwidth_bytes_per_sec = 1e18;
+  }
+  if (!options_.enable_pipeline) {
+    // Ablation: without the pipeline there is no compute/communication
+    // overlap — sends block the sender (Figure 2(b) "B" mode).
+    options_.net.mode = CommMode::kBlocking;
+  }
+}
+
+Status HarmonyEngine::Build(const DatasetView& base) {
+  if (built_) return Status::FailedPrecondition("engine already built");
+  HARMONY_RETURN_NOT_OK(index_.Train(base));
+  HARMONY_RETURN_NOT_OK(index_.Add(base));
+  return FinishBuild();
+}
+
+Status HarmonyEngine::BuildFromIndex(IvfIndex index) {
+  if (built_) return Status::FailedPrecondition("engine already built");
+  if (!index.trained() || index.num_vectors() == 0) {
+    return Status::InvalidArgument("index must be trained and populated");
+  }
+  if (index.metric() != options_.ivf.metric) {
+    return Status::InvalidArgument("index metric does not match engine");
+  }
+  index_ = std::move(index);
+  return FinishBuild();
+}
+
+Status HarmonyEngine::FinishBuild() {
+  build_stats_.train_seconds = index_.build_stats().train_seconds;
+  build_stats_.add_seconds = index_.build_stats().add_seconds;
+
+  StopWatch preassign;
+  CostModelParams cost;
+  cost.alpha = options_.alpha;
+  cost.pruning_survival = options_.pruning_survival;
+  cost.pruning_enabled = options_.enable_pruning;
+  cost.pipeline_batch = options_.pipeline_batch;
+  cost.net = options_.net;
+  cost.machine = options_.machine;
+  QueryPlanner planner(options_.mode, cost);
+  const WorkloadProfile prior = UniformPrior(index_, /*k=*/10, /*nprobe=*/8);
+  HARMONY_ASSIGN_OR_RETURN(
+      last_choice_,
+      planner.Plan(index_, effective_machines_, prior,
+                   options_.enable_balanced_load, options_.force_b_vec,
+                   options_.force_b_dim));
+  HARMONY_RETURN_NOT_OK(Repartition(last_choice_.plan));
+  prewarm_ = PrewarmCache::Build(index_, options_.prewarm_per_list);
+  build_stats_.preassign_seconds = preassign.ElapsedSeconds();
+  built_ = true;
+  return Status::OK();
+}
+
+Status HarmonyEngine::Repartition(const PartitionPlan& plan) {
+  const bool with_norms =
+      plan.num_dim_blocks > 1 && options_.ivf.metric != Metric::kL2;
+  HARMONY_ASSIGN_OR_RETURN(stores_, BuildWorkerStores(index_, plan, with_norms));
+  stores_with_norms_ = with_norms;
+  plan_ = plan;
+  return Status::OK();
+}
+
+Status HarmonyEngine::AddVectors(const DatasetView& vectors) {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  if (vectors.empty()) return Status::OK();
+  if (vectors.dim() != index_.dim()) {
+    return Status::InvalidArgument("dimension mismatch on AddVectors");
+  }
+  const size_t first_id = index_.num_vectors();
+  HARMONY_RETURN_NOT_OK(index_.Add(vectors));
+  const DatasetView centroids = index_.centroids().View();
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    const float* row = vectors.Row(i);
+    const int64_t gid = static_cast<int64_t>(first_id + i);
+    const int32_t list = NearestCentroid(centroids, row);
+    const size_t shard =
+        static_cast<size_t>(plan_.list_to_shard[static_cast<size_t>(list)]);
+    for (size_t d = 0; d < plan_.num_dim_blocks; ++d) {
+      const size_t machine = static_cast<size_t>(plan_.MachineOf(shard, d));
+      HARMONY_RETURN_NOT_OK(stores_[machine].AppendVector(
+          shard, d, list, plan_.dim_ranges[d], row, vectors.dim(), gid,
+          stores_with_norms_));
+    }
+  }
+  return Status::OK();
+}
+
+ExecOptions HarmonyEngine::MakeExecOptions(size_t k, size_t nprobe) const {
+  ExecOptions exec;
+  exec.metric = options_.ivf.metric;
+  exec.k = k;
+  exec.nprobe = nprobe;
+  exec.enable_pruning = options_.enable_pruning;
+  exec.enable_pipeline = options_.enable_pipeline;
+  exec.dynamic_dim_order =
+      options_.enable_pipeline && options_.enable_balanced_load;
+  exec.prewarm_per_list = options_.prewarm_per_list;
+  exec.pipeline_batch = options_.pipeline_batch;
+  return exec;
+}
+
+Status HarmonyEngine::SetLabels(std::vector<int32_t> labels) {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  if (labels.size() != index_.num_vectors()) {
+    return Status::InvalidArgument(
+        "need exactly one label per stored vector (" +
+        std::to_string(index_.num_vectors()) + "), got " +
+        std::to_string(labels.size()));
+  }
+  labels_ = std::move(labels);
+  return Status::OK();
+}
+
+Result<BatchResult> HarmonyEngine::SearchBatch(const DatasetView& queries,
+                                               size_t k, size_t nprobe) {
+  return SearchInternal(queries, k, nprobe, nullptr);
+}
+
+Result<BatchResult> HarmonyEngine::SearchBatchFiltered(
+    const DatasetView& queries, size_t k, size_t nprobe,
+    int32_t allowed_label) {
+  if (labels_.empty()) {
+    return Status::FailedPrecondition("SetLabels() must run before filtering");
+  }
+  if (labels_.size() != index_.num_vectors()) {
+    return Status::FailedPrecondition(
+        "labels are stale: call SetLabels() again after AddVectors()");
+  }
+  ExecOptions exec = MakeExecOptions(k, nprobe);
+  exec.labels = &labels_;
+  exec.allowed_label = allowed_label;
+  return SearchInternal(queries, k, nprobe, &exec);
+}
+
+Result<BatchResult> HarmonyEngine::SearchInternal(const DatasetView& queries,
+                                                  size_t k, size_t nprobe,
+                                                  const ExecOptions* exec_override) {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  if (queries.empty()) return Status::InvalidArgument("empty query batch");
+  if (k == 0 || nprobe == 0) {
+    return Status::InvalidArgument("k and nprobe must be > 0");
+  }
+
+  StopWatch plan_watch;
+  // Profile the batch and let the cost model reconsider the grid shape
+  // (Mode::kHarmony only; other modes are pinned and re-planning is a
+  // no-op returning the same shape).
+  CostModelParams cost;
+  cost.alpha = options_.alpha;
+  cost.pruning_survival = options_.pruning_survival;
+  cost.pruning_enabled = options_.enable_pruning;
+  cost.pipeline_batch = options_.pipeline_batch;
+  cost.net = options_.net;
+  cost.machine = options_.machine;
+  QueryPlanner planner(options_.mode, cost);
+  const WorkloadProfile profile =
+      ProfileWorkload(index_, queries, k, nprobe, options_.profile_sample);
+  HARMONY_ASSIGN_OR_RETURN(
+      PlanChoice choice,
+      planner.Plan(index_, effective_machines_, profile,
+                   options_.enable_balanced_load, options_.force_b_vec,
+                   options_.force_b_dim));
+  if (choice.plan.num_vec_shards != plan_.num_vec_shards ||
+      choice.plan.num_dim_blocks != plan_.num_dim_blocks ||
+      choice.plan.list_to_shard != plan_.list_to_shard) {
+    HARMONY_RETURN_NOT_OK(Repartition(choice.plan));
+    ++repartition_count_;
+  }
+  last_choice_ = std::move(choice);
+  const double plan_seconds = plan_watch.ElapsedSeconds();
+
+  SimCluster cluster(effective_machines_, options_.net, options_.machine);
+  const BatchRouting routing = RouteBatch(index_, plan_, queries, nprobe);
+  const ExecOptions exec =
+      exec_override != nullptr ? *exec_override : MakeExecOptions(k, nprobe);
+  HARMONY_ASSIGN_OR_RETURN(
+      PipelineOutput output,
+      ExecuteSimulated(index_, plan_, stores_, prewarm_, routing, queries,
+                       exec, &cluster));
+
+  BatchResult result;
+  result.results = std::move(output.results);
+  BatchStats& stats = result.stats;
+  stats.num_queries = queries.size();
+  stats.makespan_seconds = cluster.Makespan();
+  stats.qps = stats.makespan_seconds > 0.0
+                  ? static_cast<double>(queries.size()) / stats.makespan_seconds
+                  : 0.0;
+  stats.plan_seconds = plan_seconds;
+  stats.breakdown = cluster.Breakdown();
+  stats.prune = output.prune;
+  stats.memory = IndexMemory();
+  stats.memory.peak_query_bytes =
+      stats.memory.index_bytes_max_node + output.peak_intermediate_bytes;
+  stats.node_compute_seconds.reserve(effective_machines_);
+  for (size_t m = 0; m < effective_machines_; ++m) {
+    stats.node_compute_seconds.push_back(cluster.worker(m).compute_seconds());
+    stats.node_comm_seconds.push_back(cluster.worker(m).comm_seconds());
+    stats.node_idle_seconds.push_back(cluster.worker(m).idle_seconds());
+  }
+  stats.client_clock_seconds = cluster.client().clock();
+  stats.client_compute_seconds = cluster.client().compute_seconds();
+  std::vector<double> latencies = std::move(output.query_completion_seconds);
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+      const size_t idx = static_cast<size_t>(
+          p * static_cast<double>(latencies.size() - 1));
+      return latencies[idx];
+    };
+    stats.latency_p50_seconds = pct(0.50);
+    stats.latency_p95_seconds = pct(0.95);
+    stats.latency_p99_seconds = pct(0.99);
+    stats.latency_max_seconds = latencies.back();
+  }
+  return result;
+}
+
+Result<ThreadedOutput> HarmonyEngine::SearchBatchThreaded(
+    const DatasetView& queries, size_t k, size_t nprobe) {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  const BatchRouting routing = RouteBatch(index_, plan_, queries, nprobe);
+  return ExecuteThreaded(index_, plan_, stores_, prewarm_, routing, queries,
+                         MakeExecOptions(k, nprobe));
+}
+
+MemoryStats HarmonyEngine::IndexMemory() const {
+  MemoryStats mem;
+  for (const WorkerStore& store : stores_) {
+    const uint64_t bytes = store.SizeBytes();
+    mem.index_bytes_total += bytes;
+    mem.index_bytes_max_node = std::max(mem.index_bytes_max_node, bytes);
+  }
+  mem.client_bytes = index_.centroids().SizeBytes() + prewarm_.SizeBytes();
+  return mem;
+}
+
+}  // namespace harmony

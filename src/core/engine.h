@@ -1,0 +1,138 @@
+#ifndef HARMONY_CORE_ENGINE_H_
+#define HARMONY_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/partition.h"
+#include "core/pipeline.h"
+#include "core/planner.h"
+#include "core/pruning.h"
+#include "core/stats.h"
+#include "core/worker.h"
+#include "index/ivf_index.h"
+#include "net/cluster.h"
+#include "storage/dataset.h"
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Engine configuration — the public surface of the paper's
+/// `-NMachine`, `-Pruning_Configuration`, `-Indexing_Parameters`, `-α`,
+/// and `-Mode` parameters (Section 5).
+struct HarmonyOptions {
+  Mode mode = Mode::kHarmony;
+  size_t num_machines = 4;   // -NMachine
+  IvfParams ivf;             // -Indexing_Parameters (nlist, metric, ...)
+  NetworkParams net;
+  MachineParams machine;
+  double alpha = 4.0;        // -α: imbalance weight of the cost model
+  /// -Pruning_Configuration and the Figure 9 ablation toggles.
+  bool enable_pruning = true;
+  bool enable_pipeline = true;
+  bool enable_balanced_load = true;
+  size_t prewarm_per_list = 4;
+  /// Pipeline batch granularity (see ExecOptions::pipeline_batch).
+  size_t pipeline_batch = 256;
+  /// Cost-model survival estimate for pruned stages (see CostModelParams).
+  double pruning_survival = 0.5;
+  /// Queries sampled when profiling a batch for the cost model (0 = all).
+  size_t profile_sample = 64;
+  /// Pins the grid shape (both must be > 0 and multiply to num_machines),
+  /// bypassing the cost model's shape search. Used by ablation studies that
+  /// must hold the partitioning fixed while toggling features.
+  size_t force_b_vec = 0;
+  size_t force_b_dim = 0;
+};
+
+/// \brief The Harmony distributed ANNS engine (public API facade).
+///
+/// Lifecycle: construct -> Build(base) -> SearchBatch(...) any number of
+/// times. Build trains the shared IVF clustering and pre-assigns grid
+/// blocks to machines; SearchBatch profiles the batch, (re)plans the
+/// partition grid when the cost model prefers a different shape, routes
+/// queries, and executes the pruning pipeline on the simulated cluster.
+class HarmonyEngine {
+ public:
+  explicit HarmonyEngine(HarmonyOptions options);
+
+  const HarmonyOptions& options() const { return options_; }
+  const IvfIndex& index() const { return index_; }
+  bool built() const { return built_; }
+  /// The currently-materialized partition plan (valid after Build()).
+  const PartitionPlan& plan() const { return plan_; }
+  const BuildStats& build_stats() const { return build_stats_; }
+  /// Explanation of the last planning decision (candidate costs).
+  const PlanChoice& last_plan_choice() const { return last_choice_; }
+  /// Number of times SearchBatch re-materialized worker stores because the
+  /// cost model switched grid shapes.
+  size_t repartition_count() const { return repartition_count_; }
+
+  /// Trains the clustering, adds the base vectors, and distributes grid
+  /// blocks to machines using a uniform workload prior.
+  Status Build(const DatasetView& base);
+
+  /// Like Build() but adopts an already-trained-and-populated index instead
+  /// of training one. This is how the evaluation gives every strategy the
+  /// *same* clustering (Section 6.1) without retraining per engine; the
+  /// index's IvfParams must match this engine's metric.
+  Status BuildFromIndex(IvfIndex index);
+
+  /// Inserts new vectors into a built engine: each is assigned to its
+  /// nearest IVF list and its dimension slices are appended to the owning
+  /// machines' grid blocks in place — no re-partitioning, mirroring how a
+  /// deployment absorbs online writes between re-balancing epochs.
+  Status AddVectors(const DatasetView& vectors);
+
+  /// Attaches one int32 metadata label per stored vector (e.g. a tenant,
+  /// category, or shard-group id). Must be called after Build()/AddVectors
+  /// with exactly index().num_vectors() entries; enables filtered search.
+  Status SetLabels(std::vector<int32_t> labels);
+
+  /// Executes one query batch on the simulated cluster and returns exact
+  /// (pruning-safe) approximate-search results plus full instrumentation.
+  Result<BatchResult> SearchBatch(const DatasetView& queries, size_t k,
+                                  size_t nprobe);
+
+  /// Like SearchBatch but only vectors whose label equals `allowed_label`
+  /// qualify — the predicate is pushed down into the first dimension stage
+  /// on each machine, so filtered-out vectors cost one label test instead
+  /// of a distance computation. Requires SetLabels().
+  Result<BatchResult> SearchBatchFiltered(const DatasetView& queries, size_t k,
+                                          size_t nprobe,
+                                          int32_t allowed_label);
+
+  /// Executes the same pipeline on real threads (functional validation /
+  /// actual in-process deployment). Uses the current plan without
+  /// re-planning.
+  Result<ThreadedOutput> SearchBatchThreaded(const DatasetView& queries,
+                                             size_t k, size_t nprobe);
+
+  /// Index storage accounting (Table 4): stored bytes per machine etc.
+  MemoryStats IndexMemory() const;
+
+ private:
+  Status FinishBuild();
+  Status Repartition(const PartitionPlan& plan);
+  ExecOptions MakeExecOptions(size_t k, size_t nprobe) const;
+  Result<BatchResult> SearchInternal(const DatasetView& queries, size_t k,
+                                     size_t nprobe, const ExecOptions* exec);
+
+  HarmonyOptions options_;
+  size_t effective_machines_ = 1;
+  IvfIndex index_;
+  PartitionPlan plan_;
+  std::vector<WorkerStore> stores_;
+  bool stores_with_norms_ = false;
+  std::vector<int32_t> labels_;
+  PrewarmCache prewarm_;
+  PlanChoice last_choice_;
+  BuildStats build_stats_;
+  size_t repartition_count_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_ENGINE_H_

@@ -1,0 +1,133 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace harmony {
+
+std::string PartitionPlan::ToString() const {
+  std::ostringstream os;
+  os << "plan{machines=" << num_machines << " B_vec=" << num_vec_shards
+     << " B_dim=" << num_dim_blocks << " shard_sizes=[";
+  for (size_t s = 0; s < shard_vector_count.size(); ++s) {
+    if (s > 0) os << ",";
+    os << shard_vector_count[s];
+  }
+  os << "]}";
+  return os.str();
+}
+
+Result<PartitionPlan> BuildPartitionPlan(const IvfIndex& index,
+                                         size_t num_machines,
+                                         size_t num_vec_shards,
+                                         size_t num_dim_blocks,
+                                         ShardAssignment assignment,
+                                         const std::vector<double>* list_weights) {
+  if (!index.trained()) {
+    return Status::FailedPrecondition("index must be trained before planning");
+  }
+  if (num_machines == 0 || num_vec_shards == 0 || num_dim_blocks == 0) {
+    return Status::InvalidArgument("plan dimensions must be > 0");
+  }
+  num_dim_blocks = std::min(num_dim_blocks, index.dim());
+  if (num_vec_shards * num_dim_blocks != num_machines) {
+    return Status::InvalidArgument(
+        "grid must tile the cluster exactly: B_vec*B_dim != machines");
+  }
+  if (num_vec_shards > index.nlist()) {
+    return Status::InvalidArgument(
+        "more vector shards than IVF lists; decrease B_vec or increase nlist");
+  }
+
+  PartitionPlan plan;
+  plan.num_machines = num_machines;
+  plan.num_vec_shards = num_vec_shards;
+  plan.num_dim_blocks = num_dim_blocks;
+  plan.dim_ranges = EvenDimBlocks(index.dim(), num_dim_blocks);
+  plan.shard_lists.assign(num_vec_shards, {});
+  plan.list_to_shard.assign(index.nlist(), -1);
+  plan.shard_vector_count.assign(num_vec_shards, 0);
+
+  const std::vector<int64_t> sizes = index.ListSizes();
+  if (assignment == ShardAssignment::kRoundRobin) {
+    for (size_t l = 0; l < index.nlist(); ++l) {
+      const size_t s = l % num_vec_shards;
+      plan.shard_lists[s].push_back(static_cast<int32_t>(l));
+      plan.list_to_shard[l] = static_cast<int32_t>(s);
+      plan.shard_vector_count[s] += sizes[l];
+    }
+  } else {
+    // Greedy bin packing: heaviest list first into the currently lightest
+    // shard. Classic LPT; keeps the max/min shard load ratio tight. Weights
+    // default to list sizes; a workload profile makes them probe-aware.
+    if (list_weights != nullptr && list_weights->size() != index.nlist()) {
+      return Status::InvalidArgument("list_weights size mismatch");
+    }
+    auto weight = [&](size_t l) {
+      return list_weights != nullptr ? (*list_weights)[l]
+                                     : static_cast<double>(sizes[l]);
+    };
+    std::vector<size_t> order(index.nlist());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (weight(a) != weight(b)) return weight(a) > weight(b);
+      return a < b;  // Deterministic tie-break.
+    });
+    std::vector<double> shard_load(num_vec_shards, 0.0);
+    for (const size_t l : order) {
+      size_t lightest = 0;
+      for (size_t s = 1; s < num_vec_shards; ++s) {
+        if (shard_load[s] < shard_load[lightest]) lightest = s;
+      }
+      plan.shard_lists[lightest].push_back(static_cast<int32_t>(l));
+      plan.list_to_shard[l] = static_cast<int32_t>(lightest);
+      plan.shard_vector_count[lightest] += sizes[l];
+      shard_load[lightest] += weight(l);
+    }
+    // Keep list ids sorted within each shard for deterministic iteration.
+    for (auto& lists : plan.shard_lists) std::sort(lists.begin(), lists.end());
+  }
+
+  // Per-block energy from size-weighted centroids (cheap stand-in for the
+  // data's per-dimension second moment).
+  plan.block_energy.assign(num_dim_blocks, 0.0);
+  const DatasetView centroids = index.centroids().View();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const double weight = static_cast<double>(sizes[c]);
+    const float* row = centroids.Row(c);
+    for (size_t d = 0; d < num_dim_blocks; ++d) {
+      double e = 0.0;
+      for (size_t j = plan.dim_ranges[d].begin; j < plan.dim_ranges[d].end;
+           ++j) {
+        e += double{row[j]} * row[j];
+      }
+      plan.block_energy[d] += weight * e;
+    }
+  }
+
+  // Block -> machine: row-major over the grid, exactly one block per machine
+  // when the grid tiles the cluster (Figure 4: V1D1->M1, V1D2->M2, ...).
+  plan.machine_of.resize(num_vec_shards * num_dim_blocks);
+  for (size_t v = 0; v < num_vec_shards; ++v) {
+    for (size_t d = 0; d < num_dim_blocks; ++d) {
+      plan.machine_of[v * num_dim_blocks + d] =
+          static_cast<int32_t>((v * num_dim_blocks + d) % num_machines);
+    }
+  }
+  return plan;
+}
+
+std::vector<std::pair<size_t, size_t>> EnumerateGridShapes(size_t num_machines,
+                                                           size_t dim) {
+  std::vector<std::pair<size_t, size_t>> shapes;
+  for (size_t b_vec = 1; b_vec <= num_machines; ++b_vec) {
+    if (num_machines % b_vec != 0) continue;
+    const size_t b_dim = num_machines / b_vec;
+    if (b_dim > dim) continue;
+    shapes.emplace_back(b_vec, b_dim);
+  }
+  return shapes;
+}
+
+}  // namespace harmony

@@ -1,0 +1,80 @@
+#ifndef HARMONY_CORE_PARTITION_H_
+#define HARMONY_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/ivf_index.h"
+#include "storage/dim_slice.h"
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief A partition plan π: the grid `B_vec(π) × B_dim(π)` of Section 4.2,
+/// plus the assignment of IVF lists to vector shards and of grid blocks to
+/// machines.
+///
+/// Invariants (enforced by BuildPartitionPlan, checked by tests):
+///  * every IVF list belongs to exactly one vector shard;
+///  * dimension ranges are disjoint, contiguous, and cover [0, dim);
+///  * every grid block (v, d) is owned by exactly one machine;
+///  * with num_vec_shards * num_dim_blocks == num_machines, each machine
+///    owns exactly one block (the paper's Figure 4 layout).
+struct PartitionPlan {
+  size_t num_machines = 0;
+  size_t num_vec_shards = 0;  // B_vec
+  size_t num_dim_blocks = 0;  // B_dim
+  std::vector<DimRange> dim_ranges;            // size num_dim_blocks
+  std::vector<std::vector<int32_t>> shard_lists;  // shard -> IVF list ids
+  std::vector<int32_t> list_to_shard;             // IVF list -> shard
+  std::vector<int64_t> shard_vector_count;        // vectors per shard
+  /// machine_of[v * num_dim_blocks + d] = machine owning block (v, d).
+  std::vector<int32_t> machine_of;
+  /// Mean squared magnitude of each dimension block, estimated from the
+  /// size-weighted centroids. Blocks with more energy separate candidates
+  /// faster, so the executor prefers to process them early — they are where
+  /// early-stop pruning earns its keep on real (spectrally decaying)
+  /// embeddings.
+  std::vector<double> block_energy;
+
+  int32_t MachineOf(size_t vec_shard, size_t dim_block) const {
+    return machine_of[vec_shard * num_dim_blocks + dim_block];
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief How IVF lists are packed into vector shards.
+enum class ShardAssignment {
+  /// Greedy largest-first into the least-loaded shard (load-aware; the
+  /// paper's balanced distribution).
+  kGreedyBalanced,
+  /// list i -> shard i % B_vec (the static distribution of Harmony-vector
+  /// baselines and of Auncel's fixed partitioning).
+  kRoundRobin,
+};
+
+/// \brief Builds a plan for the given grid shape over a trained index.
+/// Requires `num_vec_shards * num_dim_blocks == num_machines` so the grid
+/// exactly tiles the cluster (Figure 4); `num_dim_blocks` is clamped to the
+/// vector dimensionality.
+///
+/// `list_weights` (optional, one entry per IVF list) supplies the expected
+/// *load* of each list — e.g. probe frequency × list size from the workload
+/// profile — so the greedy assignment balances anticipated work rather than
+/// raw cardinality (the paper's load-aware distribution). When null, list
+/// sizes are used.
+Result<PartitionPlan> BuildPartitionPlan(
+    const IvfIndex& index, size_t num_machines, size_t num_vec_shards,
+    size_t num_dim_blocks, ShardAssignment assignment,
+    const std::vector<double>* list_weights = nullptr);
+
+/// \brief All grid shapes (B_vec, B_dim) with B_vec * B_dim == num_machines
+/// and B_dim <= dim — the search space of the query planner.
+std::vector<std::pair<size_t, size_t>> EnumerateGridShapes(size_t num_machines,
+                                                           size_t dim);
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_PARTITION_H_

@@ -1,0 +1,563 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace harmony {
+
+namespace {
+
+constexpr uint64_t kMsgHeaderBytes = 16;
+
+/// Bytes carried per surviving candidate between dimension stages: global
+/// id (4-byte local encoding) + accumulated partial; inner-product pruning
+/// additionally carries the remaining-norm term.
+uint64_t BytesPerCandidate(bool with_norms) {
+  return with_norms ? 12 : 8;
+}
+
+/// Everything one chain of the current vector-pipeline rank needs while its
+/// batches stream through the dimension stages.
+struct ChainRun {
+  const QueryChain* chain = nullptr;
+  size_t shard = 0;
+  std::vector<double> slice_arrival;  // per dimension block
+  // Candidate arrays; pipeline batches own disjoint ranges and compact
+  // survivors in place within their range.
+  std::vector<int64_t> id;
+  std::vector<int32_t> list;
+  std::vector<int32_t> row;
+  std::vector<float> partial;
+  std::vector<float> rem_p_sq;
+  // slices[d * lists + li]: the slice of chain list li in block d, on the
+  // machine owning grid block (shard, d).
+  std::vector<const ListSlice*> slices;
+  std::vector<float> q_block_norm;  // per block (inner-product pruning)
+  float rem_q_total = 0.0f;
+  std::vector<uint64_t> machine_bytes;  // peak in-flight accounting
+};
+
+/// One pipeline batch flowing through the dimension stages — the unit of
+/// the discrete-event schedule.
+struct BatchTask {
+  double ready = 0.0;   // time its input (slice + partials) is available
+  uint64_t seq = 0;     // deterministic tie-break
+  size_t run = 0;       // index into the rank's ChainRun array
+  size_t begin = 0;     // candidate range start
+  size_t survivors = 0; // current surviving candidates in the range
+  uint64_t queued_ops = 0;  // cost estimate charged to the target queue
+  uint64_t remaining = 0;  // bitmask of unprocessed dimension blocks
+  size_t processed = 0;    // pipeline position (blocks already done)
+  size_t next_block = 0;   // block to execute when popped
+  size_t start_block = 0;  // rotation anchor (static stagger)
+  float rem_q_sq = 0.0f;
+};
+
+}  // namespace
+
+Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
+                                        const PartitionPlan& plan,
+                                        const std::vector<WorkerStore>& stores,
+                                        const PrewarmCache& prewarm,
+                                        const BatchRouting& routing,
+                                        const DatasetView& queries,
+                                        const ExecOptions& opts,
+                                        SimCluster* cluster) {
+  if (cluster->num_workers() != plan.num_machines) {
+    return Status::InvalidArgument("cluster size does not match plan");
+  }
+  if (queries.dim() != index.dim()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  const size_t b_dim = plan.num_dim_blocks;
+  if (b_dim > 64) {
+    return Status::NotSupported("more than 64 dimension blocks");
+  }
+  const size_t dim = index.dim();
+  const size_t num_queries = queries.size();
+  const bool use_ip = opts.metric != Metric::kL2;
+  // Remaining-norm tracking is only materialized when inner-product pruning
+  // can actually fire (more than one dimension block).
+  const bool use_norms = use_ip && b_dim > 1;
+  const size_t batch_size = std::max<size_t>(1, opts.pipeline_batch);
+
+  PipelineOutput out;
+  out.prune.Resize(b_dim);
+
+  std::vector<QueryState> states;
+  states.reserve(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) states.emplace_back(opts.k);
+
+  SimNode& client = cluster->client();
+
+  // --- Stage 0: centroid assignment + prewarm (Algorithm 1, PrewarmHeap).
+  // The client scores its cached sample of each probed list, seeding every
+  // query's heap with a sound threshold.
+  for (size_t q = 0; q < num_queries; ++q) {
+    client.ChargeCompute(
+        static_cast<uint64_t>(index.nlist()) * DistanceOpCost(dim));
+    QueryState& state = states[q];
+    for (const int32_t list_id : routing.probe_lists[q]) {
+      const auto& ids = prewarm.ListIds(static_cast<size_t>(list_id));
+      if (ids.empty()) continue;
+      const DatasetView vecs =
+          prewarm.ListVectors(static_cast<size_t>(list_id));
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (opts.labels != nullptr &&
+            (*opts.labels)[static_cast<size_t>(ids[i])] !=
+                opts.allowed_label) {
+          continue;
+        }
+        const float d =
+            Distance(opts.metric, queries.Row(q), vecs.Row(i), dim);
+        state.heap.Push(ids[i], d);
+        state.prewarmed_ids.insert(ids[i]);
+      }
+      client.ChargeCompute(static_cast<uint64_t>(ids.size()) *
+                           DistanceOpCost(dim));
+    }
+    state.ready_time = client.clock();
+  }
+
+  // Per-(machine, vector-stage) in-flight intermediate bytes, for the peak
+  // query-memory table: chains of the same probe rank are concurrent, and
+  // within a chain one pipeline batch is in flight per machine.
+  std::vector<std::vector<uint64_t>> stage_bytes(
+      plan.num_machines,
+      std::vector<uint64_t>(routing.max_probe_rank + 1, 0));
+
+  const double client_ops_per_sec = client.ops_per_sec();
+  uint64_t total_merge_ops = 0;
+  double last_merge_done = 0.0;
+  uint64_t chain_seq = 0;
+
+  // --- Vector pipeline, one probe rank at a time (Figure 5(a)): the client
+  // dispatches every chain of the rank, then the rank's pipeline batches
+  // execute as a discrete-event schedule over the machines' virtual clocks.
+  // Later ranks inherit every earlier rank's tightened thresholds.
+  size_t rank_begin = 0;
+  while (rank_begin < routing.chains.size()) {
+    size_t rank_end = rank_begin;
+    const int32_t rank = routing.chains[rank_begin].probe_rank;
+    while (rank_end < routing.chains.size() &&
+           routing.chains[rank_end].probe_rank == rank) {
+      ++rank_end;
+    }
+
+    // Queries whose previous rank finished early dispatch first; only
+    // per-query causality is enforced across ranks.
+    std::vector<size_t> rank_order(rank_end - rank_begin);
+    std::iota(rank_order.begin(), rank_order.end(), rank_begin);
+    std::stable_sort(rank_order.begin(), rank_order.end(),
+                     [&](size_t a, size_t b) {
+                       const double ra =
+                           states[static_cast<size_t>(routing.chains[a].query)]
+                               .ready_time;
+                       const double rb =
+                           states[static_cast<size_t>(routing.chains[b].query)]
+                               .ready_time;
+                       return ra < rb;
+                     });
+
+    // ---- Pass A: client dispatch + chain materialization.
+    std::vector<ChainRun> runs;
+    runs.reserve(rank_order.size());
+    for (const size_t c : rank_order) {
+      const QueryChain& chain = routing.chains[c];
+      QueryState& state = states[static_cast<size_t>(chain.query)];
+      const size_t shard = static_cast<size_t>(chain.shard);
+
+      ChainRun run;
+      run.chain = &chain;
+      run.shard = shard;
+      run.machine_bytes.assign(plan.num_machines, 0);
+      const float* qrow = queries.Row(static_cast<size_t>(chain.query));
+
+      client.WaitUntil(state.ready_time);
+      if (use_norms) {
+        run.q_block_norm.resize(b_dim);
+        for (size_t d = 0; d < b_dim; ++d) {
+          const DimRange r = plan.dim_ranges[d];
+          run.q_block_norm[d] =
+              PartialIp(qrow + r.begin, qrow + r.begin, r.width());
+          run.rem_q_total += run.q_block_norm[d];
+        }
+        client.ChargeCompute(DistanceOpCost(dim));
+      }
+      run.slice_arrival.resize(b_dim);
+      for (size_t d = 0; d < b_dim; ++d) {
+        const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
+        const uint64_t bytes =
+            plan.dim_ranges[d].width() * sizeof(float) + kMsgHeaderBytes;
+        run.slice_arrival[d] =
+            cluster->Transfer(&client, &cluster->worker(machine), bytes);
+      }
+
+      // Per-block slice lookups, hoisted out of the event loop.
+      run.slices.assign(b_dim * chain.lists.size(), nullptr);
+      for (size_t d = 0; d < b_dim; ++d) {
+        const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
+        for (size_t li = 0; li < chain.lists.size(); ++li) {
+          run.slices[d * chain.lists.size() + li] =
+              stores[machine].FindListSlice(shard, d, chain.lists[li]);
+        }
+      }
+
+      // Candidate set, in probe order (nearest list first) so the earliest
+      // batches tighten the threshold for the rest of the chain.
+      for (size_t li = 0; li < chain.lists.size(); ++li) {
+        const ListSlice* ls = run.slices[li];  // block 0 slices
+        if (ls == nullptr) continue;
+        for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
+          const int64_t gid = ls->slice.GlobalId(r);
+          if (state.prewarmed_ids.count(gid) > 0) continue;
+          if (opts.labels != nullptr &&
+              (*opts.labels)[static_cast<size_t>(gid)] != opts.allowed_label) {
+            continue;
+          }
+          run.id.push_back(gid);
+          run.list.push_back(static_cast<int32_t>(li));
+          run.row.push_back(static_cast<int32_t>(r));
+          run.partial.push_back(0.0f);
+          if (use_norms) {
+            run.rem_p_sq.push_back(ls->total_norm_sq[r]);
+          }
+        }
+      }
+      out.prune.total_candidates += run.id.size();
+      runs.push_back(std::move(run));
+    }
+
+    // ---- Pass B: discrete-event schedule of the rank's pipeline batches.
+    // Each machine owns a pending min-heap (by readiness) plus per-position
+    // "available" FIFO buckets of tasks whose inputs have arrived. A free
+    // machine always executes the *deepest-position* available task
+    // (depth-first draining): a worker that just received stage-p partials
+    // processes them before the pile of stage-0 work queued behind them.
+    // This is what lets completed batches refine the pruning threshold
+    // while sibling batches are still queued — with plain FIFO, every
+    // stage-0 task of a dispatched batch would run against the cold prewarm
+    // threshold.
+    struct ReadyLater {
+      bool operator()(const BatchTask& a, const BatchTask& b) const {
+        if (a.ready != b.ready) return a.ready > b.ready;
+        return a.seq > b.seq;
+      }
+    };
+    struct MachineQueue {
+      std::priority_queue<BatchTask, std::vector<BatchTask>, ReadyLater>
+          pending;
+      std::vector<std::deque<BatchTask>> available;  // per pipeline position
+      size_t available_count = 0;
+
+      void Promote(double now) {
+        while (!pending.empty() && pending.top().ready <= now) {
+          const BatchTask& t = pending.top();
+          available[t.processed].push_back(t);
+          ++available_count;
+          pending.pop();
+        }
+      }
+      BatchTask PopDeepest() {
+        for (size_t p = available.size(); p-- > 0;) {
+          if (!available[p].empty()) {
+            BatchTask t = available[p].front();
+            available[p].pop_front();
+            --available_count;
+            return t;
+          }
+        }
+        HARMONY_CHECK_MSG(false, "PopDeepest on empty queue");
+        return BatchTask{};
+      }
+    };
+    std::vector<MachineQueue> machine_queues(plan.num_machines);
+    for (auto& mq : machine_queues) mq.available.resize(b_dim);
+    // Estimated ops sitting in each machine's queue; the load metric below
+    // is executed busy time *plus* queued work, so seeding thousands of
+    // batches up front still spreads them.
+    std::vector<uint64_t> queued_ops(plan.num_machines, 0);
+    size_t outstanding = 0;
+    uint64_t seq = 0;
+
+    // Dynamic block choice (Section 4.3, "Load Balancing Strategies"),
+    // balancing two forces:
+    //  * pruning power — high-energy blocks separate candidates fastest, so
+    //    processing them early is what lets later stages skip work (on
+    //    spectrally decaying data a low-energy-first order prunes nothing);
+    //  * load — blocks of currently overloaded machines are deferred to
+    //    late positions where pruning has already removed most candidates.
+    // Among the remaining blocks whose machine is within a slack of the
+    // least-busy one, pick the highest-energy block; a machine that falls
+    // far behind is simply skipped until it catches up.
+    auto machine_load = [&](size_t machine) {
+      const SimNode& worker = cluster->worker(machine);
+      return worker.compute_seconds() + worker.comm_seconds() +
+             static_cast<double>(queued_ops[machine]) / worker.ops_per_sec();
+    };
+    auto choose_block = [&](const ChainRun& run, uint64_t remaining) {
+      double min_load = -1.0;
+      for (size_t cand = 0; cand < b_dim; ++cand) {
+        if ((remaining & (uint64_t{1} << cand)) == 0) continue;
+        const double load = machine_load(
+            static_cast<size_t>(plan.MachineOf(run.shard, cand)));
+        if (min_load < 0.0 || load < min_load) min_load = load;
+      }
+      const double slack = 0.10 * min_load + 1e-5;
+      size_t best = b_dim;
+      double best_energy = -1.0;
+      for (size_t cand = 0; cand < b_dim; ++cand) {
+        if ((remaining & (uint64_t{1} << cand)) == 0) continue;
+        const double load = machine_load(
+            static_cast<size_t>(plan.MachineOf(run.shard, cand)));
+        if (load > min_load + slack) continue;  // Overloaded: defer.
+        const double energy =
+            cand < plan.block_energy.size() ? plan.block_energy[cand] : 0.0;
+        if (best == b_dim || energy > best_energy) {
+          best = cand;
+          best_energy = energy;
+        }
+      }
+      return best;
+    };
+
+    // Seed every chain's pipeline batches.
+    for (size_t r = 0; r < runs.size(); ++r, ++chain_seq) {
+      const ChainRun& run = runs[r];
+      const size_t total = run.id.size();
+      if (total == 0) {
+        // Nothing to scan (all candidates prewarmed); still sequence the
+        // query so later ranks may proceed.
+        QueryState& state = states[static_cast<size_t>(run.chain->query)];
+        state.ready_time = std::max(state.ready_time, client.clock());
+        continue;
+      }
+      const uint64_t all_blocks =
+          b_dim == 64 ? ~uint64_t{0} : ((uint64_t{1} << b_dim) - 1);
+      size_t batch_idx = 0;
+      for (size_t begin = 0; begin < total; begin += batch_size, ++batch_idx) {
+        BatchTask task;
+        task.run = r;
+        task.begin = begin;
+        task.survivors = std::min(batch_size, total - begin);
+        task.remaining = all_blocks;
+        task.processed = 0;
+        // Static stagger: consecutive batches/chains start on different
+        // machines; the dynamic choice refines later blocks as busy
+        // counters evolve.
+        task.start_block =
+            opts.enable_pipeline ? (chain_seq + batch_idx) % b_dim : 0;
+        if (opts.enable_pipeline && opts.dynamic_dim_order && b_dim > 1) {
+          const size_t chosen = choose_block(run, task.remaining);
+          if (chosen < b_dim) task.start_block = chosen;
+        }
+        task.next_block = task.start_block;
+        task.rem_q_sq = run.rem_q_total;
+        task.ready = run.slice_arrival[task.next_block];
+        task.seq = seq++;
+        task.queued_ops = static_cast<uint64_t>(task.survivors) *
+                          plan.dim_ranges[task.next_block].width();
+        const size_t seed_machine = static_cast<size_t>(
+            plan.MachineOf(run.shard, task.next_block));
+        queued_ops[seed_machine] += task.queued_ops;
+        machine_queues[seed_machine].pending.push(task);
+        ++outstanding;
+      }
+    }
+
+    while (outstanding > 0) {
+      // Pick the machine that can start work earliest: its clock if it has
+      // available work, else the arrival of its next pending input.
+      size_t exec_machine = plan.num_machines;
+      double exec_start = 0.0;
+      for (size_t m = 0; m < plan.num_machines; ++m) {
+        MachineQueue& mq = machine_queues[m];
+        mq.Promote(cluster->worker(m).clock());
+        double start;
+        if (mq.available_count > 0) {
+          start = cluster->worker(m).clock();
+        } else if (!mq.pending.empty()) {
+          start = std::max(cluster->worker(m).clock(), mq.pending.top().ready);
+        } else {
+          continue;
+        }
+        if (exec_machine == plan.num_machines || start < exec_start) {
+          exec_machine = m;
+          exec_start = start;
+        }
+      }
+      HARMONY_CHECK(exec_machine < plan.num_machines);
+      MachineQueue& mq = machine_queues[exec_machine];
+      mq.Promote(exec_start);
+      BatchTask task = mq.PopDeepest();
+      --outstanding;
+      queued_ops[exec_machine] -= std::min(queued_ops[exec_machine],
+                                           task.queued_ops);
+      ChainRun& run = runs[task.run];
+      const QueryChain& chain = *run.chain;
+      QueryState& state = states[static_cast<size_t>(chain.query)];
+      const float* qrow = queries.Row(static_cast<size_t>(chain.query));
+      const size_t d = task.next_block;
+      const DimRange range = plan.dim_ranges[d];
+      const size_t machine = static_cast<size_t>(plan.MachineOf(run.shard, d));
+      SimNode& node = cluster->worker(machine);
+      node.WaitUntil(std::max(task.ready, run.slice_arrival[d]));
+
+      const float tau = state.heap.threshold();
+      const bool prune_here =
+          opts.enable_pruning && task.processed > 0 && state.heap.full();
+      const float* q_slice = qrow + range.begin;
+      const ListSlice* const* slices =
+          run.slices.data() + d * chain.lists.size();
+
+      uint64_t ops = 0;
+      size_t w = 0;
+      for (size_t i = task.begin; i < task.begin + task.survivors; ++i) {
+        if (prune_here &&
+            CanPrune(opts.metric, run.partial[i],
+                     use_norms ? run.rem_p_sq[i] : 0.0f, task.rem_q_sq,
+                     tau)) {
+          ++out.prune.dropped_after[task.processed - 1];
+          continue;
+        }
+        const ListSlice* ls = slices[static_cast<size_t>(run.list[i])];
+        HARMONY_CHECK_MSG(ls != nullptr, "missing list slice on machine");
+        const float* vrow = ls->slice.Row(static_cast<size_t>(run.row[i]));
+        if (use_ip) {
+          run.partial[i] += PartialIp(q_slice, vrow, range.width());
+          if (use_norms) {
+            run.rem_p_sq[i] -=
+                ls->block_norm_sq[static_cast<size_t>(run.row[i])];
+          }
+        } else {
+          run.partial[i] += PartialL2Sq(q_slice, vrow, range.width());
+        }
+        ops += DistanceOpCost(range.width());
+        const size_t dst = task.begin + w;
+        run.id[dst] = run.id[i];
+        run.list[dst] = run.list[i];
+        run.row[dst] = run.row[i];
+        run.partial[dst] = run.partial[i];
+        if (use_norms) run.rem_p_sq[dst] = run.rem_p_sq[i];
+        ++w;
+      }
+      node.ChargeCompute(ops);
+      if (use_norms) task.rem_q_sq -= run.q_block_norm[d];
+      task.remaining &= ~(uint64_t{1} << d);
+      ++task.processed;
+      task.survivors = w;
+
+      run.machine_bytes[machine] = std::max(
+          run.machine_bytes[machine],
+          w * BytesPerCandidate(use_norms) + range.width() * sizeof(float));
+
+      if (task.survivors > 0 && task.remaining != 0) {
+        // Choose the next block: with load-aware dynamic ordering, the
+        // least-busy remaining machine goes next — equivalently, blocks of
+        // currently overloaded machines are deferred to late positions
+        // where pruning has removed most candidates (Section 4.3, "Load
+        // Balancing Strategies").
+        size_t next = b_dim;  // sentinel
+        if (opts.enable_pipeline && opts.dynamic_dim_order) {
+          next = choose_block(run, task.remaining);
+        } else {
+          // Cyclic order from the stagger anchor.
+          for (size_t step = 0; step < b_dim; ++step) {
+            const size_t cand =
+                (task.start_block + task.processed + step) % b_dim;
+            if ((task.remaining & (uint64_t{1} << cand)) != 0) {
+              next = cand;
+              break;
+            }
+          }
+        }
+        HARMONY_CHECK(next < b_dim);
+        task.next_block = next;
+        const size_t next_machine =
+            static_cast<size_t>(plan.MachineOf(run.shard, next));
+        const uint64_t bytes =
+            task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
+        const double arrival =
+            cluster->Transfer(&node, &cluster->worker(next_machine), bytes);
+        task.ready = std::max(arrival, run.slice_arrival[next]);
+        task.seq = seq++;
+        task.queued_ops = static_cast<uint64_t>(task.survivors) *
+                          plan.dim_ranges[next].width();
+        queued_ops[next_machine] += task.queued_ops;
+        machine_queues[next_machine].pending.push(task);
+        ++outstanding;
+        continue;
+      }
+
+      // Final stage of this batch: local top-K selection before shipping —
+      // only candidates that can still enter the query's top-K travel to
+      // the client (vector-partitioned chains therefore return at most K
+      // results, matching the paper's low vector-mode communication).
+      TopKHeap local(opts.k);
+      double result_arrival;
+      if (task.survivors > 0) {
+        const float tau_final = state.heap.threshold();
+        for (size_t i = task.begin; i < task.begin + task.survivors; ++i) {
+          const float dist = use_ip ? -run.partial[i] : run.partial[i];
+          if (dist < tau_final || !state.heap.full()) {
+            local.Push(run.id[i], dist);
+          }
+        }
+        node.ChargeCompute(task.survivors);  // Selection pass.
+        result_arrival = cluster->Transfer(
+            &node, &client, local.size() * 8 + kMsgHeaderBytes);
+      } else {
+        // Everything pruned; notify the client with an empty message.
+        result_arrival = cluster->Transfer(&node, &client, kMsgHeaderBytes);
+      }
+
+      // Client merge: merges of different queries proceed concurrently on
+      // the (many-core) client; only per-query ordering is enforced, so a
+      // straggling batch never blocks other queries' progress.
+      const double merge_ready = std::max(result_arrival, state.ready_time);
+      const uint64_t merge_ops = local.size() + 1;
+      const double merge_done =
+          merge_ready + static_cast<double>(merge_ops) / client_ops_per_sec;
+      total_merge_ops += merge_ops;
+      state.ready_time = merge_done;
+      last_merge_done = std::max(last_merge_done, merge_done);
+      for (const Neighbor& n : local.SortedResults()) {
+        state.heap.Push(n.id, n.distance);
+      }
+    }
+
+    for (const ChainRun& run : runs) {
+      for (size_t m = 0; m < plan.num_machines; ++m) {
+        stage_bytes[m][static_cast<size_t>(run.chain->probe_rank)] +=
+            run.machine_bytes[m];
+      }
+    }
+    rank_begin = rank_end;
+  }
+
+  // Account the (parallel) merge work on the client and advance its clock
+  // to the last merge completion so the makespan covers result assembly.
+  client.ChargeCompute(total_merge_ops);
+  client.WaitUntil(last_merge_done);
+
+  // --- Collect results, per-query latencies and the peak-memory figure.
+  out.results.resize(num_queries);
+  out.query_completion_seconds.resize(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    out.results[q] = states[q].heap.SortedResults();
+    out.query_completion_seconds[q] = states[q].ready_time;
+  }
+  for (size_t m = 0; m < plan.num_machines; ++m) {
+    for (const uint64_t bytes : stage_bytes[m]) {
+      out.peak_intermediate_bytes =
+          std::max(out.peak_intermediate_bytes, bytes);
+    }
+  }
+  return out;
+}
+
+}  // namespace harmony

@@ -1,0 +1,79 @@
+#ifndef HARMONY_CORE_PIPELINE_H_
+#define HARMONY_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/pruning.h"
+#include "core/router.h"
+#include "core/stats.h"
+#include "core/worker.h"
+#include "index/ivf_index.h"
+#include "net/cluster.h"
+#include "storage/dataset.h"
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Execution knobs; each maps to one of the optimizations isolated
+/// in the paper's Figure 9 ablation.
+struct ExecOptions {
+  Metric metric = Metric::kL2;
+  size_t k = 10;
+  size_t nprobe = 8;
+  /// Dimension-level early stop (Algorithm 1 lines 8-11).
+  bool enable_pruning = true;
+  /// Staggered dimension-block ordering + asynchronous execution; when off,
+  /// every chain walks blocks 0..B-1 in physical order and the engine uses
+  /// blocking communication.
+  bool enable_pipeline = true;
+  /// Load-aware dynamic ordering: blocks owned by currently-overloaded
+  /// machines are deferred to late pipeline stages where pruning has
+  /// removed most candidates (Section 4.3, "Load Balancing Strategies").
+  bool dynamic_dim_order = true;
+  /// Client-cached sample vectors per IVF list for heap prewarming.
+  size_t prewarm_per_list = 4;
+  /// Candidates per pipeline batch. Each batch streams through the chain's
+  /// dimension stages independently and its completed distances tighten the
+  /// query's threshold before the next batch is checked — the granularity
+  /// at which Algorithm 1's UpdatePruning refines τ.
+  size_t pipeline_batch = 256;
+  /// Optional metadata filter: when `labels` is non-null (one int32 per
+  /// global vector id), only candidates whose label equals `allowed_label`
+  /// are scanned — predicate push-down into the first dimension stage.
+  const std::vector<int32_t>* labels = nullptr;
+  int32_t allowed_label = -1;
+};
+
+/// \brief Results and instrumentation of one simulated batch execution.
+struct PipelineOutput {
+  std::vector<std::vector<Neighbor>> results;
+  PruneStats prune;
+  /// Peak per-machine in-flight intermediate bytes (query slices + partial
+  /// result vectors) over the widest vector-pipeline stage.
+  uint64_t peak_intermediate_bytes = 0;
+  /// Virtual completion time of each query (its last chain's result merged
+  /// at the client); queries all arrive at t=0, so this is also the
+  /// per-query latency.
+  std::vector<double> query_completion_seconds;
+};
+
+/// \brief Runs the full Algorithm 1 pipeline on the simulated cluster:
+/// prewarm -> vector pipeline over chains -> dimension pipeline per chain,
+/// charging every compute/transfer to the cluster's virtual clocks.
+///
+/// All distance arithmetic is executed for real; only its *cost* is
+/// simulated. Results are exact with pruning on or off (pruning is sound).
+Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
+                                        const PartitionPlan& plan,
+                                        const std::vector<WorkerStore>& stores,
+                                        const PrewarmCache& prewarm,
+                                        const BatchRouting& routing,
+                                        const DatasetView& queries,
+                                        const ExecOptions& opts,
+                                        SimCluster* cluster);
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_PIPELINE_H_

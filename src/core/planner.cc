@@ -1,0 +1,129 @@
+#include "core/planner.h"
+
+#include <limits>
+#include <sstream>
+
+namespace harmony {
+
+const char* ModeToString(Mode mode) {
+  switch (mode) {
+    case Mode::kHarmony:
+      return "harmony";
+    case Mode::kHarmonyVector:
+      return "harmony-vector";
+    case Mode::kHarmonyDimension:
+      return "harmony-dimension";
+    case Mode::kSingleNode:
+      return "single-node";
+    case Mode::kAuncelLike:
+      return "auncel-like";
+  }
+  return "?";
+}
+
+std::string PlanChoice::Explain() const {
+  std::ostringstream os;
+  os << "chosen " << plan.ToString() << " " << cost.ToString() << "\n";
+  for (const auto& [shape, est] : candidates) {
+    os << "  candidate B_vec=" << shape.first << " B_dim=" << shape.second
+       << " -> " << est.ToString() << "\n";
+  }
+  return os.str();
+}
+
+Result<PlanChoice> QueryPlanner::Plan(const IvfIndex& index,
+                                      size_t num_machines,
+                                      const WorkloadProfile& profile,
+                                      bool balanced_assignment,
+                                      size_t force_b_vec,
+                                      size_t force_b_dim) const {
+  if (num_machines == 0) {
+    return Status::InvalidArgument("num_machines must be > 0");
+  }
+  const ShardAssignment assignment =
+      (mode_ == Mode::kAuncelLike || !balanced_assignment)
+          ? ShardAssignment::kRoundRobin
+          : ShardAssignment::kGreedyBalanced;
+
+  // Expected per-list load for the load-aware greedy assignment: probe
+  // frequency x candidate count (plus a floor so never-probed lists still
+  // spread by size). Only Harmony itself is workload-adaptive; the pinned
+  // baseline strategies distribute statically by list size, like the
+  // traditional systems they model (Section 6.1).
+  const bool workload_aware = mode_ == Mode::kHarmony && balanced_assignment;
+  std::vector<double> weights(index.nlist(), 0.0);
+  for (size_t l = 0; l < index.nlist(); ++l) {
+    const double size = static_cast<double>(
+        l < profile.list_sizes.size() ? profile.list_sizes[l] : 1);
+    if (!workload_aware) {
+      weights[l] = size;
+      continue;
+    }
+    const double probes =
+        l < profile.list_probe_count.size() ? profile.list_probe_count[l] : 0.0;
+    weights[l] = 0.01 * size + probes * size;
+  }
+
+  auto pinned = [&](size_t b_vec,
+                    size_t b_dim) -> Result<PlanChoice> {
+    HARMONY_ASSIGN_OR_RETURN(
+        PartitionPlan plan,
+        BuildPartitionPlan(index, num_machines, b_vec, b_dim, assignment,
+                           &weights));
+    PlanChoice choice;
+    choice.cost = EstimatePlanCost(plan, profile, params_);
+    choice.plan = std::move(plan);
+    return choice;
+  };
+
+  if (force_b_vec > 0 && force_b_dim > 0) {
+    return pinned(force_b_vec, force_b_dim);
+  }
+
+  switch (mode_) {
+    case Mode::kSingleNode:
+      if (num_machines != 1) {
+        return Status::InvalidArgument("single-node mode requires 1 machine");
+      }
+      return pinned(1, 1);
+    case Mode::kHarmonyVector:
+    case Mode::kAuncelLike:
+      return pinned(num_machines, 1);
+    case Mode::kHarmonyDimension:
+      return pinned(1, std::min(num_machines, index.dim()));
+    case Mode::kHarmony:
+      break;
+  }
+
+  // Mode::kHarmony: enumerate every exact tiling and keep the cheapest.
+  const auto shapes = EnumerateGridShapes(num_machines, index.dim());
+  if (shapes.empty()) {
+    return Status::Internal("no feasible grid shapes");
+  }
+  PlanChoice best;
+  double best_cost = std::numeric_limits<double>::max();
+  bool found = false;
+  std::vector<std::pair<std::pair<size_t, size_t>, CostEstimate>> candidates;
+  for (const auto& [b_vec, b_dim] : shapes) {
+    Result<PartitionPlan> plan_result =
+        BuildPartitionPlan(index, num_machines, b_vec, b_dim, assignment,
+                           &weights);
+    if (!plan_result.ok()) continue;  // e.g. B_vec > nlist
+    PartitionPlan plan = std::move(plan_result).value();
+    const CostEstimate est = EstimatePlanCost(plan, profile, params_);
+    candidates.push_back({{b_vec, b_dim}, est});
+    if (est.total_cost < best_cost) {
+      best_cost = est.total_cost;
+      best.plan = std::move(plan);
+      best.cost = est;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::Internal("planner could not build any feasible plan");
+  }
+  best.candidates = std::move(candidates);
+  return best;
+}
+
+}  // namespace harmony

@@ -1,0 +1,61 @@
+#ifndef HARMONY_CORE_PLANNER_H_
+#define HARMONY_CORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/partition.h"
+
+namespace harmony {
+
+/// \brief Distribution strategies exposed by the engine — the paper's
+/// `-Mode [Harmony, Harmony-vector, Harmony-dimension]` parameter, plus the
+/// single-node Faiss baseline and an Auncel-like fixed distribution.
+enum class Mode {
+  kHarmony,          // cost-model-selected hybrid grid
+  kHarmonyVector,    // pure vector partition (B_dim = 1)
+  kHarmonyDimension, // pure dimension partition (B_vec = 1)
+  kSingleNode,       // one machine, no partitioning ("Faiss")
+  kAuncelLike,       // vector partition with static round-robin assignment
+};
+
+const char* ModeToString(Mode mode);
+
+/// \brief Outcome of planning: the chosen plan plus the cost estimates of
+/// every candidate shape (kept for explain/debugging output).
+struct PlanChoice {
+  PartitionPlan plan;
+  CostEstimate cost;
+  std::vector<std::pair<std::pair<size_t, size_t>, CostEstimate>> candidates;
+
+  std::string Explain() const;
+};
+
+/// \brief The fine-grained query planner (Section 4.2). For Mode::kHarmony
+/// it enumerates every grid shape that tiles the cluster, scores each with
+/// the cost model against the workload profile, and picks the cheapest;
+/// other modes pin the shape dictated by the strategy.
+class QueryPlanner {
+ public:
+  QueryPlanner(Mode mode, CostModelParams params)
+      : mode_(mode), params_(params) {}
+
+  Mode mode() const { return mode_; }
+  const CostModelParams& params() const { return params_; }
+
+  /// Plans a partition. `force_b_vec`/`force_b_dim` (both > 0) pin the grid
+  /// shape regardless of mode; otherwise the mode decides.
+  Result<PlanChoice> Plan(const IvfIndex& index, size_t num_machines,
+                          const WorkloadProfile& profile,
+                          bool balanced_assignment, size_t force_b_vec = 0,
+                          size_t force_b_dim = 0) const;
+
+ private:
+  Mode mode_;
+  CostModelParams params_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_PLANNER_H_

@@ -1,0 +1,35 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+
+namespace harmony {
+
+PrewarmCache PrewarmCache::Build(const IvfIndex& index, size_t per_list) {
+  PrewarmCache cache;
+  cache.per_list_ = per_list;
+  cache.ids_.resize(index.nlist());
+  cache.vectors_.resize(index.nlist());
+  if (per_list == 0) return cache;
+  for (size_t l = 0; l < index.nlist(); ++l) {
+    const auto& ids = index.ListIds(l);
+    const DatasetView vectors = index.ListVectors(l);
+    const size_t take = std::min(per_list, ids.size());
+    cache.vectors_[l] = Dataset(take, index.dim());
+    for (size_t i = 0; i < take; ++i) {
+      cache.ids_[l].push_back(ids[i]);
+      const float* src = vectors.Row(i);
+      std::copy(src, src + index.dim(), cache.vectors_[l].MutableRow(i));
+    }
+  }
+  return cache;
+}
+
+size_t PrewarmCache::SizeBytes() const {
+  size_t bytes = 0;
+  for (size_t l = 0; l < vectors_.size(); ++l) {
+    bytes += vectors_[l].SizeBytes() + ids_[l].size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+}  // namespace harmony

@@ -1,0 +1,81 @@
+#ifndef HARMONY_CORE_PRUNING_H_
+#define HARMONY_CORE_PRUNING_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "index/distance.h"
+#include "index/ivf_index.h"
+#include "storage/dataset.h"
+#include "util/status.h"
+#include "util/topk.h"
+
+namespace harmony {
+
+/// \brief Client-resident sample of full-dimension base vectors per IVF
+/// list, used by Algorithm 1's PrewarmHeap stage: scoring a few real
+/// candidates up front seeds every query's top-K heap with a *sound*
+/// pruning threshold (any K true distances upper-bound the final K-th best
+/// distance). The cache is part of the client's small space overhead.
+class PrewarmCache {
+ public:
+  PrewarmCache() = default;
+
+  /// Caches up to `per_list` vectors (the first ones by insertion order) of
+  /// every list.
+  static PrewarmCache Build(const IvfIndex& index, size_t per_list);
+
+  size_t per_list() const { return per_list_; }
+
+  /// Cached global ids for `list_id` (may be fewer than per_list()).
+  const std::vector<int64_t>& ListIds(size_t list_id) const {
+    return ids_[list_id];
+  }
+  /// Cached full-dimension vectors for `list_id`, row-aligned with ListIds.
+  DatasetView ListVectors(size_t list_id) const {
+    return vectors_[list_id].View();
+  }
+
+  size_t SizeBytes() const;
+
+ private:
+  size_t per_list_ = 0;
+  std::vector<std::vector<int64_t>> ids_;
+  std::vector<Dataset> vectors_;
+};
+
+/// \brief Per-query state shared across all of the query's chains: the
+/// top-K heap (whose K-th distance is the pruning threshold τ) and the set
+/// of ids already scored during prewarm (so chains skip them and the result
+/// list stays duplicate-free).
+struct QueryState {
+  explicit QueryState(size_t k) : heap(k) {}
+
+  TopKHeap heap;
+  std::unordered_set<int64_t> prewarmed_ids;
+  /// Virtual time of the last update to this query's heap; used to sequence
+  /// the query's chains (vector pipeline causality).
+  double ready_time = 0.0;
+};
+
+/// \brief Sound early-stop test given the accumulated partial state.
+///
+/// For L2, the partial squared distance is a monotone lower bound of the
+/// full distance (Section 3.1), so `partial > tau` prunes. For inner
+/// product / cosine, the unprocessed blocks' contribution is bounded by
+/// Cauchy–Schwarz: ip_rest <= sqrt(rem_p_sq * rem_q_sq), giving the lower
+/// bound `-(partial_ip + sqrt(...))` on the final (negated) distance.
+inline bool CanPrune(Metric metric, float partial, float rem_p_sq,
+                     float rem_q_sq, float tau) {
+  if (metric == Metric::kL2) return partial > tau;
+  const float rest =
+      std::sqrt(std::max(0.0f, rem_p_sq) * std::max(0.0f, rem_q_sq));
+  return -(partial + rest) > tau;
+}
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_PRUNING_H_

@@ -1,0 +1,51 @@
+#include "core/router.h"
+
+#include <algorithm>
+#include <map>
+
+namespace harmony {
+
+BatchRouting RouteBatch(const IvfIndex& index, const PartitionPlan& plan,
+                        const DatasetView& queries, size_t nprobe) {
+  BatchRouting routing;
+  routing.probe_lists.resize(queries.size());
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    routing.probe_lists[q] = index.ProbeLists(queries.Row(q), nprobe);
+    // Group this query's probed lists by shard; a shard's rank is the rank
+    // of the nearest probed list it contains.
+    std::map<int32_t, QueryChain> by_shard;
+    for (size_t rank = 0; rank < routing.probe_lists[q].size(); ++rank) {
+      const int32_t list_id = routing.probe_lists[q][rank];
+      const int32_t shard = plan.list_to_shard[static_cast<size_t>(list_id)];
+      auto [it, inserted] = by_shard.try_emplace(shard);
+      QueryChain& chain = it->second;
+      if (inserted) {
+        chain.query = static_cast<int32_t>(q);
+        chain.shard = shard;
+        chain.probe_rank = static_cast<int32_t>(rank);
+      }
+      chain.lists.push_back(list_id);
+      chain.candidate_count +=
+          static_cast<int64_t>(index.ListIds(static_cast<size_t>(list_id)).size());
+    }
+    for (auto& [shard, chain] : by_shard) {
+      (void)shard;
+      routing.max_probe_rank = std::max(
+          routing.max_probe_rank, static_cast<size_t>(chain.probe_rank));
+      routing.total_candidates += chain.candidate_count;
+      routing.chains.push_back(std::move(chain));
+    }
+  }
+
+  std::stable_sort(routing.chains.begin(), routing.chains.end(),
+                   [](const QueryChain& a, const QueryChain& b) {
+                     if (a.probe_rank != b.probe_rank) {
+                       return a.probe_rank < b.probe_rank;
+                     }
+                     return a.query < b.query;
+                   });
+  return routing;
+}
+
+}  // namespace harmony

@@ -1,0 +1,43 @@
+#ifndef HARMONY_CORE_ROUTER_H_
+#define HARMONY_CORE_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.h"
+#include "index/ivf_index.h"
+#include "storage/dataset.h"
+
+namespace harmony {
+
+/// \brief One (query, vector shard) unit of work: the query must scan the
+/// listed IVF lists, whose slices are spread across the shard's row of grid
+/// blocks. Chains are the scheduling unit of both execution engines.
+struct QueryChain {
+  int32_t query = -1;
+  int32_t shard = -1;
+  /// Vector-pipeline stage: 0 for the shard holding the query's nearest
+  /// probed list, 1 for the next, ... Chains run in ascending rank so later
+  /// chains inherit tighter pruning thresholds (Figure 5(a)).
+  int32_t probe_rank = 0;
+  std::vector<int32_t> lists;
+  int64_t candidate_count = 0;
+};
+
+/// \brief Routing of a whole batch (Section 4.2.2, Figure 4(b)): queries →
+/// probed centroids → vector shards → chains.
+struct BatchRouting {
+  std::vector<std::vector<int32_t>> probe_lists;  // per query, by distance
+  std::vector<QueryChain> chains;                 // sorted by (rank, query)
+  size_t max_probe_rank = 0;
+  int64_t total_candidates = 0;
+};
+
+/// \brief Routes every query: probes `nprobe` lists, groups them by vector
+/// shard, and emits chains ordered by (probe_rank, query id).
+BatchRouting RouteBatch(const IvfIndex& index, const PartitionPlan& plan,
+                        const DatasetView& queries, size_t nprobe);
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_ROUTER_H_

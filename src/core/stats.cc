@@ -1,0 +1,40 @@
+#include "core/stats.h"
+
+#include <sstream>
+
+namespace harmony {
+
+double PruneStats::PruneRatioAt(size_t position) const {
+  if (total_candidates == 0 || position >= dropped_after.size()) return 0.0;
+  uint64_t skipped = 0;
+  for (size_t p = 0; p < position; ++p) skipped += dropped_after[p];
+  return static_cast<double>(skipped) / static_cast<double>(total_candidates);
+}
+
+double PruneStats::AveragePruneRatio() const {
+  if (dropped_after.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t j = 0; j < dropped_after.size(); ++j) total += PruneRatioAt(j);
+  return total / static_cast<double>(dropped_after.size());
+}
+
+void PruneStats::Merge(const PruneStats& other) {
+  if (dropped_after.size() < other.dropped_after.size()) {
+    dropped_after.resize(other.dropped_after.size(), 0);
+  }
+  for (size_t p = 0; p < other.dropped_after.size(); ++p) {
+    dropped_after[p] += other.dropped_after[p];
+  }
+  total_candidates += other.total_candidates;
+}
+
+std::string BatchStats::ToString() const {
+  std::ostringstream os;
+  os << "batch{q=" << num_queries << " qps=" << qps
+     << " makespan=" << makespan_seconds * 1e3 << "ms "
+     << breakdown.ToString() << " avg_prune=" << prune.AveragePruneRatio()
+     << "}";
+  return os.str();
+}
+
+}  // namespace harmony

@@ -1,0 +1,86 @@
+#ifndef HARMONY_CORE_STATS_H_
+#define HARMONY_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/cluster.h"
+#include "util/topk.h"
+
+namespace harmony {
+
+/// \brief Per-dimension-slice pruning counters (Figure 2(a) / Table 3).
+///
+/// A candidate that computes pipeline positions 0..p and is then pruned
+/// increments `dropped_after[p]`; the pruning ratio at position j is the
+/// fraction of candidates that never computed slice j. With a fixed
+/// dimension order, position j is physical slice j.
+struct PruneStats {
+  std::vector<uint64_t> dropped_after;  // size = num positions
+  uint64_t total_candidates = 0;
+
+  void Resize(size_t positions) { dropped_after.assign(positions, 0); }
+
+  /// Fraction of candidates whose slice-`position` computation was skipped.
+  double PruneRatioAt(size_t position) const;
+
+  /// Mean of PruneRatioAt over all positions (Table 3's last column).
+  double AveragePruneRatio() const;
+
+  void Merge(const PruneStats& other);
+};
+
+/// \brief Index build timing, split into the paper's Figure 10 stages.
+struct BuildStats {
+  double train_seconds = 0.0;      // k-means ("Train")
+  double add_seconds = 0.0;        // list assignment ("Add")
+  double preassign_seconds = 0.0;  // distributing blocks ("Pre-assign")
+};
+
+/// \brief Memory accounting (Tables 4 and 5).
+struct MemoryStats {
+  /// Stored index bytes summed over machines (base blocks + ids + norms).
+  uint64_t index_bytes_total = 0;
+  /// Largest per-machine stored index footprint.
+  uint64_t index_bytes_max_node = 0;
+  /// Client-side bytes (centroids + prewarm cache).
+  uint64_t client_bytes = 0;
+  /// Peak per-machine bytes during query execution (stored blocks plus the
+  /// widest concurrent set of in-flight intermediates).
+  uint64_t peak_query_bytes = 0;
+};
+
+/// \brief Everything measured for one executed batch.
+struct BatchStats {
+  size_t num_queries = 0;
+  double makespan_seconds = 0.0;
+  double qps = 0.0;
+  double plan_seconds = 0.0;  // cost-model + routing time (client, virtual)
+  ClusterBreakdown breakdown;
+  PruneStats prune;
+  MemoryStats memory;
+  /// Per-node virtual accounting, for imbalance and utilization reporting.
+  std::vector<double> node_compute_seconds;
+  std::vector<double> node_comm_seconds;
+  std::vector<double> node_idle_seconds;
+  double client_clock_seconds = 0.0;
+  double client_compute_seconds = 0.0;
+  /// Per-query virtual latency summary (all queries arrive at t=0).
+  double latency_p50_seconds = 0.0;
+  double latency_p95_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
+  double latency_max_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief Results plus stats for one batch.
+struct BatchResult {
+  std::vector<std::vector<Neighbor>> results;
+  BatchStats stats;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_STATS_H_

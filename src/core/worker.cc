@@ -1,0 +1,102 @@
+#include "core/worker.h"
+
+#include "index/distance.h"
+
+namespace harmony {
+
+const ListSlice* WorkerStore::FindListSlice(size_t vec_shard,
+                                            size_t dim_block,
+                                            int32_t list_id) const {
+  for (const Block& block : blocks_) {
+    if (block.vec_shard != vec_shard || block.dim_block != dim_block) continue;
+    const auto it = block.lists.find(list_id);
+    return it == block.lists.end() ? nullptr : &it->second;
+  }
+  return nullptr;
+}
+
+Status WorkerStore::AppendVector(size_t vec_shard, size_t dim_block,
+                                 int32_t list_id, DimRange range,
+                                 const float* full_vector, size_t full_dim,
+                                 int64_t global_id, bool with_norms) {
+  for (Block& block : blocks_) {
+    if (block.vec_shard != vec_shard || block.dim_block != dim_block) continue;
+    auto [it, inserted] = block.lists.try_emplace(list_id);
+    ListSlice& ls = it->second;
+    if (inserted) {
+      // First row of a list that was empty at build time: seed a zero-row
+      // matrix carrying the block's column range, then append into it.
+      auto empty = DimSlicedMatrix::FromColumns(
+          DatasetView(full_vector, 1, full_dim), range, {});
+      if (!empty.ok()) return empty.status();
+      ls.slice = std::move(empty).value();
+    }
+    ls.slice.AppendFullRow(full_vector, global_id);
+    if (with_norms) {
+      const float* slice_row = ls.slice.Row(ls.slice.num_rows() - 1);
+      ls.block_norm_sq.push_back(PartialIp(slice_row, slice_row, range.width()));
+      ls.total_norm_sq.push_back(PartialIp(full_vector, full_vector, full_dim));
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("machine does not own the requested block");
+}
+
+size_t WorkerStore::SizeBytes() const {
+  size_t bytes = 0;
+  for (const Block& block : blocks_) {
+    for (const auto& [list_id, slice] : block.lists) {
+      (void)list_id;
+      bytes += slice.SizeBytes();
+    }
+  }
+  return bytes;
+}
+
+Result<std::vector<WorkerStore>> BuildWorkerStores(const IvfIndex& index,
+                                                   const PartitionPlan& plan,
+                                                   bool with_norms) {
+  if (!index.trained()) {
+    return Status::FailedPrecondition("index must be trained");
+  }
+  std::vector<WorkerStore> stores(plan.num_machines);
+  for (size_t m = 0; m < plan.num_machines; ++m) {
+    stores[m].machine_id_ = static_cast<int>(m);
+  }
+
+  for (size_t v = 0; v < plan.num_vec_shards; ++v) {
+    for (size_t d = 0; d < plan.num_dim_blocks; ++d) {
+      const size_t machine = static_cast<size_t>(plan.MachineOf(v, d));
+      WorkerStore::Block block;
+      block.vec_shard = v;
+      block.dim_block = d;
+      block.range = plan.dim_ranges[d];
+      for (const int32_t list_id : plan.shard_lists[v]) {
+        const DatasetView vectors =
+            index.ListVectors(static_cast<size_t>(list_id));
+        if (vectors.empty()) continue;
+        ListSlice ls;
+        HARMONY_ASSIGN_OR_RETURN(
+            ls.slice,
+            DimSlicedMatrix::FromAllRows(
+                vectors, block.range,
+                index.ListIds(static_cast<size_t>(list_id))));
+        if (with_norms) {
+          ls.block_norm_sq.resize(ls.slice.num_rows());
+          ls.total_norm_sq.resize(ls.slice.num_rows());
+          for (size_t r = 0; r < ls.slice.num_rows(); ++r) {
+            const float* row = ls.slice.Row(r);
+            ls.block_norm_sq[r] = PartialIp(row, row, block.range.width());
+            const float* full = vectors.Row(r);
+            ls.total_norm_sq[r] = PartialIp(full, full, vectors.dim());
+          }
+        }
+        block.lists.emplace(list_id, std::move(ls));
+      }
+      stores[machine].blocks_.push_back(std::move(block));
+    }
+  }
+  return stores;
+}
+
+}  // namespace harmony

@@ -1,0 +1,82 @@
+#ifndef HARMONY_CORE_WORKER_H_
+#define HARMONY_CORE_WORKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/partition.h"
+#include "index/ivf_index.h"
+#include "storage/dim_slice.h"
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief One IVF list's slice inside a grid block: the list's vectors
+/// restricted to the block's dimension range, plus per-row squared norms of
+/// the slice. The norms are the "intermediate results" the paper attributes
+/// its ~2% dimension-partition space overhead to; Harmony uses them to make
+/// inner-product/cosine pruning sound (Cauchy–Schwarz bound on the
+/// remaining blocks' contribution).
+struct ListSlice {
+  DimSlicedMatrix slice;
+  std::vector<float> block_norm_sq;  // per local row, ||p^(k)||²
+  std::vector<float> total_norm_sq;  // per local row, ||p||² (full vector)
+
+  size_t SizeBytes() const {
+    return slice.SizeBytes() +
+           (block_norm_sq.size() + total_norm_sq.size()) * sizeof(float);
+  }
+};
+
+/// \brief Everything one machine stores: the grid blocks (vector shard ×
+/// dimension block) assigned to it by the partition plan.
+class WorkerStore {
+ public:
+  struct Block {
+    size_t vec_shard = 0;
+    size_t dim_block = 0;
+    DimRange range;
+    std::unordered_map<int32_t, ListSlice> lists;  // IVF list id -> slice
+  };
+
+  int machine_id() const { return machine_id_; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// The slice of `list_id` within grid block (vec_shard, dim_block), or
+  /// nullptr if this machine does not hold it.
+  const ListSlice* FindListSlice(size_t vec_shard, size_t dim_block,
+                                 int32_t list_id) const;
+
+  /// Appends one vector's slice to the block (vec_shard, dim_block) for
+  /// `list_id`, creating the list slice if this is the list's first row on
+  /// this machine. `full_vector` is the complete vector; the store copies
+  /// only its own column range (plus norms when `with_norms`). The caller
+  /// is responsible for this machine actually owning the block.
+  Status AppendVector(size_t vec_shard, size_t dim_block, int32_t list_id,
+                      DimRange range, const float* full_vector,
+                      size_t full_dim, int64_t global_id, bool with_norms);
+
+  size_t SizeBytes() const;
+
+ private:
+  friend Result<std::vector<WorkerStore>> BuildWorkerStores(
+      const IvfIndex& index, const PartitionPlan& plan, bool with_norms);
+
+  int machine_id_ = -1;
+  std::vector<Block> blocks_;
+};
+
+/// \brief Materializes per-machine storage for a plan: every grid block is
+/// copied (sliced) to exactly one machine — the paper's "Pre-assign" build
+/// stage. Total stored payload is NB × D floats with no duplication.
+/// `with_norms` materializes the per-row norm columns needed for sound
+/// inner-product pruning (only useful when the plan has > 1 dimension
+/// block and the metric is IP/cosine).
+Result<std::vector<WorkerStore>> BuildWorkerStores(const IvfIndex& index,
+                                                   const PartitionPlan& plan,
+                                                   bool with_norms);
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_WORKER_H_

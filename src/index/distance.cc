@@ -1,0 +1,99 @@
+#include "index/distance.h"
+
+#include "index/distance_simd.h"
+
+
+namespace harmony {
+
+const char* MetricToString(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return "l2";
+    case Metric::kInnerProduct:
+      return "ip";
+    case Metric::kCosine:
+      return "cosine";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Runtime CPU dispatch, resolved once. The portable kernels below are the
+/// fallback (and the reference the SIMD kernels are tested against).
+const bool kUseAvx2 = simd::Avx2Available();
+
+float L2SqDistancePortable(const float* a, const float* b, size_t dim);
+float InnerProductPortable(const float* a, const float* b, size_t dim);
+
+}  // namespace
+
+float L2SqDistance(const float* a, const float* b, size_t dim) {
+  if (kUseAvx2 && dim >= 16) return simd::L2SqDistanceAvx2(a, b, dim);
+  return L2SqDistancePortable(a, b, dim);
+}
+
+float InnerProduct(const float* a, const float* b, size_t dim) {
+  if (kUseAvx2 && dim >= 16) return simd::InnerProductAvx2(a, b, dim);
+  return InnerProductPortable(a, b, dim);
+}
+
+namespace {
+
+float L2SqDistancePortable(const float* a, const float* b, size_t dim) {
+  // Four accumulators let the compiler vectorize without relying on
+  // -ffast-math reassociation.
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float InnerProductPortable(const float* a, const float* b, size_t dim) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < dim; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+}  // namespace
+
+float PartialL2Sq(const float* a_slice, const float* b_slice, size_t width) {
+  return L2SqDistance(a_slice, b_slice, width);
+}
+
+float PartialIp(const float* a_slice, const float* b_slice, size_t width) {
+  return InnerProduct(a_slice, b_slice, width);
+}
+
+float Distance(Metric metric, const float* a, const float* b, size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2SqDistance(a, b, dim);
+    case Metric::kInnerProduct:
+    case Metric::kCosine:
+      return -InnerProduct(a, b, dim);
+  }
+  return 0.0f;
+}
+
+}  // namespace harmony

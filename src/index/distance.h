@@ -1,0 +1,55 @@
+#ifndef HARMONY_INDEX_DISTANCE_H_
+#define HARMONY_INDEX_DISTANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "storage/dim_slice.h"
+
+namespace harmony {
+
+/// \brief Distance/similarity metrics supported by Harmony.
+///
+/// Cosine assumes pre-normalized vectors, reducing to inner product
+/// (Section 3.1, "Cosine Similarity").
+enum class Metric { kL2, kInnerProduct, kCosine };
+
+const char* MetricToString(Metric metric);
+
+/// Squared Euclidean distance over `dim` components.
+float L2SqDistance(const float* a, const float* b, size_t dim);
+
+/// Inner product over `dim` components.
+float InnerProduct(const float* a, const float* b, size_t dim);
+
+/// Partial squared L2 over one contiguous slice of `width` components:
+/// `d_k^2(p, q) = sum_{i in I_k} (p_i - q_i)^2` from Section 3.1. Both
+/// pointers address the *slice*, not the full vector.
+float PartialL2Sq(const float* a_slice, const float* b_slice, size_t width);
+
+/// Partial inner product over one contiguous slice (`alpha_k` in the paper).
+float PartialIp(const float* a_slice, const float* b_slice, size_t width);
+
+/// \brief Converts a raw metric value into Harmony's internal "distance"
+/// convention where smaller is always better: L2² stays as-is, inner
+/// product / cosine are negated.
+inline float MetricValueToDistance(Metric metric, float value) {
+  return metric == Metric::kL2 ? value : -value;
+}
+
+/// \brief Full-vector distance under `metric` in the smaller-is-better
+/// convention.
+float Distance(Metric metric, const float* a, const float* b, size_t dim);
+
+/// \brief Number of scalar multiply-add operations charged by the simulator
+/// for one distance computation over `width` components. Both metrics cost
+/// ~2 flops per component; we charge `width` "ops" (one fused op per
+/// component) which is what matters for *relative* cost.
+inline uint64_t DistanceOpCost(size_t width) {
+  return static_cast<uint64_t>(width);
+}
+
+}  // namespace harmony
+
+#endif  // HARMONY_INDEX_DISTANCE_H_

@@ -1,0 +1,98 @@
+// AVX2 implementations of the hot distance kernels. This translation unit
+// is compiled with -mavx2 (see src/CMakeLists.txt); distance.cc dispatches
+// to these at runtime only when the CPU reports AVX2 support, so the
+// library still runs on older machines. This mirrors the paper's use of
+// MKL/AVX-512 kernels on its Xeon testbed (Section 5).
+
+#include "index/distance_simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace harmony {
+namespace simd {
+
+namespace {
+
+/// Horizontal sum of an 8-float register.
+inline float Hsum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_hadd_ps(sum, sum);
+  sum = _mm_hadd_ps(sum, sum);
+  return _mm_cvtss_f32(sum);
+}
+
+}  // namespace
+
+float L2SqDistanceAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                                    _mm256_loadu_ps(b + i + 8));
+#if defined(__FMA__)
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+#else
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(d0, d0));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(d1, d1));
+#endif
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+#if defined(__FMA__)
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+#else
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(d, d));
+#endif
+  }
+  float total = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+float InnerProductAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+#if defined(__FMA__)
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+#else
+    acc0 = _mm256_add_ps(
+        acc0, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_loadu_ps(a + i + 8),
+                                             _mm256_loadu_ps(b + i + 8)));
+#endif
+  }
+  for (; i + 8 <= dim; i += 8) {
+#if defined(__FMA__)
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+#else
+    acc0 = _mm256_add_ps(
+        acc0, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+#endif
+  }
+  float total = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) total += a[i] * b[i];
+  return total;
+}
+
+}  // namespace simd
+}  // namespace harmony
+
+#endif  // __AVX2__

@@ -1,0 +1,22 @@
+#include "index/distance_simd.h"
+
+namespace harmony {
+namespace simd {
+
+#if !defined(__AVX2__) && !defined(HARMONY_HAVE_AVX2_TU)
+// The AVX2 translation unit was not built; provide stubs so the dispatcher
+// links (they are never called because Avx2Available() returns false).
+float L2SqDistanceAvx2(const float*, const float*, size_t) { return 0.0f; }
+float InnerProductAvx2(const float*, const float*, size_t) { return 0.0f; }
+#endif
+
+bool Avx2Available() {
+#if defined(HARMONY_HAVE_AVX2_TU)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace simd
+}  // namespace harmony

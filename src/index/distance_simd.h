@@ -1,0 +1,21 @@
+#ifndef HARMONY_INDEX_DISTANCE_SIMD_H_
+#define HARMONY_INDEX_DISTANCE_SIMD_H_
+
+#include <cstddef>
+
+namespace harmony {
+namespace simd {
+
+/// AVX2 kernels (defined in distance_avx2.cc, compiled with -mavx2; only
+/// ever *called* after a runtime CPU check — see distance.cc).
+float L2SqDistanceAvx2(const float* a, const float* b, size_t dim);
+float InnerProductAvx2(const float* a, const float* b, size_t dim);
+
+/// True when this build carries the AVX2 kernels AND the running CPU
+/// supports them.
+bool Avx2Available();
+
+}  // namespace simd
+}  // namespace harmony
+
+#endif  // HARMONY_INDEX_DISTANCE_SIMD_H_

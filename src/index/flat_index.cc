@@ -1,0 +1,42 @@
+#include "index/flat_index.h"
+
+namespace harmony {
+
+Status FlatIndex::Add(const DatasetView& vectors) {
+  if (vectors.empty()) return Status::OK();
+  if (!data_.empty() && vectors.dim() != data_.dim()) {
+    return Status::InvalidArgument("dimension mismatch on Add");
+  }
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    HARMONY_RETURN_NOT_OK(data_.Append(vectors.Row(i), vectors.dim()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> FlatIndex::Search(const float* query,
+                                                size_t k) const {
+  if (data_.empty()) return Status::FailedPrecondition("index is empty");
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  TopKHeap heap(k);
+  const size_t n = data_.size();
+  const size_t dim = data_.dim();
+  for (size_t i = 0; i < n; ++i) {
+    const float d = Distance(metric_, query, data_.Row(i), dim);
+    heap.Push(static_cast<int64_t>(i), d);
+  }
+  return heap.SortedResults();
+}
+
+Result<std::vector<std::vector<Neighbor>>> FlatIndex::SearchBatch(
+    const DatasetView& queries, size_t k) const {
+  if (queries.dim() != data_.dim()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  std::vector<std::vector<Neighbor>> out(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    HARMONY_ASSIGN_OR_RETURN(out[q], Search(queries.Row(q), k));
+  }
+  return out;
+}
+
+}  // namespace harmony

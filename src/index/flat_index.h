@@ -1,0 +1,40 @@
+#ifndef HARMONY_INDEX_FLAT_INDEX_H_
+#define HARMONY_INDEX_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "index/distance.h"
+#include "storage/dataset.h"
+#include "util/status.h"
+#include "util/topk.h"
+
+namespace harmony {
+
+/// \brief Exact brute-force index. Used to compute ground truth for recall
+/// measurement and as the exhaustive-search oracle in tests.
+class FlatIndex {
+ public:
+  explicit FlatIndex(Metric metric = Metric::kL2) : metric_(metric) {}
+
+  Metric metric() const { return metric_; }
+  size_t size() const { return data_.size(); }
+  size_t dim() const { return data_.dim(); }
+
+  /// Adds vectors; ids are assigned densely in insertion order.
+  Status Add(const DatasetView& vectors);
+
+  /// Exact k-nearest-neighbor search, ascending by distance.
+  Result<std::vector<Neighbor>> Search(const float* query, size_t k) const;
+
+  /// Batch search helper; row i of the result corresponds to query i.
+  Result<std::vector<std::vector<Neighbor>>> SearchBatch(
+      const DatasetView& queries, size_t k) const;
+
+ private:
+  Metric metric_;
+  Dataset data_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_INDEX_FLAT_INDEX_H_

@@ -1,0 +1,91 @@
+#ifndef HARMONY_INDEX_HNSW_INDEX_H_
+#define HARMONY_INDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/distance.h"
+#include "storage/dataset.h"
+#include "util/status.h"
+#include "util/topk.h"
+
+namespace harmony {
+
+/// \brief HNSW construction/search parameters (Malkov & Yashunin).
+struct HnswParams {
+  size_t m = 16;                // max neighbors per node (level > 0)
+  size_t ef_construction = 100; // beam width while building
+  Metric metric = Metric::kL2;
+  uint64_t seed = 42;
+};
+
+/// \brief Hierarchical Navigable Small World graph index — the
+/// graph-based single-node family the paper's related work contrasts with
+/// cluster-based indexes (Section 2.1). Implemented here as a baseline to
+/// demonstrate the paper's motivating claim: graph traversals chase
+/// data-dependent edges, which is precisely what makes graphs hard to
+/// partition across machines (every hop may cross a machine boundary),
+/// whereas IVF lists partition cleanly.
+class HnswIndex {
+ public:
+  explicit HnswIndex(HnswParams params = HnswParams()) : params_(params) {}
+
+  const HnswParams& params() const { return params_; }
+  size_t size() const { return data_.size(); }
+  size_t dim() const { return data_.dim(); }
+
+  /// Inserts vectors one by one (ids dense in insertion order).
+  Status Add(const DatasetView& vectors);
+
+  /// Beam search with width `ef` (>= k), ascending by distance.
+  Result<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                       size_t ef) const;
+
+  /// Number of graph edges whose endpoints would live on different machines
+  /// under a `num_machines`-way hash partition of the nodes — the paper's
+  /// "query paths tend to introduce edges across machines" observation,
+  /// quantified. Returns (cross_edges, total_edges).
+  std::pair<uint64_t, uint64_t> CrossPartitionEdges(size_t num_machines) const;
+
+  size_t SizeBytes() const;
+
+ private:
+  struct Node {
+    int level = 0;
+    /// neighbors[l] = adjacency at level l (0..level).
+    std::vector<std::vector<int32_t>> neighbors;
+  };
+
+  float Dist(const float* query, size_t node) const {
+    return Distance(params_.metric, query, data_.Row(node), data_.dim());
+  }
+
+  /// Greedy descent at one level from `entry`, returning the local minimum.
+  int32_t GreedyStep(const float* query, int32_t entry, int level) const;
+
+  /// Best-first beam search at one level.
+  std::vector<Neighbor> SearchLevel(const float* query, int32_t entry,
+                                    size_t ef, int level) const;
+
+  /// HNSW Algorithm 4: diversity-pruned neighbor selection with
+  /// keep-pruned backfill.
+  std::vector<int32_t> SelectNeighbors(const float* vec,
+                                       std::vector<Neighbor> candidates,
+                                       size_t max_m) const;
+
+  /// Connects `node` at `level` to a diverse subset of `candidates`,
+  /// adding reciprocal edges and re-selecting overflowing neighbor lists.
+  void Connect(size_t node, int level, const std::vector<Neighbor>& candidates,
+               size_t max_m);
+
+  HnswParams params_;
+  Dataset data_;
+  std::vector<Node> nodes_;
+  int32_t entry_point_ = -1;
+  int max_level_ = -1;
+  uint64_t level_rng_state_ = 0;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_INDEX_HNSW_INDEX_H_

@@ -1,0 +1,236 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace harmony {
+
+namespace {
+
+constexpr char kIvfMagic[5] = {'H', 'I', 'V', 'F', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  const uint64_t n = v.size();
+  if (!WritePod(f, n)) return false;
+  return v.empty() || std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool ReadVec(std::FILE* f, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(f, &n)) return false;
+  v->resize(n);
+  return v->empty() || std::fread(v->data(), sizeof(T), n, f) == n;
+}
+
+}  // namespace
+
+Status IvfIndex::Train(const DatasetView& data) {
+  if (trained()) return Status::FailedPrecondition("index already trained");
+  if (data.size() < params_.nlist) {
+    return Status::InvalidArgument("need at least nlist training points");
+  }
+  StopWatch watch;
+  KMeansParams km;
+  km.num_clusters = params_.nlist;
+  km.max_iters = params_.train_iters;
+  km.seed = params_.seed;
+  // For large nlist, k-means++ seeding dominates training time without
+  // improving IVF recall much; fall back to random seeding.
+  km.use_kmeanspp = params_.nlist <= 256;
+
+  Result<KMeansResult> trained_result = [&]() -> Result<KMeansResult> {
+    if (params_.max_train_points > 0 && data.size() > params_.max_train_points) {
+      Rng rng(params_.seed ^ 0xABCDEF);
+      std::vector<int64_t> ids(data.size());
+      for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int64_t>(i);
+      rng.Shuffle(&ids);
+      ids.resize(params_.max_train_points);
+      Dataset sample(ids.size(), data.dim());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const float* src = data.Row(static_cast<size_t>(ids[i]));
+        std::copy(src, src + data.dim(), sample.MutableRow(i));
+      }
+      return TrainKMeans(sample.View(), km);
+    }
+    return TrainKMeans(data, km);
+  }();
+  if (!trained_result.ok()) return trained_result.status();
+
+  centroids_ = std::move(trained_result.value().centroids);
+  list_ids_.assign(params_.nlist, {});
+  list_vectors_.assign(params_.nlist, Dataset());
+  build_stats_.train_seconds = watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status IvfIndex::Add(const DatasetView& data) {
+  if (!trained()) return Status::FailedPrecondition("Train() must run first");
+  if (data.dim() != dim()) {
+    return Status::InvalidArgument("dimension mismatch on Add");
+  }
+  StopWatch watch;
+  const DatasetView cent = centroids_.View();
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t list = NearestCentroid(cent, data.Row(i));
+    const int64_t id = static_cast<int64_t>(num_vectors_ + i);
+    list_ids_[static_cast<size_t>(list)].push_back(id);
+    HARMONY_RETURN_NOT_OK(list_vectors_[static_cast<size_t>(list)].Append(
+        data.Row(i), data.dim()));
+  }
+  num_vectors_ += data.size();
+  build_stats_.add_seconds += watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::vector<int32_t> IvfIndex::ProbeLists(const float* query,
+                                          size_t nprobe) const {
+  const size_t k = std::min(nprobe, nlist());
+  // Partial sort of centroid distances; nlist is small so a full argsort
+  // would also be fine, but this keeps probe selection O(nlist log nprobe).
+  std::vector<std::pair<float, int32_t>> scored(nlist());
+  for (size_t c = 0; c < nlist(); ++c) {
+    scored[c] = {L2SqDistance(query, centroids_.Row(c), dim()),
+                 static_cast<int32_t>(c)};
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end());
+  std::vector<int32_t> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = scored[i].second;
+  return out;
+}
+
+Result<std::vector<Neighbor>> IvfIndex::Search(const float* query, size_t k,
+                                               size_t nprobe) const {
+  if (!trained()) return Status::FailedPrecondition("index not trained");
+  if (num_vectors_ == 0) return Status::FailedPrecondition("index empty");
+  if (k == 0 || nprobe == 0) {
+    return Status::InvalidArgument("k and nprobe must be > 0");
+  }
+  TopKHeap heap(k);
+  for (const int32_t list : ProbeLists(query, nprobe)) {
+    const auto& ids = list_ids_[static_cast<size_t>(list)];
+    const DatasetView vecs = ListVectors(static_cast<size_t>(list));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const float d = Distance(metric(), query, vecs.Row(i), dim());
+      heap.Push(ids[i], d);
+    }
+  }
+  return heap.SortedResults();
+}
+
+std::vector<int64_t> IvfIndex::ListSizes() const {
+  std::vector<int64_t> sizes(nlist());
+  for (size_t c = 0; c < nlist(); ++c) {
+    sizes[c] = static_cast<int64_t>(list_ids_[c].size());
+  }
+  return sizes;
+}
+
+size_t IvfIndex::SizeBytes() const {
+  size_t bytes = centroids_.SizeBytes();
+  for (size_t c = 0; c < nlist(); ++c) {
+    bytes += list_vectors_[c].SizeBytes();
+    bytes += list_ids_[c].size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+Status IvfIndex::Save(const std::string& path) const {
+  if (!trained()) return Status::FailedPrecondition("index not trained");
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  bool ok = std::fwrite(kIvfMagic, 1, sizeof(kIvfMagic), f.get()) ==
+            sizeof(kIvfMagic);
+  ok = ok && WritePod(f.get(), static_cast<uint64_t>(params_.nlist));
+  ok = ok && WritePod(f.get(), static_cast<int32_t>(params_.metric));
+  ok = ok && WritePod(f.get(), static_cast<uint64_t>(params_.seed));
+  ok = ok && WritePod(f.get(), static_cast<uint64_t>(dim()));
+  ok = ok && WritePod(f.get(), static_cast<uint64_t>(num_vectors_));
+  ok = ok && WriteVec(f.get(), centroids_.raw());
+  for (size_t l = 0; ok && l < nlist(); ++l) {
+    ok = ok && WriteVec(f.get(), list_ids_[l]);
+    ok = ok && WriteVec(f.get(), list_vectors_[l].raw());
+  }
+  return ok ? Status::OK() : Status::IoError("short write: " + path);
+}
+
+Result<IvfIndex> IvfIndex::Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  char magic[sizeof(kIvfMagic)];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kIvfMagic, sizeof(magic)) != 0) {
+    return Status::IoError("bad magic in " + path);
+  }
+  uint64_t nlist = 0, seed = 0, dim = 0, num_vectors = 0;
+  int32_t metric = 0;
+  if (!ReadPod(f.get(), &nlist) || !ReadPod(f.get(), &metric) ||
+      !ReadPod(f.get(), &seed) || !ReadPod(f.get(), &dim) ||
+      !ReadPod(f.get(), &num_vectors)) {
+    return Status::IoError("truncated header: " + path);
+  }
+  if (nlist == 0 || dim == 0) {
+    return Status::IoError("corrupt header in " + path);
+  }
+  IvfParams params;
+  params.nlist = static_cast<size_t>(nlist);
+  params.metric = static_cast<Metric>(metric);
+  params.seed = seed;
+  IvfIndex index(params);
+  std::vector<float> centroid_data;
+  if (!ReadVec(f.get(), &centroid_data) ||
+      centroid_data.size() != nlist * dim) {
+    return Status::IoError("truncated centroids: " + path);
+  }
+  index.centroids_ = Dataset(std::move(centroid_data),
+                             static_cast<size_t>(dim));
+  index.list_ids_.resize(params.nlist);
+  index.list_vectors_.resize(params.nlist);
+  uint64_t total = 0;
+  for (size_t l = 0; l < params.nlist; ++l) {
+    std::vector<float> vec_data;
+    if (!ReadVec(f.get(), &index.list_ids_[l]) ||
+        !ReadVec(f.get(), &vec_data)) {
+      return Status::IoError("truncated list " + std::to_string(l) + ": " +
+                             path);
+    }
+    if (vec_data.size() != index.list_ids_[l].size() * dim) {
+      return Status::IoError("list size mismatch in " + path);
+    }
+    total += index.list_ids_[l].size();
+    index.list_vectors_[l] = Dataset(std::move(vec_data),
+                                     static_cast<size_t>(dim));
+  }
+  if (total != num_vectors) {
+    return Status::IoError("vector count mismatch in " + path);
+  }
+  index.num_vectors_ = static_cast<size_t>(num_vectors);
+  return index;
+}
+
+}  // namespace harmony

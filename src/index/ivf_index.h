@@ -1,0 +1,99 @@
+#ifndef HARMONY_INDEX_IVF_INDEX_H_
+#define HARMONY_INDEX_IVF_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/distance.h"
+#include "index/kmeans.h"
+#include "storage/dataset.h"
+#include "util/status.h"
+#include "util/topk.h"
+
+namespace harmony {
+
+/// \brief Configuration of the cluster-based (IVF) index. All Harmony
+/// distribution strategies share the same clustering (Section 6.1: "all
+/// methods adopt the same clustering algorithm and number of clusters").
+struct IvfParams {
+  size_t nlist = 64;
+  Metric metric = Metric::kL2;
+  size_t train_iters = 8;
+  uint64_t seed = 42;
+  /// Train k-means on at most this many sampled rows (0 = use all).
+  size_t max_train_points = 0;
+};
+
+/// \brief Statistics of one index build, matching the stages the paper
+/// breaks Figure 10 into.
+struct IvfBuildStats {
+  double train_seconds = 0.0;  // k-means training ("Train")
+  double add_seconds = 0.0;    // assigning base vectors to lists ("Add")
+};
+
+/// \brief Inverted-file index over full-dimension vectors.
+///
+/// This is both the single-node baseline ("Faiss" in the paper's evaluation)
+/// and the clustering substrate that Harmony's partitioner distributes.
+class IvfIndex {
+ public:
+  explicit IvfIndex(IvfParams params = IvfParams()) : params_(params) {}
+
+  const IvfParams& params() const { return params_; }
+  Metric metric() const { return params_.metric; }
+  size_t nlist() const { return centroids_.size(); }
+  size_t dim() const { return centroids_.dim(); }
+  size_t num_vectors() const { return num_vectors_; }
+  bool trained() const { return !centroids_.empty(); }
+  const IvfBuildStats& build_stats() const { return build_stats_; }
+
+  /// Trains cluster centers with k-means.
+  Status Train(const DatasetView& data);
+
+  /// Assigns vectors to inverted lists. Ids continue densely from previous
+  /// Add calls. Requires Train() first.
+  Status Add(const DatasetView& data);
+
+  /// ANNS: scans the `nprobe` nearest lists. Results ascend by distance.
+  Result<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                       size_t nprobe) const;
+
+  /// Lists (by centroid distance, ascending) the query would probe.
+  std::vector<int32_t> ProbeLists(const float* query, size_t nprobe) const;
+
+  const Dataset& centroids() const { return centroids_; }
+
+  /// Global vector ids stored in list `list_id`.
+  const std::vector<int64_t>& ListIds(size_t list_id) const {
+    return list_ids_[list_id];
+  }
+
+  /// Vectors of list `list_id`, row i matching ListIds(list_id)[i].
+  DatasetView ListVectors(size_t list_id) const {
+    return list_vectors_[list_id].View();
+  }
+
+  std::vector<int64_t> ListSizes() const;
+
+  /// Memory footprint of the index payload (centroids + lists + ids).
+  size_t SizeBytes() const;
+
+  /// Serializes the trained, populated index to `path` (format "HIVF1").
+  Status Save(const std::string& path) const;
+
+  /// Loads an index previously written by Save().
+  static Result<IvfIndex> Load(const std::string& path);
+
+ private:
+  IvfParams params_;
+  Dataset centroids_;
+  std::vector<std::vector<int64_t>> list_ids_;
+  std::vector<Dataset> list_vectors_;
+  size_t num_vectors_ = 0;
+  IvfBuildStats build_stats_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_INDEX_IVF_INDEX_H_

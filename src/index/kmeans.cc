@@ -1,0 +1,183 @@
+#include "index/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "index/distance.h"
+#include "util/rng.h"
+
+namespace harmony {
+
+namespace {
+
+// Chooses initial centroids. k-means++ draws each next seed with probability
+// proportional to squared distance from the nearest already-chosen seed.
+Dataset SeedCentroids(const DatasetView& data, const KMeansParams& params,
+                      Rng* rng) {
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+  const size_t k = params.num_clusters;
+  Dataset centroids(k, dim);
+
+  auto copy_row = [&](size_t src, size_t dst) {
+    const float* s = data.Row(src);
+    float* d = centroids.MutableRow(dst);
+    std::copy(s, s + dim, d);
+  };
+
+  if (!params.use_kmeanspp) {
+    // Random distinct rows (sampling without replacement via partial
+    // Fisher-Yates over indices).
+    std::vector<int64_t> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<int64_t>(i);
+    for (size_t c = 0; c < k; ++c) {
+      const size_t j = c + rng->NextBounded(n - c);
+      std::swap(ids[c], ids[j]);
+      copy_row(static_cast<size_t>(ids[c]), c);
+    }
+    return centroids;
+  }
+
+  std::vector<float> min_dist_sq(n, std::numeric_limits<float>::max());
+  size_t first = rng->NextBounded(n);
+  copy_row(first, 0);
+  for (size_t c = 1; c < k; ++c) {
+    const float* prev = centroids.Row(c - 1);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float d = L2SqDistance(data.Row(i), prev, dim);
+      if (d < min_dist_sq[i]) min_dist_sq[i] = d;
+      total += min_dist_sq[i];
+    }
+    size_t chosen = 0;
+    if (total <= 0.0) {
+      chosen = rng->NextBounded(n);
+    } else {
+      double target = rng->NextDouble() * total;
+      for (size_t i = 0; i < n; ++i) {
+        target -= min_dist_sq[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    copy_row(chosen, c);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+int32_t NearestCentroid(const DatasetView& centroids, const float* vec) {
+  int32_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const float d = L2SqDistance(centroids.Row(c), vec, centroids.dim());
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int32_t>(c);
+    }
+  }
+  return best;
+}
+
+Result<KMeansResult> TrainKMeans(const DatasetView& data,
+                                 const KMeansParams& params) {
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+  const size_t k = params.num_clusters;
+  if (k == 0) return Status::InvalidArgument("num_clusters must be > 0");
+  if (n < k) {
+    return Status::InvalidArgument(
+        "k-means needs at least num_clusters points; got " +
+        std::to_string(n) + " < " + std::to_string(k));
+  }
+
+  Rng rng(params.seed);
+  KMeansResult result;
+  result.centroids = SeedCentroids(data, params, &rng);
+  result.assignments.assign(n, 0);
+  result.cluster_sizes.assign(k, 0);
+
+  std::vector<double> sums(k * dim, 0.0);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (size_t iter = 0; iter < std::max<size_t>(1, params.max_iters); ++iter) {
+    result.iterations_run = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    const DatasetView cent = result.centroids.View();
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = data.Row(i);
+      int32_t best = 0;
+      float best_dist = std::numeric_limits<float>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const float d = L2SqDistance(cent.Row(c), row, dim);
+        if (d < best_dist) {
+          best_dist = d;
+          best = static_cast<int32_t>(c);
+        }
+      }
+      result.assignments[i] = best;
+      ++result.cluster_sizes[best];
+      inertia += best_dist;
+      double* sum = sums.data() + static_cast<size_t>(best) * dim;
+      for (size_t d = 0; d < dim; ++d) sum[d] += row[d];
+    }
+    result.inertia = inertia;
+
+    // Update step; re-seed empty clusters from the globally farthest point.
+    for (size_t c = 0; c < k; ++c) {
+      if (result.cluster_sizes[c] == 0) {
+        size_t far_i = 0;
+        float far_d = -1.0f;
+        for (size_t i = 0; i < n; ++i) {
+          const float d =
+              L2SqDistance(cent.Row(static_cast<size_t>(result.assignments[i])),
+                           data.Row(i), dim);
+          if (d > far_d) {
+            far_d = d;
+            far_i = i;
+          }
+        }
+        const float* src = data.Row(far_i);
+        float* dst = result.centroids.MutableRow(c);
+        std::copy(src, src + dim, dst);
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(result.cluster_sizes[c]);
+      const double* sum = sums.data() + c * dim;
+      float* dst = result.centroids.MutableRow(c);
+      for (size_t d = 0; d < dim; ++d) {
+        dst[d] = static_cast<float>(sum[d] * inv);
+      }
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::max()) {
+      const double rel =
+          prev_inertia > 0.0 ? (prev_inertia - inertia) / prev_inertia : 0.0;
+      if (rel >= 0.0 && rel < params.tolerance) break;
+    }
+    prev_inertia = inertia;
+  }
+
+  // Final assignment pass so assignments match the returned centroids.
+  const DatasetView cent = result.centroids.View();
+  std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0);
+  double inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t best = NearestCentroid(cent, data.Row(i));
+    result.assignments[i] = best;
+    ++result.cluster_sizes[best];
+    inertia += L2SqDistance(cent.Row(static_cast<size_t>(best)), data.Row(i),
+                            dim);
+  }
+  result.inertia = inertia;
+  return result;
+}
+
+}  // namespace harmony

@@ -1,0 +1,44 @@
+#ifndef HARMONY_INDEX_KMEANS_H_
+#define HARMONY_INDEX_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/dataset.h"
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Parameters for Lloyd's k-means with k-means++ seeding.
+struct KMeansParams {
+  size_t num_clusters = 16;
+  size_t max_iters = 10;
+  /// Relative improvement in total inertia below which training stops early.
+  double tolerance = 1e-4;
+  uint64_t seed = 42;
+  /// k-means++ seeding is O(n * k * d); for large k a random-sample seeding
+  /// is cheaper and nearly as good for IVF purposes.
+  bool use_kmeanspp = true;
+};
+
+/// \brief Output of k-means training.
+struct KMeansResult {
+  Dataset centroids;                  // num_clusters x dim
+  std::vector<int32_t> assignments;   // one entry per input row
+  std::vector<int64_t> cluster_sizes; // one entry per cluster
+  double inertia = 0.0;               // sum of squared distances to centroids
+  size_t iterations_run = 0;
+};
+
+/// \brief Trains k-means on `data`. Empty clusters are re-seeded from the
+/// point currently farthest from its centroid, so every returned cluster is
+/// non-empty whenever `data.size() >= num_clusters`.
+Result<KMeansResult> TrainKMeans(const DatasetView& data,
+                                 const KMeansParams& params);
+
+/// \brief Index of the centroid closest (in L2) to `vec`.
+int32_t NearestCentroid(const DatasetView& centroids, const float* vec);
+
+}  // namespace harmony
+
+#endif  // HARMONY_INDEX_KMEANS_H_

@@ -1,0 +1,120 @@
+#ifndef HARMONY_INDEX_PQ_H_
+#define HARMONY_INDEX_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/dataset.h"
+#include "storage/dim_slice.h"
+#include "util/status.h"
+#include "util/topk.h"
+
+namespace harmony {
+
+/// \brief Product-quantizer configuration: vectors are split into
+/// `num_subspaces` contiguous dimension bands, each quantized to one of
+/// `1 << bits` codewords learned by k-means.
+struct PqParams {
+  size_t num_subspaces = 8;  // M
+  size_t bits = 8;           // log2(codewords per subspace), <= 8
+  size_t train_iters = 10;
+  uint64_t seed = 42;
+};
+
+/// \brief Product quantizer (Jégou et al.), the lossy-compression
+/// alternative the paper contrasts with its distribution approach
+/// (Section 2.1). Encodes a d-dim float vector into M bytes; asymmetric
+/// distance computation (ADC) approximates L2² from a per-query lookup
+/// table without decompressing.
+class ProductQuantizer {
+ public:
+  explicit ProductQuantizer(PqParams params = PqParams()) : params_(params) {}
+
+  const PqParams& params() const { return params_; }
+  bool trained() const { return !codebooks_.empty(); }
+  size_t dim() const { return dim_; }
+  size_t num_subspaces() const { return params_.num_subspaces; }
+  size_t codewords() const { return size_t{1} << params_.bits; }
+  size_t code_size() const { return params_.num_subspaces; }  // bytes
+
+  /// Learns the per-subspace codebooks from training vectors.
+  Status Train(const DatasetView& data);
+
+  /// Encodes one vector into `code_size()` bytes.
+  void Encode(const float* vec, uint8_t* code) const;
+
+  /// Encodes every row; result is row-major n x code_size().
+  std::vector<uint8_t> EncodeBatch(const DatasetView& data) const;
+
+  /// Reconstructs the quantized approximation of `code` into `out` (dim()
+  /// floats).
+  void Decode(const uint8_t* code, float* out) const;
+
+  /// Fills the per-query ADC table: `table[m * codewords() + c]` is the
+  /// squared L2 distance between the query's m-th band and codeword c.
+  /// `table` must hold num_subspaces() * codewords() floats.
+  void ComputeLookupTable(const float* query, float* table) const;
+
+  /// Approximate squared L2 distance from a precomputed lookup table.
+  float AdcDistance(const float* table, const uint8_t* code) const;
+
+  /// Subspace m's dimension range.
+  DimRange Subspace(size_t m) const { return bands_[m]; }
+
+  size_t SizeBytes() const;
+
+ private:
+  PqParams params_;
+  size_t dim_ = 0;
+  std::vector<DimRange> bands_;
+  /// codebooks_[m] is codewords() x band-width, row-major.
+  std::vector<std::vector<float>> codebooks_;
+};
+
+/// \brief IVF with PQ-compressed residuals (IVFADC): the standard
+/// memory-frugal single-node baseline. Stores M bytes per vector instead of
+/// 4*d, at the cost of approximate distances (and hence recall).
+class IvfPqIndex {
+ public:
+  struct Params {
+    size_t nlist = 64;
+    PqParams pq;
+    size_t train_iters = 8;
+    uint64_t seed = 42;
+  };
+
+  IvfPqIndex() : IvfPqIndex(Params{}) {}
+  explicit IvfPqIndex(Params params) : params_(params) {}
+
+  bool trained() const { return trained_; }
+  size_t dim() const { return centroids_.dim(); }
+  size_t nlist() const { return centroids_.size(); }
+  size_t num_vectors() const { return num_vectors_; }
+
+  /// Trains the coarse quantizer and the PQ codebooks (on residuals).
+  Status Train(const DatasetView& data);
+
+  /// Encodes and stores vectors (residual-encoded per coarse cell).
+  Status Add(const DatasetView& data);
+
+  /// ADC search over the `nprobe` nearest cells; ascending approximate
+  /// distance.
+  Result<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                       size_t nprobe) const;
+
+  /// Compressed index footprint (centroids + codebooks + codes + ids).
+  size_t SizeBytes() const;
+
+ private:
+  Params params_;
+  ProductQuantizer pq_;
+  Dataset centroids_;
+  std::vector<std::vector<int64_t>> list_ids_;
+  std::vector<std::vector<uint8_t>> list_codes_;  // n_l x code_size
+  size_t num_vectors_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_INDEX_PQ_H_

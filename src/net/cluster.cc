@@ -1,0 +1,78 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace harmony {
+
+std::string ClusterBreakdown::ToString() const {
+  std::ostringstream os;
+  os << "makespan=" << makespan_seconds * 1e3 << "ms"
+     << " comp=" << compute_seconds * 1e3 << "ms"
+     << " comm=" << comm_seconds * 1e3 << "ms"
+     << " other=" << other_seconds * 1e3 << "ms"
+     << " msgs=" << total_messages << " bytes=" << total_bytes;
+  return os.str();
+}
+
+SimCluster::SimCluster(size_t num_workers, NetworkParams net,
+                       MachineParams machine)
+    : net_(net), client_(-1, machine) {
+  HARMONY_CHECK_MSG(num_workers > 0, "cluster needs at least one worker");
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back(static_cast<int>(i), machine);
+  }
+}
+
+double SimCluster::Transfer(SimNode* src, SimNode* dst, uint64_t bytes) {
+  HARMONY_CHECK(src != nullptr && dst != nullptr);
+  src->BookSend(bytes);
+  const double busy = net_.SenderBusySeconds(bytes);
+  src->BookCommSeconds(busy);
+  if (net_.mode() == CommMode::kBlocking) {
+    // Sender held the line for the whole transfer; payload arrives when the
+    // sender finishes.
+    return src->clock();
+  }
+  // Non-blocking: transfer continues in the background after injection.
+  const double remaining = net_.TransferSeconds(bytes) - busy;
+  return src->clock() + std::max(0.0, remaining);
+}
+
+void SimCluster::ResetClocks() {
+  client_.Reset();
+  for (SimNode& w : workers_) w.Reset();
+}
+
+double SimCluster::Makespan() const {
+  double m = client_.clock();
+  for (const SimNode& w : workers_) m = std::max(m, w.clock());
+  return m;
+}
+
+ClusterBreakdown SimCluster::Breakdown() const {
+  ClusterBreakdown b;
+  b.makespan_seconds = Makespan();
+  double comp = 0.0, comm = 0.0;
+  for (const SimNode& w : workers_) {
+    comp += w.compute_seconds();
+    comm += w.comm_seconds();
+    b.total_bytes += w.bytes_sent();
+    b.total_messages += w.messages_sent();
+    b.total_ops += w.ops_executed();
+  }
+  b.total_bytes += client_.bytes_sent();
+  b.total_messages += client_.messages_sent();
+  b.total_ops += client_.ops_executed();
+  const double n = static_cast<double>(workers_.size());
+  b.compute_seconds = comp / n;
+  b.comm_seconds = comm / n;
+  b.other_seconds =
+      std::max(0.0, b.makespan_seconds - b.compute_seconds - b.comm_seconds);
+  return b;
+}
+
+}  // namespace harmony

@@ -1,0 +1,150 @@
+#ifndef HARMONY_NET_CLUSTER_H_
+#define HARMONY_NET_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network_model.h"
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Per-machine performance parameters of the simulated cluster.
+/// `ops_per_sec` is the effective rate of one fused distance operation per
+/// vector component. The default is deliberately calibrated so that the
+/// repo's *scaled-down* dataset stand-ins (tens of thousands of vectors
+/// instead of millions) reproduce the paper testbed's compute-to-network
+/// ratio: scaling the data down 50x while keeping a 100 Gb/s network would
+/// otherwise make per-message latency dominate in a way the paper's
+/// million-vector workloads never see. The absolute value only scales the
+/// time axis, never the comparative shape.
+struct MachineParams {
+  double ops_per_sec = 4.0e8;
+};
+
+/// \brief One node's virtual clock and accounting counters.
+///
+/// The simulator executes all computation for real (results are needed for
+/// recall and pruning decisions) but *charges the cost* of each action to
+/// these clocks, which is what every throughput/latency figure reads.
+class SimNode {
+ public:
+  SimNode() = default;
+  SimNode(int id, MachineParams machine) : id_(id), machine_(machine) {}
+
+  int id() const { return id_; }
+  double ops_per_sec() const { return machine_.ops_per_sec; }
+  double clock() const { return clock_; }
+  double compute_seconds() const { return compute_seconds_; }
+  double comm_seconds() const { return comm_seconds_; }
+  double idle_seconds() const { return idle_seconds_; }
+  uint64_t ops_executed() const { return ops_executed_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+
+  /// Charges `ops` scalar operations of local compute.
+  void ChargeCompute(uint64_t ops) {
+    const double secs = static_cast<double>(ops) / machine_.ops_per_sec;
+    clock_ += secs;
+    compute_seconds_ += secs;
+    ops_executed_ += ops;
+  }
+
+  /// Charges fixed-seconds local work (e.g. heap maintenance, planning).
+  void ChargeSeconds(double secs) {
+    clock_ += secs;
+    compute_seconds_ += secs;
+  }
+
+  /// Advances the clock to `t`, booking the gap as idle (waiting on a
+  /// message or a pipeline dependency). No-op if already past `t`.
+  void WaitUntil(double t) {
+    if (clock_ < t) {
+      idle_seconds_ += t - clock_;
+      clock_ = t;
+    }
+  }
+
+  void BookCommSeconds(double secs) {
+    clock_ += secs;
+    comm_seconds_ += secs;
+  }
+
+  void BookSend(uint64_t bytes) {
+    bytes_sent_ += bytes;
+    ++messages_sent_;
+  }
+
+  void Reset() {
+    clock_ = compute_seconds_ = comm_seconds_ = idle_seconds_ = 0.0;
+    ops_executed_ = bytes_sent_ = messages_sent_ = 0;
+  }
+
+ private:
+  int id_ = -1;
+  MachineParams machine_;
+  double clock_ = 0.0;
+  double compute_seconds_ = 0.0;
+  double comm_seconds_ = 0.0;
+  double idle_seconds_ = 0.0;
+  uint64_t ops_executed_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_sent_ = 0;
+};
+
+/// \brief Aggregated cluster accounting used by the time-breakdown figures.
+struct ClusterBreakdown {
+  double makespan_seconds = 0.0;
+  double compute_seconds = 0.0;  // mean across workers
+  double comm_seconds = 0.0;     // mean across workers
+  double other_seconds = 0.0;    // makespan - compute - comm (idle/skew)
+  uint64_t total_bytes = 0;
+  uint64_t total_messages = 0;
+  uint64_t total_ops = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Deterministic simulated cluster: one client node plus N workers.
+///
+/// Plays the role the 20-node testbed plays in the paper. Transfers update
+/// virtual clocks according to the NetworkModel; computation is charged via
+/// SimNode::ChargeCompute by the execution engine.
+class SimCluster {
+ public:
+  SimCluster(size_t num_workers, NetworkParams net = NetworkParams(),
+             MachineParams machine = MachineParams());
+
+  size_t num_workers() const { return workers_.size(); }
+  const NetworkModel& network() const { return net_; }
+
+  SimNode& worker(size_t i) { return workers_[i]; }
+  const SimNode& worker(size_t i) const { return workers_[i]; }
+  SimNode& client() { return client_; }
+  const SimNode& client() const { return client_; }
+
+  /// Simulates sending `bytes` from `src` to `dst` and returns the virtual
+  /// time at which the payload is available at `dst`. The receiver's clock
+  /// is NOT advanced — callers decide when the receiver consumes the
+  /// message (enabling the non-blocking overlap the paper exploits).
+  double Transfer(SimNode* src, SimNode* dst, uint64_t bytes);
+
+  /// Restarts all clocks/counters (e.g. between benchmark repetitions).
+  void ResetClocks();
+
+  /// Virtual time at which every node has finished all charged work.
+  double Makespan() const;
+
+  /// Aggregates per-node accounting into the figure-8-style breakdown.
+  ClusterBreakdown Breakdown() const;
+
+ private:
+  NetworkModel net_;
+  SimNode client_;
+  std::vector<SimNode> workers_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_NET_CLUSTER_H_

@@ -1,0 +1,15 @@
+#include "net/network_model.h"
+
+namespace harmony {
+
+const char* CommModeToString(CommMode mode) {
+  switch (mode) {
+    case CommMode::kBlocking:
+      return "blocking";
+    case CommMode::kNonBlocking:
+      return "non-blocking";
+  }
+  return "?";
+}
+
+}  // namespace harmony

@@ -1,0 +1,53 @@
+#ifndef HARMONY_NET_NETWORK_MODEL_H_
+#define HARMONY_NET_NETWORK_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace harmony {
+
+/// \brief Communication modes evaluated in the paper's Figure 2(b):
+/// blocking sends occupy the sender for the whole transfer; non-blocking
+/// sends (MPI_Isend/Irecv in the paper's implementation) only pay an
+/// injection overhead on the sender and overlap the transfer with compute.
+enum class CommMode { kBlocking, kNonBlocking };
+
+const char* CommModeToString(CommMode mode);
+
+/// \brief Link parameters of the simulated interconnect. Defaults model the
+/// paper's testbed: 100 Gb/s links with microsecond-scale message latency.
+struct NetworkParams {
+  double bandwidth_bytes_per_sec = 12.5e9;  // 100 Gb/s
+  double latency_seconds = 1e-6;            // per-message overhead (aggregated non-blocking sends)
+  CommMode mode = CommMode::kNonBlocking;
+};
+
+/// \brief Computes transfer times under a NetworkParams configuration.
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkParams params = NetworkParams())
+      : params_(params) {}
+
+  const NetworkParams& params() const { return params_; }
+  CommMode mode() const { return params_.mode; }
+
+  /// End-to-end seconds for one `bytes`-sized message.
+  double TransferSeconds(size_t bytes) const {
+    return params_.latency_seconds +
+           static_cast<double>(bytes) / params_.bandwidth_bytes_per_sec;
+  }
+
+  /// Seconds the *sender* is busy for one message: the full transfer in
+  /// blocking mode, just the injection latency in non-blocking mode.
+  double SenderBusySeconds(size_t bytes) const {
+    return params_.mode == CommMode::kBlocking ? TransferSeconds(bytes)
+                                               : params_.latency_seconds;
+  }
+
+ private:
+  NetworkParams params_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_NET_NETWORK_MODEL_H_

@@ -1,0 +1,59 @@
+#ifndef HARMONY_NET_THREADED_CLUSTER_H_
+#define HARMONY_NET_THREADED_CLUSTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace harmony {
+
+/// \brief Real-thread cluster: one dedicated thread per worker node, each
+/// draining a FIFO mailbox of tasks.
+///
+/// This is the functional twin of SimCluster: the execution engine can run
+/// its per-node work as real concurrent tasks (validating that the
+/// algorithm is correctly parallelizable and race-free) while SimCluster
+/// provides deterministic cost accounting. Per-node FIFO ordering matches
+/// the ordering guarantees an MPI rank would see.
+class ThreadedCluster {
+ public:
+  explicit ThreadedCluster(size_t num_workers);
+  ~ThreadedCluster();
+
+  ThreadedCluster(const ThreadedCluster&) = delete;
+  ThreadedCluster& operator=(const ThreadedCluster&) = delete;
+
+  size_t num_workers() const { return nodes_.size(); }
+
+  /// Enqueues a task on worker `node`'s mailbox. Tasks on the same node run
+  /// in FIFO order on that node's thread.
+  void Post(size_t node, std::function<void()> task);
+
+  /// Blocks until every mailbox is empty and every node is idle.
+  void Barrier();
+
+ private:
+  struct Node {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> mailbox;
+    bool busy = false;
+    std::thread thread;
+  };
+
+  void NodeLoop(Node* node);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<bool> stop_{false};
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  std::atomic<int64_t> outstanding_{0};
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_NET_THREADED_CLUSTER_H_

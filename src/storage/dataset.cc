@@ -1,0 +1,44 @@
+#include "storage/dataset.h"
+
+#include <cmath>
+
+namespace harmony {
+
+Status Dataset::Append(const float* v, size_t len) {
+  if (dim_ == 0) {
+    if (len == 0) return Status::InvalidArgument("vector dimension must be > 0");
+    dim_ = len;
+  }
+  if (len != dim_) {
+    return Status::InvalidArgument("appended vector has dimension " +
+                                   std::to_string(len) + ", expected " +
+                                   std::to_string(dim_));
+  }
+  data_.insert(data_.end(), v, v + len);
+  return Status::OK();
+}
+
+Dataset Dataset::Gather(const std::vector<int64_t>& row_ids) const {
+  Dataset out(row_ids.size(), dim_);
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    const float* src = Row(static_cast<size_t>(row_ids[i]));
+    float* dst = out.MutableRow(i);
+    for (size_t d = 0; d < dim_; ++d) dst[d] = src[d];
+  }
+  return out;
+}
+
+void NormalizeRows(Dataset* dataset) {
+  const size_t n = dataset->size();
+  const size_t dim = dataset->dim();
+  for (size_t i = 0; i < n; ++i) {
+    float* row = dataset->MutableRow(i);
+    double norm_sq = 0.0;
+    for (size_t d = 0; d < dim; ++d) norm_sq += double{row[d]} * row[d];
+    if (norm_sq <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (size_t d = 0; d < dim; ++d) row[d] *= inv;
+  }
+}
+
+}  // namespace harmony

@@ -1,0 +1,87 @@
+#ifndef HARMONY_STORAGE_DATASET_H_
+#define HARMONY_STORAGE_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Non-owning view over a row-major matrix of float vectors.
+///
+/// All Harmony components operate on views so that base vectors are stored
+/// exactly once per grid block (space complexity O(NB * D), Section 4.3).
+class DatasetView {
+ public:
+  DatasetView() = default;
+  DatasetView(const float* data, size_t num_vectors, size_t dim)
+      : data_(data), num_vectors_(num_vectors), dim_(dim) {}
+
+  const float* data() const { return data_; }
+  size_t size() const { return num_vectors_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return num_vectors_ == 0; }
+
+  /// Pointer to the first component of row `i`.
+  const float* Row(size_t i) const { return data_ + i * dim_; }
+
+  /// Total bytes referenced by this view.
+  size_t SizeBytes() const { return num_vectors_ * dim_ * sizeof(float); }
+
+ private:
+  const float* data_ = nullptr;
+  size_t num_vectors_ = 0;
+  size_t dim_ = 0;
+};
+
+/// \brief Owning row-major float matrix.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(size_t num_vectors, size_t dim)
+      : dim_(dim), data_(num_vectors * dim, 0.0f) {}
+  Dataset(std::vector<float> data, size_t dim)
+      : dim_(dim), data_(std::move(data)) {}
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) noexcept = default;
+  Dataset& operator=(Dataset&&) noexcept = default;
+
+  size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return data_.empty(); }
+
+  float* MutableRow(size_t i) { return data_.data() + i * dim_; }
+  const float* Row(size_t i) const { return data_.data() + i * dim_; }
+
+  DatasetView View() const { return DatasetView(data_.data(), size(), dim_); }
+
+  const std::vector<float>& raw() const { return data_; }
+  std::vector<float>* mutable_raw() { return &data_; }
+
+  /// Appends one vector; `v` must have exactly `dim()` components.
+  Status Append(const float* v, size_t len);
+
+  /// Copies the selected rows into a new dataset (used when assigning
+  /// clusters to vector shards).
+  Dataset Gather(const std::vector<int64_t>& row_ids) const;
+
+  size_t SizeBytes() const { return data_.size() * sizeof(float); }
+
+ private:
+  size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+/// \brief L2-normalizes every row in place; rows with zero norm are left
+/// untouched. Cosine-metric indexes pre-normalize so cosine reduces to
+/// inner product (Section 3.1).
+void NormalizeRows(Dataset* dataset);
+
+}  // namespace harmony
+
+#endif  // HARMONY_STORAGE_DATASET_H_

@@ -1,0 +1,64 @@
+#include "storage/dim_slice.h"
+
+namespace harmony {
+
+std::vector<DimRange> EvenDimBlocks(size_t dim, size_t num_blocks) {
+  std::vector<DimRange> blocks;
+  if (dim == 0 || num_blocks == 0) return blocks;
+  if (num_blocks > dim) num_blocks = dim;
+  blocks.reserve(num_blocks);
+  const size_t base = dim / num_blocks;
+  const size_t extra = dim % num_blocks;
+  size_t begin = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t width = base + (b < extra ? 1 : 0);
+    blocks.push_back(DimRange{begin, begin + width});
+    begin += width;
+  }
+  return blocks;
+}
+
+Result<DimSlicedMatrix> DimSlicedMatrix::FromColumns(
+    const DatasetView& source, DimRange range, std::vector<int64_t> row_ids) {
+  if (range.end > source.dim() || range.begin >= range.end) {
+    return Status::InvalidArgument("dimension range out of bounds");
+  }
+  DimSlicedMatrix out;
+  out.range_ = range;
+  out.row_ids_ = std::move(row_ids);
+  const size_t width = range.width();
+  out.data_.resize(out.row_ids_.size() * width);
+  for (size_t i = 0; i < out.row_ids_.size(); ++i) {
+    const int64_t gid = out.row_ids_[i];
+    if (gid < 0 || static_cast<size_t>(gid) >= source.size()) {
+      return Status::OutOfRange("row id out of bounds: " + std::to_string(gid));
+    }
+    const float* src = source.Row(static_cast<size_t>(gid)) + range.begin;
+    float* dst = out.data_.data() + i * width;
+    for (size_t d = 0; d < width; ++d) dst[d] = src[d];
+  }
+  return out;
+}
+
+Result<DimSlicedMatrix> DimSlicedMatrix::FromAllRows(
+    const DatasetView& source, DimRange range, std::vector<int64_t> labels) {
+  if (range.end > source.dim() || range.begin >= range.end) {
+    return Status::InvalidArgument("dimension range out of bounds");
+  }
+  if (labels.size() != source.size()) {
+    return Status::InvalidArgument("labels must match source row count");
+  }
+  DimSlicedMatrix out;
+  out.range_ = range;
+  out.row_ids_ = std::move(labels);
+  const size_t width = range.width();
+  out.data_.resize(source.size() * width);
+  for (size_t i = 0; i < source.size(); ++i) {
+    const float* src = source.Row(i) + range.begin;
+    float* dst = out.data_.data() + i * width;
+    for (size_t d = 0; d < width; ++d) dst[d] = src[d];
+  }
+  return out;
+}
+
+}  // namespace harmony

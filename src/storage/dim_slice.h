@@ -1,0 +1,85 @@
+#ifndef HARMONY_STORAGE_DIM_SLICE_H_
+#define HARMONY_STORAGE_DIM_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/dataset.h"
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Half-open dimension range [begin, end) — one dimension block
+/// `I_k` of the paper's dimension-based partition.
+struct DimRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t width() const { return end - begin; }
+
+  friend bool operator==(const DimRange& a, const DimRange& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// \brief Splits `dim` dimensions into `num_blocks` contiguous, disjoint
+/// ranges whose union is [0, dim). Widths differ by at most one, matching
+/// the paper's even quartering ([1, d/4], [d/4+1, d/2], ...).
+std::vector<DimRange> EvenDimBlocks(size_t dim, size_t num_blocks);
+
+/// \brief Column-block copy of a matrix: the rows of one vector shard
+/// restricted to one dimension block, stored contiguously.
+///
+/// In a deployment this is the per-machine storage of a grid block
+/// `(V_i, D_j)`; storing the slice contiguously is what makes per-block
+/// partial distance kernels stream linearly through memory.
+class DimSlicedMatrix {
+ public:
+  DimSlicedMatrix() = default;
+
+  /// Copies columns [range.begin, range.end) of `source` into this slice.
+  /// `row_ids` gives, for each local row, the global vector id it carries.
+  static Result<DimSlicedMatrix> FromColumns(const DatasetView& source,
+                                             DimRange range,
+                                             std::vector<int64_t> row_ids);
+
+  /// Slices every row of `source` in order; `labels[i]` is the global id of
+  /// source row i (labels.size() must equal source.size()). This is how a
+  /// grid block slices one IVF list whose vectors are stored locally.
+  static Result<DimSlicedMatrix> FromAllRows(const DatasetView& source,
+                                             DimRange range,
+                                             std::vector<int64_t> labels);
+
+  size_t num_rows() const { return row_ids_.size(); }
+  DimRange range() const { return range_; }
+  size_t width() const { return range_.width(); }
+
+  /// Local row -> global vector id.
+  int64_t GlobalId(size_t local_row) const { return row_ids_[local_row]; }
+  const std::vector<int64_t>& row_ids() const { return row_ids_; }
+
+  /// Pointer to the (contiguous) slice of local row `i`.
+  const float* Row(size_t i) const { return data_.data() + i * range_.width(); }
+
+  /// Appends one row given the *full-dimension* vector it comes from; the
+  /// matrix copies its own column range. Used by incremental inserts.
+  void AppendFullRow(const float* full_vector, int64_t global_id) {
+    row_ids_.push_back(global_id);
+    data_.insert(data_.end(), full_vector + range_.begin,
+                 full_vector + range_.end);
+  }
+
+  size_t SizeBytes() const {
+    return data_.size() * sizeof(float) + row_ids_.size() * sizeof(int64_t);
+  }
+
+ private:
+  DimRange range_;
+  std::vector<int64_t> row_ids_;
+  std::vector<float> data_;  // num_rows x range_.width(), row-major.
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_STORAGE_DIM_SLICE_H_

@@ -1,0 +1,106 @@
+#include "storage/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace harmony {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+constexpr char kHvdbMagic[4] = {'H', 'V', 'D', 'B'};
+
+}  // namespace
+
+Status WriteFvecs(const std::string& path, const DatasetView& data) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  const int32_t dim = static_cast<int32_t>(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (std::fwrite(&dim, sizeof(dim), 1, f.get()) != 1 ||
+        std::fwrite(data.Row(i), sizeof(float), data.dim(), f.get()) !=
+            data.dim()) {
+      return Status::IoError("short write: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadFvecs(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  std::vector<float> data;
+  size_t dim = 0;
+  for (;;) {
+    int32_t row_dim = 0;
+    const size_t got = std::fread(&row_dim, sizeof(row_dim), 1, f.get());
+    if (got == 0) break;  // Clean EOF.
+    if (row_dim <= 0) {
+      return Status::IoError("corrupt fvecs header in " + path);
+    }
+    if (dim == 0) {
+      dim = static_cast<size_t>(row_dim);
+    } else if (static_cast<size_t>(row_dim) != dim) {
+      return Status::IoError("inconsistent dimension in " + path);
+    }
+    const size_t old = data.size();
+    data.resize(old + dim);
+    if (std::fread(data.data() + old, sizeof(float), dim, f.get()) != dim) {
+      return Status::IoError("truncated fvecs row in " + path);
+    }
+  }
+  if (dim == 0) return Status::IoError("empty fvecs file: " + path);
+  return Dataset(std::move(data), dim);
+}
+
+Status WriteHvdb(const std::string& path, const DatasetView& data) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  const uint64_t n = data.size();
+  const uint64_t dim = data.dim();
+  if (std::fwrite(kHvdbMagic, 1, 4, f.get()) != 4 ||
+      std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fwrite(&dim, sizeof(dim), 1, f.get()) != 1) {
+    return Status::IoError("short write: " + path);
+  }
+  const size_t count = data.size() * data.dim();
+  if (count > 0 &&
+      std::fwrite(data.data(), sizeof(float), count, f.get()) != count) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadHvdb(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  uint64_t n = 0;
+  uint64_t dim = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fread(&dim, sizeof(dim), 1, f.get()) != 1) {
+    return Status::IoError("truncated header: " + path);
+  }
+  if (magic[0] != kHvdbMagic[0] || magic[1] != kHvdbMagic[1] ||
+      magic[2] != kHvdbMagic[2] || magic[3] != kHvdbMagic[3]) {
+    return Status::IoError("bad magic in " + path);
+  }
+  if (dim == 0) return Status::IoError("zero dimension in " + path);
+  std::vector<float> data(n * dim);
+  if (!data.empty() &&
+      std::fread(data.data(), sizeof(float), data.size(), f.get()) !=
+          data.size()) {
+    return Status::IoError("truncated payload: " + path);
+  }
+  return Dataset(std::move(data), static_cast<size_t>(dim));
+}
+
+}  // namespace harmony

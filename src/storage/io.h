@@ -1,0 +1,29 @@
+#ifndef HARMONY_STORAGE_IO_H_
+#define HARMONY_STORAGE_IO_H_
+
+#include <string>
+
+#include "storage/dataset.h"
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Writes a dataset in the classic `.fvecs` format used by SIFT/GIST
+/// benchmark distributions: for each vector, a little-endian int32 dimension
+/// followed by `dim` float32 components.
+Status WriteFvecs(const std::string& path, const DatasetView& data);
+
+/// \brief Reads an `.fvecs` file. Fails if rows disagree on dimension or the
+/// file is truncated.
+Result<Dataset> ReadFvecs(const std::string& path);
+
+/// \brief Writes Harmony's own compact binary format:
+/// magic "HVDB" | uint64 n | uint64 dim | n*dim float32.
+Status WriteHvdb(const std::string& path, const DatasetView& data);
+
+/// \brief Reads the Harmony binary format written by WriteHvdb.
+Result<Dataset> ReadHvdb(const std::string& path);
+
+}  // namespace harmony
+
+#endif  // HARMONY_STORAGE_IO_H_

@@ -1,0 +1,67 @@
+#ifndef HARMONY_UTIL_LOGGING_H_
+#define HARMONY_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace harmony {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Process-wide minimum level for emitted log lines. Defaults to
+/// kInfo; benches lower it to kWarn to keep table output clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line; flushes on destruction. Not for hot paths.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Logs and aborts; used by HARMONY_CHECK on invariant violation.
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const char* expr, const std::string& msg);
+
+}  // namespace internal
+}  // namespace harmony
+
+#define HARMONY_LOG(level)                                              \
+  ::harmony::internal::LogMessage(::harmony::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+/// Invariant check that is active in all build types (database-style: an
+/// index or plan invariant violation must never be silently ignored).
+#define HARMONY_CHECK(expr)                                             \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::harmony::internal::FatalCheckFailure(__FILE__, __LINE__, #expr, \
+                                             "");                       \
+    }                                                                   \
+  } while (false)
+
+#define HARMONY_CHECK_MSG(expr, msg)                                    \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::harmony::internal::FatalCheckFailure(__FILE__, __LINE__, #expr, \
+                                             (msg));                    \
+    }                                                                   \
+  } while (false)
+
+#endif  // HARMONY_UTIL_LOGGING_H_

@@ -1,0 +1,52 @@
+#include "util/metrics.h"
+
+#include <sstream>
+
+namespace harmony {
+
+LatencyHistogram::LatencyHistogram() {
+  // Log-spaced bucket upper bounds from 1us to ~100s.
+  double b = 1.0;
+  while (b < 1e8) {
+    bounds_.push_back(b);
+    b *= 1.5;
+  }
+  bounds_.push_back(1e300);
+  counts_.assign(bounds_.size(), 0);
+}
+
+void LatencyHistogram::AddMicros(double us) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), us);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  ++counts_[std::min(idx, counts_.size() - 1)];
+  ++total_;
+}
+
+double LatencyHistogram::PercentileMicros(double p) const {
+  if (total_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const int64_t prev = cum;
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i] > 1e200 ? lo * 1.5 + 1.0 : bounds_[i];
+      if (counts_[i] == 0) return hi;
+      const double frac =
+          (target - static_cast<double>(prev)) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+  }
+  return bounds_.back();
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << total_ << " p50=" << PercentileMicros(50)
+     << "us p95=" << PercentileMicros(95) << "us p99=" << PercentileMicros(99)
+     << "us";
+  return os.str();
+}
+
+}  // namespace harmony

@@ -1,0 +1,26 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace harmony {
+
+ZipfSampler::ZipfSampler(size_t n, double theta) : theta_(theta) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = total;
+  }
+  for (size_t r = 0; r < n; ++r) cdf_[r] /= total;
+  cdf_.back() = 1.0;  // Guard against floating point shortfall.
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace harmony

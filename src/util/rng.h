@@ -1,0 +1,131 @@
+#ifndef HARMONY_UTIL_RNG_H_
+#define HARMONY_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace harmony {
+
+/// \brief Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// Every experiment in the repo derives all randomness from explicit seeds
+/// through this class so runs are reproducible across platforms (unlike
+/// `std::mt19937` + `std::normal_distribution`, whose outputs are not
+/// guaranteed to be identical across standard library implementations).
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 from `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    // SplitMix64 expansion; guarantees non-zero state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s_[i] = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be faster; modulo is fine
+    // for our generator quality and workloads.
+    return NextU64() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal variate (Box-Muller with caching).
+  double NextGaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      const size_t j = NextBounded(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  bool has_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+/// \brief Zipf-distributed integer sampler over {0, ..., n-1}.
+///
+/// Used to generate skewed query workloads: rank r is drawn with probability
+/// proportional to 1 / (r+1)^theta. theta = 0 is uniform; larger theta is
+/// more skewed. Uses a precomputed CDF (n is small in our workloads), which
+/// makes sampling O(log n) and exact.
+class ZipfSampler {
+ public:
+  /// \param n number of items (> 0)
+  /// \param theta skew exponent (>= 0)
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  std::vector<double> cdf_;
+  double theta_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_UTIL_RNG_H_

@@ -1,0 +1,157 @@
+#ifndef HARMONY_UTIL_STATUS_H_
+#define HARMONY_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace harmony {
+
+/// \brief Error categories used across the Harmony code base.
+///
+/// Mirrors the RocksDB/Arrow convention: a lightweight code plus a
+/// human-readable message, no exceptions across API boundaries.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kIoError = 7,
+  kNotSupported = 8,
+  kResourceExhausted = 9,
+};
+
+/// \brief Returns a stable, uppercase name for a status code ("OK",
+/// "INVALID_ARGUMENT", ...). Never returns null.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail.
+///
+/// A `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// message otherwise. Functions that produce a value use `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// Modeled after `arrow::Result`. Accessing the value of a failed result is
+/// a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out, or returns `fallback` if this holds an error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::move(*value_);
+    return fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace harmony
+
+/// Propagates a non-OK status to the caller, RocksDB-style.
+#define HARMONY_RETURN_NOT_OK(expr)              \
+  do {                                           \
+    ::harmony::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Assigns the value of a `Result<T>` expression or propagates its error.
+#define HARMONY_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  auto HARMONY_CONCAT_(_res, __LINE__) = (rexpr);        \
+  if (!HARMONY_CONCAT_(_res, __LINE__).ok())             \
+    return HARMONY_CONCAT_(_res, __LINE__).status();     \
+  lhs = std::move(HARMONY_CONCAT_(_res, __LINE__)).value()
+
+#define HARMONY_CONCAT_INNER_(a, b) a##b
+#define HARMONY_CONCAT_(a, b) HARMONY_CONCAT_INNER_(a, b)
+
+#endif  // HARMONY_UTIL_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef HARMONY_UTIL_THREADPOOL_H_
+#define HARMONY_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace harmony {
+
+/// \brief Fixed-size worker pool used by the threaded execution engine and
+/// by intra-node parallel distance computation (the paper parallelizes
+/// per-node distance work with OpenMP; this pool plays that role).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Runs `fn(i)` for i in [0, n), partitioned across the pool, and waits.
+  /// Falls back to inline execution when the pool has a single thread.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_UTIL_THREADPOOL_H_

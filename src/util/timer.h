@@ -1,0 +1,34 @@
+#ifndef HARMONY_UTIL_TIMER_H_
+#define HARMONY_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace harmony {
+
+/// \brief Monotonic wall-clock stopwatch used for real (non-simulated)
+/// timing, e.g. in the threaded execution engine and index build benches.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_UTIL_TIMER_H_

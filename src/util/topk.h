@@ -1,0 +1,82 @@
+#ifndef HARMONY_UTIL_TOPK_H_
+#define HARMONY_UTIL_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace harmony {
+
+/// \brief One scored candidate in a nearest-neighbor result set.
+struct Neighbor {
+  int64_t id = -1;
+  float distance = std::numeric_limits<float>::max();
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.distance == b.distance;
+  }
+};
+
+/// \brief Bounded max-heap keeping the K smallest-distance candidates.
+///
+/// This is the pruning-threshold data structure of Algorithm 1 in the paper:
+/// `threshold()` is the current K-th best distance τ; a candidate whose
+/// (partial) distance already exceeds τ can never enter the top-K set and is
+/// pruned.
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k) : k_(k) { heap_.reserve(k); }
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Current pruning threshold τ: the distance of the K-th best candidate,
+  /// or +inf while the heap is not yet full (nothing can be pruned).
+  float threshold() const {
+    return full() ? heap_.front().distance
+                  : std::numeric_limits<float>::max();
+  }
+
+  /// Offers a candidate; returns true if it was kept.
+  bool Push(int64_t id, float distance) {
+    if (heap_.size() < k_) {
+      heap_.push_back({id, distance});
+      std::push_heap(heap_.begin(), heap_.end(), Cmp);
+      return true;
+    }
+    if (distance >= heap_.front().distance) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Cmp);
+    heap_.back() = {id, distance};
+    std::push_heap(heap_.begin(), heap_.end(), Cmp);
+    return true;
+  }
+
+  /// Returns candidates sorted by ascending distance (ties by id for
+  /// determinism). Does not modify the heap.
+  std::vector<Neighbor> SortedResults() const {
+    std::vector<Neighbor> out = heap_;
+    std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.id < b.id;
+    });
+    return out;
+  }
+
+  void Clear() { heap_.clear(); }
+
+ private:
+  static bool Cmp(const Neighbor& a, const Neighbor& b) {
+    // Max-heap on distance; ids break ties so the kept set is deterministic.
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_UTIL_TOPK_H_

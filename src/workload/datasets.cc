@@ -1,0 +1,95 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace harmony {
+
+namespace {
+
+std::vector<StandInSpec> BuildRegistry() {
+  // name, type, paper_size, paper_dim, n, queries, components, nlist, seed
+  return {
+      {"starlightcurves", "time-series", 823600, 1024, 8000, 200, 64, 64, 101},
+      {"msong", "audio", 992272, 420, 12000, 200, 64, 64, 102},
+      {"sift1m", "image", 1000000, 128, 20000, 500, 64, 64, 103},
+      {"deep1m", "image", 1000000, 256, 20000, 200, 64, 64, 104},
+      {"word2vec", "word-vectors", 1000000, 300, 20000, 200, 64, 64, 105},
+      {"handoutlines", "time-series", 1000000, 2709, 4000, 100, 32, 32, 106},
+      {"glove1.2m", "text", 1193514, 200, 24000, 200, 64, 64, 107},
+      {"glove2.2m", "text", 2196017, 300, 44000, 200, 64, 64, 108},
+      {"spacev1b", "text", 1000000000, 100, 100000, 500, 128, 128, 109},
+      {"sift1b", "image", 1000000000, 128, 100000, 500, 128, 128, 110},
+  };
+}
+
+}  // namespace
+
+const std::vector<StandInSpec>& AllStandIns() {
+  static const std::vector<StandInSpec>& registry =
+      *new std::vector<StandInSpec>(BuildRegistry());
+  return registry;
+}
+
+std::vector<StandInSpec> SmallStandIns() {
+  std::vector<StandInSpec> out;
+  for (const StandInSpec& spec : AllStandIns()) {
+    if (spec.paper_size < 1000000000ULL) out.push_back(spec);
+  }
+  return out;
+}
+
+Result<StandInSpec> GetStandIn(const std::string& name) {
+  for (const StandInSpec& spec : AllStandIns()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no stand-in named '" + name + "'");
+}
+
+Result<BenchData> MakeStandIn(const StandInSpec& spec, double scale,
+                              double zipf_theta) {
+  if (scale <= 0.0) return Status::InvalidArgument("scale must be > 0");
+  BenchData out;
+  out.spec = spec;
+  out.spec.num_vectors = std::max<size_t>(
+      spec.num_components * 4,
+      static_cast<size_t>(static_cast<double>(spec.num_vectors) * scale));
+  out.spec.num_queries = std::max<size_t>(
+      16, static_cast<size_t>(static_cast<double>(spec.num_queries) * scale));
+
+  GaussianMixtureSpec mix;
+  mix.num_vectors = out.spec.num_vectors;
+  mix.dim = spec.paper_dim;
+  mix.num_components = spec.num_components;
+  // Real embedding datasets have heavily overlapping clusters; keeping the
+  // component centers close (relative to within-component noise) makes IVF
+  // recall curves and per-slice pruning ratios ramp gradually like the
+  // paper's, instead of the step functions a perfectly-separated mixture
+  // would produce.
+  mix.center_scale = 1.4;
+  mix.noise = 1.0;
+  // Leading-dimension energy concentration, as in real embeddings; see
+  // GaussianMixtureSpec::dim_energy_decay.
+  mix.dim_energy_decay = 2.5;
+  mix.seed = spec.seed;
+  HARMONY_ASSIGN_OR_RETURN(out.mixture, GenerateGaussianMixture(mix));
+
+  QueryWorkloadSpec qspec;
+  qspec.num_queries = out.spec.num_queries;
+  qspec.zipf_theta = zipf_theta;
+  qspec.noise = 1.0;
+  qspec.seed = spec.seed ^ 0x5151;
+  HARMONY_ASSIGN_OR_RETURN(out.workload, GenerateQueries(out.mixture, qspec));
+  return out;
+}
+
+double EnvScale(double fallback) {
+  const char* env = std::getenv("HARMONY_SCALE");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || v <= 0.0) return fallback;
+  return v;
+}
+
+}  // namespace harmony

@@ -1,0 +1,58 @@
+#ifndef HARMONY_WORKLOAD_DATASETS_H_
+#define HARMONY_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/queries.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+
+/// \brief A synthetic stand-in for one of the paper's evaluation datasets
+/// (Table 2). Dimensions match the paper exactly; cardinalities are scaled
+/// down so the whole suite runs on one machine (the scale is recorded so
+/// reports can state it). See DESIGN.md, "Substitutions".
+struct StandInSpec {
+  std::string name;          // e.g. "sift1m"
+  std::string data_type;     // paper's "Data Type" column
+  size_t paper_size = 0;     // paper's base-set cardinality
+  size_t paper_dim = 0;      // paper's dimensionality (kept verbatim)
+  size_t num_vectors = 0;    // stand-in cardinality
+  size_t num_queries = 0;    // stand-in query count
+  size_t num_components = 0; // mixture components (cluster structure)
+  size_t nlist_hint = 0;     // IVF nlist used by experiments
+  uint64_t seed = 0;
+};
+
+/// All ten stand-ins of Table 2 in paper order.
+const std::vector<StandInSpec>& AllStandIns();
+
+/// The eight "small" datasets used for the 4-node experiments (the paper
+/// excludes SpaceV1B / Sift1B from those).
+std::vector<StandInSpec> SmallStandIns();
+
+/// Looks up a stand-in by name ("sift1m", "msong", ...).
+Result<StandInSpec> GetStandIn(const std::string& name);
+
+/// \brief A fully-materialized benchmark input.
+struct BenchData {
+  StandInSpec spec;
+  GaussianMixture mixture;  // base vectors + generating components
+  QueryWorkload workload;   // queries (+ target components)
+};
+
+/// Materializes a stand-in. `scale` multiplies the stand-in cardinality and
+/// query count (min 1); `zipf_theta` controls query skew (0 = uniform).
+Result<BenchData> MakeStandIn(const StandInSpec& spec, double scale = 1.0,
+                              double zipf_theta = 0.0);
+
+/// \brief Reads a global scale override from the HARMONY_SCALE environment
+/// variable (a positive double), defaulting to `fallback`. Lets users run
+/// `HARMONY_SCALE=0.2 ./bench/...` for a quick pass or >1 for more fidelity.
+double EnvScale(double fallback = 1.0);
+
+}  // namespace harmony
+
+#endif  // HARMONY_WORKLOAD_DATASETS_H_

@@ -1,0 +1,43 @@
+#include "workload/ground_truth.h"
+
+#include <unordered_set>
+
+#include "index/flat_index.h"
+
+namespace harmony {
+
+Result<std::vector<std::vector<Neighbor>>> ComputeGroundTruth(
+    const DatasetView& base, const DatasetView& queries, size_t k,
+    Metric metric) {
+  FlatIndex flat(metric);
+  HARMONY_RETURN_NOT_OK(flat.Add(base));
+  return flat.SearchBatch(queries, k);
+}
+
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<Neighbor>& ground_truth, size_t k) {
+  if (k == 0 || ground_truth.empty()) return 0.0;
+  const size_t gt_k = std::min(k, ground_truth.size());
+  std::unordered_set<int64_t> truth;
+  truth.reserve(gt_k);
+  for (size_t i = 0; i < gt_k; ++i) truth.insert(ground_truth[i].id);
+  size_t hits = 0;
+  const size_t res_k = std::min(k, result.size());
+  for (size_t i = 0; i < res_k; ++i) {
+    if (truth.count(result[i].id) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(gt_k);
+}
+
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& results,
+                     const std::vector<std::vector<Neighbor>>& ground_truth,
+                     size_t k) {
+  if (results.empty() || results.size() != ground_truth.size()) return 0.0;
+  double total = 0.0;
+  for (size_t q = 0; q < results.size(); ++q) {
+    total += RecallAtK(results[q], ground_truth[q], k);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+}  // namespace harmony

@@ -1,0 +1,31 @@
+#ifndef HARMONY_WORKLOAD_GROUND_TRUTH_H_
+#define HARMONY_WORKLOAD_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "index/distance.h"
+#include "storage/dataset.h"
+#include "util/status.h"
+#include "util/topk.h"
+
+namespace harmony {
+
+/// \brief Exact top-K neighbors for every query (brute force). Row q of the
+/// result holds the ground truth for query q, ascending by distance.
+Result<std::vector<std::vector<Neighbor>>> ComputeGroundTruth(
+    const DatasetView& base, const DatasetView& queries, size_t k,
+    Metric metric);
+
+/// \brief recall@K of one result list against its ground truth: the fraction
+/// of the true top-K ids present in the returned top-K.
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<Neighbor>& ground_truth, size_t k);
+
+/// \brief Mean recall@K over a batch.
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& results,
+                     const std::vector<std::vector<Neighbor>>& ground_truth,
+                     size_t k);
+
+}  // namespace harmony
+
+#endif  // HARMONY_WORKLOAD_GROUND_TRUTH_H_

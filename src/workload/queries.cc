@@ -1,0 +1,58 @@
+#include "workload/queries.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace harmony {
+
+Result<QueryWorkload> GenerateQueries(const GaussianMixture& mixture,
+                                      const QueryWorkloadSpec& spec) {
+  if (mixture.component_centers.empty()) {
+    return Status::InvalidArgument("mixture has no components");
+  }
+  if (spec.num_queries == 0) {
+    return Status::InvalidArgument("num_queries must be > 0");
+  }
+  const size_t dim = mixture.component_centers.dim();
+  const size_t num_components = mixture.component_centers.size();
+  Rng rng(spec.seed);
+  ZipfSampler zipf(num_components, spec.zipf_theta);
+
+  QueryWorkload out;
+  out.queries = Dataset(spec.num_queries, dim);
+  out.target_component.resize(spec.num_queries);
+  for (size_t q = 0; q < spec.num_queries; ++q) {
+    const size_t c = zipf.Sample(&rng);
+    out.target_component[q] = static_cast<int32_t>(c);
+    const float* center = mixture.component_centers.Row(c);
+    float* row = out.queries.MutableRow(q);
+    for (size_t d = 0; d < dim; ++d) {
+      const float scale =
+          d < mixture.dim_scale.size() ? mixture.dim_scale[d] : 1.0f;
+      row[d] = center[d] +
+               static_cast<float>(rng.NextGaussian() * spec.noise) * scale;
+    }
+  }
+  return out;
+}
+
+double WorkloadSkew(const std::vector<int32_t>& target_component,
+                    size_t num_components) {
+  if (num_components == 0 || target_component.empty()) return 0.0;
+  std::vector<int64_t> counts(num_components, 0);
+  for (const int32_t c : target_component) {
+    if (c >= 0 && static_cast<size_t>(c) < num_components) ++counts[c];
+  }
+  const double mean = static_cast<double>(target_component.size()) /
+                      static_cast<double>(num_components);
+  double var = 0.0;
+  for (const int64_t c : counts) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(num_components);
+  return mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+}
+
+}  // namespace harmony

@@ -1,0 +1,45 @@
+#ifndef HARMONY_WORKLOAD_QUERIES_H_
+#define HARMONY_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+
+#include "storage/dataset.h"
+#include "util/status.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+
+/// \brief Parameters of a query workload drawn from a mixture population.
+///
+/// `zipf_theta = 0` produces a uniform workload (every component equally
+/// likely to be queried); larger theta concentrates queries on a few "hot"
+/// components — exactly the skew that breaks vector-based partitioning in
+/// the paper's Section 6.2.2 experiment.
+struct QueryWorkloadSpec {
+  size_t num_queries = 1000;
+  double zipf_theta = 0.0;
+  /// Query = component center + Gaussian noise of this stddev.
+  double noise = 1.0;
+  uint64_t seed = 7;
+};
+
+/// \brief A generated query set; `target_component[i]` records which mixture
+/// component query i was aimed at (used to verify skew in tests).
+struct QueryWorkload {
+  Dataset queries;
+  std::vector<int32_t> target_component;
+};
+
+/// Generates queries targeting mixture components under the given skew.
+Result<QueryWorkload> GenerateQueries(const GaussianMixture& mixture,
+                                      const QueryWorkloadSpec& spec);
+
+/// \brief Empirical skew measure of a workload: the standard deviation of
+/// per-component query counts divided by the mean count (coefficient of
+/// variation). 0 = perfectly balanced.
+double WorkloadSkew(const std::vector<int32_t>& target_component,
+                    size_t num_components);
+
+}  // namespace harmony
+
+#endif  // HARMONY_WORKLOAD_QUERIES_H_

@@ -1,0 +1,57 @@
+#include "workload/synthetic.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace harmony {
+
+Result<GaussianMixture> GenerateGaussianMixture(
+    const GaussianMixtureSpec& spec) {
+  if (spec.num_vectors == 0 || spec.dim == 0 || spec.num_components == 0) {
+    return Status::InvalidArgument("mixture spec fields must be > 0");
+  }
+  Rng rng(spec.seed);
+  GaussianMixture out;
+  out.dim_scale.resize(spec.dim);
+  for (size_t d = 0; d < spec.dim; ++d) {
+    out.dim_scale[d] = static_cast<float>(
+        std::exp(-0.5 * spec.dim_energy_decay * static_cast<double>(d) /
+                 static_cast<double>(spec.dim)));
+  }
+  out.component_centers = Dataset(spec.num_components, spec.dim);
+  for (size_t c = 0; c < spec.num_components; ++c) {
+    float* row = out.component_centers.MutableRow(c);
+    for (size_t d = 0; d < spec.dim; ++d) {
+      row[d] = static_cast<float>((rng.NextDouble() * 2.0 - 1.0) *
+                                  spec.center_scale) *
+               out.dim_scale[d];
+    }
+  }
+  out.vectors = Dataset(spec.num_vectors, spec.dim);
+  out.component_of.resize(spec.num_vectors);
+  for (size_t i = 0; i < spec.num_vectors; ++i) {
+    const size_t c = rng.NextBounded(spec.num_components);
+    out.component_of[i] = static_cast<int32_t>(c);
+    const float* center = out.component_centers.Row(c);
+    float* row = out.vectors.MutableRow(i);
+    for (size_t d = 0; d < spec.dim; ++d) {
+      row[d] = center[d] + static_cast<float>(rng.NextGaussian() *
+                                              spec.noise) *
+                               out.dim_scale[d];
+    }
+  }
+  return out;
+}
+
+Dataset GenerateUniform(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset out(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = out.MutableRow(i);
+    for (size_t d = 0; d < dim; ++d) row[d] = rng.NextFloat();
+  }
+  return out;
+}
+
+}  // namespace harmony

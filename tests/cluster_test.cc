@@ -1,0 +1,110 @@
+#include "net/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony {
+namespace {
+
+MachineParams FastMachine() {
+  MachineParams m;
+  m.ops_per_sec = 1e9;
+  return m;
+}
+
+NetworkParams SlowNet(CommMode mode = CommMode::kNonBlocking) {
+  NetworkParams net;
+  net.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s, so transfers are visible.
+  net.latency_seconds = 1e-3;
+  net.mode = mode;
+  return net;
+}
+
+TEST(SimNodeTest, ChargeComputeAdvancesClock) {
+  SimNode node(0, FastMachine());
+  node.ChargeCompute(1000000);  // 1e6 ops at 1e9 ops/s = 1 ms.
+  EXPECT_DOUBLE_EQ(node.clock(), 1e-3);
+  EXPECT_DOUBLE_EQ(node.compute_seconds(), 1e-3);
+  EXPECT_EQ(node.ops_executed(), 1000000u);
+}
+
+TEST(SimNodeTest, WaitUntilBooksIdle) {
+  SimNode node(0, FastMachine());
+  node.WaitUntil(0.5);
+  EXPECT_DOUBLE_EQ(node.clock(), 0.5);
+  EXPECT_DOUBLE_EQ(node.idle_seconds(), 0.5);
+  node.WaitUntil(0.1);  // No-op going backwards.
+  EXPECT_DOUBLE_EQ(node.clock(), 0.5);
+}
+
+TEST(SimNodeTest, ResetClearsEverything) {
+  SimNode node(0, FastMachine());
+  node.ChargeCompute(100);
+  node.BookSend(50);
+  node.Reset();
+  EXPECT_EQ(node.clock(), 0.0);
+  EXPECT_EQ(node.ops_executed(), 0u);
+  EXPECT_EQ(node.bytes_sent(), 0u);
+}
+
+TEST(SimClusterTest, BlockingTransferHoldsSender) {
+  SimCluster cluster(2, SlowNet(CommMode::kBlocking), FastMachine());
+  SimNode& a = cluster.worker(0);
+  SimNode& b = cluster.worker(1);
+  const double arrival = cluster.Transfer(&a, &b, 1000);  // 1 ms + 1 ms lat.
+  EXPECT_NEAR(a.clock(), 2e-3, 1e-9);
+  EXPECT_NEAR(arrival, 2e-3, 1e-9);
+  EXPECT_EQ(b.clock(), 0.0);  // Receiver consumes when it chooses.
+  EXPECT_EQ(a.bytes_sent(), 1000u);
+  EXPECT_EQ(a.messages_sent(), 1u);
+}
+
+TEST(SimClusterTest, NonBlockingTransferOverlaps) {
+  SimCluster cluster(2, SlowNet(CommMode::kNonBlocking), FastMachine());
+  SimNode& a = cluster.worker(0);
+  SimNode& b = cluster.worker(1);
+  const double arrival = cluster.Transfer(&a, &b, 1000);
+  EXPECT_NEAR(a.clock(), 1e-3, 1e-9);        // Injection latency only.
+  EXPECT_NEAR(arrival, 2e-3, 1e-9);          // Payload lands later.
+  EXPECT_EQ(b.clock(), 0.0);
+}
+
+TEST(SimClusterTest, MakespanIsMaxClock) {
+  SimCluster cluster(3, SlowNet(), FastMachine());
+  cluster.worker(0).ChargeCompute(5000000);
+  cluster.worker(1).ChargeCompute(1000000);
+  cluster.client().ChargeCompute(2000000);
+  EXPECT_DOUBLE_EQ(cluster.Makespan(), 5e-3);
+}
+
+TEST(SimClusterTest, BreakdownAveragesWorkers) {
+  SimCluster cluster(2, SlowNet(CommMode::kBlocking), FastMachine());
+  cluster.worker(0).ChargeCompute(2000000);        // 2 ms compute.
+  cluster.Transfer(&cluster.worker(0), &cluster.worker(1), 0);  // 1 ms comm.
+  const ClusterBreakdown b = cluster.Breakdown();
+  EXPECT_NEAR(b.compute_seconds, 1e-3, 1e-9);  // (2ms + 0) / 2
+  EXPECT_NEAR(b.comm_seconds, 0.5e-3, 1e-9);   // (1ms + 0) / 2
+  EXPECT_NEAR(b.makespan_seconds, 3e-3, 1e-9);
+  EXPECT_NEAR(b.other_seconds, 3e-3 - 1e-3 - 0.5e-3, 1e-9);
+  EXPECT_EQ(b.total_messages, 1u);
+}
+
+TEST(SimClusterTest, ResetClocksZerosAllNodes) {
+  SimCluster cluster(2, SlowNet(), FastMachine());
+  cluster.worker(0).ChargeCompute(100);
+  cluster.client().ChargeCompute(100);
+  cluster.ResetClocks();
+  EXPECT_EQ(cluster.Makespan(), 0.0);
+}
+
+TEST(SimClusterTest, ReceiverIdleUntilArrival) {
+  SimCluster cluster(2, SlowNet(CommMode::kNonBlocking), FastMachine());
+  SimNode& a = cluster.worker(0);
+  SimNode& b = cluster.worker(1);
+  const double arrival = cluster.Transfer(&a, &b, 2000);
+  b.WaitUntil(arrival);
+  EXPECT_DOUBLE_EQ(b.idle_seconds(), arrival);
+  EXPECT_DOUBLE_EQ(b.clock(), arrival);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,136 @@
+#include "core/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/router.h"
+#include "test_util.h"
+#include "workload/ground_truth.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+struct RunSetup {
+  PartitionPlan plan;
+  std::vector<WorkerStore> stores;
+  PrewarmCache prewarm;
+  BatchRouting routing;
+};
+
+RunSetup MakeSetup(const SmallWorld& world, size_t machines, size_t b_vec,
+               size_t b_dim, size_t nprobe, bool with_norms = false) {
+  RunSetup setup;
+  auto plan = BuildPartitionPlan(world.index, machines, b_vec, b_dim,
+                                 ShardAssignment::kGreedyBalanced);
+  EXPECT_TRUE(plan.ok());
+  setup.plan = std::move(plan).value();
+  auto stores = BuildWorkerStores(world.index, setup.plan, with_norms);
+  EXPECT_TRUE(stores.ok());
+  setup.stores = std::move(stores).value();
+  setup.prewarm = PrewarmCache::Build(world.index, 4);
+  setup.routing = RouteBatch(world.index, setup.plan,
+                             world.workload.queries.View(), nprobe);
+  return setup;
+}
+
+TEST(CoordinatorTest, ThreadedMatchesIvfSearch) {
+  SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 20);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  auto out = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(out.value().wall_seconds, 0.0);
+  for (size_t q = 0; q < 20; ++q) {
+    auto ivf = world.index.Search(world.workload.queries.Row(q), 10, 4);
+    ASSERT_TRUE(ivf.ok());
+    EXPECT_GE(RecallAtK(out.value().results[q], ivf.value(), 10), 0.9)
+        << "query " << q;
+  }
+}
+
+TEST(CoordinatorTest, ThreadedAgreesWithSimulatedEngine) {
+  SmallWorld world = MakeSmallWorld(2000, 24, 8, 8, 15);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 3);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 3;
+  opts.dynamic_dim_order = false;  // Same block order in both engines.
+  SimCluster cluster(4);
+  auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  auto thr = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_TRUE(sim.ok() && thr.ok());
+  for (size_t q = 0; q < 15; ++q) {
+    // Same candidates, same block order, sound pruning in both: the result
+    // id sets must agree (distances equal up to float associativity).
+    const double recall =
+        RecallAtK(thr.value().results[q], sim.value().results[q], 10);
+    EXPECT_GE(recall, 0.99) << "query " << q;
+  }
+}
+
+TEST(CoordinatorTest, ThreadedWithPruningDisabledAlsoAgrees) {
+  SmallWorld world = MakeSmallWorld(1500, 16, 4, 4, 10);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 2);
+  ExecOptions opts;
+  opts.k = 5;
+  opts.nprobe = 2;
+  opts.enable_pruning = false;
+  opts.dynamic_dim_order = false;
+  SimCluster cluster(4);
+  auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  auto thr = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_TRUE(sim.ok() && thr.ok());
+  for (size_t q = 0; q < 10; ++q) {
+    EXPECT_EQ(sim.value().results[q].size(), thr.value().results[q].size());
+    EXPECT_GE(RecallAtK(thr.value().results[q], sim.value().results[q], 5),
+              0.99);
+  }
+}
+
+TEST(CoordinatorTest, InnerProductThreadedRun) {
+  SmallWorld world =
+      MakeSmallWorld(1500, 16, 4, 4, 10, 0.0, 3, Metric::kInnerProduct);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 2, /*with_norms=*/true);
+  ExecOptions opts;
+  opts.metric = Metric::kInnerProduct;
+  opts.k = 5;
+  opts.nprobe = 2;
+  auto thr = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_TRUE(thr.ok());
+  for (size_t q = 0; q < 10; ++q) {
+    auto ivf = world.index.Search(world.workload.queries.Row(q), 5, 2);
+    ASSERT_TRUE(ivf.ok());
+    EXPECT_GE(RecallAtK(thr.value().results[q], ivf.value(), 5), 0.9);
+  }
+}
+
+TEST(CoordinatorTest, StoreCountMismatchRejected) {
+  SmallWorld world = MakeSmallWorld(1000, 16, 4, 4, 5);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 2);
+  setup.stores.pop_back();
+  ExecOptions opts;
+  EXPECT_FALSE(ExecuteThreaded(world.index, setup.plan, setup.stores,
+                               setup.prewarm, setup.routing,
+                               world.workload.queries.View(), opts)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,148 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MakeSmallWorld(/*n=*/4000, /*dim=*/32, /*components=*/8,
+                            /*nlist=*/8, /*num_queries=*/64);
+  }
+
+  PartitionPlan Plan(size_t b_vec, size_t b_dim,
+                     ShardAssignment a = ShardAssignment::kGreedyBalanced) {
+    auto plan = BuildPartitionPlan(world_.index, b_vec * b_dim, b_vec, b_dim, a);
+    EXPECT_TRUE(plan.ok());
+    return std::move(plan).value();
+  }
+
+  WorkloadProfile Profile(const DatasetView& queries, size_t nprobe = 4) {
+    return ProfileWorkload(world_.index, queries, /*k=*/10, nprobe);
+  }
+
+  SmallWorld world_;
+};
+
+TEST_F(CostModelTest, ProfileCountsSumToQueryTimesNprobe) {
+  const WorkloadProfile profile = Profile(world_.workload.queries.View());
+  double total = 0.0;
+  for (const double c : profile.list_probe_count) total += c;
+  EXPECT_NEAR(total, 64.0 * 4.0, 1e-6);
+}
+
+TEST_F(CostModelTest, SampledProfileApproximatesFull) {
+  const WorkloadProfile full = Profile(world_.workload.queries.View());
+  const WorkloadProfile sampled = ProfileWorkload(
+      world_.index, world_.workload.queries.View(), 10, 4, /*sample=*/16);
+  double full_total = 0.0, sampled_total = 0.0;
+  for (const double c : full.list_probe_count) full_total += c;
+  for (const double c : sampled.list_probe_count) sampled_total += c;
+  EXPECT_NEAR(sampled_total, full_total, full_total * 0.01);
+}
+
+TEST_F(CostModelTest, TotalProbedCandidatesMatchesManualSum) {
+  const WorkloadProfile profile = Profile(world_.workload.queries.View());
+  double manual = 0.0;
+  for (size_t l = 0; l < profile.list_probe_count.size(); ++l) {
+    manual += profile.list_probe_count[l] *
+              static_cast<double>(profile.list_sizes[l]);
+  }
+  EXPECT_DOUBLE_EQ(profile.TotalProbedCandidates(), manual);
+}
+
+TEST_F(CostModelTest, DimensionPartitionHasZeroImbalance) {
+  const WorkloadProfile profile = Profile(world_.workload.queries.View());
+  CostModelParams params;
+  const CostEstimate est = EstimatePlanCost(Plan(1, 4), profile, params);
+  // Every machine handles the same candidates (different dims): loads equal.
+  EXPECT_NEAR(est.imbalance, 0.0, est.comp_seconds * 0.26);
+}
+
+TEST_F(CostModelTest, SkewRaisesVectorPartitionImbalance) {
+  // Same base data and index; only the query workload differs, with few
+  // probes relative to nlist so hot lists stay concentrated.
+  SmallWorld uniform_world = MakeSmallWorld(4000, 32, 16, 16, 64, 0.0);
+  SmallWorld skewed_world = MakeSmallWorld(4000, 32, 16, 16, 64, 2.5);
+  const WorkloadProfile uniform = ProfileWorkload(
+      uniform_world.index, uniform_world.workload.queries.View(), 10, 2);
+  const WorkloadProfile hot = ProfileWorkload(
+      skewed_world.index, skewed_world.workload.queries.View(), 10, 2);
+  CostModelParams params;
+  auto plan = BuildPartitionPlan(uniform_world.index, 4, 4, 1,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  const CostEstimate u = EstimatePlanCost(plan.value(), uniform, params);
+  const CostEstimate h = EstimatePlanCost(plan.value(), hot, params);
+  EXPECT_GT(h.imbalance, u.imbalance * 1.5);
+}
+
+TEST_F(CostModelTest, DimensionPartitionCostsMoreCommunication) {
+  const WorkloadProfile profile = Profile(world_.workload.queries.View());
+  CostModelParams params;
+  params.pruning_enabled = false;
+  const CostEstimate v = EstimatePlanCost(Plan(4, 1), profile, params);
+  const CostEstimate d = EstimatePlanCost(Plan(1, 4), profile, params);
+  EXPECT_GT(d.comm_seconds, v.comm_seconds);
+}
+
+TEST_F(CostModelTest, ComputeCostIndependentOfShapeWithoutPruning) {
+  const WorkloadProfile profile = Profile(world_.workload.queries.View());
+  CostModelParams params;
+  params.pruning_enabled = false;
+  const CostEstimate v = EstimatePlanCost(Plan(4, 1), profile, params);
+  const CostEstimate d = EstimatePlanCost(Plan(1, 4), profile, params);
+  const CostEstimate g = EstimatePlanCost(Plan(2, 2), profile, params);
+  EXPECT_NEAR(v.comp_seconds, d.comp_seconds, v.comp_seconds * 1e-6);
+  EXPECT_NEAR(v.comp_seconds, g.comp_seconds, v.comp_seconds * 1e-6);
+}
+
+TEST_F(CostModelTest, PruningReducesModeledCompute) {
+  const WorkloadProfile profile = Profile(world_.workload.queries.View());
+  CostModelParams on;
+  on.pruning_enabled = true;
+  CostModelParams off = on;
+  off.pruning_enabled = false;
+  const CostEstimate with_prune = EstimatePlanCost(Plan(1, 4), profile, on);
+  const CostEstimate without = EstimatePlanCost(Plan(1, 4), profile, off);
+  EXPECT_LT(with_prune.comp_seconds, without.comp_seconds);
+  // B_dim=1 has nothing to prune: identical either way.
+  const CostEstimate v_on = EstimatePlanCost(Plan(4, 1), profile, on);
+  const CostEstimate v_off = EstimatePlanCost(Plan(4, 1), profile, off);
+  EXPECT_DOUBLE_EQ(v_on.comp_seconds, v_off.comp_seconds);
+}
+
+TEST_F(CostModelTest, AlphaScalesImbalancePenalty) {
+  const WorkloadProfile profile = Profile(world_.workload.queries.View());
+  CostModelParams lo;
+  lo.alpha = 0.0;
+  CostModelParams hi = lo;
+  hi.alpha = 100.0;
+  const PartitionPlan plan = Plan(4, 1);
+  const CostEstimate a = EstimatePlanCost(plan, profile, lo);
+  const CostEstimate b = EstimatePlanCost(plan, profile, hi);
+  EXPECT_DOUBLE_EQ(a.comp_seconds, b.comp_seconds);
+  EXPECT_DOUBLE_EQ(a.total_cost, a.comp_seconds + a.comm_seconds);
+  EXPECT_NEAR(b.total_cost, b.comp_seconds + b.comm_seconds + 100.0 * b.imbalance,
+              1e-12);
+}
+
+TEST_F(CostModelTest, NodeLoadsCoverAllMachines) {
+  const WorkloadProfile profile = Profile(world_.workload.queries.View());
+  CostModelParams params;
+  const CostEstimate est = EstimatePlanCost(Plan(2, 2), profile, params);
+  ASSERT_EQ(est.node_load_seconds.size(), 4u);
+  double total = 0.0;
+  for (const double l : est.node_load_seconds) total += l;
+  EXPECT_NEAR(total, est.comp_seconds, est.comp_seconds * 1e-9);
+}
+
+}  // namespace
+}  // namespace harmony

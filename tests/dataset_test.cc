@@ -1,0 +1,80 @@
+#include "storage/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace harmony {
+namespace {
+
+TEST(DatasetTest, SizedConstructorZeroFills) {
+  Dataset d(3, 4);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.dim(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(d.Row(i)[j], 0.0f);
+  }
+}
+
+TEST(DatasetTest, AppendGrowsAndChecksDim) {
+  Dataset d;
+  const float v1[] = {1.0f, 2.0f};
+  const float v2[] = {3.0f, 4.0f};
+  ASSERT_TRUE(d.Append(v1, 2).ok());
+  ASSERT_TRUE(d.Append(v2, 2).ok());
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Row(1)[0], 3.0f);
+  const float bad[] = {1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(d.Append(bad, 3).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, AppendZeroLengthFails) {
+  Dataset d;
+  EXPECT_FALSE(d.Append(nullptr, 0).ok());
+}
+
+TEST(DatasetTest, ViewReflectsData) {
+  Dataset d(2, 3);
+  d.MutableRow(1)[2] = 7.5f;
+  const DatasetView v = d.View();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_EQ(v.Row(1)[2], 7.5f);
+  EXPECT_EQ(v.SizeBytes(), 2u * 3u * sizeof(float));
+}
+
+TEST(DatasetTest, GatherSelectsRows) {
+  Dataset d(4, 2);
+  for (size_t i = 0; i < 4; ++i) d.MutableRow(i)[0] = static_cast<float>(i);
+  const Dataset g = d.Gather({3, 1});
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.Row(0)[0], 3.0f);
+  EXPECT_EQ(g.Row(1)[0], 1.0f);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.SizeBytes(), 0u);
+}
+
+TEST(NormalizeRowsTest, RowsBecomeUnitNorm) {
+  Dataset d(2, 3);
+  float* r0 = d.MutableRow(0);
+  r0[0] = 3.0f;
+  r0[1] = 4.0f;
+  NormalizeRows(&d);
+  double norm = 0.0;
+  for (size_t j = 0; j < 3; ++j) norm += double{d.Row(0)[j]} * d.Row(0)[j];
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST(NormalizeRowsTest, ZeroRowUntouched) {
+  Dataset d(1, 3);
+  NormalizeRows(&d);
+  for (size_t j = 0; j < 3; ++j) EXPECT_EQ(d.Row(0)[j], 0.0f);
+}
+
+}  // namespace
+}  // namespace harmony

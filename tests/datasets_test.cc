@@ -1,0 +1,98 @@
+#include "workload/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace harmony {
+namespace {
+
+TEST(DatasetsTest, RegistryHasTenPaperDatasets) {
+  EXPECT_EQ(AllStandIns().size(), 10u);
+}
+
+TEST(DatasetsTest, SmallSetExcludesBillionClass) {
+  const auto small = SmallStandIns();
+  EXPECT_EQ(small.size(), 8u);
+  for (const auto& spec : small) {
+    EXPECT_LT(spec.paper_size, 1000000000ULL);
+  }
+}
+
+TEST(DatasetsTest, PaperDimensionsFaithful) {
+  const struct {
+    const char* name;
+    size_t dim;
+  } expected[] = {
+      {"starlightcurves", 1024}, {"msong", 420},    {"sift1m", 128},
+      {"deep1m", 256},           {"word2vec", 300}, {"handoutlines", 2709},
+      {"glove1.2m", 200},        {"glove2.2m", 300}, {"spacev1b", 100},
+      {"sift1b", 128},
+  };
+  for (const auto& e : expected) {
+    auto spec = GetStandIn(e.name);
+    ASSERT_TRUE(spec.ok()) << e.name;
+    EXPECT_EQ(spec.value().paper_dim, e.dim) << e.name;
+  }
+}
+
+TEST(DatasetsTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(GetStandIn("laion5b").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetsTest, MakeStandInMaterializesData) {
+  auto spec = GetStandIn("sift1m");
+  ASSERT_TRUE(spec.ok());
+  auto data = MakeStandIn(spec.value(), 0.1);
+  ASSERT_TRUE(data.ok());
+  const BenchData& bd = data.value();
+  EXPECT_EQ(bd.mixture.vectors.dim(), 128u);
+  EXPECT_EQ(bd.mixture.vectors.size(), bd.spec.num_vectors);
+  EXPECT_EQ(bd.workload.queries.size(), bd.spec.num_queries);
+  EXPECT_NEAR(static_cast<double>(bd.spec.num_vectors), 2000.0, 1.0);
+}
+
+TEST(DatasetsTest, ScaleFloorKeepsEnoughVectors) {
+  auto spec = GetStandIn("sift1m");
+  ASSERT_TRUE(spec.ok());
+  auto data = MakeStandIn(spec.value(), 1e-9);
+  ASSERT_TRUE(data.ok());
+  // At least 4 vectors per component so IVF training is possible.
+  EXPECT_GE(data.value().spec.num_vectors,
+            spec.value().num_components * 4);
+}
+
+TEST(DatasetsTest, RejectsNonPositiveScale) {
+  auto spec = GetStandIn("msong");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(MakeStandIn(spec.value(), 0.0).ok());
+  EXPECT_FALSE(MakeStandIn(spec.value(), -1.0).ok());
+}
+
+TEST(DatasetsTest, SkewedWorkloadIsSkewed) {
+  auto spec = GetStandIn("deep1m");
+  ASSERT_TRUE(spec.ok());
+  auto uniform = MakeStandIn(spec.value(), 0.05, 0.0);
+  auto skewed = MakeStandIn(spec.value(), 0.05, 1.5);
+  ASSERT_TRUE(uniform.ok() && skewed.ok());
+  const double s0 = WorkloadSkew(uniform.value().workload.target_component,
+                                 spec.value().num_components);
+  const double s1 = WorkloadSkew(skewed.value().workload.target_component,
+                                 spec.value().num_components);
+  EXPECT_GT(s1, s0 + 0.5);
+}
+
+TEST(EnvScaleTest, ParsesAndFallsBack) {
+  ::unsetenv("HARMONY_SCALE");
+  EXPECT_DOUBLE_EQ(EnvScale(0.5), 0.5);
+  ::setenv("HARMONY_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(0.5), 2.5);
+  ::setenv("HARMONY_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(0.5), 0.5);
+  ::setenv("HARMONY_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(0.5), 0.5);
+  ::unsetenv("HARMONY_SCALE");
+}
+
+}  // namespace
+}  // namespace harmony

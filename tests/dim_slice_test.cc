@@ -1,0 +1,136 @@
+#include "storage/dim_slice.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace harmony {
+namespace {
+
+TEST(EvenDimBlocksTest, ExactDivision) {
+  const auto blocks = EvenDimBlocks(8, 4);
+  ASSERT_EQ(blocks.size(), 4u);
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(blocks[b].begin, b * 2);
+    EXPECT_EQ(blocks[b].end, b * 2 + 2);
+  }
+}
+
+TEST(EvenDimBlocksTest, RemainderSpreadsAcrossFirstBlocks) {
+  const auto blocks = EvenDimBlocks(10, 4);  // widths 3,3,2,2
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].width(), 3u);
+  EXPECT_EQ(blocks[1].width(), 3u);
+  EXPECT_EQ(blocks[2].width(), 2u);
+  EXPECT_EQ(blocks[3].width(), 2u);
+}
+
+TEST(EvenDimBlocksTest, MoreBlocksThanDimsClamps) {
+  const auto blocks = EvenDimBlocks(3, 10);
+  ASSERT_EQ(blocks.size(), 3u);
+  for (const auto& b : blocks) EXPECT_EQ(b.width(), 1u);
+}
+
+TEST(EvenDimBlocksTest, ZeroInputsGiveEmpty) {
+  EXPECT_TRUE(EvenDimBlocks(0, 4).empty());
+  EXPECT_TRUE(EvenDimBlocks(4, 0).empty());
+}
+
+class EvenDimBlocksSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(EvenDimBlocksSweep, DisjointContiguousCover) {
+  const auto [dim, nblocks] = GetParam();
+  const auto blocks = EvenDimBlocks(dim, nblocks);
+  size_t expect_begin = 0;
+  for (const DimRange& r : blocks) {
+    EXPECT_EQ(r.begin, expect_begin);  // Contiguous & disjoint.
+    EXPECT_GT(r.width(), 0u);
+    expect_begin = r.end;
+  }
+  EXPECT_EQ(expect_begin, dim);  // Full coverage.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EvenDimBlocksSweep,
+    ::testing::Values(std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{7, 2},
+                      std::pair<size_t, size_t>{128, 4},
+                      std::pair<size_t, size_t>{420, 4},
+                      std::pair<size_t, size_t>{2709, 8},
+                      std::pair<size_t, size_t>{100, 16},
+                      std::pair<size_t, size_t>{5, 5},
+                      std::pair<size_t, size_t>{13, 6}));
+
+Dataset MakeMatrix(size_t n, size_t dim) {
+  Dataset d(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      d.MutableRow(i)[j] = static_cast<float>(i * 100 + j);
+    }
+  }
+  return d;
+}
+
+TEST(DimSlicedMatrixTest, FromColumnsCopiesSelectedRowsAndColumns) {
+  const Dataset d = MakeMatrix(5, 6);
+  auto r = DimSlicedMatrix::FromColumns(d.View(), DimRange{2, 4}, {4, 1});
+  ASSERT_TRUE(r.ok());
+  const DimSlicedMatrix& m = r.value();
+  EXPECT_EQ(m.num_rows(), 2u);
+  EXPECT_EQ(m.width(), 2u);
+  EXPECT_EQ(m.GlobalId(0), 4);
+  EXPECT_EQ(m.Row(0)[0], 402.0f);  // row 4, col 2
+  EXPECT_EQ(m.Row(1)[1], 103.0f);  // row 1, col 3
+}
+
+TEST(DimSlicedMatrixTest, FromColumnsRejectsBadRange) {
+  const Dataset d = MakeMatrix(2, 4);
+  EXPECT_FALSE(
+      DimSlicedMatrix::FromColumns(d.View(), DimRange{2, 9}, {0}).ok());
+  EXPECT_FALSE(
+      DimSlicedMatrix::FromColumns(d.View(), DimRange{3, 3}, {0}).ok());
+}
+
+TEST(DimSlicedMatrixTest, FromColumnsRejectsBadRowId) {
+  const Dataset d = MakeMatrix(2, 4);
+  EXPECT_EQ(DimSlicedMatrix::FromColumns(d.View(), DimRange{0, 2}, {5})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DimSlicedMatrixTest, FromAllRowsKeepsOrderAndLabels) {
+  const Dataset d = MakeMatrix(3, 4);
+  auto r = DimSlicedMatrix::FromAllRows(d.View(), DimRange{1, 3},
+                                        {100, 200, 300});
+  ASSERT_TRUE(r.ok());
+  const DimSlicedMatrix& m = r.value();
+  EXPECT_EQ(m.num_rows(), 3u);
+  EXPECT_EQ(m.GlobalId(2), 300);
+  EXPECT_EQ(m.Row(2)[0], 201.0f);
+}
+
+TEST(DimSlicedMatrixTest, FromAllRowsRejectsLabelMismatch) {
+  const Dataset d = MakeMatrix(3, 4);
+  EXPECT_FALSE(
+      DimSlicedMatrix::FromAllRows(d.View(), DimRange{0, 2}, {1, 2}).ok());
+}
+
+TEST(DimSlicedMatrixTest, SlicesReassembleOriginalRow) {
+  const Dataset d = MakeMatrix(4, 10);
+  const auto blocks = EvenDimBlocks(10, 3);
+  std::vector<int64_t> labels = {0, 1, 2, 3};
+  std::vector<float> reassembled(10, -1.0f);
+  for (const DimRange& range : blocks) {
+    auto m = DimSlicedMatrix::FromAllRows(d.View(), range, labels);
+    ASSERT_TRUE(m.ok());
+    for (size_t j = 0; j < range.width(); ++j) {
+      reassembled[range.begin + j] = m.value().Row(2)[j];
+    }
+  }
+  for (size_t j = 0; j < 10; ++j) EXPECT_EQ(reassembled[j], d.Row(2)[j]);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,159 @@
+#include "index/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "index/distance_simd.h"
+#include "storage/dim_slice.h"
+#include "util/rng.h"
+
+namespace harmony {
+namespace {
+
+TEST(DistanceTest, L2SqKnownValues) {
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {4.0f, 6.0f, 3.0f};
+  EXPECT_FLOAT_EQ(L2SqDistance(a, b, 3), 9.0f + 16.0f);
+}
+
+TEST(DistanceTest, L2SqOfSelfIsZero) {
+  const float a[] = {1.5f, -2.5f, 0.0f, 7.0f, 3.0f};
+  EXPECT_FLOAT_EQ(L2SqDistance(a, a, 5), 0.0f);
+}
+
+TEST(DistanceTest, InnerProductKnownValues) {
+  const float a[] = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  const float b[] = {5.0f, 4.0f, 3.0f, 2.0f, 1.0f};
+  EXPECT_FLOAT_EQ(InnerProduct(a, b, 5), 5 + 8 + 9 + 8 + 5);
+}
+
+TEST(DistanceTest, HandlesOddAndSubFourLengths) {
+  const float a[] = {2.0f, 3.0f, 4.0f};
+  const float b[] = {1.0f, 1.0f, 1.0f};
+  EXPECT_FLOAT_EQ(L2SqDistance(a, b, 1), 1.0f);
+  EXPECT_FLOAT_EQ(L2SqDistance(a, b, 2), 1.0f + 4.0f);
+  EXPECT_FLOAT_EQ(L2SqDistance(a, b, 3), 1.0f + 4.0f + 9.0f);
+  EXPECT_FLOAT_EQ(InnerProduct(a, b, 1), 2.0f);
+  EXPECT_FLOAT_EQ(InnerProduct(a, b, 3), 9.0f);
+}
+
+TEST(DistanceTest, SmallerIsBetterConvention) {
+  const float a[] = {1.0f, 0.0f};
+  const float near[] = {1.0f, 0.1f};
+  const float far[] = {-1.0f, 0.0f};
+  EXPECT_LT(Distance(Metric::kL2, a, near, 2), Distance(Metric::kL2, a, far, 2));
+  EXPECT_LT(Distance(Metric::kInnerProduct, a, near, 2),
+            Distance(Metric::kInnerProduct, a, far, 2));
+  EXPECT_LT(Distance(Metric::kCosine, a, near, 2),
+            Distance(Metric::kCosine, a, far, 2));
+}
+
+TEST(DistanceTest, MetricNames) {
+  EXPECT_STREQ(MetricToString(Metric::kL2), "l2");
+  EXPECT_STREQ(MetricToString(Metric::kInnerProduct), "ip");
+  EXPECT_STREQ(MetricToString(Metric::kCosine), "cosine");
+}
+
+TEST(DistanceTest, MetricValueToDistanceNegatesSimilarity) {
+  EXPECT_FLOAT_EQ(MetricValueToDistance(Metric::kL2, 3.0f), 3.0f);
+  EXPECT_FLOAT_EQ(MetricValueToDistance(Metric::kInnerProduct, 3.0f), -3.0f);
+}
+
+class PartialDecompositionSweep : public ::testing::TestWithParam<
+                                      std::pair<size_t, size_t>> {};
+
+/// Core invariant of Section 3.1: partial distances over disjoint dimension
+/// blocks sum to the full-dimension distance, for both metrics.
+TEST_P(PartialDecompositionSweep, PartialsSumToFullDistance) {
+  const auto [dim, nblocks] = GetParam();
+  Rng rng(dim * 31 + nblocks);
+  std::vector<float> a(dim), b(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    a[i] = static_cast<float>(rng.NextGaussian());
+    b[i] = static_cast<float>(rng.NextGaussian());
+  }
+  const auto blocks = EvenDimBlocks(dim, nblocks);
+  double l2_sum = 0.0, ip_sum = 0.0;
+  for (const DimRange& r : blocks) {
+    l2_sum += PartialL2Sq(a.data() + r.begin, b.data() + r.begin, r.width());
+    ip_sum += PartialIp(a.data() + r.begin, b.data() + r.begin, r.width());
+  }
+  const float l2_full = L2SqDistance(a.data(), b.data(), dim);
+  const float ip_full = InnerProduct(a.data(), b.data(), dim);
+  EXPECT_NEAR(l2_sum, l2_full, 1e-3 * (1.0 + std::abs(l2_full)));
+  EXPECT_NEAR(ip_sum, ip_full, 1e-3 * (1.0 + std::abs(ip_full)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartialDecompositionSweep,
+    ::testing::Values(std::pair<size_t, size_t>{8, 2},
+                      std::pair<size_t, size_t>{128, 4},
+                      std::pair<size_t, size_t>{100, 3},
+                      std::pair<size_t, size_t>{420, 4},
+                      std::pair<size_t, size_t>{300, 7},
+                      std::pair<size_t, size_t>{17, 5},
+                      std::pair<size_t, size_t>{64, 64},
+                      std::pair<size_t, size_t>{1024, 16}));
+
+/// Monotonicity invariant for L2: cumulative partial sums never decrease,
+/// so early-stop pruning is sound.
+TEST(PartialMonotonicityTest, L2CumulativeSumsAreNonDecreasing) {
+  Rng rng(99);
+  const size_t dim = 96;
+  std::vector<float> a(dim), b(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    a[i] = rng.NextFloat();
+    b[i] = rng.NextFloat();
+  }
+  const auto blocks = EvenDimBlocks(dim, 6);
+  float cumulative = 0.0f;
+  for (const DimRange& r : blocks) {
+    const float part =
+        PartialL2Sq(a.data() + r.begin, b.data() + r.begin, r.width());
+    EXPECT_GE(part, 0.0f);
+    const float next = cumulative + part;
+    EXPECT_GE(next, cumulative);
+    cumulative = next;
+  }
+}
+
+TEST(SimdDispatchTest, Avx2MatchesPortableWithinTolerance) {
+  // When the AVX2 kernels are active, their results must agree with the
+  // portable reference up to float reassociation error. (On hosts without
+  // AVX2 this degenerates to comparing the portable kernel with itself.)
+  Rng rng(2024);
+  for (const size_t dim : {16, 17, 31, 32, 100, 128, 420, 1024, 2709}) {
+    std::vector<float> a(dim), b(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      a[i] = static_cast<float>(rng.NextGaussian());
+      b[i] = static_cast<float>(rng.NextGaussian());
+    }
+    // Serial double-precision oracle.
+    double l2 = 0.0, ip = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double d = double{a[i]} - b[i];
+      l2 += d * d;
+      ip += double{a[i]} * b[i];
+    }
+    EXPECT_NEAR(L2SqDistance(a.data(), b.data(), dim), l2,
+                1e-4 * (1.0 + std::abs(l2)))
+        << "dim " << dim;
+    EXPECT_NEAR(InnerProduct(a.data(), b.data(), dim), ip,
+                1e-4 * (1.0 + std::abs(ip)))
+        << "dim " << dim;
+  }
+}
+
+TEST(SimdDispatchTest, AvailabilityIsStable) {
+  const bool first = simd::Avx2Available();
+  EXPECT_EQ(simd::Avx2Available(), first);
+}
+
+TEST(DistanceOpCostTest, ProportionalToWidth) {
+  EXPECT_EQ(DistanceOpCost(0), 0u);
+  EXPECT_EQ(DistanceOpCost(128), 128u);
+}
+
+}  // namespace
+}  // namespace harmony

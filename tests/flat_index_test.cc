@@ -1,0 +1,113 @@
+#include "index/flat_index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+namespace {
+
+TEST(FlatIndexTest, SearchEmptyFails) {
+  FlatIndex index;
+  const float q[] = {0.0f};
+  EXPECT_EQ(index.Search(q, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FlatIndexTest, KZeroFails) {
+  FlatIndex index;
+  Dataset d(2, 2);
+  ASSERT_TRUE(index.Add(d.View()).ok());
+  const float q[] = {0.0f, 0.0f};
+  EXPECT_EQ(index.Search(q, 0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlatIndexTest, DimMismatchOnAddFails) {
+  FlatIndex index;
+  Dataset d2(2, 2), d3(2, 3);
+  ASSERT_TRUE(index.Add(d2.View()).ok());
+  EXPECT_FALSE(index.Add(d3.View()).ok());
+}
+
+TEST(FlatIndexTest, FindsExactNearest) {
+  FlatIndex index;
+  Dataset d(3, 2);
+  d.MutableRow(0)[0] = 0.0f;
+  d.MutableRow(1)[0] = 5.0f;
+  d.MutableRow(2)[0] = 10.0f;
+  ASSERT_TRUE(index.Add(d.View()).ok());
+  const float q[] = {4.0f, 0.0f};
+  auto r = index.Search(q, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].id, 1);
+  EXPECT_EQ(r.value()[1].id, 0);
+}
+
+TEST(FlatIndexTest, InnerProductMetricPrefersLargeDotProduct) {
+  FlatIndex index(Metric::kInnerProduct);
+  Dataset d(2, 2);
+  d.MutableRow(0)[0] = 1.0f;   // ip with q = 1
+  d.MutableRow(1)[0] = 10.0f;  // ip with q = 10
+  ASSERT_TRUE(index.Add(d.View()).ok());
+  const float q[] = {1.0f, 0.0f};
+  auto r = index.Search(q, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].id, 1);
+  EXPECT_FLOAT_EQ(r.value()[0].distance, -10.0f);
+}
+
+TEST(FlatIndexTest, ResultsAscendByDistance) {
+  FlatIndex index;
+  const Dataset d = GenerateUniform(200, 8, 11);
+  ASSERT_TRUE(index.Add(d.View()).ok());
+  const float* q = d.Row(0);
+  auto r = index.Search(q, 25);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 25u);
+  EXPECT_EQ(r.value()[0].id, 0);  // Itself.
+  for (size_t i = 1; i < r.value().size(); ++i) {
+    EXPECT_LE(r.value()[i - 1].distance, r.value()[i].distance);
+  }
+}
+
+TEST(FlatIndexTest, KLargerThanIndexReturnsAll) {
+  FlatIndex index;
+  const Dataset d = GenerateUniform(7, 3, 12);
+  ASSERT_TRUE(index.Add(d.View()).ok());
+  const float q[] = {0.5f, 0.5f, 0.5f};
+  auto r = index.Search(q, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 7u);
+}
+
+TEST(FlatIndexTest, BatchMatchesSingle) {
+  FlatIndex index;
+  const Dataset d = GenerateUniform(150, 6, 13);
+  ASSERT_TRUE(index.Add(d.View()).ok());
+  const Dataset queries = GenerateUniform(10, 6, 14);
+  auto batch = index.SearchBatch(queries.View(), 5);
+  ASSERT_TRUE(batch.ok());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto single = index.Search(queries.Row(q), 5);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch.value()[q], single.value());
+  }
+}
+
+TEST(FlatIndexTest, IncrementalAddAssignsDenseIds) {
+  FlatIndex index;
+  const Dataset a = GenerateUniform(5, 2, 15);
+  const Dataset b = GenerateUniform(5, 2, 16);
+  ASSERT_TRUE(index.Add(a.View()).ok());
+  ASSERT_TRUE(index.Add(b.View()).ok());
+  EXPECT_EQ(index.size(), 10u);
+  const float* q = b.Row(3);  // Should be found as id 8.
+  auto r = index.Search(q, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].id, 8);
+  EXPECT_FLOAT_EQ(r.value()[0].distance, 0.0f);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,72 @@
+#include "workload/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+
+namespace harmony {
+namespace {
+
+TEST(GroundTruthTest, SelfQueryIsOwnNearest) {
+  const Dataset d = GenerateUniform(100, 6, 1);
+  auto gt = ComputeGroundTruth(d.View(), d.View(), 3, Metric::kL2);
+  ASSERT_TRUE(gt.ok());
+  for (size_t q = 0; q < d.size(); ++q) {
+    EXPECT_EQ(gt.value()[q][0].id, static_cast<int64_t>(q));
+    EXPECT_FLOAT_EQ(gt.value()[q][0].distance, 0.0f);
+  }
+}
+
+TEST(RecallTest, PerfectRecallIsOne) {
+  std::vector<Neighbor> gt = {{1, 0.1f}, {2, 0.2f}, {3, 0.3f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(gt, gt, 3), 1.0);
+}
+
+TEST(RecallTest, PartialOverlap) {
+  std::vector<Neighbor> gt = {{1, 0.1f}, {2, 0.2f}, {3, 0.3f}, {4, 0.4f}};
+  std::vector<Neighbor> got = {{1, 0.1f}, {9, 0.15f}, {3, 0.3f}, {8, 0.5f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(got, gt, 4), 0.5);
+}
+
+TEST(RecallTest, OnlyTopKOfResultCounts) {
+  std::vector<Neighbor> gt = {{1, 0.1f}, {2, 0.2f}};
+  std::vector<Neighbor> got = {{7, 0.1f}, {8, 0.2f}, {1, 0.3f}, {2, 0.4f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(got, gt, 2), 0.0);
+}
+
+TEST(RecallTest, ShortResultList) {
+  std::vector<Neighbor> gt = {{1, 0.1f}, {2, 0.2f}, {3, 0.3f}};
+  std::vector<Neighbor> got = {{2, 0.2f}};
+  EXPECT_NEAR(RecallAtK(got, gt, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RecallTest, EmptyGroundTruthIsZero) {
+  EXPECT_EQ(RecallAtK({{1, 0.1f}}, {}, 3), 0.0);
+  EXPECT_EQ(RecallAtK({{1, 0.1f}}, {{1, 0.1f}}, 0), 0.0);
+}
+
+TEST(MeanRecallTest, AveragesAcrossQueries) {
+  std::vector<std::vector<Neighbor>> gt = {{{1, 0.1f}}, {{2, 0.2f}}};
+  std::vector<std::vector<Neighbor>> got = {{{1, 0.1f}}, {{9, 0.9f}}};
+  EXPECT_DOUBLE_EQ(MeanRecallAtK(got, gt, 1), 0.5);
+}
+
+TEST(MeanRecallTest, MismatchedSizesIsZero) {
+  std::vector<std::vector<Neighbor>> gt = {{{1, 0.1f}}};
+  EXPECT_EQ(MeanRecallAtK({}, gt, 1), 0.0);
+}
+
+TEST(GroundTruthTest, InnerProductMetricRespected) {
+  Dataset base(2, 2);
+  base.MutableRow(0)[0] = 1.0f;
+  base.MutableRow(1)[0] = 100.0f;
+  Dataset queries(1, 2);
+  queries.MutableRow(0)[0] = 1.0f;
+  auto gt =
+      ComputeGroundTruth(base.View(), queries.View(), 1, Metric::kInnerProduct);
+  ASSERT_TRUE(gt.ok());
+  EXPECT_EQ(gt.value()[0][0].id, 1);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,165 @@
+// End-to-end scenarios crossing every module: data generation -> indexing ->
+// planning -> distributed execution -> recall measurement against exact
+// ground truth, mirroring how the benchmark harness drives the system.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/datasets.h"
+#include "workload/ground_truth.h"
+
+namespace harmony {
+namespace {
+
+TEST(IntegrationTest, StandInDatasetEndToEnd) {
+  auto spec = GetStandIn("sift1m");
+  ASSERT_TRUE(spec.ok());
+  auto data = MakeStandIn(spec.value(), /*scale=*/0.08);
+  ASSERT_TRUE(data.ok());
+  const BenchData& bd = data.value();
+
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = 4;
+  opts.ivf.nlist = bd.spec.nlist_hint / 2;  // Scaled-down data.
+  HarmonyEngine engine(opts);
+  ASSERT_TRUE(engine.Build(bd.mixture.vectors.View()).ok());
+
+  auto gt = ComputeGroundTruth(bd.mixture.vectors.View(),
+                               bd.workload.queries.View(), 10, Metric::kL2);
+  ASSERT_TRUE(gt.ok());
+  auto result = engine.SearchBatch(bd.workload.queries.View(), 10, 8);
+  ASSERT_TRUE(result.ok());
+  const double recall =
+      MeanRecallAtK(result.value().results, gt.value(), 10);
+  EXPECT_GT(recall, 0.8);
+  EXPECT_GT(result.value().stats.qps, 0.0);
+}
+
+TEST(IntegrationTest, RecallRisesWithNprobeAcrossModes) {
+  auto spec = GetStandIn("deep1m");
+  ASSERT_TRUE(spec.ok());
+  auto data = MakeStandIn(spec.value(), 0.04);
+  ASSERT_TRUE(data.ok());
+  const BenchData& bd = data.value();
+  auto gt = ComputeGroundTruth(bd.mixture.vectors.View(),
+                               bd.workload.queries.View(), 10, Metric::kL2);
+  ASSERT_TRUE(gt.ok());
+
+  for (const Mode mode :
+       {Mode::kHarmony, Mode::kHarmonyVector, Mode::kHarmonyDimension}) {
+    HarmonyOptions opts;
+    opts.mode = mode;
+    opts.num_machines = 4;
+    opts.ivf.nlist = 16;
+    HarmonyEngine engine(opts);
+    ASSERT_TRUE(engine.Build(bd.mixture.vectors.View()).ok());
+    double prev_recall = -1.0;
+    for (const size_t nprobe : {1u, 4u, 16u}) {
+      auto result = engine.SearchBatch(bd.workload.queries.View(), 10, nprobe);
+      ASSERT_TRUE(result.ok());
+      const double recall =
+          MeanRecallAtK(result.value().results, gt.value(), 10);
+      EXPECT_GE(recall, prev_recall - 1e-9) << ModeToString(mode);
+      prev_recall = recall;
+    }
+    EXPECT_GT(prev_recall, 0.95) << ModeToString(mode);
+  }
+}
+
+TEST(IntegrationTest, FullProbeMatchesExactSearch) {
+  auto spec = GetStandIn("glove1.2m");
+  ASSERT_TRUE(spec.ok());
+  auto data = MakeStandIn(spec.value(), 0.03);
+  ASSERT_TRUE(data.ok());
+  const BenchData& bd = data.value();
+
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = 4;
+  opts.ivf.nlist = 8;
+  HarmonyEngine engine(opts);
+  ASSERT_TRUE(engine.Build(bd.mixture.vectors.View()).ok());
+
+  auto gt = ComputeGroundTruth(bd.mixture.vectors.View(),
+                               bd.workload.queries.View(), 10, Metric::kL2);
+  auto result = engine.SearchBatch(bd.workload.queries.View(), 10,
+                                   /*nprobe=*/8);  // All lists.
+  ASSERT_TRUE(gt.ok() && result.ok());
+  EXPECT_GT(MeanRecallAtK(result.value().results, gt.value(), 10), 0.999);
+}
+
+TEST(IntegrationTest, CosineMetricEndToEnd) {
+  GaussianMixtureSpec mspec;
+  mspec.num_vectors = 3000;
+  mspec.dim = 32;
+  mspec.num_components = 8;
+  mspec.seed = 17;
+  auto mix = GenerateGaussianMixture(mspec);
+  ASSERT_TRUE(mix.ok());
+  NormalizeRows(&mix.value().vectors);
+
+  QueryWorkloadSpec qspec;
+  qspec.num_queries = 20;
+  qspec.seed = 18;
+  auto queries = GenerateQueries(mix.value(), qspec);
+  ASSERT_TRUE(queries.ok());
+  NormalizeRows(&queries.value().queries);
+
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = 4;
+  opts.ivf.nlist = 8;
+  opts.ivf.metric = Metric::kCosine;
+  HarmonyEngine engine(opts);
+  ASSERT_TRUE(engine.Build(mix.value().vectors.View()).ok());
+
+  auto gt = ComputeGroundTruth(mix.value().vectors.View(),
+                               queries.value().queries.View(), 10,
+                               Metric::kCosine);
+  auto result = engine.SearchBatch(queries.value().queries.View(), 10, 8);
+  ASSERT_TRUE(gt.ok() && result.ok());
+  EXPECT_GT(MeanRecallAtK(result.value().results, gt.value(), 10), 0.99);
+}
+
+TEST(IntegrationTest, RepeatedBatchesAreDeterministic) {
+  auto spec = GetStandIn("msong");
+  ASSERT_TRUE(spec.ok());
+  auto data = MakeStandIn(spec.value(), 0.03);
+  ASSERT_TRUE(data.ok());
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = 4;
+  opts.ivf.nlist = 8;
+  HarmonyEngine engine(opts);
+  ASSERT_TRUE(engine.Build(data.value().mixture.vectors.View()).ok());
+  auto r1 = engine.SearchBatch(data.value().workload.queries.View(), 10, 4);
+  auto r2 = engine.SearchBatch(data.value().workload.queries.View(), 10, 4);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  for (size_t q = 0; q < r1.value().results.size(); ++q) {
+    EXPECT_EQ(r1.value().results[q], r2.value().results[q]);
+  }
+  EXPECT_DOUBLE_EQ(r1.value().stats.makespan_seconds,
+                   r2.value().stats.makespan_seconds);
+}
+
+TEST(IntegrationTest, SixteenNodeBillionClassStandIn) {
+  // Tiny-scale rendition of the paper's 16-node SpaceV1B/Sift1B runs.
+  auto spec = GetStandIn("spacev1b");
+  ASSERT_TRUE(spec.ok());
+  auto data = MakeStandIn(spec.value(), 0.02);
+  ASSERT_TRUE(data.ok());
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = 16;
+  opts.ivf.nlist = 32;
+  HarmonyEngine engine(opts);
+  ASSERT_TRUE(engine.Build(data.value().mixture.vectors.View()).ok());
+  auto result = engine.SearchBatch(data.value().workload.queries.View(), 10, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().stats.node_compute_seconds.size(), 16u);
+  EXPECT_GT(result.value().stats.qps, 0.0);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,109 @@
+#include "storage/io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/rng.h"
+
+namespace harmony {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("harmony_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+Dataset RandomDataset(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) d.MutableRow(i)[j] = rng.NextFloat();
+  }
+  return d;
+}
+
+void ExpectEqualDatasets(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.dim(), b.dim());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a.dim(); ++j) {
+      ASSERT_EQ(a.Row(i)[j], b.Row(i)[j]) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_F(IoTest, FvecsRoundTrip) {
+  const Dataset d = RandomDataset(17, 9, 1);
+  ASSERT_TRUE(WriteFvecs(Path("a.fvecs"), d.View()).ok());
+  auto r = ReadFvecs(Path("a.fvecs"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  ExpectEqualDatasets(d, r.value());
+}
+
+TEST_F(IoTest, HvdbRoundTrip) {
+  const Dataset d = RandomDataset(33, 5, 2);
+  ASSERT_TRUE(WriteHvdb(Path("a.hvdb"), d.View()).ok());
+  auto r = ReadHvdb(Path("a.hvdb"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  ExpectEqualDatasets(d, r.value());
+}
+
+TEST_F(IoTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadFvecs(Path("missing")).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadHvdb(Path("missing")).status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, TruncatedFvecsFails) {
+  const Dataset d = RandomDataset(4, 8, 3);
+  ASSERT_TRUE(WriteFvecs(Path("t.fvecs"), d.View()).ok());
+  std::filesystem::resize_file(Path("t.fvecs"),
+                               std::filesystem::file_size(Path("t.fvecs")) - 5);
+  EXPECT_EQ(ReadFvecs(Path("t.fvecs")).status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, TruncatedHvdbFails) {
+  const Dataset d = RandomDataset(4, 8, 4);
+  ASSERT_TRUE(WriteHvdb(Path("t.hvdb"), d.View()).ok());
+  std::filesystem::resize_file(Path("t.hvdb"),
+                               std::filesystem::file_size(Path("t.hvdb")) - 3);
+  EXPECT_EQ(ReadHvdb(Path("t.hvdb")).status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, BadMagicFails) {
+  FILE* f = std::fopen(Path("bad.hvdb").c_str(), "wb");
+  const char junk[32] = "XXXXjunkjunkjunkjunkjunk";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_EQ(ReadHvdb(Path("bad.hvdb")).status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, EmptyFvecsFileFails) {
+  FILE* f = std::fopen(Path("empty.fvecs").c_str(), "wb");
+  std::fclose(f);
+  EXPECT_FALSE(ReadFvecs(Path("empty.fvecs")).ok());
+}
+
+TEST_F(IoTest, HvdbEmptyDatasetRoundTrips) {
+  Dataset d(0, 7);
+  ASSERT_TRUE(WriteHvdb(Path("zero.hvdb"), d.View()).ok());
+  auto r = ReadHvdb(Path("zero.hvdb"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 0u);
+  EXPECT_EQ(r.value().dim(), 7u);
+}
+
+}  // namespace
+}  // namespace harmony

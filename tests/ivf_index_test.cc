@@ -1,0 +1,240 @@
+#include "index/ivf_index.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <set>
+
+#include "index/flat_index.h"
+#include "workload/ground_truth.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+namespace {
+
+GaussianMixture TestMixture(size_t n = 2000, size_t dim = 16,
+                            size_t components = 8, uint64_t seed = 21) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = n;
+  spec.dim = dim;
+  spec.num_components = components;
+  spec.seed = seed;
+  auto r = GenerateGaussianMixture(spec);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+IvfIndex BuildIndex(const GaussianMixture& mix, size_t nlist = 8) {
+  IvfParams params;
+  params.nlist = nlist;
+  IvfIndex index(params);
+  EXPECT_TRUE(index.Train(mix.vectors.View()).ok());
+  EXPECT_TRUE(index.Add(mix.vectors.View()).ok());
+  return index;
+}
+
+TEST(IvfIndexTest, LifecycleErrors) {
+  IvfIndex index;
+  const Dataset d = GenerateUniform(100, 4, 1);
+  EXPECT_EQ(index.Add(d.View()).code(), StatusCode::kFailedPrecondition);
+  const float q[] = {0, 0, 0, 0};
+  EXPECT_FALSE(index.Search(q, 1, 1).ok());
+  ASSERT_TRUE(index.Train(d.View()).ok());
+  EXPECT_EQ(index.Train(d.View()).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(index.Search(q, 1, 1).ok());  // Trained but empty.
+}
+
+TEST(IvfIndexTest, TrainNeedsEnoughPoints) {
+  IvfParams params;
+  params.nlist = 64;
+  IvfIndex index(params);
+  const Dataset d = GenerateUniform(10, 4, 2);
+  EXPECT_EQ(index.Train(d.View()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IvfIndexTest, ListsPartitionAllVectors) {
+  const GaussianMixture mix = TestMixture();
+  const IvfIndex index = BuildIndex(mix);
+  std::set<int64_t> seen;
+  for (size_t l = 0; l < index.nlist(); ++l) {
+    EXPECT_EQ(index.ListIds(l).size(), index.ListVectors(l).size());
+    for (const int64_t id : index.ListIds(l)) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), mix.vectors.size());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), static_cast<int64_t>(mix.vectors.size()) - 1);
+}
+
+TEST(IvfIndexTest, ListVectorsMatchOriginalRows) {
+  const GaussianMixture mix = TestMixture(500, 8, 4, 3);
+  const IvfIndex index = BuildIndex(mix, 4);
+  for (size_t l = 0; l < index.nlist(); ++l) {
+    const auto& ids = index.ListIds(l);
+    const DatasetView vecs = index.ListVectors(l);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const float* orig = mix.vectors.Row(static_cast<size_t>(ids[i]));
+      for (size_t d = 0; d < 8; ++d) {
+        ASSERT_EQ(vecs.Row(i)[d], orig[d]);
+      }
+    }
+  }
+}
+
+TEST(IvfIndexTest, FullProbeMatchesBruteForce) {
+  const GaussianMixture mix = TestMixture(800, 12, 6, 4);
+  const IvfIndex index = BuildIndex(mix, 6);
+  FlatIndex flat;
+  ASSERT_TRUE(flat.Add(mix.vectors.View()).ok());
+  for (size_t q = 0; q < 10; ++q) {
+    const float* query = mix.vectors.Row(q * 37);
+    auto ivf = index.Search(query, 10, index.nlist());
+    auto exact = flat.Search(query, 10);
+    ASSERT_TRUE(ivf.ok() && exact.ok());
+    EXPECT_EQ(ivf.value(), exact.value());
+  }
+}
+
+TEST(IvfIndexTest, RecallImprovesWithNprobe) {
+  const GaussianMixture mix = TestMixture(3000, 16, 16, 5);
+  const IvfIndex index = BuildIndex(mix, 16);
+  const Dataset queries = GenerateUniform(30, 16, 6);
+  // Scale uniform queries into data range roughly; use mixture vectors.
+  auto gt = ComputeGroundTruth(mix.vectors.View(), mix.vectors.View(), 10,
+                               Metric::kL2);
+  ASSERT_TRUE(gt.ok());
+  double recall_lo = 0.0, recall_hi = 0.0;
+  std::vector<std::vector<Neighbor>> lo_results, hi_results;
+  for (size_t q = 0; q < 50; ++q) {
+    const float* query = mix.vectors.Row(q);
+    auto lo = index.Search(query, 10, 1);
+    auto hi = index.Search(query, 10, 8);
+    ASSERT_TRUE(lo.ok() && hi.ok());
+    recall_lo += RecallAtK(lo.value(), gt.value()[q], 10);
+    recall_hi += RecallAtK(hi.value(), gt.value()[q], 10);
+  }
+  EXPECT_GE(recall_hi, recall_lo);
+  EXPECT_GT(recall_hi / 50.0, 0.9);
+}
+
+TEST(IvfIndexTest, ProbeListsAreNearestCentroidsInOrder) {
+  const GaussianMixture mix = TestMixture(400, 8, 4, 7);
+  const IvfIndex index = BuildIndex(mix, 4);
+  const float* q = mix.vectors.Row(5);
+  const auto probes = index.ProbeLists(q, 4);
+  ASSERT_EQ(probes.size(), 4u);
+  float prev = -1.0f;
+  for (const int32_t list : probes) {
+    const float d = L2SqDistance(q, index.centroids().Row(list), 8);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(IvfIndexTest, NprobeClampedToNlist) {
+  const GaussianMixture mix = TestMixture(300, 8, 4, 8);
+  const IvfIndex index = BuildIndex(mix, 4);
+  EXPECT_EQ(index.ProbeLists(mix.vectors.Row(0), 100).size(), 4u);
+}
+
+TEST(IvfIndexTest, SizeBytesCoversPayload) {
+  const GaussianMixture mix = TestMixture(1000, 10, 4, 9);
+  const IvfIndex index = BuildIndex(mix, 4);
+  // At least the raw vectors (n*dim*4) plus ids (n*8).
+  EXPECT_GE(index.SizeBytes(), 1000u * 10 * 4 + 1000u * 8);
+}
+
+TEST(IvfIndexTest, BuildStatsPopulated) {
+  const GaussianMixture mix = TestMixture(500, 8, 4, 10);
+  const IvfIndex index = BuildIndex(mix, 4);
+  EXPECT_GT(index.build_stats().train_seconds, 0.0);
+  EXPECT_GT(index.build_stats().add_seconds, 0.0);
+}
+
+TEST(IvfIndexTest, SampledTrainingWorks) {
+  const GaussianMixture mix = TestMixture(2000, 8, 4, 11);
+  IvfParams params;
+  params.nlist = 8;
+  params.max_train_points = 300;
+  IvfIndex index(params);
+  ASSERT_TRUE(index.Train(mix.vectors.View()).ok());
+  ASSERT_TRUE(index.Add(mix.vectors.View()).ok());
+  EXPECT_EQ(index.num_vectors(), 2000u);
+  auto r = index.Search(mix.vectors.Row(0), 5, 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].id, 0);
+}
+
+TEST(IvfIndexIoTest, SaveLoadRoundTrip) {
+  const GaussianMixture mix = TestMixture(800, 12, 4, 20);
+  const IvfIndex index = BuildIndex(mix, 4);
+  const std::string path =
+      std::filesystem::temp_directory_path() / "harmony_ivf_test.hivf";
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = IvfIndex::Load(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const IvfIndex& li = loaded.value();
+  EXPECT_EQ(li.nlist(), index.nlist());
+  EXPECT_EQ(li.dim(), index.dim());
+  EXPECT_EQ(li.num_vectors(), index.num_vectors());
+  EXPECT_EQ(li.metric(), index.metric());
+  for (size_t l = 0; l < index.nlist(); ++l) {
+    EXPECT_EQ(li.ListIds(l), index.ListIds(l));
+  }
+  // Search results identical.
+  for (size_t q = 0; q < 5; ++q) {
+    auto a = index.Search(mix.vectors.Row(q * 31), 5, 2);
+    auto b = li.Search(mix.vectors.Row(q * 31), 5, 2);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+TEST(IvfIndexIoTest, SaveUntrainedFails) {
+  IvfIndex index;
+  EXPECT_EQ(index.Save("/tmp/should_not_exist.hivf").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IvfIndexIoTest, LoadMissingOrCorruptFails) {
+  EXPECT_FALSE(IvfIndex::Load("/nonexistent/path.hivf").ok());
+  const std::string path =
+      std::filesystem::temp_directory_path() / "harmony_ivf_bad.hivf";
+  {
+    std::ofstream f(path);
+    f << "garbage-not-an-index";
+  }
+  EXPECT_FALSE(IvfIndex::Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(IvfIndexIoTest, TruncatedFileFails) {
+  const GaussianMixture mix = TestMixture(400, 8, 4, 22);
+  const IvfIndex index = BuildIndex(mix, 4);
+  const std::string path =
+      std::filesystem::temp_directory_path() / "harmony_ivf_trunc.hivf";
+  ASSERT_TRUE(index.Save(path).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_FALSE(IvfIndex::Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(IvfIndexIoTest, LoadedIndexFeedsEngine) {
+  const GaussianMixture mix = TestMixture(1000, 16, 4, 23);
+  const IvfIndex index = BuildIndex(mix, 4);
+  const std::string path =
+      std::filesystem::temp_directory_path() / "harmony_ivf_engine.hivf";
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = IvfIndex::Load(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().trained());
+  EXPECT_GT(loaded.value().SizeBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,143 @@
+#include "index/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "index/distance.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+namespace {
+
+GaussianMixture WellSeparated(size_t n, size_t dim, size_t components,
+                              uint64_t seed) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = n;
+  spec.dim = dim;
+  spec.num_components = components;
+  spec.center_scale = 50.0;
+  spec.noise = 0.5;
+  spec.seed = seed;
+  auto r = GenerateGaussianMixture(spec);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(KMeansTest, RejectsInvalidParams) {
+  const Dataset d(10, 4);
+  KMeansParams p;
+  p.num_clusters = 0;
+  EXPECT_FALSE(TrainKMeans(d.View(), p).ok());
+  p.num_clusters = 11;  // more clusters than points
+  EXPECT_FALSE(TrainKMeans(d.View(), p).ok());
+}
+
+TEST(KMeansTest, BasicShapeOfOutput) {
+  const GaussianMixture mix = WellSeparated(500, 8, 5, 1);
+  KMeansParams p;
+  p.num_clusters = 5;
+  p.max_iters = 10;
+  auto r = TrainKMeans(mix.vectors.View(), p);
+  ASSERT_TRUE(r.ok());
+  const KMeansResult& km = r.value();
+  EXPECT_EQ(km.centroids.size(), 5u);
+  EXPECT_EQ(km.centroids.dim(), 8u);
+  EXPECT_EQ(km.assignments.size(), 500u);
+  EXPECT_EQ(km.cluster_sizes.size(), 5u);
+  int64_t total = 0;
+  for (const int64_t s : km.cluster_sizes) total += s;
+  EXPECT_EQ(total, 500);
+  EXPECT_GE(km.iterations_run, 1u);
+}
+
+TEST(KMeansTest, NoEmptyClustersOnSeparatedData) {
+  const GaussianMixture mix = WellSeparated(400, 6, 8, 2);
+  KMeansParams p;
+  p.num_clusters = 8;
+  auto r = TrainKMeans(mix.vectors.View(), p);
+  ASSERT_TRUE(r.ok());
+  for (const int64_t s : r.value().cluster_sizes) EXPECT_GT(s, 0);
+}
+
+TEST(KMeansTest, AssignmentsMatchNearestCentroid) {
+  const GaussianMixture mix = WellSeparated(300, 4, 4, 3);
+  KMeansParams p;
+  p.num_clusters = 4;
+  auto r = TrainKMeans(mix.vectors.View(), p);
+  ASSERT_TRUE(r.ok());
+  const KMeansResult& km = r.value();
+  const DatasetView cents = km.centroids.View();
+  for (size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(km.assignments[i], NearestCentroid(cents, mix.vectors.Row(i)));
+  }
+}
+
+TEST(KMeansTest, RecoversWellSeparatedComponents) {
+  const GaussianMixture mix = WellSeparated(1000, 8, 4, 4);
+  KMeansParams p;
+  p.num_clusters = 4;
+  p.max_iters = 20;
+  auto r = TrainKMeans(mix.vectors.View(), p);
+  ASSERT_TRUE(r.ok());
+  // Every centroid should land near one true component center.
+  for (size_t c = 0; c < 4; ++c) {
+    float best = std::numeric_limits<float>::max();
+    for (size_t t = 0; t < 4; ++t) {
+      best = std::min(best,
+                      L2SqDistance(r.value().centroids.Row(c),
+                                   mix.component_centers.Row(t), 8));
+    }
+    // Component noise is 0.5 -> centroid-center distance^2 << center scale.
+    EXPECT_LT(best, 10.0f);
+  }
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const GaussianMixture mix = WellSeparated(300, 5, 3, 5);
+  KMeansParams p;
+  p.num_clusters = 3;
+  p.seed = 77;
+  auto r1 = TrainKMeans(mix.vectors.View(), p);
+  auto r2 = TrainKMeans(mix.vectors.View(), p);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value().assignments, r2.value().assignments);
+  EXPECT_EQ(r1.value().inertia, r2.value().inertia);
+}
+
+TEST(KMeansTest, RandomSeedingAlsoWorks) {
+  const GaussianMixture mix = WellSeparated(300, 5, 3, 6);
+  KMeansParams p;
+  p.num_clusters = 3;
+  p.use_kmeanspp = false;
+  auto r = TrainKMeans(mix.vectors.View(), p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().inertia, 0.0);
+}
+
+TEST(KMeansTest, InertiaDecreasesVsOneIteration) {
+  const GaussianMixture mix = WellSeparated(600, 6, 6, 7);
+  KMeansParams one;
+  one.num_clusters = 6;
+  one.max_iters = 1;
+  one.tolerance = 0.0;
+  KMeansParams many = one;
+  many.max_iters = 15;
+  auto r1 = TrainKMeans(mix.vectors.View(), one);
+  auto r2 = TrainKMeans(mix.vectors.View(), many);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_LE(r2.value().inertia, r1.value().inertia * 1.0001);
+}
+
+TEST(KMeansTest, KEqualsNProducesZeroInertia) {
+  const GaussianMixture mix = WellSeparated(16, 4, 4, 8);
+  KMeansParams p;
+  p.num_clusters = 16;
+  p.max_iters = 20;
+  p.use_kmeanspp = true;
+  auto r = TrainKMeans(mix.vectors.View(), p);
+  ASSERT_TRUE(r.ok());
+  // With k == n every point can sit on its own centroid.
+  EXPECT_NEAR(r.value().inertia, 0.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace harmony

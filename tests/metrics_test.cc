@@ -1,0 +1,72 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, MeanMinMaxSum) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 6.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStatTest, VarianceMatchesDefinition) {
+  RunningStat s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  // Population variance of {1,2,3,4} = 1.25.
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(10.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, CountsSamples) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.AddMicros(50.0);
+  EXPECT_EQ(h.count(), 100);
+}
+
+TEST(LatencyHistogramTest, PercentileOrdering) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.AddMicros(static_cast<double>(i));
+  const double p50 = h.PercentileMicros(50);
+  const double p95 = h.PercentileMicros(95);
+  const double p99 = h.PercentileMicros(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log buckets are coarse; accept generous bounds.
+  EXPECT_GT(p50, 200.0);
+  EXPECT_LT(p50, 1000.0);
+  EXPECT_GT(p99, 600.0);
+}
+
+TEST(LatencyHistogramTest, EmptyPercentileIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileMicros(99), 0.0);
+}
+
+TEST(LatencyHistogramTest, ToStringMentionsCount) {
+  LatencyHistogram h;
+  h.AddMicros(10);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,53 @@
+#include "net/network_model.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony {
+namespace {
+
+TEST(NetworkModelTest, TransferTimeIsLatencyPlusBandwidth) {
+  NetworkParams params;
+  params.bandwidth_bytes_per_sec = 1e9;
+  params.latency_seconds = 1e-5;
+  const NetworkModel net(params);
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(0), 1e-5);
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(1000000), 1e-5 + 1e-3);
+}
+
+TEST(NetworkModelTest, BlockingSenderPaysFullTransfer) {
+  NetworkParams params;
+  params.bandwidth_bytes_per_sec = 1e9;
+  params.latency_seconds = 1e-6;
+  params.mode = CommMode::kBlocking;
+  const NetworkModel net(params);
+  EXPECT_DOUBLE_EQ(net.SenderBusySeconds(1000000),
+                   net.TransferSeconds(1000000));
+}
+
+TEST(NetworkModelTest, NonBlockingSenderPaysOnlyInjection) {
+  NetworkParams params;
+  params.bandwidth_bytes_per_sec = 1e9;
+  params.latency_seconds = 1e-6;
+  params.mode = CommMode::kNonBlocking;
+  const NetworkModel net(params);
+  EXPECT_DOUBLE_EQ(net.SenderBusySeconds(1000000), 1e-6);
+}
+
+TEST(NetworkModelTest, LargerMessagesTakeLonger) {
+  const NetworkModel net;
+  EXPECT_LT(net.TransferSeconds(100), net.TransferSeconds(1000000));
+}
+
+TEST(NetworkModelTest, ModeNames) {
+  EXPECT_STREQ(CommModeToString(CommMode::kBlocking), "blocking");
+  EXPECT_STREQ(CommModeToString(CommMode::kNonBlocking), "non-blocking");
+}
+
+TEST(NetworkModelTest, DefaultModels100GbLink) {
+  const NetworkModel net;
+  // 1 GB at 100 Gb/s (12.5 GB/s) = 80 ms.
+  EXPECT_NEAR(net.TransferSeconds(1000000000), 0.08, 0.001);
+}
+
+}  // namespace
+}  // namespace harmony

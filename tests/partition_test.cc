@@ -1,0 +1,210 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+TEST(EnumerateGridShapesTest, FactorPairsOnly) {
+  const auto shapes = EnumerateGridShapes(12, 1000);
+  std::set<std::pair<size_t, size_t>> got(shapes.begin(), shapes.end());
+  const std::set<std::pair<size_t, size_t>> want = {
+      {1, 12}, {2, 6}, {3, 4}, {4, 3}, {6, 2}, {12, 1}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(EnumerateGridShapesTest, DimLimitsBdim) {
+  const auto shapes = EnumerateGridShapes(8, 2);
+  for (const auto& [b_vec, b_dim] : shapes) {
+    EXPECT_LE(b_dim, 2u);
+    EXPECT_EQ(b_vec * b_dim, 8u);
+  }
+}
+
+class PartitionPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { world_ = MakeSmallWorld(); }
+  SmallWorld world_;
+};
+
+TEST_F(PartitionPlanTest, RejectsBadShapes) {
+  EXPECT_FALSE(BuildPartitionPlan(world_.index, 4, 3, 2,
+                                  ShardAssignment::kGreedyBalanced)
+                   .ok());  // 3*2 != 4
+  EXPECT_FALSE(BuildPartitionPlan(world_.index, 0, 1, 1,
+                                  ShardAssignment::kGreedyBalanced)
+                   .ok());
+  // More shards than lists.
+  EXPECT_FALSE(BuildPartitionPlan(world_.index, 16, 16, 1,
+                                  ShardAssignment::kGreedyBalanced)
+                   .ok());
+}
+
+TEST_F(PartitionPlanTest, RequiresTrainedIndex) {
+  IvfIndex untrained;
+  EXPECT_EQ(BuildPartitionPlan(untrained, 4, 2, 2,
+                               ShardAssignment::kGreedyBalanced)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PartitionPlanTest, EveryListAssignedToExactlyOneShard) {
+  auto plan = BuildPartitionPlan(world_.index, 4, 2, 2,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  const PartitionPlan& p = plan.value();
+  std::vector<int> seen(world_.index.nlist(), 0);
+  for (size_t s = 0; s < p.num_vec_shards; ++s) {
+    for (const int32_t l : p.shard_lists[s]) {
+      ++seen[static_cast<size_t>(l)];
+      EXPECT_EQ(p.list_to_shard[static_cast<size_t>(l)],
+                static_cast<int32_t>(s));
+    }
+  }
+  for (const int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST_F(PartitionPlanTest, DimRangesTileTheDimensions) {
+  auto plan = BuildPartitionPlan(world_.index, 4, 1, 4,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  size_t begin = 0;
+  for (const DimRange& r : plan.value().dim_ranges) {
+    EXPECT_EQ(r.begin, begin);
+    begin = r.end;
+  }
+  EXPECT_EQ(begin, world_.index.dim());
+}
+
+TEST_F(PartitionPlanTest, ExactTilingGivesOneBlockPerMachine) {
+  auto plan = BuildPartitionPlan(world_.index, 4, 2, 2,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  std::vector<int> blocks_per_machine(4, 0);
+  for (size_t v = 0; v < 2; ++v) {
+    for (size_t d = 0; d < 2; ++d) {
+      ++blocks_per_machine[static_cast<size_t>(plan.value().MachineOf(v, d))];
+    }
+  }
+  for (const int c : blocks_per_machine) EXPECT_EQ(c, 1);
+}
+
+TEST_F(PartitionPlanTest, GreedyBalancesShardSizes) {
+  auto plan = BuildPartitionPlan(world_.index, 4, 4, 1,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  const auto& counts = plan.value().shard_vector_count;
+  const int64_t max_count = *std::max_element(counts.begin(), counts.end());
+  const int64_t min_count = *std::min_element(counts.begin(), counts.end());
+  // LPT packing of 8 lists into 4 shards: within 2x of each other for the
+  // balanced mixture (components are about equal sized).
+  EXPECT_LE(max_count, 2 * std::max<int64_t>(1, min_count));
+  int64_t total = 0;
+  for (const int64_t c : counts) total += c;
+  EXPECT_EQ(total, static_cast<int64_t>(world_.index.num_vectors()));
+}
+
+TEST_F(PartitionPlanTest, WeightedGreedyBalancesWeights) {
+  // Give one list an outsized weight: the packing must isolate it.
+  std::vector<double> weights(world_.index.nlist(), 1.0);
+  weights[3] = 100.0;
+  auto plan = BuildPartitionPlan(world_.index, 4, 4, 1,
+                                 ShardAssignment::kGreedyBalanced, &weights);
+  ASSERT_TRUE(plan.ok());
+  const int32_t hot_shard = plan.value().list_to_shard[3];
+  // The hot list's shard receives no other list (7 cold lists spread over
+  // the remaining 3 shards).
+  EXPECT_EQ(plan.value().shard_lists[static_cast<size_t>(hot_shard)].size(),
+            1u);
+}
+
+TEST_F(PartitionPlanTest, WeightSizeMismatchRejected) {
+  std::vector<double> weights(3, 1.0);
+  EXPECT_FALSE(BuildPartitionPlan(world_.index, 4, 4, 1,
+                                  ShardAssignment::kGreedyBalanced, &weights)
+                   .ok());
+}
+
+TEST_F(PartitionPlanTest, RoundRobinMatchesModulo) {
+  auto plan = BuildPartitionPlan(world_.index, 4, 4, 1,
+                                 ShardAssignment::kRoundRobin);
+  ASSERT_TRUE(plan.ok());
+  for (size_t l = 0; l < world_.index.nlist(); ++l) {
+    EXPECT_EQ(plan.value().list_to_shard[l], static_cast<int32_t>(l % 4));
+  }
+}
+
+TEST_F(PartitionPlanTest, BdimClampedToDim) {
+  // dim=32 but ask B_dim=64 on 64 machines with B_vec=1: clamp rejects the
+  // tiling (32*1 != 64) -> error. With machines=32 it works.
+  auto plan = BuildPartitionPlan(world_.index, 32, 1, 32,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().num_dim_blocks, 32u);
+  auto bad = BuildPartitionPlan(world_.index, 64, 1, 64,
+                                ShardAssignment::kGreedyBalanced);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(PartitionPlanTest, SingleNodePlan) {
+  auto plan =
+      BuildPartitionPlan(world_.index, 1, 1, 1, ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().num_machines, 1u);
+  EXPECT_EQ(plan.value().MachineOf(0, 0), 0);
+  EXPECT_EQ(plan.value().shard_lists[0].size(), world_.index.nlist());
+}
+
+TEST_F(PartitionPlanTest, BlockEnergyComputedAndCoversDims) {
+  auto plan = BuildPartitionPlan(world_.index, 4, 1, 4,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().block_energy.size(), 4u);
+  for (const double e : plan.value().block_energy) EXPECT_GT(e, 0.0);
+}
+
+TEST(BlockEnergyTest, DecreasesOnSpectrallyDecayingData) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 2000;
+  spec.dim = 32;
+  spec.num_components = 8;
+  spec.dim_energy_decay = 4.0;
+  spec.seed = 91;
+  auto mix = GenerateGaussianMixture(spec);
+  ASSERT_TRUE(mix.ok());
+  IvfParams params;
+  params.nlist = 8;
+  IvfIndex index(params);
+  ASSERT_TRUE(index.Train(mix.value().vectors.View()).ok());
+  ASSERT_TRUE(index.Add(mix.value().vectors.View()).ok());
+  auto plan =
+      BuildPartitionPlan(index, 4, 1, 4, ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  const auto& energy = plan.value().block_energy;
+  ASSERT_EQ(energy.size(), 4u);
+  // Leading blocks carry strictly more energy on decayed data.
+  EXPECT_GT(energy[0], energy[1]);
+  EXPECT_GT(energy[1], energy[2]);
+  EXPECT_GT(energy[2], energy[3]);
+}
+
+TEST_F(PartitionPlanTest, ToStringMentionsShape) {
+  auto plan = BuildPartitionPlan(world_.index, 4, 2, 2,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  const std::string s = plan.value().ToString();
+  EXPECT_NE(s.find("B_vec=2"), std::string::npos);
+  EXPECT_NE(s.find("B_dim=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,315 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/router.h"
+#include "test_util.h"
+#include "workload/ground_truth.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+struct RunSetup {
+  PartitionPlan plan;
+  std::vector<WorkerStore> stores;
+  PrewarmCache prewarm;
+  BatchRouting routing;
+};
+
+RunSetup MakeSetup(const SmallWorld& world, size_t machines, size_t b_vec,
+               size_t b_dim, size_t nprobe, size_t prewarm_per_list = 4,
+               bool with_norms = false) {
+  RunSetup setup;
+  auto plan = BuildPartitionPlan(world.index, machines, b_vec, b_dim,
+                                 ShardAssignment::kGreedyBalanced);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  setup.plan = std::move(plan).value();
+  auto stores = BuildWorkerStores(world.index, setup.plan, with_norms);
+  EXPECT_TRUE(stores.ok());
+  setup.stores = std::move(stores).value();
+  setup.prewarm = PrewarmCache::Build(world.index, prewarm_per_list);
+  setup.routing = RouteBatch(world.index, setup.plan,
+                             world.workload.queries.View(), nprobe);
+  return setup;
+}
+
+ExecOptions Opts(size_t k = 10, size_t nprobe = 4, Metric metric = Metric::kL2) {
+  ExecOptions opts;
+  opts.metric = metric;
+  opts.k = k;
+  opts.nprobe = nprobe;
+  return opts;
+}
+
+TEST(PipelineTest, MatchesSingleNodeIvfSearch) {
+  SmallWorld world = MakeSmallWorld(3000, 32, 8, 8, 25);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 4);
+  SimCluster cluster(4);
+  ExecOptions opts = Opts();
+  opts.dynamic_dim_order = false;  // Fixed order for bit-stable comparison.
+  auto out = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  ASSERT_TRUE(out.ok()) << out.status();
+  for (size_t q = 0; q < 25; ++q) {
+    auto ivf = world.index.Search(world.workload.queries.Row(q), 10, 4);
+    ASSERT_TRUE(ivf.ok());
+    const double recall = RecallAtK(out.value().results[q], ivf.value(), 10);
+    EXPECT_GE(recall, 0.9) << "query " << q;
+  }
+}
+
+TEST(PipelineTest, PruningDoesNotChangeResults) {
+  SmallWorld world = MakeSmallWorld(2500, 24, 8, 8, 20);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 4);
+  ExecOptions on = Opts();
+  on.dynamic_dim_order = false;
+  ExecOptions off = on;
+  off.enable_pruning = false;
+  SimCluster c1(4), c2(4);
+  auto with_prune =
+      ExecuteSimulated(world.index, setup.plan, setup.stores, setup.prewarm,
+                       setup.routing, world.workload.queries.View(), on, &c1);
+  auto without =
+      ExecuteSimulated(world.index, setup.plan, setup.stores, setup.prewarm,
+                       setup.routing, world.workload.queries.View(), off, &c2);
+  ASSERT_TRUE(with_prune.ok() && without.ok());
+  for (size_t q = 0; q < 20; ++q) {
+    EXPECT_EQ(with_prune.value().results[q], without.value().results[q])
+        << "query " << q;
+  }
+  // And pruning must actually have fired.
+  EXPECT_GT(with_prune.value().prune.AveragePruneRatio(), 0.1);
+  EXPECT_EQ(without.value().prune.AveragePruneRatio(), 0.0);
+}
+
+TEST(PipelineTest, PruneRatioMonotoneAcrossPositions) {
+  SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 20);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 4);
+  SimCluster cluster(4);
+  auto out = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), Opts(), &cluster);
+  ASSERT_TRUE(out.ok());
+  const PruneStats& prune = out.value().prune;
+  EXPECT_DOUBLE_EQ(prune.PruneRatioAt(0), 0.0);
+  for (size_t p = 1; p < 4; ++p) {
+    EXPECT_GE(prune.PruneRatioAt(p), prune.PruneRatioAt(p - 1));
+  }
+  // Later slices prune most of the work (paper Table 3: final slice > 80%
+  // on real data; our synthetic mixtures are also strongly clustered).
+  EXPECT_GT(prune.PruneRatioAt(3), 0.3);
+}
+
+TEST(PipelineTest, DimensionPlanMovesMoreBytesThanVectorPlan) {
+  SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 20);
+  RunSetup v = MakeSetup(world, 4, 4, 1, 4);
+  RunSetup d = MakeSetup(world, 4, 1, 4, 4);
+  SimCluster cv(4), cd(4);
+  ExecOptions opts = Opts();
+  opts.enable_pruning = false;  // Isolate communication structure.
+  ASSERT_TRUE(ExecuteSimulated(world.index, v.plan, v.stores, v.prewarm,
+                               v.routing, world.workload.queries.View(), opts,
+                               &cv)
+                  .ok());
+  ASSERT_TRUE(ExecuteSimulated(world.index, d.plan, d.stores, d.prewarm,
+                               d.routing, world.workload.queries.View(), opts,
+                               &cd)
+                  .ok());
+  EXPECT_GT(cd.Breakdown().total_bytes, cv.Breakdown().total_bytes);
+  EXPECT_GT(cd.Breakdown().total_messages, cv.Breakdown().total_messages);
+}
+
+TEST(PipelineTest, SkewHurtsVectorPlanMoreThanDimensionPlan) {
+  SmallWorld world =
+      MakeSmallWorld(4000, 32, 16, 16, 60, /*zipf_theta=*/3.0);
+  RunSetup v = MakeSetup(world, 4, 4, 1, 1);
+  RunSetup d = MakeSetup(world, 4, 1, 4, 1);
+  SimCluster cv(4), cd(4);
+  ExecOptions opts = Opts(10, 1);
+  opts.enable_pruning = false;  // Compare raw load distribution.
+  ASSERT_TRUE(ExecuteSimulated(world.index, v.plan, v.stores, v.prewarm,
+                               v.routing, world.workload.queries.View(), opts,
+                               &cv)
+                  .ok());
+  ASSERT_TRUE(ExecuteSimulated(world.index, d.plan, d.stores, d.prewarm,
+                               d.routing, world.workload.queries.View(), opts,
+                               &cd)
+                  .ok());
+  // Under heavy skew the vector plan concentrates compute on few machines:
+  // its max/mean compute ratio is far worse than the dimension plan's.
+  auto imbalance = [](const SimCluster& c) {
+    double max_c = 0.0, sum_c = 0.0;
+    for (size_t m = 0; m < c.num_workers(); ++m) {
+      max_c = std::max(max_c, c.worker(m).compute_seconds());
+      sum_c += c.worker(m).compute_seconds();
+    }
+    return max_c / (sum_c / static_cast<double>(c.num_workers()));
+  };
+  EXPECT_GT(imbalance(cv), imbalance(cd) * 1.3);
+}
+
+TEST(PipelineTest, MakespanPositiveAndBreakdownConsistent) {
+  SmallWorld world = MakeSmallWorld(1500, 16, 4, 4, 10);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 2);
+  SimCluster cluster(4);
+  auto out = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), Opts(5, 2),
+                              &cluster);
+  ASSERT_TRUE(out.ok());
+  const ClusterBreakdown b = cluster.Breakdown();
+  EXPECT_GT(b.makespan_seconds, 0.0);
+  EXPECT_GE(b.makespan_seconds, b.compute_seconds);
+  EXPECT_GT(b.total_ops, 0u);
+  EXPECT_GT(b.total_messages, 0u);
+}
+
+TEST(PipelineTest, InnerProductMetricWithNormsIsSound) {
+  SmallWorld world = MakeSmallWorld(2000, 24, 6, 6, 15, 0.0, 9,
+                                    Metric::kInnerProduct);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 3, 4, /*with_norms=*/true);
+  ExecOptions on = Opts(10, 3, Metric::kInnerProduct);
+  on.dynamic_dim_order = false;
+  ExecOptions off = on;
+  off.enable_pruning = false;
+  SimCluster c1(4), c2(4);
+  auto with_prune =
+      ExecuteSimulated(world.index, setup.plan, setup.stores, setup.prewarm,
+                       setup.routing, world.workload.queries.View(), on, &c1);
+  auto without =
+      ExecuteSimulated(world.index, setup.plan, setup.stores, setup.prewarm,
+                       setup.routing, world.workload.queries.View(), off, &c2);
+  ASSERT_TRUE(with_prune.ok() && without.ok());
+  for (size_t q = 0; q < 15; ++q) {
+    EXPECT_EQ(with_prune.value().results[q], without.value().results[q]);
+  }
+}
+
+TEST(PipelineTest, MismatchedClusterSizeRejected) {
+  SmallWorld world = MakeSmallWorld(1000, 16, 4, 4, 5);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 2);
+  SimCluster wrong(2);
+  EXPECT_FALSE(ExecuteSimulated(world.index, setup.plan, setup.stores,
+                                setup.prewarm, setup.routing,
+                                world.workload.queries.View(), Opts(), &wrong)
+                   .ok());
+}
+
+TEST(PipelineTest, PeakIntermediateBytesTracked) {
+  SmallWorld world = MakeSmallWorld(2000, 16, 4, 4, 10);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 4);
+  SimCluster cluster(4);
+  auto out = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), Opts(), &cluster);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out.value().peak_intermediate_bytes, 0u);
+}
+
+TEST(PipelineTest, SingleMachinePlanWorks) {
+  SmallWorld world = MakeSmallWorld(1200, 16, 4, 4, 10);
+  RunSetup setup = MakeSetup(world, 1, 1, 1, 4);
+  SimCluster cluster(1);
+  auto out = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), Opts(), &cluster);
+  ASSERT_TRUE(out.ok());
+  for (size_t q = 0; q < 10; ++q) {
+    auto ivf = world.index.Search(world.workload.queries.Row(q), 10, 4);
+    ASSERT_TRUE(ivf.ok());
+    EXPECT_GE(RecallAtK(out.value().results[q], ivf.value(), 10), 0.9);
+  }
+}
+
+TEST(PipelineTest, DeterministicAcrossRuns) {
+  SmallWorld world = MakeSmallWorld(1800, 24, 6, 6, 12);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 3);
+  ExecOptions opts = Opts(10, 3);
+  SimCluster c1(4), c2(4);
+  auto a = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                            setup.prewarm, setup.routing,
+                            world.workload.queries.View(), opts, &c1);
+  auto b = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                            setup.prewarm, setup.routing,
+                            world.workload.queries.View(), opts, &c2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().results, b.value().results);
+  EXPECT_DOUBLE_EQ(c1.Makespan(), c2.Makespan());
+  EXPECT_EQ(c1.Breakdown().total_ops, c2.Breakdown().total_ops);
+  EXPECT_EQ(c1.Breakdown().total_messages, c2.Breakdown().total_messages);
+}
+
+TEST(PipelineTest, TinyBatchSizeStillCorrect) {
+  SmallWorld world = MakeSmallWorld(1200, 16, 4, 4, 8);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 2);
+  ExecOptions opts = Opts(5, 2);
+  opts.pipeline_batch = 1;  // One candidate per pipeline baton.
+  SimCluster cluster(4);
+  auto out = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  ASSERT_TRUE(out.ok());
+  for (size_t q = 0; q < 8; ++q) {
+    auto oracle = world.index.Search(world.workload.queries.Row(q), 5, 2);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_GE(RecallAtK(out.value().results[q], oracle.value(), 5), 0.99);
+  }
+}
+
+TEST(PipelineTest, KLargerThanCandidatePoolReturnsEverything) {
+  SmallWorld world = MakeSmallWorld(400, 16, 4, 4, 5);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 1);
+  ExecOptions opts = Opts(1000, 1);  // k far beyond one list's size.
+  SimCluster cluster(4);
+  auto out = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  ASSERT_TRUE(out.ok());
+  for (size_t q = 0; q < 5; ++q) {
+    auto oracle = world.index.Search(world.workload.queries.Row(q), 1000, 1);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(out.value().results[q].size(), oracle.value().size());
+  }
+}
+
+TEST(PipelineTest, SingleQueryBatch) {
+  SmallWorld world = MakeSmallWorld(900, 16, 4, 4, 1);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 4);
+  SimCluster cluster(4);
+  auto out = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), Opts(10, 4),
+                              &cluster);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().results.size(), 1u);
+  auto oracle = world.index.Search(world.workload.queries.Row(0), 10, 4);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_GE(RecallAtK(out.value().results[0], oracle.value(), 10), 0.9);
+}
+
+TEST(PipelineTest, ZeroPrewarmStillSound) {
+  SmallWorld world = MakeSmallWorld(1500, 16, 4, 4, 10);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 3, /*prewarm_per_list=*/0);
+  ExecOptions on = Opts(10, 3);
+  on.dynamic_dim_order = false;
+  ExecOptions off = on;
+  off.enable_pruning = false;
+  SimCluster c1(4), c2(4);
+  auto a = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                            setup.prewarm, setup.routing,
+                            world.workload.queries.View(), on, &c1);
+  auto b = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                            setup.prewarm, setup.routing,
+                            world.workload.queries.View(), off, &c2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t q = 0; q < 10; ++q) {
+    EXPECT_EQ(a.value().results[q], b.value().results[q]);
+  }
+}
+
+}  // namespace
+}  // namespace harmony

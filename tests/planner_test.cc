@@ -1,0 +1,141 @@
+#include "core/planner.h"
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+CostModelParams DefaultParams() {
+  CostModelParams params;
+  params.alpha = 4.0;
+  return params;
+}
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MakeSmallWorld(4000, 32, 8, 8, 64);
+    profile_ = ProfileWorkload(world_.index, world_.workload.queries.View(),
+                               10, 4);
+  }
+  SmallWorld world_;
+  WorkloadProfile profile_;
+};
+
+TEST_F(PlannerTest, ModeNames) {
+  EXPECT_STREQ(ModeToString(Mode::kHarmony), "harmony");
+  EXPECT_STREQ(ModeToString(Mode::kHarmonyVector), "harmony-vector");
+  EXPECT_STREQ(ModeToString(Mode::kHarmonyDimension), "harmony-dimension");
+  EXPECT_STREQ(ModeToString(Mode::kSingleNode), "single-node");
+  EXPECT_STREQ(ModeToString(Mode::kAuncelLike), "auncel-like");
+}
+
+TEST_F(PlannerTest, VectorModePinsShape) {
+  QueryPlanner planner(Mode::kHarmonyVector, DefaultParams());
+  auto choice = planner.Plan(world_.index, 4, profile_, true);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice.value().plan.num_vec_shards, 4u);
+  EXPECT_EQ(choice.value().plan.num_dim_blocks, 1u);
+}
+
+TEST_F(PlannerTest, DimensionModePinsShape) {
+  QueryPlanner planner(Mode::kHarmonyDimension, DefaultParams());
+  auto choice = planner.Plan(world_.index, 4, profile_, true);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice.value().plan.num_vec_shards, 1u);
+  EXPECT_EQ(choice.value().plan.num_dim_blocks, 4u);
+}
+
+TEST_F(PlannerTest, SingleNodeRequiresOneMachine) {
+  QueryPlanner planner(Mode::kSingleNode, DefaultParams());
+  EXPECT_FALSE(planner.Plan(world_.index, 4, profile_, true).ok());
+  auto choice = planner.Plan(world_.index, 1, profile_, true);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice.value().plan.num_machines, 1u);
+}
+
+TEST_F(PlannerTest, AuncelUsesRoundRobinAssignment) {
+  QueryPlanner planner(Mode::kAuncelLike, DefaultParams());
+  auto choice = planner.Plan(world_.index, 4, profile_, true);
+  ASSERT_TRUE(choice.ok());
+  for (size_t l = 0; l < world_.index.nlist(); ++l) {
+    EXPECT_EQ(choice.value().plan.list_to_shard[l],
+              static_cast<int32_t>(l % 4));
+  }
+}
+
+TEST_F(PlannerTest, HarmonyEvaluatesAllShapes) {
+  QueryPlanner planner(Mode::kHarmony, DefaultParams());
+  auto choice = planner.Plan(world_.index, 4, profile_, true);
+  ASSERT_TRUE(choice.ok());
+  // Shapes for 4 machines with dim>=4: (1,4),(2,2),(4,1).
+  EXPECT_EQ(choice.value().candidates.size(), 3u);
+  // The chosen plan must be the argmin of candidate costs.
+  double best = 1e300;
+  for (const auto& [shape, est] : choice.value().candidates) {
+    best = std::min(best, est.total_cost);
+  }
+  EXPECT_DOUBLE_EQ(choice.value().cost.total_cost, best);
+}
+
+TEST_F(PlannerTest, HarmonyChoiceIsNearOptimalUnderUniformLoad) {
+  // The cost model's pick must hold up in execution: running every pinned
+  // strategy on the same data, the adaptive plan's throughput must be
+  // within a modest factor of the best pinned strategy.
+  auto run_qps = [&](Mode mode) {
+    HarmonyOptions opts;
+    opts.mode = mode;
+    opts.num_machines = 4;
+    opts.ivf.nlist = 8;
+    opts.ivf.seed = 7;
+    HarmonyEngine engine(opts);
+    EXPECT_TRUE(engine.BuildFromIndex(world_.index).ok());
+    auto result = engine.SearchBatch(world_.workload.queries.View(), 10, 4);
+    EXPECT_TRUE(result.ok());
+    return result.value().stats.qps;
+  };
+  const double vec = run_qps(Mode::kHarmonyVector);
+  const double dim = run_qps(Mode::kHarmonyDimension);
+  const double adaptive = run_qps(Mode::kHarmony);
+  EXPECT_GE(adaptive, 0.85 * std::max(vec, dim));
+}
+
+TEST_F(PlannerTest, HarmonyMovesTowardDimensionUnderSkew) {
+  SmallWorld skewed = MakeSmallWorld(4000, 32, 16, 16, 64, /*zipf_theta=*/2.5);
+  const WorkloadProfile hot =
+      ProfileWorkload(skewed.index, skewed.workload.queries.View(), 10, 2);
+  CostModelParams params = DefaultParams();
+  params.alpha = 50.0;  // Heavy skew penalty.
+  QueryPlanner planner(Mode::kHarmony, params);
+  auto uniform_choice = planner.Plan(world_.index, 4, profile_, true);
+  auto skew_choice = planner.Plan(skewed.index, 4, hot, true);
+  ASSERT_TRUE(uniform_choice.ok() && skew_choice.ok());
+  // More dimension blocks (or at least not fewer) under skew.
+  EXPECT_GE(skew_choice.value().plan.num_dim_blocks,
+            uniform_choice.value().plan.num_dim_blocks);
+  EXPECT_GT(skew_choice.value().plan.num_dim_blocks, 1u);
+}
+
+TEST_F(PlannerTest, ExplainListsCandidates) {
+  QueryPlanner planner(Mode::kHarmony, DefaultParams());
+  auto choice = planner.Plan(world_.index, 4, profile_, true);
+  ASSERT_TRUE(choice.ok());
+  const std::string explain = choice.value().Explain();
+  EXPECT_NE(explain.find("candidate"), std::string::npos);
+  EXPECT_NE(explain.find("chosen"), std::string::npos);
+}
+
+TEST_F(PlannerTest, ZeroMachinesRejected) {
+  QueryPlanner planner(Mode::kHarmony, DefaultParams());
+  EXPECT_FALSE(planner.Plan(world_.index, 0, profile_, true).ok());
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,179 @@
+#include "index/pq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "index/distance.h"
+#include "index/flat_index.h"
+#include "workload/ground_truth.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+namespace {
+
+GaussianMixture PqMixture(size_t n = 3000, size_t dim = 32,
+                          size_t components = 8, uint64_t seed = 61) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = n;
+  spec.dim = dim;
+  spec.num_components = components;
+  spec.seed = seed;
+  auto r = GenerateGaussianMixture(spec);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+PqParams SmallPq(size_t m = 4, size_t bits = 6) {
+  PqParams params;
+  params.num_subspaces = m;
+  params.bits = bits;
+  return params;
+}
+
+TEST(ProductQuantizerTest, TrainValidation) {
+  ProductQuantizer bad_bits(PqParams{.num_subspaces = 4, .bits = 9});
+  const Dataset d = GenerateUniform(300, 16, 1);
+  EXPECT_FALSE(bad_bits.Train(d.View()).ok());
+  ProductQuantizer too_many_subspaces(PqParams{.num_subspaces = 32, .bits = 4});
+  const Dataset tiny(300, 8);
+  EXPECT_FALSE(too_many_subspaces.Train(GenerateUniform(300, 8, 2).View()).ok());
+  ProductQuantizer too_few_points(SmallPq(4, 8));
+  EXPECT_FALSE(too_few_points.Train(GenerateUniform(100, 16, 3).View()).ok());
+}
+
+TEST(ProductQuantizerTest, CodeSizeAndShape) {
+  const GaussianMixture mix = PqMixture();
+  ProductQuantizer pq(SmallPq(8, 8));
+  ASSERT_TRUE(pq.Train(mix.vectors.View()).ok());
+  EXPECT_TRUE(pq.trained());
+  EXPECT_EQ(pq.code_size(), 8u);
+  EXPECT_EQ(pq.codewords(), 256u);
+  EXPECT_EQ(pq.dim(), 32u);
+  const auto codes = pq.EncodeBatch(mix.vectors.View());
+  EXPECT_EQ(codes.size(), mix.vectors.size() * 8);
+}
+
+TEST(ProductQuantizerTest, ReconstructionBeatsZeroBaseline) {
+  const GaussianMixture mix = PqMixture();
+  ProductQuantizer pq(SmallPq(8, 8));
+  ASSERT_TRUE(pq.Train(mix.vectors.View()).ok());
+  std::vector<uint8_t> code(pq.code_size());
+  std::vector<float> recon(pq.dim());
+  double err = 0.0, energy = 0.0;
+  for (size_t i = 0; i < 200; ++i) {
+    const float* row = mix.vectors.Row(i);
+    pq.Encode(row, code.data());
+    pq.Decode(code.data(), recon.data());
+    err += L2SqDistance(row, recon.data(), pq.dim());
+    energy += InnerProduct(row, row, pq.dim());
+  }
+  // Quantization error well below the raw signal energy.
+  EXPECT_LT(err, 0.3 * energy);
+}
+
+TEST(ProductQuantizerTest, MoreSubspacesReduceError) {
+  const GaussianMixture mix = PqMixture(3000, 32, 8, 62);
+  auto avg_err = [&](size_t m) {
+    ProductQuantizer pq(SmallPq(m, 6));
+    EXPECT_TRUE(pq.Train(mix.vectors.View()).ok());
+    std::vector<uint8_t> code(pq.code_size());
+    std::vector<float> recon(pq.dim());
+    double err = 0.0;
+    for (size_t i = 0; i < 200; ++i) {
+      pq.Encode(mix.vectors.Row(i), code.data());
+      pq.Decode(code.data(), recon.data());
+      err += L2SqDistance(mix.vectors.Row(i), recon.data(), pq.dim());
+    }
+    return err;
+  };
+  EXPECT_LT(avg_err(8), avg_err(2));
+}
+
+TEST(ProductQuantizerTest, AdcMatchesDecodedDistance) {
+  const GaussianMixture mix = PqMixture();
+  ProductQuantizer pq(SmallPq(4, 8));
+  ASSERT_TRUE(pq.Train(mix.vectors.View()).ok());
+  std::vector<float> table(pq.num_subspaces() * pq.codewords());
+  std::vector<uint8_t> code(pq.code_size());
+  std::vector<float> recon(pq.dim());
+  for (size_t q = 0; q < 20; ++q) {
+    const float* query = mix.vectors.Row(1000 + q);
+    pq.ComputeLookupTable(query, table.data());
+    for (size_t i = 0; i < 20; ++i) {
+      const float* base = mix.vectors.Row(i);
+      pq.Encode(base, code.data());
+      pq.Decode(code.data(), recon.data());
+      const float adc = pq.AdcDistance(table.data(), code.data());
+      const float exact = L2SqDistance(query, recon.data(), pq.dim());
+      // ADC(query, code) == L2(query, decode(code)) by construction.
+      ASSERT_NEAR(adc, exact, 1e-2 * (1.0 + exact));
+    }
+  }
+}
+
+TEST(ProductQuantizerTest, SubspacesTileDimensions) {
+  const GaussianMixture mix = PqMixture(2000, 30, 4, 63);
+  ProductQuantizer pq(SmallPq(4, 6));
+  ASSERT_TRUE(pq.Train(mix.vectors.View()).ok());
+  size_t begin = 0;
+  for (size_t m = 0; m < pq.num_subspaces(); ++m) {
+    EXPECT_EQ(pq.Subspace(m).begin, begin);
+    begin = pq.Subspace(m).end;
+  }
+  EXPECT_EQ(begin, 30u);
+}
+
+TEST(IvfPqIndexTest, LifecycleErrors) {
+  IvfPqIndex index;
+  const Dataset d = GenerateUniform(100, 16, 5);
+  EXPECT_FALSE(index.Add(d.View()).ok());
+  const float q[16] = {0};
+  EXPECT_FALSE(index.Search(q, 1, 1).ok());
+}
+
+TEST(IvfPqIndexTest, RecallReasonableAtFractionOfMemory) {
+  const GaussianMixture mix = PqMixture(6000, 32, 16, 64);
+  IvfPqIndex::Params params;
+  params.nlist = 16;
+  params.pq = SmallPq(8, 8);
+  IvfPqIndex pq_index(params);
+  ASSERT_TRUE(pq_index.Train(mix.vectors.View()).ok());
+  ASSERT_TRUE(pq_index.Add(mix.vectors.View()).ok());
+
+  auto gt = ComputeGroundTruth(mix.vectors.View(), mix.vectors.View(), 10,
+                               Metric::kL2);
+  ASSERT_TRUE(gt.ok());
+  double recall = 0.0;
+  const size_t num_queries = 40;
+  for (size_t q = 0; q < num_queries; ++q) {
+    auto r = pq_index.Search(mix.vectors.Row(q * 29), 10, 8);
+    ASSERT_TRUE(r.ok());
+    recall += RecallAtK(r.value(), gt.value()[q * 29], 10);
+  }
+  recall /= static_cast<double>(num_queries);
+  EXPECT_GT(recall, 0.5);  // Lossy, but far better than chance.
+
+  // Compression: codes are 8 bytes vs 128 bytes of raw floats.
+  const size_t raw_bytes = mix.vectors.SizeBytes();
+  EXPECT_LT(pq_index.SizeBytes(), raw_bytes / 2);
+}
+
+TEST(IvfPqIndexTest, SearchOrderedAndSized) {
+  const GaussianMixture mix = PqMixture(2000, 16, 4, 65);
+  IvfPqIndex::Params params;
+  params.nlist = 8;
+  params.pq = SmallPq(4, 6);
+  IvfPqIndex index(params);
+  ASSERT_TRUE(index.Train(mix.vectors.View()).ok());
+  ASSERT_TRUE(index.Add(mix.vectors.View()).ok());
+  auto r = index.Search(mix.vectors.Row(3), 15, 8);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 15u);
+  for (size_t i = 1; i < r.value().size(); ++i) {
+    EXPECT_LE(r.value()[i - 1].distance, r.value()[i].distance);
+  }
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,186 @@
+// Parameterized property sweeps over the system's core invariants:
+//  1. pruning never changes results (soundness), for any grid shape;
+//  2. per-machine stored bytes are conserved across partitionings;
+//  3. the simulated makespan never beats the perfectly-parallel lower bound;
+//  4. communication volume of a query batch is independent of B_dim for the
+//     dispatched query payload (the paper's "total data sent does not
+//     change" claim in Section 4.2.2).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.h"
+#include "core/pipeline.h"
+#include "core/router.h"
+#include "test_util.h"
+#include "workload/ground_truth.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+// (machines, b_vec, b_dim)
+using GridShape = std::tuple<size_t, size_t, size_t>;
+
+class GridShapeSweep : public ::testing::TestWithParam<GridShape> {
+ protected:
+  void SetUp() override {
+    world_ = MakeSmallWorld(2400, 32, 8, 8, 12, 0.0, 23);
+  }
+  SmallWorld world_;
+};
+
+TEST_P(GridShapeSweep, PruningIsSoundForEveryShape) {
+  const auto [machines, b_vec, b_dim] = GetParam();
+  auto plan = BuildPartitionPlan(world_.index, machines, b_vec, b_dim,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  auto stores = BuildWorkerStores(world_.index, plan.value(), false);
+  ASSERT_TRUE(stores.ok());
+  const PrewarmCache prewarm = PrewarmCache::Build(world_.index, 4);
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan.value(), world_.workload.queries.View(), 4);
+
+  ExecOptions on;
+  on.k = 10;
+  on.nprobe = 4;
+  on.dynamic_dim_order = false;
+  ExecOptions off = on;
+  off.enable_pruning = false;
+
+  SimCluster c1(machines), c2(machines);
+  auto with_prune = ExecuteSimulated(world_.index, plan.value(),
+                                     stores.value(), prewarm, routing,
+                                     world_.workload.queries.View(), on, &c1);
+  auto without = ExecuteSimulated(world_.index, plan.value(), stores.value(),
+                                  prewarm, routing,
+                                  world_.workload.queries.View(), off, &c2);
+  ASSERT_TRUE(with_prune.ok() && without.ok());
+  for (size_t q = 0; q < 12; ++q) {
+    EXPECT_EQ(with_prune.value().results[q], without.value().results[q])
+        << "query " << q;
+  }
+  // Pruned execution never does more work.
+  EXPECT_LE(c1.Breakdown().total_ops, c2.Breakdown().total_ops);
+}
+
+TEST_P(GridShapeSweep, StoredVectorPayloadIsConserved) {
+  const auto [machines, b_vec, b_dim] = GetParam();
+  auto plan = BuildPartitionPlan(world_.index, machines, b_vec, b_dim,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  auto stores = BuildWorkerStores(world_.index, plan.value(), false);
+  ASSERT_TRUE(stores.ok());
+  size_t float_payload = 0;
+  for (const WorkerStore& store : stores.value()) {
+    for (const auto& block : store.blocks()) {
+      for (const auto& [l, ls] : block.lists) {
+        (void)l;
+        float_payload += ls.slice.num_rows() * ls.slice.width() * 4;
+      }
+    }
+  }
+  EXPECT_EQ(float_payload, world_.index.num_vectors() * world_.index.dim() * 4);
+}
+
+TEST_P(GridShapeSweep, MakespanRespectsParallelLowerBound) {
+  const auto [machines, b_vec, b_dim] = GetParam();
+  auto plan = BuildPartitionPlan(world_.index, machines, b_vec, b_dim,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  auto stores = BuildWorkerStores(world_.index, plan.value(), false);
+  ASSERT_TRUE(stores.ok());
+  const PrewarmCache prewarm = PrewarmCache::Build(world_.index, 4);
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan.value(), world_.workload.queries.View(), 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  SimCluster cluster(machines);
+  ASSERT_TRUE(ExecuteSimulated(world_.index, plan.value(), stores.value(),
+                               prewarm, routing,
+                               world_.workload.queries.View(), opts, &cluster)
+                  .ok());
+  double total_compute = cluster.client().compute_seconds();
+  double max_node = cluster.client().clock();
+  for (size_t m = 0; m < machines; ++m) {
+    total_compute += cluster.worker(m).compute_seconds();
+    max_node = std::max(max_node, cluster.worker(m).clock());
+  }
+  // Makespan >= total work / (machines + client), and equals max node time.
+  EXPECT_GE(cluster.Makespan() + 1e-12,
+            total_compute / static_cast<double>(machines + 1));
+  EXPECT_DOUBLE_EQ(cluster.Makespan(), max_node);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridShapeSweep,
+    ::testing::Values(GridShape{1, 1, 1}, GridShape{2, 2, 1},
+                      GridShape{2, 1, 2}, GridShape{4, 4, 1},
+                      GridShape{4, 2, 2}, GridShape{4, 1, 4},
+                      GridShape{8, 4, 2}, GridShape{8, 2, 4},
+                      GridShape{8, 1, 8}, GridShape{6, 3, 2}));
+
+class DimSplitCommSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DimSplitCommSweep, QueryDispatchBytesIndependentOfBdim) {
+  const size_t b_dim = GetParam();
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 10, 0.0, 29);
+  auto plan = BuildPartitionPlan(world.index, b_dim, 1, b_dim,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  auto stores = BuildWorkerStores(world.index, plan.value(), false);
+  ASSERT_TRUE(stores.ok());
+  const PrewarmCache prewarm = PrewarmCache::Build(world.index, 0);
+  const BatchRouting routing =
+      RouteBatch(world.index, plan.value(), world.workload.queries.View(), 2);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 2;
+  opts.enable_pruning = false;
+  SimCluster cluster(b_dim);
+  ASSERT_TRUE(ExecuteSimulated(world.index, plan.value(), stores.value(),
+                               prewarm, routing,
+                               world.workload.queries.View(), opts, &cluster)
+                  .ok());
+  // Client's dispatched payload: per chain, slices summing to dim floats
+  // plus a fixed header per message. Subtract headers and the remainder
+  // must equal chains * dim * 4 regardless of b_dim.
+  const uint64_t client_bytes = cluster.client().bytes_sent();
+  const uint64_t headers = cluster.client().messages_sent() * 16;
+  EXPECT_EQ(client_bytes - headers, routing.chains.size() * 32 * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, DimSplitCommSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+class NprobeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NprobeSweep, EngineRecallBoundedByProbedCoverage) {
+  const size_t nprobe = GetParam();
+  SmallWorld world = MakeSmallWorld(2000, 24, 8, 8, 15, 0.0, 31);
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = 4;
+  opts.ivf.nlist = 8;
+  opts.ivf.seed = 7;
+  HarmonyEngine engine(opts);
+  ASSERT_TRUE(engine.Build(world.mixture.vectors.View()).ok());
+  auto result = engine.SearchBatch(world.workload.queries.View(), 10, nprobe);
+  ASSERT_TRUE(result.ok());
+  // The engine must agree with the plain IVF oracle at the same nprobe.
+  for (size_t q = 0; q < 15; ++q) {
+    auto oracle = engine.index().Search(world.workload.queries.Row(q), 10,
+                                        nprobe);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_GE(RecallAtK(result.value().results[q], oracle.value(), 10), 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nprobes, NprobeSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,141 @@
+#include "core/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "storage/dim_slice.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+TEST(PrewarmCacheTest, CachesUpToPerListVectors) {
+  SmallWorld world = MakeSmallWorld(800, 16, 4, 4, 5);
+  const PrewarmCache cache = PrewarmCache::Build(world.index, 3);
+  for (size_t l = 0; l < world.index.nlist(); ++l) {
+    const size_t expect =
+        std::min<size_t>(3, world.index.ListIds(l).size());
+    EXPECT_EQ(cache.ListIds(l).size(), expect);
+    EXPECT_EQ(cache.ListVectors(l).size(), expect);
+    // Cached vectors must be exact copies of the indexed ones.
+    for (size_t i = 0; i < expect; ++i) {
+      const float* cached = cache.ListVectors(l).Row(i);
+      const float* orig = world.index.ListVectors(l).Row(i);
+      for (size_t d = 0; d < world.index.dim(); ++d) {
+        ASSERT_EQ(cached[d], orig[d]);
+      }
+    }
+  }
+  EXPECT_GT(cache.SizeBytes(), 0u);
+}
+
+TEST(PrewarmCacheTest, ZeroPerListIsEmpty) {
+  SmallWorld world = MakeSmallWorld(400, 8, 4, 4, 5);
+  const PrewarmCache cache = PrewarmCache::Build(world.index, 0);
+  for (size_t l = 0; l < world.index.nlist(); ++l) {
+    EXPECT_TRUE(cache.ListIds(l).empty());
+  }
+}
+
+TEST(CanPruneTest, L2PrunesWhenPartialExceedsTau) {
+  EXPECT_TRUE(CanPrune(Metric::kL2, 5.0f, 0, 0, 4.0f));
+  EXPECT_FALSE(CanPrune(Metric::kL2, 3.0f, 0, 0, 4.0f));
+  EXPECT_FALSE(CanPrune(Metric::kL2, 4.0f, 0, 0, 4.0f));  // Not strict.
+}
+
+TEST(CanPruneTest, IpUsesCauchySchwarzBound) {
+  // partial_ip=1, remaining norms 4 and 1 -> rest bound = 2.
+  // Best final distance = -(1 + 2) = -3.
+  EXPECT_FALSE(CanPrune(Metric::kInnerProduct, 1.0f, 4.0f, 1.0f, -3.0f));
+  EXPECT_TRUE(CanPrune(Metric::kInnerProduct, 1.0f, 4.0f, 1.0f, -3.5f));
+}
+
+TEST(CanPruneTest, IpNegativeRemainingNormsClamped) {
+  // Floating point drift can push remaining norms slightly negative; the
+  // bound must clamp instead of producing NaN.
+  EXPECT_FALSE(std::isnan(
+      CanPrune(Metric::kInnerProduct, 1.0f, -1e-6f, 2.0f, 0.0f) ? 1.0f : 0.0f));
+  EXPECT_TRUE(CanPrune(Metric::kInnerProduct, -1.0f, -1e-6f, 2.0f, 0.5f));
+}
+
+/// Property: the IP lower bound never exceeds the true final distance, so
+/// pruning can never discard a vector that would have qualified.
+TEST(CanPruneTest, IpBoundIsSound) {
+  Rng rng(77);
+  const size_t dim = 24;
+  const auto blocks = EvenDimBlocks(dim, 4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> p(dim), q(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      p[i] = static_cast<float>(rng.NextGaussian());
+      q[i] = static_cast<float>(rng.NextGaussian());
+    }
+    const float full_dist = -InnerProduct(p.data(), q.data(), dim);
+    float partial = 0.0f;
+    float rem_p = InnerProduct(p.data(), p.data(), dim);
+    float rem_q = InnerProduct(q.data(), q.data(), dim);
+    for (size_t b = 0; b + 1 < blocks.size(); ++b) {
+      const DimRange r = blocks[b];
+      partial += InnerProduct(p.data() + r.begin, q.data() + r.begin,
+                              r.width());
+      rem_p -= InnerProduct(p.data() + r.begin, p.data() + r.begin, r.width());
+      rem_q -= InnerProduct(q.data() + r.begin, q.data() + r.begin, r.width());
+      const float bound =
+          -(partial + std::sqrt(std::max(0.0f, rem_p) * std::max(0.0f, rem_q)));
+      // bound <= full_dist (allow float slack).
+      ASSERT_LE(bound, full_dist + 1e-3f * (1.0f + std::abs(full_dist)));
+      // CanPrune agreeing with a tau above full_dist would be unsound.
+      ASSERT_FALSE(
+          CanPrune(Metric::kInnerProduct, partial, rem_p, rem_q,
+                   full_dist + 1e-2f));
+    }
+  }
+}
+
+TEST(PruneStatsTest, RatiosAccumulateAcrossPositions) {
+  PruneStats stats;
+  stats.Resize(4);
+  stats.total_candidates = 100;
+  stats.dropped_after = {50, 30, 10, 0};
+  EXPECT_DOUBLE_EQ(stats.PruneRatioAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.PruneRatioAt(1), 0.5);
+  EXPECT_DOUBLE_EQ(stats.PruneRatioAt(2), 0.8);
+  EXPECT_DOUBLE_EQ(stats.PruneRatioAt(3), 0.9);
+  EXPECT_DOUBLE_EQ(stats.AveragePruneRatio(), (0.0 + 0.5 + 0.8 + 0.9) / 4.0);
+}
+
+TEST(PruneStatsTest, EmptyStatsAreZero) {
+  PruneStats stats;
+  EXPECT_EQ(stats.PruneRatioAt(0), 0.0);
+  EXPECT_EQ(stats.AveragePruneRatio(), 0.0);
+}
+
+TEST(PruneStatsTest, MergeAddsCounters) {
+  PruneStats a, b;
+  a.Resize(2);
+  b.Resize(2);
+  a.total_candidates = 10;
+  b.total_candidates = 20;
+  a.dropped_after = {1, 2};
+  b.dropped_after = {3, 4};
+  a.Merge(b);
+  EXPECT_EQ(a.total_candidates, 30u);
+  EXPECT_EQ(a.dropped_after[0], 4u);
+  EXPECT_EQ(a.dropped_after[1], 6u);
+}
+
+TEST(QueryStateTest, TracksHeapAndPrewarmedIds) {
+  QueryState state(2);
+  state.heap.Push(1, 0.5f);
+  state.prewarmed_ids.insert(1);
+  EXPECT_EQ(state.heap.size(), 1u);
+  EXPECT_EQ(state.prewarmed_ids.count(1), 1u);
+  EXPECT_EQ(state.ready_time, 0.0);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,88 @@
+#include "workload/queries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace harmony {
+namespace {
+
+GaussianMixture MakeMixture() {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 1000;
+  spec.dim = 8;
+  spec.num_components = 10;
+  spec.seed = 5;
+  auto r = GenerateGaussianMixture(spec);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(QueriesTest, RejectsEmptySpecs) {
+  const GaussianMixture mix = MakeMixture();
+  QueryWorkloadSpec spec;
+  spec.num_queries = 0;
+  EXPECT_FALSE(GenerateQueries(mix, spec).ok());
+  GaussianMixture empty;
+  QueryWorkloadSpec ok_spec;
+  EXPECT_FALSE(GenerateQueries(empty, ok_spec).ok());
+}
+
+TEST(QueriesTest, ShapeMatchesSpec) {
+  const GaussianMixture mix = MakeMixture();
+  QueryWorkloadSpec spec;
+  spec.num_queries = 77;
+  auto r = GenerateQueries(mix, spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().queries.size(), 77u);
+  EXPECT_EQ(r.value().queries.dim(), 8u);
+  EXPECT_EQ(r.value().target_component.size(), 77u);
+}
+
+TEST(QueriesTest, UniformWorkloadHasLowSkew) {
+  const GaussianMixture mix = MakeMixture();
+  QueryWorkloadSpec spec;
+  spec.num_queries = 5000;
+  spec.zipf_theta = 0.0;
+  auto r = GenerateQueries(mix, spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(WorkloadSkew(r.value().target_component, 10), 0.15);
+}
+
+TEST(QueriesTest, SkewIncreasesWithTheta) {
+  const GaussianMixture mix = MakeMixture();
+  double prev = -1.0;
+  for (const double theta : {0.0, 0.8, 1.6}) {
+    QueryWorkloadSpec spec;
+    spec.num_queries = 5000;
+    spec.zipf_theta = theta;
+    auto r = GenerateQueries(mix, spec);
+    ASSERT_TRUE(r.ok());
+    const double skew = WorkloadSkew(r.value().target_component, 10);
+    EXPECT_GT(skew, prev);
+    prev = skew;
+  }
+  EXPECT_GT(prev, 1.0);  // Strong skew at theta=1.6 on 10 components.
+}
+
+TEST(QueriesTest, DeterministicForSeed) {
+  const GaussianMixture mix = MakeMixture();
+  QueryWorkloadSpec spec;
+  spec.seed = 31;
+  auto a = GenerateQueries(mix, spec);
+  auto b = GenerateQueries(mix, spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().queries.raw(), b.value().queries.raw());
+}
+
+TEST(WorkloadSkewTest, EdgeCases) {
+  EXPECT_EQ(WorkloadSkew({}, 5), 0.0);
+  EXPECT_EQ(WorkloadSkew({0, 1}, 0), 0.0);
+  // Perfectly balanced: zero skew.
+  EXPECT_DOUBLE_EQ(WorkloadSkew({0, 1, 2, 0, 1, 2}, 3), 0.0);
+  // All mass on one component out of 4: CV = sqrt(3).
+  EXPECT_NEAR(WorkloadSkew({0, 0, 0, 0}, 4), std::sqrt(3.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,135 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace harmony {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(21);
+  const uint64_t first = rng.NextU64();
+  rng.NextU64();
+  rng.Reseed(21);
+  EXPECT_EQ(rng.NextU64(), first);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(31);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(ZipfTest, HigherThetaConcentratesOnLowRanks) {
+  Rng rng(37);
+  ZipfSampler skewed(100, 1.2);
+  int rank0 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) rank0 += skewed.Sample(&rng) == 0;
+  // Under theta=1.2 on 100 items, rank 0 carries >20% of mass.
+  EXPECT_GT(static_cast<double>(rank0) / n, 0.2);
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  Rng rng(41);
+  ZipfSampler zipf(5, 2.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 5u);
+}
+
+class ZipfThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaSweep, TopRankMassIsMonotoneInTheta) {
+  const double theta = GetParam();
+  Rng rng(43);
+  ZipfSampler zipf(50, theta);
+  ZipfSampler flatter(50, theta > 0.3 ? theta - 0.3 : 0.0);
+  int hits = 0, flat_hits = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    hits += zipf.Sample(&rng) < 5;
+  }
+  Rng rng2(43);
+  for (int i = 0; i < n; ++i) {
+    flat_hits += flatter.Sample(&rng2) < 5;
+  }
+  EXPECT_GE(hits + n / 100, flat_hits);  // Allow 1% sampling slack.
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaSweep,
+                         ::testing::Values(0.0, 0.4, 0.8, 1.2, 1.6, 2.0));
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,128 @@
+#include "core/router.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+class RouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MakeSmallWorld(3000, 24, 8, 8, 20);
+    auto plan = BuildPartitionPlan(world_.index, 4, 2, 2,
+                                   ShardAssignment::kGreedyBalanced);
+    ASSERT_TRUE(plan.ok());
+    plan_ = std::move(plan).value();
+  }
+  SmallWorld world_;
+  PartitionPlan plan_;
+};
+
+TEST_F(RouterTest, EveryQueryGetsProbeLists) {
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan_, world_.workload.queries.View(), 4);
+  ASSERT_EQ(routing.probe_lists.size(), 20u);
+  for (const auto& probes : routing.probe_lists) {
+    EXPECT_EQ(probes.size(), 4u);
+  }
+}
+
+TEST_F(RouterTest, ChainsCoverEveryProbedList) {
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan_, world_.workload.queries.View(), 4);
+  for (size_t q = 0; q < 20; ++q) {
+    std::multiset<int32_t> probed(routing.probe_lists[q].begin(),
+                                  routing.probe_lists[q].end());
+    std::multiset<int32_t> chained;
+    for (const QueryChain& chain : routing.chains) {
+      if (chain.query != static_cast<int32_t>(q)) continue;
+      for (const int32_t l : chain.lists) chained.insert(l);
+    }
+    EXPECT_EQ(probed, chained) << "query " << q;
+  }
+}
+
+TEST_F(RouterTest, ChainListsBelongToChainShard) {
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan_, world_.workload.queries.View(), 4);
+  for (const QueryChain& chain : routing.chains) {
+    for (const int32_t l : chain.lists) {
+      EXPECT_EQ(plan_.list_to_shard[static_cast<size_t>(l)], chain.shard);
+    }
+  }
+}
+
+TEST_F(RouterTest, ChainsSortedByRankThenQuery) {
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan_, world_.workload.queries.View(), 4);
+  for (size_t i = 1; i < routing.chains.size(); ++i) {
+    const QueryChain& a = routing.chains[i - 1];
+    const QueryChain& b = routing.chains[i];
+    EXPECT_TRUE(a.probe_rank < b.probe_rank ||
+                (a.probe_rank == b.probe_rank && a.query <= b.query));
+  }
+}
+
+TEST_F(RouterTest, RankZeroIsNearestShard) {
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan_, world_.workload.queries.View(), 4);
+  for (size_t q = 0; q < 20; ++q) {
+    const int32_t nearest_list = routing.probe_lists[q][0];
+    const int32_t nearest_shard =
+        plan_.list_to_shard[static_cast<size_t>(nearest_list)];
+    bool found = false;
+    for (const QueryChain& chain : routing.chains) {
+      if (chain.query == static_cast<int32_t>(q) && chain.probe_rank == 0) {
+        EXPECT_EQ(chain.shard, nearest_shard);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(RouterTest, CandidateCountsMatchListSizes) {
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan_, world_.workload.queries.View(), 4);
+  int64_t expected_total = 0;
+  for (const QueryChain& chain : routing.chains) {
+    int64_t count = 0;
+    for (const int32_t l : chain.lists) {
+      count += static_cast<int64_t>(
+          world_.index.ListIds(static_cast<size_t>(l)).size());
+    }
+    EXPECT_EQ(chain.candidate_count, count);
+    expected_total += count;
+  }
+  EXPECT_EQ(routing.total_candidates, expected_total);
+}
+
+TEST_F(RouterTest, SingleShardPlanYieldsOneChainPerQuery) {
+  auto plan = BuildPartitionPlan(world_.index, 4, 1, 4,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan.value(), world_.workload.queries.View(), 4);
+  EXPECT_EQ(routing.chains.size(), 20u);
+  EXPECT_EQ(routing.max_probe_rank, 0u);
+}
+
+TEST_F(RouterTest, NprobeOneGivesOneChain) {
+  const BatchRouting routing =
+      RouteBatch(world_.index, plan_, world_.workload.queries.View(), 1);
+  EXPECT_EQ(routing.chains.size(), 20u);
+  for (const QueryChain& chain : routing.chains) {
+    EXPECT_EQ(chain.lists.size(), 1u);
+    EXPECT_EQ(chain.probe_rank, 0);
+  }
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,166 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "index/distance.h"
+#include "workload/queries.h"
+
+namespace harmony {
+namespace {
+
+TEST(SyntheticTest, RejectsZeroFields) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 0;
+  EXPECT_FALSE(GenerateGaussianMixture(spec).ok());
+  spec.num_vectors = 10;
+  spec.dim = 0;
+  EXPECT_FALSE(GenerateGaussianMixture(spec).ok());
+}
+
+TEST(SyntheticTest, ShapesMatchSpec) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 123;
+  spec.dim = 17;
+  spec.num_components = 5;
+  auto r = GenerateGaussianMixture(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().vectors.size(), 123u);
+  EXPECT_EQ(r.value().vectors.dim(), 17u);
+  EXPECT_EQ(r.value().component_centers.size(), 5u);
+  EXPECT_EQ(r.value().component_of.size(), 123u);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  GaussianMixtureSpec spec;
+  spec.seed = 99;
+  auto a = GenerateGaussianMixture(spec);
+  auto b = GenerateGaussianMixture(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().vectors.raw(), b.value().vectors.raw());
+  EXPECT_EQ(a.value().component_of, b.value().component_of);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  GaussianMixtureSpec spec;
+  spec.seed = 1;
+  auto a = GenerateGaussianMixture(spec);
+  spec.seed = 2;
+  auto b = GenerateGaussianMixture(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().vectors.raw(), b.value().vectors.raw());
+}
+
+TEST(SyntheticTest, VectorsClusterAroundAssignedCenters) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 500;
+  spec.dim = 12;
+  spec.num_components = 4;
+  spec.center_scale = 100.0;  // Widely separated centers.
+  spec.noise = 1.0;
+  auto r = GenerateGaussianMixture(spec);
+  ASSERT_TRUE(r.ok());
+  const GaussianMixture& mix = r.value();
+  for (size_t i = 0; i < mix.vectors.size(); ++i) {
+    const int32_t own = mix.component_of[i];
+    const float d_own = L2SqDistance(
+        mix.vectors.Row(i), mix.component_centers.Row(own), spec.dim);
+    for (size_t c = 0; c < 4; ++c) {
+      if (static_cast<int32_t>(c) == own) continue;
+      const float d_other = L2SqDistance(
+          mix.vectors.Row(i), mix.component_centers.Row(c), spec.dim);
+      ASSERT_LT(d_own, d_other) << "vector " << i;
+    }
+  }
+}
+
+TEST(SyntheticTest, ComponentSizesRoughlyBalanced) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 8000;
+  spec.num_components = 8;
+  auto r = GenerateGaussianMixture(spec);
+  ASSERT_TRUE(r.ok());
+  std::vector<int> counts(8, 0);
+  for (const int32_t c : r.value().component_of) ++counts[c];
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(SyntheticTest, DecayZeroGivesUnitScales) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 10;
+  spec.dim = 6;
+  spec.num_components = 2;
+  auto r = GenerateGaussianMixture(spec);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().dim_scale.size(), 6u);
+  for (const float s : r.value().dim_scale) EXPECT_FLOAT_EQ(s, 1.0f);
+}
+
+TEST(SyntheticTest, EnergyDecayConcentratesVarianceInLeadingDims) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 4000;
+  spec.dim = 64;
+  spec.num_components = 4;
+  spec.dim_energy_decay = 4.0;
+  spec.seed = 33;
+  auto r = GenerateGaussianMixture(spec);
+  ASSERT_TRUE(r.ok());
+  const GaussianMixture& mix = r.value();
+  // dim_scale decays monotonically.
+  for (size_t d = 1; d < 64; ++d) {
+    EXPECT_LT(mix.dim_scale[d], mix.dim_scale[d - 1]);
+  }
+  // Empirical variance of the first quarter of dims dominates the last
+  // quarter by roughly exp(3) (scale^2 ratio across three quarters).
+  auto band_energy = [&](size_t lo, size_t hi) {
+    double e = 0.0;
+    for (size_t i = 0; i < mix.vectors.size(); ++i) {
+      const float* row = mix.vectors.Row(i);
+      for (size_t d = lo; d < hi; ++d) e += double{row[d]} * row[d];
+    }
+    return e;
+  };
+  const double first = band_energy(0, 16);
+  const double last = band_energy(48, 64);
+  EXPECT_GT(first, last * 8.0);
+}
+
+TEST(SyntheticTest, QueriesFollowSameDimScales) {
+  GaussianMixtureSpec spec;
+  spec.num_vectors = 500;
+  spec.dim = 32;
+  spec.num_components = 4;
+  spec.dim_energy_decay = 6.0;
+  spec.seed = 44;
+  auto mix = GenerateGaussianMixture(spec);
+  ASSERT_TRUE(mix.ok());
+  QueryWorkloadSpec qspec;
+  qspec.num_queries = 500;
+  qspec.seed = 45;
+  auto queries = GenerateQueries(mix.value(), qspec);
+  ASSERT_TRUE(queries.ok());
+  double first = 0.0, last = 0.0;
+  for (size_t q = 0; q < 500; ++q) {
+    const float* row = queries.value().queries.Row(q);
+    for (size_t d = 0; d < 8; ++d) first += double{row[d]} * row[d];
+    for (size_t d = 24; d < 32; ++d) last += double{row[d]} * row[d];
+  }
+  EXPECT_GT(first, last * 4.0);
+}
+
+TEST(GenerateUniformTest, RangeAndShape) {
+  const Dataset d = GenerateUniform(50, 7, 3);
+  EXPECT_EQ(d.size(), 50u);
+  EXPECT_EQ(d.dim(), 7u);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = 0; j < d.dim(); ++j) {
+      EXPECT_GE(d.Row(i)[j], 0.0f);
+      EXPECT_LT(d.Row(i)[j], 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmony

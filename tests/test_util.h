@@ -1,0 +1,54 @@
+#ifndef HARMONY_TESTS_TEST_UTIL_H_
+#define HARMONY_TESTS_TEST_UTIL_H_
+
+#include <utility>
+
+#include "index/ivf_index.h"
+#include "workload/queries.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+namespace testing_util {
+
+/// A small clustered dataset with queries, shared by core-module tests.
+struct SmallWorld {
+  GaussianMixture mixture;
+  QueryWorkload workload;
+  IvfIndex index;
+};
+
+inline SmallWorld MakeSmallWorld(size_t n = 2000, size_t dim = 32,
+                                 size_t components = 8, size_t nlist = 8,
+                                 size_t num_queries = 30,
+                                 double zipf_theta = 0.0, uint64_t seed = 7,
+                                 Metric metric = Metric::kL2) {
+  SmallWorld world;
+  GaussianMixtureSpec spec;
+  spec.num_vectors = n;
+  spec.dim = dim;
+  spec.num_components = components;
+  spec.seed = seed;
+  auto mix = GenerateGaussianMixture(spec);
+  world.mixture = std::move(mix).value();
+
+  QueryWorkloadSpec qspec;
+  qspec.num_queries = num_queries;
+  qspec.zipf_theta = zipf_theta;
+  qspec.seed = seed ^ 0x99;
+  auto queries = GenerateQueries(world.mixture, qspec);
+  world.workload = std::move(queries).value();
+
+  IvfParams params;
+  params.nlist = nlist;
+  params.metric = metric;
+  params.seed = seed;
+  world.index = IvfIndex(params);
+  Status st = world.index.Train(world.mixture.vectors.View());
+  if (st.ok()) st = world.index.Add(world.mixture.vectors.View());
+  return world;
+}
+
+}  // namespace testing_util
+}  // namespace harmony
+
+#endif  // HARMONY_TESTS_TEST_UTIL_H_

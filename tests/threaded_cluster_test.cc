@@ -1,0 +1,81 @@
+#include "net/threaded_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace harmony {
+namespace {
+
+TEST(ThreadedClusterTest, RunsPostedTasks) {
+  ThreadedCluster cluster(3);
+  std::atomic<int> counter{0};
+  for (size_t i = 0; i < 60; ++i) {
+    cluster.Post(i % 3, [&counter] { counter.fetch_add(1); });
+  }
+  cluster.Barrier();
+  EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(ThreadedClusterTest, PerNodeFifoOrdering) {
+  ThreadedCluster cluster(2);
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 50; ++i) {
+    cluster.Post(0, [&order, &mu, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  cluster.Barrier();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadedClusterTest, TasksCanPostContinuations) {
+  ThreadedCluster cluster(4);
+  std::atomic<int> hops{0};
+  // A baton that hops across all four nodes.
+  std::function<void(size_t)> hop = [&](size_t node) {
+    hops.fetch_add(1);
+    if (node + 1 < cluster.num_workers()) {
+      cluster.Post(node + 1, [&hop, node] { hop(node + 1); });
+    }
+  };
+  cluster.Post(0, [&hop] { hop(0); });
+  cluster.Barrier();
+  EXPECT_EQ(hops.load(), 4);
+}
+
+TEST(ThreadedClusterTest, BarrierOnIdleClusterReturns) {
+  ThreadedCluster cluster(2);
+  cluster.Barrier();
+  SUCCEED();
+}
+
+TEST(ThreadedClusterTest, ReusableAcrossBarriers) {
+  ThreadedCluster cluster(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      cluster.Post(i % 2, [&counter] { counter.fetch_add(1); });
+    }
+    cluster.Barrier();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadedClusterTest, DestructorDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadedCluster cluster(2);
+    for (int i = 0; i < 20; ++i) {
+      cluster.Post(i % 2, [&counter] { counter.fetch_add(1); });
+    }
+  }  // Destructor barriers + joins.
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace harmony

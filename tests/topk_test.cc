@@ -1,0 +1,104 @@
+#include "util/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace harmony {
+namespace {
+
+TEST(TopKHeapTest, EmptyHeapHasInfiniteThreshold) {
+  TopKHeap heap(3);
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_FALSE(heap.full());
+  EXPECT_EQ(heap.threshold(), std::numeric_limits<float>::max());
+}
+
+TEST(TopKHeapTest, KeepsKSmallest) {
+  TopKHeap heap(3);
+  heap.Push(1, 5.0f);
+  heap.Push(2, 1.0f);
+  heap.Push(3, 3.0f);
+  heap.Push(4, 0.5f);  // Evicts id 1 (5.0).
+  heap.Push(5, 9.0f);  // Rejected.
+  const auto results = heap.SortedResults();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].id, 4);
+  EXPECT_EQ(results[1].id, 2);
+  EXPECT_EQ(results[2].id, 3);
+}
+
+TEST(TopKHeapTest, ThresholdIsKthBest) {
+  TopKHeap heap(2);
+  heap.Push(1, 4.0f);
+  EXPECT_FALSE(heap.full());
+  heap.Push(2, 2.0f);
+  EXPECT_TRUE(heap.full());
+  EXPECT_FLOAT_EQ(heap.threshold(), 4.0f);
+  heap.Push(3, 1.0f);
+  EXPECT_FLOAT_EQ(heap.threshold(), 2.0f);
+}
+
+TEST(TopKHeapTest, PushReportsKept) {
+  TopKHeap heap(1);
+  EXPECT_TRUE(heap.Push(1, 2.0f));
+  EXPECT_TRUE(heap.Push(2, 1.0f));
+  EXPECT_FALSE(heap.Push(3, 5.0f));
+}
+
+TEST(TopKHeapTest, EqualDistanceAtBoundaryIsRejected) {
+  TopKHeap heap(1);
+  heap.Push(1, 2.0f);
+  EXPECT_FALSE(heap.Push(2, 2.0f));  // Not strictly better.
+  EXPECT_EQ(heap.SortedResults()[0].id, 1);
+}
+
+TEST(TopKHeapTest, SortedResultsTieBreakById) {
+  TopKHeap heap(3);
+  heap.Push(9, 1.0f);
+  heap.Push(2, 1.0f);
+  heap.Push(5, 1.0f);
+  const auto results = heap.SortedResults();
+  EXPECT_EQ(results[0].id, 2);
+  EXPECT_EQ(results[1].id, 5);
+  EXPECT_EQ(results[2].id, 9);
+}
+
+TEST(TopKHeapTest, ClearResets) {
+  TopKHeap heap(2);
+  heap.Push(1, 1.0f);
+  heap.Clear();
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_EQ(heap.threshold(), std::numeric_limits<float>::max());
+}
+
+class TopKAgainstSortParam : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKAgainstSortParam, MatchesFullSortOracle) {
+  const size_t k = GetParam();
+  Rng rng(1234 + k);
+  std::vector<Neighbor> all;
+  TopKHeap heap(k);
+  for (int64_t i = 0; i < 500; ++i) {
+    const float d = rng.NextFloat() * 100.0f;
+    all.push_back({i, d});
+    heap.Push(i, d);
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  all.resize(std::min(k, all.size()));
+  const auto got = heap.SortedResults();
+  ASSERT_EQ(got.size(), all.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, all[i].id) << "at rank " << i;
+    EXPECT_FLOAT_EQ(got[i].distance, all[i].distance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKAgainstSortParam,
+                         ::testing::Values(1, 2, 5, 10, 50, 100, 499, 500));
+
+}  // namespace
+}  // namespace harmony

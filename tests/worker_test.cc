@@ -1,0 +1,146 @@
+#include "core/worker.h"
+
+#include <gtest/gtest.h>
+
+#include "index/distance.h"
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+class WorkerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MakeSmallWorld(1500, 20, 6, 6, 10);
+    auto plan = BuildPartitionPlan(world_.index, 4, 2, 2,
+                                   ShardAssignment::kGreedyBalanced);
+    ASSERT_TRUE(plan.ok());
+    plan_ = std::move(plan).value();
+  }
+  SmallWorld world_;
+  PartitionPlan plan_;
+};
+
+TEST_F(WorkerTest, OneBlockPerMachineOnExactTiling) {
+  auto stores = BuildWorkerStores(world_.index, plan_, /*with_norms=*/false);
+  ASSERT_TRUE(stores.ok());
+  ASSERT_EQ(stores.value().size(), 4u);
+  for (const WorkerStore& store : stores.value()) {
+    EXPECT_EQ(store.blocks().size(), 1u);
+  }
+}
+
+TEST_F(WorkerTest, StoresCoverEveryListSliceExactlyOnce) {
+  auto stores = BuildWorkerStores(world_.index, plan_, false);
+  ASSERT_TRUE(stores.ok());
+  // For every (shard, dim_block, list) triple, exactly one machine holds it.
+  for (size_t v = 0; v < plan_.num_vec_shards; ++v) {
+    for (size_t d = 0; d < plan_.num_dim_blocks; ++d) {
+      for (const int32_t l : plan_.shard_lists[v]) {
+        int holders = 0;
+        for (const WorkerStore& store : stores.value()) {
+          if (store.FindListSlice(v, d, l) != nullptr) ++holders;
+        }
+        EXPECT_EQ(holders, 1) << "shard " << v << " block " << d << " list "
+                              << l;
+      }
+    }
+  }
+}
+
+TEST_F(WorkerTest, SliceContentMatchesOriginalVectors) {
+  auto stores = BuildWorkerStores(world_.index, plan_, false);
+  ASSERT_TRUE(stores.ok());
+  for (const WorkerStore& store : stores.value()) {
+    for (const auto& block : store.blocks()) {
+      for (const auto& [list_id, ls] : block.lists) {
+        (void)list_id;
+        for (size_t r = 0; r < ls.slice.num_rows(); ++r) {
+          const int64_t gid = ls.slice.GlobalId(r);
+          const float* orig =
+              world_.mixture.vectors.Row(static_cast<size_t>(gid));
+          for (size_t j = 0; j < block.range.width(); ++j) {
+            ASSERT_EQ(ls.slice.Row(r)[j], orig[block.range.begin + j]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(WorkerTest, TotalBytesEqualDatasetPlusIds) {
+  auto stores = BuildWorkerStores(world_.index, plan_, false);
+  ASSERT_TRUE(stores.ok());
+  size_t payload = 0;
+  for (const WorkerStore& store : stores.value()) payload += store.SizeBytes();
+  // No duplication of vector payload: exactly NB * D floats, plus the
+  // row-id columns replicated per dimension block.
+  const size_t vector_bytes =
+      world_.mixture.vectors.size() * world_.mixture.vectors.dim() * 4;
+  const size_t id_bytes =
+      world_.mixture.vectors.size() * sizeof(int64_t) * plan_.num_dim_blocks;
+  EXPECT_EQ(payload, vector_bytes + id_bytes);
+}
+
+TEST_F(WorkerTest, NormsComputedWhenRequested) {
+  auto stores = BuildWorkerStores(world_.index, plan_, /*with_norms=*/true);
+  ASSERT_TRUE(stores.ok());
+  for (const WorkerStore& store : stores.value()) {
+    for (const auto& block : store.blocks()) {
+      for (const auto& [list_id, ls] : block.lists) {
+        (void)list_id;
+        ASSERT_EQ(ls.block_norm_sq.size(), ls.slice.num_rows());
+        ASSERT_EQ(ls.total_norm_sq.size(), ls.slice.num_rows());
+        for (size_t r = 0; r < ls.slice.num_rows(); ++r) {
+          const float* row = ls.slice.Row(r);
+          EXPECT_NEAR(ls.block_norm_sq[r],
+                      PartialIp(row, row, block.range.width()), 1e-3);
+          const int64_t gid = ls.slice.GlobalId(r);
+          const float* full =
+              world_.mixture.vectors.Row(static_cast<size_t>(gid));
+          EXPECT_NEAR(
+              ls.total_norm_sq[r],
+              InnerProduct(full, full, world_.mixture.vectors.dim()),
+              1e-2 * (1.0 + ls.total_norm_sq[r]));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(WorkerTest, NormsSkippedWhenNotRequested) {
+  auto stores = BuildWorkerStores(world_.index, plan_, false);
+  ASSERT_TRUE(stores.ok());
+  for (const WorkerStore& store : stores.value()) {
+    for (const auto& block : store.blocks()) {
+      for (const auto& [list_id, ls] : block.lists) {
+        (void)list_id;
+        EXPECT_TRUE(ls.block_norm_sq.empty());
+        EXPECT_TRUE(ls.total_norm_sq.empty());
+      }
+    }
+  }
+}
+
+TEST_F(WorkerTest, FindListSliceMissReturnsNull) {
+  auto stores = BuildWorkerStores(world_.index, plan_, false);
+  ASSERT_TRUE(stores.ok());
+  // A list belonging to shard 0 is not found under shard 1.
+  const int32_t list0 = plan_.shard_lists[0][0];
+  int found_wrong = 0;
+  for (const WorkerStore& store : stores.value()) {
+    if (store.FindListSlice(1, 0, list0) != nullptr) ++found_wrong;
+  }
+  EXPECT_EQ(found_wrong, 0);
+}
+
+TEST_F(WorkerTest, UntrainedIndexRejected) {
+  IvfIndex untrained;
+  EXPECT_FALSE(BuildWorkerStores(untrained, plan_, false).ok());
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,302 @@
+// Command-line front end for the Harmony engine, exposing the parameters
+// the paper lists in Section 5 (-NMachine, -Pruning_Configuration,
+// -Indexing_Parameters, -alpha, -Mode) plus dataset selection.
+//
+// Examples:
+//   harmony_cli --dataset sift1m --mode harmony --nmachine 4 --nprobe 8
+//   harmony_cli --base vecs.fvecs --queries q.fvecs --nlist 128 --k 10
+//   harmony_cli --dataset deep1m --zipf 2.0 --mode harmony-vector
+//   harmony_cli --dataset msong --save-index msong.hivf
+//
+// Prints one human-readable report: plan, QPS, recall, breakdown, pruning.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/engine.h"
+#include "storage/io.h"
+#include "workload/datasets.h"
+#include "workload/ground_truth.h"
+
+namespace {
+
+using namespace harmony;
+
+struct CliArgs {
+  std::string dataset;     // stand-in name, or empty when --base is given
+  std::string base_path;   // fvecs base vectors
+  std::string query_path;  // fvecs queries
+  std::string save_index;
+  std::string load_index;
+  std::string mode = "harmony";
+  std::string metric = "l2";
+  size_t nmachine = 4;
+  size_t nlist = 0;  // 0 = dataset default
+  size_t nprobe = 8;
+  size_t k = 10;
+  double scale = 1.0;
+  double zipf = 0.0;
+  double alpha = 4.0;
+  bool pruning = true;
+  bool pipeline = true;
+  bool balance = true;
+  bool threaded = false;
+  bool explain = false;
+};
+
+void Usage() {
+  std::puts(
+      "harmony_cli — distributed ANNS over a simulated cluster\n"
+      "  --dataset NAME        Table-2 stand-in (sift1m, msong, deep1m, ...)\n"
+      "  --base F --queries F  fvecs files instead of a stand-in\n"
+      "  --mode M              harmony | harmony-vector | harmony-dimension |\n"
+      "                        single-node | auncel-like\n"
+      "  --nmachine N          worker nodes (default 4)\n"
+      "  --nlist N             IVF lists (default: dataset heuristic)\n"
+      "  --nprobe N            probed lists per query (default 8)\n"
+      "  --k N                 neighbors per query (default 10)\n"
+      "  --metric M            l2 | ip | cosine\n"
+      "  --alpha A             cost-model imbalance weight (default 4)\n"
+      "  --scale S             stand-in scale factor (default 1)\n"
+      "  --zipf T              query skew exponent (default 0 = uniform)\n"
+      "  --no-pruning | --no-pipeline | --no-balance   ablation toggles\n"
+      "  --save-index F / --load-index F               index persistence\n"
+      "  --threaded            also run the real-thread engine\n"
+      "  --explain             print the planner's candidate costs");
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* v = nullptr;
+    if (flag == "--help" || flag == "-h") {
+      Usage();
+      std::exit(0);
+    } else if (flag == "--no-pruning") {
+      args->pruning = false;
+    } else if (flag == "--no-pipeline") {
+      args->pipeline = false;
+    } else if (flag == "--no-balance") {
+      args->balance = false;
+    } else if (flag == "--threaded") {
+      args->threaded = true;
+    } else if (flag == "--explain") {
+      args->explain = true;
+    } else if ((v = need_value(i)) == nullptr) {
+      return false;
+    } else if (flag == "--dataset") {
+      args->dataset = v;
+    } else if (flag == "--base") {
+      args->base_path = v;
+    } else if (flag == "--queries") {
+      args->query_path = v;
+    } else if (flag == "--mode") {
+      args->mode = v;
+    } else if (flag == "--metric") {
+      args->metric = v;
+    } else if (flag == "--nmachine") {
+      args->nmachine = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--nlist") {
+      args->nlist = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--nprobe") {
+      args->nprobe = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--k") {
+      args->k = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--scale") {
+      args->scale = std::strtod(v, nullptr);
+    } else if (flag == "--zipf") {
+      args->zipf = std::strtod(v, nullptr);
+    } else if (flag == "--alpha") {
+      args->alpha = std::strtod(v, nullptr);
+    } else if (flag == "--save-index") {
+      args->save_index = v;
+    } else if (flag == "--load-index") {
+      args->load_index = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Mode> ParseMode(const std::string& name) {
+  static const std::map<std::string, Mode>& modes = *new std::map<std::string, Mode>{
+      {"harmony", Mode::kHarmony},
+      {"harmony-vector", Mode::kHarmonyVector},
+      {"harmony-dimension", Mode::kHarmonyDimension},
+      {"single-node", Mode::kSingleNode},
+      {"auncel-like", Mode::kAuncelLike},
+  };
+  const auto it = modes.find(name);
+  if (it == modes.end()) return Status::InvalidArgument("unknown mode " + name);
+  return it->second;
+}
+
+Result<Metric> ParseMetric(const std::string& name) {
+  if (name == "l2") return Metric::kL2;
+  if (name == "ip") return Metric::kInnerProduct;
+  if (name == "cosine") return Metric::kCosine;
+  return Status::InvalidArgument("unknown metric " + name);
+}
+
+int Run(const CliArgs& args) {
+  // --- Materialize data.
+  Dataset base, queries;
+  size_t default_nlist = 64;
+  if (!args.base_path.empty()) {
+    auto b = ReadFvecs(args.base_path);
+    if (!b.ok()) {
+      std::fprintf(stderr, "%s\n", b.status().ToString().c_str());
+      return 1;
+    }
+    base = std::move(b).value();
+    if (args.query_path.empty()) {
+      std::fprintf(stderr, "--queries required with --base\n");
+      return 1;
+    }
+    auto q = ReadFvecs(args.query_path);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    queries = std::move(q).value();
+  } else {
+    const std::string name = args.dataset.empty() ? "sift1m" : args.dataset;
+    auto spec = GetStandIn(name);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    auto data = MakeStandIn(spec.value(), args.scale, args.zipf);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    base = std::move(data.value().mixture.vectors);
+    queries = std::move(data.value().workload.queries);
+    default_nlist = spec.value().nlist_hint;
+    std::printf("dataset %s (stand-in): %zu x %zu base, %zu queries, "
+                "zipf=%.2f\n",
+                name.c_str(), base.size(), base.dim(), queries.size(),
+                args.zipf);
+  }
+
+  auto mode = ParseMode(args.mode);
+  auto metric = ParseMetric(args.metric);
+  if (!mode.ok() || !metric.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!mode.ok() ? mode.status() : metric.status()).ToString().c_str());
+    return 1;
+  }
+  if (metric.value() == Metric::kCosine) NormalizeRows(&base);
+
+  HarmonyOptions options;
+  options.mode = mode.value();
+  options.num_machines = args.nmachine;
+  options.ivf.nlist = args.nlist > 0 ? args.nlist : default_nlist;
+  options.ivf.metric = metric.value();
+  options.alpha = args.alpha;
+  options.enable_pruning = args.pruning;
+  options.enable_pipeline = args.pipeline;
+  options.enable_balanced_load = args.balance;
+
+  HarmonyEngine engine(options);
+  Status built = Status::OK();
+  if (!args.load_index.empty()) {
+    auto index = IvfIndex::Load(args.load_index);
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    built = engine.BuildFromIndex(std::move(index).value());
+  } else {
+    built = engine.Build(base.View());
+  }
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.ToString().c_str());
+    return 1;
+  }
+  if (!args.save_index.empty()) {
+    if (Status st = engine.index().Save(args.save_index); !st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("index saved to %s\n", args.save_index.c_str());
+  }
+  std::printf("plan: %s\n", engine.plan().ToString().c_str());
+  std::printf("build: train=%.3fs add=%.3fs pre-assign=%.3fs\n",
+              engine.build_stats().train_seconds,
+              engine.build_stats().add_seconds,
+              engine.build_stats().preassign_seconds);
+
+  auto result = engine.SearchBatch(queries.View(), args.k, args.nprobe);
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (args.explain) {
+    std::printf("planner:\n%s", engine.last_plan_choice().Explain().c_str());
+  }
+
+  auto gt = ComputeGroundTruth(base.View(), queries.View(), args.k,
+                               metric.value());
+  const double recall =
+      gt.ok() ? MeanRecallAtK(result.value().results, gt.value(), args.k)
+              : -1.0;
+  const BatchStats& stats = result.value().stats;
+  std::printf("\nmode=%s nodes=%zu nlist=%zu nprobe=%zu k=%zu\n",
+              ModeToString(options.mode), options.num_machines,
+              options.ivf.nlist, args.nprobe, args.k);
+  std::printf("recall@%zu      : %.4f\n", args.k, recall);
+  std::printf("virtual QPS    : %.0f\n", stats.qps);
+  std::printf("makespan       : %.3f ms\n", stats.makespan_seconds * 1e3);
+  std::printf("comp/comm/other: %.3f / %.3f / %.3f ms\n",
+              stats.breakdown.compute_seconds * 1e3,
+              stats.breakdown.comm_seconds * 1e3,
+              stats.breakdown.other_seconds * 1e3);
+  std::printf("prune per slice: ");
+  for (size_t p = 0; p < stats.prune.dropped_after.size(); ++p) {
+    std::printf("%.1f%% ", 100.0 * stats.prune.PruneRatioAt(p));
+  }
+  std::printf("(avg %.1f%%)\n", 100.0 * stats.prune.AveragePruneRatio());
+  std::printf("per-node index : %.2f MB max, peak query %.2f MB\n",
+              static_cast<double>(stats.memory.index_bytes_max_node) / 1e6,
+              static_cast<double>(stats.memory.peak_query_bytes) / 1e6);
+
+  if (args.threaded) {
+    auto thr = engine.SearchBatchThreaded(queries.View(), args.k, args.nprobe);
+    if (!thr.ok()) {
+      std::fprintf(stderr, "threaded run failed: %s\n",
+                   thr.status().ToString().c_str());
+      return 1;
+    }
+    const double thr_recall =
+        gt.ok() ? MeanRecallAtK(thr.value().results, gt.value(), args.k) : -1;
+    std::printf("threaded engine: recall@%zu %.4f, wall %.3fs\n", args.k,
+                thr_recall, thr.value().wall_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  return Run(args);
+}
