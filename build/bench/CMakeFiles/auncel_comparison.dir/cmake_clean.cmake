@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auncel_comparison.dir/auncel_comparison.cc.o"
+  "CMakeFiles/auncel_comparison.dir/auncel_comparison.cc.o.d"
+  "auncel_comparison"
+  "auncel_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auncel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

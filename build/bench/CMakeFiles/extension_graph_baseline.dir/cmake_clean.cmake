@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_graph_baseline.dir/extension_graph_baseline.cc.o"
+  "CMakeFiles/extension_graph_baseline.dir/extension_graph_baseline.cc.o.d"
+  "extension_graph_baseline"
+  "extension_graph_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_graph_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

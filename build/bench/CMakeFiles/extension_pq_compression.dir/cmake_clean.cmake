@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_pq_compression.dir/extension_pq_compression.cc.o"
+  "CMakeFiles/extension_pq_compression.dir/extension_pq_compression.cc.o.d"
+  "extension_pq_compression"
+  "extension_pq_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_pq_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_scalability.dir/fig11b_scalability.cc.o"
+  "CMakeFiles/fig11b_scalability.dir/fig11b_scalability.cc.o.d"
+  "fig11b_scalability"
+  "fig11b_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

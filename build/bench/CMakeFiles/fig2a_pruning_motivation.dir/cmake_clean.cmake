@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_pruning_motivation.dir/fig2a_pruning_motivation.cc.o"
+  "CMakeFiles/fig2a_pruning_motivation.dir/fig2a_pruning_motivation.cc.o.d"
+  "fig2a_pruning_motivation"
+  "fig2a_pruning_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_pruning_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

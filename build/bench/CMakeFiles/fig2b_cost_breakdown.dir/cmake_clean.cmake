@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_cost_breakdown.dir/fig2b_cost_breakdown.cc.o"
+  "CMakeFiles/fig2b_cost_breakdown.dir/fig2b_cost_breakdown.cc.o.d"
+  "fig2b_cost_breakdown"
+  "fig2b_cost_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_cost_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_qps_recall.dir/fig6_qps_recall.cc.o"
+  "CMakeFiles/fig6_qps_recall.dir/fig6_qps_recall.cc.o.d"
+  "fig6_qps_recall"
+  "fig6_qps_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_qps_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

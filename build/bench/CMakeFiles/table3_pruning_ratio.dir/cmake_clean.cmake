@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_pruning_ratio.dir/table3_pruning_ratio.cc.o"
+  "CMakeFiles/table3_pruning_ratio.dir/table3_pruning_ratio.cc.o.d"
+  "table3_pruning_ratio"
+  "table3_pruning_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pruning_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

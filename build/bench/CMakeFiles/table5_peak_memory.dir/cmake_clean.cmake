@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_peak_memory.dir/table5_peak_memory.cc.o"
+  "CMakeFiles/table5_peak_memory.dir/table5_peak_memory.cc.o.d"
+  "table5_peak_memory"
+  "table5_peak_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_peak_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

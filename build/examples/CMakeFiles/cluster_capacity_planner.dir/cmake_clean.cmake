@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_capacity_planner.dir/cluster_capacity_planner.cpp.o"
+  "CMakeFiles/cluster_capacity_planner.dir/cluster_capacity_planner.cpp.o.d"
+  "cluster_capacity_planner"
+  "cluster_capacity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_capacity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

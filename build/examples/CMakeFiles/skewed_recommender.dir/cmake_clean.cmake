@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_recommender.dir/skewed_recommender.cpp.o"
+  "CMakeFiles/skewed_recommender.dir/skewed_recommender.cpp.o.d"
+  "skewed_recommender"
+  "skewed_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coordinator.cc" "src/CMakeFiles/harmony_core.dir/core/coordinator.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/coordinator.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/harmony_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/harmony_core.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/CMakeFiles/harmony_core.dir/core/partition.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/partition.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/harmony_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/harmony_core.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/CMakeFiles/harmony_core.dir/core/pruning.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/pruning.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/CMakeFiles/harmony_core.dir/core/router.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/router.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/harmony_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/CMakeFiles/harmony_core.dir/core/worker.cc.o" "gcc" "src/CMakeFiles/harmony_core.dir/core/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmony_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_core.dir/core/coordinator.cc.o"
+  "CMakeFiles/harmony_core.dir/core/coordinator.cc.o.d"
+  "CMakeFiles/harmony_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/harmony_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/harmony_core.dir/core/engine.cc.o"
+  "CMakeFiles/harmony_core.dir/core/engine.cc.o.d"
+  "CMakeFiles/harmony_core.dir/core/partition.cc.o"
+  "CMakeFiles/harmony_core.dir/core/partition.cc.o.d"
+  "CMakeFiles/harmony_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/harmony_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/harmony_core.dir/core/planner.cc.o"
+  "CMakeFiles/harmony_core.dir/core/planner.cc.o.d"
+  "CMakeFiles/harmony_core.dir/core/pruning.cc.o"
+  "CMakeFiles/harmony_core.dir/core/pruning.cc.o.d"
+  "CMakeFiles/harmony_core.dir/core/router.cc.o"
+  "CMakeFiles/harmony_core.dir/core/router.cc.o.d"
+  "CMakeFiles/harmony_core.dir/core/stats.cc.o"
+  "CMakeFiles/harmony_core.dir/core/stats.cc.o.d"
+  "CMakeFiles/harmony_core.dir/core/worker.cc.o"
+  "CMakeFiles/harmony_core.dir/core/worker.cc.o.d"
+  "libharmony_core.a"
+  "libharmony_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/distance.cc" "src/CMakeFiles/harmony_index.dir/index/distance.cc.o" "gcc" "src/CMakeFiles/harmony_index.dir/index/distance.cc.o.d"
+  "/root/repo/src/index/distance_avx2.cc" "src/CMakeFiles/harmony_index.dir/index/distance_avx2.cc.o" "gcc" "src/CMakeFiles/harmony_index.dir/index/distance_avx2.cc.o.d"
+  "/root/repo/src/index/distance_dispatch.cc" "src/CMakeFiles/harmony_index.dir/index/distance_dispatch.cc.o" "gcc" "src/CMakeFiles/harmony_index.dir/index/distance_dispatch.cc.o.d"
+  "/root/repo/src/index/flat_index.cc" "src/CMakeFiles/harmony_index.dir/index/flat_index.cc.o" "gcc" "src/CMakeFiles/harmony_index.dir/index/flat_index.cc.o.d"
+  "/root/repo/src/index/hnsw_index.cc" "src/CMakeFiles/harmony_index.dir/index/hnsw_index.cc.o" "gcc" "src/CMakeFiles/harmony_index.dir/index/hnsw_index.cc.o.d"
+  "/root/repo/src/index/ivf_index.cc" "src/CMakeFiles/harmony_index.dir/index/ivf_index.cc.o" "gcc" "src/CMakeFiles/harmony_index.dir/index/ivf_index.cc.o.d"
+  "/root/repo/src/index/kmeans.cc" "src/CMakeFiles/harmony_index.dir/index/kmeans.cc.o" "gcc" "src/CMakeFiles/harmony_index.dir/index/kmeans.cc.o.d"
+  "/root/repo/src/index/pq.cc" "src/CMakeFiles/harmony_index.dir/index/pq.cc.o" "gcc" "src/CMakeFiles/harmony_index.dir/index/pq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmony_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

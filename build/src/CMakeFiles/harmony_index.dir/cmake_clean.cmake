@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_index.dir/index/distance.cc.o"
+  "CMakeFiles/harmony_index.dir/index/distance.cc.o.d"
+  "CMakeFiles/harmony_index.dir/index/distance_avx2.cc.o"
+  "CMakeFiles/harmony_index.dir/index/distance_avx2.cc.o.d"
+  "CMakeFiles/harmony_index.dir/index/distance_dispatch.cc.o"
+  "CMakeFiles/harmony_index.dir/index/distance_dispatch.cc.o.d"
+  "CMakeFiles/harmony_index.dir/index/flat_index.cc.o"
+  "CMakeFiles/harmony_index.dir/index/flat_index.cc.o.d"
+  "CMakeFiles/harmony_index.dir/index/hnsw_index.cc.o"
+  "CMakeFiles/harmony_index.dir/index/hnsw_index.cc.o.d"
+  "CMakeFiles/harmony_index.dir/index/ivf_index.cc.o"
+  "CMakeFiles/harmony_index.dir/index/ivf_index.cc.o.d"
+  "CMakeFiles/harmony_index.dir/index/kmeans.cc.o"
+  "CMakeFiles/harmony_index.dir/index/kmeans.cc.o.d"
+  "CMakeFiles/harmony_index.dir/index/pq.cc.o"
+  "CMakeFiles/harmony_index.dir/index/pq.cc.o.d"
+  "libharmony_index.a"
+  "libharmony_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

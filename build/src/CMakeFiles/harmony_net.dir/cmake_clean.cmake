@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_net.dir/net/cluster.cc.o"
+  "CMakeFiles/harmony_net.dir/net/cluster.cc.o.d"
+  "CMakeFiles/harmony_net.dir/net/network_model.cc.o"
+  "CMakeFiles/harmony_net.dir/net/network_model.cc.o.d"
+  "CMakeFiles/harmony_net.dir/net/threaded_cluster.cc.o"
+  "CMakeFiles/harmony_net.dir/net/threaded_cluster.cc.o.d"
+  "libharmony_net.a"
+  "libharmony_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dataset.cc" "src/CMakeFiles/harmony_storage.dir/storage/dataset.cc.o" "gcc" "src/CMakeFiles/harmony_storage.dir/storage/dataset.cc.o.d"
+  "/root/repo/src/storage/dim_slice.cc" "src/CMakeFiles/harmony_storage.dir/storage/dim_slice.cc.o" "gcc" "src/CMakeFiles/harmony_storage.dir/storage/dim_slice.cc.o.d"
+  "/root/repo/src/storage/io.cc" "src/CMakeFiles/harmony_storage.dir/storage/io.cc.o" "gcc" "src/CMakeFiles/harmony_storage.dir/storage/io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

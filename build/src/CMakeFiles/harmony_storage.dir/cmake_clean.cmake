@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_storage.dir/storage/dataset.cc.o"
+  "CMakeFiles/harmony_storage.dir/storage/dataset.cc.o.d"
+  "CMakeFiles/harmony_storage.dir/storage/dim_slice.cc.o"
+  "CMakeFiles/harmony_storage.dir/storage/dim_slice.cc.o.d"
+  "CMakeFiles/harmony_storage.dir/storage/io.cc.o"
+  "CMakeFiles/harmony_storage.dir/storage/io.cc.o.d"
+  "libharmony_storage.a"
+  "libharmony_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_util.dir/util/logging.cc.o"
+  "CMakeFiles/harmony_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/harmony_util.dir/util/metrics.cc.o"
+  "CMakeFiles/harmony_util.dir/util/metrics.cc.o.d"
+  "CMakeFiles/harmony_util.dir/util/rng.cc.o"
+  "CMakeFiles/harmony_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/harmony_util.dir/util/status.cc.o"
+  "CMakeFiles/harmony_util.dir/util/status.cc.o.d"
+  "CMakeFiles/harmony_util.dir/util/threadpool.cc.o"
+  "CMakeFiles/harmony_util.dir/util/threadpool.cc.o.d"
+  "libharmony_util.a"
+  "libharmony_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/datasets.cc" "src/CMakeFiles/harmony_workload.dir/workload/datasets.cc.o" "gcc" "src/CMakeFiles/harmony_workload.dir/workload/datasets.cc.o.d"
+  "/root/repo/src/workload/ground_truth.cc" "src/CMakeFiles/harmony_workload.dir/workload/ground_truth.cc.o" "gcc" "src/CMakeFiles/harmony_workload.dir/workload/ground_truth.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/harmony_workload.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/harmony_workload.dir/workload/queries.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/harmony_workload.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/harmony_workload.dir/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmony_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_workload.dir/workload/datasets.cc.o"
+  "CMakeFiles/harmony_workload.dir/workload/datasets.cc.o.d"
+  "CMakeFiles/harmony_workload.dir/workload/ground_truth.cc.o"
+  "CMakeFiles/harmony_workload.dir/workload/ground_truth.cc.o.d"
+  "CMakeFiles/harmony_workload.dir/workload/queries.cc.o"
+  "CMakeFiles/harmony_workload.dir/workload/queries.cc.o.d"
+  "CMakeFiles/harmony_workload.dir/workload/synthetic.cc.o"
+  "CMakeFiles/harmony_workload.dir/workload/synthetic.cc.o.d"
+  "libharmony_workload.a"
+  "libharmony_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dim_slice_test.dir/dim_slice_test.cc.o"
+  "CMakeFiles/dim_slice_test.dir/dim_slice_test.cc.o.d"
+  "dim_slice_test"
+  "dim_slice_test.pdb"
+  "dim_slice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dim_slice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnsw_index_test.dir/hnsw_index_test.cc.o"
+  "CMakeFiles/hnsw_index_test.dir/hnsw_index_test.cc.o.d"
+  "hnsw_index_test"
+  "hnsw_index_test.pdb"
+  "hnsw_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnsw_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

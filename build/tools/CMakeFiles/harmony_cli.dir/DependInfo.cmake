@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/harmony_cli.cc" "tools/CMakeFiles/harmony_cli.dir/harmony_cli.cc.o" "gcc" "tools/CMakeFiles/harmony_cli.dir/harmony_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_cli.dir/harmony_cli.cc.o"
+  "CMakeFiles/harmony_cli.dir/harmony_cli.cc.o.d"
+  "harmony_cli"
+  "harmony_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
