@@ -1,0 +1,103 @@
+// Fault-tolerance figure (extension beyond the paper): recall and degraded
+// fraction as a function of injected fault severity.
+//
+// Two sweeps on the 4-node Harmony grid:
+//  * drop-prob sweep — per-message drop probability from 0 to 0.5 with a
+//    2-retry budget; recall should stay near the healthy value until the
+//    loss rate pushes past the retry budget, then fall off gracefully;
+//  * crashed-node sweep — kill 1..3 of the 4 machines from t=0; every
+//    query still answers, recall decays roughly with the surviving fraction
+//    of the grid.
+//
+// Counters: recall_at_10 (all queries), degraded_recall (degraded queries
+// only; -1 when none), degraded_frac, blocks_lost, shards_lost, retries.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "net/fault.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+void FaultPoint(benchmark::State& state, const std::string& dataset,
+                const FaultPlan& plan, size_t machines, size_t nprobe) {
+  const BenchWorld& world = GetWorld(dataset);
+  HarmonyEngine* engine = GetEngine(world, Mode::kHarmony, machines);
+  engine->SetFaultPlan(plan);
+  BatchResult batch;
+  for (auto _ : state) {
+    auto result = engine->SearchBatch(world.data.workload.queries.View(),
+                                      /*k=*/10, nprobe);
+    HARMONY_CHECK_MSG(result.ok(), result.status().ToString());
+    batch = std::move(result).value();
+  }
+  // The engine is cached across points: restore the fault-free plan so
+  // later benches (or other registrations) see a healthy engine.
+  engine->SetFaultPlan(FaultPlan{});
+  const auto& gt = GetGroundTruth(world, 10);
+
+  size_t degraded = 0;
+  for (const uint8_t flag : batch.degraded) degraded += flag != 0;
+  state.counters["recall_at_10"] = MeanRecallAtK(batch.results, gt, 10);
+  state.counters["degraded_recall"] =
+      RecallOverFlagged(batch.results, batch.degraded, gt, 10);
+  state.counters["degraded_frac"] =
+      batch.degraded.empty()
+          ? 0.0
+          : static_cast<double>(degraded) /
+                static_cast<double>(batch.degraded.size());
+  state.counters["blocks_lost"] =
+      static_cast<double>(batch.stats.faults.blocks_lost);
+  state.counters["shards_lost"] =
+      static_cast<double>(batch.stats.faults.shards_lost);
+  state.counters["retries"] = static_cast<double>(batch.stats.faults.retries);
+  state.counters["qps"] = batch.stats.qps;
+}
+
+void RegisterAll() {
+  const size_t kMachines = 4;
+  const size_t kNprobe = 4;
+  for (const std::string& dataset : {std::string("sift1m"),
+                                     std::string("glove")}) {
+    for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.35, 0.5}) {
+      FaultPlan plan;
+      plan.seed = 1234;
+      plan.drop_prob = drop;
+      std::ostringstream name;
+      name << "fig_fault/" << dataset << "/drop:" << drop;
+      benchmark::RegisterBenchmark(name.str().c_str(), FaultPoint, dataset,
+                                   plan, kMachines, kNprobe)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+    for (size_t dead = 1; dead <= 3; ++dead) {
+      FaultPlan plan;
+      plan.seed = 1234;
+      for (size_t m = 0; m < dead; ++m) {
+        plan.crashes.push_back({m, 0.0});
+      }
+      std::ostringstream name;
+      name << "fig_fault/" << dataset << "/crashed:" << dead << "of"
+           << kMachines;
+      benchmark::RegisterBenchmark(name.str().c_str(), FaultPoint, dataset,
+                                   plan, kMachines, kNprobe)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  harmony::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "core/coordinator.h"
 
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -20,12 +22,18 @@ struct SharedQueryState {
   std::mutex mu;
   TopKHeap heap;
   std::unordered_set<int64_t> prewarmed_ids;
+  /// Set (never cleared) when any of the query's chains lost a block or a
+  /// whole shard; read after the final barrier.
+  std::atomic<bool> degraded{false};
 };
 
 /// The baton passed machine-to-machine along one chain's dimension stages.
+/// The candidate set is built on the client before dispatch (the client
+/// holds the routing tables and, in this in-process deployment, can read
+/// every store), so a chain whose first hop is lost never half-executes.
 struct ChainTask {
   const QueryChain* chain = nullptr;
-  std::vector<size_t> order;  // dimension-block processing order
+  std::vector<size_t> order;  // surviving dimension blocks, pipeline order
   size_t pos = 0;             // current pipeline position
   std::vector<int64_t> id;
   std::vector<int32_t> list;
@@ -46,6 +54,12 @@ struct BatchContext {
   bool use_norms = false;
   ThreadedCluster* cluster = nullptr;
   std::vector<std::unique_ptr<SharedQueryState>> states;
+
+  // Fault accounting; workers touch only the atomics.
+  std::atomic<uint64_t> messages_dropped{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> blocks_lost{0};
+  uint64_t shards_lost = 0;  // client thread only
 
   std::mutex done_mu;
   std::condition_variable done_cv;
@@ -84,28 +98,6 @@ void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task) {
   SharedQueryState& state = *ctx->states[static_cast<size_t>(chain.query)];
   const float* qrow = ctx->queries->Row(static_cast<size_t>(chain.query));
   const float* q_slice = qrow + range.begin;
-
-  // Stage 0 builds the candidate set from this machine's slices.
-  if (p == 0) {
-    for (size_t li = 0; li < chain.lists.size(); ++li) {
-      const ListSlice* ls = store.FindListSlice(shard, d, chain.lists[li]);
-      if (ls == nullptr) continue;
-      for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
-        const int64_t gid = ls->slice.GlobalId(r);
-        if (state.prewarmed_ids.count(gid) > 0) continue;
-        if (ctx->opts->labels != nullptr &&
-            (*ctx->opts->labels)[static_cast<size_t>(gid)] !=
-                ctx->opts->allowed_label) {
-          continue;
-        }
-        task->id.push_back(gid);
-        task->list.push_back(static_cast<int32_t>(li));
-        task->row.push_back(static_cast<int32_t>(r));
-        task->partial.push_back(0.0f);
-        if (ctx->use_norms) task->rem_p_sq.push_back(ls->total_norm_sq[r]);
-      }
-    }
-  }
 
   float tau;
   bool heap_full;
@@ -157,13 +149,34 @@ void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task) {
     task->rem_q_sq -= task->q_block_norm[d];
   }
 
-  if (p + 1 < task->order.size() && w > 0) {
-    task->pos = p + 1;
-    const size_t next_machine = static_cast<size_t>(
-        plan.MachineOf(shard, task->order[task->pos]));
-    ctx->cluster->Post(next_machine,
-                       [ctx, task]() mutable { RunStage(ctx, task); });
-    return;
+  // Hand the baton to the next surviving block. Statically lost blocks were
+  // already removed from `order` at dispatch, so the PostMessage below
+  // normally succeeds; the loop is the defensive failover for a hop lost
+  // anyway (e.g. a plan whose crash schedule changed mid-run), which skips
+  // the block and degrades the chain instead of dropping the baton.
+  const uint32_t max_retries = static_cast<uint32_t>(ctx->opts->max_retries);
+  size_t next = p + 1;
+  while (next < task->order.size() && w > 0) {
+    const size_t nd = task->order[next];
+    const size_t next_machine =
+        static_cast<size_t>(plan.MachineOf(shard, nd));
+    task->pos = next;
+    const uint32_t attempts = ctx->cluster->PostMessage(
+        next_machine, ChainHopKey(chain.query, chain.shard, nd), max_retries,
+        [ctx, task]() mutable { RunStage(ctx, task); });
+    if (attempts > 0) {
+      if (attempts > 1) {
+        ctx->retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+        ctx->messages_dropped.fetch_add(attempts - 1,
+                                        std::memory_order_relaxed);
+      }
+      return;
+    }
+    ctx->messages_dropped.fetch_add(max_retries + 1,
+                                    std::memory_order_relaxed);
+    ctx->blocks_lost.fetch_add(1, std::memory_order_relaxed);
+    state.degraded.store(true, std::memory_order_relaxed);
+    ++next;
   }
   FinishChain(ctx, task);
 }
@@ -185,6 +198,9 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
   }
   StopWatch watch;
   const size_t b_dim = plan.num_dim_blocks;
+  if (b_dim > 64) {
+    return Status::NotSupported("more than 64 dimension blocks");
+  }
   const size_t dim = index.dim();
 
   BatchContext ctx;
@@ -219,8 +235,20 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
     }
   }
 
-  ThreadedCluster cluster(plan.num_machines);
+  // NOTE: `cluster` is declared after `ctx` on purpose — its destructor
+  // joins the worker threads, so any task still referencing ctx finishes
+  // before ctx is destroyed, including on the timeout early-return below.
+  ThreadedCluster cluster(plan.num_machines, opts.faults);
   ctx.cluster = &cluster;
+  const FaultInjector& faults = cluster.faults();
+  const bool faulty = faults.enabled();
+  const uint32_t max_retries = static_cast<uint32_t>(opts.max_retries);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              opts.max_wall_seconds > 0.0 ? opts.max_wall_seconds : 0.0));
 
   // Vector pipeline: dispatch chains rank by rank with a barrier, so later
   // ranks inherit tightened thresholds — the Figure 5(a) staging.
@@ -233,13 +261,23 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
            routing.chains[end].probe_rank == rank) {
       ++end;
     }
-    {
-      std::lock_guard<std::mutex> lock(ctx.done_mu);
-      ctx.chains_remaining = end - begin;
+    if (opts.max_wall_seconds > 0.0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      // Budget already spent: don't start another rank.
+      return Status::Timeout("threaded batch exceeded max_wall_seconds");
     }
+
+    // Prepare the rank's chains on the client: candidate build, block
+    // order, and the (static, pure-function-of-the-plan) loss schedule.
+    std::vector<std::shared_ptr<ChainTask>> dispatch;
+    dispatch.reserve(end - begin);
     for (size_t c = begin; c < end; ++c, ++chain_index) {
       auto task = std::make_shared<ChainTask>();
       task->chain = &routing.chains[c];
+      const size_t shard = static_cast<size_t>(task->chain->shard);
+      SharedQueryState& state =
+          *ctx.states[static_cast<size_t>(task->chain->query)];
+
       task->order.resize(b_dim);
       std::iota(task->order.begin(), task->order.end(), 0);
       if (opts.enable_pipeline && b_dim > 1) {
@@ -247,6 +285,32 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
                     task->order.begin() + (chain_index % b_dim),
                     task->order.end());
       }
+
+      // Candidate set from the (dimension-independent) row layout of the
+      // chain's list slices; block 0's slices are as good as any.
+      for (size_t li = 0; li < task->chain->lists.size(); ++li) {
+        const ListSlice* ls = stores[static_cast<size_t>(plan.MachineOf(
+                                         shard, 0))]
+                                  .FindListSlice(shard, 0,
+                                                 task->chain->lists[li]);
+        if (ls == nullptr) continue;
+        for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
+          const int64_t gid = ls->slice.GlobalId(r);
+          if (state.prewarmed_ids.count(gid) > 0) continue;
+          if (opts.labels != nullptr &&
+              (*opts.labels)[static_cast<size_t>(gid)] !=
+                  opts.allowed_label) {
+            continue;
+          }
+          task->id.push_back(gid);
+          task->list.push_back(static_cast<int32_t>(li));
+          task->row.push_back(static_cast<int32_t>(r));
+          task->partial.push_back(0.0f);
+          if (ctx.use_norms) task->rem_p_sq.push_back(ls->total_norm_sq[r]);
+        }
+      }
+      if (task->id.empty()) continue;  // Nothing to scan; no posts needed.
+
       if (ctx.use_norms) {
         const float* qrow =
             queries.Row(static_cast<size_t>(task->chain->query));
@@ -258,26 +322,109 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
           task->rem_q_sq += task->q_block_norm[d];
         }
       }
-      const size_t shard = static_cast<size_t>(task->chain->shard);
-      const size_t first_machine =
-          static_cast<size_t>(plan.MachineOf(shard, task->order[0]));
-      ctx.cluster->Post(first_machine,
-                        [ctx_ptr = &ctx, task]() mutable {
-                          RunStage(ctx_ptr, task);
-                        });
+
+      if (faulty) {
+        // Drop coins and start-dead machines are pure functions of the
+        // plan, so the whole loss schedule of this chain is known here —
+        // the same schedule ExecuteSimulated derives from the same keys.
+        size_t kept = 0;
+        uint64_t lost = 0;
+        for (const size_t d : task->order) {
+          const size_t m = static_cast<size_t>(plan.MachineOf(shard, d));
+          if (faults.CrashedFromStart(m) ||
+              faults.DeliveryAttempts(
+                  ChainHopKey(task->chain->query, task->chain->shard, d),
+                  max_retries) == 0) {
+            lost |= uint64_t{1} << d;
+            continue;
+          }
+          task->order[kept++] = d;
+        }
+        task->order.resize(kept);
+        if (lost != 0) {
+          const auto n_lost =
+              static_cast<uint64_t>(std::popcount(lost));
+          ctx.blocks_lost.fetch_add(n_lost, std::memory_order_relaxed);
+          ctx.messages_dropped.fetch_add(n_lost * (max_retries + 1),
+                                         std::memory_order_relaxed);
+          state.degraded.store(true, std::memory_order_relaxed);
+        }
+        const bool result_hop_lost =
+            faults.DeliveryAttempts(
+                ChainHopKey(task->chain->query, task->chain->shard, b_dim),
+                max_retries) == 0;
+        if (task->order.empty() || result_hop_lost) {
+          // The whole shard is unreachable for this query (every block
+          // lost, or the result hop can never be delivered): the query
+          // completes from its other chains.
+          if (result_hop_lost) {
+            ctx.messages_dropped.fetch_add(max_retries + 1,
+                                           std::memory_order_relaxed);
+          }
+          ++ctx.shards_lost;
+          state.degraded.store(true, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      dispatch.push_back(std::move(task));
     }
+
     {
+      std::lock_guard<std::mutex> lock(ctx.done_mu);
+      ctx.chains_remaining = dispatch.size();
+    }
+    for (auto& task : dispatch) {
+      const size_t shard = static_cast<size_t>(task->chain->shard);
+      const size_t d0 = task->order[0];
+      const size_t first_machine =
+          static_cast<size_t>(plan.MachineOf(shard, d0));
+      const uint32_t attempts = cluster.PostMessage(
+          first_machine,
+          ChainHopKey(task->chain->query, task->chain->shard, d0),
+          max_retries, [ctx_ptr = &ctx, task]() mutable {
+            RunStage(ctx_ptr, task);
+          });
+      // The first hop survives by construction (lost blocks were stripped
+      // above); book its retries.
+      HARMONY_CHECK_MSG(attempts > 0, "statically delivered hop was lost");
+      if (attempts > 1) {
+        ctx.retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+        ctx.messages_dropped.fetch_add(attempts - 1,
+                                       std::memory_order_relaxed);
+      }
+    }
+    if (!dispatch.empty()) {
       std::unique_lock<std::mutex> lock(ctx.done_mu);
-      ctx.done_cv.wait(lock, [&ctx] { return ctx.chains_remaining == 0; });
+      if (opts.max_wall_seconds > 0.0) {
+        if (!ctx.done_cv.wait_until(lock, deadline, [&ctx] {
+              return ctx.chains_remaining == 0;
+            })) {
+          return Status::Timeout(
+              "threaded batch exceeded max_wall_seconds; a baton was "
+              "lost or the cluster is wedged");
+        }
+      } else {
+        ctx.done_cv.wait(lock, [&ctx] { return ctx.chains_remaining == 0; });
+      }
     }
     begin = end;
   }
 
   ThreadedOutput out;
   out.results.resize(queries.size());
+  out.degraded.assign(queries.size(), 0);
   for (size_t q = 0; q < queries.size(); ++q) {
     out.results[q] = ctx.states[q]->heap.SortedResults();
+    if (ctx.states[q]->degraded.load(std::memory_order_relaxed)) {
+      out.degraded[q] = 1;
+      ++out.faults.degraded_queries;
+    }
   }
+  out.faults.messages_dropped =
+      ctx.messages_dropped.load(std::memory_order_relaxed);
+  out.faults.retries = ctx.retries.load(std::memory_order_relaxed);
+  out.faults.blocks_lost = ctx.blocks_lost.load(std::memory_order_relaxed);
+  out.faults.shards_lost = ctx.shards_lost;
   out.wall_seconds = watch.ElapsedSeconds();
   return out;
 }

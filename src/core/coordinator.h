@@ -19,6 +19,12 @@ namespace harmony {
 struct ThreadedOutput {
   std::vector<std::vector<Neighbor>> results;
   double wall_seconds = 0.0;
+  /// Per-query degraded flag (size num_queries, all zero on a healthy run);
+  /// same semantics as PipelineOutput::degraded, and — because fault
+  /// decisions are pure functions of the plan — the same flags the
+  /// simulated engine produces for the same FaultPlan.
+  std::vector<uint8_t> degraded;
+  FaultStats faults;
 };
 
 /// \brief Runs the same vector/dimension pipeline as ExecuteSimulated on a

@@ -136,6 +136,9 @@ ExecOptions HarmonyEngine::MakeExecOptions(size_t k, size_t nprobe) const {
       options_.enable_pipeline && options_.enable_balanced_load;
   exec.prewarm_per_list = options_.prewarm_per_list;
   exec.pipeline_batch = options_.pipeline_batch;
+  exec.faults = options_.faults;
+  exec.max_retries = options_.max_retries;
+  exec.max_wall_seconds = options_.max_wall_seconds;
   return exec;
 }
 
@@ -213,6 +216,7 @@ Result<BatchResult> HarmonyEngine::SearchInternal(const DatasetView& queries,
   const BatchRouting routing = RouteBatch(index_, plan_, queries, nprobe);
   const ExecOptions exec =
       exec_override != nullptr ? *exec_override : MakeExecOptions(k, nprobe);
+  if (exec.faults.enabled()) cluster.SetFaultPlan(exec.faults);
   HARMONY_ASSIGN_OR_RETURN(
       PipelineOutput output,
       ExecuteSimulated(index_, plan_, stores_, prewarm_, routing, queries,
@@ -220,7 +224,9 @@ Result<BatchResult> HarmonyEngine::SearchInternal(const DatasetView& queries,
 
   BatchResult result;
   result.results = std::move(output.results);
+  result.degraded = std::move(output.degraded);
   BatchStats& stats = result.stats;
+  stats.faults = output.faults;
   stats.num_queries = queries.size();
   stats.makespan_seconds = cluster.Makespan();
   stats.qps = stats.makespan_seconds > 0.0

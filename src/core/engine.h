@@ -44,6 +44,12 @@ struct HarmonyOptions {
   /// must hold the partitioning fixed while toggling features.
   size_t force_b_vec = 0;
   size_t force_b_dim = 0;
+  /// Fault injection + degraded-mode knobs (docs/failure_model.md). The
+  /// default plan injects nothing and keeps both engines byte-identical to
+  /// a fault-free build.
+  FaultPlan faults;
+  size_t max_retries = 2;
+  double max_wall_seconds = 0.0;  // threaded engine bail-out; 0 disables
 };
 
 /// \brief The Harmony distributed ANNS engine (public API facade).
@@ -89,6 +95,10 @@ class HarmonyEngine {
   /// category, or shard-group id). Must be called after Build()/AddVectors
   /// with exactly index().num_vectors() entries; enables filtered search.
   Status SetLabels(std::vector<int32_t> labels);
+
+  /// Replaces the engine's fault plan for subsequent SearchBatch* calls —
+  /// the CLI/bench hook for sweeping drop rates without rebuilding.
+  void SetFaultPlan(FaultPlan faults) { options_.faults = std::move(faults); }
 
   /// Executes one query batch on the simulated cluster and returns exact
   /// (pruning-safe) approximate-search results plus full instrumentation.

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <bit>
 #include <deque>
 #include <numeric>
 #include <queue>
@@ -39,6 +40,12 @@ struct ChainRun {
   std::vector<float> q_block_norm;  // per block (inner-product pruning)
   float rem_q_total = 0.0f;
   std::vector<uint64_t> machine_bytes;  // peak in-flight accounting
+  // --- Fault bookkeeping (all unused on a healthy run).
+  // Delivery attempts per hop key (index b_dim = final result hop);
+  // 0 = permanently lost past the retry budget.
+  std::vector<uint32_t> attempts;
+  uint64_t lost_mask = 0;    // dimension blocks lost for this chain
+  bool contributed = false;  // any batch's results reached the client
 };
 
 /// One pipeline batch flowing through the dimension stages — the unit of
@@ -54,6 +61,7 @@ struct BatchTask {
   size_t processed = 0;    // pipeline position (blocks already done)
   size_t next_block = 0;   // block to execute when popped
   size_t start_block = 0;  // rotation anchor (static stagger)
+  int32_t last_machine = -1;  // machine of the last computed block
   float rem_q_sq = 0.0f;
 };
 
@@ -87,6 +95,18 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
 
   PipelineOutput out;
   out.prune.Resize(b_dim);
+  out.degraded.assign(num_queries, 0);
+
+  // Fault layer: every branch below is gated on `faulty`, so a run with the
+  // default FaultPlan is byte-identical (results and virtual clocks) to the
+  // pre-fault-layer engine.
+  const FaultInjector& faults = cluster->faults();
+  const bool faulty = faults.enabled();
+  const uint32_t max_retries = static_cast<uint32_t>(opts.max_retries);
+  // Machines whose crash has been *observed* (a baton ran into the dead
+  // node): the load-aware block chooser routes around them from then on —
+  // per-chain failure detection, no oracle.
+  std::vector<uint8_t> machine_dead(plan.num_machines, 0);
 
   std::vector<QueryState> states;
   states.reserve(num_queries);
@@ -229,6 +249,35 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         }
       }
       out.prune.total_candidates += run.id.size();
+
+      if (faulty) {
+        // Per-hop delivery outcomes are pure functions of the plan seed and
+        // the chain's identity, so they can be fixed here once; the same
+        // keys give the threaded engine the same loss schedule.
+        run.attempts.assign(b_dim + 1, 1);
+        for (size_t d = 0; d <= b_dim; ++d) {
+          run.attempts[d] = faults.DeliveryAttempts(
+              ChainHopKey(chain.query, chain.shard, d), max_retries);
+          if (d == b_dim) continue;
+          // A block is statically lost when its delivery coins all came up
+          // dropped, or its machine is dead from the start — the latter is
+          // handled statically (not via pop-time detection) so the sim and
+          // threaded engines agree on the degraded set.
+          if (run.attempts[d] == 0 ||
+              faults.CrashedFromStart(
+                  static_cast<size_t>(plan.MachineOf(chain.shard, d)))) {
+            run.lost_mask |= uint64_t{1} << d;
+          }
+        }
+        if (run.lost_mask != 0 && !run.id.empty()) {
+          out.faults.blocks_lost +=
+              static_cast<uint64_t>(std::popcount(run.lost_mask));
+          out.faults.messages_dropped +=
+              static_cast<uint64_t>(std::popcount(run.lost_mask)) *
+              (max_retries + 1);
+          out.degraded[static_cast<size_t>(chain.query)] = 1;
+        }
+      }
       runs.push_back(std::move(run));
     }
 
@@ -300,6 +349,20 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
              static_cast<double>(queued_ops[machine]) / worker.ops_per_sec();
     };
     auto choose_block = [&](const ChainRun& run, uint64_t remaining) {
+      if (faulty) {
+        // Route around machines whose crash has been observed, unless that
+        // would leave nothing (the caller then detects the loss and
+        // degrades the chain).
+        uint64_t alive = remaining;
+        for (size_t cand = 0; cand < b_dim; ++cand) {
+          if ((remaining & (uint64_t{1} << cand)) == 0) continue;
+          if (machine_dead[static_cast<size_t>(
+                  plan.MachineOf(run.shard, cand))]) {
+            alive &= ~(uint64_t{1} << cand);
+          }
+        }
+        if (alive != 0) remaining = alive;
+      }
       double min_load = -1.0;
       for (size_t cand = 0; cand < b_dim; ++cand) {
         if ((remaining & (uint64_t{1} << cand)) == 0) continue;
@@ -325,32 +388,159 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       return best;
     };
 
+    // One failed delivery attempt costs the message's critical path one ack
+    // timeout per resend (exponential backoff); counted into the run stats.
+    auto retry_penalty = [&](uint64_t bytes, uint32_t attempts_used) {
+      double penalty = 0.0;
+      for (uint32_t a = 0; a + 1 < attempts_used; ++a) {
+        penalty += cluster->network().RetryBackoffSeconds(bytes, a);
+      }
+      if (attempts_used > 1) {
+        out.faults.retries += attempts_used - 1;
+        out.faults.messages_dropped += attempts_used - 1;
+      }
+      return penalty;
+    };
+
+    // Last stage of a batch: local top-K selection at the last machine that
+    // computed a block, result hop to the client, client-side merge. Also
+    // the landing point of degraded batches that ran out of alive blocks.
+    auto finalize_batch = [&](BatchTask& task, ChainRun& run) {
+      QueryState& state = states[static_cast<size_t>(run.chain->query)];
+      if (task.processed == 0 || task.last_machine < 0) {
+        // Every block was lost before the first stage could run: the batch
+        // contributes nothing and the client hears nothing.
+        return;
+      }
+      SimNode& node = cluster->worker(static_cast<size_t>(task.last_machine));
+      TopKHeap local(opts.k);
+      double result_arrival;
+      uint64_t result_bytes = kMsgHeaderBytes;
+      if (task.survivors > 0) {
+        const float tau_final = state.heap.threshold();
+        for (size_t i = task.begin; i < task.begin + task.survivors; ++i) {
+          const float dist = use_ip ? -run.partial[i] : run.partial[i];
+          if (dist < tau_final || !state.heap.full()) {
+            local.Push(run.id[i], dist);
+          }
+        }
+        node.ChargeCompute(task.survivors);  // Selection pass.
+        result_bytes = local.size() * 8 + kMsgHeaderBytes;
+        result_arrival = cluster->Transfer(&node, &client, result_bytes);
+      } else {
+        // Everything pruned; notify the client with an empty message.
+        result_arrival = cluster->Transfer(&node, &client, result_bytes);
+      }
+      if (faulty && run.attempts[b_dim] == 0) {
+        // The result message and every resend of it died in flight: the
+        // worker paid for the send but the client never merges.
+        out.faults.messages_dropped += max_retries + 1;
+        return;
+      }
+      if (faulty && run.attempts[b_dim] > 1) {
+        result_arrival += retry_penalty(result_bytes, run.attempts[b_dim]);
+      }
+      run.contributed = true;
+
+      // Client merge: merges of different queries proceed concurrently on
+      // the (many-core) client; only per-query ordering is enforced, so a
+      // straggling batch never blocks other queries' progress.
+      const double merge_ready = std::max(result_arrival, state.ready_time);
+      const uint64_t merge_ops = local.size() + 1;
+      const double merge_done =
+          merge_ready + static_cast<double>(merge_ops) / client_ops_per_sec;
+      total_merge_ops += merge_ops;
+      state.ready_time = merge_done;
+      last_merge_done = std::max(last_merge_done, merge_done);
+      for (const Neighbor& n : local.SortedResults()) {
+        state.heap.Push(n.id, n.distance);
+      }
+    };
+
+    // The hop into task.next_block was lost (dead machine): remove the
+    // block from the chain, book the loss, and route the baton to the next
+    // surviving block — or finalize from wherever it last computed.
+    auto fail_over = [&](BatchTask task, double detect_time) {
+      ChainRun& run = runs[task.run];
+      const size_t d = task.next_block;
+      if ((run.lost_mask & (uint64_t{1} << d)) == 0) {
+        run.lost_mask |= uint64_t{1} << d;
+        ++out.faults.blocks_lost;
+      }
+      if (!run.id.empty()) {
+        out.degraded[static_cast<size_t>(run.chain->query)] = 1;
+      }
+      task.remaining &= ~run.lost_mask;
+      if (task.remaining != 0) {
+        size_t next = b_dim;
+        if (opts.enable_pipeline && opts.dynamic_dim_order) {
+          next = choose_block(run, task.remaining);
+        } else {
+          for (size_t step = 0; step < b_dim; ++step) {
+            const size_t cand =
+                (task.start_block + task.processed + step) % b_dim;
+            if ((task.remaining & (uint64_t{1} << cand)) != 0) {
+              next = cand;
+              break;
+            }
+          }
+        }
+        HARMONY_CHECK(next < b_dim);
+        const uint64_t bytes =
+            task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
+        task.next_block = next;
+        task.ready = std::max(detect_time, run.slice_arrival[next]);
+        if (run.attempts[next] > 1) {
+          task.ready += retry_penalty(bytes, run.attempts[next]);
+        }
+        task.seq = seq++;
+        task.queued_ops = static_cast<uint64_t>(task.survivors) *
+                          plan.dim_ranges[next].width();
+        const size_t next_machine =
+            static_cast<size_t>(plan.MachineOf(run.shard, next));
+        queued_ops[next_machine] += task.queued_ops;
+        machine_queues[next_machine].pending.push(task);
+        ++outstanding;
+        return;
+      }
+      finalize_batch(task, run);
+    };
+
     // Seed every chain's pipeline batches.
     for (size_t r = 0; r < runs.size(); ++r, ++chain_seq) {
       const ChainRun& run = runs[r];
       const size_t total = run.id.size();
-      if (total == 0) {
-        // Nothing to scan (all candidates prewarmed); still sequence the
-        // query so later ranks may proceed.
-        QueryState& state = states[static_cast<size_t>(run.chain->query)];
-        state.ready_time = std::max(state.ready_time, client.clock());
-        continue;
-      }
       const uint64_t all_blocks =
           b_dim == 64 ? ~uint64_t{0} : ((uint64_t{1} << b_dim) - 1);
+      const uint64_t usable_blocks = all_blocks & ~run.lost_mask;
+      if (total == 0 || usable_blocks == 0) {
+        // Nothing to scan (all candidates prewarmed), or every dimension
+        // block of the shard is lost: still sequence the query so later
+        // ranks may proceed. A fully lost shard degrades the query; the
+        // rank-end sweep books it as shards_lost.
+        QueryState& state = states[static_cast<size_t>(run.chain->query)];
+        state.ready_time = std::max(state.ready_time, client.clock());
+        if (total > 0) {
+          out.degraded[static_cast<size_t>(run.chain->query)] = 1;
+        }
+        continue;
+      }
       size_t batch_idx = 0;
       for (size_t begin = 0; begin < total; begin += batch_size, ++batch_idx) {
         BatchTask task;
         task.run = r;
         task.begin = begin;
         task.survivors = std::min(batch_size, total - begin);
-        task.remaining = all_blocks;
+        task.remaining = usable_blocks;
         task.processed = 0;
         // Static stagger: consecutive batches/chains start on different
         // machines; the dynamic choice refines later blocks as busy
         // counters evolve.
         task.start_block =
             opts.enable_pipeline ? (chain_seq + batch_idx) % b_dim : 0;
+        while ((task.remaining & (uint64_t{1} << task.start_block)) == 0) {
+          task.start_block = (task.start_block + 1) % b_dim;
+        }
         if (opts.enable_pipeline && opts.dynamic_dim_order && b_dim > 1) {
           const size_t chosen = choose_block(run, task.remaining);
           if (chosen < b_dim) task.start_block = chosen;
@@ -358,6 +548,12 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         task.next_block = task.start_block;
         task.rem_q_sq = run.rem_q_total;
         task.ready = run.slice_arrival[task.next_block];
+        if (faulty && run.attempts[task.next_block] > 1) {
+          task.ready += retry_penalty(
+              plan.dim_ranges[task.next_block].width() * sizeof(float) +
+                  kMsgHeaderBytes,
+              run.attempts[task.next_block]);
+        }
         task.seq = seq++;
         task.queued_ops = static_cast<uint64_t>(task.survivors) *
                           plan.dim_ranges[task.next_block].width();
@@ -405,6 +601,24 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       const DimRange range = plan.dim_ranges[d];
       const size_t machine = static_cast<size_t>(plan.MachineOf(run.shard, d));
       SimNode& node = cluster->worker(machine);
+      if (faulty) {
+        const double hop_start =
+            std::max({node.clock(), task.ready, run.slice_arrival[d]});
+        if (hop_start >= faults.CrashTime(machine)) {
+          // The target died before this baton could execute: the sender
+          // burns its full retry budget discovering that, then routes
+          // around the dead machine.
+          machine_dead[machine] = 1;
+          const uint64_t bytes =
+              task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
+          const double detect =
+              hop_start +
+              cluster->network().RetryBackoffSeconds(bytes, max_retries);
+          out.faults.messages_dropped += max_retries + 1;
+          fail_over(task, detect);
+          continue;
+        }
+      }
       node.WaitUntil(std::max(task.ready, run.slice_arrival[d]));
 
       const float tau = state.heap.threshold();
@@ -450,6 +664,12 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       task.remaining &= ~(uint64_t{1} << d);
       ++task.processed;
       task.survivors = w;
+      task.last_machine = static_cast<int32_t>(machine);
+      if (faulty) {
+        // Another batch of this chain may have discovered crash-lost blocks
+        // in the meantime; don't hop into a known-dead block.
+        task.remaining &= ~run.lost_mask;
+      }
 
       run.machine_bytes[machine] = std::max(
           run.machine_bytes[machine],
@@ -481,8 +701,11 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
             static_cast<size_t>(plan.MachineOf(run.shard, next));
         const uint64_t bytes =
             task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
-        const double arrival =
+        double arrival =
             cluster->Transfer(&node, &cluster->worker(next_machine), bytes);
+        if (faulty && run.attempts[next] > 1) {
+          arrival += retry_penalty(bytes, run.attempts[next]);
+        }
         task.ready = std::max(arrival, run.slice_arrival[next]);
         task.seq = seq++;
         task.queued_ops = static_cast<uint64_t>(task.survivors) *
@@ -497,36 +720,16 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       // only candidates that can still enter the query's top-K travel to
       // the client (vector-partitioned chains therefore return at most K
       // results, matching the paper's low vector-mode communication).
-      TopKHeap local(opts.k);
-      double result_arrival;
-      if (task.survivors > 0) {
-        const float tau_final = state.heap.threshold();
-        for (size_t i = task.begin; i < task.begin + task.survivors; ++i) {
-          const float dist = use_ip ? -run.partial[i] : run.partial[i];
-          if (dist < tau_final || !state.heap.full()) {
-            local.Push(run.id[i], dist);
-          }
-        }
-        node.ChargeCompute(task.survivors);  // Selection pass.
-        result_arrival = cluster->Transfer(
-            &node, &client, local.size() * 8 + kMsgHeaderBytes);
-      } else {
-        // Everything pruned; notify the client with an empty message.
-        result_arrival = cluster->Transfer(&node, &client, kMsgHeaderBytes);
-      }
+      finalize_batch(task, run);
+    }
 
-      // Client merge: merges of different queries proceed concurrently on
-      // the (many-core) client; only per-query ordering is enforced, so a
-      // straggling batch never blocks other queries' progress.
-      const double merge_ready = std::max(result_arrival, state.ready_time);
-      const uint64_t merge_ops = local.size() + 1;
-      const double merge_done =
-          merge_ready + static_cast<double>(merge_ops) / client_ops_per_sec;
-      total_merge_ops += merge_ops;
-      state.ready_time = merge_done;
-      last_merge_done = std::max(last_merge_done, merge_done);
-      for (const Neighbor& n : local.SortedResults()) {
-        state.heap.Push(n.id, n.distance);
+    // Any chain that got candidates but never landed a result at the client
+    // lost its whole vector shard for this query.
+    if (faulty) {
+      for (const ChainRun& run : runs) {
+        if (run.id.empty() || run.contributed) continue;
+        ++out.faults.shards_lost;
+        out.degraded[static_cast<size_t>(run.chain->query)] = 1;
       }
     }
 
@@ -556,6 +759,9 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       out.peak_intermediate_bytes =
           std::max(out.peak_intermediate_bytes, bytes);
     }
+  }
+  for (const uint8_t flag : out.degraded) {
+    if (flag != 0) ++out.faults.degraded_queries;
   }
   return out;
 }

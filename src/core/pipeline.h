@@ -44,6 +44,17 @@ struct ExecOptions {
   /// are scanned — predicate push-down into the first dimension stage.
   const std::vector<int32_t>* labels = nullptr;
   int32_t allowed_label = -1;
+  /// --- Fault handling (docs/failure_model.md). The simulated engine reads
+  /// the fault plan from its SimCluster; `faults` here is what
+  /// ExecuteThreaded builds its ThreadedCluster from. These knobs shape the
+  /// coordinator's reaction: how often a lost message is resent before the
+  /// target block is declared lost and the query completes degraded.
+  FaultPlan faults;
+  size_t max_retries = 2;
+  /// Hard wall-clock bail-out for the threaded coordinator: when > 0, a
+  /// batch that fails to finish within this budget (e.g. a lost baton)
+  /// returns Status kTimeout instead of blocking forever. 0 disables.
+  double max_wall_seconds = 0.0;
 };
 
 /// \brief Results and instrumentation of one simulated batch execution.
@@ -57,6 +68,11 @@ struct PipelineOutput {
   /// at the client); queries all arrive at t=0, so this is also the
   /// per-query latency.
   std::vector<double> query_completion_seconds;
+  /// Per-query degraded flag (size num_queries, all zero on a healthy run):
+  /// the query's results were computed from an incomplete pipeline because
+  /// a shard or dimension block was lost past the retry budget.
+  std::vector<uint8_t> degraded;
+  FaultStats faults;
 };
 
 /// \brief Runs the full Algorithm 1 pipeline on the simulated cluster:

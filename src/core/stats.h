@@ -51,6 +51,33 @@ struct MemoryStats {
   uint64_t peak_query_bytes = 0;
 };
 
+/// \brief Degraded-mode accounting for a fault-injected run. All zeros on
+/// the healthy path.
+struct FaultStats {
+  /// Delivery attempts that the fault plan dropped (including the attempts
+  /// of messages that were eventually delivered after retries).
+  uint64_t messages_dropped = 0;
+  /// Successful resends: messages that needed more than one attempt.
+  uint64_t retries = 0;
+  /// (chain, dimension-block) units lost past the retry budget: those
+  /// candidates completed with the block's distance contribution missing.
+  uint64_t blocks_lost = 0;
+  /// Chains whose every dimension block (or final result hop) was lost —
+  /// the whole vector shard contributed nothing to that query.
+  uint64_t shards_lost = 0;
+  /// Queries whose result set was computed from an incomplete pipeline.
+  size_t degraded_queries = 0;
+  /// recall@K over the degraded queries only; filled by callers that hold
+  /// ground truth (CLI, benchmarks) — the engine itself reports -1.
+  double degraded_recall = -1.0;
+
+  bool any() const {
+    return messages_dropped > 0 || retries > 0 || blocks_lost > 0 ||
+           shards_lost > 0 || degraded_queries > 0;
+  }
+  std::string ToString() const;
+};
+
 /// \brief Everything measured for one executed batch.
 struct BatchStats {
   size_t num_queries = 0;
@@ -60,6 +87,7 @@ struct BatchStats {
   ClusterBreakdown breakdown;
   PruneStats prune;
   MemoryStats memory;
+  FaultStats faults;
   /// Per-node virtual accounting, for imbalance and utilization reporting.
   std::vector<double> node_compute_seconds;
   std::vector<double> node_comm_seconds;
@@ -78,8 +106,19 @@ struct BatchStats {
 /// \brief Results plus stats for one batch.
 struct BatchResult {
   std::vector<std::vector<Neighbor>> results;
+  /// Per-query degraded flag: results[q] was computed from an incomplete
+  /// pipeline (lost shard/block past the retry budget). All zeros on a
+  /// healthy run.
+  std::vector<uint8_t> degraded;
   BatchStats stats;
 };
+
+/// \brief recall@K restricted to flagged (degraded) queries; -1 when no
+/// query is flagged. Lets benchmarks fill FaultStats::degraded_recall.
+double RecallOverFlagged(const std::vector<std::vector<Neighbor>>& results,
+                         const std::vector<uint8_t>& flagged,
+                         const std::vector<std::vector<Neighbor>>& ground_truth,
+                         size_t k);
 
 }  // namespace harmony
 

@@ -27,6 +27,13 @@ SimCluster::SimCluster(size_t num_workers, NetworkParams net,
   }
 }
 
+void SimCluster::SetFaultPlan(const FaultPlan& plan) {
+  faults_ = FaultInjector(plan);
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i].set_slowdown(faults_.DelayMultiplier(i));
+  }
+}
+
 double SimCluster::Transfer(SimNode* src, SimNode* dst, uint64_t bytes) {
   HARMONY_CHECK(src != nullptr && dst != nullptr);
   src->BookSend(bytes);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/network_model.h"
 #include "util/status.h"
 
@@ -43,9 +44,16 @@ class SimNode {
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_sent() const { return messages_sent_; }
 
+  /// Straggler factor from the fault plan: every compute charge is scaled
+  /// by it. 1.0 (the default) multiplies exactly, so a fault-free run is
+  /// bit-identical to one without the fault layer.
+  double slowdown() const { return slowdown_; }
+  void set_slowdown(double factor) { slowdown_ = factor > 0.0 ? factor : 1.0; }
+
   /// Charges `ops` scalar operations of local compute.
   void ChargeCompute(uint64_t ops) {
-    const double secs = static_cast<double>(ops) / machine_.ops_per_sec;
+    const double secs =
+        static_cast<double>(ops) / machine_.ops_per_sec * slowdown_;
     clock_ += secs;
     compute_seconds_ += secs;
     ops_executed_ += ops;
@@ -53,8 +61,8 @@ class SimNode {
 
   /// Charges fixed-seconds local work (e.g. heap maintenance, planning).
   void ChargeSeconds(double secs) {
-    clock_ += secs;
-    compute_seconds_ += secs;
+    clock_ += secs * slowdown_;
+    compute_seconds_ += secs * slowdown_;
   }
 
   /// Advances the clock to `t`, booking the gap as idle (waiting on a
@@ -84,6 +92,7 @@ class SimNode {
  private:
   int id_ = -1;
   MachineParams machine_;
+  double slowdown_ = 1.0;
   double clock_ = 0.0;
   double compute_seconds_ = 0.0;
   double comm_seconds_ = 0.0;
@@ -119,6 +128,12 @@ class SimCluster {
   size_t num_workers() const { return workers_.size(); }
   const NetworkModel& network() const { return net_; }
 
+  /// Installs a fault plan: worker straggler factors are applied to the
+  /// virtual clocks immediately; drop/crash decisions are served through
+  /// `faults()` to the execution engine. A default plan disables all of it.
+  void SetFaultPlan(const FaultPlan& plan);
+  const FaultInjector& faults() const { return faults_; }
+
   SimNode& worker(size_t i) { return workers_[i]; }
   const SimNode& worker(size_t i) const { return workers_[i]; }
   SimNode& client() { return client_; }
@@ -141,6 +156,7 @@ class SimCluster {
 
  private:
   NetworkModel net_;
+  FaultInjector faults_;
   SimNode client_;
   std::vector<SimNode> workers_;
 };

@@ -1,0 +1,90 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace harmony {
+
+namespace {
+
+/// SplitMix64 finalizer: the same mixer Rng uses for seeding, applied here
+/// as a stateless hash so fault coins depend only on (seed, key, attempt).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  if (drop_prob > 0.0 || !crashes.empty()) return true;
+  for (const double m : delay_multiplier) {
+    if (m > 0.0 && m != 1.0) return true;
+  }
+  return false;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  os << "faults{seed=" << seed << " drop_prob=" << drop_prob;
+  if (!crashes.empty()) {
+    os << " crashes=[";
+    for (size_t i = 0; i < crashes.size(); ++i) {
+      if (i > 0) os << ",";
+      os << crashes[i].node << "@" << crashes[i].at_seconds;
+    }
+    os << "]";
+  }
+  if (!delay_multiplier.empty()) {
+    os << " stragglers=[";
+    for (size_t i = 0; i < delay_multiplier.size(); ++i) {
+      if (i > 0) os << ",";
+      os << delay_multiplier[i];
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  enabled_ = plan_.enabled();
+  drop_threshold_ = std::clamp(plan_.drop_prob, 0.0, 1.0);
+  for (const NodeCrash& crash : plan_.crashes) {
+    if (crash.node < 0) continue;
+    const size_t node = static_cast<size_t>(crash.node);
+    if (crash_time_.size() <= node) {
+      crash_time_.resize(node + 1, std::numeric_limits<double>::infinity());
+    }
+    crash_time_[node] = std::min(crash_time_[node], crash.at_seconds);
+  }
+}
+
+bool FaultInjector::DropsAttempt(uint64_t key, uint32_t attempt) const {
+  if (drop_threshold_ <= 0.0) return false;
+  if (drop_threshold_ >= 1.0) return true;
+  const uint64_t h = Mix64(Mix64(plan_.seed ^ 0x5FA7D1CEull) ^
+                           Mix64(key + 0x9E3779B97F4A7C15ULL * attempt));
+  // Top 53 bits -> uniform double in [0, 1), same mapping as Rng.
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < drop_threshold_;
+}
+
+uint32_t FaultInjector::DeliveryAttempts(uint64_t key,
+                                         uint32_t max_retries) const {
+  for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+    if (!DropsAttempt(key, attempt)) return attempt + 1;
+  }
+  return 0;
+}
+
+uint64_t ChainHopKey(int32_t query, int32_t shard, size_t block) {
+  uint64_t key = static_cast<uint64_t>(static_cast<uint32_t>(query));
+  key = (key << 20) ^ static_cast<uint64_t>(static_cast<uint32_t>(shard));
+  key = (key << 12) ^ static_cast<uint64_t>(block);
+  return Mix64(key);
+}
+
+}  // namespace harmony

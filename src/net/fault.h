@@ -1,0 +1,102 @@
+#ifndef HARMONY_NET_FAULT_H_
+#define HARMONY_NET_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+/// \brief One scheduled node failure. `at_seconds` is virtual time on the
+/// simulated cluster; values <= 0 mean the node is dead from the start,
+/// which is the only crash shape the real-thread cluster (no virtual clock)
+/// can reproduce deterministically.
+struct NodeCrash {
+  int node = -1;
+  double at_seconds = 0.0;
+};
+
+/// \brief Seeded description of everything that can go wrong in a run.
+///
+/// A default-constructed plan injects nothing: every fault branch in the
+/// execution engines is gated on `enabled()`, so the no-fault path stays
+/// byte-identical (results *and* virtual-clock timings) to a build without
+/// the fault layer.
+///
+/// All fault decisions derived from a plan are pure functions of
+/// (seed, message key, attempt) — never of scheduling order — so the same
+/// plan yields the same fault schedule on the simulated cluster, on the
+/// real-thread cluster, and across repeated runs.
+struct FaultPlan {
+  /// Seed for the per-message drop coins. Two plans with different seeds
+  /// drop disjoint (pseudo-random) message sets at the same drop_prob.
+  uint64_t seed = 0;
+  /// Probability that one delivery attempt of a message is lost.
+  double drop_prob = 0.0;
+  /// Per-worker compute slowdown ("straggler" factor); empty means 1.0 for
+  /// every node. Charged to virtual clocks on the simulated cluster; the
+  /// real-thread cluster has no cost model and ignores it.
+  std::vector<double> delay_multiplier;
+  /// Scheduled node failures (see NodeCrash).
+  std::vector<NodeCrash> crashes;
+
+  bool enabled() const;
+  std::string ToString() const;
+};
+
+/// \brief Deterministic fault oracle over a FaultPlan.
+///
+/// Both clusters own one of these; the execution engines consult it at
+/// message boundaries (simulated transfers, mailbox posts) using stable
+/// semantic keys (see ChainHopKey), which is what makes the simulated and
+/// threaded engines agree on which messages die.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return enabled_; }
+
+  /// Virtual time at which `node` dies; +infinity if it never does.
+  double CrashTime(size_t node) const {
+    return node < crash_time_.size()
+               ? crash_time_[node]
+               : std::numeric_limits<double>::infinity();
+  }
+  /// True when `node` is dead for the whole run (at_seconds <= 0).
+  bool CrashedFromStart(size_t node) const { return CrashTime(node) <= 0.0; }
+
+  /// Straggler factor for `node` (1.0 when unspecified).
+  double DelayMultiplier(size_t node) const {
+    return node < plan_.delay_multiplier.size() && plan_.delay_multiplier[node] > 0.0
+               ? plan_.delay_multiplier[node]
+               : 1.0;
+  }
+
+  /// Pure coin: is delivery attempt `attempt` of message `key` dropped?
+  bool DropsAttempt(uint64_t key, uint32_t attempt) const;
+
+  /// Attempts needed to deliver message `key` given a budget of
+  /// `max_retries` resends: 1..max_retries+1 = delivered on that attempt;
+  /// 0 = every attempt dropped (the message is permanently lost).
+  uint32_t DeliveryAttempts(uint64_t key, uint32_t max_retries) const;
+
+ private:
+  FaultPlan plan_;
+  bool enabled_ = false;
+  double drop_threshold_ = 0.0;        // drop_prob mapped to u64 space
+  std::vector<double> crash_time_;     // per node, +inf if never
+};
+
+/// \brief Stable key for the delivery of chain (query, shard)'s baton into
+/// dimension block `block`. Pass `block == num_dim_blocks` for the final
+/// worker-to-client result hop. Both execution engines key their fault
+/// consults this way, so fault schedules agree across engines regardless of
+/// thread or event ordering.
+uint64_t ChainHopKey(int32_t query, int32_t shard, size_t block);
+
+}  // namespace harmony
+
+#endif  // HARMONY_NET_FAULT_H_

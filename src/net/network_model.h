@@ -20,6 +20,10 @@ struct NetworkParams {
   double bandwidth_bytes_per_sec = 12.5e9;  // 100 Gb/s
   double latency_seconds = 1e-6;            // per-message overhead (aggregated non-blocking sends)
   CommMode mode = CommMode::kNonBlocking;
+  /// Ack-timeout multiple of the end-to-end transfer time: how long a
+  /// sender waits before declaring a delivery attempt lost and resending
+  /// (fault-injected runs only; the healthy path never consults it).
+  double retry_timeout_factor = 4.0;
 };
 
 /// \brief Computes transfer times under a NetworkParams configuration.
@@ -42,6 +46,15 @@ class NetworkModel {
   double SenderBusySeconds(size_t bytes) const {
     return params_.mode == CommMode::kBlocking ? TransferSeconds(bytes)
                                                : params_.latency_seconds;
+  }
+
+  /// Seconds one failed delivery attempt costs the message's critical path:
+  /// the sender waits out the ack timeout, doubling it per attempt
+  /// (bounded exponential backoff), then resends.
+  double RetryBackoffSeconds(size_t bytes, uint32_t attempt) const {
+    const uint32_t exp = attempt < 20 ? attempt : 20;
+    return params_.retry_timeout_factor * TransferSeconds(bytes) *
+           static_cast<double>(uint64_t{1} << exp);
   }
 
  private:

@@ -4,7 +4,8 @@
 
 namespace harmony {
 
-ThreadedCluster::ThreadedCluster(size_t num_workers) {
+ThreadedCluster::ThreadedCluster(size_t num_workers, FaultPlan faults)
+    : faults_(std::move(faults)) {
   HARMONY_CHECK_MSG(num_workers > 0, "cluster needs at least one worker");
   nodes_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
@@ -37,6 +38,21 @@ void ThreadedCluster::Post(size_t node, std::function<void()> task) {
     n->mailbox.push_back(std::move(task));
   }
   n->cv.notify_one();
+}
+
+uint32_t ThreadedCluster::PostMessage(size_t node, uint64_t msg_key,
+                                      uint32_t max_retries,
+                                      std::function<void()> task) {
+  HARMONY_CHECK(node < nodes_.size());
+  if (faults_.enabled()) {
+    if (faults_.CrashedFromStart(node)) return 0;
+    const uint32_t attempts = faults_.DeliveryAttempts(msg_key, max_retries);
+    if (attempts == 0) return 0;
+    Post(node, std::move(task));
+    return attempts;
+  }
+  Post(node, std::move(task));
+  return 1;
 }
 
 void ThreadedCluster::Barrier() {

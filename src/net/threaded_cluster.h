@@ -3,11 +3,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "net/fault.h"
 
 namespace harmony {
 
@@ -21,17 +24,28 @@ namespace harmony {
 /// the ordering guarantees an MPI rank would see.
 class ThreadedCluster {
  public:
-  explicit ThreadedCluster(size_t num_workers);
+  explicit ThreadedCluster(size_t num_workers, FaultPlan faults = FaultPlan());
   ~ThreadedCluster();
 
   ThreadedCluster(const ThreadedCluster&) = delete;
   ThreadedCluster& operator=(const ThreadedCluster&) = delete;
 
   size_t num_workers() const { return nodes_.size(); }
+  const FaultInjector& faults() const { return faults_; }
 
   /// Enqueues a task on worker `node`'s mailbox. Tasks on the same node run
   /// in FIFO order on that node's thread.
   void Post(size_t node, std::function<void()> task);
+
+  /// Fault-injected delivery at the mailbox boundary: consults the fault
+  /// plan for node crashes and per-attempt message drops keyed by
+  /// `msg_key`, so the loss schedule is a pure function of the plan (never
+  /// of thread timing). Returns the attempts used (1 = delivered first
+  /// try, up to max_retries+1), or 0 when the message is lost — the node is
+  /// dead or every attempt dropped — in which case `task` is discarded and
+  /// the caller owns the failover.
+  uint32_t PostMessage(size_t node, uint64_t msg_key, uint32_t max_retries,
+                       std::function<void()> task);
 
   /// Blocks until every mailbox is empty and every node is idle.
   void Barrier();
@@ -47,6 +61,7 @@ class ThreadedCluster {
 
   void NodeLoop(Node* node);
 
+  FaultInjector faults_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<bool> stop_{false};
   std::mutex barrier_mu_;

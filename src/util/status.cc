@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "NOT_SUPPORTED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

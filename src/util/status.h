@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kIoError = 7,
   kNotSupported = 8,
   kResourceExhausted = 9,
+  kTimeout = 10,
+  kUnavailable = 11,
 };
 
 /// \brief Returns a stable, uppercase name for a status code ("OK",
@@ -74,6 +76,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

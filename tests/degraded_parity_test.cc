@@ -1,0 +1,156 @@
+// Sim/threaded fault parity: every fault decision is a pure function of
+// (plan seed, ChainHopKey, attempt), so the discrete-event simulator and
+// the real-thread engine must agree — under the same FaultPlan — on which
+// queries are degraded, how many blocks/shards were lost, and on the
+// results of the queries that were NOT degraded.
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "core/pipeline.h"
+#include "core/router.h"
+#include "net/fault.h"
+#include "test_util.h"
+#include "workload/ground_truth.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+struct RunSetup {
+  PartitionPlan plan;
+  std::vector<WorkerStore> stores;
+  PrewarmCache prewarm;
+  BatchRouting routing;
+};
+
+RunSetup MakeSetup(const SmallWorld& world, size_t machines, size_t b_vec,
+                   size_t b_dim, size_t nprobe, bool with_norms = false) {
+  RunSetup setup;
+  auto plan = BuildPartitionPlan(world.index, machines, b_vec, b_dim,
+                                 ShardAssignment::kGreedyBalanced);
+  EXPECT_TRUE(plan.ok());
+  setup.plan = std::move(plan).value();
+  auto stores = BuildWorkerStores(world.index, setup.plan, with_norms);
+  EXPECT_TRUE(stores.ok());
+  setup.stores = std::move(stores).value();
+  setup.prewarm = PrewarmCache::Build(world.index, 4);
+  setup.routing = RouteBatch(world.index, setup.plan,
+                             world.workload.queries.View(), nprobe);
+  return setup;
+}
+
+void ExpectParity(const SmallWorld& world, const RunSetup& setup,
+                  size_t machines, ExecOptions opts, const FaultPlan& plan) {
+  // Same (deterministic) block order in both engines; faults are keyed by
+  // chain identity, not order, but result comparison wants matching
+  // float-accumulation order.
+  opts.dynamic_dim_order = false;
+  opts.faults = plan;  // threaded reads the plan from opts
+  SimCluster cluster(machines);
+  cluster.SetFaultPlan(plan);
+  auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  auto thr = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  ASSERT_TRUE(thr.ok()) << thr.status();
+
+  // The engines agree on the degraded set...
+  EXPECT_EQ(sim.value().degraded, thr.value().degraded);
+  EXPECT_EQ(sim.value().faults.degraded_queries,
+            thr.value().faults.degraded_queries);
+  // ...and on the static loss tallies (retry counters differ by design:
+  // the sim pays delivery coins per pipeline batch, the threaded engine
+  // once per chain hop).
+  EXPECT_EQ(sim.value().faults.blocks_lost, thr.value().faults.blocks_lost);
+  EXPECT_EQ(sim.value().faults.shards_lost, thr.value().faults.shards_lost);
+
+  // Non-degraded queries saw no fault at all: their results must agree as
+  // tightly as the healthy-path parity test asserts.
+  size_t healthy_checked = 0;
+  for (size_t q = 0; q < world.workload.queries.size(); ++q) {
+    if (sim.value().degraded[q] != 0) continue;
+    ++healthy_checked;
+    EXPECT_GE(RecallAtK(thr.value().results[q], sim.value().results[q],
+                        opts.k),
+              0.99)
+        << "non-degraded query " << q;
+  }
+  // Degraded queries still answer with whatever survived, in both engines.
+  for (size_t q = 0; q < world.workload.queries.size(); ++q) {
+    EXPECT_FALSE(sim.value().results[q].empty()) << "query " << q;
+    EXPECT_FALSE(thr.value().results[q].empty()) << "query " << q;
+  }
+  // The scenarios below are built so faults hit some queries, not all.
+  EXPECT_GT(healthy_checked, 0u);
+}
+
+TEST(DegradedParityTest, MessageDropsProduceTheSameDegradedSet) {
+  SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  FaultPlan plan;
+  plan.seed = 2024;
+  plan.drop_prob = 0.25;  // past the 2-retry budget for some hops
+  ExpectParity(world, setup, 4, opts, plan);
+}
+
+TEST(DegradedParityTest, CrashedNodeProducesTheSameDegradedSet) {
+  // 4 vector shards x 2 dim blocks: a single dead machine hits one shard's
+  // chains only, so queries that never probe that shard stay healthy.
+  SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  RunSetup setup = MakeSetup(world, 8, 4, 2, 2);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 2;
+  FaultPlan plan;
+  plan.crashes.push_back({5, 0.0});  // dead from the start, both engines
+  ExpectParity(world, setup, 8, opts, plan);
+}
+
+TEST(DegradedParityTest, CombinedDropsAndCrashAgreeAcrossSeeds) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 20);
+  RunSetup setup = MakeSetup(world, 8, 4, 2, 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  for (const uint64_t seed : {1ull, 7ull, 31337ull}) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_prob = 0.15;
+    plan.crashes.push_back({1, 0.0});
+    ExpectParity(world, setup, 8, opts, plan);
+  }
+}
+
+TEST(DegradedParityTest, HealthyPlanKeepsBothEnginesClean) {
+  SmallWorld world = MakeSmallWorld(1500, 16, 4, 4, 10);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 2);
+  ExecOptions opts;
+  opts.k = 5;
+  opts.nprobe = 2;
+  opts.dynamic_dim_order = false;
+  SimCluster cluster(4);
+  auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  auto thr = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_TRUE(sim.ok() && thr.ok());
+  EXPECT_FALSE(sim.value().faults.any());
+  EXPECT_FALSE(thr.value().faults.any());
+  const std::vector<uint8_t> zeros(world.workload.queries.size(), 0);
+  EXPECT_EQ(sim.value().degraded, zeros);
+  EXPECT_EQ(thr.value().degraded, zeros);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,335 @@
+// Deterministic fault injection and graceful degradation (the failure model
+// of docs/failure_model.md):
+//  1. the fault schedule is a pure function of the plan — same seed, same
+//     losses, bit-identical results on replay;
+//  2. an all-off FaultPlan leaves results AND virtual-clock timings
+//     byte-identical to a run without any fault layer;
+//  3. losing 1 of N nodes still answers every query, flags the affected
+//     ones degraded, and degrades recall gracefully instead of failing;
+//  4. message drops burn retries but never lose results silently;
+//  5. stragglers stretch the virtual clock without changing results;
+//  6. the threaded engine's wall-clock budget turns a wedged batch into
+//     Status kTimeout instead of a ctest hang.
+
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "core/engine.h"
+#include "core/pipeline.h"
+#include "core/router.h"
+#include "test_util.h"
+#include "workload/ground_truth.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+struct RunSetup {
+  PartitionPlan plan;
+  std::vector<WorkerStore> stores;
+  PrewarmCache prewarm;
+  BatchRouting routing;
+};
+
+RunSetup MakeSetup(const SmallWorld& world, size_t machines, size_t b_vec,
+                   size_t b_dim, size_t nprobe) {
+  RunSetup setup;
+  auto plan = BuildPartitionPlan(world.index, machines, b_vec, b_dim,
+                                 ShardAssignment::kGreedyBalanced);
+  EXPECT_TRUE(plan.ok());
+  setup.plan = std::move(plan).value();
+  auto stores = BuildWorkerStores(world.index, setup.plan, false);
+  EXPECT_TRUE(stores.ok());
+  setup.stores = std::move(stores).value();
+  setup.prewarm = PrewarmCache::Build(world.index, 4);
+  setup.routing = RouteBatch(world.index, setup.plan,
+                             world.workload.queries.View(), nprobe);
+  return setup;
+}
+
+Result<PipelineOutput> RunSim(const SmallWorld& world, const RunSetup& setup,
+                              size_t machines, const ExecOptions& opts,
+                              const FaultPlan& faults,
+                              SimCluster* cluster_out = nullptr) {
+  SimCluster cluster(machines);
+  cluster.SetFaultPlan(faults);
+  auto out = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  if (cluster_out != nullptr) *cluster_out = std::move(cluster);
+  return out;
+}
+
+TEST(FaultInjectorTest, CoinsArePureFunctionsOfSeedKeyAttempt) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop_prob = 0.3;
+  const FaultInjector a(plan), b(plan);
+  size_t dropped = 0;
+  for (uint64_t key = 0; key < 500; ++key) {
+    for (uint32_t attempt = 0; attempt < 4; ++attempt) {
+      EXPECT_EQ(a.DropsAttempt(key, attempt), b.DropsAttempt(key, attempt));
+      dropped += a.DropsAttempt(key, attempt) ? 1 : 0;
+    }
+    EXPECT_EQ(a.DeliveryAttempts(key, 2), b.DeliveryAttempts(key, 2));
+  }
+  // ~30% of 2000 coins; generous bounds, this is a smoke check not a
+  // statistical test.
+  EXPECT_GT(dropped, 400u);
+  EXPECT_LT(dropped, 800u);
+
+  FaultPlan other = plan;
+  other.seed = 99;
+  const FaultInjector c(other);
+  size_t differs = 0;
+  for (uint64_t key = 0; key < 500; ++key) {
+    if (a.DropsAttempt(key, 0) != c.DropsAttempt(key, 0)) ++differs;
+  }
+  EXPECT_GT(differs, 0u) << "different seeds must drop different messages";
+}
+
+TEST(FaultInjectorTest, ChainHopKeysAreDistinct) {
+  std::set<uint64_t> keys;
+  for (int32_t q = 0; q < 50; ++q) {
+    for (int32_t s = 0; s < 4; ++s) {
+      for (size_t d = 0; d <= 4; ++d) keys.insert(ChainHopKey(q, s, d));
+    }
+  }
+  EXPECT_EQ(keys.size(), 50u * 4u * 5u);
+}
+
+TEST(FaultInjectionTest, SameSeedReplaysBitIdentically) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 20);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_prob = 0.1;
+  plan.crashes.push_back({1, 0.0});
+
+  auto r1 = RunSim(world, setup, 4, opts, plan);
+  auto r2 = RunSim(world, setup, 4, opts, plan);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value().degraded, r2.value().degraded);
+  EXPECT_EQ(r1.value().faults.messages_dropped,
+            r2.value().faults.messages_dropped);
+  EXPECT_EQ(r1.value().faults.blocks_lost, r2.value().faults.blocks_lost);
+  EXPECT_EQ(r1.value().faults.shards_lost, r2.value().faults.shards_lost);
+  EXPECT_EQ(r1.value().query_completion_seconds,
+            r2.value().query_completion_seconds);
+  for (size_t q = 0; q < r1.value().results.size(); ++q) {
+    ASSERT_EQ(r1.value().results[q].size(), r2.value().results[q].size());
+    for (size_t i = 0; i < r1.value().results[q].size(); ++i) {
+      EXPECT_EQ(r1.value().results[q][i].id, r2.value().results[q][i].id);
+      EXPECT_EQ(r1.value().results[q][i].distance,
+                r2.value().results[q][i].distance);  // bitwise, no tolerance
+    }
+  }
+}
+
+TEST(FaultInjectionTest, DefaultPlanIsByteIdenticalToNoFaultPath) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 15);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+
+  // Reference: a cluster that never had SetFaultPlan called.
+  SimCluster bare(4);
+  auto ref = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &bare);
+  // All-off plans: default, drop_prob=0 with a seed, and slowdown exactly 1.
+  FaultPlan zero_drop;
+  zero_drop.seed = 777;
+  zero_drop.drop_prob = 0.0;
+  FaultPlan unit_slowdown;
+  unit_slowdown.delay_multiplier.assign(4, 1.0);
+  for (const FaultPlan& plan : {FaultPlan{}, zero_drop, unit_slowdown}) {
+    EXPECT_FALSE(plan.enabled());
+    SimCluster faulted(4);
+    auto out = RunSim(world, setup, 4, opts, plan, &faulted);
+    ASSERT_TRUE(ref.ok() && out.ok());
+    EXPECT_FALSE(out.value().faults.any());
+    EXPECT_EQ(out.value().degraded,
+              std::vector<uint8_t>(world.workload.queries.size(), 0));
+    // Results and the virtual clocks, bitwise.
+    EXPECT_EQ(ref.value().query_completion_seconds,
+              out.value().query_completion_seconds);
+    EXPECT_EQ(faulted.Makespan(), bare.Makespan());
+    for (size_t q = 0; q < ref.value().results.size(); ++q) {
+      ASSERT_EQ(ref.value().results[q].size(), out.value().results[q].size());
+      for (size_t i = 0; i < ref.value().results[q].size(); ++i) {
+        EXPECT_EQ(ref.value().results[q][i].id, out.value().results[q][i].id);
+        EXPECT_EQ(ref.value().results[q][i].distance,
+                  out.value().results[q][i].distance);
+      }
+    }
+  }
+}
+
+TEST(FaultInjectionTest, OneCrashedNodeOfEightDegradesGracefully) {
+  SmallWorld world = MakeSmallWorld(4000, 32, 8, 8, 40);
+  // Vector mode: 8 shards x 1 block — killing node 5 loses 1/8 of the data.
+  RunSetup setup = MakeSetup(world, 8, 8, 1, 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+
+  auto healthy = RunSim(world, setup, 8, opts, FaultPlan{});
+  FaultPlan plan;
+  plan.crashes.push_back({5, 0.0});
+  auto faulted = RunSim(world, setup, 8, opts, plan);
+  ASSERT_TRUE(healthy.ok() && faulted.ok());
+
+  const size_t num_queries = world.workload.queries.size();
+  size_t degraded = 0;
+  for (size_t q = 0; q < num_queries; ++q) {
+    // Every query is answered: prewarm alone seeds k results, so even a
+    // query whose probed lists all lived on the dead node returns a full
+    // (if degraded) top-K.
+    EXPECT_EQ(faulted.value().results[q].size(), opts.k) << "query " << q;
+    degraded += faulted.value().degraded[q];
+  }
+  EXPECT_GT(degraded, 0u);
+  EXPECT_EQ(faulted.value().faults.degraded_queries, degraded);
+  EXPECT_GT(faulted.value().faults.shards_lost, 0u);
+
+  // Graceful: recall against the healthy run's results drops but stays
+  // well above zero (7/8 of the shards still answer).
+  double recall = 0.0;
+  for (size_t q = 0; q < num_queries; ++q) {
+    recall += RecallAtK(faulted.value().results[q], healthy.value().results[q],
+                        opts.k);
+  }
+  recall /= static_cast<double>(num_queries);
+  EXPECT_LT(recall, 1.0);
+  EXPECT_GT(recall, 0.5);
+}
+
+TEST(FaultInjectionTest, MidRunCrashIsDetectedAndRoutedAround) {
+  SmallWorld world = MakeSmallWorld(3000, 32, 8, 8, 30);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  FaultPlan plan;
+  plan.crashes.push_back({2, 1e-5});  // dies mid-batch, not at t=0
+  auto out = RunSim(world, setup, 4, opts, plan);
+  ASSERT_TRUE(out.ok());
+  for (size_t q = 0; q < world.workload.queries.size(); ++q) {
+    EXPECT_EQ(out.value().results[q].size(), opts.k);
+  }
+  EXPECT_GT(out.value().faults.blocks_lost, 0u);
+  EXPECT_GT(out.value().faults.degraded_queries, 0u);
+}
+
+TEST(FaultInjectionTest, DropsBurnRetriesButKeepResults) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 20);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.drop_prob = 0.15;  // most messages survive the 2-retry budget
+
+  auto healthy = RunSim(world, setup, 4, opts, FaultPlan{});
+  auto faulted = RunSim(world, setup, 4, opts, plan);
+  ASSERT_TRUE(healthy.ok() && faulted.ok());
+  EXPECT_GT(faulted.value().faults.retries, 0u);
+  EXPECT_GT(faulted.value().faults.messages_dropped,
+            faulted.value().faults.retries);
+  double recall = 0.0;
+  for (size_t q = 0; q < world.workload.queries.size(); ++q) {
+    EXPECT_EQ(faulted.value().results[q].size(), opts.k);
+    recall += RecallAtK(faulted.value().results[q], healthy.value().results[q],
+                        opts.k);
+  }
+  recall /= static_cast<double>(world.workload.queries.size());
+  EXPECT_GT(recall, 0.6);
+}
+
+TEST(FaultInjectionTest, StragglerStretchesClockWithoutChangingResults) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 15);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  // Fixed block order: the straggler then shifts clocks without permuting
+  // the float-accumulation order, so ids must match exactly.
+  opts.dynamic_dim_order = false;
+  SimCluster healthy_cluster(4), straggler_cluster(4);
+  FaultPlan plan;
+  plan.delay_multiplier = {1.0, 4.0, 1.0, 1.0};  // node 1 runs 4x slower
+
+  auto healthy = RunSim(world, setup, 4, opts, FaultPlan{}, &healthy_cluster);
+  auto slow = RunSim(world, setup, 4, opts, plan, &straggler_cluster);
+  ASSERT_TRUE(healthy.ok() && slow.ok());
+  EXPECT_GT(straggler_cluster.Makespan(), healthy_cluster.Makespan());
+  EXPECT_EQ(slow.value().faults.blocks_lost, 0u);
+  EXPECT_EQ(slow.value().faults.degraded_queries, 0u);
+  for (size_t q = 0; q < world.workload.queries.size(); ++q) {
+    ASSERT_EQ(healthy.value().results[q].size(), slow.value().results[q].size());
+    for (size_t i = 0; i < healthy.value().results[q].size(); ++i) {
+      EXPECT_EQ(healthy.value().results[q][i].id, slow.value().results[q][i].id);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, EngineSurfacesDegradedFlagsAndStats) {
+  SmallWorld world = MakeSmallWorld(2000, 24, 8, 8, 20);
+  HarmonyOptions options;
+  options.mode = Mode::kHarmonyVector;
+  options.num_machines = 4;
+  options.ivf.nlist = 8;
+  options.ivf.seed = 7;
+  options.faults.crashes.push_back({0, 0.0});
+  HarmonyEngine engine(options);
+  ASSERT_TRUE(engine.Build(world.mixture.vectors.View()).ok());
+  auto result = engine.SearchBatch(world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().degraded.size(), world.workload.queries.size());
+  EXPECT_GT(result.value().stats.faults.degraded_queries, 0u);
+  EXPECT_TRUE(result.value().stats.faults.any());
+  // The stats line grows a fault section only on faulted runs.
+  EXPECT_NE(result.value().stats.ToString().find("faults{"), std::string::npos);
+
+  engine.SetFaultPlan(FaultPlan{});
+  auto clean = engine.SearchBatch(world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean.value().stats.faults.any());
+  EXPECT_EQ(clean.value().stats.ToString().find("faults{"), std::string::npos);
+}
+
+TEST(FaultInjectionTest, ThreadedWallClockBudgetReturnsTimeout) {
+  SmallWorld world = MakeSmallWorld(4000, 64, 8, 8, 30);
+  RunSetup setup = MakeSetup(world, 4, 2, 2, 8);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 8;
+  // A budget no real batch can meet: the rank barrier gives up instead of
+  // blocking ctest forever when a baton goes missing.
+  opts.max_wall_seconds = 1e-9;
+  auto out = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kTimeout);
+
+  // A sane budget passes.
+  opts.max_wall_seconds = 120.0;
+  auto ok = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                            setup.prewarm, setup.routing,
+                            world.workload.queries.View(), opts);
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+}  // namespace
+}  // namespace harmony

@@ -4,7 +4,11 @@
 //  3. the simulated makespan never beats the perfectly-parallel lower bound;
 //  4. communication volume of a query batch is independent of B_dim for the
 //     dispatched query payload (the paper's "total data sent does not
-//     change" claim in Section 4.2.2).
+//     change" claim in Section 4.2.2);
+//  5. partial L2 distances over any surviving subset of dimension blocks are
+//     lower bounds of the true distance, so losing a block to a fault can
+//     never make the pruning threshold over-prune or a reported distance
+//     overstate the truth.
 
 #include <gtest/gtest.h>
 
@@ -13,7 +17,10 @@
 #include "core/engine.h"
 #include "core/pipeline.h"
 #include "core/router.h"
+#include "index/distance.h"
+#include "net/fault.h"
 #include "test_util.h"
+#include "util/rng.h"
 #include "workload/ground_truth.h"
 
 namespace harmony {
@@ -181,6 +188,78 @@ TEST_P(NprobeSweep, EngineRecallBoundedByProbedCoverage) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Nprobes, NprobeSweep, ::testing::Values(1, 2, 4, 8));
+
+// Dropping dimension blocks only removes non-negative terms from the L2 sum,
+// so the accumulated partial distance over ANY subset of blocks is a lower
+// bound of the true distance. This is the invariant that keeps degraded-mode
+// pruning sound: a candidate pruned on a partial sum would also have been
+// pruned on the full distance.
+TEST(FaultSoundnessProperty, PartialOverAnyBlockSubsetNeverExceedsTruth) {
+  Rng rng(99);
+  const size_t dim = 32;
+  std::vector<float> a(dim), b(dim);
+  for (const size_t b_dim : {2u, 4u, 8u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      for (size_t i = 0; i < dim; ++i) {
+        a[i] = static_cast<float>(rng.NextGaussian() * 3.0);
+        b[i] = static_cast<float>(rng.NextGaussian() * 3.0);
+      }
+      const float full = L2SqDistance(a.data(), b.data(), dim);
+      for (uint32_t mask = 0; mask < (1u << b_dim); ++mask) {
+        float partial = 0.0f;
+        for (size_t d = 0; d < b_dim; ++d) {
+          if (((mask >> d) & 1u) == 0) continue;  // block d lost to a fault
+          const size_t lo = d * dim / b_dim;
+          const size_t hi = (d + 1) * dim / b_dim;
+          partial += PartialL2Sq(a.data() + lo, b.data() + lo, hi - lo);
+        }
+        // Tolerance covers float re-association between the blockwise and
+        // the single-pass accumulation only.
+        EXPECT_LE(partial, full * (1.0f + 1e-5f) + 1e-4f)
+            << "b_dim=" << b_dim << " mask=" << mask;
+      }
+    }
+  }
+}
+
+// End-to-end form of the same invariant: with a crashed machine taking out
+// one dimension block of every chain, every distance the degraded pipeline
+// reports must still be <= the exact distance to that vector.
+TEST(FaultSoundnessProperty, DegradedPipelineNeverOverstatesDistance) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 15, 0.0, 23);
+  auto plan = BuildPartitionPlan(world.index, 4, 1, 4,
+                                 ShardAssignment::kGreedyBalanced);
+  ASSERT_TRUE(plan.ok());
+  auto stores = BuildWorkerStores(world.index, plan.value(), false);
+  ASSERT_TRUE(stores.ok());
+  const PrewarmCache prewarm = PrewarmCache::Build(world.index, 4);
+  const BatchRouting routing =
+      RouteBatch(world.index, plan.value(), world.workload.queries.View(), 4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  FaultPlan fp;
+  fp.crashes.push_back({2, 0.0});  // block 2 of the single shard is gone
+  SimCluster cluster(4);
+  cluster.SetFaultPlan(fp);
+  auto out = ExecuteSimulated(world.index, plan.value(), stores.value(),
+                              prewarm, routing,
+                              world.workload.queries.View(), opts, &cluster);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(out.value().faults.blocks_lost, 0u);
+  EXPECT_GT(out.value().faults.degraded_queries, 0u);
+  for (size_t q = 0; q < world.workload.queries.size(); ++q) {
+    for (const Neighbor& n : out.value().results[q]) {
+      ASSERT_GE(n.id, 0);
+      const float exact =
+          L2SqDistance(world.workload.queries.Row(q),
+                       world.mixture.vectors.Row(static_cast<size_t>(n.id)),
+                       world.mixture.vectors.dim());
+      EXPECT_LE(n.distance, exact * (1.0f + 1e-4f) + 1e-3f)
+          << "query " << q << " id " << n.id;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace harmony

@@ -29,10 +29,20 @@ TEST(StatusTest, AllCodesHaveDistinctNames) {
       StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
       StatusCode::kInternal,     StatusCode::kIoError,
       StatusCode::kNotSupported, StatusCode::kResourceExhausted,
+      StatusCode::kTimeout,      StatusCode::kUnavailable,
   };
   std::set<std::string> names;
   for (const StatusCode c : codes) names.insert(StatusCodeToString(c));
   EXPECT_EQ(names.size(), std::size(codes));
+}
+
+TEST(StatusTest, TimeoutAndUnavailableFactories) {
+  const Status timeout = Status::Timeout("baton lost");
+  EXPECT_EQ(timeout.code(), StatusCode::kTimeout);
+  EXPECT_EQ(timeout.ToString(), "TIMEOUT: baton lost");
+  const Status unavail = Status::Unavailable("node 3 down");
+  EXPECT_EQ(unavail.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavail.ToString(), "UNAVAILABLE: node 3 down");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

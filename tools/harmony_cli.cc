@@ -45,6 +45,11 @@ struct CliArgs {
   bool balance = true;
   bool threaded = false;
   bool explain = false;
+  // Fault injection (docs/failure_model.md).
+  uint64_t fault_seed = 0;
+  double drop_prob = 0.0;
+  size_t max_retries = 2;
+  std::vector<NodeCrash> crashes;
 };
 
 void Usage() {
@@ -65,7 +70,12 @@ void Usage() {
       "  --no-pruning | --no-pipeline | --no-balance   ablation toggles\n"
       "  --save-index F / --load-index F               index persistence\n"
       "  --threaded            also run the real-thread engine\n"
-      "  --explain             print the planner's candidate costs");
+      "  --explain             print the planner's candidate costs\n"
+      "  --fault-seed S        seed for the deterministic fault plan\n"
+      "  --drop-prob P         per-attempt message-loss probability\n"
+      "  --crash-node N[@T]    kill node N at virtual time T (default 0 =\n"
+      "                        dead from the start); repeatable\n"
+      "  --max-retries R       resends before a hop is declared lost (2)");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -122,6 +132,20 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->save_index = v;
     } else if (flag == "--load-index") {
       args->load_index = v;
+    } else if (flag == "--fault-seed") {
+      args->fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--drop-prob") {
+      args->drop_prob = std::strtod(v, nullptr);
+    } else if (flag == "--max-retries") {
+      args->max_retries = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--crash-node") {
+      NodeCrash crash;
+      char* end = nullptr;
+      crash.node = static_cast<int>(std::strtol(v, &end, 10));
+      if (end != nullptr && *end == '@') {
+        crash.at_seconds = std::strtod(end + 1, nullptr);
+      }
+      args->crashes.push_back(crash);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -210,6 +234,13 @@ int Run(const CliArgs& args) {
   options.enable_pruning = args.pruning;
   options.enable_pipeline = args.pipeline;
   options.enable_balanced_load = args.balance;
+  options.faults.seed = args.fault_seed;
+  options.faults.drop_prob = args.drop_prob;
+  options.faults.crashes = args.crashes;
+  options.max_retries = args.max_retries;
+  if (options.faults.enabled()) {
+    std::printf("fault plan: %s\n", options.faults.ToString().c_str());
+  }
 
   HarmonyEngine engine(options);
   Status built = Status::OK();
@@ -274,6 +305,16 @@ int Run(const CliArgs& args) {
   std::printf("per-node index : %.2f MB max, peak query %.2f MB\n",
               static_cast<double>(stats.memory.index_bytes_max_node) / 1e6,
               static_cast<double>(stats.memory.peak_query_bytes) / 1e6);
+  if (options.faults.enabled()) {
+    FaultStats faults = stats.faults;
+    if (gt.ok()) {
+      faults.degraded_recall = RecallOverFlagged(
+          result.value().results, result.value().degraded, gt.value(), args.k);
+    }
+    std::printf("degraded       : %zu/%zu queries, %s\n",
+                faults.degraded_queries, queries.size(),
+                faults.ToString().c_str());
+  }
 
   if (args.threaded) {
     auto thr = engine.SearchBatchThreaded(queries.View(), args.k, args.nprobe);
@@ -286,6 +327,16 @@ int Run(const CliArgs& args) {
         gt.ok() ? MeanRecallAtK(thr.value().results, gt.value(), args.k) : -1;
     std::printf("threaded engine: recall@%zu %.4f, wall %.3fs\n", args.k,
                 thr_recall, thr.value().wall_seconds);
+    if (options.faults.enabled()) {
+      FaultStats faults = thr.value().faults;
+      if (gt.ok()) {
+        faults.degraded_recall = RecallOverFlagged(
+            thr.value().results, thr.value().degraded, gt.value(), args.k);
+      }
+      std::printf("threaded degr. : %zu/%zu queries, %s\n",
+                  faults.degraded_queries, queries.size(),
+                  faults.ToString().c_str());
+    }
   }
   return 0;
 }
