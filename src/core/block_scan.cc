@@ -1,0 +1,162 @@
+#include "core/block_scan.h"
+
+#include <algorithm>
+
+#include "core/pruning.h"
+#include "index/scan_kernel.h"
+#include "util/logging.h"
+
+namespace harmony {
+
+namespace {
+
+/// Historical per-candidate loop: single-row kernels, scalar prune test,
+/// compaction interleaved with accumulation. Kept as the bitwise reference
+/// the batched path is regression-tested against.
+size_t ScanBlockReference(const BlockScanParams& p, size_t begin, size_t count,
+                          int64_t* id, int32_t* list, int32_t* row,
+                          float* partial, float* rem_p_sq,
+                          BlockScanCounters* counters) {
+  const bool use_ip = p.metric != Metric::kL2;
+  size_t w = 0;
+  for (size_t i = begin; i < begin + count; ++i) {
+    if (p.prune && CanPrune(p.metric, partial[i],
+                            p.use_norms ? rem_p_sq[i] : 0.0f, p.rem_q_sq,
+                            p.tau)) {
+      ++counters->dropped;
+      continue;
+    }
+    const ListSlice* ls = p.slices[static_cast<size_t>(list[i])];
+    HARMONY_CHECK_MSG(ls != nullptr, "missing list slice on machine");
+    const float* vrow = ls->slice.Row(static_cast<size_t>(row[i]));
+    if (use_ip) {
+      partial[i] += PartialIp(p.q_slice, vrow, p.width);
+      if (p.use_norms) {
+        rem_p_sq[i] -= ls->block_norm_sq[static_cast<size_t>(row[i])];
+      }
+    } else {
+      partial[i] += PartialL2Sq(p.q_slice, vrow, p.width);
+    }
+    counters->ops += DistanceOpCost(p.width);
+    const size_t dst = begin + w;
+    id[dst] = id[i];
+    list[dst] = list[i];
+    row[dst] = row[i];
+    partial[dst] = partial[i];
+    if (p.use_norms) rem_p_sq[dst] = rem_p_sq[i];
+    ++w;
+  }
+  return w;
+}
+
+/// Pass 1 of the batched path: evaluate the CanPrune bounds
+/// kPruneMaskWidth candidates at a time into a survivor mask, compacting
+/// the SoA arrays in place — no row data is touched for pruned candidates.
+size_t PruneCompact(const BlockScanParams& p, size_t begin, size_t count,
+                    int64_t* id, int32_t* list, int32_t* row, float* partial,
+                    float* rem_p_sq, BlockScanCounters* counters) {
+  const ScanKernelTable& kt = ScanKernels();
+  const bool use_ip = p.metric != Metric::kL2;
+  size_t w = 0;  // Write offset relative to `begin`.
+  size_t i = 0;
+  while (i < count) {
+    const size_t chunk = std::min(kPruneMaskWidth, count - i);
+    uint32_t mask;
+    if (!use_ip) {
+      mask = kt.prune_mask_l2(partial + begin + i, chunk, p.tau);
+    } else if (p.use_norms) {
+      mask = kt.prune_mask_ip(partial + begin + i, rem_p_sq + begin + i,
+                              chunk, p.rem_q_sq, p.tau);
+    } else {
+      // IP without the norm column cannot occur in the engines (pruning
+      // needs > 1 block, which materializes norms); fall back to the exact
+      // scalar bound for completeness.
+      mask = 0;
+      for (size_t j = 0; j < chunk; ++j) {
+        if (CanPrune(p.metric, partial[begin + i + j], 0.0f, p.rem_q_sq,
+                     p.tau)) {
+          mask |= uint32_t{1} << j;
+        }
+      }
+    }
+    if (mask == 0 && w == i) {
+      // Nothing pruned and no gap accumulated yet: the chunk is already in
+      // place.
+      w += chunk;
+      i += chunk;
+      continue;
+    }
+    for (size_t j = 0; j < chunk; ++j) {
+      if ((mask & (uint32_t{1} << j)) != 0) {
+        ++counters->dropped;
+        continue;
+      }
+      const size_t src = begin + i + j;
+      const size_t dst = begin + w;
+      if (dst != src) {
+        id[dst] = id[src];
+        list[dst] = list[src];
+        row[dst] = row[src];
+        partial[dst] = partial[src];
+        if (p.use_norms) rem_p_sq[dst] = rem_p_sq[src];
+      }
+      ++w;
+    }
+    i += chunk;
+  }
+  return w;
+}
+
+/// Pass 2 of the batched path: split the (list-major, row-ascending)
+/// survivors into runs of consecutive rows of one list slice and stream
+/// each run through the batched kernels.
+void ScanRuns(const BlockScanParams& p, size_t begin, size_t survivors,
+              const int32_t* list, const int32_t* row, float* partial,
+              float* rem_p_sq) {
+  const ScanKernelTable& kt = ScanKernels();
+  const bool use_ip = p.metric != Metric::kL2;
+  size_t j = 0;
+  while (j < survivors) {
+    const int32_t li = list[begin + j];
+    const ListSlice* ls = p.slices[static_cast<size_t>(li)];
+    HARMONY_CHECK_MSG(ls != nullptr, "missing list slice on machine");
+    const size_t r0 = static_cast<size_t>(row[begin + j]);
+    size_t run = 1;
+    while (j + run < survivors && list[begin + j + run] == li &&
+           static_cast<size_t>(row[begin + j + run]) == r0 + run) {
+      ++run;
+    }
+    const float* rows = ls->slice.RowBlock(r0, run);
+    if (use_ip) {
+      kt.ip_batch(p.q_slice, rows, run, p.width, partial + begin + j);
+      if (p.use_norms) {
+        const float* bn = ls->block_norm_sq.data() + r0;
+        for (size_t t = 0; t < run; ++t) rem_p_sq[begin + j + t] -= bn[t];
+      }
+    } else {
+      kt.l2_batch(p.q_slice, rows, run, p.width, partial + begin + j);
+    }
+    j += run;
+  }
+}
+
+}  // namespace
+
+size_t ScanBlock(const BlockScanParams& p, size_t begin, size_t count,
+                 int64_t* id, int32_t* list, int32_t* row, float* partial,
+                 float* rem_p_sq, BlockScanCounters* counters) {
+  if (!p.use_batched) {
+    return ScanBlockReference(p, begin, count, id, list, row, partial,
+                              rem_p_sq, counters);
+  }
+  size_t w = count;
+  if (p.prune) {
+    w = PruneCompact(p, begin, count, id, list, row, partial, rem_p_sq,
+                     counters);
+  }
+  ScanRuns(p, begin, w, list, row, partial, rem_p_sq);
+  counters->ops += static_cast<uint64_t>(w) * DistanceOpCost(p.width);
+  return w;
+}
+
+}  // namespace harmony

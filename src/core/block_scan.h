@@ -1,0 +1,63 @@
+#ifndef HARMONY_CORE_BLOCK_SCAN_H_
+#define HARMONY_CORE_BLOCK_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/worker.h"
+#include "index/distance.h"
+
+namespace harmony {
+
+/// \brief One dimension-block scan stage over a chain's candidate arrays,
+/// shared by the simulated (core/pipeline.cc) and threaded
+/// (core/coordinator.cc) engines.
+///
+/// The candidate set is a struct-of-arrays (id/list/row/partial[/rem_p_sq])
+/// built in list-major order: candidates of the same IVF list are adjacent
+/// with ascending local rows, and in-place compaction preserves that order.
+/// The batched path exploits it by splitting survivors into runs of
+/// consecutive rows of one list slice and handing each run to the batched
+/// kernels (index/scan_kernel.h), which stream the rows contiguously. A
+/// vectorized prune pass evaluates the CanPrune bounds into a survivor mask
+/// before any row data is touched.
+///
+/// The reference path is the historical per-candidate loop (single-row
+/// kernels, scalar prune, interleaved compaction). Both paths are bitwise
+/// identical in results and op counts; ExecOptions::use_batched_kernels
+/// selects between them and the regression tests assert the identity.
+struct BlockScanParams {
+  Metric metric = Metric::kL2;
+  /// Carry and update the remaining-norm column (IP/cosine with > 1 block).
+  bool use_norms = false;
+  /// Evaluate the CanPrune bound this stage (threshold already tightened).
+  bool prune = false;
+  float tau = 0.0f;
+  /// Remaining query norm of the *unprocessed* blocks (IP pruning bound).
+  float rem_q_sq = 0.0f;
+  /// Query slice of this dimension block.
+  const float* q_slice = nullptr;
+  size_t width = 0;
+  /// Per chain-list slice table for this block, indexed by the candidates'
+  /// `list` values; entries may be null only for lists with no candidates.
+  const ListSlice* const* slices = nullptr;
+  /// Batched kernel path (true) vs historical per-candidate reference.
+  bool use_batched = true;
+};
+
+struct BlockScanCounters {
+  uint64_t ops = 0;      ///< Scalar op charge (survivors x width).
+  uint64_t dropped = 0;  ///< Candidates pruned before touching row data.
+};
+
+/// Scans candidates [begin, begin+count) of the SoA arrays in place,
+/// compacting survivors to [begin, begin+w) with their accumulated
+/// partials, and returns w. `rem_p_sq` may be null when
+/// `params.use_norms` is false.
+size_t ScanBlock(const BlockScanParams& params, size_t begin, size_t count,
+                 int64_t* id, int32_t* list, int32_t* row, float* partial,
+                 float* rem_p_sq, BlockScanCounters* counters);
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_BLOCK_SCAN_H_

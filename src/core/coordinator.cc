@@ -8,6 +8,7 @@
 #include <mutex>
 #include <numeric>
 
+#include "core/block_scan.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -42,6 +43,11 @@ struct ChainTask {
   std::vector<float> rem_p_sq;
   float rem_q_sq = 0.0f;
   std::vector<float> q_block_norm;
+  /// slices[d * lists + li]: the slice of chain list li in block d, on the
+  /// machine owning grid block (shard, d). Built once per chain at dispatch
+  /// (the client can read every store in this in-process deployment), so
+  /// stages pay neither the lookup nor a per-stage allocation.
+  std::vector<const ListSlice*> slices;
 };
 
 struct BatchContext {
@@ -93,8 +99,6 @@ void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task) {
   const size_t p = task->pos;
   const size_t d = task->order[p];
   const DimRange range = plan.dim_ranges[d];
-  const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
-  const WorkerStore& store = (*ctx->stores)[machine];
   SharedQueryState& state = *ctx->states[static_cast<size_t>(chain.query)];
   const float* qrow = ctx->queries->Row(static_cast<size_t>(chain.query));
   const float* q_slice = qrow + range.begin;
@@ -106,40 +110,23 @@ void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task) {
     tau = state.heap.threshold();
     heap_full = state.heap.full();
   }
-  const bool prune_here = ctx->opts->enable_pruning && p > 0 && heap_full;
 
-  std::vector<const ListSlice*> slices(chain.lists.size(), nullptr);
-  for (size_t li = 0; li < chain.lists.size(); ++li) {
-    slices[li] = store.FindListSlice(shard, d, chain.lists[li]);
-  }
+  BlockScanParams scan;
+  scan.metric = ctx->opts->metric;
+  scan.use_norms = ctx->use_norms;
+  scan.prune = ctx->opts->enable_pruning && p > 0 && heap_full;
+  scan.tau = tau;
+  scan.rem_q_sq = task->rem_q_sq;
+  scan.q_slice = q_slice;
+  scan.width = range.width();
+  scan.slices = task->slices.data() + d * chain.lists.size();
+  scan.use_batched = ctx->opts->use_batched_kernels;
 
-  size_t w = 0;
-  const size_t n = task->id.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (prune_here &&
-        CanPrune(ctx->opts->metric, task->partial[i],
-                 ctx->use_norms ? task->rem_p_sq[i] : 0.0f, task->rem_q_sq,
-                 tau)) {
-      continue;
-    }
-    const ListSlice* ls = slices[static_cast<size_t>(task->list[i])];
-    HARMONY_CHECK_MSG(ls != nullptr, "missing list slice on machine");
-    const float* vrow = ls->slice.Row(static_cast<size_t>(task->row[i]));
-    if (ctx->use_ip) {
-      task->partial[i] += PartialIp(q_slice, vrow, range.width());
-      if (ctx->use_norms) {
-        task->rem_p_sq[i] -= ls->block_norm_sq[static_cast<size_t>(task->row[i])];
-      }
-    } else {
-      task->partial[i] += PartialL2Sq(q_slice, vrow, range.width());
-    }
-    task->id[w] = task->id[i];
-    task->list[w] = task->list[i];
-    task->row[w] = task->row[i];
-    task->partial[w] = task->partial[i];
-    if (ctx->use_norms) task->rem_p_sq[w] = task->rem_p_sq[i];
-    ++w;
-  }
+  BlockScanCounters counters;
+  const size_t w = ScanBlock(
+      scan, 0, task->id.size(), task->id.data(), task->list.data(),
+      task->row.data(), task->partial.data(),
+      ctx->use_norms ? task->rem_p_sq.data() : nullptr, &counters);
   task->id.resize(w);
   task->list.resize(w);
   task->row.resize(w);
@@ -286,13 +273,23 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
                     task->order.end());
       }
 
+      // Per-(block, list) slice lookups, hoisted out of the stages: built
+      // once per chain instead of once per stage, and FindListSlice's keyed
+      // block index makes each lookup O(1).
+      const size_t num_lists = task->chain->lists.size();
+      task->slices.assign(b_dim * num_lists, nullptr);
+      for (size_t d = 0; d < b_dim; ++d) {
+        const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
+        for (size_t li = 0; li < num_lists; ++li) {
+          task->slices[d * num_lists + li] =
+              stores[machine].FindListSlice(shard, d, task->chain->lists[li]);
+        }
+      }
+
       // Candidate set from the (dimension-independent) row layout of the
       // chain's list slices; block 0's slices are as good as any.
-      for (size_t li = 0; li < task->chain->lists.size(); ++li) {
-        const ListSlice* ls = stores[static_cast<size_t>(plan.MachineOf(
-                                         shard, 0))]
-                                  .FindListSlice(shard, 0,
-                                                 task->chain->lists[li]);
+      for (size_t li = 0; li < num_lists; ++li) {
+        const ListSlice* ls = task->slices[li];
         if (ls == nullptr) continue;
         for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
           const int64_t gid = ls->slice.GlobalId(r);

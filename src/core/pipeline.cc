@@ -6,6 +6,7 @@
 #include <numeric>
 #include <queue>
 
+#include "core/block_scan.h"
 #include "util/logging.h"
 
 namespace harmony {
@@ -621,45 +622,26 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       }
       node.WaitUntil(std::max(task.ready, run.slice_arrival[d]));
 
-      const float tau = state.heap.threshold();
-      const bool prune_here =
+      BlockScanParams scan;
+      scan.metric = opts.metric;
+      scan.use_norms = use_norms;
+      scan.prune =
           opts.enable_pruning && task.processed > 0 && state.heap.full();
-      const float* q_slice = qrow + range.begin;
-      const ListSlice* const* slices =
-          run.slices.data() + d * chain.lists.size();
+      scan.tau = state.heap.threshold();
+      scan.rem_q_sq = task.rem_q_sq;
+      scan.q_slice = qrow + range.begin;
+      scan.width = range.width();
+      scan.slices = run.slices.data() + d * chain.lists.size();
+      scan.use_batched = opts.use_batched_kernels;
 
-      uint64_t ops = 0;
-      size_t w = 0;
-      for (size_t i = task.begin; i < task.begin + task.survivors; ++i) {
-        if (prune_here &&
-            CanPrune(opts.metric, run.partial[i],
-                     use_norms ? run.rem_p_sq[i] : 0.0f, task.rem_q_sq,
-                     tau)) {
-          ++out.prune.dropped_after[task.processed - 1];
-          continue;
-        }
-        const ListSlice* ls = slices[static_cast<size_t>(run.list[i])];
-        HARMONY_CHECK_MSG(ls != nullptr, "missing list slice on machine");
-        const float* vrow = ls->slice.Row(static_cast<size_t>(run.row[i]));
-        if (use_ip) {
-          run.partial[i] += PartialIp(q_slice, vrow, range.width());
-          if (use_norms) {
-            run.rem_p_sq[i] -=
-                ls->block_norm_sq[static_cast<size_t>(run.row[i])];
-          }
-        } else {
-          run.partial[i] += PartialL2Sq(q_slice, vrow, range.width());
-        }
-        ops += DistanceOpCost(range.width());
-        const size_t dst = task.begin + w;
-        run.id[dst] = run.id[i];
-        run.list[dst] = run.list[i];
-        run.row[dst] = run.row[i];
-        run.partial[dst] = run.partial[i];
-        if (use_norms) run.rem_p_sq[dst] = run.rem_p_sq[i];
-        ++w;
-      }
-      node.ChargeCompute(ops);
+      BlockScanCounters counters;
+      const size_t w = ScanBlock(
+          scan, task.begin, task.survivors, run.id.data(), run.list.data(),
+          run.row.data(), run.partial.data(),
+          use_norms ? run.rem_p_sq.data() : nullptr, &counters);
+      out.prune.dropped_after[task.processed > 0 ? task.processed - 1 : 0] +=
+          counters.dropped;
+      node.ChargeCompute(counters.ops);
       if (use_norms) task.rem_q_sq -= run.q_block_norm[d];
       task.remaining &= ~(uint64_t{1} << d);
       ++task.processed;

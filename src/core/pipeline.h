@@ -39,6 +39,13 @@ struct ExecOptions {
   /// query's threshold before the next batch is checked — the granularity
   /// at which Algorithm 1's UpdatePruning refines τ.
   size_t pipeline_batch = 256;
+  /// Batched block-scan kernels (docs/kernels.md): vectorized
+  /// prune-compaction + multi-row SIMD partial distances over list-major
+  /// candidate runs. Off selects the historical per-candidate reference
+  /// loop; both paths are bitwise identical in results, op charges and
+  /// virtual-clock timings (regression-tested), so this knob exists only
+  /// for that A/B and for perf bisection.
+  bool use_batched_kernels = true;
   /// Optional metadata filter: when `labels` is non-null (one int32 per
   /// global vector id), only candidates whose label equals `allowed_label`
   /// are scanned — predicate push-down into the first dimension stage.

@@ -4,42 +4,47 @@
 
 namespace harmony {
 
+void WorkerStore::IndexBlock(size_t index) {
+  const Block& block = blocks_[index];
+  block_index_.emplace(BlockKey(block.vec_shard, block.dim_block), index);
+}
+
 const ListSlice* WorkerStore::FindListSlice(size_t vec_shard,
                                             size_t dim_block,
                                             int32_t list_id) const {
-  for (const Block& block : blocks_) {
-    if (block.vec_shard != vec_shard || block.dim_block != dim_block) continue;
-    const auto it = block.lists.find(list_id);
-    return it == block.lists.end() ? nullptr : &it->second;
-  }
-  return nullptr;
+  const auto bit = block_index_.find(BlockKey(vec_shard, dim_block));
+  if (bit == block_index_.end()) return nullptr;
+  const Block& block = blocks_[bit->second];
+  const auto it = block.lists.find(list_id);
+  return it == block.lists.end() ? nullptr : &it->second;
 }
 
 Status WorkerStore::AppendVector(size_t vec_shard, size_t dim_block,
                                  int32_t list_id, DimRange range,
                                  const float* full_vector, size_t full_dim,
                                  int64_t global_id, bool with_norms) {
-  for (Block& block : blocks_) {
-    if (block.vec_shard != vec_shard || block.dim_block != dim_block) continue;
-    auto [it, inserted] = block.lists.try_emplace(list_id);
-    ListSlice& ls = it->second;
-    if (inserted) {
-      // First row of a list that was empty at build time: seed a zero-row
-      // matrix carrying the block's column range, then append into it.
-      auto empty = DimSlicedMatrix::FromColumns(
-          DatasetView(full_vector, 1, full_dim), range, {});
-      if (!empty.ok()) return empty.status();
-      ls.slice = std::move(empty).value();
-    }
-    ls.slice.AppendFullRow(full_vector, global_id);
-    if (with_norms) {
-      const float* slice_row = ls.slice.Row(ls.slice.num_rows() - 1);
-      ls.block_norm_sq.push_back(PartialIp(slice_row, slice_row, range.width()));
-      ls.total_norm_sq.push_back(PartialIp(full_vector, full_vector, full_dim));
-    }
-    return Status::OK();
+  const auto bit = block_index_.find(BlockKey(vec_shard, dim_block));
+  if (bit == block_index_.end()) {
+    return Status::NotFound("machine does not own the requested block");
   }
-  return Status::NotFound("machine does not own the requested block");
+  Block& block = blocks_[bit->second];
+  auto [it, inserted] = block.lists.try_emplace(list_id);
+  ListSlice& ls = it->second;
+  if (inserted) {
+    // First row of a list that was empty at build time: seed a zero-row
+    // matrix carrying the block's column range, then append into it.
+    auto empty = DimSlicedMatrix::FromColumns(
+        DatasetView(full_vector, 1, full_dim), range, {});
+    if (!empty.ok()) return empty.status();
+    ls.slice = std::move(empty).value();
+  }
+  ls.slice.AppendFullRow(full_vector, global_id);
+  if (with_norms) {
+    const float* slice_row = ls.slice.Row(ls.slice.num_rows() - 1);
+    ls.block_norm_sq.push_back(PartialIp(slice_row, slice_row, range.width()));
+    ls.total_norm_sq.push_back(PartialIp(full_vector, full_vector, full_dim));
+  }
+  return Status::OK();
 }
 
 size_t WorkerStore::SizeBytes() const {
@@ -94,6 +99,7 @@ Result<std::vector<WorkerStore>> BuildWorkerStores(const IvfIndex& index,
         block.lists.emplace(list_id, std::move(ls));
       }
       stores[machine].blocks_.push_back(std::move(block));
+      stores[machine].IndexBlock(stores[machine].blocks_.size() - 1);
     }
   }
   return stores;

@@ -63,8 +63,21 @@ class WorkerStore {
   friend Result<std::vector<WorkerStore>> BuildWorkerStores(
       const IvfIndex& index, const PartitionPlan& plan, bool with_norms);
 
+  static uint64_t BlockKey(size_t vec_shard, size_t dim_block) {
+    return (static_cast<uint64_t>(vec_shard) << 32) |
+           static_cast<uint64_t>(dim_block);
+  }
+
+  /// Registers blocks_[index] in the keyed lookup; called whenever a block
+  /// is appended.
+  void IndexBlock(size_t index);
+
   int machine_id_ = -1;
   std::vector<Block> blocks_;
+  /// (vec_shard, dim_block) -> index into blocks_; FindListSlice and
+  /// AppendVector are O(1) instead of a linear scan over the machine's
+  /// grid blocks.
+  std::unordered_map<uint64_t, size_t> block_index_;
 };
 
 /// \brief Materializes per-machine storage for a plan: every grid block is

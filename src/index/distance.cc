@@ -1,7 +1,6 @@
 #include "index/distance.h"
 
-#include "index/distance_simd.h"
-
+#include "index/scan_kernel.h"
 
 namespace harmony {
 
@@ -17,72 +16,26 @@ const char* MetricToString(Metric metric) {
   return "?";
 }
 
-namespace {
-
-/// Runtime CPU dispatch, resolved once. The portable kernels below are the
-/// fallback (and the reference the SIMD kernels are tested against).
-const bool kUseAvx2 = simd::Avx2Available();
-
-float L2SqDistancePortable(const float* a, const float* b, size_t dim);
-float InnerProductPortable(const float* a, const float* b, size_t dim);
-
-}  // namespace
+// All single-row entry points route through the process-wide kernel table:
+// CPU dispatch is resolved once at first use (index/scan_kernel.cc), not
+// re-checked per call. The table's row kernels keep the historical
+// behaviour bit-for-bit: AVX2 bodies for width >= 16, the portable
+// reference below that.
 
 float L2SqDistance(const float* a, const float* b, size_t dim) {
-  if (kUseAvx2 && dim >= 16) return simd::L2SqDistanceAvx2(a, b, dim);
-  return L2SqDistancePortable(a, b, dim);
+  return ScanKernels().l2_row(a, b, dim);
 }
 
 float InnerProduct(const float* a, const float* b, size_t dim) {
-  if (kUseAvx2 && dim >= 16) return simd::InnerProductAvx2(a, b, dim);
-  return InnerProductPortable(a, b, dim);
+  return ScanKernels().ip_row(a, b, dim);
 }
-
-namespace {
-
-float L2SqDistancePortable(const float* a, const float* b, size_t dim) {
-  // Four accumulators let the compiler vectorize without relying on
-  // -ffast-math reassociation.
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    acc0 += d0 * d0;
-    acc1 += d1 * d1;
-    acc2 += d2 * d2;
-    acc3 += d3 * d3;
-  }
-  for (; i < dim; ++i) {
-    const float d = a[i] - b[i];
-    acc0 += d * d;
-  }
-  return (acc0 + acc1) + (acc2 + acc3);
-}
-
-float InnerProductPortable(const float* a, const float* b, size_t dim) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < dim; ++i) acc0 += a[i] * b[i];
-  return (acc0 + acc1) + (acc2 + acc3);
-}
-
-}  // namespace
 
 float PartialL2Sq(const float* a_slice, const float* b_slice, size_t width) {
-  return L2SqDistance(a_slice, b_slice, width);
+  return ScanKernels().l2_row(a_slice, b_slice, width);
 }
 
 float PartialIp(const float* a_slice, const float* b_slice, size_t width) {
-  return InnerProduct(a_slice, b_slice, width);
+  return ScanKernels().ip_row(a_slice, b_slice, width);
 }
 
 float Distance(Metric metric, const float* a, const float* b, size_t dim) {

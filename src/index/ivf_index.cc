@@ -5,7 +5,9 @@
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <numeric>
 
+#include "index/scan_kernel.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -110,17 +112,27 @@ Status IvfIndex::Add(const DatasetView& data) {
 std::vector<int32_t> IvfIndex::ProbeLists(const float* query,
                                           size_t nprobe) const {
   const size_t k = std::min(nprobe, nlist());
-  // Partial sort of centroid distances; nlist is small so a full argsort
-  // would also be fine, but this keeps probe selection O(nlist log nprobe).
-  std::vector<std::pair<float, int32_t>> scored(nlist());
-  for (size_t c = 0; c < nlist(); ++c) {
-    scored[c] = {L2SqDistance(query, centroids_.Row(c), dim()),
-                 static_cast<int32_t>(c)};
+  // Centroid rows are contiguous, so one batched kernel call scores all of
+  // them; selection is then a partial top-nprobe (nth_element + sort of the
+  // selected prefix) instead of ordering the whole scored set. Ties break
+  // by list id, matching the historical (distance, id) partial sort.
+  std::vector<float> scores(nlist(), 0.0f);
+  ScanKernels().l2_batch(query, centroids_.Row(0), nlist(), dim(),
+                         scores.data());
+  std::vector<int32_t> out(nlist());
+  std::iota(out.begin(), out.end(), 0);
+  const auto nearer = [&scores](int32_t a, int32_t b) {
+    const float da = scores[static_cast<size_t>(a)];
+    const float db = scores[static_cast<size_t>(b)];
+    if (da != db) return da < db;
+    return a < b;
+  };
+  if (k < nlist()) {
+    std::nth_element(out.begin(), out.begin() + static_cast<long>(k),
+                     out.end(), nearer);
+    out.resize(k);
   }
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
-                    scored.end());
-  std::vector<int32_t> out(k);
-  for (size_t i = 0; i < k; ++i) out[i] = scored[i].second;
+  std::sort(out.begin(), out.end(), nearer);
   return out;
 }
 
@@ -132,12 +144,24 @@ Result<std::vector<Neighbor>> IvfIndex::Search(const float* query, size_t k,
     return Status::InvalidArgument("k and nprobe must be > 0");
   }
   TopKHeap heap(k);
+  const ScanKernelTable& kernels = ScanKernels();
+  const bool use_l2 = metric() == Metric::kL2;
+  std::vector<float> scores;
   for (const int32_t list : ProbeLists(query, nprobe)) {
     const auto& ids = list_ids_[static_cast<size_t>(list)];
+    if (ids.empty()) continue;
+    // A list's vectors are one contiguous row-major matrix: score the whole
+    // list with one batched kernel call, then feed the heap in row order
+    // (push order and distances are identical to the per-row path).
     const DatasetView vecs = ListVectors(static_cast<size_t>(list));
+    scores.assign(ids.size(), 0.0f);
+    if (use_l2) {
+      kernels.l2_batch(query, vecs.Row(0), ids.size(), dim(), scores.data());
+    } else {
+      kernels.ip_batch(query, vecs.Row(0), ids.size(), dim(), scores.data());
+    }
     for (size_t i = 0; i < ids.size(); ++i) {
-      const float d = Distance(metric(), query, vecs.Row(i), dim());
-      heap.Push(ids[i], d);
+      heap.Push(ids[i], use_l2 ? scores[i] : -scores[i]);
     }
   }
   return heap.SortedResults();

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "index/distance.h"
+#include "index/scan_kernel.h"
 #include "util/rng.h"
 
 namespace harmony {
@@ -40,14 +41,18 @@ Dataset SeedCentroids(const DatasetView& data, const KMeansParams& params,
   }
 
   std::vector<float> min_dist_sq(n, std::numeric_limits<float>::max());
+  std::vector<float> dist_sq(n);
   size_t first = rng->NextBounded(n);
   copy_row(first, 0);
   for (size_t c = 1; c < k; ++c) {
     const float* prev = centroids.Row(c - 1);
+    // The training rows form one contiguous matrix: one batched kernel call
+    // scores every point against the newest seed.
+    std::fill(dist_sq.begin(), dist_sq.end(), 0.0f);
+    ScanKernels().l2_batch(prev, data.Row(0), n, dim, dist_sq.data());
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      const float d = L2SqDistance(data.Row(i), prev, dim);
-      if (d < min_dist_sq[i]) min_dist_sq[i] = d;
+      if (dist_sq[i] < min_dist_sq[i]) min_dist_sq[i] = dist_sq[i];
       total += min_dist_sq[i];
     }
     size_t chosen = 0;
@@ -70,17 +75,32 @@ Dataset SeedCentroids(const DatasetView& data, const KMeansParams& params,
 
 }  // namespace
 
-int32_t NearestCentroid(const DatasetView& centroids, const float* vec) {
+namespace {
+
+/// Batched scoring of `vec` against every (contiguous) centroid row into
+/// `scores`, then the argmin in centroid order — bitwise the same distances
+/// and the same tie-breaking as the historical per-centroid loop.
+int32_t ArgminCentroid(const DatasetView& centroids, const float* vec,
+                       std::vector<float>* scores) {
+  scores->assign(centroids.size(), 0.0f);
+  ScanKernels().l2_batch(vec, centroids.Row(0), centroids.size(),
+                         centroids.dim(), scores->data());
   int32_t best = 0;
   float best_dist = std::numeric_limits<float>::max();
   for (size_t c = 0; c < centroids.size(); ++c) {
-    const float d = L2SqDistance(centroids.Row(c), vec, centroids.dim());
-    if (d < best_dist) {
-      best_dist = d;
+    if ((*scores)[c] < best_dist) {
+      best_dist = (*scores)[c];
       best = static_cast<int32_t>(c);
     }
   }
   return best;
+}
+
+}  // namespace
+
+int32_t NearestCentroid(const DatasetView& centroids, const float* vec) {
+  thread_local std::vector<float> scores;
+  return ArgminCentroid(centroids, vec, &scores);
 }
 
 Result<KMeansResult> TrainKMeans(const DatasetView& data,
@@ -102,23 +122,26 @@ Result<KMeansResult> TrainKMeans(const DatasetView& data,
   result.cluster_sizes.assign(k, 0);
 
   std::vector<double> sums(k * dim, 0.0);
+  std::vector<float> cent_dist(k);
   double prev_inertia = std::numeric_limits<double>::max();
 
   for (size_t iter = 0; iter < std::max<size_t>(1, params.max_iters); ++iter) {
     result.iterations_run = iter + 1;
-    // Assignment step.
+    // Assignment step: per point, one batched kernel call over the
+    // (contiguous) centroid rows, then the argmin in centroid order.
     double inertia = 0.0;
     std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0);
     std::fill(sums.begin(), sums.end(), 0.0);
     const DatasetView cent = result.centroids.View();
     for (size_t i = 0; i < n; ++i) {
       const float* row = data.Row(i);
+      std::fill(cent_dist.begin(), cent_dist.end(), 0.0f);
+      ScanKernels().l2_batch(row, cent.Row(0), k, dim, cent_dist.data());
       int32_t best = 0;
       float best_dist = std::numeric_limits<float>::max();
       for (size_t c = 0; c < k; ++c) {
-        const float d = L2SqDistance(cent.Row(c), row, dim);
-        if (d < best_dist) {
-          best_dist = d;
+        if (cent_dist[c] < best_dist) {
+          best_dist = cent_dist[c];
           best = static_cast<int32_t>(c);
         }
       }
@@ -170,11 +193,10 @@ Result<KMeansResult> TrainKMeans(const DatasetView& data,
   std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0);
   double inertia = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    const int32_t best = NearestCentroid(cent, data.Row(i));
+    const int32_t best = ArgminCentroid(cent, data.Row(i), &cent_dist);
     result.assignments[i] = best;
     ++result.cluster_sizes[best];
-    inertia += L2SqDistance(cent.Row(static_cast<size_t>(best)), data.Row(i),
-                            dim);
+    inertia += cent_dist[static_cast<size_t>(best)];
   }
   result.inertia = inertia;
   return result;

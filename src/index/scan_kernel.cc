@@ -1,0 +1,130 @@
+#include "index/scan_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/distance_simd.h"
+
+namespace harmony {
+
+namespace portable {
+
+float L2Row(const float* a, const float* b, size_t width) {
+  // Four accumulators let the compiler vectorize without relying on
+  // -ffast-math reassociation. This body is the bitwise reference for every
+  // other L2 kernel in the table.
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= width; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < width; ++i) {
+    const float d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float IpRow(const float* a, const float* b, size_t width) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= width; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < width; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+namespace {
+
+/// Rows ~2 iterations ahead of the current one are pulled toward L1 while
+/// the current group computes; one line per 16 floats.
+inline void PrefetchRow(const float* row, size_t width) {
+  for (size_t i = 0; i < width; i += 16) {
+    __builtin_prefetch(row + i, /*rw=*/0, /*locality=*/3);
+  }
+}
+
+}  // namespace
+
+void L2Batch(const float* q, const float* rows, size_t count, size_t width,
+             float* accum) {
+  for (size_t r = 0; r < count; ++r) {
+    if (r + 2 < count) PrefetchRow(rows + (r + 2) * width, width);
+    accum[r] += L2Row(q, rows + r * width, width);
+  }
+}
+
+void IpBatch(const float* q, const float* rows, size_t count, size_t width,
+             float* accum) {
+  for (size_t r = 0; r < count; ++r) {
+    if (r + 2 < count) PrefetchRow(rows + (r + 2) * width, width);
+    accum[r] += IpRow(q, rows + r * width, width);
+  }
+}
+
+uint32_t PruneMaskL2(const float* partial, size_t count, float tau) {
+  uint32_t mask = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (partial[i] > tau) mask |= uint32_t{1} << i;
+  }
+  return mask;
+}
+
+uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
+                     size_t count, float rem_q_sq, float tau) {
+  // Identical arithmetic to CanPrune (core/pruning.h): the Cauchy–Schwarz
+  // bound on the unprocessed blocks' inner-product contribution.
+  uint32_t mask = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const float rest =
+        std::sqrt(std::max(0.0f, rem_p_sq[i]) * std::max(0.0f, rem_q_sq));
+    if (-(partial[i] + rest) > tau) mask |= uint32_t{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace portable
+
+namespace {
+
+constexpr ScanKernelTable kPortableTable = {
+    portable::L2Row,       portable::IpRow,       portable::L2Batch,
+    portable::IpBatch,     portable::PruneMaskL2, portable::PruneMaskIp,
+    "portable",
+};
+
+#if defined(HARMONY_HAVE_AVX2_TU)
+constexpr ScanKernelTable kAvx2Table = {
+    avx2::L2Row,       avx2::IpRow,       avx2::L2Batch,
+    avx2::IpBatch,     avx2::PruneMaskL2, avx2::PruneMaskIp,
+    "avx2",
+};
+#endif
+
+ScanKernelTable ResolveTable() {
+#if defined(HARMONY_HAVE_AVX2_TU)
+  if (simd::Avx2Available()) return kAvx2Table;
+#endif
+  return kPortableTable;
+}
+
+}  // namespace
+
+const ScanKernelTable& ScanKernels() {
+  // Resolved exactly once; hot loops pay a table load, never a CPU check.
+  static const ScanKernelTable table = ResolveTable();
+  return table;
+}
+
+}  // namespace harmony

@@ -1,0 +1,97 @@
+#ifndef HARMONY_INDEX_SCAN_KERNEL_H_
+#define HARMONY_INDEX_SCAN_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace harmony {
+
+/// \brief Batched block-scan kernels (docs/kernels.md).
+///
+/// The dimension-block scan (Algorithm 1) spends its time accumulating
+/// partial L2/IP between one query slice and many contiguous rows of a
+/// `DimSlicedMatrix`. The kernels here are the batched counterparts of the
+/// single-row `PartialL2Sq`/`PartialIp` pair, with three properties the
+/// engines rely on:
+///
+///  * **Hoisted dispatch.** `ScanKernels()` resolves the CPU-specific
+///    kernel table exactly once; hot loops call through function pointers
+///    instead of re-checking CPU features per candidate.
+///  * **Layout contract.** A batched call covers `count` rows stored
+///    back-to-back with stride `width` — exactly the row layout of a
+///    `DimSlicedMatrix` (see `DimSlicedMatrix::RowBlock`). Kernels
+///    register-block 4 rows at a time, reusing each query load across the
+///    row group, and software-prefetch upcoming rows.
+///  * **Bitwise identity.** For every row, the accumulation order (chunking,
+///    accumulator splitting, horizontal reduction, scalar tail) is exactly
+///    that of the single-row kernel the dispatcher would have picked, so
+///    batched and per-row scans produce bit-identical partial sums. This is
+///    what keeps determinism tests, fault-replay byte-identity, and the
+///    simulator's `DistanceOpCost` accounting unchanged.
+struct ScanKernelTable {
+  /// Single-row partials; same results as PartialL2Sq / PartialIp.
+  float (*l2_row)(const float* a, const float* b, size_t width);
+  float (*ip_row)(const float* a, const float* b, size_t width);
+
+  /// Batched partials over `count` contiguous rows (stride == width):
+  /// `accum[i] += partial(q, rows + i * width)` for i in [0, count).
+  void (*l2_batch)(const float* q, const float* rows, size_t count,
+                   size_t width, float* accum);
+  void (*ip_batch)(const float* q, const float* rows, size_t count,
+                   size_t width, float* accum);
+
+  /// Vectorized prune bounds over up to 32 candidates: bit i of the result
+  /// is set iff candidate i can be pruned, with decisions identical to the
+  /// scalar `CanPrune` (core/pruning.h). L2 prunes when `partial[i] > tau`;
+  /// IP/cosine when `-(partial[i] + sqrt(max(0, rem_p_sq[i]) *
+  /// max(0, rem_q_sq))) > tau`.
+  uint32_t (*prune_mask_l2)(const float* partial, size_t count, float tau);
+  uint32_t (*prune_mask_ip)(const float* partial, const float* rem_p_sq,
+                            size_t count, float rem_q_sq, float tau);
+
+  /// "avx2" or "portable"; surfaced in logs and BENCH_kernels.json.
+  const char* name;
+};
+
+/// The process-wide kernel table, resolved once (first call) from the CPU's
+/// capabilities. Never changes afterwards.
+const ScanKernelTable& ScanKernels();
+
+/// Portable reference kernels — the fallback table entries and the ground
+/// truth the SIMD kernels are tested against. Also the scalar bodies the
+/// AVX2 kernels fall back to below their width threshold, preserving the
+/// historical `width >= 16` dispatch cutover bit-for-bit.
+namespace portable {
+float L2Row(const float* a, const float* b, size_t width);
+float IpRow(const float* a, const float* b, size_t width);
+void L2Batch(const float* q, const float* rows, size_t count, size_t width,
+             float* accum);
+void IpBatch(const float* q, const float* rows, size_t count, size_t width,
+             float* accum);
+uint32_t PruneMaskL2(const float* partial, size_t count, float tau);
+uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
+                     size_t count, float rem_q_sq, float tau);
+}  // namespace portable
+
+/// AVX2 kernels, defined in scan_kernel_avx2.cc (compiled with -mavx2;
+/// referenced only when the build carries that TU and the CPU supports
+/// AVX2). Row/batch kernels fall back to the portable bodies below
+/// width 16, matching the historical dispatch cutover.
+namespace avx2 {
+float L2Row(const float* a, const float* b, size_t width);
+float IpRow(const float* a, const float* b, size_t width);
+void L2Batch(const float* q, const float* rows, size_t count, size_t width,
+             float* accum);
+void IpBatch(const float* q, const float* rows, size_t count, size_t width,
+             float* accum);
+uint32_t PruneMaskL2(const float* partial, size_t count, float tau);
+uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
+                     size_t count, float rem_q_sq, float tau);
+}  // namespace avx2
+
+/// Maximum candidates covered by one prune-mask call.
+inline constexpr size_t kPruneMaskWidth = 32;
+
+}  // namespace harmony
+
+#endif  // HARMONY_INDEX_SCAN_KERNEL_H_

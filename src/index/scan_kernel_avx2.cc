@@ -1,0 +1,295 @@
+// AVX2 batched block-scan kernels. Compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt) and referenced only when the running CPU reports
+// AVX2 support — ScanKernels() resolves the table once at first use.
+//
+// Bitwise-identity contract (docs/kernels.md): every row of a batched call
+// goes through exactly the operation sequence of the single-row AVX2
+// kernels in distance_avx2.cc — 16-wide chunks into two accumulators, an
+// 8-wide chunk into the first, horizontal sum, then a scalar tail — and
+// widths below 16 fall back to the portable bodies, preserving the
+// historical runtime-dispatch cutover bit-for-bit. The 4-row register
+// blocking only reuses each *query* load across the row group; it never
+// reorders a row's own accumulation.
+
+#include "index/scan_kernel.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "index/distance_simd.h"
+
+namespace harmony {
+namespace avx2 {
+
+namespace {
+
+/// Horizontal sum of an 8-float register; identical to distance_avx2.cc.
+inline float Hsum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_hadd_ps(sum, sum);
+  sum = _mm_hadd_ps(sum, sum);
+  return _mm_cvtss_f32(sum);
+}
+
+/// Horizontal sums of four registers at once, lane i holding Hsum256(v_i).
+/// Each lane goes through the *same* addition tree as Hsum256 —
+/// lo+hi, then ((s0+s1)+(s2+s3)) via two hadd levels — so the results are
+/// bit-identical to four scalar Hsum256 calls at a third of the shuffle
+/// uops. This is what makes the 4-row blocking pay off at narrow widths,
+/// where the reduction rivals the accumulation loop in cost.
+inline __m128 Hsum256x4(__m256 v0, __m256 v1, __m256 v2, __m256 v3) {
+  const __m128 s0 = _mm_add_ps(_mm256_castps256_ps128(v0),
+                               _mm256_extractf128_ps(v0, 1));
+  const __m128 s1 = _mm_add_ps(_mm256_castps256_ps128(v1),
+                               _mm256_extractf128_ps(v1, 1));
+  const __m128 s2 = _mm_add_ps(_mm256_castps256_ps128(v2),
+                               _mm256_extractf128_ps(v2, 1));
+  const __m128 s3 = _mm_add_ps(_mm256_castps256_ps128(v3),
+                               _mm256_extractf128_ps(v3, 1));
+  const __m128 h01 = _mm_hadd_ps(s0, s1);  // [s00+s01, s02+s03, s10+s11, ..]
+  const __m128 h23 = _mm_hadd_ps(s2, s3);
+  return _mm_hadd_ps(h01, h23);  // lane i = (si0+si1)+(si2+si3)
+}
+
+inline __m256 FmaddOrMulAdd(__m256 a, __m256 b, __m256 acc) {
+#if defined(__FMA__)
+  return _mm256_fmadd_ps(a, b, acc);
+#else
+  return _mm256_add_ps(acc, _mm256_mul_ps(a, b));
+#endif
+}
+
+/// Pulls the head of an upcoming row toward L1 while the current row group
+/// computes. Rows are one contiguous stream, so the hardware prefetcher
+/// covers the body; issuing more than a few lines here only burns load-port
+/// slots (measured: full-row prefetch costs ~15% at width >= 128).
+inline void PrefetchRow(const float* row, size_t width) {
+  const size_t lines = std::min<size_t>(width, 64);
+  for (size_t i = 0; i < lines; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(row + i), _MM_HINT_T0);
+  }
+}
+
+}  // namespace
+
+float L2Row(const float* a, const float* b, size_t width) {
+  if (width < 16) return portable::L2Row(a, b, width);
+  return simd::L2SqDistanceAvx2(a, b, width);
+}
+
+float IpRow(const float* a, const float* b, size_t width) {
+  if (width < 16) return portable::IpRow(a, b, width);
+  return simd::InnerProductAvx2(a, b, width);
+}
+
+void L2Batch(const float* q, const float* rows, size_t count, size_t width,
+             float* accum) {
+  if (width < 16) {
+    portable::L2Batch(q, rows, count, width, accum);
+    return;
+  }
+  size_t r = 0;
+  for (; r + 4 <= count; r += 4) {
+    const float* r0 = rows + r * width;
+    const float* r1 = r0 + width;
+    const float* r2 = r1 + width;
+    const float* r3 = r2 + width;
+    if (r + 8 <= count) {
+      PrefetchRow(r3 + width, width);
+      PrefetchRow(r3 + 2 * width, width);
+    }
+    __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+    __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+    __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+    __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= width; i += 16) {
+      const __m256 q0 = _mm256_loadu_ps(q + i);
+      const __m256 q1 = _mm256_loadu_ps(q + i + 8);
+      __m256 d = _mm256_sub_ps(q0, _mm256_loadu_ps(r0 + i));
+      a00 = FmaddOrMulAdd(d, d, a00);
+      d = _mm256_sub_ps(q1, _mm256_loadu_ps(r0 + i + 8));
+      a01 = FmaddOrMulAdd(d, d, a01);
+      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r1 + i));
+      a10 = FmaddOrMulAdd(d, d, a10);
+      d = _mm256_sub_ps(q1, _mm256_loadu_ps(r1 + i + 8));
+      a11 = FmaddOrMulAdd(d, d, a11);
+      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r2 + i));
+      a20 = FmaddOrMulAdd(d, d, a20);
+      d = _mm256_sub_ps(q1, _mm256_loadu_ps(r2 + i + 8));
+      a21 = FmaddOrMulAdd(d, d, a21);
+      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r3 + i));
+      a30 = FmaddOrMulAdd(d, d, a30);
+      d = _mm256_sub_ps(q1, _mm256_loadu_ps(r3 + i + 8));
+      a31 = FmaddOrMulAdd(d, d, a31);
+    }
+    for (; i + 8 <= width; i += 8) {
+      const __m256 q0 = _mm256_loadu_ps(q + i);
+      __m256 d = _mm256_sub_ps(q0, _mm256_loadu_ps(r0 + i));
+      a00 = FmaddOrMulAdd(d, d, a00);
+      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r1 + i));
+      a10 = FmaddOrMulAdd(d, d, a10);
+      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r2 + i));
+      a20 = FmaddOrMulAdd(d, d, a20);
+      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r3 + i));
+      a30 = FmaddOrMulAdd(d, d, a30);
+    }
+    alignas(16) float t[4];
+    _mm_store_ps(t, Hsum256x4(_mm256_add_ps(a00, a01), _mm256_add_ps(a10, a11),
+                              _mm256_add_ps(a20, a21),
+                              _mm256_add_ps(a30, a31)));
+    float t0 = t[0], t1 = t[1], t2 = t[2], t3 = t[3];
+    for (; i < width; ++i) {
+      const float qi = q[i];
+      float d = qi - r0[i];
+      t0 += d * d;
+      d = qi - r1[i];
+      t1 += d * d;
+      d = qi - r2[i];
+      t2 += d * d;
+      d = qi - r3[i];
+      t3 += d * d;
+    }
+    accum[r] += t0;
+    accum[r + 1] += t1;
+    accum[r + 2] += t2;
+    accum[r + 3] += t3;
+  }
+  for (; r < count; ++r) {
+    accum[r] += simd::L2SqDistanceAvx2(q, rows + r * width, width);
+  }
+}
+
+void IpBatch(const float* q, const float* rows, size_t count, size_t width,
+             float* accum) {
+  if (width < 16) {
+    portable::IpBatch(q, rows, count, width, accum);
+    return;
+  }
+  // IP has no subtract temporary, so 6 rows x 2 accumulators plus the two
+  // query registers still fit the 16 ymm registers; the wider group
+  // amortizes each query load over 6 FMAs instead of 4 (the kernel is
+  // load-port-bound, so fewer loads per row is the win).
+  size_t r = 0;
+  for (; r + 6 <= count; r += 6) {
+    const float* r0 = rows + r * width;
+    const float* r1 = r0 + width;
+    const float* r2 = r1 + width;
+    const float* r3 = r2 + width;
+    const float* r4 = r3 + width;
+    const float* r5 = r4 + width;
+    if (r + 12 <= count) {
+      PrefetchRow(r5 + width, width);
+      PrefetchRow(r5 + 2 * width, width);
+    }
+    __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+    __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+    __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+    __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+    __m256 a40 = _mm256_setzero_ps(), a41 = _mm256_setzero_ps();
+    __m256 a50 = _mm256_setzero_ps(), a51 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= width; i += 16) {
+      const __m256 q0 = _mm256_loadu_ps(q + i);
+      const __m256 q1 = _mm256_loadu_ps(q + i + 8);
+      a00 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r0 + i), a00);
+      a01 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r0 + i + 8), a01);
+      a10 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r1 + i), a10);
+      a11 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r1 + i + 8), a11);
+      a20 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r2 + i), a20);
+      a21 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r2 + i + 8), a21);
+      a30 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r3 + i), a30);
+      a31 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r3 + i + 8), a31);
+      a40 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r4 + i), a40);
+      a41 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r4 + i + 8), a41);
+      a50 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r5 + i), a50);
+      a51 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r5 + i + 8), a51);
+    }
+    for (; i + 8 <= width; i += 8) {
+      const __m256 q0 = _mm256_loadu_ps(q + i);
+      a00 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r0 + i), a00);
+      a10 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r1 + i), a10);
+      a20 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r2 + i), a20);
+      a30 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r3 + i), a30);
+      a40 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r4 + i), a40);
+      a50 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r5 + i), a50);
+    }
+    alignas(16) float t[4];
+    _mm_store_ps(t, Hsum256x4(_mm256_add_ps(a00, a01), _mm256_add_ps(a10, a11),
+                              _mm256_add_ps(a20, a21),
+                              _mm256_add_ps(a30, a31)));
+    float t0 = t[0], t1 = t[1], t2 = t[2], t3 = t[3];
+    float t4 = Hsum256(_mm256_add_ps(a40, a41));
+    float t5 = Hsum256(_mm256_add_ps(a50, a51));
+    for (; i < width; ++i) {
+      const float qi = q[i];
+      t0 += qi * r0[i];
+      t1 += qi * r1[i];
+      t2 += qi * r2[i];
+      t3 += qi * r3[i];
+      t4 += qi * r4[i];
+      t5 += qi * r5[i];
+    }
+    accum[r] += t0;
+    accum[r + 1] += t1;
+    accum[r + 2] += t2;
+    accum[r + 3] += t3;
+    accum[r + 4] += t4;
+    accum[r + 5] += t5;
+  }
+  for (; r < count; ++r) {
+    accum[r] += simd::InnerProductAvx2(q, rows + r * width, width);
+  }
+}
+
+uint32_t PruneMaskL2(const float* partial, size_t count, float tau) {
+  uint32_t mask = 0;
+  const __m256 vtau = _mm256_set1_ps(tau);
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256 p = _mm256_loadu_ps(partial + i);
+    const __m256 gt = _mm256_cmp_ps(p, vtau, _CMP_GT_OQ);
+    mask |= static_cast<uint32_t>(_mm256_movemask_ps(gt)) << i;
+  }
+  if (i < count) {
+    mask |= portable::PruneMaskL2(partial + i, count - i, tau) << i;
+  }
+  return mask;
+}
+
+uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
+                     size_t count, float rem_q_sq, float tau) {
+  uint32_t mask = 0;
+  const __m256 vtau = _mm256_set1_ps(tau);
+  const __m256 zero = _mm256_setzero_ps();
+  // Hoisting max(0, rem_q_sq) feeds the multiply the same operand the
+  // scalar CanPrune computes per candidate; _mm256_max_ps(x, 0) returns 0
+  // for NaN inputs exactly like std::max(0.0f, x).
+  const __m256 rq = _mm256_set1_ps(std::max(0.0f, rem_q_sq));
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256 rp = _mm256_max_ps(_mm256_loadu_ps(rem_p_sq + i), zero);
+    const __m256 rest = _mm256_sqrt_ps(_mm256_mul_ps(rp, rq));
+    const __m256 lower =
+        _mm256_xor_ps(_mm256_add_ps(_mm256_loadu_ps(partial + i), rest), sign);
+    const __m256 gt = _mm256_cmp_ps(lower, vtau, _CMP_GT_OQ);
+    mask |= static_cast<uint32_t>(_mm256_movemask_ps(gt)) << i;
+  }
+  if (i < count) {
+    mask |= portable::PruneMaskIp(partial + i, rem_p_sq + i, count - i,
+                                  rem_q_sq, tau)
+            << i;
+  }
+  return mask;
+}
+
+}  // namespace avx2
+}  // namespace harmony
+
+#endif  // __AVX2__

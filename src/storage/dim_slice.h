@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "storage/dataset.h"
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace harmony {
@@ -61,6 +62,14 @@ class DimSlicedMatrix {
 
   /// Pointer to the (contiguous) slice of local row `i`.
   const float* Row(size_t i) const { return data_.data() + i * range_.width(); }
+
+  /// Pointer to the first of `count` contiguous rows starting at `first`.
+  /// Rows are stored back-to-back — row stride equals width() — which is
+  /// the layout contract the batched scan kernels stream (docs/kernels.md).
+  const float* RowBlock(size_t first, size_t count) const {
+    HARMONY_CHECK(first + count <= row_ids_.size());
+    return data_.data() + first * range_.width();
+  }
 
   /// Appends one row given the *full-dimension* vector it comes from; the
   /// matrix copies its own column range. Used by incremental inserts.

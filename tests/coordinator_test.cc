@@ -102,6 +102,31 @@ TEST(CoordinatorTest, ThreadedWithPruningDisabledAlsoAgrees) {
   }
 }
 
+TEST(CoordinatorTest, BatchedKernelsMatchReferenceLoop) {
+  // The threaded engine shares ScanBlock with the simulator; with a fixed
+  // block order and pruning on, the batched and reference paths must return
+  // identical neighbor lists (per-candidate arithmetic is bitwise equal, so
+  // any divergence would indicate a layout/compaction bug).
+  SmallWorld world = MakeSmallWorld(2000, 24, 8, 8, 15);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 3);
+  ExecOptions batched;
+  batched.k = 10;
+  batched.nprobe = 3;
+  batched.dynamic_dim_order = false;
+  ExecOptions reference = batched;
+  reference.use_batched_kernels = false;
+  auto b = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                           setup.prewarm, setup.routing,
+                           world.workload.queries.View(), batched);
+  auto r = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                           setup.prewarm, setup.routing,
+                           world.workload.queries.View(), reference);
+  ASSERT_TRUE(b.ok() && r.ok());
+  for (size_t q = 0; q < 15; ++q) {
+    EXPECT_EQ(b.value().results[q], r.value().results[q]) << "query " << q;
+  }
+}
+
 TEST(CoordinatorTest, InnerProductThreadedRun) {
   SmallWorld world =
       MakeSmallWorld(1500, 16, 4, 4, 10, 0.0, 3, Metric::kInnerProduct);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/router.h"
 #include "test_util.h"
 #include "workload/ground_truth.h"
@@ -187,6 +189,67 @@ TEST(PipelineTest, InnerProductMetricWithNormsIsSound) {
   for (size_t q = 0; q < 15; ++q) {
     EXPECT_EQ(with_prune.value().results[q], without.value().results[q]);
   }
+}
+
+// The batched scan kernels must be indistinguishable from the historical
+// per-candidate loop: same result bytes, same virtual-clock timings, same
+// prune accounting. This is the regression contract that lets the engines
+// keep their determinism and fault-replay guarantees while using SIMD
+// batches (docs/kernels.md).
+void CheckBatchedByteIdentity(Metric metric, bool with_norms) {
+  SmallWorld world = MakeSmallWorld(2200, 24, 6, 6, 18, 0.0, 21, metric);
+  RunSetup setup = MakeSetup(world, 4, 1, 4, 4, 4, with_norms);
+  ExecOptions batched = Opts(10, 4, metric);  // dynamic_dim_order stays on.
+  ExecOptions reference = batched;
+  reference.use_batched_kernels = false;
+  SimCluster cb(4), cr(4);
+  auto b = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                            setup.prewarm, setup.routing,
+                            world.workload.queries.View(), batched, &cb);
+  auto r = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                            setup.prewarm, setup.routing,
+                            world.workload.queries.View(), reference, &cr);
+  ASSERT_TRUE(b.ok() && r.ok());
+  ASSERT_EQ(b.value().results.size(), r.value().results.size());
+  for (size_t q = 0; q < b.value().results.size(); ++q) {
+    const auto& bq = b.value().results[q];
+    const auto& rq = r.value().results[q];
+    ASSERT_EQ(bq.size(), rq.size()) << "query " << q;
+    for (size_t i = 0; i < bq.size(); ++i) {
+      EXPECT_EQ(bq[i].id, rq[i].id) << "query " << q;
+      uint32_t bb, rb;
+      std::memcpy(&bb, &bq[i].distance, sizeof(bb));
+      std::memcpy(&rb, &rq[i].distance, sizeof(rb));
+      EXPECT_EQ(bb, rb) << "query " << q << " rank " << i;
+    }
+  }
+  // Virtual-clock timings: op charges identical => schedules identical.
+  ASSERT_EQ(b.value().query_completion_seconds.size(),
+            r.value().query_completion_seconds.size());
+  for (size_t q = 0; q < b.value().query_completion_seconds.size(); ++q) {
+    EXPECT_EQ(b.value().query_completion_seconds[q],
+              r.value().query_completion_seconds[q])
+        << "query " << q;
+  }
+  EXPECT_EQ(cb.Makespan(), cr.Makespan());
+  EXPECT_EQ(cb.Breakdown().total_ops, cr.Breakdown().total_ops);
+  EXPECT_EQ(cb.Breakdown().total_bytes, cr.Breakdown().total_bytes);
+  EXPECT_EQ(cb.Breakdown().total_messages, cr.Breakdown().total_messages);
+  EXPECT_EQ(b.value().prune.total_candidates, r.value().prune.total_candidates);
+  EXPECT_EQ(b.value().prune.dropped_after, r.value().prune.dropped_after);
+  EXPECT_EQ(b.value().peak_intermediate_bytes,
+            r.value().peak_intermediate_bytes);
+  // The run must have actually exercised pruning for the parity to mean
+  // anything.
+  EXPECT_GT(b.value().prune.AveragePruneRatio(), 0.0);
+}
+
+TEST(PipelineTest, BatchedKernelsByteIdenticalToReferenceL2) {
+  CheckBatchedByteIdentity(Metric::kL2, /*with_norms=*/false);
+}
+
+TEST(PipelineTest, BatchedKernelsByteIdenticalToReferenceInnerProduct) {
+  CheckBatchedByteIdentity(Metric::kInnerProduct, /*with_norms=*/true);
 }
 
 TEST(PipelineTest, MismatchedClusterSizeRejected) {
