@@ -1,0 +1,166 @@
+// Throughput sweep: query-group shared scans x intra-node parallelism.
+//
+// Fig6-style setup (Harmony on 4 worker nodes, k=10) sweeping
+// ExecOptions::threads_per_node and the query-group size. QPS and makespan
+// are simulated-cluster virtual time: threads_per_node maps to per-node
+// compute lanes (SimNode::ChargeComputeAt), so the reported speedup is the
+// cost model's — independent of how many cores the host running this binary
+// happens to have (recorded as host_hardware_threads for honesty).
+// Bytes-streamed comes from the same owner-rule accounting both engines
+// share: with shared scans a row tile read for a whole query group is
+// billed once instead of once per query.
+//
+// Emits BENCH_throughput.json (tools/run_benches.sh refreshes it).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  double zipf = 0.0;
+  size_t nprobe = 0;
+  size_t machines = 0;
+  size_t threads_per_node = 0;
+  bool shared_scans = false;
+  size_t query_group_size = 0;
+  size_t num_queries = 0;
+  double qps = 0.0;
+  double makespan_seconds = 0.0;
+  double recall = 0.0;
+  uint64_t bytes_streamed = 0;
+  uint64_t total_bytes = 0;
+};
+
+std::vector<Row>& Rows() {
+  static auto& rows = *new std::vector<Row>();
+  return rows;
+}
+
+void ThroughputPoint(benchmark::State& state, const std::string& dataset,
+                     double zipf, size_t threads_per_node, bool shared_scans,
+                     size_t group_size, size_t nprobe) {
+  constexpr size_t kMachines = 4;
+  const BenchWorld& world = GetWorld(dataset, zipf);
+  HarmonyEngine* engine = GetEngine(world, Mode::kHarmony, kMachines);
+  engine->SetParallelism(threads_per_node, group_size, shared_scans);
+  RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunSearch(world, engine, /*k=*/10, nprobe);
+  }
+  engine->SetParallelism(1, 4, true);  // restore defaults for other points
+
+  Row row;
+  row.dataset = dataset;
+  row.zipf = zipf;
+  row.nprobe = nprobe;
+  row.machines = kMachines;
+  row.threads_per_node = threads_per_node;
+  row.shared_scans = shared_scans;
+  row.query_group_size = group_size;
+  row.num_queries = world.data.workload.queries.View().size();
+  row.qps = outcome.stats.qps;
+  row.makespan_seconds = outcome.stats.makespan_seconds;
+  row.recall = outcome.recall;
+  row.bytes_streamed = outcome.stats.breakdown.total_bytes_streamed;
+  row.total_bytes = outcome.stats.breakdown.total_bytes;
+  Rows().push_back(row);
+
+  state.counters["qps"] = row.qps;
+  state.counters["recall_at_10"] = row.recall;
+  state.counters["bytes_streamed"] = static_cast<double>(row.bytes_streamed);
+  state.counters["threads_per_node"] = static_cast<double>(threads_per_node);
+  state.counters["group_size"] =
+      static_cast<double>(shared_scans ? group_size : 1);
+}
+
+void Register(const std::string& dataset, double zipf, size_t threads,
+              bool shared, size_t group, size_t nprobe) {
+  std::string name = "fig_throughput/" + dataset + "/zipf:" +
+                     std::to_string(zipf) + "/tpn:" + std::to_string(threads) +
+                     (shared ? "/shared:g" + std::to_string(group)
+                             : "/unshared") +
+                     "/nprobe:" + std::to_string(nprobe);
+  benchmark::RegisterBenchmark(name.c_str(), ThroughputPoint, dataset, zipf,
+                               threads, shared, group, nprobe)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+void RegisterAll() {
+  constexpr size_t kNprobe = 8;
+  const std::string dataset = "sift1m";
+  for (const double zipf : {0.0, 1.0}) {
+    // Threads-per-node sweep, shared scans on (default group) and off.
+    for (const size_t threads : {1, 2, 4, 8}) {
+      Register(dataset, zipf, threads, /*shared=*/true, /*group=*/4, kNprobe);
+      Register(dataset, zipf, threads, /*shared=*/false, /*group=*/1, kNprobe);
+    }
+    // Group-size sweep at a fixed thread count.
+    for (const size_t group : {2, 8}) {
+      Register(dataset, zipf, /*threads=*/4, /*shared=*/true, group, kNprobe);
+    }
+  }
+}
+
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for write\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig_throughput\",\n"
+               "  \"host_hardware_threads\": %u,\n"
+               "  \"note\": \"qps/makespan are simulated virtual time; "
+               "threads_per_node maps to per-node compute lanes, so the "
+               "speedup is the cost model's, not the host's\",\n"
+               "  \"results\": [",
+               std::thread::hardware_concurrency());
+  bool first = true;
+  for (const Row& r : Rows()) {
+    std::fprintf(
+        f,
+        "%s\n    {\"dataset\": \"%s\", \"zipf\": %.2f, \"nprobe\": %zu, "
+        "\"machines\": %zu, \"threads_per_node\": %zu, "
+        "\"shared_scans\": %s, \"query_group_size\": %zu, "
+        "\"num_queries\": %zu, \"qps\": %.2f, \"makespan_seconds\": %.6f, "
+        "\"recall_at_10\": %.4f, \"bytes_streamed\": %llu, "
+        "\"bytes_streamed_per_query\": %.1f, \"total_bytes\": %llu}",
+        first ? "" : ",", r.dataset.c_str(), r.zipf, r.nprobe, r.machines,
+        r.threads_per_node, r.shared_scans ? "true" : "false",
+        r.query_group_size, r.num_queries, r.qps, r.makespan_seconds,
+        r.recall, static_cast<unsigned long long>(r.bytes_streamed),
+        static_cast<double>(r.bytes_streamed) /
+            static_cast<double>(r.num_queries),
+        static_cast<unsigned long long>(r.total_bytes));
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  harmony::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  harmony::bench::WriteJson("BENCH_throughput.json");
+  return 0;
+}

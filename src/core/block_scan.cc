@@ -1,6 +1,8 @@
 #include "core/block_scan.h"
 
 #include <algorithm>
+#include <limits>
+#include <vector>
 
 #include "core/pruning.h"
 #include "index/scan_kernel.h"
@@ -157,6 +159,178 @@ size_t ScanBlock(const BlockScanParams& p, size_t begin, size_t count,
   ScanRuns(p, begin, w, list, row, partial, rem_p_sq);
   counters->ops += static_cast<uint64_t>(w) * DistanceOpCost(p.width);
   return w;
+}
+
+namespace {
+
+/// A member's contiguous candidate range for one IVF list (rows ascending;
+/// gaps where candidates were pruned). `cursor` advances as tiles are
+/// consumed.
+struct ListSeg {
+  size_t member;
+  size_t cursor;
+  size_t end;
+};
+
+/// One distinct IVF list touched by the group, in first-appearance order
+/// across members (within a stage every candidate is touched exactly once,
+/// so list processing order cannot affect bits).
+struct ListWork {
+  int32_t global_list;
+  const ListSlice* ls;
+  std::vector<ListSeg> segs;
+};
+
+BlockScanParams MemberParams(const GroupScanParams& p,
+                             const GroupMemberScan& m) {
+  BlockScanParams mp;
+  mp.metric = p.metric;
+  mp.use_norms = p.use_norms;
+  mp.prune = m.prune;
+  mp.tau = m.tau;
+  mp.rem_q_sq = m.rem_q_sq;
+  mp.q_slice = m.q_slice;
+  mp.width = p.width;
+  mp.slices = m.slices;
+  mp.use_batched = p.use_batched;
+  return mp;
+}
+
+}  // namespace
+
+uint64_t ScanBlockGroup(const GroupScanParams& p, GroupMemberScan* members,
+                        size_t num_members) {
+  const bool use_ip = p.metric != Metric::kL2;
+  if (!p.use_batched) {
+    // Reference mode: solo reference scans, one per member. No sharing, so
+    // every survivor streams its own row.
+    uint64_t bytes = 0;
+    for (size_t m = 0; m < num_members; ++m) {
+      GroupMemberScan& mem = members[m];
+      mem.survivors = ScanBlockReference(
+          MemberParams(p, mem), 0, mem.count, mem.id, mem.list, mem.row,
+          mem.partial, mem.rem_p_sq, &mem.counters);
+      bytes += static_cast<uint64_t>(mem.survivors) * p.width * sizeof(float);
+    }
+    return bytes;
+  }
+
+  // Pass 1: per-member prune-compaction, each against its own tau.
+  for (size_t m = 0; m < num_members; ++m) {
+    GroupMemberScan& mem = members[m];
+    if (mem.prune) {
+      mem.survivors =
+          PruneCompact(MemberParams(p, mem), 0, mem.count, mem.id, mem.list,
+                       mem.row, mem.partial, mem.rem_p_sq, &mem.counters);
+    } else {
+      mem.survivors = mem.count;
+    }
+    mem.counters.ops +=
+        static_cast<uint64_t>(mem.survivors) * DistanceOpCost(p.width);
+  }
+
+  // Segment discovery: survivors are list-major, so each member contributes
+  // one contiguous segment per probed list; match segments across members by
+  // global list id, keeping first-appearance order.
+  std::vector<ListWork> lists;
+  for (size_t m = 0; m < num_members; ++m) {
+    const GroupMemberScan& mem = members[m];
+    size_t j = 0;
+    while (j < mem.survivors) {
+      const int32_t li = mem.list[j];
+      const size_t b = j;
+      while (j < mem.survivors && mem.list[j] == li) ++j;
+      const int32_t gl = mem.global_lists[static_cast<size_t>(li)];
+      const ListSlice* ls = mem.slices[static_cast<size_t>(li)];
+      HARMONY_CHECK_MSG(ls != nullptr, "missing list slice on machine");
+      ListWork* work = nullptr;
+      for (ListWork& lw : lists) {
+        if (lw.global_list == gl) {
+          work = &lw;
+          break;
+        }
+      }
+      if (work == nullptr) {
+        lists.push_back(ListWork{gl, ls, {}});
+        work = &lists.back();
+      }
+      HARMONY_CHECK_MSG(work->ls == ls, "co-probing members disagree on slice");
+      work->segs.push_back(ListSeg{m, b, j});
+    }
+  }
+
+  // Pass 2: per list, merge-walk the members' row streams into row-aligned
+  // tiles. A tile is a run of consecutive rows that every member of the
+  // subset S wants next; it is cut short where a member outside S would
+  // join, so divergent streams re-align at the earliest opportunity.
+  const ScanKernelTable& kt = ScanKernels();
+  std::vector<const float*> qs(num_members);
+  std::vector<float*> accums(num_members);
+  std::vector<ListSeg*> active(num_members);
+  uint64_t bytes = 0;
+  for (ListWork& lw : lists) {
+    for (;;) {
+      int32_t rmin = -1;
+      for (ListSeg& seg : lw.segs) {
+        if (seg.cursor >= seg.end) continue;
+        const int32_t r = members[seg.member].row[seg.cursor];
+        if (rmin < 0 || r < rmin) rmin = r;
+      }
+      if (rmin < 0) break;
+      size_t len = std::numeric_limits<size_t>::max();
+      size_t ns = 0;
+      for (ListSeg& seg : lw.segs) {
+        if (seg.cursor >= seg.end) continue;
+        const GroupMemberScan& mem = members[seg.member];
+        const int32_t r = mem.row[seg.cursor];
+        if (r == rmin) {
+          size_t run = 1;
+          while (seg.cursor + run < seg.end &&
+                 mem.row[seg.cursor + run] == rmin + static_cast<int32_t>(run)) {
+            ++run;
+          }
+          len = std::min(len, run);
+          active[ns++] = &seg;
+        } else {
+          // A member waiting at a later row caps the tile so it can join
+          // the next one.
+          len = std::min(len, static_cast<size_t>(r - rmin));
+        }
+      }
+      const float* rows = lw.ls->slice.RowBlock(static_cast<size_t>(rmin), len);
+      if (ns == 1) {
+        const GroupMemberScan& mem = members[active[0]->member];
+        float* acc = mem.partial + active[0]->cursor;
+        if (use_ip) {
+          kt.ip_batch(mem.q_slice, rows, len, p.width, acc);
+        } else {
+          kt.l2_batch(mem.q_slice, rows, len, p.width, acc);
+        }
+      } else {
+        for (size_t s = 0; s < ns; ++s) {
+          const GroupMemberScan& mem = members[active[s]->member];
+          qs[s] = mem.q_slice;
+          accums[s] = mem.partial + active[s]->cursor;
+        }
+        if (use_ip) {
+          kt.ip_group(qs.data(), ns, rows, len, p.width, accums.data());
+        } else {
+          kt.l2_group(qs.data(), ns, rows, len, p.width, accums.data());
+        }
+      }
+      if (use_ip && p.use_norms) {
+        const float* bn =
+            lw.ls->block_norm_sq.data() + static_cast<size_t>(rmin);
+        for (size_t s = 0; s < ns; ++s) {
+          float* rp = members[active[s]->member].rem_p_sq + active[s]->cursor;
+          for (size_t t = 0; t < len; ++t) rp[t] -= bn[t];
+        }
+      }
+      for (size_t s = 0; s < ns; ++s) active[s]->cursor += len;
+      bytes += static_cast<uint64_t>(len) * p.width * sizeof(float);
+    }
+  }
+  return bytes;
 }
 
 }  // namespace harmony

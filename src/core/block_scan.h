@@ -58,6 +58,52 @@ size_t ScanBlock(const BlockScanParams& params, size_t begin, size_t count,
                  int64_t* id, int32_t* list, int32_t* row, float* partial,
                  float* rem_p_sq, BlockScanCounters* counters);
 
+/// Stage-wide parameters shared by every member of a query-group scan.
+struct GroupScanParams {
+  Metric metric = Metric::kL2;
+  bool use_norms = false;
+  size_t width = 0;
+  /// Batched kernel path (true) vs historical per-candidate reference.
+  bool use_batched = true;
+};
+
+/// One member of a query-group shared scan: the member's candidate arrays
+/// (same list-major SoA layout and in-place compaction as ScanBlock) plus
+/// its per-query prune state. `list` values are member-local probe indices;
+/// `global_lists[li]` maps them to batch-wide IVF list ids, which is how
+/// co-probing members are matched onto the same slice. `slices` is indexed
+/// by the local values; co-probing members resolve to the *same* ListSlice.
+struct GroupMemberScan {
+  int64_t* id = nullptr;
+  int32_t* list = nullptr;
+  int32_t* row = nullptr;
+  float* partial = nullptr;
+  float* rem_p_sq = nullptr;  ///< May be null when !use_norms.
+  size_t count = 0;
+  const ListSlice* const* slices = nullptr;
+  const int32_t* global_lists = nullptr;
+  const float* q_slice = nullptr;
+  bool prune = false;
+  float tau = 0.0f;
+  float rem_q_sq = 0.0f;
+  /// Outputs: survivor count (arrays compacted to [0, survivors)) and the
+  /// member's op/prune charges, identical to a solo ScanBlock of the same
+  /// candidates.
+  size_t survivors = 0;
+  BlockScanCounters counters;
+};
+
+/// Shared scan of one dimension block across a query group. Per member the
+/// arithmetic is bit-identical to a solo ScanBlock (prune-compact with the
+/// member's own tau, then per-(query,row) accumulation in the frozen kernel
+/// order); what the group shares is the *row streaming*: survivors of
+/// co-probing members are merge-walked per IVF list into row-aligned tiles,
+/// and each tile's rows are streamed from memory once for all members that
+/// want them (query-tiled group kernels) instead of once per member.
+/// Returns the bytes of row data streamed (each tile counted once).
+uint64_t ScanBlockGroup(const GroupScanParams& params,
+                        GroupMemberScan* members, size_t num_members);
+
 }  // namespace harmony
 
 #endif  // HARMONY_CORE_BLOCK_SCAN_H_

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <unordered_map>
 
 #include "core/block_scan.h"
 #include "util/logging.h"
@@ -48,6 +49,24 @@ struct ChainTask {
   /// (the client can read every store in this in-process deployment), so
   /// stages pay neither the lookup nor a per-stage allocation.
   std::vector<const ListSlice*> slices;
+  /// --- Group-dispatch state (ExecOptions::shared_scans); unused on the
+  /// solo path. Statically lost blocks are kept in the shared group order
+  /// and skipped per member via this mask instead of being stripped.
+  uint64_t lost_mask = 0;
+  /// Stages this member actually scanned; gates pruning exactly as the solo
+  /// path's `pos > 0` does (the first scanned stage has no partials yet).
+  size_t processed = 0;
+};
+
+/// The shared baton of one query group: chains that co-probe `shard` at the
+/// same probe rank (BatchRouting::chain_group). The group walks one shared
+/// block order and each stage runs as a single ScanBlockGroup on the owning
+/// machine, streaming every row tile once for all members.
+struct GroupTask {
+  int32_t shard = 0;
+  std::vector<size_t> order;  // all b_dim blocks, shared pipeline order
+  size_t pos = 0;             // current pipeline position
+  std::vector<std::shared_ptr<ChainTask>> members;
 };
 
 struct BatchContext {
@@ -67,6 +86,8 @@ struct BatchContext {
   std::atomic<uint64_t> blocks_lost{0};
   uint64_t shards_lost = 0;  // client thread only
 
+  std::atomic<uint64_t> bytes_streamed{0};
+
   std::mutex done_mu;
   std::condition_variable done_cv;
   size_t chains_remaining = 0;
@@ -78,18 +99,203 @@ struct BatchContext {
 };
 
 void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task);
+void RunGroupStage(BatchContext* ctx, std::shared_ptr<GroupTask> group);
 
-void FinishChain(BatchContext* ctx, const std::shared_ptr<ChainTask>& task) {
-  SharedQueryState& state =
-      *ctx->states[static_cast<size_t>(task->chain->query)];
-  {
-    std::lock_guard<std::mutex> lock(state.mu);
-    for (size_t i = 0; i < task->id.size(); ++i) {
-      const float dist = ctx->use_ip ? -task->partial[i] : task->partial[i];
-      state.heap.Push(task->id[i], dist);
+/// Builds the chain's slice table, candidate SoA arrays and (for IP with
+/// multiple blocks) norm columns on the client thread. Returns false when
+/// the chain has nothing to scan. Shared by the solo and group dispatch
+/// paths so both modes scan exactly the same candidates.
+bool BuildChainCandidates(BatchContext* ctx, const QueryChain& chain,
+                          ChainTask* task) {
+  const PartitionPlan& plan = *ctx->plan;
+  const std::vector<WorkerStore>& stores = *ctx->stores;
+  const ExecOptions& opts = *ctx->opts;
+  const size_t b_dim = plan.num_dim_blocks;
+  const size_t shard = static_cast<size_t>(chain.shard);
+  SharedQueryState& state = *ctx->states[static_cast<size_t>(chain.query)];
+  task->chain = &chain;
+
+  // Per-(block, list) slice lookups, hoisted out of the stages: built once
+  // per chain instead of once per stage, and FindListSlice's keyed block
+  // index makes each lookup O(1).
+  const size_t num_lists = chain.lists.size();
+  task->slices.assign(b_dim * num_lists, nullptr);
+  for (size_t d = 0; d < b_dim; ++d) {
+    const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
+    for (size_t li = 0; li < num_lists; ++li) {
+      task->slices[d * num_lists + li] =
+          stores[machine].FindListSlice(shard, d, chain.lists[li]);
     }
   }
+
+  // Candidate set from the (dimension-independent) row layout of the
+  // chain's list slices; block 0's slices are as good as any.
+  for (size_t li = 0; li < num_lists; ++li) {
+    const ListSlice* ls = task->slices[li];
+    if (ls == nullptr) continue;
+    for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
+      const int64_t gid = ls->slice.GlobalId(r);
+      if (state.prewarmed_ids.count(gid) > 0) continue;
+      if (opts.labels != nullptr &&
+          (*opts.labels)[static_cast<size_t>(gid)] != opts.allowed_label) {
+        continue;
+      }
+      task->id.push_back(gid);
+      task->list.push_back(static_cast<int32_t>(li));
+      task->row.push_back(static_cast<int32_t>(r));
+      task->partial.push_back(0.0f);
+      if (ctx->use_norms) task->rem_p_sq.push_back(ls->total_norm_sq[r]);
+    }
+  }
+  if (task->id.empty()) return false;
+
+  if (ctx->use_norms) {
+    const float* qrow = ctx->queries->Row(static_cast<size_t>(chain.query));
+    task->q_block_norm.resize(b_dim);
+    for (size_t d = 0; d < b_dim; ++d) {
+      const DimRange r = plan.dim_ranges[d];
+      task->q_block_norm[d] =
+          PartialIp(qrow + r.begin, qrow + r.begin, r.width());
+      task->rem_q_sq += task->q_block_norm[d];
+    }
+  }
+  return true;
+}
+
+void MergeChainResults(BatchContext* ctx, const ChainTask& task) {
+  SharedQueryState& state =
+      *ctx->states[static_cast<size_t>(task.chain->query)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (size_t i = 0; i < task.id.size(); ++i) {
+    const float dist = ctx->use_ip ? -task.partial[i] : task.partial[i];
+    state.heap.Push(task.id[i], dist);
+  }
+}
+
+void FinishChain(BatchContext* ctx, const std::shared_ptr<ChainTask>& task) {
+  MergeChainResults(ctx, *task);
   ctx->ChainDone();
+}
+
+void FinishGroup(BatchContext* ctx, const std::shared_ptr<GroupTask>& group) {
+  for (const auto& member : group->members) MergeChainResults(ctx, *member);
+  ctx->ChainDone();  // chains_remaining counts groups in group mode
+}
+
+/// Posts the group's next stage at or after position `from`, skipping
+/// blocks no member still wants (statically lost for every member, or the
+/// members that wanted them ran out of candidates). Returns false when no
+/// stage remains. The baton is a plain Post: per-member hop delivery was
+/// decided statically at dispatch (lost_mask) and its retries are billed
+/// per member inside RunGroupStage, so the shared baton itself never drops.
+bool PostGroupStageFrom(BatchContext* ctx, std::shared_ptr<GroupTask> group,
+                        size_t from) {
+  const PartitionPlan& plan = *ctx->plan;
+  for (size_t next = from; next < group->order.size(); ++next) {
+    const size_t nd = group->order[next];
+    bool wanted = false;
+    for (const auto& m : group->members) {
+      if (!m->id.empty() && ((m->lost_mask >> nd) & 1) == 0) {
+        wanted = true;
+        break;
+      }
+    }
+    if (!wanted) continue;
+    group->pos = next;
+    const size_t machine = static_cast<size_t>(
+        plan.MachineOf(static_cast<size_t>(group->shard), nd));
+    ctx->cluster->Post(machine, [ctx, group = std::move(group)]() mutable {
+      RunGroupStage(ctx, group);
+    });
+    return true;
+  }
+  return false;
+}
+
+void RunGroupStage(BatchContext* ctx, std::shared_ptr<GroupTask> group) {
+  const PartitionPlan& plan = *ctx->plan;
+  const size_t d = group->order[group->pos];
+  const DimRange range = plan.dim_ranges[d];
+  const FaultInjector& faults = ctx->cluster->faults();
+  const bool faulty = faults.enabled();
+  const uint32_t max_retries = static_cast<uint32_t>(ctx->opts->max_retries);
+
+  GroupScanParams params;
+  params.metric = ctx->opts->metric;
+  params.use_norms = ctx->use_norms;
+  params.width = range.width();
+  params.use_batched = ctx->opts->use_batched_kernels;
+
+  std::vector<GroupMemberScan> scans;
+  std::vector<ChainTask*> active;
+  scans.reserve(group->members.size());
+  active.reserve(group->members.size());
+  for (const auto& member : group->members) {
+    if (member->id.empty()) continue;
+    if ((member->lost_mask >> d) & 1) continue;
+    const QueryChain& chain = *member->chain;
+    if (faulty) {
+      // Members ride one shared baton, but each member's hop keeps its own
+      // (statically decided) retry bill so fault totals match the unshared
+      // dispatch, where every chain posts this hop itself.
+      const uint32_t attempts = faults.DeliveryAttempts(
+          ChainHopKey(chain.query, chain.shard, d), max_retries);
+      if (attempts > 1) {
+        ctx->retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+        ctx->messages_dropped.fetch_add(attempts - 1,
+                                        std::memory_order_relaxed);
+      }
+    }
+    SharedQueryState& state = *ctx->states[static_cast<size_t>(chain.query)];
+    float tau;
+    bool heap_full;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      tau = state.heap.threshold();
+      heap_full = state.heap.full();
+    }
+    GroupMemberScan ms;
+    ms.id = member->id.data();
+    ms.list = member->list.data();
+    ms.row = member->row.data();
+    ms.partial = member->partial.data();
+    ms.rem_p_sq = ctx->use_norms ? member->rem_p_sq.data() : nullptr;
+    ms.count = member->id.size();
+    ms.slices = member->slices.data() + d * chain.lists.size();
+    ms.global_lists = chain.lists.data();
+    ms.q_slice =
+        ctx->queries->Row(static_cast<size_t>(chain.query)) + range.begin;
+    ms.prune =
+        ctx->opts->enable_pruning && member->processed > 0 && heap_full;
+    ms.tau = tau;
+    ms.rem_q_sq = member->rem_q_sq;
+    scans.push_back(ms);
+    active.push_back(member.get());
+  }
+
+  if (!scans.empty()) {
+    ctx->bytes_streamed.fetch_add(
+        ScanBlockGroup(params, scans.data(), scans.size()),
+        std::memory_order_relaxed);
+    for (size_t i = 0; i < active.size(); ++i) {
+      ChainTask* m = active[i];
+      const size_t w = scans[i].survivors;
+      m->id.resize(w);
+      m->list.resize(w);
+      m->row.resize(w);
+      m->partial.resize(w);
+      if (ctx->use_norms) {
+        m->rem_p_sq.resize(w);
+        m->rem_q_sq -= m->q_block_norm[d];
+      }
+      ++m->processed;
+    }
+  }
+
+  const size_t next_from = group->pos + 1;
+  if (!PostGroupStageFrom(ctx, group, next_from)) {
+    FinishGroup(ctx, group);
+  }
 }
 
 void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task) {
@@ -135,6 +341,10 @@ void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task) {
     task->rem_p_sq.resize(w);
     task->rem_q_sq -= task->q_block_norm[d];
   }
+  // Unshared scans stream every survivor's row for this chain alone.
+  ctx->bytes_streamed.fetch_add(
+      static_cast<uint64_t>(w) * range.width() * sizeof(float),
+      std::memory_order_relaxed);
 
   // Hand the baton to the next surviving block. Statically lost blocks were
   // already removed from `order` at dispatch, so the PostMessage below
@@ -225,11 +435,18 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
   // NOTE: `cluster` is declared after `ctx` on purpose — its destructor
   // joins the worker threads, so any task still referencing ctx finishes
   // before ctx is destroyed, including on the timeout early-return below.
-  ThreadedCluster cluster(plan.num_machines, opts.faults);
+  ThreadedCluster cluster(plan.num_machines, opts.faults,
+                          opts.threads_per_node);
   ctx.cluster = &cluster;
   const FaultInjector& faults = cluster.faults();
   const bool faulty = faults.enabled();
   const uint32_t max_retries = static_cast<uint32_t>(opts.max_retries);
+
+  // Shared scans need the routing's query-group table (RouteBatch with
+  // group_size > 1); without it every group would be a singleton anyway, so
+  // fall back to the solo dispatch path.
+  const bool group_mode = opts.shared_scans && routing.num_groups > 0 &&
+                          routing.chain_group.size() == routing.chains.size();
 
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -255,15 +472,80 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
     }
 
     // Prepare the rank's chains on the client: candidate build, block
-    // order, and the (static, pure-function-of-the-plan) loss schedule.
+    // order / group assembly, and the (static, pure-function-of-the-plan)
+    // loss schedule.
     std::vector<std::shared_ptr<ChainTask>> dispatch;
+    std::vector<std::shared_ptr<GroupTask>> group_dispatch;
+    std::unordered_map<int32_t, size_t> group_slot;  // group id -> index
     dispatch.reserve(end - begin);
     for (size_t c = begin; c < end; ++c, ++chain_index) {
+      const QueryChain& chain = routing.chains[c];
+      const size_t shard = static_cast<size_t>(chain.shard);
+      SharedQueryState& state = *ctx.states[static_cast<size_t>(chain.query)];
       auto task = std::make_shared<ChainTask>();
-      task->chain = &routing.chains[c];
-      const size_t shard = static_cast<size_t>(task->chain->shard);
-      SharedQueryState& state =
-          *ctx.states[static_cast<size_t>(task->chain->query)];
+      if (!BuildChainCandidates(&ctx, chain, task.get())) {
+        continue;  // Nothing to scan; no posts needed.
+      }
+
+      if (group_mode) {
+        // The shared group order keeps every block; this member's
+        // statically lost blocks become a skip mask instead of being
+        // stripped from the order (other members may still want them).
+        if (faulty) {
+          uint64_t lost = 0;
+          for (size_t d = 0; d < b_dim; ++d) {
+            const size_t m = static_cast<size_t>(plan.MachineOf(shard, d));
+            if (faults.CrashedFromStart(m) ||
+                faults.DeliveryAttempts(
+                    ChainHopKey(chain.query, chain.shard, d),
+                    max_retries) == 0) {
+              lost |= uint64_t{1} << d;
+            }
+          }
+          if (lost != 0) {
+            const auto n_lost = static_cast<uint64_t>(std::popcount(lost));
+            ctx.blocks_lost.fetch_add(n_lost, std::memory_order_relaxed);
+            ctx.messages_dropped.fetch_add(n_lost * (max_retries + 1),
+                                           std::memory_order_relaxed);
+            state.degraded.store(true, std::memory_order_relaxed);
+          }
+          const bool result_hop_lost =
+              faults.DeliveryAttempts(
+                  ChainHopKey(chain.query, chain.shard, b_dim),
+                  max_retries) == 0;
+          if (static_cast<size_t>(std::popcount(lost)) == b_dim ||
+              result_hop_lost) {
+            if (result_hop_lost) {
+              ctx.messages_dropped.fetch_add(max_retries + 1,
+                                             std::memory_order_relaxed);
+            }
+            ++ctx.shards_lost;
+            state.degraded.store(true, std::memory_order_relaxed);
+            continue;
+          }
+          task->lost_mask = lost;
+        }
+        const int32_t gid = routing.chain_group[c];
+        const auto [slot, inserted] =
+            group_slot.try_emplace(gid, group_dispatch.size());
+        if (inserted) {
+          auto group = std::make_shared<GroupTask>();
+          group->shard = chain.shard;
+          group->order.resize(b_dim);
+          std::iota(group->order.begin(), group->order.end(), 0);
+          if (opts.enable_pipeline && b_dim > 1) {
+            // Anchored at the first member's stagger — the rotation this
+            // chain would have used solo; later members inherit it, which
+            // is what lets the whole group ride one baton.
+            std::rotate(group->order.begin(),
+                        group->order.begin() + (chain_index % b_dim),
+                        group->order.end());
+          }
+          group_dispatch.push_back(std::move(group));
+        }
+        group_dispatch[slot->second]->members.push_back(std::move(task));
+        continue;
+      }
 
       task->order.resize(b_dim);
       std::iota(task->order.begin(), task->order.end(), 0);
@@ -271,53 +553,6 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
         std::rotate(task->order.begin(),
                     task->order.begin() + (chain_index % b_dim),
                     task->order.end());
-      }
-
-      // Per-(block, list) slice lookups, hoisted out of the stages: built
-      // once per chain instead of once per stage, and FindListSlice's keyed
-      // block index makes each lookup O(1).
-      const size_t num_lists = task->chain->lists.size();
-      task->slices.assign(b_dim * num_lists, nullptr);
-      for (size_t d = 0; d < b_dim; ++d) {
-        const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
-        for (size_t li = 0; li < num_lists; ++li) {
-          task->slices[d * num_lists + li] =
-              stores[machine].FindListSlice(shard, d, task->chain->lists[li]);
-        }
-      }
-
-      // Candidate set from the (dimension-independent) row layout of the
-      // chain's list slices; block 0's slices are as good as any.
-      for (size_t li = 0; li < num_lists; ++li) {
-        const ListSlice* ls = task->slices[li];
-        if (ls == nullptr) continue;
-        for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
-          const int64_t gid = ls->slice.GlobalId(r);
-          if (state.prewarmed_ids.count(gid) > 0) continue;
-          if (opts.labels != nullptr &&
-              (*opts.labels)[static_cast<size_t>(gid)] !=
-                  opts.allowed_label) {
-            continue;
-          }
-          task->id.push_back(gid);
-          task->list.push_back(static_cast<int32_t>(li));
-          task->row.push_back(static_cast<int32_t>(r));
-          task->partial.push_back(0.0f);
-          if (ctx.use_norms) task->rem_p_sq.push_back(ls->total_norm_sq[r]);
-        }
-      }
-      if (task->id.empty()) continue;  // Nothing to scan; no posts needed.
-
-      if (ctx.use_norms) {
-        const float* qrow =
-            queries.Row(static_cast<size_t>(task->chain->query));
-        task->q_block_norm.resize(b_dim);
-        for (size_t d = 0; d < b_dim; ++d) {
-          const DimRange r = plan.dim_ranges[d];
-          task->q_block_norm[d] =
-              PartialIp(qrow + r.begin, qrow + r.begin, r.width());
-          task->rem_q_sq += task->q_block_norm[d];
-        }
       }
 
       if (faulty) {
@@ -368,7 +603,14 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
 
     {
       std::lock_guard<std::mutex> lock(ctx.done_mu);
-      ctx.chains_remaining = dispatch.size();
+      // In group mode the done count is per group (one baton each).
+      ctx.chains_remaining = group_mode ? group_dispatch.size()
+                                        : dispatch.size();
+    }
+    for (auto& group : group_dispatch) {
+      // Every member kept at least one block, so a runnable stage exists.
+      const bool posted = PostGroupStageFrom(&ctx, group, 0);
+      HARMONY_CHECK_MSG(posted, "query group with no runnable stage");
     }
     for (auto& task : dispatch) {
       const size_t shard = static_cast<size_t>(task->chain->shard);
@@ -390,7 +632,7 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
                                        std::memory_order_relaxed);
       }
     }
-    if (!dispatch.empty()) {
+    if (!dispatch.empty() || !group_dispatch.empty()) {
       std::unique_lock<std::mutex> lock(ctx.done_mu);
       if (opts.max_wall_seconds > 0.0) {
         if (!ctx.done_cv.wait_until(lock, deadline, [&ctx] {
@@ -422,6 +664,7 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
   out.faults.retries = ctx.retries.load(std::memory_order_relaxed);
   out.faults.blocks_lost = ctx.blocks_lost.load(std::memory_order_relaxed);
   out.faults.shards_lost = ctx.shards_lost;
+  out.bytes_streamed = ctx.bytes_streamed.load(std::memory_order_relaxed);
   out.wall_seconds = watch.ElapsedSeconds();
   return out;
 }

@@ -25,6 +25,12 @@ struct ThreadedOutput {
   /// simulated engine produces for the same FaultPlan.
   std::vector<uint8_t> degraded;
   FaultStats faults;
+  /// Row bytes streamed from the stores across all dimension stages. With
+  /// ExecOptions::shared_scans each query-group tile is counted once (the
+  /// rows really are loaded once for the whole group); without, every chain
+  /// bills its own survivors — the same accounting the simulated engine
+  /// reports via ClusterBreakdown::total_bytes_streamed.
+  uint64_t bytes_streamed = 0;
 };
 
 /// \brief Runs the same vector/dimension pipeline as ExecuteSimulated on a

@@ -136,6 +136,9 @@ ExecOptions HarmonyEngine::MakeExecOptions(size_t k, size_t nprobe) const {
       options_.enable_pipeline && options_.enable_balanced_load;
   exec.prewarm_per_list = options_.prewarm_per_list;
   exec.pipeline_batch = options_.pipeline_batch;
+  exec.shared_scans = options_.shared_scans;
+  exec.query_group_size = options_.query_group_size;
+  exec.threads_per_node = options_.threads_per_node;
   exec.faults = options_.faults;
   exec.max_retries = options_.max_retries;
   exec.max_wall_seconds = options_.max_wall_seconds;
@@ -213,9 +216,11 @@ Result<BatchResult> HarmonyEngine::SearchInternal(const DatasetView& queries,
   const double plan_seconds = plan_watch.ElapsedSeconds();
 
   SimCluster cluster(effective_machines_, options_.net, options_.machine);
-  const BatchRouting routing = RouteBatch(index_, plan_, queries, nprobe);
   const ExecOptions exec =
       exec_override != nullptr ? *exec_override : MakeExecOptions(k, nprobe);
+  const BatchRouting routing =
+      RouteBatch(index_, plan_, queries, nprobe,
+                 exec.shared_scans ? exec.query_group_size : 1);
   if (exec.faults.enabled()) cluster.SetFaultPlan(exec.faults);
   HARMONY_ASSIGN_OR_RETURN(
       PipelineOutput output,
@@ -265,9 +270,33 @@ Result<BatchResult> HarmonyEngine::SearchInternal(const DatasetView& queries,
 Result<ThreadedOutput> HarmonyEngine::SearchBatchThreaded(
     const DatasetView& queries, size_t k, size_t nprobe) {
   if (!built_) return Status::FailedPrecondition("Build() must run first");
-  const BatchRouting routing = RouteBatch(index_, plan_, queries, nprobe);
+  const ExecOptions exec = MakeExecOptions(k, nprobe);
+  const BatchRouting routing =
+      RouteBatch(index_, plan_, queries, nprobe,
+                 exec.shared_scans ? exec.query_group_size : 1);
   return ExecuteThreaded(index_, plan_, stores_, prewarm_, routing, queries,
-                         MakeExecOptions(k, nprobe));
+                         exec);
+}
+
+Result<ThreadedOutput> HarmonyEngine::SearchBatchThreadedFiltered(
+    const DatasetView& queries, size_t k, size_t nprobe,
+    int32_t allowed_label) {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  if (labels_.empty()) {
+    return Status::FailedPrecondition("SetLabels() must run before filtering");
+  }
+  if (labels_.size() != index_.num_vectors()) {
+    return Status::FailedPrecondition(
+        "labels are stale: call SetLabels() again after AddVectors()");
+  }
+  ExecOptions exec = MakeExecOptions(k, nprobe);
+  exec.labels = &labels_;
+  exec.allowed_label = allowed_label;
+  const BatchRouting routing =
+      RouteBatch(index_, plan_, queries, nprobe,
+                 exec.shared_scans ? exec.query_group_size : 1);
+  return ExecuteThreaded(index_, plan_, stores_, prewarm_, routing, queries,
+                         exec);
 }
 
 MemoryStats HarmonyEngine::IndexMemory() const {

@@ -35,6 +35,12 @@ struct HarmonyOptions {
   size_t prewarm_per_list = 4;
   /// Pipeline batch granularity (see ExecOptions::pipeline_batch).
   size_t pipeline_batch = 256;
+  /// Query-group shared scans + intra-node parallelism (PR 3; see the
+  /// ExecOptions fields of the same names). threads_per_node = 1 keeps both
+  /// engines on their historical serial per-node path bit-for-bit.
+  bool shared_scans = true;
+  size_t query_group_size = 4;
+  size_t threads_per_node = 1;
   /// Cost-model survival estimate for pruned stages (see CostModelParams).
   double pruning_survival = 0.5;
   /// Queries sampled when profiling a batch for the cost model (0 = all).
@@ -100,6 +106,16 @@ class HarmonyEngine {
   /// the CLI/bench hook for sweeping drop rates without rebuilding.
   void SetFaultPlan(FaultPlan faults) { options_.faults = std::move(faults); }
 
+  /// Replaces the parallelism knobs for subsequent SearchBatch* calls — the
+  /// bench hook for sweeping threads-per-node and group size without
+  /// rebuilding the index (same pattern as SetFaultPlan).
+  void SetParallelism(size_t threads_per_node, size_t query_group_size,
+                      bool shared_scans) {
+    options_.threads_per_node = threads_per_node;
+    options_.query_group_size = query_group_size;
+    options_.shared_scans = shared_scans;
+  }
+
   /// Executes one query batch on the simulated cluster and returns exact
   /// (pruning-safe) approximate-search results plus full instrumentation.
   Result<BatchResult> SearchBatch(const DatasetView& queries, size_t k,
@@ -118,6 +134,13 @@ class HarmonyEngine {
   /// re-planning.
   Result<ThreadedOutput> SearchBatchThreaded(const DatasetView& queries,
                                              size_t k, size_t nprobe);
+
+  /// Filtered search on the threaded engine: the SearchBatchFiltered
+  /// predicate push-down combined with real-thread execution (and, under a
+  /// fault plan, degraded mode). Requires SetLabels().
+  Result<ThreadedOutput> SearchBatchThreadedFiltered(const DatasetView& queries,
+                                                     size_t k, size_t nprobe,
+                                                     int32_t allowed_label);
 
   /// Index storage accounting (Table 4): stored bytes per machine etc.
   MemoryStats IndexMemory() const;

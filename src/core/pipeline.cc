@@ -5,6 +5,7 @@
 #include <deque>
 #include <numeric>
 #include <queue>
+#include <unordered_set>
 
 #include "core/block_scan.h"
 #include "util/logging.h"
@@ -64,6 +65,10 @@ struct BatchTask {
   size_t start_block = 0;  // rotation anchor (static stagger)
   int32_t last_machine = -1;  // machine of the last computed block
   float rem_q_sq = 0.0f;
+  // Completion time of the last executed stage; only read on the lane path
+  // (threads_per_node > 1), where the node's serial clock no longer tracks
+  // compute.
+  double compute_done = 0.0;
 };
 
 }  // namespace
@@ -108,6 +113,23 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
   // node): the load-aware block chooser routes around them from then on —
   // per-chain failure detection, no oracle.
   std::vector<uint8_t> machine_dead(plan.num_machines, 0);
+
+  // Intra-node parallelism: threads_per_node > 1 switches every worker to
+  // lane-scheduled compute (SimNode::ChargeComputeAt). At 1 the workers
+  // keep the historical single-clock path and every charge below is
+  // bit-identical to it. Configured unconditionally so a reused cluster
+  // drops stale lanes.
+  for (size_t m = 0; m < plan.num_machines; ++m) {
+    cluster->worker(m).ConfigureLanes(opts.threads_per_node);
+  }
+
+  // Shared-scan byte accounting (never touches a clock): with grouping on,
+  // the first batch to scan a (query group, dim block, IVF list, batch
+  // ordinal) unit owns it and bills the rows it touched; co-probing
+  // followers ride the same stream and bill zero. This bills at most what
+  // the per-query path bills (the owner's rows are a subset of the total),
+  // so grouped runs always report fewer-or-equal streamed bytes.
+  std::unordered_set<uint64_t> streamed_keys;
 
   std::vector<QueryState> states;
   states.reserve(num_queries);
@@ -414,6 +436,10 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         return;
       }
       SimNode& node = cluster->worker(static_cast<size_t>(task.last_machine));
+      // Lane path: the result send and selection pass happen after the
+      // stage's lane-scheduled compute finished, not after the serial clock
+      // (which no longer tracks compute).
+      if (node.has_lanes()) node.WaitUntil(task.compute_done);
       TopKHeap local(opts.k);
       double result_arrival;
       uint64_t result_bytes = kMsgHeaderBytes;
@@ -573,12 +599,15 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       double exec_start = 0.0;
       for (size_t m = 0; m < plan.num_machines; ++m) {
         MachineQueue& mq = machine_queues[m];
-        mq.Promote(cluster->worker(m).clock());
+        // next_free() == clock() without lanes; with lanes it is the
+        // least-loaded lane, letting a node take overlapping work.
+        mq.Promote(cluster->worker(m).next_free());
         double start;
         if (mq.available_count > 0) {
-          start = cluster->worker(m).clock();
+          start = cluster->worker(m).next_free();
         } else if (!mq.pending.empty()) {
-          start = std::max(cluster->worker(m).clock(), mq.pending.top().ready);
+          start =
+              std::max(cluster->worker(m).next_free(), mq.pending.top().ready);
         } else {
           continue;
         }
@@ -604,7 +633,7 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       SimNode& node = cluster->worker(machine);
       if (faulty) {
         const double hop_start =
-            std::max({node.clock(), task.ready, run.slice_arrival[d]});
+            std::max({node.next_free(), task.ready, run.slice_arrival[d]});
         if (hop_start >= faults.CrashTime(machine)) {
           // The target died before this baton could execute: the sender
           // burns its full retry budget discovering that, then routes
@@ -620,7 +649,8 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
           continue;
         }
       }
-      node.WaitUntil(std::max(task.ready, run.slice_arrival[d]));
+      const double scan_ready = std::max(task.ready, run.slice_arrival[d]);
+      if (!node.has_lanes()) node.WaitUntil(scan_ready);
 
       BlockScanParams scan;
       scan.metric = opts.metric;
@@ -641,7 +671,53 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
           use_norms ? run.rem_p_sq.data() : nullptr, &counters);
       out.prune.dropped_after[task.processed > 0 ? task.processed - 1 : 0] +=
           counters.dropped;
-      node.ChargeCompute(counters.ops);
+      if (node.has_lanes()) {
+        task.compute_done = node.ChargeComputeAt(scan_ready, counters.ops);
+        // Batons and result sends leave via the node's serial (NIC) clock;
+        // advance it to this stage's completion so they depart after it.
+        node.WaitUntil(task.compute_done);
+      } else {
+        node.ChargeCompute(counters.ops);
+        task.compute_done = node.clock();
+      }
+
+      // Streamed-bytes accounting (counters only — scheduling above never
+      // reads it). Each survivor streamed its row; with shared scans, runs
+      // whose (group, block, list, batch) unit a co-probing chain already
+      // streamed bill zero. Keys are packed lossily (masked fields); a
+      // collision only under-bills, deterministically.
+      {
+        uint64_t scan_bytes = 0;
+        const uint64_t row_bytes = range.width() * sizeof(float);
+        if (opts.shared_scans && routing.num_groups > 0) {
+          const size_t chain_idx =
+              static_cast<size_t>(run.chain - routing.chains.data());
+          const uint64_t g =
+              static_cast<uint64_t>(routing.chain_group[chain_idx]) & 0xFFFFFF;
+          const uint64_t ordinal =
+              std::min<uint64_t>(task.begin / batch_size, 0x3FFF);
+          size_t j = task.begin;
+          while (j < task.begin + w) {
+            const int32_t li = run.list[j];
+            size_t run_n = 1;
+            while (j + run_n < task.begin + w && run.list[j + run_n] == li) {
+              ++run_n;
+            }
+            const uint64_t gl =
+                static_cast<uint64_t>(chain.lists[static_cast<size_t>(li)]) &
+                0xFFFFF;
+            const uint64_t key =
+                (g << 40) | (uint64_t{d} << 34) | (gl << 14) | ordinal;
+            if (streamed_keys.insert(key).second) {
+              scan_bytes += static_cast<uint64_t>(run_n) * row_bytes;
+            }
+            j += run_n;
+          }
+        } else {
+          scan_bytes = static_cast<uint64_t>(w) * row_bytes;
+        }
+        node.ChargeStreamedBytes(scan_bytes);
+      }
       if (use_norms) task.rem_q_sq -= run.q_block_norm[d];
       task.remaining &= ~(uint64_t{1} << d);
       ++task.processed;

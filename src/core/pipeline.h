@@ -46,6 +46,23 @@ struct ExecOptions {
   /// virtual-clock timings (regression-tested), so this knob exists only
   /// for that A/B and for perf bisection.
   bool use_batched_kernels = true;
+  /// --- Query-group shared scans + intra-node parallelism (PR 3).
+  /// Shared scans: chains that co-probe a shard at the same pipeline stage
+  /// (BatchRouting::chain_group) stream each dimension block's rows once
+  /// per group instead of once per query. In the threaded engine this picks
+  /// the group dispatch path; in the simulated engine execution is
+  /// unchanged (per-query accumulation order and tie-breaking are
+  /// preserved, so results are byte-identical on/off) and only the
+  /// bytes-streamed cost accounting switches to group-shared billing.
+  bool shared_scans = true;
+  /// Query-group size cap (chains per group); must match the group_size the
+  /// routing was built with. 1 degenerates to per-query scans.
+  size_t query_group_size = 4;
+  /// Intra-node parallel execution: worker threads per node in the threaded
+  /// engine, and compute lanes per simulated node (SimNode::ChargeComputeAt)
+  /// in the simulator. 1 keeps both engines on their historical serial
+  /// per-node path, bit-for-bit.
+  size_t threads_per_node = 1;
   /// Optional metadata filter: when `labels` is non-null (one int32 per
   /// global vector id), only candidates whose label equals `allowed_label`
   /// are scanned — predicate push-down into the first dimension stage.

@@ -6,7 +6,8 @@
 namespace harmony {
 
 BatchRouting RouteBatch(const IvfIndex& index, const PartitionPlan& plan,
-                        const DatasetView& queries, size_t nprobe) {
+                        const DatasetView& queries, size_t nprobe,
+                        size_t group_size) {
   BatchRouting routing;
   routing.probe_lists.resize(queries.size());
 
@@ -45,6 +46,30 @@ BatchRouting RouteBatch(const IvfIndex& index, const PartitionPlan& plan,
                      }
                      return a.query < b.query;
                    });
+
+  // Query-group assignment: walk the sorted chains once and bucket them by
+  // (probe_rank, shard), opening a new group whenever the shard's current
+  // one is full. Dense group ids in first-appearance order keep downstream
+  // bookkeeping (cost-model billing, group dispatch) index-based.
+  routing.chain_group.assign(routing.chains.size(), 0);
+  const size_t cap = std::max<size_t>(1, group_size);
+  int32_t next_group = 0;
+  std::map<int32_t, std::pair<int32_t, size_t>> open;  // shard -> (id, fill)
+  int32_t open_rank = -1;
+  for (size_t c = 0; c < routing.chains.size(); ++c) {
+    const QueryChain& chain = routing.chains[c];
+    if (chain.probe_rank != open_rank) {
+      open.clear();
+      open_rank = chain.probe_rank;
+    }
+    auto [it, inserted] = open.try_emplace(chain.shard, next_group, size_t{0});
+    if (inserted || it->second.second >= cap) {
+      it->second = {next_group++, 0};
+    }
+    routing.chain_group[c] = it->second.first;
+    ++it->second.second;
+  }
+  routing.num_groups = static_cast<size_t>(next_group);
   return routing;
 }
 

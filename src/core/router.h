@@ -31,12 +31,22 @@ struct BatchRouting {
   std::vector<QueryChain> chains;                 // sorted by (rank, query)
   size_t max_probe_rank = 0;
   int64_t total_candidates = 0;
+  /// Query-group id per chain (dense, in order of first appearance). Chains
+  /// of one group share (probe_rank, shard) — they co-probe the same
+  /// shard's lists at the same pipeline stage, which is what makes their
+  /// block scans shareable. Group size is capped by RouteBatch's
+  /// `group_size`; with group_size <= 1 every chain is its own group.
+  std::vector<int32_t> chain_group;
+  size_t num_groups = 0;
 };
 
 /// \brief Routes every query: probes `nprobe` lists, groups them by vector
-/// shard, and emits chains ordered by (probe_rank, query id).
+/// shard, and emits chains ordered by (probe_rank, query id). `group_size`
+/// caps how many co-probing chains share a query group (shared scans); the
+/// chain order itself never depends on it.
 BatchRouting RouteBatch(const IvfIndex& index, const PartitionPlan& plan,
-                        const DatasetView& queries, size_t nprobe);
+                        const DatasetView& queries, size_t nprobe,
+                        size_t group_size = 1);
 
 }  // namespace harmony
 

@@ -61,6 +61,7 @@ Status IvfIndex::Train(const DatasetView& data) {
   km.num_clusters = params_.nlist;
   km.max_iters = params_.train_iters;
   km.seed = params_.seed;
+  km.num_threads = params_.train_threads;
   // For large nlist, k-means++ seeding dominates training time without
   // improving IVF recall much; fall back to random seeding.
   km.use_kmeanspp = params_.nlist <= 256;

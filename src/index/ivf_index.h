@@ -23,6 +23,9 @@ struct IvfParams {
   uint64_t seed = 42;
   /// Train k-means on at most this many sampled rows (0 = use all).
   size_t max_train_points = 0;
+  /// Threads for k-means training passes (KMeansParams::num_threads);
+  /// training is bit-identical for every value.
+  size_t train_threads = 1;
 };
 
 /// \brief Statistics of one index build, matching the stages the paper

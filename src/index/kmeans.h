@@ -19,6 +19,10 @@ struct KMeansParams {
   /// k-means++ seeding is O(n * k * d); for large k a random-sample seeding
   /// is cheaper and nearly as good for IVF purposes.
   bool use_kmeanspp = true;
+  /// Worker threads for the assignment/scoring passes (1 = serial). The
+  /// point ranges and the partial-sum reduction order are fixed functions of
+  /// n alone, so training is bit-identical for every thread count.
+  size_t num_threads = 1;
 };
 
 /// \brief Output of k-means training.

@@ -73,6 +73,37 @@ void IpBatch(const float* q, const float* rows, size_t count, size_t width,
   }
 }
 
+void L2Group(const float* const* qs, size_t nq, const float* rows,
+             size_t count, size_t width, float* const* accums) {
+  // Row-outer, query-inner: each row is loaded from memory once per query
+  // tile and scored against every query in the group. Per (query, row) the
+  // body is L2Row, the bitwise reference for the whole L2 column.
+  for (size_t q0 = 0; q0 < nq; q0 += kMaxQueryGroup) {
+    const size_t qn = std::min(kMaxQueryGroup, nq - q0);
+    for (size_t r = 0; r < count; ++r) {
+      if (r + 2 < count) PrefetchRow(rows + (r + 2) * width, width);
+      const float* row = rows + r * width;
+      for (size_t g = 0; g < qn; ++g) {
+        accums[q0 + g][r] += L2Row(qs[q0 + g], row, width);
+      }
+    }
+  }
+}
+
+void IpGroup(const float* const* qs, size_t nq, const float* rows,
+             size_t count, size_t width, float* const* accums) {
+  for (size_t q0 = 0; q0 < nq; q0 += kMaxQueryGroup) {
+    const size_t qn = std::min(kMaxQueryGroup, nq - q0);
+    for (size_t r = 0; r < count; ++r) {
+      if (r + 2 < count) PrefetchRow(rows + (r + 2) * width, width);
+      const float* row = rows + r * width;
+      for (size_t g = 0; g < qn; ++g) {
+        accums[q0 + g][r] += IpRow(qs[q0 + g], row, width);
+      }
+    }
+  }
+}
+
 uint32_t PruneMaskL2(const float* partial, size_t count, float tau) {
   uint32_t mask = 0;
   for (size_t i = 0; i < count; ++i) {
@@ -100,15 +131,15 @@ namespace {
 
 constexpr ScanKernelTable kPortableTable = {
     portable::L2Row,       portable::IpRow,       portable::L2Batch,
-    portable::IpBatch,     portable::PruneMaskL2, portable::PruneMaskIp,
-    "portable",
+    portable::IpBatch,     portable::L2Group,     portable::IpGroup,
+    portable::PruneMaskL2, portable::PruneMaskIp, "portable",
 };
 
 #if defined(HARMONY_HAVE_AVX2_TU)
 constexpr ScanKernelTable kAvx2Table = {
     avx2::L2Row,       avx2::IpRow,       avx2::L2Batch,
-    avx2::IpBatch,     avx2::PruneMaskL2, avx2::PruneMaskIp,
-    "avx2",
+    avx2::IpBatch,     avx2::L2Group,     avx2::IpGroup,
+    avx2::PruneMaskL2, avx2::PruneMaskIp, "avx2",
 };
 #endif
 

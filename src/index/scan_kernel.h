@@ -40,6 +40,19 @@ struct ScanKernelTable {
   void (*ip_batch)(const float* q, const float* rows, size_t count,
                    size_t width, float* accum);
 
+  /// Query-group batched partials (shared scans): for each query g in
+  /// [0, nq), `accums[g][i] += partial(qs[g], rows + i * width)` over the
+  /// same `count` contiguous rows. The row block is streamed once per
+  /// kMaxQueryGroup-sized query tile instead of once per query; per
+  /// (query, row) the accumulation order is exactly that of
+  /// `l2_batch`/`ip_batch`, so a group call is bit-identical to nq
+  /// independent batch calls. `nq` may exceed kMaxQueryGroup — kernels tile
+  /// the query axis internally.
+  void (*l2_group)(const float* const* qs, size_t nq, const float* rows,
+                   size_t count, size_t width, float* const* accums);
+  void (*ip_group)(const float* const* qs, size_t nq, const float* rows,
+                   size_t count, size_t width, float* const* accums);
+
   /// Vectorized prune bounds over up to 32 candidates: bit i of the result
   /// is set iff candidate i can be pruned, with decisions identical to the
   /// scalar `CanPrune` (core/pruning.h). L2 prunes when `partial[i] > tau`;
@@ -68,6 +81,10 @@ void L2Batch(const float* q, const float* rows, size_t count, size_t width,
              float* accum);
 void IpBatch(const float* q, const float* rows, size_t count, size_t width,
              float* accum);
+void L2Group(const float* const* qs, size_t nq, const float* rows,
+             size_t count, size_t width, float* const* accums);
+void IpGroup(const float* const* qs, size_t nq, const float* rows,
+             size_t count, size_t width, float* const* accums);
 uint32_t PruneMaskL2(const float* partial, size_t count, float tau);
 uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
                      size_t count, float rem_q_sq, float tau);
@@ -84,6 +101,10 @@ void L2Batch(const float* q, const float* rows, size_t count, size_t width,
              float* accum);
 void IpBatch(const float* q, const float* rows, size_t count, size_t width,
              float* accum);
+void L2Group(const float* const* qs, size_t nq, const float* rows,
+             size_t count, size_t width, float* const* accums);
+void IpGroup(const float* const* qs, size_t nq, const float* rows,
+             size_t count, size_t width, float* const* accums);
 uint32_t PruneMaskL2(const float* partial, size_t count, float tau);
 uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
                      size_t count, float rem_q_sq, float tau);
@@ -91,6 +112,14 @@ uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
 
 /// Maximum candidates covered by one prune-mask call.
 inline constexpr size_t kPruneMaskWidth = 32;
+
+/// Query-tile width of the group kernels: the AVX2 tile holds two partial
+/// accumulators per query (16-wide chunking), so 4 queries consume 8 of the
+/// 16 ymm registers and leave room for the shared row chunks and the
+/// difference temporary. A 4-query x 4-row tile would need 32 accumulators
+/// and spill; the group kernels instead walk rows one at a time and reuse
+/// each row load across the query tile.
+inline constexpr size_t kMaxQueryGroup = 4;
 
 }  // namespace harmony
 

@@ -247,6 +247,169 @@ void IpBatch(const float* q, const float* rows, size_t count, size_t width,
   }
 }
 
+namespace {
+
+/// Query-tiled L2 over one row at a time: the row chunks v0/v1 are loaded
+/// once and scored against NQ queries (two accumulators each — NQ <= 4
+/// keeps 2*NQ + 2 + 1 ymm registers live). Per (query, row) the chunking,
+/// accumulator split, reduction, and scalar tail are exactly the single-row
+/// scheme, so the tile is bit-identical to NQ independent L2Batch calls.
+template <size_t NQ>
+void L2GroupTile(const float* const* qs, const float* rows, size_t count,
+                 size_t width, float* const* accums) {
+  static_assert(NQ >= 2 && NQ <= kMaxQueryGroup);
+  for (size_t r = 0; r < count; ++r) {
+    if (r + 2 < count) PrefetchRow(rows + (r + 2) * width, width);
+    const float* row = rows + r * width;
+    __m256 a0[NQ], a1[NQ];
+    for (size_t g = 0; g < NQ; ++g) {
+      a0[g] = _mm256_setzero_ps();
+      a1[g] = _mm256_setzero_ps();
+    }
+    size_t i = 0;
+    for (; i + 16 <= width; i += 16) {
+      const __m256 v0 = _mm256_loadu_ps(row + i);
+      const __m256 v1 = _mm256_loadu_ps(row + i + 8);
+      for (size_t g = 0; g < NQ; ++g) {
+        __m256 d = _mm256_sub_ps(_mm256_loadu_ps(qs[g] + i), v0);
+        a0[g] = FmaddOrMulAdd(d, d, a0[g]);
+        d = _mm256_sub_ps(_mm256_loadu_ps(qs[g] + i + 8), v1);
+        a1[g] = FmaddOrMulAdd(d, d, a1[g]);
+      }
+    }
+    for (; i + 8 <= width; i += 8) {
+      const __m256 v0 = _mm256_loadu_ps(row + i);
+      for (size_t g = 0; g < NQ; ++g) {
+        const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(qs[g] + i), v0);
+        a0[g] = FmaddOrMulAdd(d, d, a0[g]);
+      }
+    }
+    float t[NQ];
+    if constexpr (NQ == 4) {
+      alignas(16) float s[4];
+      _mm_store_ps(s,
+                   Hsum256x4(_mm256_add_ps(a0[0], a1[0]),
+                             _mm256_add_ps(a0[1], a1[1]),
+                             _mm256_add_ps(a0[2], a1[2]),
+                             _mm256_add_ps(a0[3], a1[3])));
+      for (size_t g = 0; g < NQ; ++g) t[g] = s[g];
+    } else {
+      for (size_t g = 0; g < NQ; ++g) {
+        t[g] = Hsum256(_mm256_add_ps(a0[g], a1[g]));
+      }
+    }
+    for (; i < width; ++i) {
+      const float ri = row[i];
+      for (size_t g = 0; g < NQ; ++g) {
+        const float d = qs[g][i] - ri;
+        t[g] += d * d;
+      }
+    }
+    for (size_t g = 0; g < NQ; ++g) accums[g][r] += t[g];
+  }
+}
+
+template <size_t NQ>
+void IpGroupTile(const float* const* qs, const float* rows, size_t count,
+                 size_t width, float* const* accums) {
+  static_assert(NQ >= 2 && NQ <= kMaxQueryGroup);
+  for (size_t r = 0; r < count; ++r) {
+    if (r + 2 < count) PrefetchRow(rows + (r + 2) * width, width);
+    const float* row = rows + r * width;
+    __m256 a0[NQ], a1[NQ];
+    for (size_t g = 0; g < NQ; ++g) {
+      a0[g] = _mm256_setzero_ps();
+      a1[g] = _mm256_setzero_ps();
+    }
+    size_t i = 0;
+    for (; i + 16 <= width; i += 16) {
+      const __m256 v0 = _mm256_loadu_ps(row + i);
+      const __m256 v1 = _mm256_loadu_ps(row + i + 8);
+      for (size_t g = 0; g < NQ; ++g) {
+        a0[g] = FmaddOrMulAdd(_mm256_loadu_ps(qs[g] + i), v0, a0[g]);
+        a1[g] = FmaddOrMulAdd(_mm256_loadu_ps(qs[g] + i + 8), v1, a1[g]);
+      }
+    }
+    for (; i + 8 <= width; i += 8) {
+      const __m256 v0 = _mm256_loadu_ps(row + i);
+      for (size_t g = 0; g < NQ; ++g) {
+        a0[g] = FmaddOrMulAdd(_mm256_loadu_ps(qs[g] + i), v0, a0[g]);
+      }
+    }
+    float t[NQ];
+    if constexpr (NQ == 4) {
+      alignas(16) float s[4];
+      _mm_store_ps(s,
+                   Hsum256x4(_mm256_add_ps(a0[0], a1[0]),
+                             _mm256_add_ps(a0[1], a1[1]),
+                             _mm256_add_ps(a0[2], a1[2]),
+                             _mm256_add_ps(a0[3], a1[3])));
+      for (size_t g = 0; g < NQ; ++g) t[g] = s[g];
+    } else {
+      for (size_t g = 0; g < NQ; ++g) {
+        t[g] = Hsum256(_mm256_add_ps(a0[g], a1[g]));
+      }
+    }
+    for (; i < width; ++i) {
+      const float ri = row[i];
+      for (size_t g = 0; g < NQ; ++g) t[g] += qs[g][i] * ri;
+    }
+    for (size_t g = 0; g < NQ; ++g) accums[g][r] += t[g];
+  }
+}
+
+}  // namespace
+
+void L2Group(const float* const* qs, size_t nq, const float* rows,
+             size_t count, size_t width, float* const* accums) {
+  if (width < 16) {
+    portable::L2Group(qs, nq, rows, count, width, accums);
+    return;
+  }
+  size_t g = 0;
+  for (; g + kMaxQueryGroup <= nq; g += kMaxQueryGroup) {
+    L2GroupTile<4>(qs + g, rows, count, width, accums + g);
+  }
+  switch (nq - g) {
+    case 1:
+      L2Batch(qs[g], rows, count, width, accums[g]);
+      break;
+    case 2:
+      L2GroupTile<2>(qs + g, rows, count, width, accums + g);
+      break;
+    case 3:
+      L2GroupTile<3>(qs + g, rows, count, width, accums + g);
+      break;
+    default:
+      break;
+  }
+}
+
+void IpGroup(const float* const* qs, size_t nq, const float* rows,
+             size_t count, size_t width, float* const* accums) {
+  if (width < 16) {
+    portable::IpGroup(qs, nq, rows, count, width, accums);
+    return;
+  }
+  size_t g = 0;
+  for (; g + kMaxQueryGroup <= nq; g += kMaxQueryGroup) {
+    IpGroupTile<4>(qs + g, rows, count, width, accums + g);
+  }
+  switch (nq - g) {
+    case 1:
+      IpBatch(qs[g], rows, count, width, accums[g]);
+      break;
+    case 2:
+      IpGroupTile<2>(qs + g, rows, count, width, accums + g);
+      break;
+    case 3:
+      IpGroupTile<3>(qs + g, rows, count, width, accums + g);
+      break;
+    default:
+      break;
+  }
+}
+
 uint32_t PruneMaskL2(const float* partial, size_t count, float tau) {
   uint32_t mask = 0;
   const __m256 vtau = _mm256_set1_ps(tau);

@@ -13,7 +13,8 @@ std::string ClusterBreakdown::ToString() const {
      << " comp=" << compute_seconds * 1e3 << "ms"
      << " comm=" << comm_seconds * 1e3 << "ms"
      << " other=" << other_seconds * 1e3 << "ms"
-     << " msgs=" << total_messages << " bytes=" << total_bytes;
+     << " msgs=" << total_messages << " bytes=" << total_bytes
+     << " streamed=" << total_bytes_streamed;
   return os.str();
 }
 
@@ -55,8 +56,8 @@ void SimCluster::ResetClocks() {
 }
 
 double SimCluster::Makespan() const {
-  double m = client_.clock();
-  for (const SimNode& w : workers_) m = std::max(m, w.clock());
+  double m = client_.done_time();
+  for (const SimNode& w : workers_) m = std::max(m, w.done_time());
   return m;
 }
 
@@ -70,6 +71,7 @@ ClusterBreakdown SimCluster::Breakdown() const {
     b.total_bytes += w.bytes_sent();
     b.total_messages += w.messages_sent();
     b.total_ops += w.ops_executed();
+    b.total_bytes_streamed += w.bytes_streamed();
   }
   b.total_bytes += client_.bytes_sent();
   b.total_messages += client_.messages_sent();

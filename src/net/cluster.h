@@ -1,6 +1,7 @@
 #ifndef HARMONY_NET_CLUSTER_H_
 #define HARMONY_NET_CLUSTER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -43,6 +44,7 @@ class SimNode {
   uint64_t ops_executed() const { return ops_executed_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_streamed() const { return bytes_streamed_; }
 
   /// Straggler factor from the fault plan: every compute charge is scaled
   /// by it. 1.0 (the default) multiplies exactly, so a fault-free run is
@@ -84,9 +86,62 @@ class SimNode {
     ++messages_sent_;
   }
 
+  /// Books `bytes` of local row data streamed from memory by block scans.
+  /// Pure accounting: never touches a clock, so enabling/disabling it (or
+  /// changing how callers bill it) cannot perturb the simulated schedule.
+  void ChargeStreamedBytes(uint64_t bytes) { bytes_streamed_ += bytes; }
+
+  /// Switches the node to `lanes` parallel compute lanes (intra-node worker
+  /// threads, `ExecOptions::threads_per_node`). With lanes <= 1 the node
+  /// stays on the single-clock path and every charge is bit-identical to
+  /// the historical behavior; callers must then use ChargeCompute/WaitUntil,
+  /// not ChargeComputeAt.
+  void ConfigureLanes(size_t lanes) {
+    lanes_.clear();
+    if (lanes > 1) lanes_.assign(lanes, clock_);
+  }
+  bool has_lanes() const { return !lanes_.empty(); }
+
+  /// Lane-scheduled compute: places `ops` on the earliest-free lane, no
+  /// earlier than `ready`, and returns the completion time. `clock_` is left
+  /// alone — with lanes it tracks only serialized work (sends); Makespan and
+  /// next_free() fold the lanes back in.
+  double ChargeComputeAt(double ready, uint64_t ops) {
+    size_t lane = 0;
+    for (size_t i = 1; i < lanes_.size(); ++i) {
+      if (lanes_[i] < lanes_[lane]) lane = i;
+    }
+    const double start = std::max(lanes_[lane], ready);
+    const double secs =
+        static_cast<double>(ops) / machine_.ops_per_sec * slowdown_;
+    lanes_[lane] = start + secs;
+    compute_seconds_ += secs;
+    ops_executed_ += ops;
+    return lanes_[lane];
+  }
+
+  /// Earliest time this node can start new compute: the least-loaded lane,
+  /// or the single clock when lanes are off. What the engine's
+  /// machine-selection heuristics should compare.
+  double next_free() const {
+    if (lanes_.empty()) return clock_;
+    double t = lanes_[0];
+    for (const double lane : lanes_) t = std::min(t, lane);
+    return t;
+  }
+
+  /// Time at which all of this node's charged work (serialized and laned)
+  /// has finished.
+  double done_time() const {
+    double t = clock_;
+    for (const double lane : lanes_) t = std::max(t, lane);
+    return t;
+  }
+
   void Reset() {
     clock_ = compute_seconds_ = comm_seconds_ = idle_seconds_ = 0.0;
-    ops_executed_ = bytes_sent_ = messages_sent_ = 0;
+    ops_executed_ = bytes_sent_ = messages_sent_ = bytes_streamed_ = 0;
+    for (double& lane : lanes_) lane = 0.0;
   }
 
  private:
@@ -100,6 +155,8 @@ class SimNode {
   uint64_t ops_executed_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
+  uint64_t bytes_streamed_ = 0;
+  std::vector<double> lanes_;  ///< Per-lane completion times; empty = 1 lane.
 };
 
 /// \brief Aggregated cluster accounting used by the time-breakdown figures.
@@ -111,6 +168,9 @@ struct ClusterBreakdown {
   uint64_t total_bytes = 0;
   uint64_t total_messages = 0;
   uint64_t total_ops = 0;
+  /// Row bytes streamed from memory by block scans (shared scans bill each
+  /// group-shared tile once; see ExecOptions::shared_scans).
+  uint64_t total_bytes_streamed = 0;
 
   std::string ToString() const;
 };

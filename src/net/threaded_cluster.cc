@@ -1,43 +1,39 @@
 #include "net/threaded_cluster.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/logging.h"
 
 namespace harmony {
 
-ThreadedCluster::ThreadedCluster(size_t num_workers, FaultPlan faults)
-    : faults_(std::move(faults)) {
+ThreadedCluster::ThreadedCluster(size_t num_workers, FaultPlan faults,
+                                 size_t threads_per_node)
+    : faults_(std::move(faults)),
+      threads_per_node_(std::max<size_t>(1, threads_per_node)) {
   HARMONY_CHECK_MSG(num_workers > 0, "cluster needs at least one worker");
   nodes_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
-    nodes_.push_back(std::make_unique<Node>());
-  }
-  for (auto& node : nodes_) {
-    Node* n = node.get();
-    n->thread = std::thread([this, n] { NodeLoop(n); });
+    nodes_.push_back(std::make_unique<ThreadPool>(threads_per_node_));
   }
 }
 
 ThreadedCluster::~ThreadedCluster() {
+  // Wait for in-flight task trees first: a running task may still Post to
+  // any node, and the pools are destroyed in order.
   Barrier();
-  stop_.store(true);
-  for (auto& node : nodes_) {
-    {
-      std::lock_guard<std::mutex> lock(node->mu);
-    }
-    node->cv.notify_all();
-  }
-  for (auto& node : nodes_) node->thread.join();
 }
 
 void ThreadedCluster::Post(size_t node, std::function<void()> task) {
   HARMONY_CHECK(node < nodes_.size());
-  Node* n = nodes_[node].get();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  {
-    std::lock_guard<std::mutex> lock(n->mu);
-    n->mailbox.push_back(std::move(task));
-  }
-  n->cv.notify_one();
+  nodes_[node]->Submit([this, task = std::move(task)] {
+    task();
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(barrier_mu_);
+      barrier_cv_.notify_all();
+    }
+  });
 }
 
 uint32_t ThreadedCluster::PostMessage(size_t node, uint64_t msg_key,
@@ -60,34 +56,6 @@ void ThreadedCluster::Barrier() {
   barrier_cv_.wait(lock, [this] {
     return outstanding_.load(std::memory_order_acquire) == 0;
   });
-}
-
-void ThreadedCluster::NodeLoop(Node* node) {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(node->mu);
-      node->cv.wait(lock, [this, node] {
-        return stop_.load() || !node->mailbox.empty();
-      });
-      if (node->mailbox.empty()) {
-        if (stop_.load()) return;
-        continue;
-      }
-      task = std::move(node->mailbox.front());
-      node->mailbox.pop_front();
-      node->busy = true;
-    }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(node->mu);
-      node->busy = false;
-    }
-    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(barrier_mu_);
-      barrier_cv_.notify_all();
-    }
-  }
 }
 
 }  // namespace harmony

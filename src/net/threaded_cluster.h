@@ -4,37 +4,48 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "net/fault.h"
+#include "util/threadpool.h"
 
 namespace harmony {
 
-/// \brief Real-thread cluster: one dedicated thread per worker node, each
-/// draining a FIFO mailbox of tasks.
+/// \brief Real-thread cluster: one worker pool per node, each draining a
+/// FIFO mailbox of tasks.
 ///
 /// This is the functional twin of SimCluster: the execution engine can run
 /// its per-node work as real concurrent tasks (validating that the
 /// algorithm is correctly parallelizable and race-free) while SimCluster
-/// provides deterministic cost accounting. Per-node FIFO ordering matches
-/// the ordering guarantees an MPI rank would see.
+/// provides deterministic cost accounting.
+///
+/// Ordering: tasks posted to a node *start* in FIFO order. With the default
+/// one thread per node they also run one at a time, matching the ordering
+/// guarantees an MPI rank would see. With `threads_per_node > 1`
+/// (HarmonyOptions::threads_per_node) tasks of one node overlap; per-chain
+/// ordering is then the caller's job — the coordinator preserves it
+/// structurally, posting each chain's next hop only after the current stage
+/// returns (baton passing), so no two stages of one chain are ever in
+/// flight together.
 class ThreadedCluster {
  public:
-  explicit ThreadedCluster(size_t num_workers, FaultPlan faults = FaultPlan());
+  explicit ThreadedCluster(size_t num_workers, FaultPlan faults = FaultPlan(),
+                           size_t threads_per_node = 1);
   ~ThreadedCluster();
 
   ThreadedCluster(const ThreadedCluster&) = delete;
   ThreadedCluster& operator=(const ThreadedCluster&) = delete;
 
   size_t num_workers() const { return nodes_.size(); }
+  size_t threads_per_node() const { return threads_per_node_; }
   const FaultInjector& faults() const { return faults_; }
 
-  /// Enqueues a task on worker `node`'s mailbox. Tasks on the same node run
-  /// in FIFO order on that node's thread.
+  /// Enqueues a task on worker `node`'s mailbox. Tasks on the same node
+  /// start in FIFO order; with one thread per node they also complete in
+  /// FIFO order.
   void Post(size_t node, std::function<void()> task);
 
   /// Fault-injected delivery at the mailbox boundary: consults the fault
@@ -47,23 +58,14 @@ class ThreadedCluster {
   uint32_t PostMessage(size_t node, uint64_t msg_key, uint32_t max_retries,
                        std::function<void()> task);
 
-  /// Blocks until every mailbox is empty and every node is idle.
+  /// Blocks until every mailbox is empty and every node is idle. Tasks may
+  /// Post further tasks (batons); Barrier waits for those too.
   void Barrier();
 
  private:
-  struct Node {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> mailbox;
-    bool busy = false;
-    std::thread thread;
-  };
-
-  void NodeLoop(Node* node);
-
   FaultInjector faults_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::atomic<bool> stop_{false};
+  size_t threads_per_node_ = 1;
+  std::vector<std::unique_ptr<ThreadPool>> nodes_;
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   std::atomic<int64_t> outstanding_{0};

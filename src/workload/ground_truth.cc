@@ -1,17 +1,37 @@
 #include "workload/ground_truth.h"
 
+#include <mutex>
 #include <unordered_set>
+#include <utility>
 
 #include "index/flat_index.h"
+#include "util/threadpool.h"
 
 namespace harmony {
 
 Result<std::vector<std::vector<Neighbor>>> ComputeGroundTruth(
     const DatasetView& base, const DatasetView& queries, size_t k,
-    Metric metric) {
+    Metric metric, size_t num_threads) {
   FlatIndex flat(metric);
   HARMONY_RETURN_NOT_OK(flat.Add(base));
-  return flat.SearchBatch(queries, k);
+  if (num_threads <= 1 || queries.size() <= 1) {
+    return flat.SearchBatch(queries, k);
+  }
+  std::vector<std::vector<Neighbor>> out(queries.size());
+  std::mutex err_mu;
+  Status first_error = Status::OK();
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(queries.size(), [&](size_t q) {
+    Result<std::vector<Neighbor>> r = flat.Search(queries.Row(q), k);
+    if (!r.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = r.status();
+      return;
+    }
+    out[q] = std::move(r.value());
+  });
+  if (!first_error.ok()) return first_error;
+  return out;
 }
 
 double RecallAtK(const std::vector<Neighbor>& result,

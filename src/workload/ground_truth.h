@@ -12,9 +12,11 @@ namespace harmony {
 
 /// \brief Exact top-K neighbors for every query (brute force). Row q of the
 /// result holds the ground truth for query q, ascending by distance.
+/// `num_threads > 1` splits the queries across a ThreadPool; each query's
+/// scan is independent, so the result is identical for every thread count.
 Result<std::vector<std::vector<Neighbor>>> ComputeGroundTruth(
     const DatasetView& base, const DatasetView& queries, size_t k,
-    Metric metric);
+    Metric metric, size_t num_threads = 1);
 
 /// \brief recall@K of one result list against its ground truth: the fraction
 /// of the true top-K ids present in the returned top-K.

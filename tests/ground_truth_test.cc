@@ -56,6 +56,32 @@ TEST(MeanRecallTest, MismatchedSizesIsZero) {
   EXPECT_EQ(MeanRecallAtK({}, gt, 1), 0.0);
 }
 
+TEST(GroundTruthTest, ParallelMatchesSerialExactly) {
+  // num_threads partitions whole queries across the pool; per-query work is
+  // untouched, so the parallel result must equal the serial one exactly
+  // (ids and raw distance bits), for both metrics.
+  const Dataset base = GenerateUniform(400, 8, 21);
+  const Dataset queries = GenerateUniform(37, 8, 22);
+  for (const Metric metric : {Metric::kL2, Metric::kInnerProduct}) {
+    auto serial = ComputeGroundTruth(base.View(), queries.View(), 10, metric);
+    ASSERT_TRUE(serial.ok());
+    for (const size_t threads : {size_t{2}, size_t{5}}) {
+      auto parallel = ComputeGroundTruth(base.View(), queries.View(), 10,
+                                         metric, threads);
+      ASSERT_TRUE(parallel.ok());
+      ASSERT_EQ(parallel.value().size(), serial.value().size());
+      for (size_t q = 0; q < serial.value().size(); ++q) {
+        ASSERT_EQ(parallel.value()[q].size(), serial.value()[q].size());
+        for (size_t i = 0; i < serial.value()[q].size(); ++i) {
+          EXPECT_EQ(parallel.value()[q][i].id, serial.value()[q][i].id);
+          EXPECT_EQ(parallel.value()[q][i].distance,
+                    serial.value()[q][i].distance);
+        }
+      }
+    }
+  }
+}
+
 TEST(GroundTruthTest, InnerProductMetricRespected) {
   Dataset base(2, 2);
   base.MutableRow(0)[0] = 1.0f;

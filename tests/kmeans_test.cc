@@ -103,6 +103,46 @@ TEST(KMeansTest, DeterministicForSeed) {
   EXPECT_EQ(r1.value().inertia, r2.value().inertia);
 }
 
+TEST(KMeansTest, BitIdenticalAcrossThreadCounts) {
+  // KMeansParams::num_threads promises bit-identical training for every
+  // thread count: the assignment ranges and the partial-sum reduction order
+  // are fixed functions of n alone, never of the pool. Centroids are
+  // compared as raw floats (operator== on every coordinate), not approx.
+  const GaussianMixture mix = WellSeparated(700, 12, 5, 9);
+  KMeansParams p;
+  p.num_clusters = 5;
+  p.seed = 123;
+  p.max_iters = 12;
+
+  p.num_threads = 1;
+  auto serial = TrainKMeans(mix.vectors.View(), p);
+  ASSERT_TRUE(serial.ok());
+  for (const size_t threads : {size_t{2}, size_t{4}, size_t{7}}) {
+    p.num_threads = threads;
+    auto parallel = TrainKMeans(mix.vectors.View(), p);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    EXPECT_EQ(parallel.value().assignments, serial.value().assignments)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.value().cluster_sizes, serial.value().cluster_sizes)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.value().inertia, serial.value().inertia)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.value().iterations_run, serial.value().iterations_run)
+        << "threads=" << threads;
+    ASSERT_EQ(parallel.value().centroids.size(),
+              serial.value().centroids.size());
+    const size_t dim = serial.value().centroids.dim();
+    for (size_t c = 0; c < serial.value().centroids.size(); ++c) {
+      const float* a = parallel.value().centroids.Row(c);
+      const float* b = serial.value().centroids.Row(c);
+      for (size_t j = 0; j < dim; ++j) {
+        EXPECT_EQ(a[j], b[j]) << "threads=" << threads << " centroid " << c
+                              << " dim " << j;
+      }
+    }
+  }
+}
+
 TEST(KMeansTest, RandomSeedingAlsoWorks) {
   const GaussianMixture mix = WellSeparated(300, 5, 3, 6);
   KMeansParams p;

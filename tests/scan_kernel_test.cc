@@ -204,6 +204,69 @@ TEST(ScanKernelTest, PruneMasksMatchScalarCanPrune) {
   }
 }
 
+// Group kernels (shared scans): one call over nq queries must equal nq
+// independent batch calls bit-for-bit, for every query count around the
+// kMaxQueryGroup tile boundary and for widths on both sides of the AVX2
+// cutover. This is the identity that lets the engines toggle
+// ExecOptions::shared_scans without perturbing a single result bit.
+void CheckGroupMatchesBatches(bool ip, bool use_portable) {
+  const ScanKernelTable& kt = ScanKernels();
+  auto batch = use_portable ? (ip ? portable::IpBatch : portable::L2Batch)
+                            : (ip ? kt.ip_batch : kt.l2_batch);
+  auto group = use_portable ? (ip ? portable::IpGroup : portable::L2Group)
+                            : (ip ? kt.ip_group : kt.l2_group);
+  const size_t counts[] = {1, 3, 4, 5, 17};
+  for (const size_t w : Widths()) {
+    for (size_t nq = 1; nq <= kMaxQueryGroup + 2; ++nq) {
+      for (const size_t count : counts) {
+        std::vector<std::vector<float>> qs;
+        std::vector<const float*> q_ptrs;
+        for (size_t g = 0; g < nq; ++g) {
+          qs.push_back(RandomVec(w, 1000 * w + 10 * g + (ip ? 1 : 0)));
+          q_ptrs.push_back(qs.back().data());
+        }
+        const auto rows = RandomVec(count * w, 7000 * w + count);
+        // Nonzero starting accumulators: group must add, not assign.
+        std::vector<std::vector<float>> got, expect;
+        for (size_t g = 0; g < nq; ++g) {
+          std::vector<float> init(count);
+          for (size_t i = 0; i < count; ++i) {
+            init[i] = static_cast<float>(g) - static_cast<float>(i) * 0.25f;
+          }
+          got.push_back(init);
+          expect.push_back(init);
+        }
+        std::vector<float*> accum_ptrs;
+        for (size_t g = 0; g < nq; ++g) accum_ptrs.push_back(got[g].data());
+        for (size_t g = 0; g < nq; ++g) {
+          batch(q_ptrs[g], rows.data(), count, w, expect[g].data());
+        }
+        group(q_ptrs.data(), nq, rows.data(), count, w, accum_ptrs.data());
+        for (size_t g = 0; g < nq; ++g) {
+          EXPECT_EQ(std::memcmp(got[g].data(), expect[g].data(),
+                                count * sizeof(float)),
+                    0)
+              << (ip ? "ip" : "l2") << " width " << w << " nq " << nq
+              << " count " << count << " query " << g;
+        }
+      }
+    }
+  }
+}
+
+TEST(ScanKernelTest, L2GroupMatchesPerQueryBatchesBitwise) {
+  CheckGroupMatchesBatches(/*ip=*/false, /*use_portable=*/false);
+}
+
+TEST(ScanKernelTest, IpGroupMatchesPerQueryBatchesBitwise) {
+  CheckGroupMatchesBatches(/*ip=*/true, /*use_portable=*/false);
+}
+
+TEST(ScanKernelTest, PortableGroupMatchesPortableBatches) {
+  CheckGroupMatchesBatches(/*ip=*/false, /*use_portable=*/true);
+  CheckGroupMatchesBatches(/*ip=*/true, /*use_portable=*/true);
+}
+
 // --- ScanBlock: batched two-pass vs the historical reference loop. -------
 
 struct SyntheticBlock {

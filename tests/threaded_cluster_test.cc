@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace harmony {
@@ -64,6 +67,75 @@ TEST(ThreadedClusterTest, ReusableAcrossBarriers) {
     cluster.Barrier();
     EXPECT_EQ(counter.load(), (round + 1) * 10);
   }
+}
+
+TEST(ThreadedClusterTest, MultiThreadNodesRunAllTasks) {
+  ThreadedCluster cluster(3, FaultPlan(), /*threads_per_node=*/4);
+  EXPECT_EQ(cluster.threads_per_node(), 4u);
+  std::atomic<int> counter{0};
+  for (size_t i = 0; i < 120; ++i) {
+    cluster.Post(i % 3, [&counter] { counter.fetch_add(1); });
+  }
+  cluster.Barrier();
+  EXPECT_EQ(counter.load(), 120);
+}
+
+TEST(ThreadedClusterTest, MultiThreadNodeOverlapsTasksOnOneNode) {
+  // Two tasks on the SAME node, each blocking until the other has started:
+  // only completable when the node really runs them concurrently. (With
+  // one thread per node this would deadlock — which is exactly why chains
+  // are baton-passed rather than co-scheduled there.)
+  ThreadedCluster cluster(1, FaultPlan(), /*threads_per_node=*/2);
+  std::atomic<bool> a_started{false}, b_started{false};
+  cluster.Post(0, [&] {
+    a_started.store(true);
+    while (!b_started.load()) std::this_thread::yield();
+  });
+  cluster.Post(0, [&] {
+    b_started.store(true);
+    while (!a_started.load()) std::this_thread::yield();
+  });
+  cluster.Barrier();
+  EXPECT_TRUE(a_started.load());
+  EXPECT_TRUE(b_started.load());
+}
+
+TEST(ThreadedClusterTest, MultiThreadNodePreservesFifoStartOrder) {
+  // Tasks may *finish* out of order with several threads, but the mailbox
+  // must still hand them out FIFO — the coordinator's group dispatch counts
+  // on started-in-post-order for its per-chain structural ordering.
+  ThreadedCluster cluster(1, FaultPlan(), /*threads_per_node=*/4);
+  std::vector<int> starts;
+  std::mutex mu;
+  for (int i = 0; i < 100; ++i) {
+    cluster.Post(0, [&starts, &mu, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      starts.push_back(i);
+    });
+  }
+  cluster.Barrier();
+  ASSERT_EQ(starts.size(), 100u);
+  // The recording lock serializes the very first statement of each task,
+  // so `starts` is exactly the start order.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(starts[i], i);
+}
+
+TEST(ThreadedClusterTest, MultiThreadNodeBatonContinuations) {
+  ThreadedCluster cluster(4, FaultPlan(), /*threads_per_node=*/3);
+  std::atomic<int> hops{0};
+  std::function<void(size_t, int)> hop = [&](size_t node, int depth) {
+    hops.fetch_add(1);
+    if (depth > 0) {
+      cluster.Post((node + 1) % cluster.num_workers(), [&hop, node, depth] {
+        hop((node + 1) % 4, depth - 1);
+      });
+    }
+  };
+  for (int c = 0; c < 8; ++c) {
+    cluster.Post(c % 4, [&hop, c] { hop(c % 4, 10); });
+  }
+  cluster.Barrier();
+  EXPECT_EQ(hops.load(), 8 * 11);
 }
 
 TEST(ThreadedClusterTest, DestructorDrainsCleanly) {

@@ -59,6 +59,27 @@ TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPoolTest, DestructorDrainsQueueIncludingResubmissions) {
+  // The header's destructor contract: every task submitted before
+  // destruction — including tasks submitted BY running tasks while the
+  // destructor waits — executes; nothing is discarded. ThreadedCluster's
+  // baton passing relies on this (a dropped continuation strands a chain).
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&pool, &counter] {
+        counter.fetch_add(1);
+        pool.Submit([&pool, &counter] {
+          counter.fetch_add(1);
+          pool.Submit([&counter] { counter.fetch_add(1); });
+        });
+      });
+    }
+  }  // No Wait(): the destructor alone must drain all three generations.
+  EXPECT_EQ(counter.load(), 16 * 3);
+}
+
 TEST(ThreadPoolTest, ReusableAcrossWaits) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Rebuilds the bench-release preset and refreshes the checked-in BENCH_*.json
+# artifacts. Run from the repository root:
+#
+#   tools/run_benches.sh            # all JSON-emitting benches
+#   tools/run_benches.sh kernels    # just micro_kernels -> BENCH_kernels.json
+#   tools/run_benches.sh throughput # just fig_throughput -> BENCH_throughput.json
+#
+# The JSON files land in the repository root (the benches write to their
+# working directory). HARMONY_SCALE applies as usual.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset bench-release >/dev/null
+cmake --build --preset bench-release -j"$(nproc)" \
+  --target micro_kernels fig_throughput
+
+what="${1:-all}"
+
+if [[ "$what" == "all" || "$what" == "kernels" ]]; then
+  ./build-bench/bench/micro_kernels --benchmark_min_warmup_time=0.1
+fi
+if [[ "$what" == "all" || "$what" == "throughput" ]]; then
+  ./build-bench/bench/fig_throughput
+fi
