@@ -6,9 +6,9 @@
 // compute lanes (SimNode::ChargeComputeAt), so the reported speedup is the
 // cost model's — independent of how many cores the host running this binary
 // happens to have (recorded as host_hardware_threads for honesty).
-// Bytes-streamed comes from the same owner-rule accounting both engines
-// share: with shared scans a row tile read for a whole query group is
-// billed once instead of once per query.
+// Bytes-streamed comes from the union-of-group-rows accounting both
+// engines share: with shared scans a row streamed for a whole query group
+// is billed once for the group instead of once per surviving query.
 //
 // Emits BENCH_throughput.json (tools/run_benches.sh refreshes it).
 

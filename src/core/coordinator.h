@@ -26,10 +26,14 @@ struct ThreadedOutput {
   std::vector<uint8_t> degraded;
   FaultStats faults;
   /// Row bytes streamed from the stores across all dimension stages. With
-  /// ExecOptions::shared_scans each query-group tile is counted once (the
-  /// rows really are loaded once for the whole group); without, every chain
-  /// bills its own survivors — the same accounting the simulated engine
-  /// reports via ClusterBreakdown::total_bytes_streamed.
+  /// ExecOptions::shared_scans the merge-walk streams each group-row tile
+  /// once, so a group bills the union of its members' surviving rows per
+  /// block; without, every chain bills its own survivors. The simulated
+  /// engine (ClusterBreakdown::total_bytes_streamed) models the same
+  /// union-of-group-rows rule, keyed by actual list rows; totals agree when
+  /// per-member survivor sets per block agree (they do on healthy batched
+  /// runs — the parity tests pin results and prune counters), and can drift
+  /// slightly under fault-degraded or reference-kernel runs.
   uint64_t bytes_streamed = 0;
 };
 

@@ -5,7 +5,7 @@
 #include <deque>
 #include <numeric>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "core/block_scan.h"
 #include "util/logging.h"
@@ -124,12 +124,14 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
   }
 
   // Shared-scan byte accounting (never touches a clock): with grouping on,
-  // the first batch to scan a (query group, dim block, IVF list, batch
-  // ordinal) unit owns it and bills the rows it touched; co-probing
-  // followers ride the same stream and bill zero. This bills at most what
-  // the per-query path bills (the owner's rows are a subset of the total),
-  // so grouped runs always report fewer-or-equal streamed bytes.
-  std::unordered_set<uint64_t> streamed_keys;
+  // each (query group, dim block, IVF list, 64-row span) entry holds a
+  // bitmask of list rows the group has already billed; a survivor bills its
+  // row only if no co-probing member billed it first. The group total is
+  // therefore the *union* of member rows — the quantity the threaded
+  // engine's ScanBlockGroup merge-walk streams once for the whole group —
+  // and, row for row, at most what the per-query path bills, so grouped
+  // runs always report fewer-or-equal streamed bytes.
+  std::unordered_map<uint64_t, uint64_t> streamed_rows;
 
   std::vector<QueryState> states;
   states.reserve(num_queries);
@@ -682,10 +684,13 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       }
 
       // Streamed-bytes accounting (counters only — scheduling above never
-      // reads it). Each survivor streamed its row; with shared scans, runs
-      // whose (group, block, list, batch) unit a co-probing chain already
-      // streamed bill zero. Keys are packed lossily (masked fields); a
-      // collision only under-bills, deterministically.
+      // reads it). Each survivor streamed its row; with shared scans a row
+      // a co-probing chain of the same group already billed bills zero, so
+      // the group total is the union of member rows. Keys use the actual
+      // list-row index (run.row), not the post-compaction batch position,
+      // so co-probing members agree on units regardless of how differently
+      // their candidate arrays compacted. Keys are packed lossily (masked
+      // fields); a collision only under-bills, deterministically.
       {
         uint64_t scan_bytes = 0;
         const uint64_t row_bytes = range.width() * sizeof(float);
@@ -694,24 +699,20 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
               static_cast<size_t>(run.chain - routing.chains.data());
           const uint64_t g =
               static_cast<uint64_t>(routing.chain_group[chain_idx]) & 0xFFFFFF;
-          const uint64_t ordinal =
-              std::min<uint64_t>(task.begin / batch_size, 0x3FFF);
-          size_t j = task.begin;
-          while (j < task.begin + w) {
-            const int32_t li = run.list[j];
-            size_t run_n = 1;
-            while (j + run_n < task.begin + w && run.list[j + run_n] == li) {
-              ++run_n;
-            }
+          for (size_t j = task.begin; j < task.begin + w; ++j) {
+            const uint64_t row = static_cast<uint64_t>(run.row[j]);
             const uint64_t gl =
-                static_cast<uint64_t>(chain.lists[static_cast<size_t>(li)]) &
+                static_cast<uint64_t>(
+                    chain.lists[static_cast<size_t>(run.list[j])]) &
                 0xFFFFF;
-            const uint64_t key =
-                (g << 40) | (uint64_t{d} << 34) | (gl << 14) | ordinal;
-            if (streamed_keys.insert(key).second) {
-              scan_bytes += static_cast<uint64_t>(run_n) * row_bytes;
+            const uint64_t key = (g << 40) | (uint64_t{d} << 34) | (gl << 14) |
+                                 ((row / 64) & 0x3FFF);
+            uint64_t& mask = streamed_rows[key];
+            const uint64_t bit = uint64_t{1} << (row % 64);
+            if ((mask & bit) == 0) {
+              mask |= bit;
+              scan_bytes += row_bytes;
             }
-            j += run_n;
           }
         } else {
           scan_bytes = static_cast<uint64_t>(w) * row_bytes;

@@ -20,8 +20,14 @@ ThreadedCluster::ThreadedCluster(size_t num_workers, FaultPlan faults,
 
 ThreadedCluster::~ThreadedCluster() {
   // Wait for in-flight task trees first: a running task may still Post to
-  // any node, and the pools are destroyed in order.
+  // any node. Then join the pools explicitly, *before* member destruction:
+  // Barrier() returns as soon as outstanding_ hits zero, which the last
+  // Post wrapper reaches before its lock(barrier_mu_)/notify_all tail, and
+  // barrier_mu_/barrier_cv_/outstanding_ (declared after nodes_) would be
+  // destroyed first — joining here keeps every worker out of those
+  // primitives while they die.
   Barrier();
+  nodes_.clear();
 }
 
 void ThreadedCluster::Post(size_t node, std::function<void()> task) {

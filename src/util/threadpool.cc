@@ -6,6 +6,14 @@
 
 namespace harmony {
 
+namespace {
+// True on pool worker threads. Lets the Submit assert distinguish the
+// documented drain-time path — a running task submitting a continuation
+// while the destructor waits, which WorkerLoop still executes — from a
+// stray external Submit after destruction began (a lifetime bug).
+thread_local bool t_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   threads_.reserve(num_threads);
@@ -26,7 +34,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(!stop_);
+    assert(!stop_ || t_pool_worker);
     tasks_.push_back(std::move(task));
   }
   task_cv_.notify_one();
@@ -56,6 +64,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

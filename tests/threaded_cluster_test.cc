@@ -149,5 +149,23 @@ TEST(ThreadedClusterTest, DestructorDrainsCleanly) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(ThreadedClusterTest, TeardownDoesNotRaceBarrierPrimitives) {
+  // Regression: Barrier() can return while the last Post wrapper is still
+  // inside its lock/notify tail, so the destructor must join the node
+  // pools BEFORE barrier_mu_/barrier_cv_/outstanding_ are destroyed (they
+  // are declared after nodes_ and die first). Destroying immediately after
+  // posting keeps that window open; tsan flags the old use-after-free.
+  for (int iter = 0; iter < 200; ++iter) {
+    std::atomic<int> counter{0};
+    {
+      ThreadedCluster cluster(2, FaultPlan(), /*threads_per_node=*/2);
+      for (int i = 0; i < 8; ++i) {
+        cluster.Post(i % 2, [&counter] { counter.fetch_add(1); });
+      }
+    }  // Immediate destruction, no explicit Barrier().
+    EXPECT_EQ(counter.load(), 8);
+  }
+}
+
 }  // namespace
 }  // namespace harmony
