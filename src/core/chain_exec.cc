@@ -1,0 +1,451 @@
+#include "core/chain_exec.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace harmony {
+
+ChainLossSchedule ComputeChainLossSchedule(const FaultInjector& faults,
+                                           const PartitionPlan& plan,
+                                           const QueryChain& chain,
+                                           size_t b_dim,
+                                           uint32_t max_retries) {
+  // Drop coins and start-dead machines are pure functions of the plan, so
+  // the whole loss schedule of a chain is known at dispatch — and both
+  // engines, hitting the same keys, derive the same schedule.
+  ChainLossSchedule loss;
+  loss.attempts.assign(b_dim + 1, 1);
+  for (size_t d = 0; d <= b_dim; ++d) {
+    loss.attempts[d] = faults.DeliveryAttempts(
+        ChainHopKey(chain.query, chain.shard, d), max_retries);
+    if (d == b_dim) {
+      loss.result_hop_lost = loss.attempts[d] == 0;
+      continue;
+    }
+    // A block is statically lost when its delivery coins all came up
+    // dropped, or its machine is dead from the start — the latter is
+    // decided here (not via run-time detection) so both engines agree on
+    // the degraded set.
+    if (loss.attempts[d] == 0 ||
+        faults.CrashedFromStart(
+            static_cast<size_t>(plan.MachineOf(chain.shard, d)))) {
+      loss.lost_mask |= uint64_t{1} << d;
+    }
+  }
+  return loss;
+}
+
+void FaultLedger::BookStaticChainLoss(const ChainLossSchedule& loss,
+                                      int32_t query, uint32_t max_retries) {
+  if (loss.lost_mask == 0) return;
+  const auto n_lost = static_cast<uint64_t>(std::popcount(loss.lost_mask));
+  blocks_lost_.fetch_add(n_lost, std::memory_order_relaxed);
+  messages_dropped_.fetch_add(n_lost * (max_retries + 1),
+                              std::memory_order_relaxed);
+  backend_->TagDegraded(query);
+}
+
+FaultStats FaultLedger::Snapshot() const {
+  FaultStats stats;
+  stats.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.blocks_lost = blocks_lost_.load(std::memory_order_relaxed);
+  stats.shards_lost = shards_lost_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+double RetryPenaltySeconds(const NetworkModel& net, FaultLedger* ledger,
+                           uint64_t bytes, uint32_t attempts) {
+  double penalty = 0.0;
+  for (uint32_t a = 0; a + 1 < attempts; ++a) {
+    penalty += net.RetryBackoffSeconds(bytes, a);
+  }
+  ledger->BookDelivery(attempts);
+  return penalty;
+}
+
+std::vector<size_t> BuildStaticBlockOrder(size_t b_dim, size_t chain_index,
+                                          bool enable_pipeline) {
+  std::vector<size_t> order(b_dim);
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (enable_pipeline && b_dim > 1) {
+    std::rotate(order.begin(), order.begin() + (chain_index % b_dim),
+                order.end());
+  }
+  return order;
+}
+
+size_t InitialStartBlock(bool enable_pipeline, uint64_t stagger_seq,
+                         size_t b_dim, uint64_t usable_blocks) {
+  size_t start = enable_pipeline ? stagger_seq % b_dim : 0;
+  while ((usable_blocks & (uint64_t{1} << start)) == 0) {
+    start = (start + 1) % b_dim;
+  }
+  return start;
+}
+
+size_t NextCyclicBlock(size_t start_block, size_t processed, size_t b_dim,
+                       uint64_t remaining) {
+  for (size_t step = 0; step < b_dim; ++step) {
+    const size_t cand = (start_block + processed + step) % b_dim;
+    if ((remaining & (uint64_t{1} << cand)) != 0) return cand;
+  }
+  return b_dim;
+}
+
+size_t ChooseLoadAwareBlock(
+    const PartitionPlan& plan, size_t shard, size_t b_dim, uint64_t remaining,
+    bool faulty, const uint8_t* machine_dead,
+    const std::function<double(size_t)>& machine_load) {
+  if (faulty) {
+    // Route around machines whose crash has been observed, unless that
+    // would leave nothing (the caller then detects the loss and degrades
+    // the chain).
+    uint64_t alive = remaining;
+    for (size_t cand = 0; cand < b_dim; ++cand) {
+      if ((remaining & (uint64_t{1} << cand)) == 0) continue;
+      if (machine_dead[static_cast<size_t>(plan.MachineOf(shard, cand))]) {
+        alive &= ~(uint64_t{1} << cand);
+      }
+    }
+    if (alive != 0) remaining = alive;
+  }
+  double min_load = -1.0;
+  for (size_t cand = 0; cand < b_dim; ++cand) {
+    if ((remaining & (uint64_t{1} << cand)) == 0) continue;
+    const double load =
+        machine_load(static_cast<size_t>(plan.MachineOf(shard, cand)));
+    if (min_load < 0.0 || load < min_load) min_load = load;
+  }
+  const double slack = 0.10 * min_load + 1e-5;
+  size_t best = b_dim;
+  double best_energy = -1.0;
+  for (size_t cand = 0; cand < b_dim; ++cand) {
+    if ((remaining & (uint64_t{1} << cand)) == 0) continue;
+    const double load =
+        machine_load(static_cast<size_t>(plan.MachineOf(shard, cand)));
+    if (load > min_load + slack) continue;  // Overloaded: defer.
+    const double energy =
+        cand < plan.block_energy.size() ? plan.block_energy[cand] : 0.0;
+    if (best == b_dim || energy > best_energy) {
+      best = cand;
+      best_energy = energy;
+    }
+  }
+  return best;
+}
+
+BlockScanParams MakeStageScanParams(const ExecContext& ctx,
+                                    ExecBackend* backend,
+                                    const QueryChain& chain,
+                                    const ChainCandidates& cand, size_t d,
+                                    size_t processed, float rem_q_sq) {
+  const DimRange range = ctx.plan->dim_ranges[d];
+  float tau;
+  bool heap_full;
+  backend->ReadThreshold(chain.query, &tau, &heap_full);
+
+  BlockScanParams scan;
+  scan.metric = ctx.opts->metric;
+  scan.use_norms = ctx.use_norms;
+  // The first scanned stage has no partials yet, so pruning would compare
+  // a zero accumulator against τ; gate on prior stages having run.
+  scan.prune = ctx.opts->enable_pruning && processed > 0 && heap_full;
+  scan.tau = tau;
+  scan.rem_q_sq = rem_q_sq;
+  scan.q_slice =
+      ctx.queries->Row(static_cast<size_t>(chain.query)) + range.begin;
+  scan.width = range.width();
+  scan.slices = cand.slices.data() + d * chain.lists.size();
+  scan.use_batched = ctx.opts->use_batched_kernels;
+  return scan;
+}
+
+SharedScanBiller::SharedScanBiller(const ExecContext& ctx)
+    : ctx_(ctx),
+      grouped_(ctx.opts->shared_scans && ctx.routing->num_groups > 0) {}
+
+uint64_t SharedScanBiller::StageBytes(size_t chain_index,
+                                      const QueryChain& chain,
+                                      const ChainCandidates& cand, size_t d,
+                                      size_t begin, size_t survivors,
+                                      uint64_t row_bytes) {
+  if (!grouped_) return static_cast<uint64_t>(survivors) * row_bytes;
+  uint64_t scan_bytes = 0;
+  const uint64_t g =
+      static_cast<uint64_t>(ctx_.routing->chain_group[chain_index]) & 0xFFFFFF;
+  for (size_t j = begin; j < begin + survivors; ++j) {
+    const uint64_t row = static_cast<uint64_t>(cand.row[j]);
+    const uint64_t gl =
+        static_cast<uint64_t>(
+            chain.lists[static_cast<size_t>(cand.list[j])]) &
+        0xFFFFF;
+    const uint64_t key =
+        (g << 40) | (uint64_t{d} << 34) | (gl << 14) | ((row / 64) & 0x3FFF);
+    uint64_t& mask = streamed_rows_[key];
+    const uint64_t bit = uint64_t{1} << (row % 64);
+    if ((mask & bit) == 0) {
+      mask |= bit;
+      scan_bytes += row_bytes;
+    }
+  }
+  return scan_bytes;
+}
+
+std::shared_ptr<ChainExecState> ChainExecutor::PrepareChain(
+    const QueryChain& chain) const {
+  auto task = std::make_shared<ChainExecState>();
+  task->chain = &chain;
+  BuildChainSliceTable(ctx_, chain, &task->cand);
+  const auto* prewarmed =
+      backend_->PrewarmedIds(static_cast<size_t>(chain.query));
+  BuildChainCandidateArrays(ctx_, chain, *prewarmed, &task->cand);
+  if (task->cand.id.empty()) return nullptr;
+  if (ctx_.use_norms) {
+    ComputeQueryBlockNorms(ctx_, chain, &task->cand);
+    task->rem_q_sq = task->cand.rem_q_total;
+  }
+  return task;
+}
+
+bool ChainExecutor::ApplyGroupMemberLoss(ChainExecState* task) const {
+  if (!ctx_.faulty) return false;
+  const QueryChain& chain = *task->chain;
+  const ChainLossSchedule loss = ComputeChainLossSchedule(
+      *ctx_.faults, *ctx_.plan, chain, ctx_.b_dim, ctx_.max_retries);
+  ledger_->BookStaticChainLoss(loss, chain.query, ctx_.max_retries);
+  if (static_cast<size_t>(std::popcount(loss.lost_mask)) == ctx_.b_dim ||
+      loss.result_hop_lost) {
+    // The whole shard is unreachable for this query (every block lost, or
+    // the result hop can never be delivered): the query completes from its
+    // other chains.
+    if (loss.result_hop_lost) ledger_->BookLostMessage(ctx_.max_retries);
+    ledger_->BookShardLost(chain.query);
+    return true;
+  }
+  task->lost_mask = loss.lost_mask;
+  return false;
+}
+
+bool ChainExecutor::BuildSoloOrder(ChainExecState* task,
+                                   size_t chain_index) const {
+  const QueryChain& chain = *task->chain;
+  task->order = BuildStaticBlockOrder(ctx_.b_dim, chain_index,
+                                      ctx_.opts->enable_pipeline);
+  if (!ctx_.faulty) return false;
+  const ChainLossSchedule loss = ComputeChainLossSchedule(
+      *ctx_.faults, *ctx_.plan, chain, ctx_.b_dim, ctx_.max_retries);
+  // Strip statically lost blocks, preserving the rotation order of the
+  // survivors.
+  size_t kept = 0;
+  for (const size_t d : task->order) {
+    if ((loss.lost_mask >> d) & 1) continue;
+    task->order[kept++] = d;
+  }
+  task->order.resize(kept);
+  ledger_->BookStaticChainLoss(loss, chain.query, ctx_.max_retries);
+  if (task->order.empty() || loss.result_hop_lost) {
+    if (loss.result_hop_lost) ledger_->BookLostMessage(ctx_.max_retries);
+    ledger_->BookShardLost(chain.query);
+    return true;
+  }
+  return false;
+}
+
+std::vector<size_t> ChainExecutor::MakeGroupOrder(
+    size_t anchor_chain_index) const {
+  return BuildStaticBlockOrder(ctx_.b_dim, anchor_chain_index,
+                               ctx_.opts->enable_pipeline);
+}
+
+bool ChainExecutor::PostGroupStageFrom(std::shared_ptr<GroupExecState> group,
+                                       size_t from) {
+  const PartitionPlan& plan = *ctx_.plan;
+  for (size_t next = from; next < group->order.size(); ++next) {
+    const size_t nd = group->order[next];
+    bool wanted = false;
+    for (const auto& m : group->members) {
+      if (!m->cand.id.empty() && ((m->lost_mask >> nd) & 1) == 0) {
+        wanted = true;
+        break;
+      }
+    }
+    if (!wanted) continue;
+    group->pos = next;
+    const size_t machine = static_cast<size_t>(
+        plan.MachineOf(static_cast<size_t>(group->shard), nd));
+    backend_->PostStage(machine, [this, group = std::move(group)]() mutable {
+      RunGroupStage(std::move(group));
+    });
+    return true;
+  }
+  return false;
+}
+
+void ChainExecutor::PostFirstSoloHop(
+    const std::shared_ptr<ChainExecState>& task) {
+  const QueryChain& chain = *task->chain;
+  const size_t d0 = task->order[0];
+  const size_t machine = static_cast<size_t>(
+      ctx_.plan->MachineOf(static_cast<size_t>(chain.shard), d0));
+  const uint32_t attempts = backend_->PostHop(
+      machine, ChainHopKey(chain.query, chain.shard, d0), ctx_.max_retries,
+      [this, task]() mutable { RunSoloStage(std::move(task)); });
+  // The first hop survives by construction (lost blocks were stripped by
+  // BuildSoloOrder); book its retries.
+  HARMONY_CHECK_MSG(attempts > 0, "statically delivered hop was lost");
+  ledger_->BookDelivery(attempts);
+}
+
+void ChainExecutor::RunGroupStage(std::shared_ptr<GroupExecState> group) {
+  const PartitionPlan& plan = *ctx_.plan;
+  const size_t d = group->order[group->pos];
+  const DimRange range = plan.dim_ranges[d];
+
+  GroupScanParams params;
+  params.metric = ctx_.opts->metric;
+  params.use_norms = ctx_.use_norms;
+  params.width = range.width();
+  params.use_batched = ctx_.opts->use_batched_kernels;
+
+  std::vector<GroupMemberScan> scans;
+  std::vector<ChainExecState*> active;
+  scans.reserve(group->members.size());
+  active.reserve(group->members.size());
+  for (const auto& member : group->members) {
+    if (member->cand.id.empty()) continue;
+    if ((member->lost_mask >> d) & 1) continue;
+    const QueryChain& chain = *member->chain;
+    if (ctx_.faulty) {
+      // Members ride one shared baton, but each member's hop keeps its own
+      // (statically decided) retry bill so fault totals match the unshared
+      // dispatch, where every chain posts this hop itself.
+      ledger_->BookDelivery(ctx_.faults->DeliveryAttempts(
+          ChainHopKey(chain.query, chain.shard, d), ctx_.max_retries));
+    }
+    float tau;
+    bool heap_full;
+    backend_->ReadThreshold(chain.query, &tau, &heap_full);
+    GroupMemberScan ms;
+    ms.id = member->cand.id.data();
+    ms.list = member->cand.list.data();
+    ms.row = member->cand.row.data();
+    ms.partial = member->cand.partial.data();
+    ms.rem_p_sq = ctx_.use_norms ? member->cand.rem_p_sq.data() : nullptr;
+    ms.count = member->cand.id.size();
+    ms.slices = member->cand.slices.data() + d * chain.lists.size();
+    ms.global_lists = chain.lists.data();
+    ms.q_slice =
+        ctx_.queries->Row(static_cast<size_t>(chain.query)) + range.begin;
+    ms.prune =
+        ctx_.opts->enable_pruning && member->processed > 0 && heap_full;
+    ms.tau = tau;
+    ms.rem_q_sq = member->rem_q_sq;
+    scans.push_back(ms);
+    active.push_back(member.get());
+  }
+
+  if (!scans.empty()) {
+    const size_t machine = static_cast<size_t>(
+        plan.MachineOf(static_cast<size_t>(group->shard), d));
+    backend_->ChargeStreamedBytes(
+        machine, ScanBlockGroup(params, scans.data(), scans.size()));
+    for (size_t i = 0; i < active.size(); ++i) {
+      ChainExecState* m = active[i];
+      const size_t w = scans[i].survivors;
+      m->cand.id.resize(w);
+      m->cand.list.resize(w);
+      m->cand.row.resize(w);
+      m->cand.partial.resize(w);
+      if (ctx_.use_norms) {
+        m->cand.rem_p_sq.resize(w);
+        m->rem_q_sq -= m->cand.q_block_norm[d];
+      }
+      ++m->processed;
+    }
+  }
+
+  const size_t next_from = group->pos + 1;
+  if (!PostGroupStageFrom(group, next_from)) {
+    FinishGroup(group);
+  }
+}
+
+void ChainExecutor::RunSoloStage(std::shared_ptr<ChainExecState> task) {
+  const PartitionPlan& plan = *ctx_.plan;
+  const QueryChain& chain = *task->chain;
+  const size_t shard = static_cast<size_t>(chain.shard);
+  const size_t p = task->pos;
+  const size_t d = task->order[p];
+  const DimRange range = plan.dim_ranges[d];
+
+  const BlockScanParams scan =
+      MakeStageScanParams(ctx_, backend_, chain, task->cand, d, p,
+                          task->rem_q_sq);
+  BlockScanCounters counters;
+  ChainCandidates& cand = task->cand;
+  const size_t w = ScanBlock(
+      scan, 0, cand.id.size(), cand.id.data(), cand.list.data(),
+      cand.row.data(), cand.partial.data(),
+      ctx_.use_norms ? cand.rem_p_sq.data() : nullptr, &counters);
+  cand.id.resize(w);
+  cand.list.resize(w);
+  cand.row.resize(w);
+  cand.partial.resize(w);
+  if (ctx_.use_norms) {
+    cand.rem_p_sq.resize(w);
+    task->rem_q_sq -= cand.q_block_norm[d];
+  }
+  // Unshared scans stream every survivor's row for this chain alone.
+  backend_->ChargeStreamedBytes(
+      static_cast<size_t>(plan.MachineOf(shard, d)),
+      static_cast<uint64_t>(w) * range.width() * sizeof(float));
+
+  // Hand the baton to the next surviving block. Statically lost blocks were
+  // already removed from `order` at dispatch, so the hop below normally
+  // succeeds; the loop is the defensive failover for a hop lost anyway
+  // (e.g. a plan whose crash schedule changed mid-run), which skips the
+  // block and degrades the chain instead of dropping the baton.
+  size_t next = p + 1;
+  while (next < task->order.size() && w > 0) {
+    const size_t nd = task->order[next];
+    const size_t next_machine = static_cast<size_t>(plan.MachineOf(shard, nd));
+    task->pos = next;
+    const uint32_t attempts = backend_->PostHop(
+        next_machine, ChainHopKey(chain.query, chain.shard, nd),
+        ctx_.max_retries,
+        [this, task]() mutable { RunSoloStage(std::move(task)); });
+    if (attempts > 0) {
+      ledger_->BookDelivery(attempts);
+      return;
+    }
+    ledger_->BookDynamicHopLoss(chain.query, ctx_.max_retries);
+    ++next;
+  }
+  FinishChain(task);
+}
+
+void ChainExecutor::MergeChainResults(const ChainExecState& task) {
+  const ChainCandidates& cand = task.cand;
+  backend_->WithQueryHeap(task.chain->query, [&](TopKHeap& heap) {
+    for (size_t i = 0; i < cand.id.size(); ++i) {
+      const float dist = ctx_.use_ip ? -cand.partial[i] : cand.partial[i];
+      heap.Push(cand.id[i], dist);
+    }
+  });
+}
+
+void ChainExecutor::FinishChain(const std::shared_ptr<ChainExecState>& task) {
+  MergeChainResults(*task);
+  on_done_();
+}
+
+void ChainExecutor::FinishGroup(const std::shared_ptr<GroupExecState>& group) {
+  for (const auto& member : group->members) MergeChainResults(*member);
+  on_done_();  // the done count is per group baton in group mode
+}
+
+}  // namespace harmony

@@ -1,0 +1,310 @@
+#ifndef HARMONY_CORE_CHAIN_EXEC_H_
+#define HARMONY_CORE_CHAIN_EXEC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/block_scan.h"
+#include "core/exec_plan.h"
+#include "core/stats.h"
+#include "net/network_model.h"
+#include "util/topk.h"
+
+namespace harmony {
+
+/// \brief What the shared chain/group lifecycle needs from an execution
+/// substrate. Two implementations: the SimCluster virtual-clock backend
+/// (core/pipeline.cc) and the ThreadedCluster thread-pool backend
+/// (core/coordinator.cc).
+///
+/// The threaded backend is push-driven: the lifecycle posts each stage
+/// continuation into the owning node's mailbox (PostStage / PostHop). The
+/// simulated backend is pull-driven — its discrete-event scheduler orders
+/// stages by virtual time, so stage continuations carry explicit readiness
+/// instead of posts; its PostStage/PostHop therefore execute the stage
+/// inline on the caller (the only time-free reading of "post" a
+/// virtual-clock substrate has).
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+
+  /// Reads `query`'s current pruning threshold τ and heap fullness under
+  /// the backend's synchronization (a mutex on the threaded cluster, direct
+  /// access on the single-threaded simulator).
+  virtual void ReadThreshold(int32_t query, float* tau, bool* heap_full) = 0;
+  /// The ids prewarm already scored for `query` (candidate builds skip
+  /// them). Stable for the whole batch: prewarm runs before any dispatch.
+  virtual const std::unordered_set<int64_t>* PrewarmedIds(size_t query) = 0;
+  /// Runs `fn` with exclusive access to `query`'s result heap (merges).
+  virtual void WithQueryHeap(int32_t query,
+                             const std::function<void(TopKHeap&)>& fn) = 0;
+  /// Marks `query` degraded: its results were computed from an incomplete
+  /// pipeline. Called by the FaultLedger, never by engine glue.
+  virtual void TagDegraded(int32_t query) = 0;
+  /// Bills `bytes` of row data streamed from memory by a scan on `machine`.
+  virtual void ChargeStreamedBytes(size_t machine, uint64_t bytes) = 0;
+  /// Schedules a stage continuation on `machine`.
+  virtual void PostStage(size_t machine, std::function<void()> stage) = 0;
+  /// Fault-checked delivery of a chain hop onto `machine`: consults the
+  /// fault plan via `msg_key` and returns the attempts used (1 = delivered
+  /// first try, up to max_retries+1), or 0 when the message is permanently
+  /// lost — `stage` is then discarded and the caller owns the failover.
+  virtual uint32_t PostHop(size_t machine, uint64_t msg_key,
+                           uint32_t max_retries,
+                           std::function<void()> stage) = 0;
+};
+
+/// \brief The static loss schedule of one chain: a pure function of the
+/// fault plan (drop coins keyed by ChainHopKey, start-dead machines), so
+/// both engines derive the identical schedule regardless of event or thread
+/// ordering.
+struct ChainLossSchedule {
+  /// Delivery attempts per hop key (index b_dim = final result hop);
+  /// 0 = permanently lost past the retry budget.
+  std::vector<uint32_t> attempts;
+  uint64_t lost_mask = 0;  ///< Dimension blocks lost for this chain.
+  bool result_hop_lost = false;
+};
+
+ChainLossSchedule ComputeChainLossSchedule(const FaultInjector& faults,
+                                           const PartitionPlan& plan,
+                                           const QueryChain& chain,
+                                           size_t b_dim, uint32_t max_retries);
+
+/// \brief Single home of FaultStats accounting and degraded tagging: every
+/// retry booking, lost-message charge, block/shard loss and degraded flag
+/// in both engines flows through these methods (the grep-able invariant
+/// that fault semantics cannot drift between engines). Thread-safe; the
+/// simulator uses it single-threaded with identical arithmetic.
+class FaultLedger {
+ public:
+  explicit FaultLedger(ExecBackend* backend) : backend_(backend) {}
+
+  /// Books the resends of a delivered message (attempts > 1).
+  void BookDelivery(uint32_t attempts) {
+    if (attempts > 1) {
+      retries_.fetch_add(attempts - 1, std::memory_order_relaxed);
+      messages_dropped_.fetch_add(attempts - 1, std::memory_order_relaxed);
+    }
+  }
+  /// Books a message whose every attempt died in flight.
+  void BookLostMessage(uint32_t max_retries) {
+    messages_dropped_.fetch_add(max_retries + 1, std::memory_order_relaxed);
+  }
+  /// Books a chain's statically lost blocks once at dispatch: each lost
+  /// block burned its full retry budget, and the query degrades. No-op when
+  /// nothing was lost; callers guard on the chain having candidates.
+  void BookStaticChainLoss(const ChainLossSchedule& loss, int32_t query,
+                           uint32_t max_retries);
+  /// Books a block loss observed mid-run (a baton ran into a crashed
+  /// machine): counted once per (chain, block), degrading the query only
+  /// when it had candidates.
+  void BookObservedBlockLoss(int32_t query, bool first_loss, bool degrade) {
+    if (first_loss) blocks_lost_.fetch_add(1, std::memory_order_relaxed);
+    if (degrade) backend_->TagDegraded(query);
+  }
+  /// Books a baton hop lost past the retry budget mid-run (threaded solo
+  /// path): the block is lost and the query degrades.
+  void BookDynamicHopLoss(int32_t query, uint32_t max_retries) {
+    BookLostMessage(max_retries);
+    blocks_lost_.fetch_add(1, std::memory_order_relaxed);
+    backend_->TagDegraded(query);
+  }
+  /// Books a whole vector shard lost for `query` (no chain result reached
+  /// the client).
+  void BookShardLost(int32_t query) {
+    shards_lost_.fetch_add(1, std::memory_order_relaxed);
+    backend_->TagDegraded(query);
+  }
+  /// Degrades `query` without a counter (e.g. a chain whose usable blocks
+  /// were all statically lost still runs the query on its other shards).
+  void TagDegraded(int32_t query) { backend_->TagDegraded(query); }
+
+  /// The accumulated counters; degraded_queries is left to the engine glue
+  /// (counted from its per-query flags after the batch completes).
+  FaultStats Snapshot() const;
+
+ private:
+  ExecBackend* backend_;
+  std::atomic<uint64_t> messages_dropped_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> blocks_lost_{0};
+  std::atomic<uint64_t> shards_lost_{0};
+};
+
+/// Time one message's failed delivery attempts cost its critical path (one
+/// ack timeout per resend, exponential backoff); books the resends on the
+/// ledger. Returns 0 for first-try deliveries.
+double RetryPenaltySeconds(const NetworkModel& net, FaultLedger* ledger,
+                           uint64_t bytes, uint32_t attempts);
+
+// --- Stage ordering (the paper's static stagger + Section 4.3 load-aware
+// dynamic ordering), shared verbatim by both engines.
+
+/// The static pipeline order of chain `chain_index`: blocks 0..B-1 rotated
+/// by the chain's stagger anchor; the identity when the pipeline is off or
+/// there is a single block.
+std::vector<size_t> BuildStaticBlockOrder(size_t b_dim, size_t chain_index,
+                                          bool enable_pipeline);
+
+/// The stagger anchor of a pipeline batch, advanced past unusable blocks:
+/// consecutive batches/chains start on different machines.
+size_t InitialStartBlock(bool enable_pipeline, uint64_t stagger_seq,
+                         size_t b_dim, uint64_t usable_blocks);
+
+/// The next block in cyclic order from the stagger anchor; b_dim when
+/// `remaining` has no usable block.
+size_t NextCyclicBlock(size_t start_block, size_t processed, size_t b_dim,
+                       uint64_t remaining);
+
+/// Load-aware dynamic block choice: among the remaining blocks whose
+/// machine is within a slack of the least-busy one, pick the
+/// highest-energy block (pruning power); blocks of overloaded machines are
+/// deferred to late positions where pruning has removed most candidates.
+/// Under faults, machines whose crash has been observed are routed around
+/// unless that would leave nothing. `machine_load` is the substrate's load
+/// metric (executed busy time plus queued work on the simulator).
+size_t ChooseLoadAwareBlock(const PartitionPlan& plan, size_t shard,
+                            size_t b_dim, uint64_t remaining, bool faulty,
+                            const uint8_t* machine_dead,
+                            const std::function<double(size_t)>& machine_load);
+
+/// Fills the per-stage scan parameters for candidates of `chain` entering
+/// block `d`: reads τ through the backend and gates pruning on the stage
+/// having prior partials (`processed > 0`) and a full heap.
+BlockScanParams MakeStageScanParams(const ExecContext& ctx,
+                                    ExecBackend* backend,
+                                    const QueryChain& chain,
+                                    const ChainCandidates& cand, size_t d,
+                                    size_t processed, float rem_q_sq);
+
+/// \brief The simulator's shared-scan byte accounting (never touches a
+/// clock): with grouping on, each (query group, dim block, IVF list, 64-row
+/// span) entry holds a bitmask of list rows the group has already billed; a
+/// survivor bills its row only if no co-probing member billed it first. The
+/// group total is therefore the *union* of member rows — the quantity the
+/// threaded engine's ScanBlockGroup merge-walk streams once for the whole
+/// group — and, row for row, at most what the per-query path bills. Keys
+/// use the actual list-row index, not the post-compaction batch position,
+/// so co-probing members agree on units regardless of how differently
+/// their candidate arrays compacted. Keys are packed lossily (masked
+/// fields); a collision only under-bills, deterministically.
+class SharedScanBiller {
+ public:
+  explicit SharedScanBiller(const ExecContext& ctx);
+
+  /// Bytes one stage streamed: survivors x row bytes ungrouped, the
+  /// group-union increment with shared scans on. `begin`/`survivors` bound
+  /// the stage's compacted candidate range.
+  uint64_t StageBytes(size_t chain_index, const QueryChain& chain,
+                      const ChainCandidates& cand, size_t d, size_t begin,
+                      size_t survivors, uint64_t row_bytes);
+
+ private:
+  const ExecContext& ctx_;
+  bool grouped_ = false;
+  std::unordered_map<uint64_t, uint64_t> streamed_rows_;
+};
+
+// --- The chain/group lifecycle state machine (push-driven engines).
+
+/// One chain's baton, passed machine-to-machine along its dimension stages.
+/// The candidate set is built before dispatch (the client holds the routing
+/// tables and can read every store in-process), so a chain whose first hop
+/// is lost never half-executes.
+struct ChainExecState {
+  const QueryChain* chain = nullptr;
+  std::vector<size_t> order;  ///< Surviving dimension blocks, pipeline order.
+  size_t pos = 0;             ///< Current pipeline position.
+  ChainCandidates cand;
+  float rem_q_sq = 0.0f;
+  /// Group-dispatch only: statically lost blocks are kept in the shared
+  /// group order and skipped per member via this mask instead of being
+  /// stripped (other members may still want them).
+  uint64_t lost_mask = 0;
+  /// Stages this member actually scanned; gates pruning exactly as the solo
+  /// path's `pos > 0` does (the first scanned stage has no partials yet).
+  size_t processed = 0;
+};
+
+/// The shared baton of one query group: chains that co-probe `shard` at the
+/// same probe rank (BatchRouting::chain_group). The group walks one shared
+/// block order and each stage runs as a single ScanBlockGroup on the owning
+/// machine, streaming every row tile once for all members.
+struct GroupExecState {
+  int32_t shard = 0;
+  std::vector<size_t> order;  ///< All b_dim blocks, shared pipeline order.
+  size_t pos = 0;             ///< Current pipeline position.
+  std::vector<std::shared_ptr<ChainExecState>> members;
+};
+
+/// \brief Drives chain and group lifecycles — candidate build, static loss
+/// application, stage execution, baton/group hops, fault booking, result
+/// merge — over an ExecBackend. The threaded engine is a thin shell around
+/// this class; the simulated engine shares the per-stage pieces (loss
+/// schedules, ordering, booking, scan parameters, billing) but schedules
+/// stages from its own virtual-time event loop.
+class ChainExecutor {
+ public:
+  /// `on_done` fires once per finished chain (solo) or group baton.
+  ChainExecutor(const ExecContext& ctx, ExecBackend* backend,
+                FaultLedger* ledger, std::function<void()> on_done)
+      : ctx_(ctx),
+        backend_(backend),
+        ledger_(ledger),
+        on_done_(std::move(on_done)) {}
+
+  /// Builds the chain's slice table, candidate arrays and (for IP with
+  /// multiple blocks) norm columns. Returns null when the chain has nothing
+  /// to scan (no posts needed). Shared by the solo and group dispatch paths
+  /// so both modes scan exactly the same candidates.
+  std::shared_ptr<ChainExecState> PrepareChain(const QueryChain& chain) const;
+
+  /// Group-mode static loss: books the chain's lost blocks and sets its
+  /// skip mask. Returns true when the chain is unreachable (every block
+  /// lost, or the result hop can never be delivered) — booked as a lost
+  /// shard; the caller skips the chain. No-op without faults.
+  bool ApplyGroupMemberLoss(ChainExecState* task) const;
+
+  /// Solo-mode order build: the chain's static stagger rotation, with
+  /// statically lost blocks stripped (and booked). Returns true when the
+  /// chain is unreachable — booked as a lost shard; the caller skips it.
+  bool BuildSoloOrder(ChainExecState* task, size_t chain_index) const;
+
+  /// The shared block order of a group, anchored at its first member's
+  /// stagger — the rotation that chain would have used solo; later members
+  /// inherit it, which is what lets the whole group ride one baton.
+  std::vector<size_t> MakeGroupOrder(size_t anchor_chain_index) const;
+
+  /// Posts the group's next stage at or after position `from`, skipping
+  /// blocks no member still wants (statically lost for every member, or the
+  /// members that wanted them ran out of candidates). Returns false when no
+  /// stage remains. The baton is a plain PostStage: per-member hop delivery
+  /// was decided statically at dispatch (lost_mask) and its retries are
+  /// billed per member inside the stage, so the shared baton itself never
+  /// drops.
+  bool PostGroupStageFrom(std::shared_ptr<GroupExecState> group, size_t from);
+
+  /// Posts the chain's first baton hop. The hop survives by construction
+  /// (lost blocks were stripped by BuildSoloOrder); its retries are booked.
+  void PostFirstSoloHop(const std::shared_ptr<ChainExecState>& task);
+
+ private:
+  void RunSoloStage(std::shared_ptr<ChainExecState> task);
+  void RunGroupStage(std::shared_ptr<GroupExecState> group);
+  void MergeChainResults(const ChainExecState& task);
+  void FinishChain(const std::shared_ptr<ChainExecState>& task);
+  void FinishGroup(const std::shared_ptr<GroupExecState>& group);
+
+  const ExecContext& ctx_;
+  ExecBackend* backend_;
+  FaultLedger* ledger_;
+  std::function<void()> on_done_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_CHAIN_EXEC_H_

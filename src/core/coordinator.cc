@@ -1,15 +1,13 @@
 #include "core/coordinator.h"
 
 #include <atomic>
-#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
-#include <numeric>
 #include <unordered_map>
 
-#include "core/block_scan.h"
+#include "core/chain_exec.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -29,354 +27,55 @@ struct SharedQueryState {
   std::atomic<bool> degraded{false};
 };
 
-/// The baton passed machine-to-machine along one chain's dimension stages.
-/// The candidate set is built on the client before dispatch (the client
-/// holds the routing tables and, in this in-process deployment, can read
-/// every store), so a chain whose first hop is lost never half-executes.
-struct ChainTask {
-  const QueryChain* chain = nullptr;
-  std::vector<size_t> order;  // surviving dimension blocks, pipeline order
-  size_t pos = 0;             // current pipeline position
-  std::vector<int64_t> id;
-  std::vector<int32_t> list;
-  std::vector<int32_t> row;
-  std::vector<float> partial;
-  std::vector<float> rem_p_sq;
-  float rem_q_sq = 0.0f;
-  std::vector<float> q_block_norm;
-  /// slices[d * lists + li]: the slice of chain list li in block d, on the
-  /// machine owning grid block (shard, d). Built once per chain at dispatch
-  /// (the client can read every store in this in-process deployment), so
-  /// stages pay neither the lookup nor a per-stage allocation.
-  std::vector<const ListSlice*> slices;
-  /// --- Group-dispatch state (ExecOptions::shared_scans); unused on the
-  /// solo path. Statically lost blocks are kept in the shared group order
-  /// and skipped per member via this mask instead of being stripped.
-  uint64_t lost_mask = 0;
-  /// Stages this member actually scanned; gates pruning exactly as the solo
-  /// path's `pos > 0` does (the first scanned stage has no partials yet).
-  size_t processed = 0;
-};
+/// The ThreadedCluster execution substrate: stages are continuations posted
+/// into per-node thread pools, heap access is mutex-guarded, degraded flags
+/// are atomics, and streamed bytes accumulate on the cluster (real threads
+/// have no per-machine virtual clock to bill).
+class ThreadedBackend : public ExecBackend {
+ public:
+  explicit ThreadedBackend(
+      std::vector<std::unique_ptr<SharedQueryState>>* states)
+      : states_(states) {}
 
-/// The shared baton of one query group: chains that co-probe `shard` at the
-/// same probe rank (BatchRouting::chain_group). The group walks one shared
-/// block order and each stage runs as a single ScanBlockGroup on the owning
-/// machine, streaming every row tile once for all members.
-struct GroupTask {
-  int32_t shard = 0;
-  std::vector<size_t> order;  // all b_dim blocks, shared pipeline order
-  size_t pos = 0;             // current pipeline position
-  std::vector<std::shared_ptr<ChainTask>> members;
-};
+  /// The cluster is constructed after the backend (its destructor must join
+  /// worker threads while the backend is still alive).
+  void set_cluster(ThreadedCluster* cluster) { cluster_ = cluster; }
 
-struct BatchContext {
-  const IvfIndex* index = nullptr;
-  const PartitionPlan* plan = nullptr;
-  const std::vector<WorkerStore>* stores = nullptr;
-  const DatasetView* queries = nullptr;
-  const ExecOptions* opts = nullptr;
-  bool use_ip = false;
-  bool use_norms = false;
-  ThreadedCluster* cluster = nullptr;
-  std::vector<std::unique_ptr<SharedQueryState>> states;
-
-  // Fault accounting; workers touch only the atomics.
-  std::atomic<uint64_t> messages_dropped{0};
-  std::atomic<uint64_t> retries{0};
-  std::atomic<uint64_t> blocks_lost{0};
-  uint64_t shards_lost = 0;  // client thread only
-
-  std::atomic<uint64_t> bytes_streamed{0};
-
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t chains_remaining = 0;
-
-  void ChainDone() {
-    std::lock_guard<std::mutex> lock(done_mu);
-    if (--chains_remaining == 0) done_cv.notify_all();
-  }
-};
-
-void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task);
-void RunGroupStage(BatchContext* ctx, std::shared_ptr<GroupTask> group);
-
-/// Builds the chain's slice table, candidate SoA arrays and (for IP with
-/// multiple blocks) norm columns on the client thread. Returns false when
-/// the chain has nothing to scan. Shared by the solo and group dispatch
-/// paths so both modes scan exactly the same candidates.
-bool BuildChainCandidates(BatchContext* ctx, const QueryChain& chain,
-                          ChainTask* task) {
-  const PartitionPlan& plan = *ctx->plan;
-  const std::vector<WorkerStore>& stores = *ctx->stores;
-  const ExecOptions& opts = *ctx->opts;
-  const size_t b_dim = plan.num_dim_blocks;
-  const size_t shard = static_cast<size_t>(chain.shard);
-  SharedQueryState& state = *ctx->states[static_cast<size_t>(chain.query)];
-  task->chain = &chain;
-
-  // Per-(block, list) slice lookups, hoisted out of the stages: built once
-  // per chain instead of once per stage, and FindListSlice's keyed block
-  // index makes each lookup O(1).
-  const size_t num_lists = chain.lists.size();
-  task->slices.assign(b_dim * num_lists, nullptr);
-  for (size_t d = 0; d < b_dim; ++d) {
-    const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
-    for (size_t li = 0; li < num_lists; ++li) {
-      task->slices[d * num_lists + li] =
-          stores[machine].FindListSlice(shard, d, chain.lists[li]);
-    }
-  }
-
-  // Candidate set from the (dimension-independent) row layout of the
-  // chain's list slices; block 0's slices are as good as any.
-  for (size_t li = 0; li < num_lists; ++li) {
-    const ListSlice* ls = task->slices[li];
-    if (ls == nullptr) continue;
-    for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
-      const int64_t gid = ls->slice.GlobalId(r);
-      if (state.prewarmed_ids.count(gid) > 0) continue;
-      if (opts.labels != nullptr &&
-          (*opts.labels)[static_cast<size_t>(gid)] != opts.allowed_label) {
-        continue;
-      }
-      task->id.push_back(gid);
-      task->list.push_back(static_cast<int32_t>(li));
-      task->row.push_back(static_cast<int32_t>(r));
-      task->partial.push_back(0.0f);
-      if (ctx->use_norms) task->rem_p_sq.push_back(ls->total_norm_sq[r]);
-    }
-  }
-  if (task->id.empty()) return false;
-
-  if (ctx->use_norms) {
-    const float* qrow = ctx->queries->Row(static_cast<size_t>(chain.query));
-    task->q_block_norm.resize(b_dim);
-    for (size_t d = 0; d < b_dim; ++d) {
-      const DimRange r = plan.dim_ranges[d];
-      task->q_block_norm[d] =
-          PartialIp(qrow + r.begin, qrow + r.begin, r.width());
-      task->rem_q_sq += task->q_block_norm[d];
-    }
-  }
-  return true;
-}
-
-void MergeChainResults(BatchContext* ctx, const ChainTask& task) {
-  SharedQueryState& state =
-      *ctx->states[static_cast<size_t>(task.chain->query)];
-  std::lock_guard<std::mutex> lock(state.mu);
-  for (size_t i = 0; i < task.id.size(); ++i) {
-    const float dist = ctx->use_ip ? -task.partial[i] : task.partial[i];
-    state.heap.Push(task.id[i], dist);
-  }
-}
-
-void FinishChain(BatchContext* ctx, const std::shared_ptr<ChainTask>& task) {
-  MergeChainResults(ctx, *task);
-  ctx->ChainDone();
-}
-
-void FinishGroup(BatchContext* ctx, const std::shared_ptr<GroupTask>& group) {
-  for (const auto& member : group->members) MergeChainResults(ctx, *member);
-  ctx->ChainDone();  // chains_remaining counts groups in group mode
-}
-
-/// Posts the group's next stage at or after position `from`, skipping
-/// blocks no member still wants (statically lost for every member, or the
-/// members that wanted them ran out of candidates). Returns false when no
-/// stage remains. The baton is a plain Post: per-member hop delivery was
-/// decided statically at dispatch (lost_mask) and its retries are billed
-/// per member inside RunGroupStage, so the shared baton itself never drops.
-bool PostGroupStageFrom(BatchContext* ctx, std::shared_ptr<GroupTask> group,
-                        size_t from) {
-  const PartitionPlan& plan = *ctx->plan;
-  for (size_t next = from; next < group->order.size(); ++next) {
-    const size_t nd = group->order[next];
-    bool wanted = false;
-    for (const auto& m : group->members) {
-      if (!m->id.empty() && ((m->lost_mask >> nd) & 1) == 0) {
-        wanted = true;
-        break;
-      }
-    }
-    if (!wanted) continue;
-    group->pos = next;
-    const size_t machine = static_cast<size_t>(
-        plan.MachineOf(static_cast<size_t>(group->shard), nd));
-    ctx->cluster->Post(machine, [ctx, group = std::move(group)]() mutable {
-      RunGroupStage(ctx, group);
-    });
-    return true;
-  }
-  return false;
-}
-
-void RunGroupStage(BatchContext* ctx, std::shared_ptr<GroupTask> group) {
-  const PartitionPlan& plan = *ctx->plan;
-  const size_t d = group->order[group->pos];
-  const DimRange range = plan.dim_ranges[d];
-  const FaultInjector& faults = ctx->cluster->faults();
-  const bool faulty = faults.enabled();
-  const uint32_t max_retries = static_cast<uint32_t>(ctx->opts->max_retries);
-
-  GroupScanParams params;
-  params.metric = ctx->opts->metric;
-  params.use_norms = ctx->use_norms;
-  params.width = range.width();
-  params.use_batched = ctx->opts->use_batched_kernels;
-
-  std::vector<GroupMemberScan> scans;
-  std::vector<ChainTask*> active;
-  scans.reserve(group->members.size());
-  active.reserve(group->members.size());
-  for (const auto& member : group->members) {
-    if (member->id.empty()) continue;
-    if ((member->lost_mask >> d) & 1) continue;
-    const QueryChain& chain = *member->chain;
-    if (faulty) {
-      // Members ride one shared baton, but each member's hop keeps its own
-      // (statically decided) retry bill so fault totals match the unshared
-      // dispatch, where every chain posts this hop itself.
-      const uint32_t attempts = faults.DeliveryAttempts(
-          ChainHopKey(chain.query, chain.shard, d), max_retries);
-      if (attempts > 1) {
-        ctx->retries.fetch_add(attempts - 1, std::memory_order_relaxed);
-        ctx->messages_dropped.fetch_add(attempts - 1,
-                                        std::memory_order_relaxed);
-      }
-    }
-    SharedQueryState& state = *ctx->states[static_cast<size_t>(chain.query)];
-    float tau;
-    bool heap_full;
-    {
-      std::lock_guard<std::mutex> lock(state.mu);
-      tau = state.heap.threshold();
-      heap_full = state.heap.full();
-    }
-    GroupMemberScan ms;
-    ms.id = member->id.data();
-    ms.list = member->list.data();
-    ms.row = member->row.data();
-    ms.partial = member->partial.data();
-    ms.rem_p_sq = ctx->use_norms ? member->rem_p_sq.data() : nullptr;
-    ms.count = member->id.size();
-    ms.slices = member->slices.data() + d * chain.lists.size();
-    ms.global_lists = chain.lists.data();
-    ms.q_slice =
-        ctx->queries->Row(static_cast<size_t>(chain.query)) + range.begin;
-    ms.prune =
-        ctx->opts->enable_pruning && member->processed > 0 && heap_full;
-    ms.tau = tau;
-    ms.rem_q_sq = member->rem_q_sq;
-    scans.push_back(ms);
-    active.push_back(member.get());
-  }
-
-  if (!scans.empty()) {
-    ctx->bytes_streamed.fetch_add(
-        ScanBlockGroup(params, scans.data(), scans.size()),
-        std::memory_order_relaxed);
-    for (size_t i = 0; i < active.size(); ++i) {
-      ChainTask* m = active[i];
-      const size_t w = scans[i].survivors;
-      m->id.resize(w);
-      m->list.resize(w);
-      m->row.resize(w);
-      m->partial.resize(w);
-      if (ctx->use_norms) {
-        m->rem_p_sq.resize(w);
-        m->rem_q_sq -= m->q_block_norm[d];
-      }
-      ++m->processed;
-    }
-  }
-
-  const size_t next_from = group->pos + 1;
-  if (!PostGroupStageFrom(ctx, group, next_from)) {
-    FinishGroup(ctx, group);
-  }
-}
-
-void RunStage(BatchContext* ctx, std::shared_ptr<ChainTask> task) {
-  const PartitionPlan& plan = *ctx->plan;
-  const QueryChain& chain = *task->chain;
-  const size_t shard = static_cast<size_t>(chain.shard);
-  const size_t p = task->pos;
-  const size_t d = task->order[p];
-  const DimRange range = plan.dim_ranges[d];
-  SharedQueryState& state = *ctx->states[static_cast<size_t>(chain.query)];
-  const float* qrow = ctx->queries->Row(static_cast<size_t>(chain.query));
-  const float* q_slice = qrow + range.begin;
-
-  float tau;
-  bool heap_full;
-  {
+  void ReadThreshold(int32_t query, float* tau, bool* heap_full) override {
+    SharedQueryState& state = *(*states_)[static_cast<size_t>(query)];
     std::lock_guard<std::mutex> lock(state.mu);
-    tau = state.heap.threshold();
-    heap_full = state.heap.full();
+    *tau = state.heap.threshold();
+    *heap_full = state.heap.full();
+  }
+  const std::unordered_set<int64_t>* PrewarmedIds(size_t query) override {
+    return &(*states_)[query]->prewarmed_ids;
+  }
+  void WithQueryHeap(int32_t query,
+                     const std::function<void(TopKHeap&)>& fn) override {
+    SharedQueryState& state = *(*states_)[static_cast<size_t>(query)];
+    std::lock_guard<std::mutex> lock(state.mu);
+    fn(state.heap);
+  }
+  void TagDegraded(int32_t query) override {
+    (*states_)[static_cast<size_t>(query)]->degraded.store(
+        true, std::memory_order_relaxed);
+  }
+  void ChargeStreamedBytes(size_t /*machine*/, uint64_t bytes) override {
+    cluster_->ChargeStreamedBytes(bytes);
+  }
+  void PostStage(size_t machine, std::function<void()> stage) override {
+    cluster_->Post(machine, std::move(stage));
+  }
+  uint32_t PostHop(size_t machine, uint64_t msg_key, uint32_t max_retries,
+                   std::function<void()> stage) override {
+    return cluster_->PostMessage(machine, msg_key, max_retries,
+                                 std::move(stage));
   }
 
-  BlockScanParams scan;
-  scan.metric = ctx->opts->metric;
-  scan.use_norms = ctx->use_norms;
-  scan.prune = ctx->opts->enable_pruning && p > 0 && heap_full;
-  scan.tau = tau;
-  scan.rem_q_sq = task->rem_q_sq;
-  scan.q_slice = q_slice;
-  scan.width = range.width();
-  scan.slices = task->slices.data() + d * chain.lists.size();
-  scan.use_batched = ctx->opts->use_batched_kernels;
-
-  BlockScanCounters counters;
-  const size_t w = ScanBlock(
-      scan, 0, task->id.size(), task->id.data(), task->list.data(),
-      task->row.data(), task->partial.data(),
-      ctx->use_norms ? task->rem_p_sq.data() : nullptr, &counters);
-  task->id.resize(w);
-  task->list.resize(w);
-  task->row.resize(w);
-  task->partial.resize(w);
-  if (ctx->use_norms) {
-    task->rem_p_sq.resize(w);
-    task->rem_q_sq -= task->q_block_norm[d];
-  }
-  // Unshared scans stream every survivor's row for this chain alone.
-  ctx->bytes_streamed.fetch_add(
-      static_cast<uint64_t>(w) * range.width() * sizeof(float),
-      std::memory_order_relaxed);
-
-  // Hand the baton to the next surviving block. Statically lost blocks were
-  // already removed from `order` at dispatch, so the PostMessage below
-  // normally succeeds; the loop is the defensive failover for a hop lost
-  // anyway (e.g. a plan whose crash schedule changed mid-run), which skips
-  // the block and degrades the chain instead of dropping the baton.
-  const uint32_t max_retries = static_cast<uint32_t>(ctx->opts->max_retries);
-  size_t next = p + 1;
-  while (next < task->order.size() && w > 0) {
-    const size_t nd = task->order[next];
-    const size_t next_machine =
-        static_cast<size_t>(plan.MachineOf(shard, nd));
-    task->pos = next;
-    const uint32_t attempts = ctx->cluster->PostMessage(
-        next_machine, ChainHopKey(chain.query, chain.shard, nd), max_retries,
-        [ctx, task]() mutable { RunStage(ctx, task); });
-    if (attempts > 0) {
-      if (attempts > 1) {
-        ctx->retries.fetch_add(attempts - 1, std::memory_order_relaxed);
-        ctx->messages_dropped.fetch_add(attempts - 1,
-                                        std::memory_order_relaxed);
-      }
-      return;
-    }
-    ctx->messages_dropped.fetch_add(max_retries + 1,
-                                    std::memory_order_relaxed);
-    ctx->blocks_lost.fetch_add(1, std::memory_order_relaxed);
-    state.degraded.store(true, std::memory_order_relaxed);
-    ++next;
-  }
-  FinishChain(ctx, task);
-}
+ private:
+  std::vector<std::unique_ptr<SharedQueryState>>* states_;
+  ThreadedCluster* cluster_ = nullptr;
+};
 
 }  // namespace
 
@@ -390,57 +89,46 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
   if (stores.size() != plan.num_machines) {
     return Status::InvalidArgument("store count does not match plan");
   }
-  if (queries.dim() != index.dim()) {
-    return Status::InvalidArgument("query dimension mismatch");
-  }
   StopWatch watch;
-  const size_t b_dim = plan.num_dim_blocks;
-  if (b_dim > 64) {
-    return Status::NotSupported("more than 64 dimension blocks");
-  }
-  const size_t dim = index.dim();
+  HARMONY_ASSIGN_OR_RETURN(
+      ExecContext ctx, MakeExecContext(index, plan, stores, prewarm, routing,
+                                       queries, opts));
+  const size_t b_dim = ctx.b_dim;
 
-  BatchContext ctx;
-  ctx.index = &index;
-  ctx.plan = &plan;
-  ctx.stores = &stores;
-  ctx.queries = &queries;
-  ctx.opts = &opts;
-  ctx.use_ip = opts.metric != Metric::kL2;
-  ctx.use_norms = ctx.use_ip && b_dim > 1;
-  ctx.states.reserve(queries.size());
+  std::vector<std::unique_ptr<SharedQueryState>> states;
+  states.reserve(queries.size());
   for (size_t q = 0; q < queries.size(); ++q) {
-    ctx.states.push_back(std::make_unique<SharedQueryState>(opts.k));
+    states.push_back(std::make_unique<SharedQueryState>(opts.k));
   }
+  ThreadedBackend backend(&states);
 
-  // Prewarm on the client (caller) thread.
+  // Prewarm on the client (caller) thread; real threads bill no virtual
+  // ops, so the charge hook stays null.
   for (size_t q = 0; q < queries.size(); ++q) {
-    SharedQueryState& state = *ctx.states[q];
-    for (const int32_t list_id : routing.probe_lists[q]) {
-      const auto& ids = prewarm.ListIds(static_cast<size_t>(list_id));
-      const DatasetView vecs = prewarm.ListVectors(static_cast<size_t>(list_id));
-      for (size_t i = 0; i < ids.size(); ++i) {
-        if (opts.labels != nullptr &&
-            (*opts.labels)[static_cast<size_t>(ids[i])] !=
-                opts.allowed_label) {
-          continue;
-        }
-        state.heap.Push(ids[i],
-                        Distance(opts.metric, queries.Row(q), vecs.Row(i), dim));
-        state.prewarmed_ids.insert(ids[i]);
-      }
-    }
+    SharedQueryState& state = *states[q];
+    PrewarmQuery(ctx, q, &state.heap, &state.prewarmed_ids, {});
   }
 
-  // NOTE: `cluster` is declared after `ctx` on purpose — its destructor
-  // joins the worker threads, so any task still referencing ctx finishes
-  // before ctx is destroyed, including on the timeout early-return below.
+  // Batch-completion tracker; `remaining` counts chains (solo dispatch) or
+  // group batons (group dispatch).
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t chains_remaining = 0;
+  FaultLedger ledger(&backend);
+  ChainExecutor executor(ctx, &backend, &ledger, [&] {
+    std::lock_guard<std::mutex> lock(done_mu);
+    if (--chains_remaining == 0) done_cv.notify_all();
+  });
+
+  // NOTE: `cluster` is declared after every object its worker tasks touch
+  // (ctx, states, backend, ledger, executor, the done tracker) on purpose —
+  // its destructor joins the worker threads, so any task still running
+  // finishes before those objects are destroyed, including on the timeout
+  // early-returns below.
   ThreadedCluster cluster(plan.num_machines, opts.faults,
                           opts.threads_per_node);
-  ctx.cluster = &cluster;
-  const FaultInjector& faults = cluster.faults();
-  const bool faulty = faults.enabled();
-  const uint32_t max_retries = static_cast<uint32_t>(opts.max_retries);
+  backend.set_cluster(&cluster);
+  ctx.AttachFaults(&cluster.faults());
 
   // Shared scans need the routing's query-group table (RouteBatch with
   // group_size > 1); without it every group would be a singleton anyway, so
@@ -473,177 +161,59 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
 
     // Prepare the rank's chains on the client: candidate build, block
     // order / group assembly, and the (static, pure-function-of-the-plan)
-    // loss schedule.
-    std::vector<std::shared_ptr<ChainTask>> dispatch;
-    std::vector<std::shared_ptr<GroupTask>> group_dispatch;
+    // loss schedule — all shared lifecycle code in core/chain_exec.cc.
+    std::vector<std::shared_ptr<ChainExecState>> dispatch;
+    std::vector<std::shared_ptr<GroupExecState>> group_dispatch;
     std::unordered_map<int32_t, size_t> group_slot;  // group id -> index
     dispatch.reserve(end - begin);
     for (size_t c = begin; c < end; ++c, ++chain_index) {
       const QueryChain& chain = routing.chains[c];
-      const size_t shard = static_cast<size_t>(chain.shard);
-      SharedQueryState& state = *ctx.states[static_cast<size_t>(chain.query)];
-      auto task = std::make_shared<ChainTask>();
-      if (!BuildChainCandidates(&ctx, chain, task.get())) {
-        continue;  // Nothing to scan; no posts needed.
-      }
+      std::shared_ptr<ChainExecState> task = executor.PrepareChain(chain);
+      if (task == nullptr) continue;  // Nothing to scan; no posts needed.
 
       if (group_mode) {
-        // The shared group order keeps every block; this member's
-        // statically lost blocks become a skip mask instead of being
-        // stripped from the order (other members may still want them).
-        if (faulty) {
-          uint64_t lost = 0;
-          for (size_t d = 0; d < b_dim; ++d) {
-            const size_t m = static_cast<size_t>(plan.MachineOf(shard, d));
-            if (faults.CrashedFromStart(m) ||
-                faults.DeliveryAttempts(
-                    ChainHopKey(chain.query, chain.shard, d),
-                    max_retries) == 0) {
-              lost |= uint64_t{1} << d;
-            }
-          }
-          if (lost != 0) {
-            const auto n_lost = static_cast<uint64_t>(std::popcount(lost));
-            ctx.blocks_lost.fetch_add(n_lost, std::memory_order_relaxed);
-            ctx.messages_dropped.fetch_add(n_lost * (max_retries + 1),
-                                           std::memory_order_relaxed);
-            state.degraded.store(true, std::memory_order_relaxed);
-          }
-          const bool result_hop_lost =
-              faults.DeliveryAttempts(
-                  ChainHopKey(chain.query, chain.shard, b_dim),
-                  max_retries) == 0;
-          if (static_cast<size_t>(std::popcount(lost)) == b_dim ||
-              result_hop_lost) {
-            if (result_hop_lost) {
-              ctx.messages_dropped.fetch_add(max_retries + 1,
-                                             std::memory_order_relaxed);
-            }
-            ++ctx.shards_lost;
-            state.degraded.store(true, std::memory_order_relaxed);
-            continue;
-          }
-          task->lost_mask = lost;
-        }
+        if (executor.ApplyGroupMemberLoss(task.get())) continue;
         const int32_t gid = routing.chain_group[c];
         const auto [slot, inserted] =
             group_slot.try_emplace(gid, group_dispatch.size());
         if (inserted) {
-          auto group = std::make_shared<GroupTask>();
+          auto group = std::make_shared<GroupExecState>();
           group->shard = chain.shard;
-          group->order.resize(b_dim);
-          std::iota(group->order.begin(), group->order.end(), 0);
-          if (opts.enable_pipeline && b_dim > 1) {
-            // Anchored at the first member's stagger — the rotation this
-            // chain would have used solo; later members inherit it, which
-            // is what lets the whole group ride one baton.
-            std::rotate(group->order.begin(),
-                        group->order.begin() + (chain_index % b_dim),
-                        group->order.end());
-          }
+          group->order = executor.MakeGroupOrder(chain_index);
           group_dispatch.push_back(std::move(group));
         }
         group_dispatch[slot->second]->members.push_back(std::move(task));
         continue;
       }
 
-      task->order.resize(b_dim);
-      std::iota(task->order.begin(), task->order.end(), 0);
-      if (opts.enable_pipeline && b_dim > 1) {
-        std::rotate(task->order.begin(),
-                    task->order.begin() + (chain_index % b_dim),
-                    task->order.end());
-      }
-
-      if (faulty) {
-        // Drop coins and start-dead machines are pure functions of the
-        // plan, so the whole loss schedule of this chain is known here —
-        // the same schedule ExecuteSimulated derives from the same keys.
-        size_t kept = 0;
-        uint64_t lost = 0;
-        for (const size_t d : task->order) {
-          const size_t m = static_cast<size_t>(plan.MachineOf(shard, d));
-          if (faults.CrashedFromStart(m) ||
-              faults.DeliveryAttempts(
-                  ChainHopKey(task->chain->query, task->chain->shard, d),
-                  max_retries) == 0) {
-            lost |= uint64_t{1} << d;
-            continue;
-          }
-          task->order[kept++] = d;
-        }
-        task->order.resize(kept);
-        if (lost != 0) {
-          const auto n_lost =
-              static_cast<uint64_t>(std::popcount(lost));
-          ctx.blocks_lost.fetch_add(n_lost, std::memory_order_relaxed);
-          ctx.messages_dropped.fetch_add(n_lost * (max_retries + 1),
-                                         std::memory_order_relaxed);
-          state.degraded.store(true, std::memory_order_relaxed);
-        }
-        const bool result_hop_lost =
-            faults.DeliveryAttempts(
-                ChainHopKey(task->chain->query, task->chain->shard, b_dim),
-                max_retries) == 0;
-        if (task->order.empty() || result_hop_lost) {
-          // The whole shard is unreachable for this query (every block
-          // lost, or the result hop can never be delivered): the query
-          // completes from its other chains.
-          if (result_hop_lost) {
-            ctx.messages_dropped.fetch_add(max_retries + 1,
-                                           std::memory_order_relaxed);
-          }
-          ++ctx.shards_lost;
-          state.degraded.store(true, std::memory_order_relaxed);
-          continue;
-        }
-      }
+      if (executor.BuildSoloOrder(task.get(), chain_index)) continue;
       dispatch.push_back(std::move(task));
     }
 
     {
-      std::lock_guard<std::mutex> lock(ctx.done_mu);
+      std::lock_guard<std::mutex> lock(done_mu);
       // In group mode the done count is per group (one baton each).
-      ctx.chains_remaining = group_mode ? group_dispatch.size()
-                                        : dispatch.size();
+      chains_remaining = group_mode ? group_dispatch.size() : dispatch.size();
     }
     for (auto& group : group_dispatch) {
       // Every member kept at least one block, so a runnable stage exists.
-      const bool posted = PostGroupStageFrom(&ctx, group, 0);
+      const bool posted = executor.PostGroupStageFrom(group, 0);
       HARMONY_CHECK_MSG(posted, "query group with no runnable stage");
     }
     for (auto& task : dispatch) {
-      const size_t shard = static_cast<size_t>(task->chain->shard);
-      const size_t d0 = task->order[0];
-      const size_t first_machine =
-          static_cast<size_t>(plan.MachineOf(shard, d0));
-      const uint32_t attempts = cluster.PostMessage(
-          first_machine,
-          ChainHopKey(task->chain->query, task->chain->shard, d0),
-          max_retries, [ctx_ptr = &ctx, task]() mutable {
-            RunStage(ctx_ptr, task);
-          });
-      // The first hop survives by construction (lost blocks were stripped
-      // above); book its retries.
-      HARMONY_CHECK_MSG(attempts > 0, "statically delivered hop was lost");
-      if (attempts > 1) {
-        ctx.retries.fetch_add(attempts - 1, std::memory_order_relaxed);
-        ctx.messages_dropped.fetch_add(attempts - 1,
-                                       std::memory_order_relaxed);
-      }
+      executor.PostFirstSoloHop(task);
     }
     if (!dispatch.empty() || !group_dispatch.empty()) {
-      std::unique_lock<std::mutex> lock(ctx.done_mu);
+      std::unique_lock<std::mutex> lock(done_mu);
       if (opts.max_wall_seconds > 0.0) {
-        if (!ctx.done_cv.wait_until(lock, deadline, [&ctx] {
-              return ctx.chains_remaining == 0;
-            })) {
+        if (!done_cv.wait_until(lock, deadline,
+                                [&] { return chains_remaining == 0; })) {
           return Status::Timeout(
               "threaded batch exceeded max_wall_seconds; a baton was "
               "lost or the cluster is wedged");
         }
       } else {
-        ctx.done_cv.wait(lock, [&ctx] { return ctx.chains_remaining == 0; });
+        done_cv.wait(lock, [&] { return chains_remaining == 0; });
       }
     }
     begin = end;
@@ -652,19 +222,15 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
   ThreadedOutput out;
   out.results.resize(queries.size());
   out.degraded.assign(queries.size(), 0);
+  out.faults = ledger.Snapshot();
   for (size_t q = 0; q < queries.size(); ++q) {
-    out.results[q] = ctx.states[q]->heap.SortedResults();
-    if (ctx.states[q]->degraded.load(std::memory_order_relaxed)) {
+    out.results[q] = states[q]->heap.SortedResults();
+    if (states[q]->degraded.load(std::memory_order_relaxed)) {
       out.degraded[q] = 1;
       ++out.faults.degraded_queries;
     }
   }
-  out.faults.messages_dropped =
-      ctx.messages_dropped.load(std::memory_order_relaxed);
-  out.faults.retries = ctx.retries.load(std::memory_order_relaxed);
-  out.faults.blocks_lost = ctx.blocks_lost.load(std::memory_order_relaxed);
-  out.faults.shards_lost = ctx.shards_lost;
-  out.bytes_streamed = ctx.bytes_streamed.load(std::memory_order_relaxed);
+  out.bytes_streamed = cluster.bytes_streamed();
   out.wall_seconds = watch.ElapsedSeconds();
   return out;
 }

@@ -126,22 +126,16 @@ Status HarmonyEngine::AddVectors(const DatasetView& vectors) {
 }
 
 ExecOptions HarmonyEngine::MakeExecOptions(size_t k, size_t nprobe) const {
+  // The single engine->execution conversion point: the shared ExecTuning
+  // base carries over wholesale (both structs inherit it), leaving only the
+  // fields that genuinely differ between the two layers.
   ExecOptions exec;
+  static_cast<ExecTuning&>(exec) = static_cast<const ExecTuning&>(options_);
   exec.metric = options_.ivf.metric;
   exec.k = k;
   exec.nprobe = nprobe;
-  exec.enable_pruning = options_.enable_pruning;
-  exec.enable_pipeline = options_.enable_pipeline;
   exec.dynamic_dim_order =
       options_.enable_pipeline && options_.enable_balanced_load;
-  exec.prewarm_per_list = options_.prewarm_per_list;
-  exec.pipeline_batch = options_.pipeline_batch;
-  exec.shared_scans = options_.shared_scans;
-  exec.query_group_size = options_.query_group_size;
-  exec.threads_per_node = options_.threads_per_node;
-  exec.faults = options_.faults;
-  exec.max_retries = options_.max_retries;
-  exec.max_wall_seconds = options_.max_wall_seconds;
   return exec;
 }
 

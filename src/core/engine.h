@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/coordinator.h"
+#include "core/exec_options.h"
 #include "core/partition.h"
 #include "core/pipeline.h"
 #include "core/planner.h"
@@ -21,26 +22,22 @@ namespace harmony {
 /// \brief Engine configuration — the public surface of the paper's
 /// `-NMachine`, `-Pruning_Configuration`, `-Indexing_Parameters`, `-α`,
 /// and `-Mode` parameters (Section 5).
-struct HarmonyOptions {
+///
+/// The execution knobs shared with the execution core (pruning, pipeline,
+/// prewarm, batching, shared scans, intra-node parallelism, faults) live in
+/// the ExecTuning base (core/exec_options.h) — one definition, forwarded to
+/// ExecOptions wholesale by HarmonyEngine::MakeExecOptions. The fields
+/// below exist only at the engine/planner layer.
+struct HarmonyOptions : ExecTuning {
   Mode mode = Mode::kHarmony;
   size_t num_machines = 4;   // -NMachine
   IvfParams ivf;             // -Indexing_Parameters (nlist, metric, ...)
   NetworkParams net;
   MachineParams machine;
   double alpha = 4.0;        // -α: imbalance weight of the cost model
-  /// -Pruning_Configuration and the Figure 9 ablation toggles.
-  bool enable_pruning = true;
-  bool enable_pipeline = true;
+  /// Load-aware dynamic dimension ordering (with enable_pipeline, the
+  /// Figure 9 "balanced load" ablation toggle).
   bool enable_balanced_load = true;
-  size_t prewarm_per_list = 4;
-  /// Pipeline batch granularity (see ExecOptions::pipeline_batch).
-  size_t pipeline_batch = 256;
-  /// Query-group shared scans + intra-node parallelism (PR 3; see the
-  /// ExecOptions fields of the same names). threads_per_node = 1 keeps both
-  /// engines on their historical serial per-node path bit-for-bit.
-  bool shared_scans = true;
-  size_t query_group_size = 4;
-  size_t threads_per_node = 1;
   /// Cost-model survival estimate for pruned stages (see CostModelParams).
   double pruning_survival = 0.5;
   /// Queries sampled when profiling a batch for the cost model (0 = all).
@@ -50,12 +47,6 @@ struct HarmonyOptions {
   /// must hold the partitioning fixed while toggling features.
   size_t force_b_vec = 0;
   size_t force_b_dim = 0;
-  /// Fault injection + degraded-mode knobs (docs/failure_model.md). The
-  /// default plan injects nothing and keeps both engines byte-identical to
-  /// a fault-free build.
-  FaultPlan faults;
-  size_t max_retries = 2;
-  double max_wall_seconds = 0.0;  // threaded engine bail-out; 0 disables
 };
 
 /// \brief The Harmony distributed ANNS engine (public API facade).

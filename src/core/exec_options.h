@@ -1,0 +1,64 @@
+#ifndef HARMONY_CORE_EXEC_OPTIONS_H_
+#define HARMONY_CORE_EXEC_OPTIONS_H_
+
+#include <cstddef>
+
+#include "net/fault.h"
+
+namespace harmony {
+
+/// \brief Execution knobs shared verbatim between the engine facade
+/// (HarmonyOptions) and the execution core (ExecOptions).
+///
+/// Both structs inherit this one, so every shared field exists exactly once
+/// and flows through a single conversion point
+/// (HarmonyEngine::MakeExecOptions) instead of being hand-mirrored field by
+/// field in two places.
+struct ExecTuning {
+  /// Dimension-level early stop (Algorithm 1 lines 8-11).
+  bool enable_pruning = true;
+  /// Staggered dimension-block ordering + asynchronous execution; when off,
+  /// every chain walks blocks 0..B-1 in physical order and the engine uses
+  /// blocking communication.
+  bool enable_pipeline = true;
+  /// Client-cached sample vectors per IVF list for heap prewarming.
+  size_t prewarm_per_list = 4;
+  /// Candidates per pipeline batch. Each batch streams through the chain's
+  /// dimension stages independently and its completed distances tighten the
+  /// query's threshold before the next batch is checked — the granularity
+  /// at which Algorithm 1's UpdatePruning refines τ.
+  size_t pipeline_batch = 256;
+  /// Query-group shared scans: chains that co-probe a shard at the same
+  /// pipeline stage (BatchRouting::chain_group) stream each dimension
+  /// block's rows once per group instead of once per query. In the threaded
+  /// engine this picks the group dispatch path; in the simulated engine
+  /// execution is unchanged (per-query accumulation order and tie-breaking
+  /// are preserved, so results are byte-identical on/off) and only the
+  /// bytes-streamed cost accounting switches to group-shared billing.
+  bool shared_scans = true;
+  /// Query-group size cap (chains per group); must match the group_size the
+  /// routing was built with. 1 degenerates to per-query scans.
+  size_t query_group_size = 4;
+  /// Intra-node parallel execution: worker threads per node in the threaded
+  /// engine, and compute lanes per simulated node (SimNode::ChargeComputeAt)
+  /// in the simulator. 1 keeps both engines on their historical serial
+  /// per-node path, bit-for-bit.
+  size_t threads_per_node = 1;
+  /// Fault injection + degraded-mode knobs (docs/failure_model.md). The
+  /// simulated engine reads the fault plan from its SimCluster; `faults`
+  /// here is what ExecuteThreaded builds its ThreadedCluster from. The
+  /// default plan injects nothing and keeps both engines byte-identical to
+  /// a fault-free build.
+  FaultPlan faults;
+  /// Resends of a lost message before its target block is declared lost and
+  /// the query completes degraded.
+  size_t max_retries = 2;
+  /// Hard wall-clock bail-out for the threaded coordinator: when > 0, a
+  /// batch that fails to finish within this budget (e.g. a lost baton)
+  /// returns Status kTimeout instead of blocking forever. 0 disables.
+  double max_wall_seconds = 0.0;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_EXEC_OPTIONS_H_

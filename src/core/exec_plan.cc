@@ -1,0 +1,116 @@
+#include "core/exec_plan.h"
+
+#include "index/distance.h"
+
+namespace harmony {
+
+Result<ExecContext> MakeExecContext(const IvfIndex& index,
+                                    const PartitionPlan& plan,
+                                    const std::vector<WorkerStore>& stores,
+                                    const PrewarmCache& prewarm,
+                                    const BatchRouting& routing,
+                                    const DatasetView& queries,
+                                    const ExecOptions& opts) {
+  if (queries.dim() != index.dim()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (plan.num_dim_blocks > 64) {
+    return Status::NotSupported("more than 64 dimension blocks");
+  }
+  ExecContext ctx;
+  ctx.index = &index;
+  ctx.plan = &plan;
+  ctx.stores = &stores;
+  ctx.prewarm = &prewarm;
+  ctx.routing = &routing;
+  ctx.queries = &queries;
+  ctx.opts = &opts;
+  ctx.b_dim = plan.num_dim_blocks;
+  ctx.dim = index.dim();
+  ctx.num_queries = queries.size();
+  ctx.use_ip = opts.metric != Metric::kL2;
+  ctx.use_norms = ctx.use_ip && ctx.b_dim > 1;
+  ctx.max_retries = static_cast<uint32_t>(opts.max_retries);
+  return ctx;
+}
+
+void BuildChainSliceTable(const ExecContext& ctx, const QueryChain& chain,
+                          ChainCandidates* cand) {
+  const PartitionPlan& plan = *ctx.plan;
+  const size_t shard = static_cast<size_t>(chain.shard);
+  const size_t num_lists = chain.lists.size();
+  cand->slices.assign(ctx.b_dim * num_lists, nullptr);
+  for (size_t d = 0; d < ctx.b_dim; ++d) {
+    const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
+    for (size_t li = 0; li < num_lists; ++li) {
+      cand->slices[d * num_lists + li] =
+          (*ctx.stores)[machine].FindListSlice(shard, d, chain.lists[li]);
+    }
+  }
+}
+
+void BuildChainCandidateArrays(const ExecContext& ctx, const QueryChain& chain,
+                               const std::unordered_set<int64_t>& prewarmed,
+                               ChainCandidates* cand) {
+  const ExecOptions& opts = *ctx.opts;
+  for (size_t li = 0; li < chain.lists.size(); ++li) {
+    const ListSlice* ls = cand->slices[li];  // block 0 slices
+    if (ls == nullptr) continue;
+    for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
+      const int64_t gid = ls->slice.GlobalId(r);
+      if (prewarmed.count(gid) > 0) continue;
+      if (opts.labels != nullptr &&
+          (*opts.labels)[static_cast<size_t>(gid)] != opts.allowed_label) {
+        continue;
+      }
+      cand->id.push_back(gid);
+      cand->list.push_back(static_cast<int32_t>(li));
+      cand->row.push_back(static_cast<int32_t>(r));
+      cand->partial.push_back(0.0f);
+      if (ctx.use_norms) cand->rem_p_sq.push_back(ls->total_norm_sq[r]);
+    }
+  }
+}
+
+void ComputeQueryBlockNorms(const ExecContext& ctx, const QueryChain& chain,
+                            ChainCandidates* cand) {
+  const float* qrow = ctx.queries->Row(static_cast<size_t>(chain.query));
+  cand->q_block_norm.resize(ctx.b_dim);
+  for (size_t d = 0; d < ctx.b_dim; ++d) {
+    const DimRange r = ctx.plan->dim_ranges[d];
+    cand->q_block_norm[d] =
+        PartialIp(qrow + r.begin, qrow + r.begin, r.width());
+    cand->rem_q_total += cand->q_block_norm[d];
+  }
+}
+
+void PrewarmQuery(const ExecContext& ctx, size_t q, TopKHeap* heap,
+                  std::unordered_set<int64_t>* prewarmed,
+                  const std::function<void(uint64_t)>& charge) {
+  const ExecOptions& opts = *ctx.opts;
+  if (charge) {
+    charge(static_cast<uint64_t>(ctx.index->nlist()) *
+           DistanceOpCost(ctx.dim));
+  }
+  for (const int32_t list_id : (*ctx.routing).probe_lists[q]) {
+    const auto& ids = ctx.prewarm->ListIds(static_cast<size_t>(list_id));
+    if (ids.empty()) continue;
+    const DatasetView vecs =
+        ctx.prewarm->ListVectors(static_cast<size_t>(list_id));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (opts.labels != nullptr &&
+          (*opts.labels)[static_cast<size_t>(ids[i])] != opts.allowed_label) {
+        continue;
+      }
+      const float d =
+          Distance(opts.metric, ctx.queries->Row(q), vecs.Row(i), ctx.dim);
+      heap->Push(ids[i], d);
+      prewarmed->insert(ids[i]);
+    }
+    if (charge) {
+      charge(static_cast<uint64_t>(ids.size()) * DistanceOpCost(ctx.dim));
+    }
+  }
+}
+
+}  // namespace harmony

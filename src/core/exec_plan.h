@@ -1,0 +1,142 @@
+#ifndef HARMONY_CORE_EXEC_PLAN_H_
+#define HARMONY_CORE_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/exec_options.h"
+#include "core/partition.h"
+#include "core/pruning.h"
+#include "core/router.h"
+#include "core/worker.h"
+#include "index/ivf_index.h"
+#include "net/fault.h"
+#include "storage/dataset.h"
+#include "util/status.h"
+#include "util/topk.h"
+
+namespace harmony {
+
+/// \brief Execution knobs; each maps to one of the optimizations isolated
+/// in the paper's Figure 9 ablation. The knobs shared with the engine
+/// facade live in the ExecTuning base (core/exec_options.h); the fields
+/// below exist only at the execution layer.
+struct ExecOptions : ExecTuning {
+  Metric metric = Metric::kL2;
+  size_t k = 10;
+  size_t nprobe = 8;
+  /// Load-aware dynamic ordering: blocks owned by currently-overloaded
+  /// machines are deferred to late pipeline stages where pruning has
+  /// removed most candidates (Section 4.3, "Load Balancing Strategies").
+  bool dynamic_dim_order = true;
+  /// Batched block-scan kernels (docs/kernels.md): vectorized
+  /// prune-compaction + multi-row SIMD partial distances over list-major
+  /// candidate runs. Off selects the historical per-candidate reference
+  /// loop; both paths are bitwise identical in results, op charges and
+  /// virtual-clock timings (regression-tested), so this knob exists only
+  /// for that A/B and for perf bisection.
+  bool use_batched_kernels = true;
+  /// Optional metadata filter: when `labels` is non-null (one int32 per
+  /// global vector id), only candidates whose label equals `allowed_label`
+  /// are scanned — predicate push-down into the first dimension stage.
+  const std::vector<int32_t>* labels = nullptr;
+  int32_t allowed_label = -1;
+};
+
+/// \brief Everything one batch execution needs, resolved once up front and
+/// shared read-only by every stage of both engines: the static tables
+/// (index, partition plan, stores, prewarm cache, routing, queries, options)
+/// plus the derived per-batch facts each engine used to recompute inline.
+struct ExecContext {
+  const IvfIndex* index = nullptr;
+  const PartitionPlan* plan = nullptr;
+  const std::vector<WorkerStore>* stores = nullptr;
+  const PrewarmCache* prewarm = nullptr;
+  const BatchRouting* routing = nullptr;
+  const DatasetView* queries = nullptr;
+  const ExecOptions* opts = nullptr;
+
+  size_t b_dim = 0;
+  size_t dim = 0;
+  size_t num_queries = 0;
+  bool use_ip = false;
+  /// Remaining-norm tracking is only materialized when inner-product
+  /// pruning can actually fire (more than one dimension block).
+  bool use_norms = false;
+  uint32_t max_retries = 0;
+
+  /// Fault oracle of the engine's cluster; attached by the engine glue once
+  /// its cluster exists (the threaded cluster is built after the context).
+  const FaultInjector* faults = nullptr;
+  bool faulty = false;
+
+  void AttachFaults(const FaultInjector* injector) {
+    faults = injector;
+    faulty = injector != nullptr && injector->enabled();
+  }
+};
+
+/// Validates the batch inputs shared by both engines (query dimensionality,
+/// the 64-block lost-mask limit) and resolves the derived facts. Engine
+/// glue keeps its substrate-specific checks (cluster size, store count).
+Result<ExecContext> MakeExecContext(const IvfIndex& index,
+                                    const PartitionPlan& plan,
+                                    const std::vector<WorkerStore>& stores,
+                                    const PrewarmCache& prewarm,
+                                    const BatchRouting& routing,
+                                    const DatasetView& queries,
+                                    const ExecOptions& opts);
+
+/// \brief One chain's materialized scan state: the per-(block, list) slice
+/// table plus the candidate SoA arrays that flow through the dimension
+/// stages (pipeline batches / baton hops own ranges of them and compact
+/// survivors in place).
+struct ChainCandidates {
+  /// slices[d * lists + li]: the slice of chain list li in block d, on the
+  /// machine owning grid block (shard, d). Built once per chain at dispatch
+  /// (the client holds the routing tables and, in-process, can read every
+  /// store), so stages pay neither the lookup nor a per-stage allocation.
+  std::vector<const ListSlice*> slices;
+  std::vector<int64_t> id;
+  std::vector<int32_t> list;
+  std::vector<int32_t> row;
+  std::vector<float> partial;
+  std::vector<float> rem_p_sq;
+  std::vector<float> q_block_norm;  // per block (inner-product pruning)
+  float rem_q_total = 0.0f;
+};
+
+/// Fills the chain's per-(block, list) slice table.
+void BuildChainSliceTable(const ExecContext& ctx, const QueryChain& chain,
+                          ChainCandidates* cand);
+
+/// Builds the candidate SoA arrays from the (dimension-independent) row
+/// layout of the chain's list slices — block 0's slices are as good as any —
+/// in probe order (nearest list first) so the earliest batches tighten the
+/// threshold for the rest of the chain. Skips ids already scored during
+/// prewarm and, under a label filter, ids with the wrong label. Requires
+/// BuildChainSliceTable to have run.
+void BuildChainCandidateArrays(const ExecContext& ctx, const QueryChain& chain,
+                               const std::unordered_set<int64_t>& prewarmed,
+                               ChainCandidates* cand);
+
+/// Per-block query self-products for inner-product pruning (use_norms):
+/// fills q_block_norm and rem_q_total.
+void ComputeQueryBlockNorms(const ExecContext& ctx, const QueryChain& chain,
+                            ChainCandidates* cand);
+
+/// Algorithm 1's PrewarmHeap stage for one query: scores the client-cached
+/// sample of every probed list into the query's heap, seeding a sound
+/// pruning threshold, and records the sampled ids so chains skip them.
+/// `charge` (may be null) receives the op counts the simulated client bills
+/// for this work, in billing order: the centroid assignment first, then one
+/// charge per non-empty probed list.
+void PrewarmQuery(const ExecContext& ctx, size_t q, TopKHeap* heap,
+                  std::unordered_set<int64_t>* prewarmed,
+                  const std::function<void(uint64_t)>& charge);
+
+}  // namespace harmony
+
+#endif  // HARMONY_CORE_EXEC_PLAN_H_

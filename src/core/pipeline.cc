@@ -1,13 +1,12 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
-#include <bit>
 #include <deque>
 #include <numeric>
 #include <queue>
-#include <unordered_map>
 
-#include "core/block_scan.h"
+#include "core/chain_exec.h"
+#include "index/distance.h"
 #include "util/logging.h"
 
 namespace harmony {
@@ -24,29 +23,20 @@ uint64_t BytesPerCandidate(bool with_norms) {
 }
 
 /// Everything one chain of the current vector-pipeline rank needs while its
-/// batches stream through the dimension stages.
+/// batches stream through the dimension stages. The candidate arrays, slice
+/// table and loss schedule are the shared execution-core structures
+/// (core/exec_plan.h, core/chain_exec.h); the arrival times and peak-bytes
+/// tracking are simulator-only.
 struct ChainRun {
   const QueryChain* chain = nullptr;
   size_t shard = 0;
   std::vector<double> slice_arrival;  // per dimension block
-  // Candidate arrays; pipeline batches own disjoint ranges and compact
-  // survivors in place within their range.
-  std::vector<int64_t> id;
-  std::vector<int32_t> list;
-  std::vector<int32_t> row;
-  std::vector<float> partial;
-  std::vector<float> rem_p_sq;
-  // slices[d * lists + li]: the slice of chain list li in block d, on the
-  // machine owning grid block (shard, d).
-  std::vector<const ListSlice*> slices;
-  std::vector<float> q_block_norm;  // per block (inner-product pruning)
-  float rem_q_total = 0.0f;
+  // Candidate arrays + slice table; pipeline batches own disjoint ranges
+  // and compact survivors in place within their range.
+  ChainCandidates cand;
+  // Static per-hop fault schedule (empty/zero on a healthy run).
+  ChainLossSchedule loss;
   std::vector<uint64_t> machine_bytes;  // peak in-flight accounting
-  // --- Fault bookkeeping (all unused on a healthy run).
-  // Delivery attempts per hop key (index b_dim = final result hop);
-  // 0 = permanently lost past the retry budget.
-  std::vector<uint32_t> attempts;
-  uint64_t lost_mask = 0;    // dimension blocks lost for this chain
   bool contributed = false;  // any batch's results reached the client
 };
 
@@ -71,6 +61,58 @@ struct BatchTask {
   double compute_done = 0.0;
 };
 
+/// The SimCluster execution substrate: single-threaded over virtual clocks,
+/// so heap access is direct, degraded flags are plain bytes, and streamed
+/// bytes bill per-worker. The discrete-event loop below orders stages by
+/// virtual time itself, so PostStage/PostHop execute the stage inline (the
+/// only time-free reading of "post" a virtual-clock substrate has); the
+/// loop uses the backend for state access and accounting, not scheduling.
+class SimBackend : public ExecBackend {
+ public:
+  SimBackend(std::vector<QueryState>* states, std::vector<uint8_t>* degraded,
+             SimCluster* cluster)
+      : states_(states), degraded_(degraded), cluster_(cluster) {}
+
+  void ReadThreshold(int32_t query, float* tau, bool* heap_full) override {
+    QueryState& state = (*states_)[static_cast<size_t>(query)];
+    *tau = state.heap.threshold();
+    *heap_full = state.heap.full();
+  }
+  const std::unordered_set<int64_t>* PrewarmedIds(size_t query) override {
+    return &(*states_)[query].prewarmed_ids;
+  }
+  void WithQueryHeap(int32_t query,
+                     const std::function<void(TopKHeap&)>& fn) override {
+    fn((*states_)[static_cast<size_t>(query)].heap);
+  }
+  void TagDegraded(int32_t query) override {
+    (*degraded_)[static_cast<size_t>(query)] = 1;
+  }
+  void ChargeStreamedBytes(size_t machine, uint64_t bytes) override {
+    cluster_->ChargeStreamedBytes(machine, bytes);
+  }
+  void PostStage(size_t /*machine*/, std::function<void()> stage) override {
+    stage();
+  }
+  uint32_t PostHop(size_t /*machine*/, uint64_t msg_key, uint32_t max_retries,
+                   std::function<void()> stage) override {
+    const FaultInjector& faults = cluster_->faults();
+    if (faults.enabled()) {
+      const uint32_t attempts = faults.DeliveryAttempts(msg_key, max_retries);
+      if (attempts == 0) return 0;
+      stage();
+      return attempts;
+    }
+    stage();
+    return 1;
+  }
+
+ private:
+  std::vector<QueryState>* states_;
+  std::vector<uint8_t>* degraded_;
+  SimCluster* cluster_;
+};
+
 }  // namespace
 
 Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
@@ -84,19 +126,14 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
   if (cluster->num_workers() != plan.num_machines) {
     return Status::InvalidArgument("cluster size does not match plan");
   }
-  if (queries.dim() != index.dim()) {
-    return Status::InvalidArgument("query dimension mismatch");
-  }
-  const size_t b_dim = plan.num_dim_blocks;
-  if (b_dim > 64) {
-    return Status::NotSupported("more than 64 dimension blocks");
-  }
-  const size_t dim = index.dim();
-  const size_t num_queries = queries.size();
-  const bool use_ip = opts.metric != Metric::kL2;
-  // Remaining-norm tracking is only materialized when inner-product pruning
-  // can actually fire (more than one dimension block).
-  const bool use_norms = use_ip && b_dim > 1;
+  HARMONY_ASSIGN_OR_RETURN(
+      ExecContext ctx, MakeExecContext(index, plan, stores, prewarm, routing,
+                                       queries, opts));
+  ctx.AttachFaults(&cluster->faults());
+  const size_t b_dim = ctx.b_dim;
+  const size_t num_queries = ctx.num_queries;
+  const bool use_ip = ctx.use_ip;
+  const bool use_norms = ctx.use_norms;
   const size_t batch_size = std::max<size_t>(1, opts.pipeline_batch);
 
   PipelineOutput out;
@@ -105,10 +142,11 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
 
   // Fault layer: every branch below is gated on `faulty`, so a run with the
   // default FaultPlan is byte-identical (results and virtual clocks) to the
-  // pre-fault-layer engine.
+  // pre-fault-layer engine. All fault *booking* flows through the shared
+  // FaultLedger (core/chain_exec.cc), same as the threaded engine.
   const FaultInjector& faults = cluster->faults();
-  const bool faulty = faults.enabled();
-  const uint32_t max_retries = static_cast<uint32_t>(opts.max_retries);
+  const bool faulty = ctx.faulty;
+  const uint32_t max_retries = ctx.max_retries;
   // Machines whose crash has been *observed* (a baton ran into the dead
   // node): the load-aware block chooser routes around them from then on —
   // per-chain failure detection, no oracle.
@@ -123,48 +161,24 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
     cluster->worker(m).ConfigureLanes(opts.threads_per_node);
   }
 
-  // Shared-scan byte accounting (never touches a clock): with grouping on,
-  // each (query group, dim block, IVF list, 64-row span) entry holds a
-  // bitmask of list rows the group has already billed; a survivor bills its
-  // row only if no co-probing member billed it first. The group total is
-  // therefore the *union* of member rows — the quantity the threaded
-  // engine's ScanBlockGroup merge-walk streams once for the whole group —
-  // and, row for row, at most what the per-query path bills, so grouped
-  // runs always report fewer-or-equal streamed bytes.
-  std::unordered_map<uint64_t, uint64_t> streamed_rows;
-
   std::vector<QueryState> states;
   states.reserve(num_queries);
   for (size_t q = 0; q < num_queries; ++q) states.emplace_back(opts.k);
+
+  SimBackend backend(&states, &out.degraded, cluster);
+  FaultLedger ledger(&backend);
+  SharedScanBiller biller(ctx);
 
   SimNode& client = cluster->client();
 
   // --- Stage 0: centroid assignment + prewarm (Algorithm 1, PrewarmHeap).
   // The client scores its cached sample of each probed list, seeding every
-  // query's heap with a sound threshold.
+  // query's heap with a sound threshold; ops bill in PrewarmQuery's stated
+  // order.
   for (size_t q = 0; q < num_queries; ++q) {
-    client.ChargeCompute(
-        static_cast<uint64_t>(index.nlist()) * DistanceOpCost(dim));
     QueryState& state = states[q];
-    for (const int32_t list_id : routing.probe_lists[q]) {
-      const auto& ids = prewarm.ListIds(static_cast<size_t>(list_id));
-      if (ids.empty()) continue;
-      const DatasetView vecs =
-          prewarm.ListVectors(static_cast<size_t>(list_id));
-      for (size_t i = 0; i < ids.size(); ++i) {
-        if (opts.labels != nullptr &&
-            (*opts.labels)[static_cast<size_t>(ids[i])] !=
-                opts.allowed_label) {
-          continue;
-        }
-        const float d =
-            Distance(opts.metric, queries.Row(q), vecs.Row(i), dim);
-        state.heap.Push(ids[i], d);
-        state.prewarmed_ids.insert(ids[i]);
-      }
-      client.ChargeCompute(static_cast<uint64_t>(ids.size()) *
-                           DistanceOpCost(dim));
-    }
+    PrewarmQuery(ctx, q, &state.heap, &state.prewarmed_ids,
+                 [&](uint64_t ops) { client.ChargeCompute(ops); });
     state.ready_time = client.clock();
   }
 
@@ -208,7 +222,9 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
                        return ra < rb;
                      });
 
-    // ---- Pass A: client dispatch + chain materialization.
+    // ---- Pass A: client dispatch + chain materialization (candidate build
+    // and loss schedule via the shared execution core; the query-slice
+    // transfers and their virtual-time arrivals are simulator glue).
     std::vector<ChainRun> runs;
     runs.reserve(rank_order.size());
     for (const size_t c : rank_order) {
@@ -220,18 +236,11 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       run.chain = &chain;
       run.shard = shard;
       run.machine_bytes.assign(plan.num_machines, 0);
-      const float* qrow = queries.Row(static_cast<size_t>(chain.query));
 
       client.WaitUntil(state.ready_time);
       if (use_norms) {
-        run.q_block_norm.resize(b_dim);
-        for (size_t d = 0; d < b_dim; ++d) {
-          const DimRange r = plan.dim_ranges[d];
-          run.q_block_norm[d] =
-              PartialIp(qrow + r.begin, qrow + r.begin, r.width());
-          run.rem_q_total += run.q_block_norm[d];
-        }
-        client.ChargeCompute(DistanceOpCost(dim));
+        ComputeQueryBlockNorms(ctx, chain, &run.cand);
+        client.ChargeCompute(DistanceOpCost(ctx.dim));
       }
       run.slice_arrival.resize(b_dim);
       for (size_t d = 0; d < b_dim; ++d) {
@@ -242,65 +251,15 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
             cluster->Transfer(&client, &cluster->worker(machine), bytes);
       }
 
-      // Per-block slice lookups, hoisted out of the event loop.
-      run.slices.assign(b_dim * chain.lists.size(), nullptr);
-      for (size_t d = 0; d < b_dim; ++d) {
-        const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
-        for (size_t li = 0; li < chain.lists.size(); ++li) {
-          run.slices[d * chain.lists.size() + li] =
-              stores[machine].FindListSlice(shard, d, chain.lists[li]);
-        }
-      }
-
-      // Candidate set, in probe order (nearest list first) so the earliest
-      // batches tighten the threshold for the rest of the chain.
-      for (size_t li = 0; li < chain.lists.size(); ++li) {
-        const ListSlice* ls = run.slices[li];  // block 0 slices
-        if (ls == nullptr) continue;
-        for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
-          const int64_t gid = ls->slice.GlobalId(r);
-          if (state.prewarmed_ids.count(gid) > 0) continue;
-          if (opts.labels != nullptr &&
-              (*opts.labels)[static_cast<size_t>(gid)] != opts.allowed_label) {
-            continue;
-          }
-          run.id.push_back(gid);
-          run.list.push_back(static_cast<int32_t>(li));
-          run.row.push_back(static_cast<int32_t>(r));
-          run.partial.push_back(0.0f);
-          if (use_norms) {
-            run.rem_p_sq.push_back(ls->total_norm_sq[r]);
-          }
-        }
-      }
-      out.prune.total_candidates += run.id.size();
+      BuildChainSliceTable(ctx, chain, &run.cand);
+      BuildChainCandidateArrays(ctx, chain, state.prewarmed_ids, &run.cand);
+      out.prune.total_candidates += run.cand.id.size();
 
       if (faulty) {
-        // Per-hop delivery outcomes are pure functions of the plan seed and
-        // the chain's identity, so they can be fixed here once; the same
-        // keys give the threaded engine the same loss schedule.
-        run.attempts.assign(b_dim + 1, 1);
-        for (size_t d = 0; d <= b_dim; ++d) {
-          run.attempts[d] = faults.DeliveryAttempts(
-              ChainHopKey(chain.query, chain.shard, d), max_retries);
-          if (d == b_dim) continue;
-          // A block is statically lost when its delivery coins all came up
-          // dropped, or its machine is dead from the start — the latter is
-          // handled statically (not via pop-time detection) so the sim and
-          // threaded engines agree on the degraded set.
-          if (run.attempts[d] == 0 ||
-              faults.CrashedFromStart(
-                  static_cast<size_t>(plan.MachineOf(chain.shard, d)))) {
-            run.lost_mask |= uint64_t{1} << d;
-          }
-        }
-        if (run.lost_mask != 0 && !run.id.empty()) {
-          out.faults.blocks_lost +=
-              static_cast<uint64_t>(std::popcount(run.lost_mask));
-          out.faults.messages_dropped +=
-              static_cast<uint64_t>(std::popcount(run.lost_mask)) *
-              (max_retries + 1);
-          out.degraded[static_cast<size_t>(chain.query)] = 1;
+        run.loss = ComputeChainLossSchedule(faults, plan, chain, b_dim,
+                                            max_retries);
+        if (!run.cand.id.empty()) {
+          ledger.BookStaticChainLoss(run.loss, chain.query, max_retries);
         }
       }
       runs.push_back(std::move(run));
@@ -358,73 +317,23 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
     size_t outstanding = 0;
     uint64_t seq = 0;
 
-    // Dynamic block choice (Section 4.3, "Load Balancing Strategies"),
-    // balancing two forces:
-    //  * pruning power — high-energy blocks separate candidates fastest, so
-    //    processing them early is what lets later stages skip work (on
-    //    spectrally decaying data a low-energy-first order prunes nothing);
-    //  * load — blocks of currently overloaded machines are deferred to
-    //    late positions where pruning has already removed most candidates.
-    // Among the remaining blocks whose machine is within a slack of the
-    // least-busy one, pick the highest-energy block; a machine that falls
-    // far behind is simply skipped until it catches up.
-    auto machine_load = [&](size_t machine) {
+    // The load metric fed to the shared load-aware block chooser
+    // (ChooseLoadAwareBlock): executed busy time plus queued work.
+    const std::function<double(size_t)> machine_load = [&](size_t machine) {
       const SimNode& worker = cluster->worker(machine);
       return worker.compute_seconds() + worker.comm_seconds() +
              static_cast<double>(queued_ops[machine]) / worker.ops_per_sec();
     };
     auto choose_block = [&](const ChainRun& run, uint64_t remaining) {
-      if (faulty) {
-        // Route around machines whose crash has been observed, unless that
-        // would leave nothing (the caller then detects the loss and
-        // degrades the chain).
-        uint64_t alive = remaining;
-        for (size_t cand = 0; cand < b_dim; ++cand) {
-          if ((remaining & (uint64_t{1} << cand)) == 0) continue;
-          if (machine_dead[static_cast<size_t>(
-                  plan.MachineOf(run.shard, cand))]) {
-            alive &= ~(uint64_t{1} << cand);
-          }
-        }
-        if (alive != 0) remaining = alive;
-      }
-      double min_load = -1.0;
-      for (size_t cand = 0; cand < b_dim; ++cand) {
-        if ((remaining & (uint64_t{1} << cand)) == 0) continue;
-        const double load = machine_load(
-            static_cast<size_t>(plan.MachineOf(run.shard, cand)));
-        if (min_load < 0.0 || load < min_load) min_load = load;
-      }
-      const double slack = 0.10 * min_load + 1e-5;
-      size_t best = b_dim;
-      double best_energy = -1.0;
-      for (size_t cand = 0; cand < b_dim; ++cand) {
-        if ((remaining & (uint64_t{1} << cand)) == 0) continue;
-        const double load = machine_load(
-            static_cast<size_t>(plan.MachineOf(run.shard, cand)));
-        if (load > min_load + slack) continue;  // Overloaded: defer.
-        const double energy =
-            cand < plan.block_energy.size() ? plan.block_energy[cand] : 0.0;
-        if (best == b_dim || energy > best_energy) {
-          best = cand;
-          best_energy = energy;
-        }
-      }
-      return best;
+      return ChooseLoadAwareBlock(plan, run.shard, b_dim, remaining, faulty,
+                                  machine_dead.data(), machine_load);
     };
 
-    // One failed delivery attempt costs the message's critical path one ack
-    // timeout per resend (exponential backoff); counted into the run stats.
+    // Critical-path cost of a message's failed delivery attempts; the
+    // resends book on the shared ledger.
     auto retry_penalty = [&](uint64_t bytes, uint32_t attempts_used) {
-      double penalty = 0.0;
-      for (uint32_t a = 0; a + 1 < attempts_used; ++a) {
-        penalty += cluster->network().RetryBackoffSeconds(bytes, a);
-      }
-      if (attempts_used > 1) {
-        out.faults.retries += attempts_used - 1;
-        out.faults.messages_dropped += attempts_used - 1;
-      }
-      return penalty;
+      return RetryPenaltySeconds(cluster->network(), &ledger, bytes,
+                                 attempts_used);
     };
 
     // Last stage of a batch: local top-K selection at the last machine that
@@ -448,9 +357,10 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       if (task.survivors > 0) {
         const float tau_final = state.heap.threshold();
         for (size_t i = task.begin; i < task.begin + task.survivors; ++i) {
-          const float dist = use_ip ? -run.partial[i] : run.partial[i];
+          const float dist =
+              use_ip ? -run.cand.partial[i] : run.cand.partial[i];
           if (dist < tau_final || !state.heap.full()) {
-            local.Push(run.id[i], dist);
+            local.Push(run.cand.id[i], dist);
           }
         }
         node.ChargeCompute(task.survivors);  // Selection pass.
@@ -460,14 +370,15 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         // Everything pruned; notify the client with an empty message.
         result_arrival = cluster->Transfer(&node, &client, result_bytes);
       }
-      if (faulty && run.attempts[b_dim] == 0) {
+      if (faulty && run.loss.attempts[b_dim] == 0) {
         // The result message and every resend of it died in flight: the
         // worker paid for the send but the client never merges.
-        out.faults.messages_dropped += max_retries + 1;
+        ledger.BookLostMessage(max_retries);
         return;
       }
-      if (faulty && run.attempts[b_dim] > 1) {
-        result_arrival += retry_penalty(result_bytes, run.attempts[b_dim]);
+      if (faulty && run.loss.attempts[b_dim] > 1) {
+        result_arrival +=
+            retry_penalty(result_bytes, run.loss.attempts[b_dim]);
       }
       run.contributed = true;
 
@@ -492,35 +403,26 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
     auto fail_over = [&](BatchTask task, double detect_time) {
       ChainRun& run = runs[task.run];
       const size_t d = task.next_block;
-      if ((run.lost_mask & (uint64_t{1} << d)) == 0) {
-        run.lost_mask |= uint64_t{1} << d;
-        ++out.faults.blocks_lost;
-      }
-      if (!run.id.empty()) {
-        out.degraded[static_cast<size_t>(run.chain->query)] = 1;
-      }
-      task.remaining &= ~run.lost_mask;
+      const bool first_loss = (run.loss.lost_mask & (uint64_t{1} << d)) == 0;
+      run.loss.lost_mask |= uint64_t{1} << d;
+      ledger.BookObservedBlockLoss(run.chain->query, first_loss,
+                                   !run.cand.id.empty());
+      task.remaining &= ~run.loss.lost_mask;
       if (task.remaining != 0) {
         size_t next = b_dim;
         if (opts.enable_pipeline && opts.dynamic_dim_order) {
           next = choose_block(run, task.remaining);
         } else {
-          for (size_t step = 0; step < b_dim; ++step) {
-            const size_t cand =
-                (task.start_block + task.processed + step) % b_dim;
-            if ((task.remaining & (uint64_t{1} << cand)) != 0) {
-              next = cand;
-              break;
-            }
-          }
+          next = NextCyclicBlock(task.start_block, task.processed, b_dim,
+                                 task.remaining);
         }
         HARMONY_CHECK(next < b_dim);
         const uint64_t bytes =
             task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
         task.next_block = next;
         task.ready = std::max(detect_time, run.slice_arrival[next]);
-        if (run.attempts[next] > 1) {
-          task.ready += retry_penalty(bytes, run.attempts[next]);
+        if (run.loss.attempts[next] > 1) {
+          task.ready += retry_penalty(bytes, run.loss.attempts[next]);
         }
         task.seq = seq++;
         task.queued_ops = static_cast<uint64_t>(task.survivors) *
@@ -538,10 +440,10 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
     // Seed every chain's pipeline batches.
     for (size_t r = 0; r < runs.size(); ++r, ++chain_seq) {
       const ChainRun& run = runs[r];
-      const size_t total = run.id.size();
+      const size_t total = run.cand.id.size();
       const uint64_t all_blocks =
           b_dim == 64 ? ~uint64_t{0} : ((uint64_t{1} << b_dim) - 1);
-      const uint64_t usable_blocks = all_blocks & ~run.lost_mask;
+      const uint64_t usable_blocks = all_blocks & ~run.loss.lost_mask;
       if (total == 0 || usable_blocks == 0) {
         // Nothing to scan (all candidates prewarmed), or every dimension
         // block of the shard is lost: still sequence the query so later
@@ -549,9 +451,7 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         // rank-end sweep books it as shards_lost.
         QueryState& state = states[static_cast<size_t>(run.chain->query)];
         state.ready_time = std::max(state.ready_time, client.clock());
-        if (total > 0) {
-          out.degraded[static_cast<size_t>(run.chain->query)] = 1;
-        }
+        if (total > 0) ledger.TagDegraded(run.chain->query);
         continue;
       }
       size_t batch_idx = 0;
@@ -565,23 +465,20 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         // Static stagger: consecutive batches/chains start on different
         // machines; the dynamic choice refines later blocks as busy
         // counters evolve.
-        task.start_block =
-            opts.enable_pipeline ? (chain_seq + batch_idx) % b_dim : 0;
-        while ((task.remaining & (uint64_t{1} << task.start_block)) == 0) {
-          task.start_block = (task.start_block + 1) % b_dim;
-        }
+        task.start_block = InitialStartBlock(
+            opts.enable_pipeline, chain_seq + batch_idx, b_dim, usable_blocks);
         if (opts.enable_pipeline && opts.dynamic_dim_order && b_dim > 1) {
           const size_t chosen = choose_block(run, task.remaining);
           if (chosen < b_dim) task.start_block = chosen;
         }
         task.next_block = task.start_block;
-        task.rem_q_sq = run.rem_q_total;
+        task.rem_q_sq = run.cand.rem_q_total;
         task.ready = run.slice_arrival[task.next_block];
-        if (faulty && run.attempts[task.next_block] > 1) {
+        if (faulty && run.loss.attempts[task.next_block] > 1) {
           task.ready += retry_penalty(
               plan.dim_ranges[task.next_block].width() * sizeof(float) +
                   kMsgHeaderBytes,
-              run.attempts[task.next_block]);
+              run.loss.attempts[task.next_block]);
         }
         task.seq = seq++;
         task.queued_ops = static_cast<uint64_t>(task.survivors) *
@@ -627,8 +524,6 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
                                            task.queued_ops);
       ChainRun& run = runs[task.run];
       const QueryChain& chain = *run.chain;
-      QueryState& state = states[static_cast<size_t>(chain.query)];
-      const float* qrow = queries.Row(static_cast<size_t>(chain.query));
       const size_t d = task.next_block;
       const DimRange range = plan.dim_ranges[d];
       const size_t machine = static_cast<size_t>(plan.MachineOf(run.shard, d));
@@ -646,7 +541,7 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
           const double detect =
               hop_start +
               cluster->network().RetryBackoffSeconds(bytes, max_retries);
-          out.faults.messages_dropped += max_retries + 1;
+          ledger.BookLostMessage(max_retries);
           fail_over(task, detect);
           continue;
         }
@@ -654,23 +549,14 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       const double scan_ready = std::max(task.ready, run.slice_arrival[d]);
       if (!node.has_lanes()) node.WaitUntil(scan_ready);
 
-      BlockScanParams scan;
-      scan.metric = opts.metric;
-      scan.use_norms = use_norms;
-      scan.prune =
-          opts.enable_pruning && task.processed > 0 && state.heap.full();
-      scan.tau = state.heap.threshold();
-      scan.rem_q_sq = task.rem_q_sq;
-      scan.q_slice = qrow + range.begin;
-      scan.width = range.width();
-      scan.slices = run.slices.data() + d * chain.lists.size();
-      scan.use_batched = opts.use_batched_kernels;
+      const BlockScanParams scan = MakeStageScanParams(
+          ctx, &backend, chain, run.cand, d, task.processed, task.rem_q_sq);
 
       BlockScanCounters counters;
       const size_t w = ScanBlock(
-          scan, task.begin, task.survivors, run.id.data(), run.list.data(),
-          run.row.data(), run.partial.data(),
-          use_norms ? run.rem_p_sq.data() : nullptr, &counters);
+          scan, task.begin, task.survivors, run.cand.id.data(),
+          run.cand.list.data(), run.cand.row.data(), run.cand.partial.data(),
+          use_norms ? run.cand.rem_p_sq.data() : nullptr, &counters);
       out.prune.dropped_after[task.processed > 0 ? task.processed - 1 : 0] +=
           counters.dropped;
       if (node.has_lanes()) {
@@ -684,42 +570,17 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       }
 
       // Streamed-bytes accounting (counters only — scheduling above never
-      // reads it). Each survivor streamed its row; with shared scans a row
-      // a co-probing chain of the same group already billed bills zero, so
-      // the group total is the union of member rows. Keys use the actual
-      // list-row index (run.row), not the post-compaction batch position,
-      // so co-probing members agree on units regardless of how differently
-      // their candidate arrays compacted. Keys are packed lossily (masked
-      // fields); a collision only under-bills, deterministically.
+      // reads it): per-survivor rows ungrouped, group-union billing with
+      // shared scans on (SharedScanBiller).
       {
-        uint64_t scan_bytes = 0;
-        const uint64_t row_bytes = range.width() * sizeof(float);
-        if (opts.shared_scans && routing.num_groups > 0) {
-          const size_t chain_idx =
-              static_cast<size_t>(run.chain - routing.chains.data());
-          const uint64_t g =
-              static_cast<uint64_t>(routing.chain_group[chain_idx]) & 0xFFFFFF;
-          for (size_t j = task.begin; j < task.begin + w; ++j) {
-            const uint64_t row = static_cast<uint64_t>(run.row[j]);
-            const uint64_t gl =
-                static_cast<uint64_t>(
-                    chain.lists[static_cast<size_t>(run.list[j])]) &
-                0xFFFFF;
-            const uint64_t key = (g << 40) | (uint64_t{d} << 34) | (gl << 14) |
-                                 ((row / 64) & 0x3FFF);
-            uint64_t& mask = streamed_rows[key];
-            const uint64_t bit = uint64_t{1} << (row % 64);
-            if ((mask & bit) == 0) {
-              mask |= bit;
-              scan_bytes += row_bytes;
-            }
-          }
-        } else {
-          scan_bytes = static_cast<uint64_t>(w) * row_bytes;
-        }
-        node.ChargeStreamedBytes(scan_bytes);
+        const size_t chain_idx =
+            static_cast<size_t>(run.chain - routing.chains.data());
+        backend.ChargeStreamedBytes(
+            machine,
+            biller.StageBytes(chain_idx, chain, run.cand, d, task.begin, w,
+                              range.width() * sizeof(float)));
       }
-      if (use_norms) task.rem_q_sq -= run.q_block_norm[d];
+      if (use_norms) task.rem_q_sq -= run.cand.q_block_norm[d];
       task.remaining &= ~(uint64_t{1} << d);
       ++task.processed;
       task.survivors = w;
@@ -727,7 +588,7 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       if (faulty) {
         // Another batch of this chain may have discovered crash-lost blocks
         // in the meantime; don't hop into a known-dead block.
-        task.remaining &= ~run.lost_mask;
+        task.remaining &= ~run.loss.lost_mask;
       }
 
       run.machine_bytes[machine] = std::max(
@@ -745,14 +606,8 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
           next = choose_block(run, task.remaining);
         } else {
           // Cyclic order from the stagger anchor.
-          for (size_t step = 0; step < b_dim; ++step) {
-            const size_t cand =
-                (task.start_block + task.processed + step) % b_dim;
-            if ((task.remaining & (uint64_t{1} << cand)) != 0) {
-              next = cand;
-              break;
-            }
-          }
+          next = NextCyclicBlock(task.start_block, task.processed, b_dim,
+                                 task.remaining);
         }
         HARMONY_CHECK(next < b_dim);
         task.next_block = next;
@@ -762,8 +617,8 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
             task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
         double arrival =
             cluster->Transfer(&node, &cluster->worker(next_machine), bytes);
-        if (faulty && run.attempts[next] > 1) {
-          arrival += retry_penalty(bytes, run.attempts[next]);
+        if (faulty && run.loss.attempts[next] > 1) {
+          arrival += retry_penalty(bytes, run.loss.attempts[next]);
         }
         task.ready = std::max(arrival, run.slice_arrival[next]);
         task.seq = seq++;
@@ -786,9 +641,8 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
     // lost its whole vector shard for this query.
     if (faulty) {
       for (const ChainRun& run : runs) {
-        if (run.id.empty() || run.contributed) continue;
-        ++out.faults.shards_lost;
-        out.degraded[static_cast<size_t>(run.chain->query)] = 1;
+        if (run.cand.id.empty() || run.contributed) continue;
+        ledger.BookShardLost(run.chain->query);
       }
     }
 
@@ -807,6 +661,7 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
   client.WaitUntil(last_merge_done);
 
   // --- Collect results, per-query latencies and the peak-memory figure.
+  out.faults = ledger.Snapshot();
   out.results.resize(num_queries);
   out.query_completion_seconds.resize(num_queries);
   for (size_t q = 0; q < num_queries; ++q) {

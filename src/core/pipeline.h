@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/exec_plan.h"
 #include "core/partition.h"
 #include "core/pruning.h"
 #include "core/router.h"
@@ -15,71 +16,6 @@
 #include "util/status.h"
 
 namespace harmony {
-
-/// \brief Execution knobs; each maps to one of the optimizations isolated
-/// in the paper's Figure 9 ablation.
-struct ExecOptions {
-  Metric metric = Metric::kL2;
-  size_t k = 10;
-  size_t nprobe = 8;
-  /// Dimension-level early stop (Algorithm 1 lines 8-11).
-  bool enable_pruning = true;
-  /// Staggered dimension-block ordering + asynchronous execution; when off,
-  /// every chain walks blocks 0..B-1 in physical order and the engine uses
-  /// blocking communication.
-  bool enable_pipeline = true;
-  /// Load-aware dynamic ordering: blocks owned by currently-overloaded
-  /// machines are deferred to late pipeline stages where pruning has
-  /// removed most candidates (Section 4.3, "Load Balancing Strategies").
-  bool dynamic_dim_order = true;
-  /// Client-cached sample vectors per IVF list for heap prewarming.
-  size_t prewarm_per_list = 4;
-  /// Candidates per pipeline batch. Each batch streams through the chain's
-  /// dimension stages independently and its completed distances tighten the
-  /// query's threshold before the next batch is checked — the granularity
-  /// at which Algorithm 1's UpdatePruning refines τ.
-  size_t pipeline_batch = 256;
-  /// Batched block-scan kernels (docs/kernels.md): vectorized
-  /// prune-compaction + multi-row SIMD partial distances over list-major
-  /// candidate runs. Off selects the historical per-candidate reference
-  /// loop; both paths are bitwise identical in results, op charges and
-  /// virtual-clock timings (regression-tested), so this knob exists only
-  /// for that A/B and for perf bisection.
-  bool use_batched_kernels = true;
-  /// --- Query-group shared scans + intra-node parallelism (PR 3).
-  /// Shared scans: chains that co-probe a shard at the same pipeline stage
-  /// (BatchRouting::chain_group) stream each dimension block's rows once
-  /// per group instead of once per query. In the threaded engine this picks
-  /// the group dispatch path; in the simulated engine execution is
-  /// unchanged (per-query accumulation order and tie-breaking are
-  /// preserved, so results are byte-identical on/off) and only the
-  /// bytes-streamed cost accounting switches to group-shared billing.
-  bool shared_scans = true;
-  /// Query-group size cap (chains per group); must match the group_size the
-  /// routing was built with. 1 degenerates to per-query scans.
-  size_t query_group_size = 4;
-  /// Intra-node parallel execution: worker threads per node in the threaded
-  /// engine, and compute lanes per simulated node (SimNode::ChargeComputeAt)
-  /// in the simulator. 1 keeps both engines on their historical serial
-  /// per-node path, bit-for-bit.
-  size_t threads_per_node = 1;
-  /// Optional metadata filter: when `labels` is non-null (one int32 per
-  /// global vector id), only candidates whose label equals `allowed_label`
-  /// are scanned — predicate push-down into the first dimension stage.
-  const std::vector<int32_t>* labels = nullptr;
-  int32_t allowed_label = -1;
-  /// --- Fault handling (docs/failure_model.md). The simulated engine reads
-  /// the fault plan from its SimCluster; `faults` here is what
-  /// ExecuteThreaded builds its ThreadedCluster from. These knobs shape the
-  /// coordinator's reaction: how often a lost message is resent before the
-  /// target block is declared lost and the query completes degraded.
-  FaultPlan faults;
-  size_t max_retries = 2;
-  /// Hard wall-clock bail-out for the threaded coordinator: when > 0, a
-  /// batch that fails to finish within this budget (e.g. a lost baton)
-  /// returns Status kTimeout instead of blocking forever. 0 disables.
-  double max_wall_seconds = 0.0;
-};
 
 /// \brief Results and instrumentation of one simulated batch execution.
 struct PipelineOutput {
@@ -102,6 +38,12 @@ struct PipelineOutput {
 /// \brief Runs the full Algorithm 1 pipeline on the simulated cluster:
 /// prewarm -> vector pipeline over chains -> dimension pipeline per chain,
 /// charging every compute/transfer to the cluster's virtual clocks.
+///
+/// The chain lifecycle (candidate build, loss schedules, stage ordering,
+/// fault booking, scan parameters, shared-scan billing) lives in
+/// core/exec_plan.cc and core/chain_exec.cc, shared with ExecuteThreaded;
+/// this engine contributes the discrete-event schedule over the cluster's
+/// virtual clocks (see docs/execution.md).
 ///
 /// All distance arithmetic is executed for real; only its *cost* is
 /// simulated. Results are exact with pruning on or off (pruning is sound).

@@ -205,6 +205,13 @@ class SimCluster {
   /// message (enabling the non-blocking overlap the paper exploits).
   double Transfer(SimNode* src, SimNode* dst, uint64_t bytes);
 
+  /// Books streamed row bytes on worker `i` (SimNode::ChargeStreamedBytes):
+  /// the per-machine form of the accounting hook the execution core's
+  /// ExecBackend interface exposes. Pure accounting; never touches a clock.
+  void ChargeStreamedBytes(size_t i, uint64_t bytes) {
+    workers_[i].ChargeStreamedBytes(bytes);
+  }
+
   /// Restarts all clocks/counters (e.g. between benchmark repetitions).
   void ResetClocks();
 

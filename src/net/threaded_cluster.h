@@ -62,6 +62,17 @@ class ThreadedCluster {
   /// Post further tasks (batons); Barrier waits for those too.
   void Barrier();
 
+  /// Books `bytes` of local row data streamed from memory by block scans.
+  /// Pure accounting, cluster-wide: real threads have no per-machine virtual
+  /// clock, so the counter is one atomic (the twin of SimNode's per-node
+  /// ChargeStreamedBytes).
+  void ChargeStreamedBytes(uint64_t bytes) {
+    bytes_streamed_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  uint64_t bytes_streamed() const {
+    return bytes_streamed_.load(std::memory_order_relaxed);
+  }
+
  private:
   FaultInjector faults_;
   size_t threads_per_node_ = 1;
@@ -69,6 +80,7 @@ class ThreadedCluster {
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   std::atomic<int64_t> outstanding_{0};
+  std::atomic<uint64_t> bytes_streamed_{0};
 };
 
 }  // namespace harmony

@@ -1,0 +1,303 @@
+// Cross-engine execution parity: a seeded sweep over the execution-option
+// matrix (fault plan x grouping x threads_per_node x filtered search x
+// pruning) asserting that the discrete-event simulator and the real-thread
+// engine return identical ids/distances (bitwise) and agree on FaultStats.
+//
+// Alignment preconditions for bitwise result parity (same float
+// accumulation order in both engines): enable_pipeline = false (both walk
+// blocks 0..B-1), dynamic_dim_order = false, and one pipeline batch per
+// chain. Pruning may differ in *when* it fires across engines (thresholds
+// tighten in scheduling order) but never in the final heap — pruning is
+// sound — so results match bitwise even with pruning on.
+//
+// FaultStats parity: every static loss decision is a pure function of the
+// plan, so blocks_lost / shards_lost / degraded agree for any plan. Retry
+// counters additionally agree when no message needs a resend (crash-only
+// plans): the sim books result-hop retries per pipeline batch while the
+// threaded engine models the client merge directly, so drop plans assert
+// the static subset only.
+//
+// The PinnedGoldens tests additionally pin results, virtual clocks and
+// byte counters to constants captured from the pre-refactor engines, so
+// any refactor of the shared execution core must stay bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cinttypes>
+#include <cstdint>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/pipeline.h"
+#include "core/router.h"
+#include "net/fault.h"
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+struct RunSetup {
+  PartitionPlan plan;
+  std::vector<WorkerStore> stores;
+  PrewarmCache prewarm;
+  BatchRouting routing;
+};
+
+RunSetup MakeSetup(const SmallWorld& world, size_t machines, size_t b_vec,
+                   size_t b_dim, size_t nprobe, size_t group_size,
+                   bool with_norms = false) {
+  RunSetup setup;
+  auto plan = BuildPartitionPlan(world.index, machines, b_vec, b_dim,
+                                 ShardAssignment::kGreedyBalanced);
+  EXPECT_TRUE(plan.ok());
+  setup.plan = std::move(plan).value();
+  auto stores = BuildWorkerStores(world.index, setup.plan, with_norms);
+  EXPECT_TRUE(stores.ok());
+  setup.stores = std::move(stores).value();
+  setup.prewarm = PrewarmCache::Build(world.index, 4);
+  setup.routing = RouteBatch(world.index, setup.plan,
+                             world.workload.queries.View(), nprobe,
+                             group_size);
+  return setup;
+}
+
+void ExpectBitIdenticalResults(const std::vector<std::vector<Neighbor>>& a,
+                               const std::vector<std::vector<Neighbor>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      EXPECT_EQ(a[q][i].id, b[q][i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ(std::bit_cast<uint32_t>(a[q][i].distance),
+                std::bit_cast<uint32_t>(b[q][i].distance))
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+enum class FaultMode { kNone, kCrash, kDrop };
+
+struct MatrixCase {
+  FaultMode faults;
+  bool grouping;
+  size_t threads_per_node;
+  bool filtered;
+  bool pruning;
+};
+
+void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
+                        size_t machines, const std::vector<int32_t>& labels,
+                        const MatrixCase& mc) {
+  SCOPED_TRACE(::testing::Message()
+               << "faults=" << static_cast<int>(mc.faults)
+               << " grouping=" << mc.grouping << " tpn="
+               << mc.threads_per_node << " filtered=" << mc.filtered
+               << " pruning=" << mc.pruning);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  opts.enable_pruning = mc.pruning;
+  opts.enable_pipeline = false;     // aligned 0..B-1 block order
+  opts.dynamic_dim_order = false;   // no load-aware reordering
+  opts.pipeline_batch = 1u << 20;   // one batch per chain
+  opts.shared_scans = mc.grouping;
+  opts.query_group_size = mc.grouping ? 4 : 1;
+  opts.threads_per_node = mc.threads_per_node;
+  if (mc.filtered) {
+    opts.labels = &labels;
+    opts.allowed_label = 1;
+  }
+  FaultPlan plan;
+  if (mc.faults == FaultMode::kCrash) {
+    plan.crashes.push_back({1, 0.0});  // dead from the start, both engines
+  } else if (mc.faults == FaultMode::kDrop) {
+    plan.seed = 2024;
+    plan.drop_prob = 0.25;
+  }
+  opts.faults = plan;  // the threaded engine reads the plan from opts
+
+  SimCluster cluster(machines);
+  if (plan.enabled()) cluster.SetFaultPlan(plan);
+  auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  auto thr = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  ASSERT_TRUE(thr.ok()) << thr.status();
+
+  ExpectBitIdenticalResults(sim.value().results, thr.value().results);
+  EXPECT_EQ(sim.value().degraded, thr.value().degraded);
+  EXPECT_EQ(sim.value().faults.degraded_queries,
+            thr.value().faults.degraded_queries);
+  EXPECT_EQ(sim.value().faults.blocks_lost, thr.value().faults.blocks_lost);
+  EXPECT_EQ(sim.value().faults.shards_lost, thr.value().faults.shards_lost);
+  if (mc.faults != FaultMode::kDrop) {
+    // No resends anywhere: the full FaultStats must agree.
+    EXPECT_EQ(sim.value().faults.messages_dropped,
+              thr.value().faults.messages_dropped);
+    EXPECT_EQ(sim.value().faults.retries, thr.value().faults.retries);
+  }
+  if (mc.faults == FaultMode::kNone) {
+    EXPECT_FALSE(sim.value().faults.any());
+    EXPECT_FALSE(thr.value().faults.any());
+  }
+}
+
+TEST(ExecParityTest, OptionMatrixSweep) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const size_t machines = 4;
+  // One routing per group size; the chain order itself never depends on it.
+  const RunSetup grouped = MakeSetup(world, machines, 2, 2, 4, 4);
+  const RunSetup solo = MakeSetup(world, machines, 2, 2, 4, 1);
+  std::vector<int32_t> labels(world.index.num_vectors());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int32_t>(i % 2);
+  }
+
+  for (const FaultMode faults :
+       {FaultMode::kNone, FaultMode::kCrash, FaultMode::kDrop}) {
+    for (const bool grouping : {false, true}) {
+      for (const size_t tpn : {size_t{1}, size_t{4}}) {
+        for (const bool filtered : {false, true}) {
+          for (const bool pruning : {false, true}) {
+            const MatrixCase mc{faults, grouping, tpn, filtered, pruning};
+            ExpectEnginesAgree(world, grouping ? grouped : solo, machines,
+                               labels, mc);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned goldens: the default-option engines must stay bit-identical to the
+// pre-refactor implementations — results, virtual clocks, op and byte
+// counters. Captured at PR 3 HEAD with the standard Release build; all
+// arithmetic below is integer-derived or IEEE-deterministic, so the values
+// are machine-independent as long as the kernels keep their pinned
+// bit-identity (scan_kernel_test).
+
+/// Order-independent checksum over a result set (commutative fold per
+/// query, then a query-position multiplier), so it is stable across merge
+/// orders but pins every id and every distance bit.
+uint64_t ResultChecksum(const std::vector<std::vector<Neighbor>>& results) {
+  uint64_t h = 0;
+  for (size_t q = 0; q < results.size(); ++q) {
+    uint64_t hq = 0;
+    for (const Neighbor& n : results[q]) {
+      hq += static_cast<uint64_t>(n.id) * 0x9E3779B97F4A7C15ull +
+            std::bit_cast<uint32_t>(n.distance);
+    }
+    h += hq * (2 * q + 1);
+  }
+  return h;
+}
+
+struct SimGolden {
+  uint64_t results_checksum;
+  uint64_t makespan_bits;      // std::bit_cast<uint64_t>(Makespan())
+  uint64_t client_clock_bits;  // client().clock()
+  uint64_t total_ops;
+  uint64_t total_bytes;
+  uint64_t total_bytes_streamed;
+  uint64_t total_candidates;
+  uint64_t dropped_total;
+  uint64_t fault_fingerprint;  // packed FaultStats counters
+};
+
+uint64_t FaultFingerprint(const FaultStats& f) {
+  return f.messages_dropped * 1000003ull + f.retries * 10007ull +
+         f.blocks_lost * 101ull + f.shards_lost * 11ull +
+         static_cast<uint64_t>(f.degraded_queries);
+}
+
+void PrintAndCheckSim(const SimGolden& want, const PipelineOutput& out,
+                      const SimCluster& cluster) {
+  const ClusterBreakdown b = cluster.Breakdown();
+  uint64_t dropped_total = 0;
+  for (const uint64_t d : out.prune.dropped_after) dropped_total += d;
+  const SimGolden got{
+      ResultChecksum(out.results),
+      std::bit_cast<uint64_t>(cluster.Makespan()),
+      std::bit_cast<uint64_t>(cluster.client().clock()),
+      b.total_ops,
+      b.total_bytes,
+      b.total_bytes_streamed,
+      out.prune.total_candidates,
+      dropped_total,
+      FaultFingerprint(out.faults)};
+  std::printf("golden capture: {0x%016" PRIx64 "ull, 0x%016" PRIx64
+              "ull, 0x%016" PRIx64 "ull, %" PRIu64 "ull, %" PRIu64
+              "ull, %" PRIu64 "ull, %" PRIu64 "ull, %" PRIu64 "ull, %" PRIu64
+              "ull}\n",
+              got.results_checksum, got.makespan_bits, got.client_clock_bits,
+              got.total_ops, got.total_bytes, got.total_bytes_streamed,
+              got.total_candidates, got.dropped_total, got.fault_fingerprint);
+  EXPECT_EQ(want.results_checksum, got.results_checksum);
+  EXPECT_EQ(want.makespan_bits, got.makespan_bits);
+  EXPECT_EQ(want.client_clock_bits, got.client_clock_bits);
+  EXPECT_EQ(want.total_ops, got.total_ops);
+  EXPECT_EQ(want.total_bytes, got.total_bytes);
+  EXPECT_EQ(want.total_bytes_streamed, got.total_bytes_streamed);
+  EXPECT_EQ(want.total_candidates, got.total_candidates);
+  EXPECT_EQ(want.dropped_total, got.dropped_total);
+  EXPECT_EQ(want.fault_fingerprint, got.fault_fingerprint);
+}
+
+TEST(ExecPinnedGoldens, SimulatedDefaultsHealthy) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const RunSetup setup = MakeSetup(world, 4, 2, 2, 4, /*group_size=*/4);
+  ExecOptions opts;  // defaults: pipeline + pruning + dynamic order on
+  opts.k = 10;
+  opts.nprobe = 4;
+  SimCluster cluster(4);
+  auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  const SimGolden want{0x29866fbc0a7a2be7ull, 0x3f439f6aaf177a92ull,
+                       0x3f439f6aaf177a92ull, 629907ull, 243432ull,
+                       1213056ull, 28445ull, 19326ull, 0ull};
+  PrintAndCheckSim(want, sim.value(), cluster);
+
+  // The threaded engine returns the same result set (unordered pin: its
+  // merge order is timing-dependent, its content is not).
+  auto thr = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_TRUE(thr.ok()) << thr.status();
+  EXPECT_EQ(want.results_checksum, ResultChecksum(thr.value().results));
+}
+
+TEST(ExecPinnedGoldens, SimulatedDroppyLanes) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const RunSetup setup = MakeSetup(world, 4, 2, 2, 4, /*group_size=*/4);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  opts.threads_per_node = 4;  // lane-scheduled compute path
+  FaultPlan plan;
+  plan.seed = 2024;
+  plan.drop_prob = 0.25;
+  opts.faults = plan;
+  SimCluster cluster(4);
+  cluster.SetFaultPlan(plan);
+  auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  const SimGolden want{0x6f5f5fcf3741051eull, 0x3f2af95c4a1d4d71ull,
+                       0x3f2af95c4a1d4d71ull, 637337ull, 243360ull,
+                       1337664ull, 28445ull, 18887ull, 121081140ull};
+  PrintAndCheckSim(want, sim.value(), cluster);
+}
+
+}  // namespace
+}  // namespace harmony

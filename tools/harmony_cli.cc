@@ -45,6 +45,10 @@ struct CliArgs {
   bool balance = true;
   bool threaded = false;
   bool explain = false;
+  // Intra-node parallelism + query-group shared scans (docs/execution.md).
+  size_t threads_per_node = 1;
+  size_t group_size = 4;
+  bool shared_scans = true;
   // Fault injection (docs/failure_model.md).
   uint64_t fault_seed = 0;
   double drop_prob = 0.0;
@@ -70,6 +74,11 @@ void Usage() {
       "  --no-pruning | --no-pipeline | --no-balance   ablation toggles\n"
       "  --save-index F / --load-index F               index persistence\n"
       "  --threaded            also run the real-thread engine\n"
+      "  --threads-per-node N  worker threads (threaded) / compute lanes\n"
+      "                        (simulated) per node (default 1 = serial)\n"
+      "  --group-size N        chains per query group for shared scans\n"
+      "                        (default 4; 1 = per-query scans)\n"
+      "  --no-shared-scans     disable query-group shared scans\n"
       "  --explain             print the planner's candidate costs\n"
       "  --fault-seed S        seed for the deterministic fault plan\n"
       "  --drop-prob P         per-attempt message-loss probability\n"
@@ -100,6 +109,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->balance = false;
     } else if (flag == "--threaded") {
       args->threaded = true;
+    } else if (flag == "--no-shared-scans") {
+      args->shared_scans = false;
     } else if (flag == "--explain") {
       args->explain = true;
     } else if ((v = need_value(i)) == nullptr) {
@@ -138,6 +149,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->drop_prob = std::strtod(v, nullptr);
     } else if (flag == "--max-retries") {
       args->max_retries = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--threads-per-node") {
+      args->threads_per_node = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--group-size") {
+      args->group_size = std::strtoul(v, nullptr, 10);
     } else if (flag == "--crash-node") {
       NodeCrash crash;
       char* end = nullptr;
@@ -234,6 +249,9 @@ int Run(const CliArgs& args) {
   options.enable_pruning = args.pruning;
   options.enable_pipeline = args.pipeline;
   options.enable_balanced_load = args.balance;
+  options.threads_per_node = args.threads_per_node;
+  options.query_group_size = args.group_size;
+  options.shared_scans = args.shared_scans;
   options.faults.seed = args.fault_seed;
   options.faults.drop_prob = args.drop_prob;
   options.faults.crashes = args.crashes;
