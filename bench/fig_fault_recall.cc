@@ -10,9 +10,20 @@
 //    of the grid.
 //
 // Counters: recall_at_10 (all queries), degraded_recall (degraded queries
-// only; -1 when none), degraded_frac, blocks_lost, shards_lost, retries.
+// only; -1 when none), degraded_frac, blocks_lost, shards_lost, retries,
+// failovers, hedged.
+//
+// A third sweep (availability, PR 5) crosses the drop-prob axis with grid
+// replication factor R in {1, 2, 3}: at R >= 2, failover routing absorbs
+// losses that R = 1 surfaces as degraded queries — the degraded fraction
+// stays at zero far past the R = 1 knee, at the cost of R-fold stored
+// blocks. One crashed node is included so failover is exercised against a
+// dead machine, not just unlucky coins.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "net/fault.h"
@@ -21,10 +32,49 @@ namespace harmony {
 namespace bench {
 namespace {
 
-void FaultPoint(benchmark::State& state, const std::string& dataset,
-                const FaultPlan& plan, size_t machines, size_t nprobe) {
+/// One benchmark point, collected for BENCH_fault.json.
+struct Row {
+  std::string dataset;
+  double drop_prob = 0.0;
+  size_t crashed_nodes = 0;
+  size_t replication = 1;
+  size_t num_queries = 0;
+  double recall = 0.0;
+  double degraded_recall = -1.0;
+  double degraded_frac = 0.0;
+  uint64_t blocks_lost = 0;
+  uint64_t shards_lost = 0;
+  uint64_t retries = 0;
+  uint64_t failovers = 0;
+  uint64_t hedged = 0;
+  double qps = 0.0;
+};
+
+std::vector<Row>& Rows() {
+  static auto& rows = *new std::vector<Row>();
+  return rows;
+}
+
+/// Engine cache keyed also by replication factor: the shared GetEngine
+/// cache is (world, mode, machines) and replication changes the stored
+/// blocks, so replicated engines need their own slots.
+HarmonyEngine* GetReplicatedEngine(const BenchWorld& world, size_t machines,
+                                   size_t replication) {
+  std::ostringstream key;
+  key << &world << "/harmony/" << machines << "/R" << replication;
+  auto& cache = internal::Cache<HarmonyEngine>();
+  if (auto it = cache.find(key.str()); it != cache.end()) {
+    return it->second.get();
+  }
+  HarmonyOptions opts = MakeOptions(world, Mode::kHarmony, machines);
+  opts.replication_factor = replication;
+  return cache.emplace(key.str(), MakeEngine(opts, world)).first->second.get();
+}
+
+void FaultPointOn(benchmark::State& state, const std::string& dataset,
+                  const FaultPlan& plan, HarmonyEngine* engine,
+                  size_t replication, size_t nprobe) {
   const BenchWorld& world = GetWorld(dataset);
-  HarmonyEngine* engine = GetEngine(world, Mode::kHarmony, machines);
   engine->SetFaultPlan(plan);
   BatchResult batch;
   for (auto _ : state) {
@@ -40,27 +90,99 @@ void FaultPoint(benchmark::State& state, const std::string& dataset,
 
   size_t degraded = 0;
   for (const uint8_t flag : batch.degraded) degraded += flag != 0;
-  state.counters["recall_at_10"] = MeanRecallAtK(batch.results, gt, 10);
-  state.counters["degraded_recall"] =
-      RecallOverFlagged(batch.results, batch.degraded, gt, 10);
-  state.counters["degraded_frac"] =
+  Row row;
+  row.dataset = dataset;
+  row.drop_prob = plan.drop_prob;
+  row.crashed_nodes = plan.crashes.size();
+  row.replication = replication;
+  row.num_queries = batch.degraded.size();
+  row.recall = MeanRecallAtK(batch.results, gt, 10);
+  row.degraded_recall = RecallOverFlagged(batch.results, batch.degraded, gt,
+                                          10);
+  row.degraded_frac =
       batch.degraded.empty()
           ? 0.0
           : static_cast<double>(degraded) /
                 static_cast<double>(batch.degraded.size());
-  state.counters["blocks_lost"] =
-      static_cast<double>(batch.stats.faults.blocks_lost);
-  state.counters["shards_lost"] =
-      static_cast<double>(batch.stats.faults.shards_lost);
-  state.counters["retries"] = static_cast<double>(batch.stats.faults.retries);
-  state.counters["qps"] = batch.stats.qps;
+  row.blocks_lost = batch.stats.faults.blocks_lost;
+  row.shards_lost = batch.stats.faults.shards_lost;
+  row.retries = batch.stats.faults.retries;
+  row.failovers = batch.stats.faults.failovers;
+  row.hedged = batch.stats.faults.hedged;
+  row.qps = batch.stats.qps;
+  Rows().push_back(row);
+
+  state.counters["recall_at_10"] = row.recall;
+  state.counters["degraded_recall"] = row.degraded_recall;
+  state.counters["degraded_frac"] = row.degraded_frac;
+  state.counters["blocks_lost"] = static_cast<double>(row.blocks_lost);
+  state.counters["shards_lost"] = static_cast<double>(row.shards_lost);
+  state.counters["retries"] = static_cast<double>(row.retries);
+  state.counters["failovers"] = static_cast<double>(row.failovers);
+  state.counters["hedged"] = static_cast<double>(row.hedged);
+  state.counters["qps"] = row.qps;
+}
+
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for write\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig_fault\",\n"
+               "  \"note\": \"recall/degraded fraction vs injected faults; "
+               "the replication rows sweep grid replication factor R with "
+               "one node crashed — at R >= 2 failover keeps the degraded "
+               "fraction at zero\",\n"
+               "  \"results\": [");
+  bool first = true;
+  for (const Row& r : Rows()) {
+    std::fprintf(
+        f,
+        "%s\n    {\"dataset\": \"%s\", \"drop_prob\": %.2f, "
+        "\"crashed_nodes\": %zu, \"replication\": %zu, "
+        "\"num_queries\": %zu, \"recall_at_10\": %.4f, "
+        "\"degraded_recall\": %.4f, \"degraded_frac\": %.4f, "
+        "\"blocks_lost\": %llu, \"shards_lost\": %llu, \"retries\": %llu, "
+        "\"failovers\": %llu, \"hedged\": %llu, \"qps\": %.2f}",
+        first ? "" : ",", r.dataset.c_str(), r.drop_prob, r.crashed_nodes,
+        r.replication, r.num_queries, r.recall, r.degraded_recall,
+        r.degraded_frac, static_cast<unsigned long long>(r.blocks_lost),
+        static_cast<unsigned long long>(r.shards_lost),
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.failovers),
+        static_cast<unsigned long long>(r.hedged), r.qps);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
+void FaultPoint(benchmark::State& state, const std::string& dataset,
+                const FaultPlan& plan, size_t machines, size_t nprobe) {
+  const BenchWorld& world = GetWorld(dataset);
+  FaultPointOn(state, dataset, plan,
+               GetEngine(world, Mode::kHarmony, machines), /*replication=*/1,
+               nprobe);
+}
+
+void ReplicationPoint(benchmark::State& state, const std::string& dataset,
+                      const FaultPlan& plan, size_t machines,
+                      size_t replication, size_t nprobe) {
+  const BenchWorld& world = GetWorld(dataset);
+  FaultPointOn(state, dataset, plan,
+               GetReplicatedEngine(world, machines, replication), replication,
+               nprobe);
 }
 
 void RegisterAll() {
   const size_t kMachines = 4;
   const size_t kNprobe = 4;
   for (const std::string& dataset : {std::string("sift1m"),
-                                     std::string("glove")}) {
+                                     std::string("glove1.2m")}) {
     for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.35, 0.5}) {
       FaultPlan plan;
       plan.seed = 1234;
@@ -87,6 +209,25 @@ void RegisterAll() {
           ->Unit(benchmark::kMillisecond);
     }
   }
+
+  // Availability sweep: drop_prob x replication factor, with one node
+  // crashed from the start so failover runs against a dead machine.
+  for (const size_t replication : {size_t{1}, size_t{2}, size_t{3}}) {
+    for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.35, 0.5}) {
+      FaultPlan plan;
+      plan.seed = 1234;
+      plan.drop_prob = drop;
+      plan.crashes.push_back({0, 0.0});
+      std::ostringstream name;
+      name << "fig_fault/sift1m/replication:" << replication
+           << "/drop:" << drop;
+      benchmark::RegisterBenchmark(name.str().c_str(), ReplicationPoint,
+                                   std::string("sift1m"), plan, kMachines,
+                                   replication, kNprobe)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
 }
 
 }  // namespace
@@ -99,5 +240,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  harmony::bench::WriteJson("BENCH_fault.json");
   return 0;
 }

@@ -8,31 +8,133 @@
 
 namespace harmony {
 
-ChainLossSchedule ComputeChainLossSchedule(const FaultInjector& faults,
-                                           const PartitionPlan& plan,
-                                           const QueryChain& chain,
-                                           size_t b_dim,
-                                           uint32_t max_retries) {
-  // Drop coins and start-dead machines are pure functions of the plan, so
-  // the whole loss schedule of a chain is known at dispatch — and both
+ChainLossSchedule ComputeChainSchedule(const ExecContext& ctx,
+                                       const QueryChain& chain) {
+  // Drop coins, start-dead machines, replica rotations and folded health
+  // flags are all pure functions of (plan, rank barrier state), so the whole
+  // routing + loss schedule of a chain is known at dispatch — and both
   // engines, hitting the same keys, derive the same schedule.
+  const PartitionPlan& plan = *ctx.plan;
+  const size_t b_dim = ctx.b_dim;
+  const size_t shard = static_cast<size_t>(chain.shard);
+  const uint32_t max_retries = ctx.max_retries;
+  const uint32_t budget = max_retries + 1;
+  const size_t reps = ctx.replication;
+  const bool walk_replicas = ctx.opts->enable_failover && reps > 1;
+
   ChainLossSchedule loss;
   loss.attempts.assign(b_dim + 1, 1);
-  for (size_t d = 0; d <= b_dim; ++d) {
-    loss.attempts[d] = faults.DeliveryAttempts(
-        ChainHopKey(chain.query, chain.shard, d), max_retries);
-    if (d == b_dim) {
-      loss.result_hop_lost = loss.attempts[d] == 0;
+  loss.replica.assign(b_dim + 1, 0);
+  loss.wasted.assign(b_dim + 1, 0);
+  loss.hedge_replica.assign(b_dim + 1, 0);
+
+  NodeHealthTracker* health = ctx.faulty ? ctx.health : nullptr;
+  std::vector<uint8_t> order;
+  for (size_t d = 0; d < b_dim; ++d) {
+    StageReplicaOrder(ctx, chain, d, &order);
+    if (!ctx.faulty) {
+      // Routed but healthy (R > 1, no fault plan): every hop delivers first
+      // try on the rotation-preferred replica; nothing to book or feed.
+      loss.replica[d] = order[0];
       continue;
     }
-    // A block is statically lost when its delivery coins all came up
-    // dropped, or its machine is dead from the start — the latter is
-    // decided here (not via run-time detection) so both engines agree on
-    // the degraded set.
-    if (loss.attempts[d] == 0 ||
-        faults.CrashedFromStart(
-            static_cast<size_t>(plan.MachineOf(chain.shard, d)))) {
+    const size_t walk_len = walk_replicas ? reps : 1;
+    bool delivered = false;
+    uint32_t failed_replicas = 0;
+    for (size_t i = 0; i < walk_len && !delivered; ++i) {
+      const uint8_t r = order[i];
+      const size_t machine =
+          static_cast<size_t>(plan.ReplicaOf(shard, d, r));
+      if (ctx.faults->CrashedFromStart(machine)) {
+        // The hop times out through its whole budget against a dead node.
+        loss.wasted[d] += budget;
+        ++failed_replicas;
+        if (health != nullptr) {
+          health->RecordDead(machine);
+          health->RecordAttempts(machine, budget);
+          health->RecordFailures(machine, budget);
+        }
+        continue;
+      }
+      const uint32_t a = ctx.faults->DeliveryAttempts(
+          ReplicaHopKey(chain.query, chain.shard, d, r), max_retries);
+      if (a == 0) {
+        loss.wasted[d] += budget;
+        ++failed_replicas;
+        if (health != nullptr) {
+          health->RecordAttempts(machine, budget);
+          health->RecordFailures(machine, budget);
+        }
+        continue;
+      }
+      loss.attempts[d] = a;
+      loss.replica[d] = r;
+      delivered = true;
+      if (health != nullptr) {
+        health->RecordAttempts(machine, a);
+        if (a > 1) health->RecordFailures(machine, a - 1);
+      }
+    }
+    if (!delivered) {
+      loss.attempts[d] = 0;
       loss.lost_mask |= uint64_t{1} << d;
+      loss.failovers += static_cast<uint32_t>(walk_len - 1);
+      continue;
+    }
+    loss.failovers += failed_replicas;
+    // Hedge decision: member-independent (group members must bill the same
+    // stage identically), so it keys off the stage *primary* — not the
+    // delivering replica — and only static fault-plan facts.
+    if (ctx.opts->hedge_after > 0.0 && reps > 1) {
+      uint8_t primary_r = order[0];
+      for (const uint8_t r : order) {
+        if (!ctx.faults->CrashedFromStart(
+                static_cast<size_t>(plan.ReplicaOf(shard, d, r)))) {
+          primary_r = r;
+          break;
+        }
+      }
+      const size_t primary_machine =
+          static_cast<size_t>(plan.ReplicaOf(shard, d, primary_r));
+      if (ctx.faults->DelayMultiplier(primary_machine) >=
+          ctx.opts->hedge_after) {
+        for (const uint8_t r : order) {
+          if (r == primary_r) continue;
+          if (ctx.faults->CrashedFromStart(
+                  static_cast<size_t>(plan.ReplicaOf(shard, d, r)))) {
+            continue;
+          }
+          loss.hedge_mask |= uint64_t{1} << d;
+          loss.hedge_replica[d] = r;
+          ++loss.hedges;
+          break;
+        }
+      }
+    }
+  }
+
+  // Final result hop (worker -> client). The client never dies, so the
+  // "replicas" here are independent retransmit paths: with failover each
+  // draws its own coin stream before the hop is declared lost.
+  if (ctx.faulty) {
+    const size_t walk_len = walk_replicas ? reps : 1;
+    bool delivered = false;
+    for (size_t r = 0; r < walk_len && !delivered; ++r) {
+      const uint32_t a = ctx.faults->DeliveryAttempts(
+          ReplicaHopKey(chain.query, chain.shard, b_dim, r), max_retries);
+      if (a == 0) {
+        loss.wasted[b_dim] += budget;
+        continue;
+      }
+      loss.attempts[b_dim] = a;
+      loss.replica[b_dim] = static_cast<uint8_t>(r);
+      loss.failovers += static_cast<uint32_t>(r);
+      delivered = true;
+    }
+    if (!delivered) {
+      loss.attempts[b_dim] = 0;
+      loss.result_hop_lost = true;
+      loss.failovers += static_cast<uint32_t>(walk_len - 1);
     }
   }
   return loss;
@@ -40,11 +142,28 @@ ChainLossSchedule ComputeChainLossSchedule(const FaultInjector& faults,
 
 void FaultLedger::BookStaticChainLoss(const ChainLossSchedule& loss,
                                       int32_t query, uint32_t max_retries) {
+  // Every attempt burned on replicas that failed before the delivering one.
+  // The result hop's own budget is excluded: call sites book it through
+  // BookLostMessage exactly as the unreplicated engines always have.
+  uint64_t wasted = 0;
+  if (!loss.wasted.empty()) {
+    const size_t b_dim = loss.wasted.size() - 1;
+    for (size_t d = 0; d < b_dim; ++d) wasted += loss.wasted[d];
+    wasted += loss.wasted[b_dim];
+    if (loss.result_hop_lost) wasted -= max_retries + 1;
+  }
+  if (wasted > 0) {
+    messages_dropped_.fetch_add(wasted, std::memory_order_relaxed);
+  }
+  if (loss.failovers > 0) {
+    failovers_.fetch_add(loss.failovers, std::memory_order_relaxed);
+  }
+  if (loss.hedges > 0) {
+    hedged_.fetch_add(loss.hedges, std::memory_order_relaxed);
+  }
   if (loss.lost_mask == 0) return;
   const auto n_lost = static_cast<uint64_t>(std::popcount(loss.lost_mask));
   blocks_lost_.fetch_add(n_lost, std::memory_order_relaxed);
-  messages_dropped_.fetch_add(n_lost * (max_retries + 1),
-                              std::memory_order_relaxed);
   backend_->TagDegraded(query);
 }
 
@@ -54,6 +173,8 @@ FaultStats FaultLedger::Snapshot() const {
   stats.retries = retries_.load(std::memory_order_relaxed);
   stats.blocks_lost = blocks_lost_.load(std::memory_order_relaxed);
   stats.shards_lost = shards_lost_.load(std::memory_order_relaxed);
+  stats.failovers = failovers_.load(std::memory_order_relaxed);
+  stats.hedged = hedged_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -97,8 +218,9 @@ size_t NextCyclicBlock(size_t start_block, size_t processed, size_t b_dim,
 }
 
 size_t ChooseLoadAwareBlock(
-    const PartitionPlan& plan, size_t shard, size_t b_dim, uint64_t remaining,
-    bool faulty, const uint8_t* machine_dead,
+    const PartitionPlan& plan, size_t b_dim, uint64_t remaining, bool faulty,
+    const uint8_t* machine_dead,
+    const std::function<size_t(size_t)>& block_machine,
     const std::function<double(size_t)>& machine_load) {
   if (faulty) {
     // Route around machines whose crash has been observed, unless that
@@ -107,7 +229,7 @@ size_t ChooseLoadAwareBlock(
     uint64_t alive = remaining;
     for (size_t cand = 0; cand < b_dim; ++cand) {
       if ((remaining & (uint64_t{1} << cand)) == 0) continue;
-      if (machine_dead[static_cast<size_t>(plan.MachineOf(shard, cand))]) {
+      if (machine_dead[block_machine(cand)]) {
         alive &= ~(uint64_t{1} << cand);
       }
     }
@@ -116,8 +238,7 @@ size_t ChooseLoadAwareBlock(
   double min_load = -1.0;
   for (size_t cand = 0; cand < b_dim; ++cand) {
     if ((remaining & (uint64_t{1} << cand)) == 0) continue;
-    const double load =
-        machine_load(static_cast<size_t>(plan.MachineOf(shard, cand)));
+    const double load = machine_load(block_machine(cand));
     if (min_load < 0.0 || load < min_load) min_load = load;
   }
   const double slack = 0.10 * min_load + 1e-5;
@@ -125,8 +246,7 @@ size_t ChooseLoadAwareBlock(
   double best_energy = -1.0;
   for (size_t cand = 0; cand < b_dim; ++cand) {
     if ((remaining & (uint64_t{1} << cand)) == 0) continue;
-    const double load =
-        machine_load(static_cast<size_t>(plan.MachineOf(shard, cand)));
+    const double load = machine_load(block_machine(cand));
     if (load > min_load + slack) continue;  // Overloaded: defer.
     const double energy =
         cand < plan.block_energy.size() ? plan.block_energy[cand] : 0.0;
@@ -195,6 +315,17 @@ uint64_t SharedScanBiller::StageBytes(size_t chain_index,
   return scan_bytes;
 }
 
+namespace {
+
+/// The replica a chain's hop into block `d` lands on: the schedule-chosen
+/// one on routed runs, replica 0 (the MachineOf owner) otherwise.
+size_t HopReplica(const ChainExecState& task, size_t d) {
+  return task.sched.replica.empty() ? 0
+                                    : static_cast<size_t>(task.sched.replica[d]);
+}
+
+}  // namespace
+
 std::shared_ptr<ChainExecState> ChainExecutor::PrepareChain(
     const QueryChain& chain) const {
   auto task = std::make_shared<ChainExecState>();
@@ -212,10 +343,11 @@ std::shared_ptr<ChainExecState> ChainExecutor::PrepareChain(
 }
 
 bool ChainExecutor::ApplyGroupMemberLoss(ChainExecState* task) const {
-  if (!ctx_.faulty) return false;
+  if (!ctx_.routed) return false;
   const QueryChain& chain = *task->chain;
-  const ChainLossSchedule loss = ComputeChainLossSchedule(
-      *ctx_.faults, *ctx_.plan, chain, ctx_.b_dim, ctx_.max_retries);
+  task->sched = ComputeChainSchedule(ctx_, chain);
+  if (!ctx_.faulty) return false;  // Routed-but-healthy: nothing can be lost.
+  const ChainLossSchedule& loss = task->sched;
   ledger_->BookStaticChainLoss(loss, chain.query, ctx_.max_retries);
   if (static_cast<size_t>(std::popcount(loss.lost_mask)) == ctx_.b_dim ||
       loss.result_hop_lost) {
@@ -235,9 +367,10 @@ bool ChainExecutor::BuildSoloOrder(ChainExecState* task,
   const QueryChain& chain = *task->chain;
   task->order = BuildStaticBlockOrder(ctx_.b_dim, chain_index,
                                       ctx_.opts->enable_pipeline);
-  if (!ctx_.faulty) return false;
-  const ChainLossSchedule loss = ComputeChainLossSchedule(
-      *ctx_.faults, *ctx_.plan, chain, ctx_.b_dim, ctx_.max_retries);
+  if (!ctx_.routed) return false;
+  task->sched = ComputeChainSchedule(ctx_, chain);
+  if (!ctx_.faulty) return false;  // Routed-but-healthy: nothing can be lost.
+  const ChainLossSchedule& loss = task->sched;
   // Strip statically lost blocks, preserving the rotation order of the
   // survivors.
   size_t kept = 0;
@@ -261,9 +394,20 @@ std::vector<size_t> ChainExecutor::MakeGroupOrder(
                                ctx_.opts->enable_pipeline);
 }
 
+size_t ChainExecutor::GroupStageMachine(const GroupExecState& group,
+                                        size_t d) const {
+  // Group members share (probe_rank, shard), hence the replica order and
+  // its primary — any member anchors the same machine. The primary is never
+  // start-dead while some member still wants the block (all replicas dead
+  // would have put the block in every member's lost mask).
+  const QueryChain& anchor = *group.members.front()->chain;
+  const size_t r = StagePrimaryReplica(ctx_, anchor, d);
+  return static_cast<size_t>(
+      ctx_.plan->ReplicaOf(static_cast<size_t>(group.shard), d, r));
+}
+
 bool ChainExecutor::PostGroupStageFrom(std::shared_ptr<GroupExecState> group,
                                        size_t from) {
-  const PartitionPlan& plan = *ctx_.plan;
   for (size_t next = from; next < group->order.size(); ++next) {
     const size_t nd = group->order[next];
     bool wanted = false;
@@ -275,8 +419,7 @@ bool ChainExecutor::PostGroupStageFrom(std::shared_ptr<GroupExecState> group,
     }
     if (!wanted) continue;
     group->pos = next;
-    const size_t machine = static_cast<size_t>(
-        plan.MachineOf(static_cast<size_t>(group->shard), nd));
+    const size_t machine = GroupStageMachine(*group, nd);
     backend_->PostStage(machine, [this, group = std::move(group)]() mutable {
       RunGroupStage(std::move(group));
     });
@@ -289,13 +432,16 @@ void ChainExecutor::PostFirstSoloHop(
     const std::shared_ptr<ChainExecState>& task) {
   const QueryChain& chain = *task->chain;
   const size_t d0 = task->order[0];
+  const size_t r0 = HopReplica(*task, d0);
   const size_t machine = static_cast<size_t>(
-      ctx_.plan->MachineOf(static_cast<size_t>(chain.shard), d0));
+      ctx_.plan->ReplicaOf(static_cast<size_t>(chain.shard), d0, r0));
   const uint32_t attempts = backend_->PostHop(
-      machine, ChainHopKey(chain.query, chain.shard, d0), ctx_.max_retries,
+      machine, ReplicaHopKey(chain.query, chain.shard, d0, r0),
+      ctx_.max_retries,
       [this, task]() mutable { RunSoloStage(std::move(task)); });
   // The first hop survives by construction (lost blocks were stripped by
-  // BuildSoloOrder); book its retries.
+  // BuildSoloOrder, and the schedule's replica walk picked a live replica
+  // whose coin stream delivers); book its retries.
   HARMONY_CHECK_MSG(attempts > 0, "statically delivered hop was lost");
   ledger_->BookDelivery(attempts);
 }
@@ -322,9 +468,9 @@ void ChainExecutor::RunGroupStage(std::shared_ptr<GroupExecState> group) {
     if (ctx_.faulty) {
       // Members ride one shared baton, but each member's hop keeps its own
       // (statically decided) retry bill so fault totals match the unshared
-      // dispatch, where every chain posts this hop itself.
-      ledger_->BookDelivery(ctx_.faults->DeliveryAttempts(
-          ChainHopKey(chain.query, chain.shard, d), ctx_.max_retries));
+      // dispatch, where every chain posts this hop itself. The schedule
+      // already resolved which replica delivered and at what cost.
+      ledger_->BookDelivery(member->sched.attempts[d]);
     }
     float tau;
     bool heap_full;
@@ -349,10 +495,21 @@ void ChainExecutor::RunGroupStage(std::shared_ptr<GroupExecState> group) {
   }
 
   if (!scans.empty()) {
-    const size_t machine = static_cast<size_t>(
-        plan.MachineOf(static_cast<size_t>(group->shard), d));
-    backend_->ChargeStreamedBytes(
-        machine, ScanBlockGroup(params, scans.data(), scans.size()));
+    const size_t machine = GroupStageMachine(*group, d);
+    const uint64_t scan_bytes =
+        ScanBlockGroup(params, scans.data(), scans.size());
+    backend_->ChargeStreamedBytes(machine, scan_bytes);
+    // Hedged stage: the second replica streams the same rows; the loser's
+    // bytes are still billed. All active members carry the same
+    // (primary-keyed) hedge bit, so reading the first one is well defined.
+    const ChainLossSchedule& sched0 = active.front()->sched;
+    if (((sched0.hedge_mask >> d) & 1) != 0) {
+      backend_->ChargeStreamedBytes(
+          static_cast<size_t>(plan.ReplicaOf(
+              static_cast<size_t>(group->shard), d,
+              static_cast<size_t>(sched0.hedge_replica[d]))),
+          scan_bytes);
+    }
     for (size_t i = 0; i < active.size(); ++i) {
       ChainExecState* m = active[i];
       const size_t w = scans[i].survivors;
@@ -399,10 +556,21 @@ void ChainExecutor::RunSoloStage(std::shared_ptr<ChainExecState> task) {
     cand.rem_p_sq.resize(w);
     task->rem_q_sq -= cand.q_block_norm[d];
   }
-  // Unshared scans stream every survivor's row for this chain alone.
+  // Unshared scans stream every survivor's row for this chain alone — on
+  // the schedule-chosen replica of the block (replica 0 unrouted).
+  const uint64_t scan_bytes =
+      static_cast<uint64_t>(w) * range.width() * sizeof(float);
   backend_->ChargeStreamedBytes(
-      static_cast<size_t>(plan.MachineOf(shard, d)),
-      static_cast<uint64_t>(w) * range.width() * sizeof(float));
+      static_cast<size_t>(plan.ReplicaOf(shard, d, HopReplica(*task, d))),
+      scan_bytes);
+  // Hedged stage: the second replica streams the same rows; the loser's
+  // bytes are still billed.
+  if (((task->sched.hedge_mask >> d) & 1) != 0) {
+    backend_->ChargeStreamedBytes(
+        static_cast<size_t>(plan.ReplicaOf(
+            shard, d, static_cast<size_t>(task->sched.hedge_replica[d]))),
+        scan_bytes);
+  }
 
   // Hand the baton to the next surviving block. Statically lost blocks were
   // already removed from `order` at dispatch, so the hop below normally
@@ -412,10 +580,12 @@ void ChainExecutor::RunSoloStage(std::shared_ptr<ChainExecState> task) {
   size_t next = p + 1;
   while (next < task->order.size() && w > 0) {
     const size_t nd = task->order[next];
-    const size_t next_machine = static_cast<size_t>(plan.MachineOf(shard, nd));
+    const size_t nr = HopReplica(*task, nd);
+    const size_t next_machine =
+        static_cast<size_t>(plan.ReplicaOf(shard, nd, nr));
     task->pos = next;
     const uint32_t attempts = backend_->PostHop(
-        next_machine, ChainHopKey(chain.query, chain.shard, nd),
+        next_machine, ReplicaHopKey(chain.query, chain.shard, nd, nr),
         ctx_.max_retries,
         [this, task]() mutable { RunSoloStage(std::move(task)); });
     if (attempts > 0) {

@@ -57,22 +57,51 @@ class ExecBackend {
                            std::function<void()> stage) = 0;
 };
 
-/// \brief The static loss schedule of one chain: a pure function of the
-/// fault plan (drop coins keyed by ChainHopKey, start-dead machines), so
-/// both engines derive the identical schedule regardless of event or thread
+/// \brief The static routing + loss schedule of one chain: a pure function
+/// of the fault plan (drop coins keyed by ReplicaHopKey, start-dead
+/// machines), the replica rotation and the folded health state, so both
+/// engines derive the identical schedule regardless of event or thread
 /// ordering.
+///
+/// With replication, each hop walks the stage's replica preference order
+/// (StageReplicaOrder): replicas that are dead or whose coin stream
+/// exhausts the retry budget burn their budget into `wasted` and — with
+/// failover enabled — the walk moves on; the first replica that delivers
+/// records its attempts and index. A hop is lost only when every walked
+/// replica failed. At R = 1 the walk degenerates to the historical
+/// single-replica schedule, field for field.
 struct ChainLossSchedule {
-  /// Delivery attempts per hop key (index b_dim = final result hop);
-  /// 0 = permanently lost past the retry budget.
+  /// Delivery attempts on the delivering replica per hop (index b_dim =
+  /// final result hop); 0 = permanently lost past the retry budget.
   std::vector<uint32_t> attempts;
+  /// Replica index that delivered each hop (0 on unreplicated plans; the
+  /// value is meaningless for lost hops).
+  std::vector<uint8_t> replica;
+  /// Delivery attempts burned on replicas that failed before the delivering
+  /// one (start-dead replicas and exhausted coin streams each burn
+  /// max_retries + 1). Index b_dim counts the result hop's failed replicas
+  /// *plus* the delivering/last one when the hop is lost.
+  std::vector<uint32_t> wasted;
   uint64_t lost_mask = 0;  ///< Dimension blocks lost for this chain.
   bool result_hop_lost = false;
+  /// Hops that failed over: replicas skipped before delivery, summed.
+  uint32_t failovers = 0;
+  /// Hedged hops: bit d set when stage d dispatches to a second replica
+  /// because its primary is a straggler (hedge_after). Only delivered block
+  /// hops hedge.
+  uint64_t hedge_mask = 0;
+  std::vector<uint8_t> hedge_replica;  ///< Per hop; valid where the bit is set.
+  uint32_t hedges = 0;                 ///< popcount(hedge_mask).
 };
 
-ChainLossSchedule ComputeChainLossSchedule(const FaultInjector& faults,
-                                           const PartitionPlan& plan,
-                                           const QueryChain& chain,
-                                           size_t b_dim, uint32_t max_retries);
+/// Derives the chain's schedule from the context (fault oracle, replica
+/// layout, folded health) and feeds the health tracker one observation per
+/// walked replica (attempts / failures / deaths). Without faults the
+/// schedule is all-delivered with the rotation-chosen replica per hop and
+/// the health tracker is not touched. Call exactly once per chain per rank
+/// in each engine — the health feed is part of the schedule contract.
+ChainLossSchedule ComputeChainSchedule(const ExecContext& ctx,
+                                       const QueryChain& chain);
 
 /// \brief Single home of FaultStats accounting and degraded tagging: every
 /// retry booking, lost-message charge, block/shard loss and degraded flag
@@ -94,11 +123,19 @@ class FaultLedger {
   void BookLostMessage(uint32_t max_retries) {
     messages_dropped_.fetch_add(max_retries + 1, std::memory_order_relaxed);
   }
-  /// Books a chain's statically lost blocks once at dispatch: each lost
-  /// block burned its full retry budget, and the query degrades. No-op when
-  /// nothing was lost; callers guard on the chain having candidates.
+  /// Books a chain's static schedule once at dispatch: every replica-walk
+  /// attempt wasted on failed replicas, each lost block, the chain's
+  /// failovers and hedges; the query degrades iff a block was lost. The
+  /// result hop's own budget is NOT booked here (call sites book it via
+  /// BookLostMessage, as they always have) — only the surplus its failed
+  /// replicas burned. At R = 1 this reproduces the historical
+  /// lost-blocks-times-budget arithmetic bit for bit. Callers guard on the
+  /// chain having candidates.
   void BookStaticChainLoss(const ChainLossSchedule& loss, int32_t query,
                            uint32_t max_retries);
+  /// Books a hop rerouted to a surviving replica after its target failed
+  /// mid-run (simulated engine; static failovers book via the schedule).
+  void BookFailover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
   /// Books a block loss observed mid-run (a baton ran into a crashed
   /// machine): counted once per (chain, block), degrading the query only
   /// when it had candidates.
@@ -133,6 +170,8 @@ class FaultLedger {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> blocks_lost_{0};
   std::atomic<uint64_t> shards_lost_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> hedged_{0};
 };
 
 /// Time one message's failed delivery attempts cost its critical path (one
@@ -165,11 +204,14 @@ size_t NextCyclicBlock(size_t start_block, size_t processed, size_t b_dim,
 /// highest-energy block (pruning power); blocks of overloaded machines are
 /// deferred to late positions where pruning has removed most candidates.
 /// Under faults, machines whose crash has been observed are routed around
-/// unless that would leave nothing. `machine_load` is the substrate's load
-/// metric (executed busy time plus queued work on the simulator).
-size_t ChooseLoadAwareBlock(const PartitionPlan& plan, size_t shard,
-                            size_t b_dim, uint64_t remaining, bool faulty,
+/// unless that would leave nothing. `block_machine` maps a block to the
+/// machine that would run it (the schedule-chosen replica; MachineOf on
+/// unreplicated plans); `machine_load` is the substrate's load metric
+/// (executed busy time plus queued work on the simulator).
+size_t ChooseLoadAwareBlock(const PartitionPlan& plan, size_t b_dim,
+                            uint64_t remaining, bool faulty,
                             const uint8_t* machine_dead,
+                            const std::function<size_t(size_t)>& block_machine,
                             const std::function<double(size_t)>& machine_load);
 
 /// Fills the per-stage scan parameters for candidates of `chain` entering
@@ -228,6 +270,9 @@ struct ChainExecState {
   /// Stages this member actually scanned; gates pruning exactly as the solo
   /// path's `pos > 0` does (the first scanned stage has no partials yet).
   size_t processed = 0;
+  /// The chain's routing + loss schedule; empty vectors on unrouted runs
+  /// (R = 1 with no faults), where every hop lands on replica 0.
+  ChainLossSchedule sched;
 };
 
 /// The shared baton of one query group: chains that co-probe `shard` at the
@@ -293,6 +338,11 @@ class ChainExecutor {
   void PostFirstSoloHop(const std::shared_ptr<ChainExecState>& task);
 
  private:
+  /// Machine a group stage runs on: the stage primary's replica of block
+  /// `d`. MachineOf on unreplicated plans; member-independent (the whole
+  /// group shares one (probe_rank, shard) replica order).
+  size_t GroupStageMachine(const GroupExecState& group, size_t d) const;
+
   void RunSoloStage(std::shared_ptr<ChainExecState> task);
   void RunGroupStage(std::shared_ptr<GroupExecState> group);
   void MergeChainResults(const ChainExecState& task);

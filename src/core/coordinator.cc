@@ -102,6 +102,13 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
   }
   ThreadedBackend backend(&states);
 
+  // Node-health tracker: fed by the chain schedules on the client thread,
+  // folded at each rank barrier so replica selection sees the same
+  // quarantine flags in both engines. Declared before `cluster` (below) so
+  // any worker still draining outlives nothing it touches.
+  NodeHealthTracker health(plan.num_machines);
+  ctx.AttachHealth(&health);
+
   // Prewarm on the client (caller) thread; real threads bill no virtual
   // ops, so the charge hook stays null.
   for (size_t q = 0; q < queries.size(); ++q) {
@@ -216,6 +223,9 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
         done_cv.wait(lock, [&] { return chains_remaining == 0; });
       }
     }
+    // Rank barrier: fold this rank's health observations so the next rank's
+    // replica selection (client thread) reads a fixed epoch state.
+    health.FoldEpoch();
     begin = end;
   }
 

@@ -85,8 +85,22 @@ CostEstimate EstimatePlanCost(const PartitionPlan& plan,
       const double ops = probes * candidates * width * mean_survival;
       const double secs = ops / ops_per_sec;
       est.comp_seconds += secs;
-      est.node_load_seconds[static_cast<size_t>(plan.MachineOf(shard, d))] +=
-          secs;
+      // With replication the router spreads a block's stages across its R
+      // replicas (hash-rotated per stage), so the expected load on each
+      // replica node is secs / R. At R = 1 this is the historical owner
+      // charge, bit for bit.
+      const size_t reps =
+          std::max<size_t>(1, std::min(params.replication, plan.replication));
+      if (reps == 1) {
+        est.node_load_seconds[static_cast<size_t>(
+            plan.MachineOf(shard, d))] += secs;
+      } else {
+        const double share = secs / static_cast<double>(reps);
+        for (size_t r = 0; r < reps; ++r) {
+          est.node_load_seconds[static_cast<size_t>(
+              plan.ReplicaOf(shard, d, r))] += share;
+        }
+      }
     }
   }
 

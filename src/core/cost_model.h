@@ -45,6 +45,10 @@ struct CostModelParams {
   /// Pipeline batch granularity of the execution engine; determines how
   /// many partial-result messages a dimension chain emits.
   size_t pipeline_batch = 256;
+  /// Replicas per grid block (PartitionPlan::replication). The executor
+  /// spreads a block's scans across its replicas, so each replica node
+  /// carries 1/R of the block's expected compute in the I(π) term.
+  size_t replication = 1;
   NetworkParams net;
   MachineParams machine;
 };

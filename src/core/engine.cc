@@ -75,6 +75,7 @@ Status HarmonyEngine::FinishBuild() {
   cost.pruning_survival = options_.pruning_survival;
   cost.pruning_enabled = options_.enable_pruning;
   cost.pipeline_batch = options_.pipeline_batch;
+  cost.replication = options_.replication_factor;
   cost.net = options_.net;
   cost.machine = options_.machine;
   QueryPlanner planner(options_.mode, cost);
@@ -116,10 +117,13 @@ Status HarmonyEngine::AddVectors(const DatasetView& vectors) {
     const size_t shard =
         static_cast<size_t>(plan_.list_to_shard[static_cast<size_t>(list)]);
     for (size_t d = 0; d < plan_.num_dim_blocks; ++d) {
-      const size_t machine = static_cast<size_t>(plan_.MachineOf(shard, d));
-      HARMONY_RETURN_NOT_OK(stores_[machine].AppendVector(
-          shard, d, list, plan_.dim_ranges[d], row, vectors.dim(), gid,
-          stores_with_norms_));
+      for (size_t r = 0; r < plan_.replication; ++r) {
+        const size_t machine =
+            static_cast<size_t>(plan_.ReplicaOf(shard, d, r));
+        HARMONY_RETURN_NOT_OK(stores_[machine].AppendVector(
+            shard, d, list, plan_.dim_ranges[d], row, vectors.dim(), gid,
+            stores_with_norms_));
+      }
     }
   }
   return Status::OK();
@@ -190,6 +194,7 @@ Result<BatchResult> HarmonyEngine::SearchInternal(const DatasetView& queries,
   cost.pruning_survival = options_.pruning_survival;
   cost.pruning_enabled = options_.enable_pruning;
   cost.pipeline_batch = options_.pipeline_batch;
+  cost.replication = options_.replication_factor;
   cost.net = options_.net;
   cost.machine = options_.machine;
   QueryPlanner planner(options_.mode, cost);

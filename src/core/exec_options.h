@@ -53,6 +53,21 @@ struct ExecTuning {
   /// Resends of a lost message before its target block is declared lost and
   /// the query completes degraded.
   size_t max_retries = 2;
+  /// Replicas per grid block (R). Each (vec_shard, dim_block) block is
+  /// materialized on R distinct machines (PartitionPlan::ReplicaOf); the
+  /// executor picks a primary per stage and — with enable_failover — retries
+  /// a surviving replica when a hop exhausts its budget or its target is
+  /// crashed, instead of degrading. 1 reproduces the unreplicated engines
+  /// byte-for-byte.
+  size_t replication_factor = 1;
+  /// Hedged requests: when > 0 and R > 1, a stage whose primary replica's
+  /// straggler factor (FaultPlan::delay_multiplier) is at least this
+  /// multiple of nominal also dispatches to a second replica; the first
+  /// response wins, the loser's bytes/ops are still billed. 0 disables.
+  double hedge_after = 0.0;
+  /// Fail over lost hops to surviving replicas (no effect at R = 1). Off,
+  /// a lost hop degrades the query exactly as in the unreplicated engines.
+  bool enable_failover = true;
   /// Hard wall-clock bail-out for the threaded coordinator: when > 0, a
   /// batch that fails to finish within this budget (e.g. a lost baton)
   /// returns Status kTimeout instead of blocking forever. 0 disables.

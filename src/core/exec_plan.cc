@@ -1,5 +1,8 @@
 #include "core/exec_plan.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "index/distance.h"
 
 namespace harmony {
@@ -17,6 +20,30 @@ Result<ExecContext> MakeExecContext(const IvfIndex& index,
   if (plan.num_dim_blocks > 64) {
     return Status::NotSupported("more than 64 dimension blocks");
   }
+  if (opts.faults.drop_prob < 0.0 || opts.faults.drop_prob > 1.0) {
+    return Status::InvalidArgument(
+        "fault plan drop_prob must lie in [0, 1]");
+  }
+  for (const double mult : opts.faults.delay_multiplier) {
+    if (mult < 0.0) {
+      return Status::InvalidArgument(
+          "fault plan delay multipliers must be >= 0");
+    }
+  }
+  if (opts.replication_factor == 0) {
+    return Status::InvalidArgument("replication factor must be >= 1");
+  }
+  if (opts.replication_factor > plan.num_machines) {
+    return Status::InvalidArgument(
+        "replication factor exceeds machine count");
+  }
+  if (opts.hedge_after < 0.0) {
+    return Status::InvalidArgument("hedge_after must be >= 0");
+  }
+  if (plan.replication != opts.replication_factor) {
+    return Status::InvalidArgument(
+        "partition plan was not built with the requested replication factor");
+  }
   ExecContext ctx;
   ctx.index = &index;
   ctx.plan = &plan;
@@ -31,7 +58,56 @@ Result<ExecContext> MakeExecContext(const IvfIndex& index,
   ctx.use_ip = opts.metric != Metric::kL2;
   ctx.use_norms = ctx.use_ip && ctx.b_dim > 1;
   ctx.max_retries = static_cast<uint32_t>(opts.max_retries);
+  ctx.replication = plan.replication;
+  ctx.routed = ctx.replication > 1;  // AttachFaults widens this when faulty.
   return ctx;
+}
+
+void StageReplicaOrder(const ExecContext& ctx, const QueryChain& chain,
+                       size_t block, std::vector<uint8_t>* order) {
+  const size_t reps = ctx.replication;
+  order->resize(reps);
+  std::iota(order->begin(), order->end(), static_cast<uint8_t>(0));
+  if (reps <= 1) return;
+  const uint64_t key =
+      ReplicaRouteKey(chain.probe_rank, chain.shard, block);
+  const size_t rot = static_cast<size_t>(key % reps);
+  std::rotate(order->begin(), order->begin() + rot, order->end());
+  // Health demotion. Only folded / static signals may steer routing: the
+  // health tracker's quarantine flags fold at rank barriers and the fault
+  // plan's start-crashes are compile-time truth, so both engines sort the
+  // same order no matter how their chains interleave within a rank.
+  const PartitionPlan& plan = *ctx.plan;
+  const size_t shard = static_cast<size_t>(chain.shard);
+  auto health_class = [&](uint8_t r) -> int {
+    const size_t machine =
+        static_cast<size_t>(plan.ReplicaOf(shard, block, r));
+    if (ctx.faulty && ctx.faults->CrashedFromStart(machine)) return 2;
+    if (ctx.health != nullptr && ctx.health->Quarantined(machine)) return 1;
+    return 0;
+  };
+  std::stable_sort(order->begin(), order->end(),
+                   [&](uint8_t a, uint8_t b) {
+                     return health_class(a) < health_class(b);
+                   });
+}
+
+size_t StagePrimaryReplica(const ExecContext& ctx, const QueryChain& chain,
+                           size_t block) {
+  if (ctx.replication <= 1) return 0;
+  std::vector<uint8_t> order;
+  StageReplicaOrder(ctx, chain, block, &order);
+  if (ctx.faulty) {
+    const PartitionPlan& plan = *ctx.plan;
+    const size_t shard = static_cast<size_t>(chain.shard);
+    for (const uint8_t r : order) {
+      if (!ctx.faults->CrashedFromStart(
+              static_cast<size_t>(plan.ReplicaOf(shard, block, r)))) {
+        return r;
+      }
+    }
+  }
+  return order.front();
 }
 
 void BuildChainSliceTable(const ExecContext& ctx, const QueryChain& chain,

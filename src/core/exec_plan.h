@@ -13,6 +13,7 @@
 #include "core/worker.h"
 #include "index/ivf_index.h"
 #include "net/fault.h"
+#include "net/health.h"
 #include "storage/dataset.h"
 #include "util/status.h"
 #include "util/topk.h"
@@ -72,15 +73,32 @@ struct ExecContext {
   const FaultInjector* faults = nullptr;
   bool faulty = false;
 
+  /// Replication factor of the plan (>= 1). `routed` is true when replica
+  /// routing is active — either because the plan is replicated (R > 1 spreads
+  /// stage load across replicas even on healthy runs) or because faults can
+  /// fire (the replica walk is what decides delivery / failover / loss). At
+  /// R = 1 with no faults both engines keep the historical direct path.
+  size_t replication = 1;
+  bool routed = false;
+
+  /// Node-health tracker of the running batch; attached by the engine glue
+  /// (each engine owns one tracker per Execute* call). May stay null: all
+  /// readers treat a missing tracker as "every node healthy".
+  NodeHealthTracker* health = nullptr;
+
   void AttachFaults(const FaultInjector* injector) {
     faults = injector;
     faulty = injector != nullptr && injector->enabled();
+    routed = faulty || replication > 1;
   }
+
+  void AttachHealth(NodeHealthTracker* tracker) { health = tracker; }
 };
 
 /// Validates the batch inputs shared by both engines (query dimensionality,
-/// the 64-block lost-mask limit) and resolves the derived facts. Engine
-/// glue keeps its substrate-specific checks (cluster size, store count).
+/// the 64-block lost-mask limit, fault-plan probabilities and multipliers,
+/// replication-factor bounds) and resolves the derived facts. Engine glue
+/// keeps its substrate-specific checks (cluster size, store count).
 Result<ExecContext> MakeExecContext(const IvfIndex& index,
                                     const PartitionPlan& plan,
                                     const std::vector<WorkerStore>& stores,
@@ -126,6 +144,26 @@ void BuildChainCandidateArrays(const ExecContext& ctx, const QueryChain& chain,
 /// fills q_block_norm and rem_q_total.
 void ComputeQueryBlockNorms(const ExecContext& ctx, const QueryChain& chain,
                             ChainCandidates* cand);
+
+/// \brief Replica preference order of the stage at (chain.probe_rank,
+/// chain.shard, block d). Deterministic given (plan, folded health state):
+/// a hash rotation of [0, R) keyed by ReplicaRouteKey spreads primaries
+/// across replicas, then a stable sort demotes unhealthy replicas — nodes
+/// crashed from the start (static fault-plan truth) sort last, quarantined
+/// nodes (folded by the health tracker at the previous rank barrier)
+/// sort after healthy ones. R = 1 yields {0} untouched. All chains of one
+/// (probe_rank, shard) group share the order, so group stages agree on a
+/// machine without per-member coordination.
+void StageReplicaOrder(const ExecContext& ctx, const QueryChain& chain,
+                       size_t block, std::vector<uint8_t>* order);
+
+/// First replica in StageReplicaOrder whose machine is not crashed from the
+/// start — the stage's primary. Falls back to the order's front when every
+/// replica is dead (callers only consult the primary when some member still
+/// wants the block, which implies a live replica exists). R = 1 returns 0
+/// without touching the order.
+size_t StagePrimaryReplica(const ExecContext& ctx, const QueryChain& chain,
+                           size_t block);
 
 /// Algorithm 1's PrewarmHeap stage for one query: scores the client-cached
 /// sample of every probed list into the query's heap, seeding a sound

@@ -14,8 +14,33 @@ std::string PartitionPlan::ToString() const {
     if (s > 0) os << ",";
     os << shard_vector_count[s];
   }
-  os << "]}";
+  os << "]";
+  if (replication > 1) os << " R=" << replication;
+  os << "}";
   return os.str();
+}
+
+Status ApplyReplication(PartitionPlan* plan, size_t replication) {
+  if (replication == 0) {
+    return Status::InvalidArgument("replication factor must be >= 1");
+  }
+  if (replication > plan->num_machines) {
+    return Status::InvalidArgument(
+        "replication factor exceeds machine count");
+  }
+  plan->replication = replication;
+  plan->replica_of.clear();
+  if (replication == 1) return Status::OK();
+  const size_t blocks = plan->machine_of.size();
+  plan->replica_of.resize(blocks * replication);
+  for (size_t b = 0; b < blocks; ++b) {
+    for (size_t r = 0; r < replication; ++r) {
+      plan->replica_of[b * replication + r] = static_cast<int32_t>(
+          (static_cast<size_t>(plan->machine_of[b]) + r) %
+          plan->num_machines);
+    }
+  }
+  return Status::OK();
 }
 
 Result<PartitionPlan> BuildPartitionPlan(const IvfIndex& index,

@@ -31,6 +31,14 @@ struct PartitionPlan {
   std::vector<int64_t> shard_vector_count;        // vectors per shard
   /// machine_of[v * num_dim_blocks + d] = machine owning block (v, d).
   std::vector<int32_t> machine_of;
+  /// Replicas per grid block (R). 1 = unreplicated; `replica_of` is then
+  /// empty and replica 0 of every block is its `machine_of` owner.
+  size_t replication = 1;
+  /// replica_of[(v * num_dim_blocks + d) * replication + r] = machine
+  /// holding replica r of block (v, d). Replica 0 is always the machine_of
+  /// owner; further replicas rotate across machines so each machine holds
+  /// exactly R distinct blocks. Empty when replication == 1.
+  std::vector<int32_t> replica_of;
   /// Mean squared magnitude of each dimension block, estimated from the
   /// size-weighted centroids. Blocks with more energy separate candidates
   /// faster, so the executor prefers to process them early — they are where
@@ -40,6 +48,14 @@ struct PartitionPlan {
 
   int32_t MachineOf(size_t vec_shard, size_t dim_block) const {
     return machine_of[vec_shard * num_dim_blocks + dim_block];
+  }
+
+  /// Machine holding replica `r` of block (vec_shard, dim_block). Replica 0
+  /// is the MachineOf owner on every plan, replicated or not.
+  int32_t ReplicaOf(size_t vec_shard, size_t dim_block, size_t r) const {
+    if (r == 0 || replica_of.empty()) return MachineOf(vec_shard, dim_block);
+    return replica_of[(vec_shard * num_dim_blocks + dim_block) * replication +
+                      r];
   }
 
   std::string ToString() const;
@@ -69,6 +85,15 @@ Result<PartitionPlan> BuildPartitionPlan(
     const IvfIndex& index, size_t num_machines, size_t num_vec_shards,
     size_t num_dim_blocks, ShardAssignment assignment,
     const std::vector<double>* list_weights = nullptr);
+
+/// \brief Replicates every grid block of `plan` onto `replication` distinct
+/// machines: replica r of block (v, d) lands on
+/// `(machine_of[v*B_dim+d] + r) % num_machines`, so replicas of one block
+/// never collide and every machine holds exactly R distinct blocks (the
+/// load-spreading analogue of the Figure 4 one-block-per-machine layout).
+/// Requires 1 <= replication <= num_machines. `replication == 1` is a no-op
+/// that leaves the plan bitwise unchanged.
+Status ApplyReplication(PartitionPlan* plan, size_t replication);
 
 /// \brief All grid shapes (B_vec, B_dim) with B_vec * B_dim == num_machines
 /// and B_dim <= dim — the search space of the query planner.

@@ -152,6 +152,28 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
   // per-chain failure detection, no oracle.
   std::vector<uint8_t> machine_dead(plan.num_machines, 0);
 
+  // Replica routing (R > 1, or any fault plan): each chain hop lands on the
+  // schedule-chosen replica of its block. With R = 1 every helper below
+  // degenerates to MachineOf / the legacy slice-arrival layout, bit for bit.
+  const bool routed = ctx.routed;
+  const size_t reps = std::max<size_t>(1, ctx.replication);
+  NodeHealthTracker health(plan.num_machines);
+  ctx.AttachHealth(&health);
+  auto hop_replica = [](const ChainRun& run, size_t d) -> size_t {
+    return run.loss.replica.empty()
+               ? 0
+               : static_cast<size_t>(run.loss.replica[d]);
+  };
+  auto block_machine_of = [&](const ChainRun& run, size_t d) -> size_t {
+    return static_cast<size_t>(
+        plan.ReplicaOf(run.shard, d, hop_replica(run, d)));
+  };
+  // Query slices are broadcast to every replica of a block; a hop reads the
+  // arrival at the replica it actually lands on.
+  auto slice_at = [&](const ChainRun& run, size_t d) -> double {
+    return run.slice_arrival[d * reps + hop_replica(run, d)];
+  };
+
   // Intra-node parallelism: threads_per_node > 1 switches every worker to
   // lane-scheduled compute (SimNode::ChargeComputeAt). At 1 the workers
   // keep the historical single-clock path and every charge below is
@@ -242,23 +264,31 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         ComputeQueryBlockNorms(ctx, chain, &run.cand);
         client.ChargeCompute(DistanceOpCost(ctx.dim));
       }
-      run.slice_arrival.resize(b_dim);
+      run.slice_arrival.resize(b_dim * reps);
       for (size_t d = 0; d < b_dim; ++d) {
-        const size_t machine = static_cast<size_t>(plan.MachineOf(shard, d));
         const uint64_t bytes =
             plan.dim_ranges[d].width() * sizeof(float) + kMsgHeaderBytes;
-        run.slice_arrival[d] =
-            cluster->Transfer(&client, &cluster->worker(machine), bytes);
+        for (size_t rr = 0; rr < reps; ++rr) {
+          const size_t machine =
+              static_cast<size_t>(plan.ReplicaOf(shard, d, rr));
+          run.slice_arrival[d * reps + rr] =
+              cluster->Transfer(&client, &cluster->worker(machine), bytes);
+        }
       }
 
       BuildChainSliceTable(ctx, chain, &run.cand);
       BuildChainCandidateArrays(ctx, chain, state.prewarmed_ids, &run.cand);
       out.prune.total_candidates += run.cand.id.size();
 
-      if (faulty) {
-        run.loss = ComputeChainLossSchedule(faults, plan, chain, b_dim,
-                                            max_retries);
-        if (!run.cand.id.empty()) {
+      if (routed && !run.cand.id.empty()) {
+        // Schedule whenever replica routing is active (the walk picks each
+        // hop's replica even on a healthy replicated run); book only under
+        // faults. Chains with nothing to scan skip the schedule entirely so
+        // the health tracker sees exactly the chains the threaded engine
+        // feeds it (PrepareChain returns null for those before its schedule
+        // runs).
+        run.loss = ComputeChainSchedule(ctx, chain);
+        if (faulty) {
           ledger.BookStaticChainLoss(run.loss, chain.query, max_retries);
         }
       }
@@ -325,8 +355,10 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
              static_cast<double>(queued_ops[machine]) / worker.ops_per_sec();
     };
     auto choose_block = [&](const ChainRun& run, uint64_t remaining) {
-      return ChooseLoadAwareBlock(plan, run.shard, b_dim, remaining, faulty,
-                                  machine_dead.data(), machine_load);
+      return ChooseLoadAwareBlock(
+          plan, b_dim, remaining, faulty, machine_dead.data(),
+          [&](size_t cand) { return block_machine_of(run, cand); },
+          machine_load);
     };
 
     // Critical-path cost of a message's failed delivery attempts; the
@@ -420,21 +452,64 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         const uint64_t bytes =
             task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
         task.next_block = next;
-        task.ready = std::max(detect_time, run.slice_arrival[next]);
+        task.ready = std::max(detect_time, slice_at(run, next));
         if (run.loss.attempts[next] > 1) {
           task.ready += retry_penalty(bytes, run.loss.attempts[next]);
         }
         task.seq = seq++;
         task.queued_ops = static_cast<uint64_t>(task.survivors) *
                           plan.dim_ranges[next].width();
-        const size_t next_machine =
-            static_cast<size_t>(plan.MachineOf(run.shard, next));
+        const size_t next_machine = block_machine_of(run, next);
         queued_ops[next_machine] += task.queued_ops;
         machine_queues[next_machine].pending.push(task);
         ++outstanding;
         return;
       }
       finalize_batch(task, run);
+    };
+
+    // Mid-run crash failover: the hop's target died under the baton. Try
+    // the surviving replicas further down the stage's preference order
+    // before giving the block up; re-pointing the chain's schedule means
+    // sibling batches of the same chain reroute when they pop. Returns
+    // false when no surviving replica's coin stream delivers (the caller
+    // then degrades via fail_over, as an unreplicated run would).
+    auto reroute_replica = [&](BatchTask task, ChainRun& run,
+                               double detect_time) -> bool {
+      const size_t d = task.next_block;
+      std::vector<uint8_t> order;
+      StageReplicaOrder(ctx, *run.chain, d, &order);
+      const size_t cur = hop_replica(run, d);
+      size_t pos = 0;
+      while (pos < order.size() && order[pos] != cur) ++pos;
+      for (size_t i = pos + 1; i < order.size(); ++i) {
+        const size_t r2 = order[i];
+        const size_t m2 =
+            static_cast<size_t>(plan.ReplicaOf(run.shard, d, r2));
+        if (machine_dead[m2] || faults.CrashedFromStart(m2)) continue;
+        const uint32_t att = faults.DeliveryAttempts(
+            ReplicaHopKey(run.chain->query, run.chain->shard, d, r2),
+            max_retries);
+        if (att == 0) {
+          ledger.BookLostMessage(max_retries);
+          continue;
+        }
+        run.loss.replica[d] = static_cast<uint8_t>(r2);
+        run.loss.attempts[d] = att;
+        ledger.BookFailover();
+        const uint64_t bytes =
+            task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
+        task.ready = std::max(detect_time, slice_at(run, d));
+        if (att > 1) task.ready += retry_penalty(bytes, att);
+        task.seq = seq++;
+        task.queued_ops = static_cast<uint64_t>(task.survivors) *
+                          plan.dim_ranges[d].width();
+        queued_ops[m2] += task.queued_ops;
+        machine_queues[m2].pending.push(task);
+        ++outstanding;
+        return true;
+      }
+      return false;
     };
 
     // Seed every chain's pipeline batches.
@@ -473,7 +548,7 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         }
         task.next_block = task.start_block;
         task.rem_q_sq = run.cand.rem_q_total;
-        task.ready = run.slice_arrival[task.next_block];
+        task.ready = slice_at(run, task.next_block);
         if (faulty && run.loss.attempts[task.next_block] > 1) {
           task.ready += retry_penalty(
               plan.dim_ranges[task.next_block].width() * sizeof(float) +
@@ -483,8 +558,7 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         task.seq = seq++;
         task.queued_ops = static_cast<uint64_t>(task.survivors) *
                           plan.dim_ranges[task.next_block].width();
-        const size_t seed_machine = static_cast<size_t>(
-            plan.MachineOf(run.shard, task.next_block));
+        const size_t seed_machine = block_machine_of(run, task.next_block);
         queued_ops[seed_machine] += task.queued_ops;
         machine_queues[seed_machine].pending.push(task);
         ++outstanding;
@@ -526,27 +600,33 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       const QueryChain& chain = *run.chain;
       const size_t d = task.next_block;
       const DimRange range = plan.dim_ranges[d];
-      const size_t machine = static_cast<size_t>(plan.MachineOf(run.shard, d));
+      const size_t machine = block_machine_of(run, d);
       SimNode& node = cluster->worker(machine);
       if (faulty) {
         const double hop_start =
-            std::max({node.next_free(), task.ready, run.slice_arrival[d]});
+            std::max({node.next_free(), task.ready, slice_at(run, d)});
         if (hop_start >= faults.CrashTime(machine)) {
           // The target died before this baton could execute: the sender
-          // burns its full retry budget discovering that, then routes
-          // around the dead machine.
+          // burns its full retry budget discovering that, then fails over
+          // to a surviving replica of the same block — or, with none left
+          // (or failover off), routes around the dead machine block-wise.
           machine_dead[machine] = 1;
+          health.RecordDead(machine);
           const uint64_t bytes =
               task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
           const double detect =
               hop_start +
               cluster->network().RetryBackoffSeconds(bytes, max_retries);
           ledger.BookLostMessage(max_retries);
+          if (routed && reps > 1 && opts.enable_failover &&
+              reroute_replica(task, run, detect)) {
+            continue;
+          }
           fail_over(task, detect);
           continue;
         }
       }
-      const double scan_ready = std::max(task.ready, run.slice_arrival[d]);
+      const double scan_ready = std::max(task.ready, slice_at(run, d));
       if (!node.has_lanes()) node.WaitUntil(scan_ready);
 
       const BlockScanParams scan = MakeStageScanParams(
@@ -569,31 +649,67 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         task.compute_done = node.clock();
       }
 
+      // Hedged stage: the straggling primary's scan was also dispatched to
+      // a second replica, which performs the identical work on its own
+      // clock; the stage completes at the earlier of the two and the baton
+      // departs from the winner. Ties go to the primary. The loser's ops
+      // and bytes are still billed — hedging buys latency with work.
+      size_t stage_machine = machine;
+      const bool hedged = faulty && ((run.loss.hedge_mask >> d) & 1) != 0;
+      size_t hedge_machine = machine;
+      if (hedged) {
+        const size_t hr = static_cast<size_t>(run.loss.hedge_replica[d]);
+        hedge_machine = static_cast<size_t>(plan.ReplicaOf(run.shard, d, hr));
+        SimNode& hnode = cluster->worker(hedge_machine);
+        const double hedge_ready =
+            std::max(task.ready, run.slice_arrival[d * reps + hr]);
+        double hedge_done;
+        if (hnode.has_lanes()) {
+          hedge_done = hnode.ChargeComputeAt(hedge_ready, counters.ops);
+        } else {
+          hnode.WaitUntil(hedge_ready);
+          hnode.ChargeCompute(counters.ops);
+          hedge_done = hnode.clock();
+        }
+        if (hedge_done < task.compute_done) {
+          task.compute_done = hedge_done;
+          stage_machine = hedge_machine;
+        }
+      }
+
       // Streamed-bytes accounting (counters only — scheduling above never
       // reads it): per-survivor rows ungrouped, group-union billing with
-      // shared scans on (SharedScanBiller).
+      // shared scans on (SharedScanBiller). A hedged stage bills the same
+      // rows again on the hedge replica.
       {
         const size_t chain_idx =
             static_cast<size_t>(run.chain - routing.chains.data());
-        backend.ChargeStreamedBytes(
-            machine,
+        const uint64_t scan_bytes =
             biller.StageBytes(chain_idx, chain, run.cand, d, task.begin, w,
-                              range.width() * sizeof(float)));
+                              range.width() * sizeof(float));
+        backend.ChargeStreamedBytes(machine, scan_bytes);
+        if (hedged) backend.ChargeStreamedBytes(hedge_machine, scan_bytes);
       }
       if (use_norms) task.rem_q_sq -= run.cand.q_block_norm[d];
       task.remaining &= ~(uint64_t{1} << d);
       ++task.processed;
       task.survivors = w;
-      task.last_machine = static_cast<int32_t>(machine);
+      task.last_machine = static_cast<int32_t>(stage_machine);
       if (faulty) {
         // Another batch of this chain may have discovered crash-lost blocks
         // in the meantime; don't hop into a known-dead block.
         task.remaining &= ~run.loss.lost_mask;
       }
 
-      run.machine_bytes[machine] = std::max(
-          run.machine_bytes[machine],
-          w * BytesPerCandidate(use_norms) + range.width() * sizeof(float));
+      const uint64_t stage_footprint =
+          w * BytesPerCandidate(use_norms) + range.width() * sizeof(float);
+      run.machine_bytes[machine] =
+          std::max(run.machine_bytes[machine], stage_footprint);
+      if (hedged) {
+        // The hedge replica held the same candidates and slice.
+        run.machine_bytes[hedge_machine] =
+            std::max(run.machine_bytes[hedge_machine], stage_footprint);
+      }
 
       if (task.survivors > 0 && task.remaining != 0) {
         // Choose the next block: with load-aware dynamic ordering, the
@@ -611,16 +727,20 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         }
         HARMONY_CHECK(next < b_dim);
         task.next_block = next;
-        const size_t next_machine =
-            static_cast<size_t>(plan.MachineOf(run.shard, next));
+        const size_t next_machine = block_machine_of(run, next);
         const uint64_t bytes =
             task.survivors * BytesPerCandidate(use_norms) + kMsgHeaderBytes;
+        // The baton departs from the stage winner (the hedge replica when
+        // it beat the primary); on the lane path its serial (NIC) clock
+        // must first catch up to the stage completion.
+        SimNode& from = cluster->worker(static_cast<size_t>(task.last_machine));
+        if (from.has_lanes()) from.WaitUntil(task.compute_done);
         double arrival =
-            cluster->Transfer(&node, &cluster->worker(next_machine), bytes);
+            cluster->Transfer(&from, &cluster->worker(next_machine), bytes);
         if (faulty && run.loss.attempts[next] > 1) {
           arrival += retry_penalty(bytes, run.loss.attempts[next]);
         }
-        task.ready = std::max(arrival, run.slice_arrival[next]);
+        task.ready = std::max(arrival, slice_at(run, next));
         task.seq = seq++;
         task.queued_ops = static_cast<uint64_t>(task.survivors) *
                           plan.dim_ranges[next].width();
@@ -652,6 +772,9 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
             run.machine_bytes[m];
       }
     }
+    // Rank barrier: fold this rank's health observations so the next rank's
+    // replica selection reads the same epoch state as the threaded engine.
+    health.FoldEpoch();
     rank_begin = rank_end;
   }
 

@@ -70,6 +70,7 @@ Result<PlanChoice> QueryPlanner::Plan(const IvfIndex& index,
         PartitionPlan plan,
         BuildPartitionPlan(index, num_machines, b_vec, b_dim, assignment,
                            &weights));
+    HARMONY_RETURN_NOT_OK(ApplyReplication(&plan, params_.replication));
     PlanChoice choice;
     choice.cost = EstimatePlanCost(plan, profile, params_);
     choice.plan = std::move(plan);
@@ -110,6 +111,7 @@ Result<PlanChoice> QueryPlanner::Plan(const IvfIndex& index,
                            &weights);
     if (!plan_result.ok()) continue;  // e.g. B_vec > nlist
     PartitionPlan plan = std::move(plan_result).value();
+    HARMONY_RETURN_NOT_OK(ApplyReplication(&plan, params_.replication));
     const CostEstimate est = EstimatePlanCost(plan, profile, params_);
     candidates.push_back({{b_vec, b_dim}, est});
     if (est.total_cost < best_cost) {

@@ -11,6 +11,7 @@ std::string FaultStats::ToString() const {
   std::ostringstream os;
   os << "faults{dropped=" << messages_dropped << " retries=" << retries
      << " blocks_lost=" << blocks_lost << " shards_lost=" << shards_lost
+     << " failovers=" << failovers << " hedged=" << hedged
      << " degraded_queries=" << degraded_queries;
   if (degraded_recall >= 0.0) os << " degraded_recall=" << degraded_recall;
   os << "}";

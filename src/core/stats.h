@@ -65,6 +65,12 @@ struct FaultStats {
   /// Chains whose every dimension block (or final result hop) was lost —
   /// the whole vector shard contributed nothing to that query.
   uint64_t shards_lost = 0;
+  /// Hops rerouted to a surviving replica after their preferred replica
+  /// failed (dead node or exhausted retry budget). Zero at R = 1.
+  uint64_t failovers = 0;
+  /// Stages dispatched to a second replica because the primary was a
+  /// straggler (hedge_after). Zero with hedging off or at R = 1.
+  uint64_t hedged = 0;
   /// Queries whose result set was computed from an incomplete pipeline.
   size_t degraded_queries = 0;
   /// recall@K over the degraded queries only; filled by callers that hold
@@ -73,7 +79,8 @@ struct FaultStats {
 
   bool any() const {
     return messages_dropped > 0 || retries > 0 || blocks_lost > 0 ||
-           shards_lost > 0 || degraded_queries > 0;
+           shards_lost > 0 || failovers > 0 || hedged > 0 ||
+           degraded_queries > 0;
   }
   std::string ToString() const;
 };

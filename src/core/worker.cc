@@ -71,35 +71,39 @@ Result<std::vector<WorkerStore>> BuildWorkerStores(const IvfIndex& index,
 
   for (size_t v = 0; v < plan.num_vec_shards; ++v) {
     for (size_t d = 0; d < plan.num_dim_blocks; ++d) {
-      const size_t machine = static_cast<size_t>(plan.MachineOf(v, d));
-      WorkerStore::Block block;
-      block.vec_shard = v;
-      block.dim_block = d;
-      block.range = plan.dim_ranges[d];
-      for (const int32_t list_id : plan.shard_lists[v]) {
-        const DatasetView vectors =
-            index.ListVectors(static_cast<size_t>(list_id));
-        if (vectors.empty()) continue;
-        ListSlice ls;
-        HARMONY_ASSIGN_OR_RETURN(
-            ls.slice,
-            DimSlicedMatrix::FromAllRows(
-                vectors, block.range,
-                index.ListIds(static_cast<size_t>(list_id))));
-        if (with_norms) {
-          ls.block_norm_sq.resize(ls.slice.num_rows());
-          ls.total_norm_sq.resize(ls.slice.num_rows());
-          for (size_t r = 0; r < ls.slice.num_rows(); ++r) {
-            const float* row = ls.slice.Row(r);
-            ls.block_norm_sq[r] = PartialIp(row, row, block.range.width());
-            const float* full = vectors.Row(r);
-            ls.total_norm_sq[r] = PartialIp(full, full, vectors.dim());
+      // Materialize block (v, d) on every replica machine; replica 0 is the
+      // MachineOf owner and the only copy on unreplicated plans.
+      for (size_t rep = 0; rep < plan.replication; ++rep) {
+        const size_t machine = static_cast<size_t>(plan.ReplicaOf(v, d, rep));
+        WorkerStore::Block block;
+        block.vec_shard = v;
+        block.dim_block = d;
+        block.range = plan.dim_ranges[d];
+        for (const int32_t list_id : plan.shard_lists[v]) {
+          const DatasetView vectors =
+              index.ListVectors(static_cast<size_t>(list_id));
+          if (vectors.empty()) continue;
+          ListSlice ls;
+          HARMONY_ASSIGN_OR_RETURN(
+              ls.slice,
+              DimSlicedMatrix::FromAllRows(
+                  vectors, block.range,
+                  index.ListIds(static_cast<size_t>(list_id))));
+          if (with_norms) {
+            ls.block_norm_sq.resize(ls.slice.num_rows());
+            ls.total_norm_sq.resize(ls.slice.num_rows());
+            for (size_t r = 0; r < ls.slice.num_rows(); ++r) {
+              const float* row = ls.slice.Row(r);
+              ls.block_norm_sq[r] = PartialIp(row, row, block.range.width());
+              const float* full = vectors.Row(r);
+              ls.total_norm_sq[r] = PartialIp(full, full, vectors.dim());
+            }
           }
+          block.lists.emplace(list_id, std::move(ls));
         }
-        block.lists.emplace(list_id, std::move(ls));
+        stores[machine].blocks_.push_back(std::move(block));
+        stores[machine].IndexBlock(stores[machine].blocks_.size() - 1);
       }
-      stores[machine].blocks_.push_back(std::move(block));
-      stores[machine].IndexBlock(stores[machine].blocks_.size() - 1);
     }
   }
   return stores;

@@ -87,4 +87,17 @@ uint64_t ChainHopKey(int32_t query, int32_t shard, size_t block) {
   return Mix64(key);
 }
 
+uint64_t ReplicaHopKey(int32_t query, int32_t shard, size_t block, size_t r) {
+  const uint64_t base = ChainHopKey(query, shard, block);
+  if (r == 0) return base;  // Replica 0 flips the historical coins.
+  return Mix64(base ^ (0xD6E8FEB86659FD93ULL * static_cast<uint64_t>(r)));
+}
+
+uint64_t ReplicaRouteKey(size_t probe_rank, int32_t shard, size_t block) {
+  uint64_t key = static_cast<uint64_t>(probe_rank);
+  key = (key << 24) ^ static_cast<uint64_t>(static_cast<uint32_t>(shard));
+  key = (key << 16) ^ static_cast<uint64_t>(block);
+  return Mix64(key ^ 0xA24BAED4963EE407ULL);
+}
+
 }  // namespace harmony

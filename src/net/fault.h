@@ -97,6 +97,19 @@ class FaultInjector {
 /// thread or event ordering.
 uint64_t ChainHopKey(int32_t query, int32_t shard, size_t block);
 
+/// \brief Stable key for the delivery of chain (query, shard)'s baton into
+/// dimension block `block` at replica `r`. Replica 0 IS ChainHopKey —
+/// unreplicated plans flip exactly the historical coins — and each further
+/// replica draws an independent coin stream, so a hop that dies on the
+/// primary can survive on a failover replica.
+uint64_t ReplicaHopKey(int32_t query, int32_t shard, size_t block, size_t r);
+
+/// \brief Stable key seeding the replica *preference rotation* of stage
+/// (probe_rank, shard, block): hashes the stage identity (not the fault
+/// seed) so load spreads across replicas deterministically even on a
+/// healthy cluster.
+uint64_t ReplicaRouteKey(size_t probe_rank, int32_t shard, size_t block);
+
 }  // namespace harmony
 
 #endif  // HARMONY_NET_FAULT_H_

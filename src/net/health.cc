@@ -1,0 +1,42 @@
+#include "net/health.h"
+
+#include <sstream>
+
+namespace harmony {
+
+NodeHealthTracker::NodeHealthTracker(size_t num_nodes)
+    : num_nodes_(num_nodes), nodes_(new Node[num_nodes]) {}
+
+void NodeHealthTracker::FoldEpoch() {
+  for (size_t n = 0; n < num_nodes_; ++n) {
+    Node& node = nodes_[n];
+    const uint64_t attempts =
+        node.attempts.exchange(0, std::memory_order_relaxed);
+    const uint64_t failures =
+        node.failures.exchange(0, std::memory_order_relaxed);
+    const double rate =
+        attempts != 0
+            ? static_cast<double>(failures) / static_cast<double>(attempts)
+            : 0.0;
+    node.failure_ewma = (1.0 - kAlpha) * node.failure_ewma + kAlpha * rate;
+    node.penalty_ewma =
+        (1.0 - kAlpha) * node.penalty_ewma +
+        kAlpha * static_cast<double>(failures);
+    node.quarantined = node.dead.load(std::memory_order_relaxed) != 0 ||
+                       node.failure_ewma >= kQuarantineThreshold;
+  }
+}
+
+std::string NodeHealthTracker::ToString() const {
+  std::ostringstream os;
+  os << "health{";
+  for (size_t n = 0; n < num_nodes_; ++n) {
+    if (n > 0) os << " ";
+    os << n << ":" << (KnownDead(n) ? "dead" : Quarantined(n) ? "quar" : "ok")
+       << "/" << FailureEwma(n);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace harmony

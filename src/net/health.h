@@ -1,0 +1,88 @@
+#ifndef HARMONY_NET_HEALTH_H_
+#define HARMONY_NET_HEALTH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace harmony {
+
+/// \brief Deterministic per-node health tracker feeding replica selection.
+///
+/// Both execution engines own one tracker per batch. During a probe rank,
+/// chain schedules record delivery attempts / failures / observed crashes
+/// per node (atomic, commutative — safe from worker threads). At each rank
+/// barrier the *client* thread calls FoldEpoch(), which folds the recorded
+/// counters into per-node EWMAs in fixed node order and derives the
+/// quarantine set the *next* rank's replica ordering reads.
+///
+/// Determinism: all records come from ChainLossSchedule walks, which are
+/// pure functions of (fault plan, chain, replica order); counter folding is
+/// commutative addition; and selection only ever reads the epoch snapshot
+/// (never the in-flight counters). The simulated and threaded engines
+/// therefore compute identical health states — and identical routing — for
+/// the same plan, regardless of thread or event timing.
+class NodeHealthTracker {
+ public:
+  explicit NodeHealthTracker(size_t num_nodes);
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Records `n` delivery attempts aimed at `node` this epoch.
+  void RecordAttempts(size_t node, uint64_t n) {
+    if (n != 0) nodes_[node].attempts.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Records `n` dropped attempts (timeouts) aimed at `node` this epoch.
+  void RecordFailures(size_t node, uint64_t n) {
+    if (n != 0) nodes_[node].failures.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Records that `node` was observed crashed. Sticky for the batch.
+  void RecordDead(size_t node) {
+    nodes_[node].dead.store(1, std::memory_order_relaxed);
+  }
+
+  /// Folds this epoch's counters into the EWMAs and resets them. Call from
+  /// exactly one thread (the client) at a rank barrier, never concurrently
+  /// with Record*.
+  void FoldEpoch();
+
+  /// True when replica selection should demote `node` behind healthy peers:
+  /// it is known dead or its failure EWMA crossed the quarantine threshold.
+  bool Quarantined(size_t node) const { return nodes_[node].quarantined; }
+  /// True when the node was ever observed crashed this batch.
+  bool KnownDead(size_t node) const {
+    return nodes_[node].dead.load(std::memory_order_relaxed) != 0;
+  }
+  /// EWMA of the per-epoch failed-attempt fraction in [0, 1].
+  double FailureEwma(size_t node) const { return nodes_[node].failure_ewma; }
+  /// EWMA of the per-epoch absolute failure count (a latency-pressure
+  /// proxy: every failure costs its sender a retry-backoff timeout).
+  double PenaltyEwma(size_t node) const { return nodes_[node].penalty_ewma; }
+
+  std::string ToString() const;
+
+  /// Failure-rate EWMA at or above this quarantines a node.
+  static constexpr double kQuarantineThreshold = 0.25;
+  /// EWMA fold factor: new = (1 - alpha) * old + alpha * this_epoch.
+  static constexpr double kAlpha = 0.5;
+
+ private:
+  struct Node {
+    std::atomic<uint64_t> attempts{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint32_t> dead{0};
+    // Epoch-folded state, written only by FoldEpoch on the client thread.
+    double failure_ewma = 0.0;
+    double penalty_ewma = 0.0;
+    bool quarantined = false;
+  };
+
+  size_t num_nodes_;
+  std::unique_ptr<Node[]> nodes_;  // atomics are not movable; fixed array
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_NET_HEALTH_H_

@@ -49,12 +49,13 @@ struct RunSetup {
 
 RunSetup MakeSetup(const SmallWorld& world, size_t machines, size_t b_vec,
                    size_t b_dim, size_t nprobe, size_t group_size,
-                   bool with_norms = false) {
+                   bool with_norms = false, size_t replication = 1) {
   RunSetup setup;
   auto plan = BuildPartitionPlan(world.index, machines, b_vec, b_dim,
                                  ShardAssignment::kGreedyBalanced);
   EXPECT_TRUE(plan.ok());
   setup.plan = std::move(plan).value();
+  EXPECT_TRUE(ApplyReplication(&setup.plan, replication).ok());
   auto stores = BuildWorkerStores(world.index, setup.plan, with_norms);
   EXPECT_TRUE(stores.ok());
   setup.stores = std::move(stores).value();
@@ -87,6 +88,11 @@ struct MatrixCase {
   size_t threads_per_node;
   bool filtered;
   bool pruning;
+  /// Replicas per grid block; the setup's plan must match.
+  size_t replication = 1;
+  /// Straggler threshold enabling hedged requests (0 = off).
+  double hedge_after = 0.0;
+  bool enable_failover = true;
 };
 
 void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
@@ -96,7 +102,9 @@ void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
                << "faults=" << static_cast<int>(mc.faults)
                << " grouping=" << mc.grouping << " tpn="
                << mc.threads_per_node << " filtered=" << mc.filtered
-               << " pruning=" << mc.pruning);
+               << " pruning=" << mc.pruning << " R=" << mc.replication
+               << " hedge=" << mc.hedge_after
+               << " failover=" << mc.enable_failover);
   ExecOptions opts;
   opts.k = 10;
   opts.nprobe = 4;
@@ -107,6 +115,9 @@ void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
   opts.shared_scans = mc.grouping;
   opts.query_group_size = mc.grouping ? 4 : 1;
   opts.threads_per_node = mc.threads_per_node;
+  opts.replication_factor = mc.replication;
+  opts.hedge_after = mc.hedge_after;
+  opts.enable_failover = mc.enable_failover;
   if (mc.filtered) {
     opts.labels = &labels;
     opts.allowed_label = 1;
@@ -117,6 +128,10 @@ void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
   } else if (mc.faults == FaultMode::kDrop) {
     plan.seed = 2024;
     plan.drop_prob = 0.25;
+  }
+  if (mc.hedge_after > 0.0) {
+    // Make node 0 a straggler so the hedge threshold actually trips.
+    plan.delay_multiplier = {3.0};
   }
   opts.faults = plan;  // the threaded engine reads the plan from opts
 
@@ -137,13 +152,17 @@ void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
             thr.value().faults.degraded_queries);
   EXPECT_EQ(sim.value().faults.blocks_lost, thr.value().faults.blocks_lost);
   EXPECT_EQ(sim.value().faults.shards_lost, thr.value().faults.shards_lost);
+  // Failover and hedge bookings come from the static chain schedule — a
+  // pure function of the plan — so they agree under every fault mode.
+  EXPECT_EQ(sim.value().faults.failovers, thr.value().faults.failovers);
+  EXPECT_EQ(sim.value().faults.hedged, thr.value().faults.hedged);
   if (mc.faults != FaultMode::kDrop) {
     // No resends anywhere: the full FaultStats must agree.
     EXPECT_EQ(sim.value().faults.messages_dropped,
               thr.value().faults.messages_dropped);
     EXPECT_EQ(sim.value().faults.retries, thr.value().faults.retries);
   }
-  if (mc.faults == FaultMode::kNone) {
+  if (mc.faults == FaultMode::kNone && mc.hedge_after == 0.0) {
     EXPECT_FALSE(sim.value().faults.any());
     EXPECT_FALSE(thr.value().faults.any());
   }
@@ -174,6 +193,155 @@ TEST(ExecParityTest, OptionMatrixSweep) {
       }
     }
   }
+}
+
+// Replicated plans: the same cross-engine agreement must hold with R > 1
+// replicas per grid block, with and without hedging and failover, under
+// every fault mode. Hedging cases make node 0 a straggler so the threshold
+// trips; failover/hedge counters are pure functions of the plan and must
+// agree bit-for-bit across engines.
+TEST(ExecParityTest, ReplicationMatrixSweep) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const size_t machines = 4;
+  const std::vector<int32_t> labels;  // unfiltered throughout
+  for (const size_t replication : {size_t{2}, size_t{3}}) {
+    const RunSetup grouped = MakeSetup(world, machines, 2, 2, 4, 4,
+                                       /*with_norms=*/false, replication);
+    const RunSetup solo = MakeSetup(world, machines, 2, 2, 4, 1,
+                                    /*with_norms=*/false, replication);
+    for (const FaultMode faults :
+         {FaultMode::kNone, FaultMode::kCrash, FaultMode::kDrop}) {
+      for (const bool grouping : {false, true}) {
+        for (const double hedge : {0.0, 2.0}) {
+          for (const bool failover : {true, false}) {
+            const MatrixCase mc{faults,      grouping, /*tpn=*/1,
+                                /*filtered=*/false,    /*pruning=*/true,
+                                replication, hedge,    failover};
+            ExpectEnginesAgree(world, grouping ? grouped : solo, machines,
+                               labels, mc);
+          }
+        }
+      }
+    }
+    // Lane-scheduled compute path once per replication factor.
+    const MatrixCase lanes{FaultMode::kDrop, true,        /*tpn=*/4,
+                           false,            true,        replication,
+                           /*hedge=*/2.0,    /*failover=*/true};
+    ExpectEnginesAgree(world, grouped, machines, labels, lanes);
+  }
+}
+
+// Acceptance (ISSUE 5): with 5% drops and one node crashed from the start,
+// R = 2 + failover routing completes every query clean — zero degraded
+// queries and results bitwise equal to the fault-free R = 2 run — on both
+// engines. The same fault plan at R = 1 degrades (the crashed node's block
+// is simply gone), and the two engines agree byte-for-byte on which
+// queries those are.
+TEST(ExecParityTest, FailoverZeroDegradedUnderCrashAndDrops) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const size_t machines = 4;
+  const RunSetup setup = MakeSetup(world, machines, 2, 2, 4, 1,
+                                   /*with_norms=*/false, /*replication=*/2);
+
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  opts.enable_pipeline = false;    // aligned block order (bitwise parity)
+  opts.dynamic_dim_order = false;
+  opts.pipeline_batch = 1u << 20;
+  opts.replication_factor = 2;
+
+  // Fault-free R = 2 baseline.
+  SimCluster healthy_cluster(machines);
+  auto healthy = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                                  setup.prewarm, setup.routing,
+                                  world.workload.queries.View(), opts,
+                                  &healthy_cluster);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+
+  // Pick (deterministically, by brute force over seeds) a drop seed where
+  // every replica hop on a live machine delivers within the retry budget:
+  // per-key loss is drop_prob^(max_retries+1) = 1.25e-4, so most seeds
+  // qualify. Under that seed failover routing can always land every hop.
+  FaultPlan fplan;
+  fplan.drop_prob = 0.05;
+  fplan.crashes.push_back({1, 0.0});
+  const uint32_t budget = static_cast<uint32_t>(opts.max_retries);
+  const size_t b_dim = setup.plan.num_dim_blocks;
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 64 && !found; ++seed) {
+    fplan.seed = seed;
+    const FaultInjector inj(fplan);
+    bool clean = true;
+    for (const QueryChain& chain : setup.routing.chains) {
+      for (size_t d = 0; d <= b_dim && clean; ++d) {
+        for (size_t r = 0; r < 2; ++r) {
+          if (d < b_dim &&
+              inj.CrashedFromStart(static_cast<size_t>(
+                  setup.plan.ReplicaOf(chain.shard, d, r)))) {
+            continue;  // dead replicas may burn their budget
+          }
+          if (inj.DeliveryAttempts(
+                  ReplicaHopKey(chain.query, chain.shard, d, r), budget) ==
+              0) {
+            clean = false;
+            break;
+          }
+        }
+      }
+      if (!clean) break;
+    }
+    found = clean;
+  }
+  ASSERT_TRUE(found) << "no clean drop seed in [1, 64]";
+  opts.faults = fplan;
+
+  SimCluster faulty_cluster(machines);
+  faulty_cluster.SetFaultPlan(fplan);
+  auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts,
+                              &faulty_cluster);
+  auto thr = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                             setup.prewarm, setup.routing,
+                             world.workload.queries.View(), opts);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  ASSERT_TRUE(thr.ok()) << thr.status();
+
+  // Zero degraded, nothing lost — and the drops really happened.
+  EXPECT_EQ(sim.value().faults.degraded_queries, 0u);
+  EXPECT_EQ(thr.value().faults.degraded_queries, 0u);
+  EXPECT_EQ(sim.value().faults.blocks_lost, 0u);
+  EXPECT_EQ(thr.value().faults.blocks_lost, 0u);
+  EXPECT_EQ(sim.value().faults.shards_lost, 0u);
+  EXPECT_EQ(thr.value().faults.shards_lost, 0u);
+  EXPECT_GT(sim.value().faults.messages_dropped, 0u);
+
+  // Recall is exactly the fault-free recall: bitwise-identical results.
+  ExpectBitIdenticalResults(healthy.value().results, sim.value().results);
+  ExpectBitIdenticalResults(healthy.value().results, thr.value().results);
+
+  // The same fault plan without replication degrades: the crashed node's
+  // grid block has no replica to fail over to. Both engines agree on the
+  // degraded set and the (partial) results byte-for-byte.
+  const RunSetup r1 = MakeSetup(world, machines, 2, 2, 4, 1);
+  ExecOptions opts1 = opts;
+  opts1.replication_factor = 1;
+  SimCluster r1_cluster(machines);
+  r1_cluster.SetFaultPlan(fplan);
+  auto sim1 = ExecuteSimulated(world.index, r1.plan, r1.stores, r1.prewarm,
+                               r1.routing, world.workload.queries.View(),
+                               opts1, &r1_cluster);
+  auto thr1 = ExecuteThreaded(world.index, r1.plan, r1.stores, r1.prewarm,
+                              r1.routing, world.workload.queries.View(),
+                              opts1);
+  ASSERT_TRUE(sim1.ok()) << sim1.status();
+  ASSERT_TRUE(thr1.ok()) << thr1.status();
+  EXPECT_GT(sim1.value().faults.degraded_queries, 0u);
+  EXPECT_EQ(sim1.value().faults.degraded_queries,
+            thr1.value().faults.degraded_queries);
+  EXPECT_EQ(sim1.value().degraded, thr1.value().degraded);
+  ExpectBitIdenticalResults(sim1.value().results, thr1.value().results);
 }
 
 // ---------------------------------------------------------------------------

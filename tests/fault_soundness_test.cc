@@ -1,0 +1,217 @@
+// Fault-model soundness: (a) MakeExecContext rejects malformed fault and
+// robustness inputs with InvalidArgument instead of executing garbage, and
+// (b) the FaultLedger retry accounting is exact at the retry-budget
+// boundary — a hop that succeeds on its final allowed attempt books every
+// resend but is NOT counted lost or degraded, on both engines.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/pipeline.h"
+#include "core/router.h"
+#include "net/fault.h"
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+struct Fixture {
+  SmallWorld world;
+  PartitionPlan plan;
+  std::vector<WorkerStore> stores;
+  PrewarmCache prewarm;
+  BatchRouting routing;
+};
+
+Fixture MakeFixture(size_t machines = 4, size_t replication = 1) {
+  Fixture f{MakeSmallWorld(2500, 32, 8, 8, 25), {}, {}, {}, {}};
+  auto plan = BuildPartitionPlan(f.world.index, machines, 2, 2,
+                                 ShardAssignment::kGreedyBalanced);
+  EXPECT_TRUE(plan.ok());
+  f.plan = std::move(plan).value();
+  EXPECT_TRUE(ApplyReplication(&f.plan, replication).ok());
+  auto stores = BuildWorkerStores(f.world.index, f.plan, /*with_norms=*/false);
+  EXPECT_TRUE(stores.ok());
+  f.stores = std::move(stores).value();
+  f.prewarm = PrewarmCache::Build(f.world.index, 4);
+  f.routing = RouteBatch(f.world.index, f.plan,
+                         f.world.workload.queries.View(), 4, 1);
+  return f;
+}
+
+ExecOptions AlignedOptions() {
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  opts.enable_pipeline = false;
+  opts.dynamic_dim_order = false;
+  opts.pipeline_batch = 1u << 20;
+  return opts;
+}
+
+/// Runs the threaded engine (same MakeExecContext validation as the sim)
+/// and returns its status.
+Status RunStatus(const Fixture& f, const ExecOptions& opts) {
+  auto out = ExecuteThreaded(f.world.index, f.plan, f.stores, f.prewarm,
+                             f.routing, f.world.workload.queries.View(), opts);
+  return out.ok() ? Status::OK() : out.status();
+}
+
+TEST(FaultSoundnessTest, RejectsDropProbOutOfRange) {
+  const Fixture f = MakeFixture();
+  for (const double bad : {-0.1, 1.5}) {
+    ExecOptions opts = AlignedOptions();
+    opts.faults.drop_prob = bad;
+    const Status s = RunStatus(f, opts);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "drop_prob=" << bad;
+  }
+}
+
+TEST(FaultSoundnessTest, RejectsNegativeDelayMultiplier) {
+  const Fixture f = MakeFixture();
+  ExecOptions opts = AlignedOptions();
+  opts.faults.delay_multiplier = {1.0, -2.0};
+  const Status s = RunStatus(f, opts);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSoundnessTest, RejectsZeroReplicationFactor) {
+  const Fixture f = MakeFixture();
+  ExecOptions opts = AlignedOptions();
+  opts.replication_factor = 0;
+  const Status s = RunStatus(f, opts);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSoundnessTest, RejectsReplicationBeyondMachineCount) {
+  const Fixture f = MakeFixture(/*machines=*/4);
+  ExecOptions opts = AlignedOptions();
+  opts.replication_factor = 5;
+  const Status s = RunStatus(f, opts);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSoundnessTest, RejectsNegativeHedgeAfter) {
+  const Fixture f = MakeFixture();
+  ExecOptions opts = AlignedOptions();
+  opts.hedge_after = -0.5;
+  const Status s = RunStatus(f, opts);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSoundnessTest, RejectsPlanReplicationMismatch) {
+  // Plan built unreplicated, options ask for R = 2: the worker stores
+  // would be missing every replica, so the context must refuse.
+  const Fixture f = MakeFixture(/*machines=*/4, /*replication=*/1);
+  ExecOptions opts = AlignedOptions();
+  opts.replication_factor = 2;
+  const Status s = RunStatus(f, opts);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// Regression (exact-budget boundary): a hop whose first `max_retries`
+// attempts all drop and whose final allowed attempt delivers books every
+// resend in the ledger but must NOT surface as a lost block, a lost shard,
+// or a degraded query. Brute-forces a seed that (1) contains such a
+// boundary hop and (2) loses no hop outright, then runs both engines.
+TEST(FaultSoundnessTest, ExactBudgetRetryIsDeliveredNotLost) {
+  const Fixture f = MakeFixture();
+  ExecOptions opts = AlignedOptions();
+  const uint32_t budget = static_cast<uint32_t>(opts.max_retries);
+  ASSERT_GT(budget, 0u);
+
+  FaultPlan fplan;
+  fplan.drop_prob = 0.15;
+  const size_t b_dim = f.plan.num_dim_blocks;
+  bool found = false;
+  uint64_t boundary_key = 0;
+  for (uint64_t seed = 1; seed <= 64 && !found; ++seed) {
+    fplan.seed = seed;
+    const FaultInjector inj(fplan);
+    bool clean = true;
+    bool has_boundary = false;
+    for (const QueryChain& chain : f.routing.chains) {
+      for (size_t d = 0; d <= b_dim; ++d) {
+        const uint64_t key = ChainHopKey(chain.query, chain.shard, d);
+        const uint32_t attempts = inj.DeliveryAttempts(key, budget);
+        if (attempts == 0) {
+          clean = false;
+          break;
+        }
+        if (attempts == budget + 1) {
+          has_boundary = true;
+          boundary_key = key;
+        }
+      }
+      if (!clean) break;
+    }
+    found = clean && has_boundary;
+  }
+  ASSERT_TRUE(found) << "no boundary seed in [1, 64]";
+
+  // The oracle's own contract at the boundary: every attempt before the
+  // last (0-indexed attempts 0..budget-1) drops, the final allowed attempt
+  // `budget` delivers.
+  {
+    const FaultInjector inj(fplan);
+    for (uint32_t a = 0; a < budget; ++a) {
+      EXPECT_TRUE(inj.DropsAttempt(boundary_key, a)) << "attempt " << a;
+    }
+    EXPECT_FALSE(inj.DropsAttempt(boundary_key, budget));
+  }
+
+  opts.faults = fplan;
+  SimCluster cluster(f.plan.num_machines);
+  cluster.SetFaultPlan(fplan);
+  auto sim = ExecuteSimulated(f.world.index, f.plan, f.stores, f.prewarm,
+                              f.routing, f.world.workload.queries.View(),
+                              opts, &cluster);
+  auto thr = ExecuteThreaded(f.world.index, f.plan, f.stores, f.prewarm,
+                             f.routing, f.world.workload.queries.View(),
+                             opts);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  ASSERT_TRUE(thr.ok()) << thr.status();
+
+  for (const auto* out :
+       {static_cast<const FaultStats*>(&sim.value().faults),
+        static_cast<const FaultStats*>(&thr.value().faults)}) {
+    // The boundary hop alone guarantees `budget` booked drops and at least
+    // one successful resend...
+    EXPECT_GE(out->messages_dropped, static_cast<uint64_t>(budget));
+    EXPECT_GT(out->retries, 0u);
+    // ...but nothing is lost and no query is degraded.
+    EXPECT_EQ(out->blocks_lost, 0u);
+    EXPECT_EQ(out->shards_lost, 0u);
+    EXPECT_EQ(out->degraded_queries, 0u);
+  }
+  for (const uint8_t d : sim.value().degraded) EXPECT_EQ(d, 0);
+  for (const uint8_t d : thr.value().degraded) EXPECT_EQ(d, 0);
+
+  // Retry-only faults leave results bitwise equal to the fault-free run.
+  SimCluster clean_cluster(f.plan.num_machines);
+  ExecOptions clean_opts = AlignedOptions();
+  auto clean = ExecuteSimulated(f.world.index, f.plan, f.stores, f.prewarm,
+                                f.routing, f.world.workload.queries.View(),
+                                clean_opts, &clean_cluster);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_EQ(clean.value().results.size(), sim.value().results.size());
+  for (size_t q = 0; q < clean.value().results.size(); ++q) {
+    ASSERT_EQ(clean.value().results[q].size(), sim.value().results[q].size());
+    for (size_t i = 0; i < clean.value().results[q].size(); ++i) {
+      EXPECT_EQ(clean.value().results[q][i].id, sim.value().results[q][i].id);
+      EXPECT_EQ(
+          std::bit_cast<uint32_t>(clean.value().results[q][i].distance),
+          std::bit_cast<uint32_t>(sim.value().results[q][i].distance));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmony

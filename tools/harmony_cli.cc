@@ -54,6 +54,11 @@ struct CliArgs {
   double drop_prob = 0.0;
   size_t max_retries = 2;
   std::vector<NodeCrash> crashes;
+  std::vector<std::pair<size_t, double>> slow_nodes;
+  // Robustness: grid-block replication, failover, hedging.
+  size_t replication_factor = 1;
+  double hedge_after = 0.0;
+  bool failover = true;
 };
 
 void Usage() {
@@ -84,7 +89,15 @@ void Usage() {
       "  --drop-prob P         per-attempt message-loss probability\n"
       "  --crash-node N[@T]    kill node N at virtual time T (default 0 =\n"
       "                        dead from the start); repeatable\n"
-      "  --max-retries R       resends before a hop is declared lost (2)");
+      "  --max-retries R       resends before a hop is declared lost (2)\n"
+      "  --slow-node N@F       multiply node N's compute time by F (a\n"
+      "                        straggler; lets --hedge-after fire); repeatable\n"
+      "  --replication-factor R  replicas per grid block (default 1); with\n"
+      "                        R >= 2 hops fail over to surviving replicas\n"
+      "  --hedge-after X       hedge a stage to a second replica when its\n"
+      "                        primary's straggler factor >= X (0 = off)\n"
+      "  --no-failover         disable failover routing (replicas still\n"
+      "                        spread load; lost hops degrade as at R = 1)");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -111,6 +124,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->threaded = true;
     } else if (flag == "--no-shared-scans") {
       args->shared_scans = false;
+    } else if (flag == "--no-failover") {
+      args->failover = false;
     } else if (flag == "--explain") {
       args->explain = true;
     } else if ((v = need_value(i)) == nullptr) {
@@ -149,10 +164,22 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->drop_prob = std::strtod(v, nullptr);
     } else if (flag == "--max-retries") {
       args->max_retries = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--replication-factor") {
+      args->replication_factor = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--hedge-after") {
+      args->hedge_after = std::strtod(v, nullptr);
     } else if (flag == "--threads-per-node") {
       args->threads_per_node = std::strtoul(v, nullptr, 10);
     } else if (flag == "--group-size") {
       args->group_size = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--slow-node") {
+      char* end = nullptr;
+      const size_t node = std::strtoul(v, &end, 10);
+      double factor = 1.0;
+      if (end != nullptr && *end == '@') {
+        factor = std::strtod(end + 1, nullptr);
+      }
+      args->slow_nodes.emplace_back(node, factor);
     } else if (flag == "--crash-node") {
       NodeCrash crash;
       char* end = nullptr;
@@ -255,9 +282,23 @@ int Run(const CliArgs& args) {
   options.faults.seed = args.fault_seed;
   options.faults.drop_prob = args.drop_prob;
   options.faults.crashes = args.crashes;
+  if (!args.slow_nodes.empty()) {
+    options.faults.delay_multiplier.assign(args.nmachine, 1.0);
+    for (const auto& [node, factor] : args.slow_nodes) {
+      if (node < args.nmachine) options.faults.delay_multiplier[node] = factor;
+    }
+  }
   options.max_retries = args.max_retries;
+  options.replication_factor = args.replication_factor;
+  options.hedge_after = args.hedge_after;
+  options.enable_failover = args.failover;
   if (options.faults.enabled()) {
     std::printf("fault plan: %s\n", options.faults.ToString().c_str());
+  }
+  if (options.replication_factor > 1) {
+    std::printf("replication: R=%zu failover=%s hedge_after=%.2f\n",
+                options.replication_factor, args.failover ? "on" : "off",
+                options.hedge_after);
   }
 
   HarmonyEngine engine(options);

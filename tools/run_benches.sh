@@ -5,6 +5,7 @@
 #   tools/run_benches.sh            # all JSON-emitting benches
 #   tools/run_benches.sh kernels    # just micro_kernels -> BENCH_kernels.json
 #   tools/run_benches.sh throughput # just fig_throughput -> BENCH_throughput.json
+#   tools/run_benches.sh fault      # just fig_fault_recall -> BENCH_fault.json
 #
 # The JSON files land in the repository root (the benches write to their
 # working directory). HARMONY_SCALE applies as usual.
@@ -14,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 cmake --preset bench-release >/dev/null
 cmake --build --preset bench-release -j"$(nproc)" \
-  --target micro_kernels fig_throughput
+  --target micro_kernels fig_throughput fig_fault_recall
 
 what="${1:-all}"
 
@@ -23,4 +24,7 @@ if [[ "$what" == "all" || "$what" == "kernels" ]]; then
 fi
 if [[ "$what" == "all" || "$what" == "throughput" ]]; then
   ./build-bench/bench/fig_throughput
+fi
+if [[ "$what" == "all" || "$what" == "fault" ]]; then
+  ./build-bench/bench/fig_fault_recall
 fi
