@@ -610,11 +610,17 @@ void ChainExecutor::MergeChainResults(const ChainExecState& task) {
 
 void ChainExecutor::FinishChain(const std::shared_ptr<ChainExecState>& task) {
   MergeChainResults(*task);
+  if (on_chain_done_) on_chain_done_(task->chain->query);
   on_done_();
 }
 
 void ChainExecutor::FinishGroup(const std::shared_ptr<GroupExecState>& group) {
   for (const auto& member : group->members) MergeChainResults(*member);
+  if (on_chain_done_) {
+    for (const auto& member : group->members) {
+      on_chain_done_(member->chain->query);
+    }
+  }
   on_done_();  // the done count is per group baton in group mode
 }
 

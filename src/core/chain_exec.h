@@ -302,6 +302,16 @@ class ChainExecutor {
         ledger_(ledger),
         on_done_(std::move(on_done)) {}
 
+  /// Optional per-query completion feed: fires once for every chain that
+  /// reaches its end of life through the executor (after its results have
+  /// merged), carrying the chain's query id. The engine glue counts chains
+  /// per query against this feed to stamp per-query completion times —
+  /// chains it skips itself (nothing to scan, unreachable) it books
+  /// directly, so the sum is exact. Set before any dispatch.
+  void set_on_chain_done(std::function<void(int32_t)> fn) {
+    on_chain_done_ = std::move(fn);
+  }
+
   /// Builds the chain's slice table, candidate arrays and (for IP with
   /// multiple blocks) norm columns. Returns null when the chain has nothing
   /// to scan (no posts needed). Shared by the solo and group dispatch paths
@@ -353,6 +363,7 @@ class ChainExecutor {
   ExecBackend* backend_;
   FaultLedger* ledger_;
   std::function<void()> on_done_;
+  std::function<void(int32_t)> on_chain_done_;
 };
 
 }  // namespace harmony

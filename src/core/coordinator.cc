@@ -25,6 +25,14 @@ struct SharedQueryState {
   /// Set (never cleared) when any of the query's chains lost a block or a
   /// whole shard; read after the final barrier.
   std::atomic<bool> degraded{false};
+  /// Chains of this query not yet finished (counted over the whole batch at
+  /// dispatch-preparation time; chains the client skips are decremented by
+  /// the client, executed chains by the worker that merges them last).
+  std::atomic<int64_t> chains_left{0};
+  /// Real completion stamp (seconds since batch start), written exactly once
+  /// when chains_left hits zero; -1 while in flight. Atomic so the timeout
+  /// salvage path can read it while workers still run.
+  std::atomic<double> done_seconds{-1.0};
 };
 
 /// The ThreadedCluster execution substrate: stages are continuations posted
@@ -100,6 +108,14 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
   for (size_t q = 0; q < queries.size(); ++q) {
     states.push_back(std::make_unique<SharedQueryState>(opts.k));
   }
+  // Per-query chain budget: every routed chain is either executed through
+  // the ChainExecutor (which then reports it via on_chain_done) or skipped
+  // on the client (decremented inline below); either way the count reaches
+  // zero exactly when the query's last chain is accounted for.
+  for (const QueryChain& chain : routing.chains) {
+    states[static_cast<size_t>(chain.query)]->chains_left.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   ThreadedBackend backend(&states);
 
   // Node-health tracker: fed by the chain schedules on the client thread,
@@ -126,6 +142,24 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
     std::lock_guard<std::mutex> lock(done_mu);
     if (--chains_remaining == 0) done_cv.notify_all();
   });
+  // Per-query completion stamp: the last accounted chain of a query writes
+  // the query's real latency. `watch` is read concurrently from worker
+  // threads; StopWatch only subtracts a const time_point, which is safe.
+  const auto note_chain_done = [&states, &watch](int32_t query) {
+    SharedQueryState& state = *states[static_cast<size_t>(query)];
+    if (state.chains_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      state.done_seconds.store(watch.ElapsedSeconds(),
+                               std::memory_order_release);
+    }
+  };
+  executor.set_on_chain_done(note_chain_done);
+  // Queries the router gave no chain at all complete at t=0 (prewarm only).
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (states[q]->chains_left.load(std::memory_order_relaxed) == 0) {
+      states[q]->done_seconds.store(watch.ElapsedSeconds(),
+                                    std::memory_order_relaxed);
+    }
+  }
 
   // NOTE: `cluster` is declared after every object its worker tasks touch
   // (ctx, states, backend, ledger, executor, the done tracker) on purpose —
@@ -136,6 +170,44 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
                           opts.threads_per_node);
   backend.set_cluster(&cluster);
   ctx.AttachFaults(&cluster.faults());
+
+  // Builds the batch output. On the normal path every chain has finished and
+  // nothing races; on the timeout-salvage path workers may still be running,
+  // so every heap read goes through its state mutex and the completion
+  // stamps/degraded flags are atomics — the snapshot is coherent per query.
+  // Queries still in flight keep query_seconds = -1, are tagged degraded
+  // (their heaps hold a partial merge) and counted as timed out.
+  const auto assemble = [&](bool timed_out) -> ThreadedOutput {
+    ThreadedOutput out;
+    out.timed_out = timed_out;
+    out.results.resize(queries.size());
+    out.degraded.assign(queries.size(), 0);
+    out.query_seconds.assign(queries.size(), -1.0);
+    out.faults = ledger.Snapshot();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      SharedQueryState& state = *states[q];
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        out.results[q] = state.heap.SortedResults();
+      }
+      out.query_seconds[q] =
+          state.done_seconds.load(std::memory_order_acquire);
+      if (state.degraded.load(std::memory_order_relaxed)) {
+        out.degraded[q] = 1;
+        ++out.faults.degraded_queries;
+      }
+      if (out.query_seconds[q] < 0.0) {
+        ++out.faults.timed_out_queries;
+        if (out.degraded[q] == 0) {
+          out.degraded[q] = 1;
+          ++out.faults.degraded_queries;
+        }
+      }
+    }
+    out.bytes_streamed = cluster.bytes_streamed();
+    out.wall_seconds = watch.ElapsedSeconds();
+    return out;
+  };
 
   // Shared scans need the routing's query-group table (RouteBatch with
   // group_size > 1); without it every group would be a singleton anyway, so
@@ -163,6 +235,7 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
     if (opts.max_wall_seconds > 0.0 &&
         std::chrono::steady_clock::now() >= deadline) {
       // Budget already spent: don't start another rank.
+      if (opts.timeout_partial_results) return assemble(/*timed_out=*/true);
       return Status::Timeout("threaded batch exceeded max_wall_seconds");
     }
 
@@ -176,10 +249,17 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
     for (size_t c = begin; c < end; ++c, ++chain_index) {
       const QueryChain& chain = routing.chains[c];
       std::shared_ptr<ChainExecState> task = executor.PrepareChain(chain);
-      if (task == nullptr) continue;  // Nothing to scan; no posts needed.
+      if (task == nullptr) {
+        // Nothing to scan; no posts needed.
+        note_chain_done(chain.query);
+        continue;
+      }
 
       if (group_mode) {
-        if (executor.ApplyGroupMemberLoss(task.get())) continue;
+        if (executor.ApplyGroupMemberLoss(task.get())) {
+          note_chain_done(chain.query);
+          continue;
+        }
         const int32_t gid = routing.chain_group[c];
         const auto [slot, inserted] =
             group_slot.try_emplace(gid, group_dispatch.size());
@@ -193,7 +273,10 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
         continue;
       }
 
-      if (executor.BuildSoloOrder(task.get(), chain_index)) continue;
+      if (executor.BuildSoloOrder(task.get(), chain_index)) {
+        note_chain_done(chain.query);
+        continue;
+      }
       dispatch.push_back(std::move(task));
     }
 
@@ -215,6 +298,8 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
       if (opts.max_wall_seconds > 0.0) {
         if (!done_cv.wait_until(lock, deadline,
                                 [&] { return chains_remaining == 0; })) {
+          lock.unlock();
+          if (opts.timeout_partial_results) return assemble(/*timed_out=*/true);
           return Status::Timeout(
               "threaded batch exceeded max_wall_seconds; a baton was "
               "lost or the cluster is wedged");
@@ -229,20 +314,7 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
     begin = end;
   }
 
-  ThreadedOutput out;
-  out.results.resize(queries.size());
-  out.degraded.assign(queries.size(), 0);
-  out.faults = ledger.Snapshot();
-  for (size_t q = 0; q < queries.size(); ++q) {
-    out.results[q] = states[q]->heap.SortedResults();
-    if (states[q]->degraded.load(std::memory_order_relaxed)) {
-      out.degraded[q] = 1;
-      ++out.faults.degraded_queries;
-    }
-  }
-  out.bytes_streamed = cluster.bytes_streamed();
-  out.wall_seconds = watch.ElapsedSeconds();
-  return out;
+  return assemble(/*timed_out=*/false);
 }
 
 }  // namespace harmony

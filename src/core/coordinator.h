@@ -19,6 +19,16 @@ namespace harmony {
 struct ThreadedOutput {
   std::vector<std::vector<Neighbor>> results;
   double wall_seconds = 0.0;
+  /// Real per-query completion time, measured from the start of the batch to
+  /// the moment the query's last chain merged its results (its in-batch
+  /// latency on the real clock). -1 for a query still unfinished when a
+  /// timeout salvage (ExecOptions::timeout_partial_results) cut the batch
+  /// short — exactly the queries counted in faults.timed_out_queries.
+  std::vector<double> query_seconds;
+  /// True when the max_wall_seconds budget expired and the batch was
+  /// salvaged instead of failed (ExecOptions::timeout_partial_results);
+  /// `results` then hold whatever each query's heap contained at bail-out.
+  bool timed_out = false;
   /// Per-query degraded flag (size num_queries, all zero on a healthy run);
   /// same semantics as PipelineOutput::degraded, and — because fault
   /// decisions are pure functions of the plan — the same flags the

@@ -212,8 +212,24 @@ Result<BatchResult> HarmonyEngine::SearchInternal(const DatasetView& queries,
     ++repartition_count_;
   }
   last_choice_ = std::move(choice);
-  const double plan_seconds = plan_watch.ElapsedSeconds();
+  return ExecuteOnCurrentPlan(queries, k, nprobe, exec_override,
+                              plan_watch.ElapsedSeconds());
+}
 
+Result<BatchResult> HarmonyEngine::SearchBatchPinned(const DatasetView& queries,
+                                                     size_t k, size_t nprobe) {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  if (queries.empty()) return Status::InvalidArgument("empty query batch");
+  if (k == 0 || nprobe == 0) {
+    return Status::InvalidArgument("k and nprobe must be > 0");
+  }
+  return ExecuteOnCurrentPlan(queries, k, nprobe, nullptr,
+                              /*plan_seconds=*/0.0);
+}
+
+Result<BatchResult> HarmonyEngine::ExecuteOnCurrentPlan(
+    const DatasetView& queries, size_t k, size_t nprobe,
+    const ExecOptions* exec_override, double plan_seconds) {
   SimCluster cluster(effective_machines_, options_.net, options_.machine);
   const ExecOptions exec =
       exec_override != nullptr ? *exec_override : MakeExecOptions(k, nprobe);
@@ -250,6 +266,7 @@ Result<BatchResult> HarmonyEngine::SearchInternal(const DatasetView& queries,
   }
   stats.client_clock_seconds = cluster.client().clock();
   stats.client_compute_seconds = cluster.client().compute_seconds();
+  result.query_seconds = output.query_completion_seconds;
   std::vector<double> latencies = std::move(output.query_completion_seconds);
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());

@@ -112,6 +112,16 @@ class HarmonyEngine {
   Result<BatchResult> SearchBatch(const DatasetView& queries, size_t k,
                                   size_t nprobe);
 
+  /// Like SearchBatch but skips the per-batch cost-model re-plan and runs on
+  /// the currently-materialized partition plan, mirroring how
+  /// SearchBatchThreaded already behaves. This is the serving-path entry
+  /// point: a continuous frontend dispatches many tiny groups (<=
+  /// kMaxQueryGroup queries), and profiling + re-planning per group would
+  /// both dominate latency and let a 4-query sample repartition the whole
+  /// grid. Re-balancing epochs belong to an offline SearchBatch call.
+  Result<BatchResult> SearchBatchPinned(const DatasetView& queries, size_t k,
+                                        size_t nprobe);
+
   /// Like SearchBatch but only vectors whose label equals `allowed_label`
   /// qualify — the predicate is pushed down into the first dimension stage
   /// on each machine, so filtered-out vectors cost one label test instead
@@ -142,6 +152,12 @@ class HarmonyEngine {
   ExecOptions MakeExecOptions(size_t k, size_t nprobe) const;
   Result<BatchResult> SearchInternal(const DatasetView& queries, size_t k,
                                      size_t nprobe, const ExecOptions* exec);
+  /// The execution half of SearchInternal: routes and runs `queries` on the
+  /// simulated cluster using the current plan, no re-planning.
+  Result<BatchResult> ExecuteOnCurrentPlan(const DatasetView& queries,
+                                           size_t k, size_t nprobe,
+                                           const ExecOptions* exec,
+                                           double plan_seconds);
 
   HarmonyOptions options_;
   size_t effective_machines_ = 1;

@@ -72,6 +72,14 @@ struct ExecTuning {
   /// batch that fails to finish within this budget (e.g. a lost baton)
   /// returns Status kTimeout instead of blocking forever. 0 disables.
   double max_wall_seconds = 0.0;
+  /// When the max_wall_seconds budget expires, salvage the batch instead of
+  /// failing it: ExecuteThreaded returns a valid ThreadedOutput whose
+  /// `timed_out` flag is set, with whatever each query's heap held at the
+  /// bail-out, real completion times for the queries that did finish
+  /// (ThreadedOutput::query_seconds), and the unfinished queries tagged
+  /// degraded and counted in FaultStats::timed_out_queries. Off keeps the
+  /// historical Status kTimeout error return.
+  bool timeout_partial_results = false;
 };
 
 }  // namespace harmony

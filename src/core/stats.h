@@ -73,6 +73,13 @@ struct FaultStats {
   uint64_t hedged = 0;
   /// Queries whose result set was computed from an incomplete pipeline.
   size_t degraded_queries = 0;
+  /// Queries still in flight when the max_wall_seconds budget expired and
+  /// ExecOptions::timeout_partial_results salvaged the batch: their result
+  /// sets hold whatever had merged by the bail-out. Zero on every run that
+  /// finished inside the budget. The serving layer's ServingStats counts its
+  /// timeouts from per-query completion times; this counter is the engine's
+  /// side of the same book, so the two can be cross-checked.
+  size_t timed_out_queries = 0;
   /// recall@K over the degraded queries only; filled by callers that hold
   /// ground truth (CLI, benchmarks) — the engine itself reports -1.
   double degraded_recall = -1.0;
@@ -80,7 +87,7 @@ struct FaultStats {
   bool any() const {
     return messages_dropped > 0 || retries > 0 || blocks_lost > 0 ||
            shards_lost > 0 || failovers > 0 || hedged > 0 ||
-           degraded_queries > 0;
+           degraded_queries > 0 || timed_out_queries > 0;
   }
   std::string ToString() const;
 };
@@ -117,6 +124,11 @@ struct BatchResult {
   /// pipeline (lost shard/block past the retry budget). All zeros on a
   /// healthy run.
   std::vector<uint8_t> degraded;
+  /// Per-query virtual completion time (all queries arrive at t=0, so this
+  /// is the query's simulated latency). The percentiles in `stats` are
+  /// computed from exactly these values; the serving layer adds each
+  /// query's dispatch time to get its end-to-end latency.
+  std::vector<double> query_seconds;
   BatchStats stats;
 };
 

@@ -1,0 +1,104 @@
+#include "serve/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "workload/queries.h"
+
+namespace harmony {
+
+namespace {
+
+/// Exponential variate with the given mean (inverse-CDF on one uniform draw,
+/// so the arrival stream consumes a fixed number of RNG words per query).
+double NextExp(Rng* rng, double mean) {
+  double u = 0.0;
+  do {
+    u = rng->NextDouble();
+  } while (u <= 1e-300);
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+Result<ArrivalTrace> GenerateArrivalTrace(const GaussianMixture& mixture,
+                                          const ArrivalSpec& spec) {
+  if (spec.num_queries == 0) {
+    return Status::InvalidArgument("num_queries must be > 0");
+  }
+  if (spec.num_tenants == 0 || spec.num_tenants > 65536) {
+    return Status::InvalidArgument("num_tenants must be in [1, 65536]");
+  }
+  if (spec.offered_qps <= 0.0) {
+    return Status::InvalidArgument("offered_qps must be > 0");
+  }
+  if (spec.slo_seconds <= 0.0) {
+    return Status::InvalidArgument("slo_seconds must be > 0");
+  }
+
+  Rng rng(spec.seed);
+  ZipfSampler tenant_sampler(spec.num_tenants, spec.zipf_theta);
+
+  const double mean_gap = 1.0 / spec.offered_qps;
+  const bool bursty = spec.burst_factor > 0.0 && spec.mean_burst > 1.0;
+  // Intra-burst gaps are compressed by (1 + burst_factor); the inter-burst
+  // gap absorbs the slack so a full episode (one inter-burst gap plus
+  // mean_burst - 1 intra gaps) still averages mean_burst * mean_gap and the
+  // offered rate stays spec.offered_qps.
+  const double intra_gap =
+      bursty ? mean_gap / (1.0 + spec.burst_factor) : mean_gap;
+  const double inter_gap =
+      bursty ? std::max(intra_gap, spec.mean_burst * mean_gap -
+                                       (spec.mean_burst - 1.0) * intra_gap)
+             : mean_gap;
+
+  ArrivalTrace trace;
+  trace.spec = spec;
+  trace.num_tenants = spec.num_tenants;
+  trace.arrivals.resize(spec.num_queries);
+  std::vector<int32_t> tenant_of(spec.num_queries, 0);
+  std::vector<uint16_t> tenant_seq(spec.num_tenants, 0);
+
+  double t = 0.0;
+  size_t remaining_in_burst = 0;
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    if (bursty) {
+      if (remaining_in_burst == 0) {
+        // Geometric episode length with mean spec.mean_burst.
+        const double p = 1.0 / spec.mean_burst;
+        remaining_in_burst = 1;
+        while (rng.NextDouble() >= p && remaining_in_burst < 4096) {
+          ++remaining_in_burst;
+        }
+        t += NextExp(&rng, inter_gap);
+      } else {
+        t += NextExp(&rng, intra_gap);
+      }
+      --remaining_in_burst;
+    } else {
+      t += NextExp(&rng, mean_gap);
+    }
+    const uint16_t tenant =
+        static_cast<uint16_t>(tenant_sampler.Sample(&rng));
+    QueryArrival& a = trace.arrivals[i];
+    a.arrival_seconds = t;
+    a.deadline_seconds = t + spec.slo_seconds;
+    a.tenant = tenant;
+    a.tenant_seq = tenant_seq[tenant]++;
+    a.query_row = static_cast<int32_t>(i);
+    tenant_of[i] = static_cast<int32_t>(tenant);
+  }
+
+  // Query vectors are generated from a seed derived from (but distinct from)
+  // the arrival seed so timeline and content are independent streams.
+  HARMONY_ASSIGN_OR_RETURN(
+      QueryWorkload workload,
+      GenerateQueriesForTenants(mixture, tenant_of, spec.noise,
+                                spec.seed * 0x9E3779B97F4A7C15ULL + 1));
+  trace.queries = std::move(workload.queries);
+  trace.target_component = std::move(workload.target_component);
+  return trace;
+}
+
+}  // namespace harmony

@@ -1,0 +1,75 @@
+#ifndef HARMONY_SERVE_ARRIVAL_H_
+#define HARMONY_SERVE_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/dataset.h"
+#include "util/status.h"
+#include "workload/synthetic.h"
+
+namespace harmony {
+
+/// \brief Parameters of a continuous multi-tenant arrival process.
+///
+/// Arrivals are an (optionally burst-modulated) Poisson process at mean rate
+/// `offered_qps`; each arrival belongs to a tenant drawn Zipf(`zipf_theta`)
+/// so a few hot tenants dominate the stream, and each tenant's queries
+/// target its home mixture component (see GenerateQueriesForTenants). Every
+/// field of the trace is a pure function of this spec — the same spec
+/// replays the identical trace on any engine.
+struct ArrivalSpec {
+  size_t num_queries = 256;
+  size_t num_tenants = 4;
+  /// Mean offered rate (queries/second) across all tenants.
+  double offered_qps = 2000.0;
+  /// Tenant popularity skew; 0 = uniform.
+  double zipf_theta = 0.8;
+  /// 0 = pure Poisson. > 0 compresses intra-burst gaps by (1 + factor) and
+  /// stretches inter-burst gaps to preserve the mean rate — an open-loop
+  /// approximation of production burstiness.
+  double burst_factor = 0.0;
+  /// Mean arrivals per burst episode (only used when burst_factor > 0).
+  double mean_burst = 8.0;
+  /// Per-query latency SLO: deadline = arrival + slo_seconds.
+  double slo_seconds = 0.05;
+  /// Gaussian query noise around each tenant's home component center.
+  double noise = 1.0;
+  uint64_t seed = 42;
+};
+
+/// \brief One query arrival on the serving timeline.
+struct QueryArrival {
+  double arrival_seconds = 0.0;
+  double deadline_seconds = 0.0;
+  uint16_t tenant = 0;
+  /// Per-tenant FIFO sequence number (0, 1, 2, ... within the tenant); the
+  /// scheduler must admit a tenant's queries in this order.
+  uint16_t tenant_seq = 0;
+  /// Row of this arrival's vector in ArrivalTrace::queries.
+  int32_t query_row = 0;
+};
+
+/// \brief A fully-materialized serving trace: query vectors plus timestamped
+/// tenant-tagged arrivals sorted by arrival time.
+struct ArrivalTrace {
+  Dataset queries;
+  std::vector<QueryArrival> arrivals;
+  /// Mixture component each query targets (recall/skew verification).
+  std::vector<int32_t> target_component;
+  size_t num_tenants = 0;
+  ArrivalSpec spec;
+
+  /// Time of the last arrival (0 when empty).
+  double SpanSeconds() const {
+    return arrivals.empty() ? 0.0 : arrivals.back().arrival_seconds;
+  }
+};
+
+/// Generates a deterministic arrival trace over the mixture population.
+Result<ArrivalTrace> GenerateArrivalTrace(const GaussianMixture& mixture,
+                                          const ArrivalSpec& spec);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SERVE_ARRIVAL_H_

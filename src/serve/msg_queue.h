@@ -1,0 +1,136 @@
+#ifndef HARMONY_SERVE_MSG_QUEUE_H_
+#define HARMONY_SERVE_MSG_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace harmony {
+
+/// \brief Framed-message header for serving mailbox entries (the DelegateMQ
+/// `DmqHeader` idiom: marker / id / sequence / length packed into 8 bytes,
+/// host byte order).
+///
+/// The serving layer frames every enqueued arrival so a consumer can cheaply
+/// validate the stream it drains: the marker catches torn or foreign
+/// entries, and the per-tenant sequence number makes FIFO-per-tenant an
+/// explicitly checkable invariant instead of an implicit property of the
+/// ring. `length` carries the payload word count for forward compatibility
+/// with a real wire transport (a socket backend would frame exactly this
+/// header ahead of each message).
+struct FrameHeader {
+  /// 0xAA55 = 10101010 01010101: self-identifying on a byte dump.
+  static constexpr uint16_t kMarker = 0xAA55;
+
+  uint16_t marker = kMarker;
+  uint16_t tenant = 0;  ///< Producing tenant (mailbox id).
+  uint16_t seq = 0;     ///< Per-tenant sequence number (wraps at 2^16).
+  uint16_t length = 0;  ///< Payload length in 32-bit words.
+
+  /// Packs the header into one 64-bit word (lowest 16 bits = marker).
+  uint64_t Encode() const {
+    return static_cast<uint64_t>(marker) |
+           (static_cast<uint64_t>(tenant) << 16) |
+           (static_cast<uint64_t>(seq) << 32) |
+           (static_cast<uint64_t>(length) << 48);
+  }
+
+  static FrameHeader Decode(uint64_t word) {
+    FrameHeader h;
+    h.marker = static_cast<uint16_t>(word);
+    h.tenant = static_cast<uint16_t>(word >> 16);
+    h.seq = static_cast<uint16_t>(word >> 32);
+    h.length = static_cast<uint16_t>(word >> 48);
+    return h;
+  }
+
+  bool valid() const { return marker == kMarker; }
+
+  friend bool operator==(const FrameHeader& a, const FrameHeader& b) {
+    return a.Encode() == b.Encode();
+  }
+};
+
+/// \brief Bounded single-producer/single-consumer ring buffer (the Rcmp
+/// `msg_queue.hpp` idiom: a power-of-two ring addressed by free-running
+/// head/tail counters in acquire/release atomics).
+///
+/// One thread may call TryPush and one thread may call TryPop, concurrently
+/// and without locks. A full ring rejects the push — bounded capacity IS the
+/// backpressure signal: the serving scheduler sheds an arrival whose tenant
+/// mailbox is full rather than queueing unbounded work it can never finish
+/// in time. The single-threaded use (the virtual-clock scheduler drains
+/// mailboxes inline) is the degenerate case of the same contract.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so slot indexing
+  /// is a mask instead of a modulo.
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False when the ring is full (the value is untouched).
+  bool TryPush(T value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) return false;
+    slots_[tail & (slots_.size() - 1)] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: copies the head entry without removing it. False when
+  /// the ring is empty. Safe concurrently with the producer because only
+  /// the consumer advances `head_`.
+  bool Peek(T* out) const {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = slots_[head & (slots_.size() - 1)];
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = std::move(slots_[head & (slots_.size() - 1)]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Entries currently queued. Exact from either the producer or the
+  /// consumer thread; a racing mixed read is a bounded approximation.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  bool Empty() const { return SizeApprox() == 0; }
+  bool Full() const { return SizeApprox() >= slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  /// Free-running counters (never masked): tail - head is the occupancy,
+  /// immune to wraparound because both advance monotonically in uint64.
+  std::atomic<uint64_t> head_{0};  ///< Consumer position.
+  std::atomic<uint64_t> tail_{0};  ///< Producer position.
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SERVE_MSG_QUEUE_H_

@@ -1,0 +1,366 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <sstream>
+
+#include "serve/msg_queue.h"
+#include "util/logging.h"
+
+namespace harmony {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A framed mailbox entry: header word + the arrival it carries.
+struct MailboxEntry {
+  uint64_t frame = 0;
+  int32_t arrival_index = -1;
+};
+
+/// FNV-1a 64-bit accumulator.
+struct Fnv1a {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  void MixDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+};
+
+/// \brief Single-pass virtual-time simulation of the serving frontend's
+/// admission control. Every quantity it consumes is either a trace value or
+/// a fixed policy estimate, so the emitted ServingSchedule is a pure
+/// function of (trace, policy) — the determinism contract both execution
+/// backends rely on when they replay the schedule.
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder(const ArrivalTrace& trace, const ServePolicy& policy)
+      : trace_(trace), policy_(policy), lane_free_(policy.executors, 0.0) {
+    HARMONY_CHECK_MSG(policy_.max_group >= 1, "max_group must be >= 1");
+    HARMONY_CHECK_MSG(policy_.executors >= 1, "executors must be >= 1");
+    HARMONY_CHECK_MSG(policy_.max_pending_groups >= 1,
+                      "max_pending_groups must be >= 1");
+    schedule_.group_of.assign(trace.arrivals.size(), -1);
+    schedule_.shed_reason.assign(trace.arrivals.size(), ShedReason::kNone);
+    schedule_.degraded.assign(trace.arrivals.size(), 0);
+    mailboxes_.reserve(trace.num_tenants);
+    for (size_t tnt = 0; tnt < trace.num_tenants; ++tnt) {
+      mailboxes_.push_back(
+          std::make_unique<SpscRing<MailboxEntry>>(policy.mailbox_capacity));
+    }
+  }
+
+  ServingSchedule Build() {
+    for (size_t i = 0; i < trace_.arrivals.size(); ++i) {
+      const QueryArrival& a = trace_.arrivals[i];
+      AdvanceTo(a.arrival_seconds);
+      Enqueue(a, static_cast<int32_t>(i));
+      Drain();
+    }
+    FinishDrain();
+    return std::move(schedule_);
+  }
+
+ private:
+  /// An open (still-accepting) group; class 0 = normal, class 1 = degraded.
+  struct OpenGroup {
+    bool open = false;
+    ServingGroup group;
+  };
+
+  double EstQuerySeconds(bool degraded) const {
+    return degraded ? policy_.est_query_seconds * policy_.degrade_cost_factor
+                    : policy_.est_query_seconds;
+  }
+
+  /// Number of closed groups whose estimated finish is still in the future
+  /// at `now_` — the scheduler's in-flight depth gauge.
+  size_t Pending() {
+    while (!pending_finish_.empty() && pending_finish_.top() <= now_) {
+      pending_finish_.pop();
+    }
+    return pending_finish_.size();
+  }
+
+  bool Stalled() { return Pending() >= policy_.max_pending_groups; }
+
+  bool AnyQueued() const {
+    for (const auto& mb : mailboxes_) {
+      if (!mb->Empty()) return true;
+    }
+    return false;
+  }
+
+  /// Earliest time at which the open group of `cls` must close, and why.
+  double CloseTriggerTime(size_t cls, CloseReason* reason) const {
+    const OpenGroup& og = open_[cls];
+    const double linger_t = og.group.open_seconds + policy_.max_linger_seconds;
+    // Slack trigger: conservatively assume the group fills to max_group —
+    // past this instant even the estimate misses the oldest deadline.
+    double slack_t = kInf;
+    for (const ScheduledQuery& m : og.group.members) {
+      const double must_close =
+          m.deadline_seconds - policy_.est_dispatch_seconds -
+          EstQuerySeconds(og.group.degraded) *
+              static_cast<double>(policy_.max_group);
+      slack_t = std::min(slack_t, must_close);
+    }
+    if (slack_t <= linger_t) {
+      *reason = CloseReason::kSlack;
+      return slack_t;
+    }
+    *reason = CloseReason::kLinger;
+    return linger_t;
+  }
+
+  void CloseGroup(size_t cls, double close_time, CloseReason reason) {
+    OpenGroup& og = open_[cls];
+    HARMONY_CHECK_MSG(og.open, "closing a group that is not open");
+    ServingGroup& g = og.group;
+    // A slack trigger computed from an almost-expired deadline can predate
+    // the group's own open time; the group still closes "now" in wall terms.
+    g.close_seconds = std::max(close_time, g.open_seconds);
+    g.close_reason = reason;
+    // Earliest-free-lane assignment (deterministic argmin, lowest index
+    // wins ties).
+    size_t lane = 0;
+    for (size_t l = 1; l < lane_free_.size(); ++l) {
+      if (lane_free_[l] < lane_free_[lane]) lane = l;
+    }
+    g.lane = lane;
+    g.est_start_seconds = std::max(g.close_seconds, lane_free_[lane]);
+    g.est_finish_seconds =
+        g.est_start_seconds + policy_.est_dispatch_seconds +
+        EstQuerySeconds(g.degraded) * static_cast<double>(g.members.size());
+    lane_free_[lane] = g.est_finish_seconds;
+    pending_finish_.push(g.est_finish_seconds);
+
+    const int32_t index = static_cast<int32_t>(schedule_.groups.size());
+    for (const ScheduledQuery& m : g.members) {
+      schedule_.group_of[static_cast<size_t>(m.arrival_index)] = index;
+    }
+    schedule_.groups.push_back(std::move(g));
+    og = OpenGroup{};
+  }
+
+  /// Fires every timed event (group-close triggers, stall releases) with
+  /// timestamp <= target, in timestamp order, then advances now_ to target.
+  void AdvanceTo(double target) {
+    while (true) {
+      CloseReason trig_reason = CloseReason::kLinger;
+      double trig_t = kInf;
+      size_t trig_cls = 0;
+      for (size_t cls = 0; cls < 2; ++cls) {
+        if (!open_[cls].open) continue;
+        CloseReason r;
+        const double tt = CloseTriggerTime(cls, &r);
+        if (tt < trig_t) {
+          trig_t = tt;
+          trig_reason = r;
+          trig_cls = cls;
+        }
+      }
+      // A stall release only matters while queries are actually waiting.
+      double unblock_t = kInf;
+      if (AnyQueued() && Stalled() && !pending_finish_.empty()) {
+        unblock_t = pending_finish_.top();
+      }
+      const double ev = std::min(trig_t, unblock_t);
+      if (ev > target || ev == kInf) break;
+      now_ = std::max(now_, ev);
+      if (trig_t <= unblock_t) {
+        CloseGroup(trig_cls, trig_t, trig_reason);
+      }
+      Drain();
+    }
+    now_ = std::max(now_, target);
+  }
+
+  /// Producer side: frame the arrival and push it into its tenant mailbox.
+  void Enqueue(const QueryArrival& a, int32_t index) {
+    FrameHeader header;
+    header.tenant = a.tenant;
+    header.seq = a.tenant_seq;
+    header.length = static_cast<uint16_t>(
+        std::min<size_t>(trace_.queries.dim(), 65535));
+    MailboxEntry entry{header.Encode(), index};
+    SpscRing<MailboxEntry>& mb = *mailboxes_[a.tenant];
+    if (!mb.TryPush(entry)) {
+      schedule_.shed_reason[static_cast<size_t>(index)] =
+          ShedReason::kBackpressure;
+      ++schedule_.shed_backpressure;
+      return;
+    }
+    schedule_.max_mailbox_depth =
+        std::max(schedule_.max_mailbox_depth, mb.SizeApprox());
+  }
+
+  /// Consumer side: admit queued arrivals (oldest-first across tenants,
+  /// FIFO within a tenant by ring order) until stalled or empty.
+  void Drain() {
+    while (!Stalled()) {
+      // Deterministic pick: the mailbox head with the earliest arrival,
+      // ties broken by tenant id. Heads are per-tenant oldest by ring FIFO.
+      int best_tenant = -1;
+      double best_time = kInf;
+      int32_t best_index = 0;
+      for (size_t tnt = 0; tnt < mailboxes_.size(); ++tnt) {
+        MailboxEntry head;
+        if (!mailboxes_[tnt]->Peek(&head)) continue;
+        const QueryArrival& a =
+            trace_.arrivals[static_cast<size_t>(head.arrival_index)];
+        if (a.arrival_seconds < best_time) {
+          best_time = a.arrival_seconds;
+          best_tenant = static_cast<int>(tnt);
+          best_index = head.arrival_index;
+        }
+      }
+      if (best_tenant < 0) break;
+      MailboxEntry entry;
+      HARMONY_CHECK_MSG(
+          mailboxes_[static_cast<size_t>(best_tenant)]->TryPop(&entry),
+          "mailbox head vanished");
+      HARMONY_CHECK_MSG(entry.arrival_index == best_index, "mailbox reordered");
+      const FrameHeader header = FrameHeader::Decode(entry.frame);
+      HARMONY_CHECK_MSG(header.valid(), "corrupt mailbox frame");
+      Admit(entry.arrival_index);
+    }
+  }
+
+  void Admit(int32_t arrival_index) {
+    const QueryArrival& a =
+        trace_.arrivals[static_cast<size_t>(arrival_index)];
+    // Feasibility at full quality: if the query joined the normal group and
+    // it dispatched right now on the earliest-free lane, would the estimate
+    // meet the deadline?
+    const double lane_ready =
+        *std::min_element(lane_free_.begin(), lane_free_.end());
+    auto est_finish = [&](size_t cls) {
+      const size_t size_after =
+          (open_[cls].open ? open_[cls].group.members.size() : 0) + 1;
+      return std::max(now_, lane_ready) + policy_.est_dispatch_seconds +
+             EstQuerySeconds(cls == 1) * static_cast<double>(size_after);
+    };
+    size_t cls = 0;
+    if (est_finish(0) > a.deadline_seconds) {
+      if (policy_.on_late == LatePolicy::kShed ||
+          est_finish(1) > a.deadline_seconds) {
+        schedule_.shed_reason[static_cast<size_t>(arrival_index)] =
+            ShedReason::kDeadline;
+        ++schedule_.shed_deadline;
+        return;
+      }
+      cls = 1;  // Degrade lane: cheaper estimate still fits the SLO.
+      ++schedule_.degraded_admits;
+      schedule_.degraded[static_cast<size_t>(arrival_index)] = 1;
+    }
+
+    OpenGroup& og = open_[cls];
+    if (!og.open) {
+      og.open = true;
+      og.group = ServingGroup{};
+      og.group.open_seconds = now_;
+      og.group.degraded = (cls == 1);
+    }
+    ScheduledQuery member;
+    member.query_row = a.query_row;
+    member.tenant = a.tenant;
+    member.tenant_seq = a.tenant_seq;
+    member.arrival_index = arrival_index;
+    member.arrival_seconds = a.arrival_seconds;
+    member.deadline_seconds = a.deadline_seconds;
+    og.group.members.push_back(member);
+    schedule_.admission_order.push_back(arrival_index);
+    if (og.group.members.size() >= policy_.max_group) {
+      CloseGroup(cls, now_, CloseReason::kFull);
+    } else {
+      // A member admitted with zero remaining slack forces an immediate
+      // close — waiting for the next timed event would backdate it.
+      CloseReason r;
+      if (CloseTriggerTime(cls, &r) <= now_) CloseGroup(cls, now_, r);
+    }
+  }
+
+  /// End of trace: fire remaining timed events until every mailbox drains,
+  /// then flush still-open groups with CloseReason::kDrain.
+  void FinishDrain() {
+    while (AnyQueued()) {
+      if (!Stalled()) {
+        Drain();
+        continue;
+      }
+      HARMONY_CHECK_MSG(!pending_finish_.empty(), "stalled with nothing pending");
+      AdvanceTo(pending_finish_.top());
+    }
+    for (size_t cls = 0; cls < 2; ++cls) {
+      if (open_[cls].open) CloseGroup(cls, now_, CloseReason::kDrain);
+    }
+  }
+
+  const ArrivalTrace& trace_;
+  const ServePolicy& policy_;
+  ServingSchedule schedule_;
+  std::vector<std::unique_ptr<SpscRing<MailboxEntry>>> mailboxes_;
+  OpenGroup open_[2];
+  std::vector<double> lane_free_;
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      pending_finish_;
+  double now_ = 0.0;
+};
+
+}  // namespace
+
+uint64_t ServingSchedule::Fingerprint() const {
+  Fnv1a fnv;
+  fnv.Mix(groups.size());
+  for (const ServingGroup& g : groups) {
+    fnv.Mix(g.members.size());
+    for (const ScheduledQuery& m : g.members) {
+      fnv.Mix(static_cast<uint64_t>(static_cast<uint32_t>(m.query_row)));
+      fnv.Mix(m.tenant);
+      fnv.Mix(m.tenant_seq);
+    }
+    fnv.Mix(static_cast<uint64_t>(g.close_reason));
+    fnv.Mix(g.lane);
+    fnv.Mix(g.degraded ? 1 : 0);
+    fnv.MixDouble(g.close_seconds);
+  }
+  for (const int32_t g : group_of) {
+    fnv.Mix(static_cast<uint64_t>(static_cast<uint32_t>(g)));
+  }
+  for (const ShedReason r : shed_reason) fnv.Mix(static_cast<uint64_t>(r));
+  for (const int32_t i : admission_order) {
+    fnv.Mix(static_cast<uint64_t>(static_cast<uint32_t>(i)));
+  }
+  for (const uint8_t d : degraded) fnv.Mix(d);
+  return fnv.h;
+}
+
+std::string ServingSchedule::ToString() const {
+  std::ostringstream os;
+  os << "groups=" << groups.size() << " admitted=" << admitted()
+     << " shed_deadline=" << shed_deadline
+     << " shed_backpressure=" << shed_backpressure
+     << " degraded=" << degraded_admits
+     << " max_mailbox_depth=" << max_mailbox_depth;
+  return os.str();
+}
+
+ServingSchedule BuildServingSchedule(const ArrivalTrace& trace,
+                                     const ServePolicy& policy) {
+  return ScheduleBuilder(trace, policy).Build();
+}
+
+}  // namespace harmony

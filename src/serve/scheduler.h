@@ -1,0 +1,133 @@
+#ifndef HARMONY_SERVE_SCHEDULER_H_
+#define HARMONY_SERVE_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/scan_kernel.h"
+#include "serve/arrival.h"
+
+namespace harmony {
+
+/// Why a serving group stopped accepting members.
+enum class CloseReason : uint8_t {
+  kFull,    ///< Reached ServePolicy::max_group members.
+  kSlack,   ///< Oldest member's deadline slack ran out — waiting longer
+            ///< would make even the estimate miss the SLO.
+  kLinger,  ///< ServePolicy::max_linger_seconds elapsed since the group
+            ///< opened (bounds batching delay under light load).
+  kDrain,   ///< End of trace: the scheduler flushed remaining members.
+};
+
+/// Why an arrival was shed instead of admitted.
+enum class ShedReason : uint8_t {
+  kNone,          ///< Admitted.
+  kDeadline,      ///< Even an immediate dispatch could not meet the SLO
+                  ///< (ServePolicy::on_late == kShed).
+  kBackpressure,  ///< The tenant's bounded mailbox was full at arrival.
+};
+
+/// What to do with an arrival whose deadline cannot be met at full quality.
+enum class LatePolicy : uint8_t {
+  kShed,     ///< Reject it outright (fail fast, protect the rest).
+  kDegrade,  ///< Admit it into a degraded-quality lane (reduced nprobe)
+             ///< whose cheaper service estimate may still meet the SLO.
+};
+
+/// \brief Admission-control policy. Every field feeds the *deterministic*
+/// schedule builder: service times are fixed estimates, never measurements,
+/// so the full decision sequence is a pure function of (trace, policy).
+struct ServePolicy {
+  /// Queries per dispatch group; capped by the scan-kernel query tile.
+  size_t max_group = kMaxQueryGroup;
+  /// Longest a group may stay open waiting for co-batched queries.
+  double max_linger_seconds = 0.002;
+  /// Estimated per-query service time (virtual cost model for admission).
+  double est_query_seconds = 0.004;
+  /// Estimated fixed per-group dispatch overhead.
+  double est_dispatch_seconds = 0.0005;
+  /// Executor lanes groups are assigned to (earliest-free-lane).
+  size_t executors = 1;
+  /// Closed-but-not-yet-(estimated)-finished groups the scheduler tolerates
+  /// before it stops draining mailboxes (admission stall => backpressure).
+  size_t max_pending_groups = 8;
+  /// Per-tenant SPSC mailbox capacity (rounded up to a power of two); a
+  /// full mailbox sheds the arrival with ShedReason::kBackpressure.
+  size_t mailbox_capacity = 64;
+  /// Estimated service-time multiplier for degraded-lane queries (the
+  /// reduced-nprobe scan does proportionally less work).
+  double degrade_cost_factor = 0.5;
+  LatePolicy on_late = LatePolicy::kDegrade;
+};
+
+/// One admitted query inside a ServingGroup.
+struct ScheduledQuery {
+  int32_t query_row = 0;
+  uint16_t tenant = 0;
+  uint16_t tenant_seq = 0;
+  /// Index of this query's arrival in ArrivalTrace::arrivals.
+  int32_t arrival_index = 0;
+  double arrival_seconds = 0.0;
+  double deadline_seconds = 0.0;
+};
+
+/// \brief One dispatch group: up to max_group queries executed as a single
+/// engine batch (sharing scans via the group kernels).
+struct ServingGroup {
+  std::vector<ScheduledQuery> members;
+  double open_seconds = 0.0;
+  double close_seconds = 0.0;
+  CloseReason close_reason = CloseReason::kFull;
+  /// True for degrade-lane groups: executed at reduced nprobe so that
+  /// deadline-pressed queries do not drag co-members' recall down (they are
+  /// batched with other degraded queries instead).
+  bool degraded = false;
+  /// Executor lane the group was assigned to at close time.
+  size_t lane = 0;
+  /// Virtual-estimate execution window on that lane.
+  double est_start_seconds = 0.0;
+  double est_finish_seconds = 0.0;
+};
+
+/// \brief The complete, precomputed decision sequence for one trace: group
+/// composition, admission order, shed set, and backpressure telemetry.
+///
+/// Both engines replay this schedule verbatim — only the *measured*
+/// latencies differ between the virtual and real clock. That is the
+/// determinism contract the serving tests pin: same (trace, policy) =>
+/// byte-identical Fingerprint(), on any backend, any run.
+struct ServingSchedule {
+  std::vector<ServingGroup> groups;
+  /// Per arrival index: group the query was admitted to, -1 if shed.
+  std::vector<int32_t> group_of;
+  /// Per arrival index: why it was shed (kNone if admitted).
+  std::vector<ShedReason> shed_reason;
+  /// Arrival indices in the order the scheduler admitted them.
+  std::vector<int32_t> admission_order;
+  /// Per arrival index: true if admitted into a degraded lane.
+  std::vector<uint8_t> degraded;
+  size_t shed_deadline = 0;
+  size_t shed_backpressure = 0;
+  size_t degraded_admits = 0;
+  /// Deepest any tenant mailbox got during the run (backpressure telemetry).
+  size_t max_mailbox_depth = 0;
+
+  size_t admitted() const { return admission_order.size(); }
+
+  /// FNV-1a over every scheduling decision (group membership, close
+  /// reasons, lanes, shed set, admission order). Two schedules with equal
+  /// fingerprints made byte-identical decisions.
+  uint64_t Fingerprint() const;
+
+  std::string ToString() const;
+};
+
+/// Builds the schedule: a single-pass virtual-time simulation of mailboxes,
+/// group formation, and admission control. Pure function of its arguments.
+ServingSchedule BuildServingSchedule(const ArrivalTrace& trace,
+                                     const ServePolicy& policy);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SERVE_SCHEDULER_H_

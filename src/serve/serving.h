@@ -1,0 +1,83 @@
+#ifndef HARMONY_SERVE_SERVING_H_
+#define HARMONY_SERVE_SERVING_H_
+
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/arrival.h"
+#include "serve/scheduler.h"
+#include "serve/serving_stats.h"
+
+namespace harmony {
+
+/// \brief Serving-path configuration: search quality knobs plus the
+/// admission policy.
+struct ServingOptions {
+  size_t k = 10;
+  size_t nprobe = 8;
+  /// nprobe for degrade-lane groups (LatePolicy::kDegrade): deadline-pressed
+  /// queries trade recall for latency without slowing full-quality groups.
+  size_t degraded_nprobe = 2;
+  ServePolicy policy;
+};
+
+/// \brief Complete record of one serving run.
+///
+/// `schedule` is the precomputed decision sequence (identical across
+/// backends for the same trace+policy — pinned by Fingerprint()); the
+/// per-arrival vectors carry the *measured* side, which is virtual-clock
+/// deterministic on the simulated backend and wall-clock on the threaded
+/// one.
+struct ServingReport {
+  ServingSchedule schedule;
+  /// Per arrival index: final disposition.
+  std::vector<QueryOutcome> outcome;
+  /// Per arrival index: arrival-to-completion latency; -1 for shed queries.
+  std::vector<double> latency_seconds;
+  /// Per arrival index: time the query's group was dispatched; -1 for shed.
+  std::vector<double> dispatch_seconds;
+  /// Per arrival index: top-k neighbors (empty for shed queries).
+  std::vector<std::vector<Neighbor>> results;
+  ServingStats stats;
+};
+
+/// \brief Continuous-serving frontend: admission control + SLO scheduling
+/// over a HarmonyEngine.
+///
+/// Split-clock design: BuildServingSchedule makes every *decision* on a
+/// virtual timeline (pure function of trace+policy), then the frontend
+/// *replays* the schedule against the engine, group by group, on one of two
+/// clocks —
+///  - RunSimulated: per-query service times come from the simulated
+///    cluster's virtual clock, so the whole report (decisions AND
+///    latencies) is bit-for-bit reproducible;
+///  - RunThreaded: groups flow through an SPSC dispatch ring to a consumer
+///    that executes them on real threads; decisions are still identical,
+///    latencies are measured wall time anchored to the virtual dispatch
+///    timeline (dispatch = max(group close, lane clock)).
+class ServingFrontend {
+ public:
+  /// `engine` must outlive the frontend and already be built.
+  ServingFrontend(HarmonyEngine* engine, ServingOptions options)
+      : engine_(engine), options_(options) {}
+
+  const ServingOptions& options() const { return options_; }
+
+  Result<ServingReport> RunSimulated(const ArrivalTrace& trace) {
+    return Replay(trace, /*threaded=*/false);
+  }
+
+  Result<ServingReport> RunThreaded(const ArrivalTrace& trace) {
+    return Replay(trace, /*threaded=*/true);
+  }
+
+ private:
+  Result<ServingReport> Replay(const ArrivalTrace& trace, bool threaded);
+
+  HarmonyEngine* engine_;
+  ServingOptions options_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SERVE_SERVING_H_

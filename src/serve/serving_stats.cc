@@ -1,0 +1,158 @@
+#include "serve/serving_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace harmony {
+
+void ServingHistogram::Add(double seconds) {
+  ++count_;
+  if (seconds < kMinSeconds) {
+    ++buckets_.front();
+    return;
+  }
+  const double decades = std::log10(seconds / kMinSeconds);
+  const size_t b =
+      1 + static_cast<size_t>(decades * static_cast<double>(kBucketsPerDecade));
+  if (b >= kNumBuckets - 1) {
+    ++buckets_.back();
+    return;
+  }
+  ++buckets_[b];
+}
+
+double ServingHistogram::BucketLowerSeconds(size_t b) {
+  if (b == 0) return 0.0;
+  return kMinSeconds *
+         std::pow(10.0, static_cast<double>(b - 1) /
+                            static_cast<double>(kBucketsPerDecade));
+}
+
+double ServingHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const uint64_t rank = static_cast<uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > rank) return BucketLowerSeconds(b);
+  }
+  return BucketLowerSeconds(buckets_.size() - 1);
+}
+
+ServingStats ComputeServingStats(const std::vector<QueryRecord>& records,
+                                 size_t num_tenants,
+                                 double duration_seconds) {
+  ServingStats stats;
+  stats.offered = records.size();
+  stats.duration_seconds = duration_seconds;
+  stats.tenants.resize(num_tenants);
+
+  std::vector<double> latencies;
+  latencies.reserve(records.size());
+  std::vector<double> tenant_latency_sum(num_tenants, 0.0);
+  std::vector<size_t> tenant_latency_count(num_tenants, 0);
+
+  for (const QueryRecord& r : records) {
+    TenantServingStats* tenant =
+        r.tenant < num_tenants ? &stats.tenants[r.tenant] : nullptr;
+    if (tenant != nullptr) ++tenant->offered;
+    if (r.degraded) ++stats.degraded;
+    switch (r.outcome) {
+      case QueryOutcome::kCompleted:
+        ++stats.completed;
+        if (tenant != nullptr) ++tenant->completed;
+        break;
+      case QueryOutcome::kTimedOut:
+        ++stats.timed_out;
+        if (tenant != nullptr) ++tenant->timed_out;
+        break;
+      case QueryOutcome::kShedDeadline:
+        ++stats.shed_deadline;
+        if (tenant != nullptr) ++tenant->shed;
+        break;
+      case QueryOutcome::kShedBackpressure:
+        ++stats.shed_backpressure;
+        if (tenant != nullptr) ++tenant->shed;
+        break;
+    }
+    if (r.latency_seconds >= 0.0) {
+      latencies.push_back(r.latency_seconds);
+      stats.histogram.Add(r.latency_seconds);
+      if (r.tenant < num_tenants) {
+        tenant_latency_sum[r.tenant] += r.latency_seconds;
+        ++tenant_latency_count[r.tenant];
+      }
+    }
+  }
+
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+      const size_t idx =
+          static_cast<size_t>(p * static_cast<double>(latencies.size() - 1));
+      return latencies[idx];
+    };
+    stats.latency_p50_seconds = pct(0.50);
+    stats.latency_p95_seconds = pct(0.95);
+    stats.latency_p99_seconds = pct(0.99);
+    stats.latency_max_seconds = latencies.back();
+  }
+
+  for (size_t tnt = 0; tnt < num_tenants; ++tnt) {
+    if (tenant_latency_count[tnt] > 0) {
+      stats.tenants[tnt].mean_latency_seconds =
+          tenant_latency_sum[tnt] /
+          static_cast<double>(tenant_latency_count[tnt]);
+    }
+  }
+
+  if (stats.offered > 0) {
+    stats.slo_attainment = static_cast<double>(stats.completed) /
+                           static_cast<double>(stats.offered);
+    stats.shed_rate =
+        static_cast<double>(stats.shed_deadline + stats.shed_backpressure) /
+        static_cast<double>(stats.offered);
+    stats.timeout_rate = static_cast<double>(stats.timed_out) /
+                         static_cast<double>(stats.offered);
+  }
+  if (duration_seconds > 0.0) {
+    stats.goodput_qps =
+        static_cast<double>(stats.completed) / duration_seconds;
+  }
+
+  // Jain fairness over per-tenant completion ratios; tenants with no
+  // offered queries are excluded (they have no claim to serve).
+  double sum = 0.0, sum_sq = 0.0;
+  size_t active = 0;
+  for (size_t tnt = 0; tnt < num_tenants; ++tnt) {
+    const TenantServingStats& t = stats.tenants[tnt];
+    if (t.offered == 0) continue;
+    const double ratio = static_cast<double>(t.completed + t.timed_out) /
+                         static_cast<double>(t.offered);
+    sum += ratio;
+    sum_sq += ratio * ratio;
+    ++active;
+  }
+  if (active > 0 && sum_sq > 0.0) {
+    stats.jain_fairness =
+        (sum * sum) / (static_cast<double>(active) * sum_sq);
+  }
+  return stats;
+}
+
+std::string ServingStats::ToString() const {
+  std::ostringstream os;
+  os << "offered=" << offered << " completed=" << completed
+     << " timed_out=" << timed_out << " shed_deadline=" << shed_deadline
+     << " shed_backpressure=" << shed_backpressure
+     << " degraded=" << degraded << " slo=" << slo_attainment
+     << " p50=" << latency_p50_seconds << "s p95=" << latency_p95_seconds
+     << "s p99=" << latency_p99_seconds << "s goodput=" << goodput_qps
+     << "qps jain=" << jain_fairness;
+  return os.str();
+}
+
+}  // namespace harmony

@@ -1,0 +1,115 @@
+#ifndef HARMONY_SERVE_SERVING_STATS_H_
+#define HARMONY_SERVE_SERVING_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+/// Final disposition of one serving arrival.
+enum class QueryOutcome : uint8_t {
+  kCompleted,        ///< Executed and finished within its deadline.
+  kTimedOut,         ///< Executed, but completion passed the deadline —
+                     ///< delivered late rather than dropped (tagged so SLO
+                     ///< accounting separates late from lost).
+  kShedDeadline,     ///< Never executed: admission judged the SLO unmeetable.
+  kShedBackpressure, ///< Never executed: bounded mailbox was full.
+};
+
+/// \brief Fixed-layout logarithmic latency histogram: 10 buckets per decade
+/// from 1 microsecond to 100 seconds (80 buckets + underflow + overflow).
+///
+/// Bucket counts — not just quantiles — are part of the deterministic-replay
+/// surface: on the virtual-clock backend the same (trace, policy) yields
+/// byte-identical bucket vectors, which the serving tests compare directly.
+class ServingHistogram {
+ public:
+  static constexpr double kMinSeconds = 1e-6;
+  static constexpr size_t kBucketsPerDecade = 10;
+  static constexpr size_t kDecades = 8;  // 1us .. 100s
+  static constexpr size_t kNumBuckets = kBucketsPerDecade * kDecades + 2;
+
+  ServingHistogram() : buckets_(kNumBuckets, 0) {}
+
+  void Add(double seconds);
+
+  /// Latency quantile estimate: lower edge of the bucket containing the
+  /// q-th sample (exact for samples within one bucket; at worst one bucket
+  /// width ~ 26% off, the standard log-histogram trade).
+  double Quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  /// Lower latency edge of bucket `b` (0 for the underflow bucket).
+  static double BucketLowerSeconds(size_t b);
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+};
+
+/// Per-tenant serving outcome tallies (fairness accounting).
+struct TenantServingStats {
+  size_t offered = 0;
+  size_t completed = 0;
+  size_t timed_out = 0;
+  size_t shed = 0;
+  double mean_latency_seconds = 0.0;
+};
+
+/// One record per arrival, produced by the replay loop.
+struct QueryRecord {
+  uint16_t tenant = 0;
+  QueryOutcome outcome = QueryOutcome::kCompleted;
+  bool degraded = false;
+  /// Arrival-to-completion latency; < 0 for shed queries (never executed).
+  double latency_seconds = -1.0;
+};
+
+/// \brief Aggregate serving metrics: SLO attainment, tail latency,
+/// throughput, and cross-tenant fairness.
+struct ServingStats {
+  size_t offered = 0;
+  size_t completed = 0;
+  size_t timed_out = 0;
+  size_t shed_deadline = 0;
+  size_t shed_backpressure = 0;
+  size_t degraded = 0;
+
+  double latency_p50_seconds = 0.0;
+  double latency_p95_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
+  double latency_max_seconds = 0.0;
+
+  /// Span of the run (first arrival to last completion) and the goodput
+  /// over it (completed-in-SLO queries per second).
+  double duration_seconds = 0.0;
+  double goodput_qps = 0.0;
+  /// Fraction of offered queries that completed within the SLO.
+  double slo_attainment = 0.0;
+  /// Fraction shed (either reason) and fraction delivered late.
+  double shed_rate = 0.0;
+  double timeout_rate = 0.0;
+
+  /// Jain fairness index over per-tenant completion ratios
+  /// (completed / offered): 1 = perfectly fair, 1/n = one tenant served.
+  double jain_fairness = 1.0;
+
+  std::vector<TenantServingStats> tenants;
+  ServingHistogram histogram;
+
+  std::string ToString() const;
+};
+
+/// Aggregates per-arrival records into ServingStats. `duration_seconds`
+/// should span first arrival to last completion; percentiles are computed
+/// from the exact completed+timed-out latencies (not histogram buckets).
+ServingStats ComputeServingStats(const std::vector<QueryRecord>& records,
+                                 size_t num_tenants, double duration_seconds);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SERVE_SERVING_STATS_H_

@@ -37,6 +37,40 @@ Result<QueryWorkload> GenerateQueries(const GaussianMixture& mixture,
   return out;
 }
 
+Result<QueryWorkload> GenerateQueriesForTenants(
+    const GaussianMixture& mixture, const std::vector<int32_t>& tenant_of,
+    double noise, uint64_t seed) {
+  if (mixture.component_centers.empty()) {
+    return Status::InvalidArgument("mixture has no components");
+  }
+  if (tenant_of.empty()) {
+    return Status::InvalidArgument("tenant_of must be non-empty");
+  }
+  const size_t dim = mixture.component_centers.dim();
+  const size_t num_components = mixture.component_centers.size();
+  Rng rng(seed);
+
+  QueryWorkload out;
+  out.queries = Dataset(tenant_of.size(), dim);
+  out.target_component.resize(tenant_of.size());
+  for (size_t q = 0; q < tenant_of.size(); ++q) {
+    if (tenant_of[q] < 0) {
+      return Status::InvalidArgument("tenant ids must be >= 0");
+    }
+    const size_t c = static_cast<size_t>(tenant_of[q]) % num_components;
+    out.target_component[q] = static_cast<int32_t>(c);
+    const float* center = mixture.component_centers.Row(c);
+    float* row = out.queries.MutableRow(q);
+    for (size_t d = 0; d < dim; ++d) {
+      const float scale =
+          d < mixture.dim_scale.size() ? mixture.dim_scale[d] : 1.0f;
+      row[d] = center[d] +
+               static_cast<float>(rng.NextGaussian() * noise) * scale;
+    }
+  }
+  return out;
+}
+
 double WorkloadSkew(const std::vector<int32_t>& target_component,
                     size_t num_components) {
   if (num_components == 0 || target_component.empty()) return 0.0;

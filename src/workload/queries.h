@@ -34,6 +34,19 @@ struct QueryWorkload {
 Result<QueryWorkload> GenerateQueries(const GaussianMixture& mixture,
                                       const QueryWorkloadSpec& spec);
 
+/// \brief Generates one query per entry of `tenant_of`, where query i is
+/// aimed at mixture component `tenant_of[i] % num_components` with Gaussian
+/// noise of stddev `noise` around the center.
+///
+/// This is the serving-workload shape: each tenant has a stable "home"
+/// region of the vector space, so a Zipf-skewed tenant arrival process (hot
+/// tenants issue most queries) induces exactly the hot-component query skew
+/// that GenerateQueries models with zipf_theta — but with the tenant
+/// identity preserved per query for fairness accounting.
+Result<QueryWorkload> GenerateQueriesForTenants(
+    const GaussianMixture& mixture, const std::vector<int32_t>& tenant_of,
+    double noise, uint64_t seed);
+
 /// \brief Empirical skew measure of a workload: the standard deviation of
 /// per-component query counts divided by the mean count (coefficient of
 /// variation). 0 = perfectly balanced.

@@ -1,0 +1,156 @@
+// The serving mailbox primitive (serve/msg_queue.h):
+//  1. FrameHeader round-trips through its packed 64-bit encoding and flags
+//     corrupt markers;
+//  2. the SPSC ring honors full/empty boundaries, preserves FIFO order, and
+//     wraps its power-of-two storage without losing or duplicating entries;
+//  3. a producer thread and a consumer thread can stream millions of
+//     entries concurrently with every value delivered exactly once and in
+//     order (run under tsan, this is the data-race proof);
+//  4. a full ring rejects pushes (bounded backpressure) and recovers once
+//     the consumer drains.
+
+#include "serve/msg_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace harmony {
+namespace {
+
+TEST(FrameHeaderTest, EncodeDecodeRoundTrip) {
+  FrameHeader h;
+  h.tenant = 513;
+  h.seq = 65535;
+  h.length = 128;
+  const FrameHeader back = FrameHeader::Decode(h.Encode());
+  EXPECT_EQ(back, h);
+  EXPECT_TRUE(back.valid());
+  EXPECT_EQ(back.tenant, 513);
+  EXPECT_EQ(back.seq, 65535);
+  EXPECT_EQ(back.length, 128);
+}
+
+TEST(FrameHeaderTest, CorruptMarkerIsInvalid) {
+  FrameHeader h;
+  uint64_t word = h.Encode();
+  word ^= 0x1;  // flip a marker bit
+  EXPECT_FALSE(FrameHeader::Decode(word).valid());
+}
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRingTest, EmptyPopFailsFullPushFails) {
+  SpscRing<int> ring(4);
+  int out = -1;
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_FALSE(ring.TryPop(&out));
+  EXPECT_FALSE(ring.Peek(&out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_TRUE(ring.Full());
+  EXPECT_FALSE(ring.TryPush(99));
+  // Drain restores push capacity — backpressure is transient, not sticky.
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.TryPush(4));
+  for (int expect = 1; expect <= 4; ++expect) {
+    EXPECT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, PeekDoesNotConsume) {
+  SpscRing<int> ring(4);
+  ASSERT_TRUE(ring.TryPush(7));
+  int out = -1;
+  EXPECT_TRUE(ring.Peek(&out));
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(ring.SizeApprox(), 1u);
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, WrapsAroundManyTimesInOrder) {
+  SpscRing<uint32_t> ring(8);
+  uint32_t next_push = 0, next_pop = 0;
+  // Interleave pushes and pops so the head/tail counters lap the 8-slot
+  // storage thousands of times; FIFO must hold across every wrap.
+  for (int round = 0; round < 10000; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ring.TryPush(next_push));
+      ++next_push;
+    }
+    for (int i = 0; i < 5; ++i) {
+      uint32_t out = 0;
+      ASSERT_TRUE(ring.TryPop(&out));
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_EQ(next_push, 50000u);
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumerDeliversExactlyOnceInOrder) {
+  constexpr uint64_t kCount = 1 << 20;
+  SpscRing<uint64_t> ring(128);
+  std::thread producer([&ring]() {
+    for (uint64_t v = 0; v < kCount; ++v) {
+      while (!ring.TryPush(v)) std::this_thread::yield();
+    }
+  });
+  uint64_t expected = 0;
+  uint64_t sum = 0;
+  while (expected < kCount) {
+    uint64_t out = 0;
+    if (!ring.TryPop(&out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(out, expected);
+    sum += out;
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(SpscRingTest, ConcurrentFramedEntriesSurviveIntact) {
+  // Stream framed mailbox-style entries across threads and validate every
+  // header on the consumer side — the serving scheduler's consume loop.
+  constexpr uint32_t kCount = 200000;
+  SpscRing<uint64_t> ring(64);
+  std::thread producer([&ring]() {
+    for (uint32_t i = 0; i < kCount; ++i) {
+      FrameHeader h;
+      h.tenant = static_cast<uint16_t>(i % 17);
+      h.seq = static_cast<uint16_t>(i);
+      h.length = 32;
+      const uint64_t word = h.Encode();
+      while (!ring.TryPush(word)) std::this_thread::yield();
+    }
+  });
+  for (uint32_t i = 0; i < kCount; ++i) {
+    uint64_t word = 0;
+    while (!ring.TryPop(&word)) std::this_thread::yield();
+    const FrameHeader h = FrameHeader::Decode(word);
+    ASSERT_TRUE(h.valid());
+    ASSERT_EQ(h.tenant, i % 17);
+    ASSERT_EQ(h.seq, static_cast<uint16_t>(i));
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace harmony

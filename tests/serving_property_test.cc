@@ -1,0 +1,262 @@
+// Serving-schedule invariants, swept across seeds, load levels, and
+// policies (the property-based companion to serving_test.cc):
+//  1. every arrival is accounted for exactly once — admitted to exactly one
+//     group or shed with a reason; the drain loses nothing;
+//  2. no group exceeds its size cap (and the default cap is the scan-kernel
+//     query tile kMaxQueryGroup);
+//  3. admission preserves per-tenant FIFO (tenant_seq strictly increasing
+//     in admission order within each tenant);
+//  4. group timeline sanity: close >= open, estimated finish >= start,
+//     per-lane estimate windows never overlap;
+//  5. on the simulated run, no query finishes past its deadline without
+//     being tagged kTimedOut, and every kCompleted query met its SLO;
+//  6. degrade-lane membership matches the per-arrival degraded tags, and
+//     under LatePolicy::kShed no degraded admissions exist.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/engine.h"
+#include "index/scan_kernel.h"
+#include "serve/arrival.h"
+#include "serve/scheduler.h"
+#include "serve/serving.h"
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+void CheckScheduleInvariants(const ArrivalTrace& trace,
+                             const ServePolicy& policy,
+                             const ServingSchedule& sched) {
+  const size_t n = trace.arrivals.size();
+  ASSERT_EQ(sched.group_of.size(), n);
+  ASSERT_EQ(sched.shed_reason.size(), n);
+  ASSERT_EQ(sched.degraded.size(), n);
+
+  // 1. Exactly-once accounting.
+  size_t admitted = 0, shed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (sched.group_of[i] >= 0) {
+      EXPECT_EQ(sched.shed_reason[i], ShedReason::kNone) << "arrival " << i;
+      ++admitted;
+    } else {
+      EXPECT_NE(sched.shed_reason[i], ShedReason::kNone) << "arrival " << i;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(admitted + shed, n);
+  EXPECT_EQ(admitted, sched.admission_order.size());
+  EXPECT_EQ(shed, sched.shed_deadline + sched.shed_backpressure);
+
+  // Group membership is a partition of the admitted set.
+  size_t total_members = 0;
+  for (size_t g = 0; g < sched.groups.size(); ++g) {
+    const ServingGroup& group = sched.groups[g];
+    EXPECT_GE(group.members.size(), 1u);
+    // 2. Size cap.
+    EXPECT_LE(group.members.size(), policy.max_group);
+    total_members += group.members.size();
+    for (const ScheduledQuery& m : group.members) {
+      ASSERT_GE(m.arrival_index, 0);
+      ASSERT_LT(static_cast<size_t>(m.arrival_index), n);
+      EXPECT_EQ(sched.group_of[static_cast<size_t>(m.arrival_index)],
+                static_cast<int32_t>(g));
+      // 6. Lane class matches the per-arrival tag.
+      EXPECT_EQ(sched.degraded[static_cast<size_t>(m.arrival_index)] != 0,
+                group.degraded);
+    }
+    // 4. Timeline sanity.
+    EXPECT_GE(group.close_seconds, group.open_seconds);
+    EXPECT_GE(group.est_start_seconds, group.close_seconds);
+    EXPECT_GE(group.est_finish_seconds, group.est_start_seconds);
+    EXPECT_LT(group.lane, policy.executors);
+  }
+  EXPECT_EQ(total_members, admitted);
+
+  // 3. Per-tenant FIFO in admission order.
+  std::map<uint16_t, int64_t> last_seq;
+  for (const int32_t ai : sched.admission_order) {
+    const QueryArrival& a = trace.arrivals[static_cast<size_t>(ai)];
+    auto it = last_seq.find(a.tenant);
+    if (it != last_seq.end()) {
+      EXPECT_GT(static_cast<int64_t>(a.tenant_seq), it->second)
+          << "tenant " << a.tenant << " admitted out of order";
+    }
+    last_seq[a.tenant] = static_cast<int64_t>(a.tenant_seq);
+  }
+
+  // 4b. Per-lane estimate windows are disjoint and ordered.
+  std::vector<double> lane_prev_finish(policy.executors, 0.0);
+  for (const ServingGroup& group : sched.groups) {
+    EXPECT_GE(group.est_start_seconds + 1e-12,
+              lane_prev_finish[group.lane]);
+    lane_prev_finish[group.lane] = group.est_finish_seconds;
+  }
+}
+
+TEST(ServingPropertyTest, ScheduleInvariantsHoldAcrossSweep) {
+  SmallWorld world = MakeSmallWorld(1500, 16, 4, 8, 10);
+  for (const uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+    for (const double qps : {500.0, 5000.0, 50000.0}) {
+      for (const LatePolicy late : {LatePolicy::kShed, LatePolicy::kDegrade}) {
+        ArrivalSpec spec;
+        spec.num_queries = 200;
+        spec.num_tenants = 5;
+        spec.offered_qps = qps;
+        spec.zipf_theta = 1.0;
+        spec.burst_factor = 1.5;
+        spec.slo_seconds = 0.02;
+        spec.seed = seed;
+        auto trace = GenerateArrivalTrace(world.mixture, spec);
+        ASSERT_TRUE(trace.ok());
+
+        ServePolicy policy;
+        policy.max_linger_seconds = 0.001;
+        policy.est_query_seconds = 0.002;
+        policy.executors = 2;
+        policy.max_pending_groups = 3;
+        policy.mailbox_capacity = 16;
+        policy.on_late = late;
+        const ServingSchedule sched =
+            BuildServingSchedule(trace.value(), policy);
+        CheckScheduleInvariants(trace.value(), policy, sched);
+        if (late == LatePolicy::kShed) {
+          EXPECT_EQ(sched.degraded_admits, 0u);
+          for (const uint8_t d : sched.degraded) EXPECT_EQ(d, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ServingPropertyTest, DefaultGroupCapIsTheScanKernelTile) {
+  ServePolicy policy;
+  EXPECT_EQ(policy.max_group, kMaxQueryGroup);
+}
+
+TEST(ServingPropertyTest, SmallerGroupCapIsHonored) {
+  SmallWorld world = MakeSmallWorld(1500, 16, 4, 8, 10);
+  ArrivalSpec spec;
+  spec.num_queries = 120;
+  spec.num_tenants = 3;
+  spec.offered_qps = 20000.0;
+  spec.seed = 9;
+  auto trace = GenerateArrivalTrace(world.mixture, spec);
+  ASSERT_TRUE(trace.ok());
+  ServePolicy policy;
+  policy.max_group = 2;
+  const ServingSchedule sched = BuildServingSchedule(trace.value(), policy);
+  for (const ServingGroup& g : sched.groups) {
+    EXPECT_LE(g.members.size(), 2u);
+  }
+}
+
+TEST(ServingPropertyTest, NoDeadlineMissWithoutTimedOutTag) {
+  SmallWorld world = MakeSmallWorld(2000, 16, 4, 8, 10);
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = 4;
+  opts.ivf.nlist = 8;
+  opts.ivf.seed = 7;
+  HarmonyEngine engine(opts);
+  ASSERT_TRUE(engine.Build(world.mixture.vectors.View()).ok());
+
+  for (const double qps : {1000.0, 20000.0}) {
+    ArrivalSpec spec;
+    spec.num_queries = 120;
+    spec.num_tenants = 4;
+    spec.offered_qps = qps;
+    spec.slo_seconds = 0.01;
+    spec.seed = 5;
+    auto trace = GenerateArrivalTrace(world.mixture, spec);
+    ASSERT_TRUE(trace.ok());
+
+    ServingOptions sopts;
+    sopts.policy.max_linger_seconds = 0.001;
+    sopts.policy.est_query_seconds = 0.001;
+    ServingFrontend frontend(&engine, sopts);
+    auto report = frontend.RunSimulated(trace.value());
+    ASSERT_TRUE(report.ok()) << report.status();
+    const ServingReport& r = report.value();
+
+    size_t executed = 0;
+    for (size_t i = 0; i < trace.value().arrivals.size(); ++i) {
+      const QueryArrival& a = trace.value().arrivals[i];
+      switch (r.outcome[i]) {
+        case QueryOutcome::kCompleted: {
+          // 5. Completed means completed *within* the SLO.
+          ASSERT_GE(r.latency_seconds[i], 0.0);
+          const double completion =
+              a.arrival_seconds + r.latency_seconds[i];
+          EXPECT_LE(completion, a.deadline_seconds + 1e-12)
+              << "arrival " << i;
+          ++executed;
+          break;
+        }
+        case QueryOutcome::kTimedOut: {
+          ASSERT_GE(r.latency_seconds[i], 0.0);
+          const double completion =
+              a.arrival_seconds + r.latency_seconds[i];
+          EXPECT_GT(completion, a.deadline_seconds) << "arrival " << i;
+          ++executed;
+          break;
+        }
+        case QueryOutcome::kShedDeadline:
+        case QueryOutcome::kShedBackpressure:
+          EXPECT_LT(r.latency_seconds[i], 0.0);
+          EXPECT_TRUE(r.results[i].empty());
+          break;
+      }
+    }
+    // Drain loses nothing: every admitted query executed.
+    EXPECT_EQ(executed, r.schedule.admitted());
+    EXPECT_EQ(r.stats.completed + r.stats.timed_out, executed);
+    EXPECT_EQ(r.stats.offered, trace.value().arrivals.size());
+  }
+}
+
+TEST(ServingPropertyTest, StatsAggregationIsConsistent) {
+  std::vector<QueryRecord> records;
+  // 2 tenants: tenant 0 completes 3 (latencies 1/2/3 ms), tenant 1
+  // completes 1, times out 1, sheds 2.
+  for (const double ms : {1.0, 2.0, 3.0}) {
+    records.push_back({0, QueryOutcome::kCompleted, false, ms * 1e-3});
+  }
+  records.push_back({1, QueryOutcome::kCompleted, false, 4e-3});
+  records.push_back({1, QueryOutcome::kTimedOut, true, 9e-3});
+  records.push_back({1, QueryOutcome::kShedDeadline, false, -1.0});
+  records.push_back({1, QueryOutcome::kShedBackpressure, false, -1.0});
+
+  const ServingStats stats = ComputeServingStats(records, 2, 0.1);
+  EXPECT_EQ(stats.offered, 7u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.shed_deadline, 1u);
+  EXPECT_EQ(stats.shed_backpressure, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_DOUBLE_EQ(stats.slo_attainment, 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(stats.goodput_qps, 40.0);
+  EXPECT_DOUBLE_EQ(stats.latency_p50_seconds, 3e-3);
+  EXPECT_DOUBLE_EQ(stats.latency_max_seconds, 9e-3);
+  EXPECT_EQ(stats.histogram.count(), 5u);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].offered, 3u);
+  EXPECT_EQ(stats.tenants[0].completed, 3u);
+  EXPECT_EQ(stats.tenants[1].offered, 4u);
+  EXPECT_EQ(stats.tenants[1].completed, 1u);
+  EXPECT_EQ(stats.tenants[1].shed, 2u);
+  // Tenant 0 served 3/3, tenant 1 served 2/4: Jain = (1+0.5)^2/(2*(1+0.25)).
+  EXPECT_NEAR(stats.jain_fairness, 2.25 / 2.5, 1e-12);
+  // Fairness drops below 1 exactly because service is uneven.
+  EXPECT_LT(stats.jain_fairness, 1.0);
+}
+
+}  // namespace
+}  // namespace harmony

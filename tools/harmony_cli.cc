@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "serve/serving.h"
 #include "storage/io.h"
 #include "workload/datasets.h"
 #include "workload/ground_truth.h"
@@ -59,6 +60,15 @@ struct CliArgs {
   size_t replication_factor = 1;
   double hedge_after = 0.0;
   bool failover = true;
+  // Continuous-serving frontend (docs/serving.md).
+  bool serve = false;
+  double serve_qps = 0.0;     // 0 = 1x estimated capacity
+  size_t serve_queries = 256;
+  size_t serve_tenants = 4;
+  double serve_slo_ms = 0.0;  // 0 = auto from the calibrated estimate
+  double serve_burst = 1.0;
+  uint64_t serve_seed = 42;
+  bool serve_shed = false;    // shed late queries instead of degrading
 };
 
 void Usage() {
@@ -97,7 +107,17 @@ void Usage() {
       "  --hedge-after X       hedge a stage to a second replica when its\n"
       "                        primary's straggler factor >= X (0 = off)\n"
       "  --no-failover         disable failover routing (replicas still\n"
-      "                        spread load; lost hops degrade as at R = 1)");
+      "                        spread load; lost hops degrade as at R = 1)\n"
+      "  --serve               run the continuous-serving frontend (SLO\n"
+      "                        admission control; stand-in datasets only);\n"
+      "                        with --threaded replays on real threads too\n"
+      "  --serve-qps Q         offered load (default: 1x est. capacity)\n"
+      "  --serve-queries N     arrivals in the trace (default 256)\n"
+      "  --serve-tenants N     tenants (default 4)\n"
+      "  --serve-slo-ms X      per-query SLO (default: auto-calibrated)\n"
+      "  --serve-burst F       burstiness factor (default 1; 0 = Poisson)\n"
+      "  --serve-seed S        arrival-trace seed (default 42)\n"
+      "  --serve-shed          shed late queries instead of degrading them");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -126,6 +146,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->shared_scans = false;
     } else if (flag == "--no-failover") {
       args->failover = false;
+    } else if (flag == "--serve") {
+      args->serve = true;
+    } else if (flag == "--serve-shed") {
+      args->serve_shed = true;
     } else if (flag == "--explain") {
       args->explain = true;
     } else if ((v = need_value(i)) == nullptr) {
@@ -168,6 +192,18 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->replication_factor = std::strtoul(v, nullptr, 10);
     } else if (flag == "--hedge-after") {
       args->hedge_after = std::strtod(v, nullptr);
+    } else if (flag == "--serve-qps") {
+      args->serve_qps = std::strtod(v, nullptr);
+    } else if (flag == "--serve-queries") {
+      args->serve_queries = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--serve-tenants") {
+      args->serve_tenants = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--serve-slo-ms") {
+      args->serve_slo_ms = std::strtod(v, nullptr);
+    } else if (flag == "--serve-burst") {
+      args->serve_burst = std::strtod(v, nullptr);
+    } else if (flag == "--serve-seed") {
+      args->serve_seed = std::strtoull(v, nullptr, 10);
     } else if (flag == "--threads-per-node") {
       args->threads_per_node = std::strtoul(v, nullptr, 10);
     } else if (flag == "--group-size") {
@@ -220,6 +256,10 @@ int Run(const CliArgs& args) {
   // --- Materialize data.
   Dataset base, queries;
   size_t default_nlist = 64;
+  // The serving frontend generates tenant-targeted arrivals from the
+  // mixture's component centers; kept only when --serve is requested
+  // (centers + scales, not the base vectors — those move into `base`).
+  GaussianMixture serve_mixture;
   if (!args.base_path.empty()) {
     auto b = ReadFvecs(args.base_path);
     if (!b.ok()) {
@@ -248,6 +288,10 @@ int Run(const CliArgs& args) {
     if (!data.ok()) {
       std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
       return 1;
+    }
+    if (args.serve) {
+      serve_mixture.component_centers = data.value().mixture.component_centers;
+      serve_mixture.dim_scale = data.value().mixture.dim_scale;
     }
     base = std::move(data.value().mixture.vectors);
     queries = std::move(data.value().workload.queries);
@@ -373,6 +417,91 @@ int Run(const CliArgs& args) {
     std::printf("degraded       : %zu/%zu queries, %s\n",
                 faults.degraded_queries, queries.size(),
                 faults.ToString().c_str());
+  }
+
+  if (args.serve) {
+    if (serve_mixture.component_centers.empty()) {
+      std::fprintf(stderr,
+                   "--serve needs a stand-in dataset (not --base files)\n");
+      return 1;
+    }
+    // Calibrate admission estimates from one warm-up group on the virtual
+    // clock so they track the simulated cost model.
+    const size_t probe = std::min<size_t>(kMaxQueryGroup, queries.size());
+    DatasetView sample(queries.Row(0), probe, queries.dim());
+    auto warm = engine.SearchBatchPinned(sample, args.k, args.nprobe);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "serve warm-up failed: %s\n",
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+    const double group_seconds = warm.value().stats.makespan_seconds;
+
+    ServingOptions sopts;
+    sopts.k = args.k;
+    sopts.nprobe = args.nprobe;
+    sopts.degraded_nprobe = std::max<size_t>(1, args.nprobe / 4);
+    sopts.policy.est_query_seconds =
+        group_seconds / static_cast<double>(probe);
+    sopts.policy.est_dispatch_seconds = 0.1 * group_seconds;
+    sopts.policy.max_linger_seconds = 2.0 * sopts.policy.est_query_seconds;
+    sopts.policy.executors = 2;
+    sopts.policy.on_late =
+        args.serve_shed ? LatePolicy::kShed : LatePolicy::kDegrade;
+    const double capacity_qps =
+        static_cast<double>(sopts.policy.executors) /
+        sopts.policy.est_query_seconds;
+
+    ArrivalSpec spec;
+    spec.num_queries = args.serve_queries;
+    spec.num_tenants = args.serve_tenants;
+    spec.offered_qps = args.serve_qps > 0.0 ? args.serve_qps : capacity_qps;
+    spec.burst_factor = args.serve_burst;
+    spec.slo_seconds =
+        args.serve_slo_ms > 0.0
+            ? args.serve_slo_ms * 1e-3
+            : 8.0 * sopts.policy.est_query_seconds *
+                  static_cast<double>(sopts.policy.max_group);
+    spec.seed = args.serve_seed;
+    auto trace = GenerateArrivalTrace(serve_mixture, spec);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "serve trace failed: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+
+    ServingFrontend frontend(&engine, sopts);
+    auto serve_report = frontend.RunSimulated(trace.value());
+    if (!serve_report.ok()) {
+      std::fprintf(stderr, "serve run failed: %s\n",
+                   serve_report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nserving (sim)  : offered %.0f qps, slo %.2f ms, "
+                "%zu tenants, burst %.1f\n",
+                spec.offered_qps, spec.slo_seconds * 1e3, spec.num_tenants,
+                spec.burst_factor);
+    std::printf("schedule       : %s fingerprint=%016llx\n",
+                serve_report.value().schedule.ToString().c_str(),
+                static_cast<unsigned long long>(
+                    serve_report.value().schedule.Fingerprint()));
+    std::printf("stats          : %s\n",
+                serve_report.value().stats.ToString().c_str());
+    if (args.threaded) {
+      auto thr_report = frontend.RunThreaded(trace.value());
+      if (!thr_report.ok()) {
+        std::fprintf(stderr, "serve threaded run failed: %s\n",
+                     thr_report.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("serving (thr)  : %s\n",
+                  thr_report.value().stats.ToString().c_str());
+      std::printf("schedule parity: %s\n",
+                  thr_report.value().schedule.Fingerprint() ==
+                          serve_report.value().schedule.Fingerprint()
+                      ? "identical decisions on both backends"
+                      : "MISMATCH (determinism bug)");
+    }
   }
 
   if (args.threaded) {

@@ -6,6 +6,7 @@
 #   tools/run_benches.sh kernels    # just micro_kernels -> BENCH_kernels.json
 #   tools/run_benches.sh throughput # just fig_throughput -> BENCH_throughput.json
 #   tools/run_benches.sh fault      # just fig_fault_recall -> BENCH_fault.json
+#   tools/run_benches.sh serving    # just fig_serving -> BENCH_serving.json
 #
 # The JSON files land in the repository root (the benches write to their
 # working directory). HARMONY_SCALE applies as usual.
@@ -15,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 cmake --preset bench-release >/dev/null
 cmake --build --preset bench-release -j"$(nproc)" \
-  --target micro_kernels fig_throughput fig_fault_recall
+  --target micro_kernels fig_throughput fig_fault_recall fig_serving
 
 what="${1:-all}"
 
@@ -27,4 +28,7 @@ if [[ "$what" == "all" || "$what" == "throughput" ]]; then
 fi
 if [[ "$what" == "all" || "$what" == "fault" ]]; then
   ./build-bench/bench/fig_fault_recall
+fi
+if [[ "$what" == "all" || "$what" == "serving" ]]; then
+  ./build-bench/bench/fig_serving
 fi
