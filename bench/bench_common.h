@@ -139,6 +139,29 @@ inline HarmonyEngine* GetEngine(const BenchWorld& world, Mode mode,
   return cache.emplace(key.str(), std::move(engine)).first->second.get();
 }
 
+/// Cached engine with quantized block streams on (docs/quantization.md):
+/// same shared clustering, 8-bit PQ codes at `subspaces` subspaces on the
+/// grid, exact float rerank capped at `rerank_depth` ADC candidates per
+/// chain (0 = rerank every survivor).
+inline HarmonyEngine* GetPqEngine(const BenchWorld& world, Mode mode,
+                                  size_t machines, size_t subspaces,
+                                  size_t rerank_depth = 0) {
+  std::ostringstream key;
+  key << &world << "/" << ModeToString(mode) << "/" << machines << "/pq"
+      << subspaces << "/r" << rerank_depth;
+  auto& cache = internal::Cache<HarmonyEngine>();
+  if (auto it = cache.find(key.str()); it != cache.end()) {
+    return it->second.get();
+  }
+  HarmonyOptions opts = MakeOptions(world, mode, machines);
+  opts.use_pq_streams = true;
+  opts.pq_subspaces = subspaces;
+  opts.rerank_depth = rerank_depth;
+  auto engine = std::make_unique<HarmonyEngine>(opts);
+  HARMONY_CHECK(engine->BuildFromIndex(*world.index).ok());
+  return cache.emplace(key.str(), std::move(engine)).first->second.get();
+}
+
 struct RunOutcome {
   BatchStats stats;
   double recall = 0.0;  // Only filled when with_recall = true.

@@ -1,0 +1,179 @@
+// Quantized block streams: recall/compression curve (docs/quantization.md).
+//
+// Sweeps the PQ subspace budget M (8-bit codewords) and the exact-rerank
+// depth on the 4-node Harmony grid and records, per point, recall@10
+// against the float path, the per-row compression ratio, and the
+// streamed-byte split (compressed code bytes vs float bytes, including the
+// rerank's float re-reads). The acceptance contract for the quantized path
+// lives here: recall@10 after the rerank stays within 0.005 of the float
+// engine while the streamed bytes drop by the code compression factor.
+//
+// Emits BENCH_pq.json (tools/run_benches.sh refreshes it).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace harmony {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  size_t nprobe = 0;
+  size_t machines = 0;
+  size_t pq_subspaces = 0;
+  size_t rerank_depth = 0;
+  size_t num_queries = 0;
+  double float_recall = 0.0;
+  double pq_recall = 0.0;
+  double qps = 0.0;
+  uint64_t code_bytes_stored = 0;
+  double row_compression_x = 0.0;  // float row bytes / code row bytes
+  uint64_t bytes_streamed = 0;       // PQ path, incl. rerank float re-reads
+  uint64_t bytes_compressed = 0;     // code-byte share of bytes_streamed
+  uint64_t float_bytes_streamed = 0; // float-path twin at the same point
+};
+
+std::vector<Row>& Rows() {
+  static auto& rows = *new std::vector<Row>();
+  return rows;
+}
+
+void PqPoint(benchmark::State& state, const std::string& dataset,
+             size_t subspaces, size_t rerank_depth) {
+  constexpr size_t kMachines = 4;
+  constexpr size_t kNprobe = 8;
+  const BenchWorld& world = GetWorld(dataset);
+  HarmonyEngine* flt = GetEngine(world, Mode::kHarmony, kMachines);
+  HarmonyEngine* pq =
+      GetPqEngine(world, Mode::kHarmony, kMachines, subspaces, rerank_depth);
+
+  RunOutcome flt_out, pq_out;
+  for (auto _ : state) {
+    flt_out = RunSearch(world, flt, /*k=*/10, kNprobe);
+    pq_out = RunSearch(world, pq, /*k=*/10, kNprobe);
+  }
+
+  Row row;
+  row.dataset = dataset;
+  row.nprobe = kNprobe;
+  row.machines = kMachines;
+  row.pq_subspaces = subspaces;
+  row.rerank_depth = rerank_depth;
+  row.num_queries = world.data.workload.queries.View().size();
+  row.float_recall = flt_out.recall;
+  row.pq_recall = pq_out.recall;
+  row.qps = pq_out.stats.qps;
+  const MemoryStats mem = pq->IndexMemory();
+  row.code_bytes_stored = mem.index_code_bytes;
+  // Per-row: width*4 float bytes vs one byte per subspace code.
+  size_t code_row_bytes = 0;
+  const GridQuantizer& q = pq->quantizer();
+  for (size_t d = 0; d < q.num_blocks(); ++d) code_row_bytes += q.code_size(d);
+  row.row_compression_x =
+      code_row_bytes > 0 ? static_cast<double>(q.dim() * sizeof(float)) /
+                               static_cast<double>(code_row_bytes)
+                         : 0.0;
+  row.bytes_streamed = pq_out.stats.breakdown.total_bytes_streamed;
+  row.bytes_compressed = pq_out.stats.breakdown.total_bytes_compressed;
+  row.float_bytes_streamed = flt_out.stats.breakdown.total_bytes_streamed;
+  Rows().push_back(row);
+
+  state.counters["pq_recall_at_10"] = row.pq_recall;
+  state.counters["float_recall_at_10"] = row.float_recall;
+  state.counters["recall_delta"] = row.float_recall - row.pq_recall;
+  state.counters["row_compression_x"] = row.row_compression_x;
+  state.counters["streamed_drop_x"] =
+      row.bytes_streamed > 0
+          ? static_cast<double>(row.float_bytes_streamed) /
+                static_cast<double>(row.bytes_streamed)
+          : 0.0;
+}
+
+void RegisterAll() {
+  const std::string dataset = "sift1m";
+  // Depth sweep at the serving budget M=16: depth 160 is the serving
+  // configuration (the acceptance point: recall@10 within 0.005 of the
+  // float path at a >= 8x streamed-byte drop), depth 0 reranks every ADC
+  // survivor and is the recall ceiling of the quantized path.
+  for (const size_t depth : {40, 100, 140, 160, 200, 0}) {
+    std::string name = "fig_pq/" + dataset + "/m:16/rerank:" +
+                       std::to_string(depth);
+    benchmark::RegisterBenchmark(name.c_str(), PqPoint, dataset,
+                                 size_t{16}, depth)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Subspace sweep at the serving depth: the compression/recall trade.
+  for (const size_t m : {4, 8, 32}) {
+    std::string name = "fig_pq/" + dataset + "/m:" + std::to_string(m) +
+                       "/rerank:160";
+    benchmark::RegisterBenchmark(name.c_str(), PqPoint, dataset, m,
+                                 size_t{160})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for write\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig_pq\",\n"
+               "  \"note\": \"quantized block streams: 8-bit PQ codes on "
+               "the 4-node grid, ADC scans with conservative prune bounds, "
+               "exact float rerank at the rank barrier; bytes_streamed "
+               "includes the rerank's float re-reads\",\n"
+               "  \"results\": [");
+  bool first = true;
+  for (const Row& r : Rows()) {
+    std::fprintf(
+        f,
+        "%s\n    {\"dataset\": \"%s\", \"nprobe\": %zu, \"machines\": %zu, "
+        "\"pq_subspaces\": %zu, \"rerank_depth\": %zu, \"num_queries\": %zu, "
+        "\"float_recall_at_10\": %.4f, \"pq_recall_at_10\": %.4f, "
+        "\"recall_delta\": %.4f, \"qps\": %.2f, "
+        "\"code_bytes_stored\": %llu, \"row_compression_x\": %.2f, "
+        "\"bytes_streamed\": %llu, \"bytes_compressed\": %llu, "
+        "\"float_bytes_streamed\": %llu, \"streamed_drop_x\": %.2f}",
+        first ? "" : ",", r.dataset.c_str(), r.nprobe, r.machines,
+        r.pq_subspaces, r.rerank_depth, r.num_queries, r.float_recall,
+        r.pq_recall, r.float_recall - r.pq_recall, r.qps,
+        static_cast<unsigned long long>(r.code_bytes_stored),
+        r.row_compression_x,
+        static_cast<unsigned long long>(r.bytes_streamed),
+        static_cast<unsigned long long>(r.bytes_compressed),
+        static_cast<unsigned long long>(r.float_bytes_streamed),
+        r.bytes_streamed > 0
+            ? static_cast<double>(r.float_bytes_streamed) /
+                  static_cast<double>(r.bytes_streamed)
+            : 0.0);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  harmony::SetLogLevel(harmony::LogLevel::kWarn);
+  harmony::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  harmony::bench::WriteJson("BENCH_pq.json");
+  return 0;
+}

@@ -34,10 +34,13 @@ struct Row {
   bool shared_scans = false;
   size_t query_group_size = 0;
   size_t num_queries = 0;
+  size_t pq_subspaces = 0;  // 0 = float block streams
+  size_t rerank_depth = 0;
   double qps = 0.0;
   double makespan_seconds = 0.0;
   double recall = 0.0;
   uint64_t bytes_streamed = 0;
+  uint64_t bytes_compressed = 0;
   uint64_t total_bytes = 0;
 };
 
@@ -48,10 +51,15 @@ std::vector<Row>& Rows() {
 
 void ThroughputPoint(benchmark::State& state, const std::string& dataset,
                      double zipf, size_t threads_per_node, bool shared_scans,
-                     size_t group_size, size_t nprobe) {
+                     size_t group_size, size_t nprobe, size_t pq_subspaces,
+                     size_t rerank_depth) {
   constexpr size_t kMachines = 4;
   const BenchWorld& world = GetWorld(dataset, zipf);
-  HarmonyEngine* engine = GetEngine(world, Mode::kHarmony, kMachines);
+  HarmonyEngine* engine =
+      pq_subspaces > 0
+          ? GetPqEngine(world, Mode::kHarmony, kMachines, pq_subspaces,
+                        rerank_depth)
+          : GetEngine(world, Mode::kHarmony, kMachines);
   engine->SetParallelism(threads_per_node, group_size, shared_scans);
   RunOutcome outcome;
   for (auto _ : state) {
@@ -68,10 +76,13 @@ void ThroughputPoint(benchmark::State& state, const std::string& dataset,
   row.shared_scans = shared_scans;
   row.query_group_size = group_size;
   row.num_queries = world.data.workload.queries.View().size();
+  row.pq_subspaces = pq_subspaces;
+  row.rerank_depth = rerank_depth;
   row.qps = outcome.stats.qps;
   row.makespan_seconds = outcome.stats.makespan_seconds;
   row.recall = outcome.recall;
   row.bytes_streamed = outcome.stats.breakdown.total_bytes_streamed;
+  row.bytes_compressed = outcome.stats.breakdown.total_bytes_compressed;
   row.total_bytes = outcome.stats.breakdown.total_bytes;
   Rows().push_back(row);
 
@@ -81,17 +92,24 @@ void ThroughputPoint(benchmark::State& state, const std::string& dataset,
   state.counters["threads_per_node"] = static_cast<double>(threads_per_node);
   state.counters["group_size"] =
       static_cast<double>(shared_scans ? group_size : 1);
+  if (pq_subspaces > 0) {
+    state.counters["bytes_compressed"] =
+        static_cast<double>(row.bytes_compressed);
+  }
 }
 
 void Register(const std::string& dataset, double zipf, size_t threads,
-              bool shared, size_t group, size_t nprobe) {
+              bool shared, size_t group, size_t nprobe, size_t pq = 0,
+              size_t rerank_depth = 0) {
   std::string name = "fig_throughput/" + dataset + "/zipf:" +
                      std::to_string(zipf) + "/tpn:" + std::to_string(threads) +
                      (shared ? "/shared:g" + std::to_string(group)
                              : "/unshared") +
-                     "/nprobe:" + std::to_string(nprobe);
+                     "/nprobe:" + std::to_string(nprobe) +
+                     (pq > 0 ? "/pq:m" + std::to_string(pq) : "");
   benchmark::RegisterBenchmark(name.c_str(), ThroughputPoint, dataset, zipf,
-                               threads, shared, group, nprobe)
+                               threads, shared, group, nprobe, pq,
+                               rerank_depth)
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
 }
@@ -109,6 +127,13 @@ void RegisterAll() {
     for (const size_t group : {2, 8}) {
       Register(dataset, zipf, /*threads=*/4, /*shared=*/true, group, kNprobe);
     }
+    // Quantized block streams on/off at the default point (the off twins
+    // are registered above): 16x8-bit PQ codes, exact rerank of the 40
+    // best ADC candidates per chain (docs/quantization.md).
+    Register(dataset, zipf, /*threads=*/1, /*shared=*/true, /*group=*/4,
+             kNprobe, /*pq=*/16, /*rerank_depth=*/160);
+    Register(dataset, zipf, /*threads=*/1, /*shared=*/false, /*group=*/1,
+             kNprobe, /*pq=*/16, /*rerank_depth=*/160);
   }
 }
 
@@ -134,15 +159,19 @@ void WriteJson(const char* path) {
         "%s\n    {\"dataset\": \"%s\", \"zipf\": %.2f, \"nprobe\": %zu, "
         "\"machines\": %zu, \"threads_per_node\": %zu, "
         "\"shared_scans\": %s, \"query_group_size\": %zu, "
-        "\"num_queries\": %zu, \"qps\": %.2f, \"makespan_seconds\": %.6f, "
+        "\"num_queries\": %zu, \"pq_subspaces\": %zu, "
+        "\"rerank_depth\": %zu, \"qps\": %.2f, \"makespan_seconds\": %.6f, "
         "\"recall_at_10\": %.4f, \"bytes_streamed\": %llu, "
-        "\"bytes_streamed_per_query\": %.1f, \"total_bytes\": %llu}",
+        "\"bytes_streamed_per_query\": %.1f, \"bytes_compressed\": %llu, "
+        "\"total_bytes\": %llu}",
         first ? "" : ",", r.dataset.c_str(), r.zipf, r.nprobe, r.machines,
         r.threads_per_node, r.shared_scans ? "true" : "false",
-        r.query_group_size, r.num_queries, r.qps, r.makespan_seconds,
+        r.query_group_size, r.num_queries, r.pq_subspaces, r.rerank_depth,
+        r.qps, r.makespan_seconds,
         r.recall, static_cast<unsigned long long>(r.bytes_streamed),
         static_cast<double>(r.bytes_streamed) /
             static_cast<double>(r.num_queries),
+        static_cast<unsigned long long>(r.bytes_compressed),
         static_cast<unsigned long long>(r.total_bytes));
     first = false;
   }

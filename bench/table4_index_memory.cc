@@ -17,6 +17,7 @@ namespace {
 void IndexMemory(benchmark::State& state, const std::string& dataset) {
   const BenchWorld& world = GetWorld(dataset);
   uint64_t faiss = 0, vec = 0, dim = 0, har = 0;
+  MemoryStats pq;
   for (auto _ : state) {
     faiss = world.index->SizeBytes();
     vec = GetEngine(world, Mode::kHarmonyVector, 4)
@@ -28,11 +29,26 @@ void IndexMemory(benchmark::State& state, const std::string& dataset) {
     har = GetEngine(world, Mode::kHarmony, 4)
               ->IndexMemory()
               .index_bytes_max_node;
+    // Compressed column: the same grid with 16x8-bit quantized block
+    // streams on top of the float slices (docs/quantization.md). The
+    // max-node footprint grows by the code streams; the compressed bytes
+    // alone are what a scan touches before the rerank.
+    pq = GetPqEngine(world, Mode::kHarmony, 4, /*subspaces=*/16)
+             ->IndexMemory();
   }
   state.counters["faiss_MB"] = static_cast<double>(faiss) / 1e6;
   state.counters["harmony_vector_MB"] = static_cast<double>(vec) / 1e6;
   state.counters["harmony_dimension_MB"] = static_cast<double>(dim) / 1e6;
   state.counters["harmony_MB"] = static_cast<double>(har) / 1e6;
+  state.counters["harmony_pq_MB"] =
+      static_cast<double>(pq.index_bytes_max_node) / 1e6;
+  state.counters["pq_code_MB"] =
+      static_cast<double>(pq.index_code_bytes) / 1e6;
+  state.counters["pq_scan_compression_x"] =
+      pq.index_code_bytes > 0
+          ? static_cast<double>(pq.index_bytes_total) /
+                static_cast<double>(pq.index_code_bytes)
+          : 0.0;
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "core/block_scan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -12,17 +13,45 @@ namespace harmony {
 
 namespace {
 
+/// Folds one row's raw ADC sum into the candidate's running partial and
+/// conservative prune bound (docs/quantization.md). Scalar on purpose: the
+/// batched path calls it row by row after the adc_batch kernel, so reference
+/// and batched PQ scans share one arithmetic sequence.
+///
+/// `partial` is the rerank's ranking score: the midpoint of the conservative
+/// interval around the true partial. L2 brackets ||q-p||_d between
+/// (sqrt(adc) -+ err)^2, whose midpoint is adc + err^2 — rows whose codes
+/// reconstruct poorly carry the least trustworthy ADC estimates and rank
+/// behind equally-scored rows with tight codes, which measurably sharpens
+/// the depth pick. IP brackets <q,p>_d symmetrically (adc -+ ||q|| err), so
+/// its midpoint is the raw sum. `bound` keeps the sound end of the interval
+/// for the monotone prune masks.
+inline void AccumulateAdc(const BlockScanParams& p, bool use_ip, float adc,
+                          float err, float* partial, float* bound) {
+  if (use_ip) {
+    *partial += adc;
+    // <q,p> <= <q,p_hat> + ||q|| * ||p - p_hat|| (Cauchy–Schwarz).
+    *bound += adc + p.q_band_norm * err;
+  } else {
+    *partial += adc + err * err;
+    // ||q-p|| >= ||q-p_hat|| - ||p-p_hat|| (triangle inequality).
+    const float t = std::sqrt(adc) - err;
+    *bound += t > 0.0f ? t * t : 0.0f;
+  }
+}
+
 /// Historical per-candidate loop: single-row kernels, scalar prune test,
 /// compaction interleaved with accumulation. Kept as the bitwise reference
 /// the batched path is regression-tested against.
 size_t ScanBlockReference(const BlockScanParams& p, size_t begin, size_t count,
                           int64_t* id, int32_t* list, int32_t* row,
-                          float* partial, float* rem_p_sq,
+                          float* partial, float* rem_p_sq, float* bound,
                           BlockScanCounters* counters) {
   const bool use_ip = p.metric != Metric::kL2;
+  const bool use_pq = p.luts != nullptr;
   size_t w = 0;
   for (size_t i = begin; i < begin + count; ++i) {
-    if (p.prune && CanPrune(p.metric, partial[i],
+    if (p.prune && CanPrune(p.metric, use_pq ? bound[i] : partial[i],
                             p.use_norms ? rem_p_sq[i] : 0.0f, p.rem_q_sq,
                             p.tau)) {
       ++counters->dropped;
@@ -30,22 +59,36 @@ size_t ScanBlockReference(const BlockScanParams& p, size_t begin, size_t count,
     }
     const ListSlice* ls = p.slices[static_cast<size_t>(list[i])];
     HARMONY_CHECK_MSG(ls != nullptr, "missing list slice on machine");
-    const float* vrow = ls->slice.Row(static_cast<size_t>(row[i]));
-    if (use_ip) {
-      partial[i] += PartialIp(p.q_slice, vrow, p.width);
-      if (p.use_norms) {
-        rem_p_sq[i] -= ls->block_norm_sq[static_cast<size_t>(row[i])];
+    if (use_pq) {
+      const float* lut = p.luts[static_cast<size_t>(list[i])];
+      const size_t r = static_cast<size_t>(row[i]);
+      const uint8_t* code = ls->codes.data() + r * p.code_size;
+      float adc = 0.0f;
+      for (size_t m = 0; m < p.code_size; ++m) {
+        adc += lut[m * p.ksub + code[m]];
       }
+      AccumulateAdc(p, use_ip, adc, ls->code_err[r], &partial[i], &bound[i]);
+      if (use_ip && p.use_norms) rem_p_sq[i] -= ls->block_norm_sq[r];
+      counters->ops += DistanceOpCost(p.code_size);
     } else {
-      partial[i] += PartialL2Sq(p.q_slice, vrow, p.width);
+      const float* vrow = ls->slice.Row(static_cast<size_t>(row[i]));
+      if (use_ip) {
+        partial[i] += PartialIp(p.q_slice, vrow, p.width);
+        if (p.use_norms) {
+          rem_p_sq[i] -= ls->block_norm_sq[static_cast<size_t>(row[i])];
+        }
+      } else {
+        partial[i] += PartialL2Sq(p.q_slice, vrow, p.width);
+      }
+      counters->ops += DistanceOpCost(p.width);
     }
-    counters->ops += DistanceOpCost(p.width);
     const size_t dst = begin + w;
     id[dst] = id[i];
     list[dst] = list[i];
     row[dst] = row[i];
     partial[dst] = partial[i];
     if (p.use_norms) rem_p_sq[dst] = rem_p_sq[i];
+    if (use_pq) bound[dst] = bound[i];
     ++w;
   }
   return w;
@@ -56,18 +99,23 @@ size_t ScanBlockReference(const BlockScanParams& p, size_t begin, size_t count,
 /// the SoA arrays in place — no row data is touched for pruned candidates.
 size_t PruneCompact(const BlockScanParams& p, size_t begin, size_t count,
                     int64_t* id, int32_t* list, int32_t* row, float* partial,
-                    float* rem_p_sq, BlockScanCounters* counters) {
+                    float* rem_p_sq, float* bound, BlockScanCounters* counters) {
   const ScanKernelTable& kt = ScanKernels();
   const bool use_ip = p.metric != Metric::kL2;
+  const bool use_pq = p.luts != nullptr;
+  // PQ streams test the conservative bound column with the same mask
+  // kernels; the bound is a sound stand-in for the exact partial (lower
+  // bound for L2, upper bound for IP), so pruning stays monotone.
+  const float* gate = use_pq ? bound : partial;
   size_t w = 0;  // Write offset relative to `begin`.
   size_t i = 0;
   while (i < count) {
     const size_t chunk = std::min(kPruneMaskWidth, count - i);
     uint32_t mask;
     if (!use_ip) {
-      mask = kt.prune_mask_l2(partial + begin + i, chunk, p.tau);
+      mask = kt.prune_mask_l2(gate + begin + i, chunk, p.tau);
     } else if (p.use_norms) {
-      mask = kt.prune_mask_ip(partial + begin + i, rem_p_sq + begin + i,
+      mask = kt.prune_mask_ip(gate + begin + i, rem_p_sq + begin + i,
                               chunk, p.rem_q_sq, p.tau);
     } else {
       // IP without the norm column cannot occur in the engines (pruning
@@ -75,7 +123,7 @@ size_t PruneCompact(const BlockScanParams& p, size_t begin, size_t count,
       // scalar bound for completeness.
       mask = 0;
       for (size_t j = 0; j < chunk; ++j) {
-        if (CanPrune(p.metric, partial[begin + i + j], 0.0f, p.rem_q_sq,
+        if (CanPrune(p.metric, gate[begin + i + j], 0.0f, p.rem_q_sq,
                      p.tau)) {
           mask |= uint32_t{1} << j;
         }
@@ -101,6 +149,7 @@ size_t PruneCompact(const BlockScanParams& p, size_t begin, size_t count,
         row[dst] = row[src];
         partial[dst] = partial[src];
         if (p.use_norms) rem_p_sq[dst] = rem_p_sq[src];
+        if (use_pq) bound[dst] = bound[src];
       }
       ++w;
     }
@@ -109,14 +158,46 @@ size_t PruneCompact(const BlockScanParams& p, size_t begin, size_t count,
   return w;
 }
 
+/// Chunk size of the adc_batch scratch buffer: big enough to amortize the
+/// kernel call, small enough for the stack.
+constexpr size_t kAdcChunk = 256;
+
+/// PQ twin of a batched run: the code rows stream through the ADC kernel in
+/// kAdcChunk tiles, then a scalar post-pass folds each row's ADC sum into
+/// the partial/bound columns — the same AccumulateAdc sequence the
+/// reference loop runs, so the two PQ paths are bit-identical.
+void ScanCodeRun(const BlockScanParams& p, bool use_ip, const ListSlice* ls,
+                 const float* lut, size_t r0, size_t run, float* partial,
+                 float* rem_p_sq, float* bound) {
+  const ScanKernelTable& kt = ScanKernels();
+  float adc[kAdcChunk];
+  size_t done = 0;
+  while (done < run) {
+    const size_t n = std::min(kAdcChunk, run - done);
+    const uint8_t* codes = ls->codes.data() + (r0 + done) * p.code_size;
+    kt.adc_batch(lut, p.ksub, codes, p.code_size, n, adc);
+    const float* err = ls->code_err.data() + r0 + done;
+    for (size_t t = 0; t < n; ++t) {
+      AccumulateAdc(p, use_ip, adc[t], err[t], &partial[done + t],
+                    &bound[done + t]);
+    }
+    if (use_ip && p.use_norms) {
+      const float* bn = ls->block_norm_sq.data() + r0 + done;
+      for (size_t t = 0; t < n; ++t) rem_p_sq[done + t] -= bn[t];
+    }
+    done += n;
+  }
+}
+
 /// Pass 2 of the batched path: split the (list-major, row-ascending)
 /// survivors into runs of consecutive rows of one list slice and stream
 /// each run through the batched kernels.
 void ScanRuns(const BlockScanParams& p, size_t begin, size_t survivors,
               const int32_t* list, const int32_t* row, float* partial,
-              float* rem_p_sq) {
+              float* rem_p_sq, float* bound) {
   const ScanKernelTable& kt = ScanKernels();
   const bool use_ip = p.metric != Metric::kL2;
+  const bool use_pq = p.luts != nullptr;
   size_t j = 0;
   while (j < survivors) {
     const int32_t li = list[begin + j];
@@ -128,15 +209,23 @@ void ScanRuns(const BlockScanParams& p, size_t begin, size_t survivors,
            static_cast<size_t>(row[begin + j + run]) == r0 + run) {
       ++run;
     }
-    const float* rows = ls->slice.RowBlock(r0, run);
-    if (use_ip) {
-      kt.ip_batch(p.q_slice, rows, run, p.width, partial + begin + j);
-      if (p.use_norms) {
-        const float* bn = ls->block_norm_sq.data() + r0;
-        for (size_t t = 0; t < run; ++t) rem_p_sq[begin + j + t] -= bn[t];
-      }
+    if (use_pq) {
+      // Runs never cross lists, so one residual ADC table covers the run.
+      ScanCodeRun(p, use_ip, ls, p.luts[static_cast<size_t>(li)], r0, run,
+                  partial + begin + j,
+                  rem_p_sq == nullptr ? nullptr : rem_p_sq + begin + j,
+                  bound + begin + j);
     } else {
-      kt.l2_batch(p.q_slice, rows, run, p.width, partial + begin + j);
+      const float* rows = ls->slice.RowBlock(r0, run);
+      if (use_ip) {
+        kt.ip_batch(p.q_slice, rows, run, p.width, partial + begin + j);
+        if (p.use_norms) {
+          const float* bn = ls->block_norm_sq.data() + r0;
+          for (size_t t = 0; t < run; ++t) rem_p_sq[begin + j + t] -= bn[t];
+        }
+      } else {
+        kt.l2_batch(p.q_slice, rows, run, p.width, partial + begin + j);
+      }
     }
     j += run;
   }
@@ -146,18 +235,19 @@ void ScanRuns(const BlockScanParams& p, size_t begin, size_t survivors,
 
 size_t ScanBlock(const BlockScanParams& p, size_t begin, size_t count,
                  int64_t* id, int32_t* list, int32_t* row, float* partial,
-                 float* rem_p_sq, BlockScanCounters* counters) {
+                 float* rem_p_sq, float* bound, BlockScanCounters* counters) {
   if (!p.use_batched) {
     return ScanBlockReference(p, begin, count, id, list, row, partial,
-                              rem_p_sq, counters);
+                              rem_p_sq, bound, counters);
   }
   size_t w = count;
   if (p.prune) {
-    w = PruneCompact(p, begin, count, id, list, row, partial, rem_p_sq,
+    w = PruneCompact(p, begin, count, id, list, row, partial, rem_p_sq, bound,
                      counters);
   }
-  ScanRuns(p, begin, w, list, row, partial, rem_p_sq);
-  counters->ops += static_cast<uint64_t>(w) * DistanceOpCost(p.width);
+  ScanRuns(p, begin, w, list, row, partial, rem_p_sq, bound);
+  counters->ops += static_cast<uint64_t>(w) *
+                   DistanceOpCost(p.luts != nullptr ? p.code_size : p.width);
   return w;
 }
 
@@ -193,6 +283,10 @@ BlockScanParams MemberParams(const GroupScanParams& p,
   mp.width = p.width;
   mp.slices = m.slices;
   mp.use_batched = p.use_batched;
+  mp.luts = m.luts;
+  mp.ksub = p.ksub;
+  mp.code_size = p.code_size;
+  mp.q_band_norm = m.q_band_norm;
   return mp;
 }
 
@@ -201,6 +295,8 @@ BlockScanParams MemberParams(const GroupScanParams& p,
 uint64_t ScanBlockGroup(const GroupScanParams& p, GroupMemberScan* members,
                         size_t num_members) {
   const bool use_ip = p.metric != Metric::kL2;
+  const uint64_t row_bytes =
+      p.use_pq ? p.code_size : p.width * sizeof(float);
   if (!p.use_batched) {
     // Reference mode: solo reference scans, one per member. No sharing, so
     // every survivor streams its own row.
@@ -209,8 +305,8 @@ uint64_t ScanBlockGroup(const GroupScanParams& p, GroupMemberScan* members,
       GroupMemberScan& mem = members[m];
       mem.survivors = ScanBlockReference(
           MemberParams(p, mem), 0, mem.count, mem.id, mem.list, mem.row,
-          mem.partial, mem.rem_p_sq, &mem.counters);
-      bytes += static_cast<uint64_t>(mem.survivors) * p.width * sizeof(float);
+          mem.partial, mem.rem_p_sq, mem.bound, &mem.counters);
+      bytes += static_cast<uint64_t>(mem.survivors) * row_bytes;
     }
     return bytes;
   }
@@ -221,12 +317,14 @@ uint64_t ScanBlockGroup(const GroupScanParams& p, GroupMemberScan* members,
     if (mem.prune) {
       mem.survivors =
           PruneCompact(MemberParams(p, mem), 0, mem.count, mem.id, mem.list,
-                       mem.row, mem.partial, mem.rem_p_sq, &mem.counters);
+                       mem.row, mem.partial, mem.rem_p_sq, mem.bound,
+                       &mem.counters);
     } else {
       mem.survivors = mem.count;
     }
     mem.counters.ops +=
-        static_cast<uint64_t>(mem.survivors) * DistanceOpCost(p.width);
+        static_cast<uint64_t>(mem.survivors) *
+        DistanceOpCost(p.use_pq ? p.code_size : p.width);
   }
 
   // Segment discovery: survivors are list-major, so each member contributes
@@ -297,37 +395,59 @@ uint64_t ScanBlockGroup(const GroupScanParams& p, GroupMemberScan* members,
           len = std::min(len, static_cast<size_t>(r - rmin));
         }
       }
-      const float* rows = lw.ls->slice.RowBlock(static_cast<size_t>(rmin), len);
-      if (ns == 1) {
-        const GroupMemberScan& mem = members[active[0]->member];
-        float* acc = mem.partial + active[0]->cursor;
-        if (use_ip) {
-          kt.ip_batch(mem.q_slice, rows, len, p.width, acc);
-        } else {
-          kt.l2_batch(mem.q_slice, rows, len, p.width, acc);
+      if (p.use_pq) {
+        // The code tile is streamed once for the subset; per member the
+        // ADC accumulation is the solo ScanCodeRun sequence (each member
+        // has its own LUT, so there is no cross-query ADC kernel — the
+        // shared stream is the byte win, the compute is already cheap).
+        for (size_t s = 0; s < ns; ++s) {
+          GroupMemberScan& mem = members[active[s]->member];
+          // The segment's member-local list id selects the member's
+          // residual ADC table for this list (constant across the segment).
+          const float* lut =
+              mem.luts[static_cast<size_t>(mem.list[active[s]->cursor])];
+          ScanCodeRun(MemberParams(p, mem), use_ip, lw.ls, lut,
+                      static_cast<size_t>(rmin), len,
+                      mem.partial + active[s]->cursor,
+                      mem.rem_p_sq == nullptr
+                          ? nullptr
+                          : mem.rem_p_sq + active[s]->cursor,
+                      mem.bound + active[s]->cursor);
         }
       } else {
-        for (size_t s = 0; s < ns; ++s) {
-          const GroupMemberScan& mem = members[active[s]->member];
-          qs[s] = mem.q_slice;
-          accums[s] = mem.partial + active[s]->cursor;
-        }
-        if (use_ip) {
-          kt.ip_group(qs.data(), ns, rows, len, p.width, accums.data());
+        const float* rows =
+            lw.ls->slice.RowBlock(static_cast<size_t>(rmin), len);
+        if (ns == 1) {
+          const GroupMemberScan& mem = members[active[0]->member];
+          float* acc = mem.partial + active[0]->cursor;
+          if (use_ip) {
+            kt.ip_batch(mem.q_slice, rows, len, p.width, acc);
+          } else {
+            kt.l2_batch(mem.q_slice, rows, len, p.width, acc);
+          }
         } else {
-          kt.l2_group(qs.data(), ns, rows, len, p.width, accums.data());
+          for (size_t s = 0; s < ns; ++s) {
+            const GroupMemberScan& mem = members[active[s]->member];
+            qs[s] = mem.q_slice;
+            accums[s] = mem.partial + active[s]->cursor;
+          }
+          if (use_ip) {
+            kt.ip_group(qs.data(), ns, rows, len, p.width, accums.data());
+          } else {
+            kt.l2_group(qs.data(), ns, rows, len, p.width, accums.data());
+          }
         }
-      }
-      if (use_ip && p.use_norms) {
-        const float* bn =
-            lw.ls->block_norm_sq.data() + static_cast<size_t>(rmin);
-        for (size_t s = 0; s < ns; ++s) {
-          float* rp = members[active[s]->member].rem_p_sq + active[s]->cursor;
-          for (size_t t = 0; t < len; ++t) rp[t] -= bn[t];
+        if (use_ip && p.use_norms) {
+          const float* bn =
+              lw.ls->block_norm_sq.data() + static_cast<size_t>(rmin);
+          for (size_t s = 0; s < ns; ++s) {
+            float* rp = members[active[s]->member].rem_p_sq + active[s]->cursor;
+            for (size_t t = 0; t < len; ++t) rp[t] -= bn[t];
+          }
         }
       }
       for (size_t s = 0; s < ns; ++s) active[s]->cursor += len;
-      bytes += static_cast<uint64_t>(len) * p.width * sizeof(float);
+      bytes += static_cast<uint64_t>(len) * row_bytes;
     }
   }
   return bytes;

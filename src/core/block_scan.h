@@ -43,6 +43,20 @@ struct BlockScanParams {
   const ListSlice* const* slices = nullptr;
   /// Batched kernel path (true) vs historical per-candidate reference.
   bool use_batched = true;
+  /// Quantized streams (docs/quantization.md), active when `luts` is
+  /// non-null: the stage walks the slices' PQ code streams through the ADC
+  /// kernel instead of float rows. Codes are coarse-centroid residuals, so
+  /// the ADC table is per probed list: `luts[li]` is the table of (query,
+  /// chain list li, this block), indexed like `slices`. `partial`
+  /// accumulates the raw ADC estimate; the separate `bound` column
+  /// accumulates the conservative prune bound (L2:
+  /// (max(0, sqrt(adc) - err))², a lower bound on the true partial; IP:
+  /// adc + ||q^(d)|| * err, an upper bound), and the prune masks test
+  /// `bound` in place of `partial`.
+  const float* const* luts = nullptr;  ///< Per chain-list ADC tables.
+  size_t ksub = 0;               ///< Codewords per subspace (LUT row length).
+  size_t code_size = 0;          ///< Bytes per code row (M_d).
+  float q_band_norm = 0.0f;      ///< IP only: ||q^(d)||.
 };
 
 struct BlockScanCounters {
@@ -53,10 +67,11 @@ struct BlockScanCounters {
 /// Scans candidates [begin, begin+count) of the SoA arrays in place,
 /// compacting survivors to [begin, begin+w) with their accumulated
 /// partials, and returns w. `rem_p_sq` may be null when
-/// `params.use_norms` is false.
+/// `params.use_norms` is false; `bound` may be null when the stage is not
+/// a PQ stream (params.lut == nullptr).
 size_t ScanBlock(const BlockScanParams& params, size_t begin, size_t count,
                  int64_t* id, int32_t* list, int32_t* row, float* partial,
-                 float* rem_p_sq, BlockScanCounters* counters);
+                 float* rem_p_sq, float* bound, BlockScanCounters* counters);
 
 /// Stage-wide parameters shared by every member of a query-group scan.
 struct GroupScanParams {
@@ -65,6 +80,11 @@ struct GroupScanParams {
   size_t width = 0;
   /// Batched kernel path (true) vs historical per-candidate reference.
   bool use_batched = true;
+  /// Quantized streams: on when the members carry per-query LUTs. All
+  /// members scan the same dimension block, so the code geometry is shared.
+  bool use_pq = false;
+  size_t ksub = 0;
+  size_t code_size = 0;
 };
 
 /// One member of a query-group shared scan: the member's candidate arrays
@@ -79,6 +99,11 @@ struct GroupMemberScan {
   int32_t* row = nullptr;
   float* partial = nullptr;
   float* rem_p_sq = nullptr;  ///< May be null when !use_norms.
+  float* bound = nullptr;     ///< PQ prune-bound column; null when !use_pq.
+  /// This member's per-local-list ADC tables (residual codes); null when
+  /// !use_pq. Indexed by the member's `list` values, like `slices`.
+  const float* const* luts = nullptr;
+  float q_band_norm = 0.0f;    ///< IP only: ||q^(d)||.
   size_t count = 0;
   const ListSlice* const* slices = nullptr;
   const int32_t* global_lists = nullptr;
@@ -100,7 +125,8 @@ struct GroupMemberScan {
 /// co-probing members are merge-walked per IVF list into row-aligned tiles,
 /// and each tile's rows are streamed from memory once for all members that
 /// want them (query-tiled group kernels) instead of once per member.
-/// Returns the bytes of row data streamed (each tile counted once).
+/// Returns the bytes of row data streamed, each tile counted once — float
+/// row bytes normally, code-stream bytes under PQ streams.
 uint64_t ScanBlockGroup(const GroupScanParams& params,
                         GroupMemberScan* members, size_t num_members);
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <numeric>
 
+#include "index/pq.h"
+#include "index/scan_kernel.h"
 #include "util/logging.h"
 
 namespace harmony {
@@ -281,7 +284,80 @@ BlockScanParams MakeStageScanParams(const ExecContext& ctx,
   scan.width = range.width();
   scan.slices = cand.slices.data() + d * chain.lists.size();
   scan.use_batched = ctx.opts->use_batched_kernels;
+  if (ctx.use_pq) {
+    const ProductQuantizer& q = ctx.opts->pq->block(d);
+    scan.luts = cand.luts.data() + d * chain.lists.size();
+    scan.ksub = q.codewords();
+    scan.code_size = q.code_size();
+    if (ctx.use_ip) {
+      scan.q_band_norm =
+          ctx.pq_q_norm[static_cast<size_t>(chain.query) * ctx.b_dim + d];
+    }
+  }
   return scan;
+}
+
+bool RerankOrderLess(const ChainCandidates& cand, bool use_ip, size_t a,
+                     size_t b) {
+  const float ka = use_ip ? -cand.partial[a] : cand.partial[a];
+  const float kb = use_ip ? -cand.partial[b] : cand.partial[b];
+  if (ka != kb) return ka < kb;
+  return cand.id[a] < cand.id[b];
+}
+
+size_t RerankChainIndices(const ExecContext& ctx, const QueryChain& chain,
+                          const ChainCandidates& cand, uint64_t scanned_mask,
+                          const size_t* pick, size_t n_pick, bool skip_by_tau,
+                          float tau, size_t dist_base, float* dist_out) {
+  const ScanKernelTable& kt = ScanKernels();
+  const bool use_ip = ctx.use_ip;
+  const float* qrow = ctx.queries->Row(static_cast<size_t>(chain.query));
+  const size_t num_lists = chain.lists.size();
+  size_t reranked = 0;
+  for (size_t j = 0; j < n_pick; ++j) {
+    const size_t i = pick[j];
+    if (skip_by_tau) {
+      const float lb = use_ip ? -cand.bound[i] : cand.bound[i];
+      if (lb > tau) continue;
+    }
+    float acc = 0.0f;
+    for (size_t d = 0; d < ctx.b_dim; ++d) {
+      if (((scanned_mask >> d) & 1) == 0) continue;
+      const DimRange r = ctx.plan->dim_ranges[d];
+      const ListSlice* ls =
+          cand.slices[d * num_lists + static_cast<size_t>(cand.list[i])];
+      const float* row = ls->slice.Row(static_cast<size_t>(cand.row[i]));
+      acc += use_ip ? kt.ip_row(qrow + r.begin, row, r.width())
+                    : kt.l2_row(qrow + r.begin, row, r.width());
+    }
+    dist_out[i - dist_base] = use_ip ? -acc : acc;
+    ++reranked;
+  }
+  return reranked;
+}
+
+size_t RerankChainCandidates(const ExecContext& ctx, const QueryChain& chain,
+                             const ChainCandidates& cand,
+                             uint64_t scanned_mask, size_t begin, size_t count,
+                             bool skip_by_tau, float tau, float* dist_out) {
+  const bool use_ip = ctx.use_ip;
+  const float kInf = std::numeric_limits<float>::infinity();
+  std::fill(dist_out, dist_out + count, kInf);
+
+  std::vector<size_t> pick(count);
+  std::iota(pick.begin(), pick.end(), begin);
+  const size_t depth = ctx.opts->rerank_depth;
+  if (depth > 0 && depth < count) {
+    // Quantized-score order: ADC partial in distance convention, ids break
+    // ties — ids are unique within a chain, so the order (hence the byte
+    // bill) is deterministic.
+    std::sort(pick.begin(), pick.end(), [&](size_t a, size_t b) {
+      return RerankOrderLess(cand, use_ip, a, b);
+    });
+    pick.resize(depth);
+  }
+  return RerankChainIndices(ctx, chain, cand, scanned_mask, pick.data(),
+                            pick.size(), skip_by_tau, tau, begin, dist_out);
 }
 
 SharedScanBiller::SharedScanBiller(const ExecContext& ctx)
@@ -456,6 +532,12 @@ void ChainExecutor::RunGroupStage(std::shared_ptr<GroupExecState> group) {
   params.use_norms = ctx_.use_norms;
   params.width = range.width();
   params.use_batched = ctx_.opts->use_batched_kernels;
+  if (ctx_.use_pq) {
+    const ProductQuantizer& q = ctx_.opts->pq->block(d);
+    params.use_pq = true;
+    params.ksub = q.codewords();
+    params.code_size = q.code_size();
+  }
 
   std::vector<GroupMemberScan> scans;
   std::vector<ChainExecState*> active;
@@ -481,6 +563,14 @@ void ChainExecutor::RunGroupStage(std::shared_ptr<GroupExecState> group) {
     ms.row = member->cand.row.data();
     ms.partial = member->cand.partial.data();
     ms.rem_p_sq = ctx_.use_norms ? member->cand.rem_p_sq.data() : nullptr;
+    if (ctx_.use_pq) {
+      ms.bound = member->cand.bound.data();
+      ms.luts = member->cand.luts.data() + d * chain.lists.size();
+      if (ctx_.use_ip) {
+        ms.q_band_norm =
+            ctx_.pq_q_norm[static_cast<size_t>(chain.query) * ctx_.b_dim + d];
+      }
+    }
     ms.count = member->cand.id.size();
     ms.slices = member->cand.slices.data() + d * chain.lists.size();
     ms.global_lists = chain.lists.data();
@@ -498,17 +588,23 @@ void ChainExecutor::RunGroupStage(std::shared_ptr<GroupExecState> group) {
     const size_t machine = GroupStageMachine(*group, d);
     const uint64_t scan_bytes =
         ScanBlockGroup(params, scans.data(), scans.size());
-    backend_->ChargeStreamedBytes(machine, scan_bytes);
+    auto charge = [&](size_t m, uint64_t bytes) {
+      if (ctx_.use_pq) {
+        backend_->ChargeCompressedBytes(m, bytes);
+      } else {
+        backend_->ChargeStreamedBytes(m, bytes);
+      }
+    };
+    charge(machine, scan_bytes);
     // Hedged stage: the second replica streams the same rows; the loser's
     // bytes are still billed. All active members carry the same
     // (primary-keyed) hedge bit, so reading the first one is well defined.
     const ChainLossSchedule& sched0 = active.front()->sched;
     if (((sched0.hedge_mask >> d) & 1) != 0) {
-      backend_->ChargeStreamedBytes(
-          static_cast<size_t>(plan.ReplicaOf(
-              static_cast<size_t>(group->shard), d,
-              static_cast<size_t>(sched0.hedge_replica[d]))),
-          scan_bytes);
+      charge(static_cast<size_t>(plan.ReplicaOf(
+                 static_cast<size_t>(group->shard), d,
+                 static_cast<size_t>(sched0.hedge_replica[d]))),
+             scan_bytes);
     }
     for (size_t i = 0; i < active.size(); ++i) {
       ChainExecState* m = active[i];
@@ -517,11 +613,13 @@ void ChainExecutor::RunGroupStage(std::shared_ptr<GroupExecState> group) {
       m->cand.list.resize(w);
       m->cand.row.resize(w);
       m->cand.partial.resize(w);
+      if (ctx_.use_pq) m->cand.bound.resize(w);
       if (ctx_.use_norms) {
         m->cand.rem_p_sq.resize(w);
         m->rem_q_sq -= m->cand.q_block_norm[d];
       }
       ++m->processed;
+      m->scanned_mask |= uint64_t{1} << d;
     }
   }
 
@@ -547,29 +645,39 @@ void ChainExecutor::RunSoloStage(std::shared_ptr<ChainExecState> task) {
   const size_t w = ScanBlock(
       scan, 0, cand.id.size(), cand.id.data(), cand.list.data(),
       cand.row.data(), cand.partial.data(),
-      ctx_.use_norms ? cand.rem_p_sq.data() : nullptr, &counters);
+      ctx_.use_norms ? cand.rem_p_sq.data() : nullptr,
+      ctx_.use_pq ? cand.bound.data() : nullptr, &counters);
   cand.id.resize(w);
   cand.list.resize(w);
   cand.row.resize(w);
   cand.partial.resize(w);
+  if (ctx_.use_pq) cand.bound.resize(w);
   if (ctx_.use_norms) {
     cand.rem_p_sq.resize(w);
     task->rem_q_sq -= cand.q_block_norm[d];
   }
+  task->scanned_mask |= uint64_t{1} << d;
   // Unshared scans stream every survivor's row for this chain alone — on
-  // the schedule-chosen replica of the block (replica 0 unrouted).
-  const uint64_t scan_bytes =
-      static_cast<uint64_t>(w) * range.width() * sizeof(float);
-  backend_->ChargeStreamedBytes(
-      static_cast<size_t>(plan.ReplicaOf(shard, d, HopReplica(*task, d))),
-      scan_bytes);
+  // the schedule-chosen replica of the block (replica 0 unrouted). Under PQ
+  // streams the stage reads the code stream, not the float rows.
+  const uint64_t row_bytes =
+      ctx_.use_pq ? scan.code_size : range.width() * sizeof(float);
+  const uint64_t scan_bytes = static_cast<uint64_t>(w) * row_bytes;
+  auto charge = [&](size_t m, uint64_t bytes) {
+    if (ctx_.use_pq) {
+      backend_->ChargeCompressedBytes(m, bytes);
+    } else {
+      backend_->ChargeStreamedBytes(m, bytes);
+    }
+  };
+  charge(static_cast<size_t>(plan.ReplicaOf(shard, d, HopReplica(*task, d))),
+         scan_bytes);
   // Hedged stage: the second replica streams the same rows; the loser's
   // bytes are still billed.
   if (((task->sched.hedge_mask >> d) & 1) != 0) {
-    backend_->ChargeStreamedBytes(
-        static_cast<size_t>(plan.ReplicaOf(
-            shard, d, static_cast<size_t>(task->sched.hedge_replica[d]))),
-        scan_bytes);
+    charge(static_cast<size_t>(plan.ReplicaOf(
+               shard, d, static_cast<size_t>(task->sched.hedge_replica[d]))),
+           scan_bytes);
   }
 
   // Hand the baton to the next surviving block. Statically lost blocks were
@@ -600,10 +708,47 @@ void ChainExecutor::RunSoloStage(std::shared_ptr<ChainExecState> task) {
 
 void ChainExecutor::MergeChainResults(const ChainExecState& task) {
   const ChainCandidates& cand = task.cand;
-  backend_->WithQueryHeap(task.chain->query, [&](TopKHeap& heap) {
+  if (!ctx_.use_pq) {
+    backend_->WithQueryHeap(task.chain->query, [&](TopKHeap& heap) {
+      for (size_t i = 0; i < cand.id.size(); ++i) {
+        const float dist = ctx_.use_ip ? -cand.partial[i] : cand.partial[i];
+        heap.Push(cand.id[i], dist);
+      }
+    });
+    return;
+  }
+  // Quantized streams: the partials are ADC estimates, so the rank barrier
+  // reranks survivors exactly from the float slices before the merge
+  // (docs/quantization.md) — the merged distances are then bit-identical to
+  // the float path's.
+  const QueryChain& chain = *task.chain;
+  float tau;
+  bool heap_full;
+  backend_->ReadThreshold(chain.query, &tau, &heap_full);
+  const bool skip_by_tau = ctx_.opts->enable_pruning && heap_full;
+  std::vector<float> dist(cand.id.size());
+  const size_t reranked =
+      RerankChainCandidates(ctx_, chain, cand, task.scanned_mask, 0,
+                            cand.id.size(), skip_by_tau, tau, dist.data());
+  // The rerank re-reads each reranked candidate's float rows from every
+  // block the chain scanned; bill those reads to the replica the block's
+  // hop landed on (same attribution as the stage scans).
+  if (reranked > 0) {
+    const PartitionPlan& plan = *ctx_.plan;
+    const size_t shard = static_cast<size_t>(chain.shard);
+    for (size_t d = 0; d < ctx_.b_dim; ++d) {
+      if (((task.scanned_mask >> d) & 1) == 0) continue;
+      backend_->ChargeStreamedBytes(
+          static_cast<size_t>(plan.ReplicaOf(shard, d, HopReplica(task, d))),
+          static_cast<uint64_t>(reranked) * plan.dim_ranges[d].width() *
+              sizeof(float));
+    }
+  }
+  const float kInf = std::numeric_limits<float>::infinity();
+  backend_->WithQueryHeap(chain.query, [&](TopKHeap& heap) {
     for (size_t i = 0; i < cand.id.size(); ++i) {
-      const float dist = ctx_.use_ip ? -cand.partial[i] : cand.partial[i];
-      heap.Push(cand.id[i], dist);
+      if (dist[i] == kInf) continue;  // τ-skipped or outside rerank_depth
+      heap.Push(cand.id[i], dist[i]);
     }
   });
 }

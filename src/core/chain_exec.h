@@ -46,6 +46,12 @@ class ExecBackend {
   virtual void TagDegraded(int32_t query) = 0;
   /// Bills `bytes` of row data streamed from memory by a scan on `machine`.
   virtual void ChargeStreamedBytes(size_t machine, uint64_t bytes) = 0;
+  /// Bills `bytes` of quantized code-stream data streamed by a PQ-stream
+  /// scan on `machine`: counted in the streamed total *and* in the separate
+  /// compressed tally, so breakdowns can report how much of the traffic the
+  /// codes carried (the rerank's float re-reads bill through
+  /// ChargeStreamedBytes as ordinary row data).
+  virtual void ChargeCompressedBytes(size_t machine, uint64_t bytes) = 0;
   /// Schedules a stage continuation on `machine`.
   virtual void PostStage(size_t machine, std::function<void()> stage) = 0;
   /// Fault-checked delivery of a chain hop onto `machine`: consults the
@@ -223,6 +229,51 @@ BlockScanParams MakeStageScanParams(const ExecContext& ctx,
                                     const ChainCandidates& cand, size_t d,
                                     size_t processed, float rem_q_sq);
 
+/// \brief Exact float rerank of one chain's quantized survivors at the rank
+/// barrier (docs/quantization.md), shared by both engines so their rerank
+/// arithmetic is a single function. For candidates [begin, begin + count) it
+/// accumulates the exact partial distance over the blocks set in
+/// `scanned_mask` — ascending d, one row-kernel call per block, the same
+/// accumulation sequence the float path performs stage by stage with the
+/// pipeline off — and writes the heap-convention distance (negated IP) into
+/// `dist_out[i - begin]`. Candidates not reranked get +infinity:
+///  * Depth cap: when ExecOptions::rerank_depth is in (0, count), only the
+///    best `rerank_depth` candidates by quantized score (ADC partial in
+///    distance convention, ties by ascending id) are reranked — a recall /
+///    cost knob that intentionally forfeits exactness (and bitwise parity
+///    with the float path).
+///  * τ-skip (`skip_by_tau`, callers gate it on enable_pruning && heap_full):
+///    a candidate whose accumulated `bound` already proves it cannot beat
+///    `tau` is skipped — sound because the L2 bound lower-bounds and the IP
+///    bound upper-bounds the exact reranked value.
+/// Returns the number of candidates actually reranked (what rerank byte/op
+/// billing charges for).
+size_t RerankChainCandidates(const ExecContext& ctx, const QueryChain& chain,
+                             const ChainCandidates& cand,
+                             uint64_t scanned_mask, size_t begin, size_t count,
+                             bool skip_by_tau, float tau, float* dist_out);
+
+/// \brief Rerank order: candidate `a` precedes `b` by quantized score (ADC
+/// partial in distance convention — negated for IP — with ascending-id tie
+/// break). Ids are unique within a chain, so the order is a pure function of
+/// the candidate arrays; the depth cap in both engines picks by it.
+bool RerankOrderLess(const ChainCandidates& cand, bool use_ip, size_t a,
+                     size_t b);
+
+/// \brief Explicit-pick core of RerankChainCandidates: reranks exactly the
+/// candidates listed in `pick` (absolute indices into the SoA arrays),
+/// subject to the same τ-skip, and writes each reranked distance to
+/// `dist_out[idx - dist_base]`. The caller pre-fills `dist_out` with
+/// +infinity and owns the pick policy — RerankChainCandidates derives its
+/// pick from the depth cap over one contiguous range; the simulator derives
+/// a chain-wide pick spanning its pipeline batches (each batch then reranks
+/// its own picks over the blocks it actually scanned). Returns the number
+/// reranked.
+size_t RerankChainIndices(const ExecContext& ctx, const QueryChain& chain,
+                          const ChainCandidates& cand, uint64_t scanned_mask,
+                          const size_t* pick, size_t n_pick, bool skip_by_tau,
+                          float tau, size_t dist_base, float* dist_out);
+
 /// \brief The simulator's shared-scan byte accounting (never touches a
 /// clock): with grouping on, each (query group, dim block, IVF list, 64-row
 /// span) entry holds a bitmask of list rows the group has already billed; a
@@ -270,6 +321,11 @@ struct ChainExecState {
   /// Stages this member actually scanned; gates pruning exactly as the solo
   /// path's `pos > 0` does (the first scanned stage has no partials yet).
   size_t processed = 0;
+  /// Dimension blocks this chain actually scanned (bit d set after block d's
+  /// stage ran). PQ streams rerank exactly these blocks from the float
+  /// slices — a pure function of the (deterministic) loss schedule, so both
+  /// engines rerank identical block sets.
+  uint64_t scanned_mask = 0;
   /// The chain's routing + loss schedule; empty vectors on unrouted runs
   /// (R = 1 with no faults), where every hop lands on replica 0.
   ChainLossSchedule sched;

@@ -71,6 +71,9 @@ class ThreadedBackend : public ExecBackend {
   void ChargeStreamedBytes(size_t /*machine*/, uint64_t bytes) override {
     cluster_->ChargeStreamedBytes(bytes);
   }
+  void ChargeCompressedBytes(size_t /*machine*/, uint64_t bytes) override {
+    cluster_->ChargeCompressedBytes(bytes);
+  }
   void PostStage(size_t machine, std::function<void()> stage) override {
     cluster_->Post(machine, std::move(stage));
   }
@@ -205,6 +208,7 @@ Result<ThreadedOutput> ExecuteThreaded(const IvfIndex& index,
       }
     }
     out.bytes_streamed = cluster.bytes_streamed();
+    out.bytes_compressed = cluster.bytes_streamed_compressed();
     out.wall_seconds = watch.ElapsedSeconds();
     return out;
   };

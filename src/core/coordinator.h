@@ -45,6 +45,10 @@ struct ThreadedOutput {
   /// runs — the parity tests pin results and prune counters), and can drift
   /// slightly under fault-degraded or reference-kernel runs.
   uint64_t bytes_streamed = 0;
+  /// Subset of bytes_streamed that was quantized code-stream data (PQ
+  /// streams, docs/quantization.md); 0 with use_pq_streams off. The float
+  /// rerank's re-reads bill into bytes_streamed only.
+  uint64_t bytes_compressed = 0;
 };
 
 /// \brief Runs the same vector/dimension pipeline as ExecuteSimulated on a

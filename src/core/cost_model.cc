@@ -73,6 +73,29 @@ CostEstimate EstimatePlanCost(const PartitionPlan& plan,
     mean_survival = total / static_cast<double>(b_dim);
   }
 
+  // Quantized block streams: per-block scan cost in ops (ADC lookups per
+  // code byte instead of float width) using GridQuantizer's
+  // width-proportional subspace apportionment, plus the end-of-chain
+  // survival fraction whose float rows the exact rerank re-reads.
+  const bool use_pq = params.pq_subspaces > 0;
+  std::vector<double> scan_width(b_dim);
+  for (size_t d = 0; d < b_dim; ++d) {
+    const double width = static_cast<double>(plan.dim_ranges[d].width());
+    scan_width[d] = width;
+    if (use_pq) {
+      const double dim = std::max(1.0, static_cast<double>(profile.dim));
+      scan_width[d] = std::min(
+          width, std::max(1.0, static_cast<double>(params.pq_subspaces) *
+                                   width / dim));
+    }
+  }
+  double end_survival = 1.0;
+  if (params.pruning_enabled) {
+    for (size_t j = 0; j + 1 < b_dim; ++j) {
+      end_survival *= params.pruning_survival;
+    }
+  }
+
   // --- Computation: per probed list, candidates * dim ops split across the
   // dimension blocks of the owning shard's row of the grid.
   for (size_t l = 0; l < profile.list_probe_count.size(); ++l) {
@@ -82,7 +105,10 @@ CostEstimate EstimatePlanCost(const PartitionPlan& plan,
     const size_t shard = static_cast<size_t>(plan.list_to_shard[l]);
     for (size_t d = 0; d < b_dim; ++d) {
       const double width = static_cast<double>(plan.dim_ranges[d].width());
-      const double ops = probes * candidates * width * mean_survival;
+      double ops = probes * candidates * scan_width[d] * mean_survival;
+      // Exact float rerank of the end-of-chain survivors, charged to the
+      // block owners the rows are fetched from.
+      if (use_pq) ops += probes * candidates * width * end_survival;
       const double secs = ops / ops_per_sec;
       est.comp_seconds += secs;
       // With replication the router spreads a block's stages across its R
@@ -169,6 +195,20 @@ CostEstimate EstimatePlanCost(const PartitionPlan& plan,
           (batches_per_visit * net.params().latency_seconds +
            static_cast<double>(profile.k) * 8.0 /
                net.params().bandwidth_bytes_per_sec);
+  // Quantized block streams: scans move one code byte per subspace in
+  // place of a float row, and the rank barrier fetches each end survivor's
+  // float rows back from the block owners for the exact rerank. Byte terms
+  // only — the message count per batch is unchanged.
+  if (use_pq) {
+    double stream_bytes = 0.0;
+    for (size_t d = 0; d < b_dim; ++d) {
+      stream_bytes += mean_candidates_per_visit * mean_survival * scan_width[d];
+    }
+    stream_bytes += mean_candidates_per_visit * end_survival *
+                    static_cast<double>(profile.dim) * bytes_per_float;
+    comm += expected_shard_visits * stream_bytes /
+            net.params().bandwidth_bytes_per_sec;
+  }
   est.comm_seconds = comm;
 
   // --- Imbalance factor I(π): stddev of Load(n, π).

@@ -49,6 +49,14 @@ struct CostModelParams {
   /// spreads a block's scans across its replicas, so each replica node
   /// carries 1/R of the block's expected compute in the I(π) term.
   size_t replication = 1;
+  /// Quantized block streams (docs/quantization.md): 0 models the float
+  /// path bit for bit. When > 0, stage scans cost ADC ops (one table
+  /// lookup per subspace instead of the block's float width) and stream
+  /// code bytes, and the rank-barrier rerank re-reads each end-of-chain
+  /// survivor's float rows from the block owners (dim ops + dim*4 bytes).
+  /// The subspace budget is apportioned to dim blocks by width, mirroring
+  /// GridQuantizer.
+  size_t pq_subspaces = 0;
   NetworkParams net;
   MachineParams machine;
 };

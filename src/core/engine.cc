@@ -76,6 +76,7 @@ Status HarmonyEngine::FinishBuild() {
   cost.pruning_enabled = options_.enable_pruning;
   cost.pipeline_batch = options_.pipeline_batch;
   cost.replication = options_.replication_factor;
+  cost.pq_subspaces = options_.use_pq_streams ? options_.pq_subspaces : 0;
   cost.net = options_.net;
   cost.machine = options_.machine;
   QueryPlanner planner(options_.mode, cost);
@@ -92,10 +93,48 @@ Status HarmonyEngine::FinishBuild() {
   return Status::OK();
 }
 
+Status HarmonyEngine::TrainQuantizer(const PartitionPlan& plan) {
+  quantizer_.Reset();
+  if (!options_.use_pq_streams) return Status::OK();
+  // Deterministic training sample: stored vectors walked in list order,
+  // strided down to a cap so per-band k-means stays cheap on large bases.
+  // The codebooks quantize coarse-centroid residuals (IVFADC), so the
+  // sample is each row minus its list's centroid — the residual energy is
+  // what the codes have to cover, which is far less than the raw rows'.
+  constexpr size_t kMaxTrainRows = 65536;
+  const size_t total = index_.num_vectors();
+  if (total == 0) return Status::InvalidArgument("no vectors to train PQ on");
+  const size_t stride = (total + kMaxTrainRows - 1) / kMaxTrainRows;
+  const size_t dim = index_.dim();
+  Dataset train(std::vector<float>(), dim);
+  std::vector<float> residual(dim);
+  size_t seen = 0;
+  for (size_t l = 0; l < index_.nlist(); ++l) {
+    const DatasetView vecs = index_.ListVectors(l);
+    const float* centroid = index_.centroids().Row(l);
+    for (size_t i = 0; i < vecs.size(); ++i, ++seen) {
+      if (seen % stride != 0) continue;
+      const float* row = vecs.Row(i);
+      for (size_t k = 0; k < dim; ++k) residual[k] = row[k] - centroid[k];
+      HARMONY_RETURN_NOT_OK(train.Append(residual.data(), dim));
+    }
+  }
+  GridPqParams params;
+  params.num_subspaces = options_.pq_subspaces;
+  params.bits = options_.pq_bits;
+  params.train_iters = options_.pq_train_iters;
+  return quantizer_.Train(train.View(), plan.dim_ranges, params);
+}
+
 Status HarmonyEngine::Repartition(const PartitionPlan& plan) {
   const bool with_norms =
       plan.num_dim_blocks > 1 && options_.ivf.metric != Metric::kL2;
-  HARMONY_ASSIGN_OR_RETURN(stores_, BuildWorkerStores(index_, plan, with_norms));
+  // The quantizer's per-block subspaces follow the plan's dim ranges, so a
+  // reshaped grid retrains it before the stores encode their code streams.
+  HARMONY_RETURN_NOT_OK(TrainQuantizer(plan));
+  HARMONY_ASSIGN_OR_RETURN(
+      stores_, BuildWorkerStores(index_, plan, with_norms,
+                                 quantizer_.trained() ? &quantizer_ : nullptr));
   stores_with_norms_ = with_norms;
   plan_ = plan;
   return Status::OK();
@@ -122,7 +161,11 @@ Status HarmonyEngine::AddVectors(const DatasetView& vectors) {
             static_cast<size_t>(plan_.ReplicaOf(shard, d, r));
         HARMONY_RETURN_NOT_OK(stores_[machine].AppendVector(
             shard, d, list, plan_.dim_ranges[d], row, vectors.dim(), gid,
-            stores_with_norms_));
+            stores_with_norms_,
+            quantizer_.trained() ? &quantizer_ : nullptr,
+            quantizer_.trained()
+                ? index_.centroids().Row(static_cast<size_t>(list))
+                : nullptr));
       }
     }
   }
@@ -140,6 +183,7 @@ ExecOptions HarmonyEngine::MakeExecOptions(size_t k, size_t nprobe) const {
   exec.nprobe = nprobe;
   exec.dynamic_dim_order =
       options_.enable_pipeline && options_.enable_balanced_load;
+  exec.pq = quantizer_.trained() ? &quantizer_ : nullptr;
   return exec;
 }
 
@@ -195,6 +239,7 @@ Result<BatchResult> HarmonyEngine::SearchInternal(const DatasetView& queries,
   cost.pruning_enabled = options_.enable_pruning;
   cost.pipeline_batch = options_.pipeline_batch;
   cost.replication = options_.replication_factor;
+  cost.pq_subspaces = options_.use_pq_streams ? options_.pq_subspaces : 0;
   cost.net = options_.net;
   cost.machine = options_.machine;
   QueryPlanner planner(options_.mode, cost);
@@ -321,8 +366,10 @@ MemoryStats HarmonyEngine::IndexMemory() const {
     const uint64_t bytes = store.SizeBytes();
     mem.index_bytes_total += bytes;
     mem.index_bytes_max_node = std::max(mem.index_bytes_max_node, bytes);
+    mem.index_code_bytes += store.CodeBytes();
   }
-  mem.client_bytes = index_.centroids().SizeBytes() + prewarm_.SizeBytes();
+  mem.client_bytes = index_.centroids().SizeBytes() + prewarm_.SizeBytes() +
+                     quantizer_.SizeBytes();
   return mem;
 }
 

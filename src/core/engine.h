@@ -13,6 +13,7 @@
 #include "core/stats.h"
 #include "core/worker.h"
 #include "index/ivf_index.h"
+#include "index/pq.h"
 #include "net/cluster.h"
 #include "storage/dataset.h"
 #include "util/status.h"
@@ -47,6 +48,13 @@ struct HarmonyOptions : ExecTuning {
   /// must hold the partitioning fixed while toggling features.
   size_t force_b_vec = 0;
   size_t force_b_dim = 0;
+  /// Grid-quantizer shape for PQ streams (docs/quantization.md); only read
+  /// when the inherited ExecTuning::use_pq_streams is on. `pq_subspaces`
+  /// is the subspace budget across the full dimension (apportioned to the
+  /// plan's dim blocks by width), `pq_bits` the codeword width (1..8).
+  size_t pq_subspaces = 16;
+  size_t pq_bits = 8;
+  size_t pq_train_iters = 25;
 };
 
 /// \brief The Harmony distributed ANNS engine (public API facade).
@@ -146,9 +154,18 @@ class HarmonyEngine {
   /// Index storage accounting (Table 4): stored bytes per machine etc.
   MemoryStats IndexMemory() const;
 
+  /// The engine's grid quantizer; trained() only when use_pq_streams is on
+  /// and the current plan's stores carry code streams.
+  const GridQuantizer& quantizer() const { return quantizer_; }
+
  private:
   Status FinishBuild();
   Status Repartition(const PartitionPlan& plan);
+  /// (Re)trains the grid quantizer for `plan`'s dim ranges on a
+  /// deterministic sample of the stored vectors; clears it when
+  /// use_pq_streams is off. Runs before worker stores materialize so they
+  /// can encode code streams.
+  Status TrainQuantizer(const PartitionPlan& plan);
   ExecOptions MakeExecOptions(size_t k, size_t nprobe) const;
   Result<BatchResult> SearchInternal(const DatasetView& queries, size_t k,
                                      size_t nprobe, const ExecOptions* exec);
@@ -165,6 +182,7 @@ class HarmonyEngine {
   PartitionPlan plan_;
   std::vector<WorkerStore> stores_;
   bool stores_with_norms_ = false;
+  GridQuantizer quantizer_;
   std::vector<int32_t> labels_;
   PrewarmCache prewarm_;
   PlanChoice last_choice_;

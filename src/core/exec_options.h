@@ -72,6 +72,18 @@ struct ExecTuning {
   /// batch that fails to finish within this budget (e.g. a lost baton)
   /// returns Status kTimeout instead of blocking forever. 0 disables.
   double max_wall_seconds = 0.0;
+  /// Quantized block streams: scan PQ code streams with per-query ADC
+  /// lookup tables instead of float rows, prune on a conservative ADC bound,
+  /// and exact-rerank the survivors from the float blocks at the rank
+  /// barrier (docs/quantization.md). Requires the engine to have trained a
+  /// GridQuantizer (HarmonyOptions::pq_subspaces > 0). Off reproduces the
+  /// float path bit for bit.
+  bool use_pq_streams = false;
+  /// Rerank depth cap with use_pq_streams: 0 reranks every surviving
+  /// candidate (exact — final results match the float path bitwise when the
+  /// pipeline is off); > 0 reranks only the `rerank_depth` best survivors
+  /// by quantized partial sum (cheaper, approximate).
+  size_t rerank_depth = 0;
   /// When the max_wall_seconds budget expires, salvage the batch instead of
   /// failing it: ExecuteThreaded returns a valid ThreadedOutput whose
   /// `timed_out` flag is set, with whatever each query's heap held at the

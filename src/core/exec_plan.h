@@ -44,6 +44,10 @@ struct ExecOptions : ExecTuning {
   /// are scanned — predicate push-down into the first dimension stage.
   const std::vector<int32_t>* labels = nullptr;
   int32_t allowed_label = -1;
+  /// The engine's grid quantizer; required (trained, plan-aligned) when
+  /// `use_pq_streams` is on, ignored otherwise. Like `labels`, a borrowed
+  /// pointer — the engine owns the quantizer.
+  const GridQuantizer* pq = nullptr;
 };
 
 /// \brief Everything one batch execution needs, resolved once up front and
@@ -81,6 +85,30 @@ struct ExecContext {
   size_t replication = 1;
   bool routed = false;
 
+  /// Quantized block streams (docs/quantization.md). When `use_pq` is on,
+  /// MakeExecContext builds the ADC lookup tables once up front — a pure
+  /// function of (quantizer, index centroids, routing, queries) shared
+  /// read-only by both engines. Codes are coarse-centroid residuals
+  /// (IVFADC), so there is one table per (query, probed list, dim block):
+  /// query q's table for probe slot s and block d starts at
+  /// `luts[(q * lut_probes + s) * lut_stride + lut_offset[d]]` and holds
+  /// M_d * ksub_d floats in subspace-major order (the adc_batch kernel
+  /// layout). For L2 the table is built from the residual query q - c_l;
+  /// for IP it is built from q with the constant block term <q^(d), c_l^(d)>
+  /// folded into subspace 0's entries, so the ADC sum estimates the block's
+  /// true partial either way.
+  bool use_pq = false;
+  std::vector<float> luts;
+  std::vector<size_t> lut_offset;  // per dim block
+  size_t lut_stride = 0;
+  size_t lut_probes = 0;  // probe slots per query (max over the batch)
+  /// IP/cosine only: ||q^(d)|| per (query, block) — `pq_q_norm[q * b_dim +
+  /// d]` — the Cauchy–Schwarz factor that turns the per-row quantization
+  /// residual into an upper bound on the block's true inner product.
+  std::vector<float> pq_q_norm;
+  /// Ops one query's LUT build costs (billed by PrewarmQuery's charge hook).
+  uint64_t lut_build_ops = 0;
+
   /// Node-health tracker of the running batch; attached by the engine glue
   /// (each engine owns one tracker per Execute* call). May stay null: all
   /// readers treat a missing tracker as "every node healthy".
@@ -117,11 +145,22 @@ struct ChainCandidates {
   /// (the client holds the routing tables and, in-process, can read every
   /// store), so stages pay neither the lookup nor a per-stage allocation.
   std::vector<const ListSlice*> slices;
+  /// PQ streams only: luts[d * lists + li] is the ADC table of (this chain's
+  /// query, list li, block d) — residual codes make the table per probed
+  /// list, and candidate runs are list-major, so stages resolve one table
+  /// per run. Laid out in lockstep with `slices`; empty when PQ is off.
+  std::vector<const float*> luts;
   std::vector<int64_t> id;
   std::vector<int32_t> list;
   std::vector<int32_t> row;
   std::vector<float> partial;
   std::vector<float> rem_p_sq;
+  /// PQ streams only: the conservative per-candidate bound the prune masks
+  /// run on — a lower bound on the true partial L2², or an upper bound on
+  /// the true partial IP, folded from ADC sums and per-row residual slack.
+  /// `partial` then holds the raw ADC estimate (what rerank ordering uses);
+  /// compaction moves `bound` in lockstep with the other SoA columns.
+  std::vector<float> bound;
   std::vector<float> q_block_norm;  // per block (inner-product pruning)
   float rem_q_total = 0.0f;
 };

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <numeric>
 #include <queue>
+#include <utility>
 
 #include "core/chain_exec.h"
 #include "index/distance.h"
@@ -22,6 +24,30 @@ uint64_t BytesPerCandidate(bool with_norms) {
   return with_norms ? 12 : 8;
 }
 
+/// One pipeline batch flowing through the dimension stages — the unit of
+/// the discrete-event schedule.
+struct BatchTask {
+  double ready = 0.0;   // time its input (slice + partials) is available
+  uint64_t seq = 0;     // deterministic tie-break
+  size_t run = 0;       // index into the rank's ChainRun array
+  size_t begin = 0;     // candidate range start
+  size_t survivors = 0; // current surviving candidates in the range
+  uint64_t queued_ops = 0;  // cost estimate charged to the target queue
+  uint64_t remaining = 0;  // bitmask of unprocessed dimension blocks
+  size_t processed = 0;    // pipeline position (blocks already done)
+  size_t next_block = 0;   // block to execute when popped
+  size_t start_block = 0;  // rotation anchor (static stagger)
+  int32_t last_machine = -1;  // machine of the last computed block
+  // Dimension blocks this batch actually scanned (PQ streams rerank exactly
+  // these at the rank barrier; mirrors ChainExecState::scanned_mask).
+  uint64_t scanned_mask = 0;
+  float rem_q_sq = 0.0f;
+  // Completion time of the last executed stage; only read on the lane path
+  // (threads_per_node > 1), where the node's serial clock no longer tracks
+  // compute.
+  double compute_done = 0.0;
+};
+
 /// Everything one chain of the current vector-pipeline rank needs while its
 /// batches stream through the dimension stages. The candidate arrays, slice
 /// table and loss schedule are the shared execution-core structures
@@ -38,27 +64,12 @@ struct ChainRun {
   ChainLossSchedule loss;
   std::vector<uint64_t> machine_bytes;  // peak in-flight accounting
   bool contributed = false;  // any batch's results reached the client
-};
-
-/// One pipeline batch flowing through the dimension stages — the unit of
-/// the discrete-event schedule.
-struct BatchTask {
-  double ready = 0.0;   // time its input (slice + partials) is available
-  uint64_t seq = 0;     // deterministic tie-break
-  size_t run = 0;       // index into the rank's ChainRun array
-  size_t begin = 0;     // candidate range start
-  size_t survivors = 0; // current surviving candidates in the range
-  uint64_t queued_ops = 0;  // cost estimate charged to the target queue
-  uint64_t remaining = 0;  // bitmask of unprocessed dimension blocks
-  size_t processed = 0;    // pipeline position (blocks already done)
-  size_t next_block = 0;   // block to execute when popped
-  size_t start_block = 0;  // rotation anchor (static stagger)
-  int32_t last_machine = -1;  // machine of the last computed block
-  float rem_q_sq = 0.0f;
-  // Completion time of the last executed stage; only read on the lane path
-  // (threads_per_node > 1), where the node's serial clock no longer tracks
-  // compute.
-  double compute_done = 0.0;
+  // Quantized streams: the chain's rank barrier. Batches that finish their
+  // stages park here until the chain's last batch arrives; the exact float
+  // rerank's depth cap is then applied chain-wide (the threaded engine's
+  // per-chain policy), not per pipeline batch.
+  size_t open_batches = 0;
+  std::vector<BatchTask> finals;
 };
 
 /// The SimCluster execution substrate: single-threaded over virtual clocks,
@@ -90,6 +101,9 @@ class SimBackend : public ExecBackend {
   }
   void ChargeStreamedBytes(size_t machine, uint64_t bytes) override {
     cluster_->ChargeStreamedBytes(machine, bytes);
+  }
+  void ChargeCompressedBytes(size_t machine, uint64_t bytes) override {
+    cluster_->ChargeCompressedBytes(machine, bytes);
   }
   void PostStage(size_t /*machine*/, std::function<void()> stage) override {
     stage();
@@ -369,15 +383,14 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
     };
 
     // Last stage of a batch: local top-K selection at the last machine that
-    // computed a block, result hop to the client, client-side merge. Also
-    // the landing point of degraded batches that ran out of alive blocks.
-    auto finalize_batch = [&](BatchTask& task, ChainRun& run) {
+    // computed a block, result hop to the client, client-side merge. Under
+    // PQ streams the caller supplies the batch's exact-rerank distances
+    // (computed at the chain's rank barrier below); `rerank` is unused on
+    // the float path.
+    auto deliver_batch = [&](BatchTask& task, ChainRun& run,
+                             const std::vector<float>& rerank,
+                             size_t reranked) {
       QueryState& state = states[static_cast<size_t>(run.chain->query)];
-      if (task.processed == 0 || task.last_machine < 0) {
-        // Every block was lost before the first stage could run: the batch
-        // contributes nothing and the client hears nothing.
-        return;
-      }
       SimNode& node = cluster->worker(static_cast<size_t>(task.last_machine));
       // Lane path: the result send and selection pass happen after the
       // stage's lane-scheduled compute finished, not after the serial clock
@@ -388,9 +401,27 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       uint64_t result_bytes = kMsgHeaderBytes;
       if (task.survivors > 0) {
         const float tau_final = state.heap.threshold();
+        if (ctx.use_pq && reranked > 0) {
+          uint64_t rerank_ops = 0;
+          for (size_t rd = 0; rd < b_dim; ++rd) {
+            if (((task.scanned_mask >> rd) & 1) == 0) continue;
+            const size_t width = plan.dim_ranges[rd].width();
+            // The float rows are re-read on the machines that hold them.
+            backend.ChargeStreamedBytes(
+                block_machine_of(run, rd),
+                static_cast<uint64_t>(reranked) * width * sizeof(float));
+            rerank_ops += static_cast<uint64_t>(reranked) *
+                          DistanceOpCost(width);
+          }
+          node.ChargeCompute(rerank_ops);
+        }
+        const float kInf = std::numeric_limits<float>::infinity();
         for (size_t i = task.begin; i < task.begin + task.survivors; ++i) {
           const float dist =
-              use_ip ? -run.cand.partial[i] : run.cand.partial[i];
+              ctx.use_pq
+                  ? rerank[i - task.begin]
+                  : (use_ip ? -run.cand.partial[i] : run.cand.partial[i]);
+          if (ctx.use_pq && dist == kInf) continue;  // τ-skip / depth cap
           if (dist < tau_final || !state.heap.full()) {
             local.Push(run.cand.id[i], dist);
           }
@@ -427,6 +458,69 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       for (const Neighbor& n : local.SortedResults()) {
         state.heap.Push(n.id, n.distance);
       }
+    };
+
+    // Rank barrier of one chain under PQ streams: the exact rerank's depth
+    // cap is chosen chain-wide over every batch's ADC survivors — the same
+    // per-chain policy the threaded engine applies in MergeChainResults —
+    // then each batch reranks its own picks over exactly the blocks it
+    // scanned (fault-divergent masks stay per batch) before selecting and
+    // shipping its results in deterministic completion order.
+    auto finalize_chain = [&](ChainRun& run) {
+      QueryState& state = states[static_cast<size_t>(run.chain->query)];
+      std::vector<std::pair<size_t, size_t>> picked;  // (candidate, batch)
+      for (size_t b = 0; b < run.finals.size(); ++b) {
+        const BatchTask& t = run.finals[b];
+        for (size_t i = t.begin; i < t.begin + t.survivors; ++i) {
+          picked.emplace_back(i, b);
+        }
+      }
+      if (opts.rerank_depth > 0 && opts.rerank_depth < picked.size()) {
+        std::sort(picked.begin(), picked.end(),
+                  [&](const std::pair<size_t, size_t>& a,
+                      const std::pair<size_t, size_t>& b) {
+                    return RerankOrderLess(run.cand, use_ip, a.first, b.first);
+                  });
+        picked.resize(opts.rerank_depth);
+      }
+      std::vector<size_t> pick;
+      std::vector<float> rerank;
+      for (size_t b = 0; b < run.finals.size(); ++b) {
+        BatchTask& t = run.finals[b];
+        pick.clear();
+        for (const auto& pc : picked) {
+          if (pc.second == b) pick.push_back(pc.first);
+        }
+        std::sort(pick.begin(), pick.end());
+        rerank.assign(t.survivors, std::numeric_limits<float>::infinity());
+        size_t reranked = 0;
+        if (!pick.empty()) {
+          const bool skip_by_tau = opts.enable_pruning && state.heap.full();
+          reranked = RerankChainIndices(
+              ctx, *run.chain, run.cand, t.scanned_mask, pick.data(),
+              pick.size(), skip_by_tau, state.heap.threshold(), t.begin,
+              rerank.data());
+        }
+        deliver_batch(t, run, rerank, reranked);
+      }
+      run.finals.clear();
+    };
+
+    // Landing point of every finished (or fully degraded) batch.
+    auto finalize_batch = [&](BatchTask& task, ChainRun& run) {
+      const bool dead = task.processed == 0 || task.last_machine < 0;
+      if (!ctx.use_pq) {
+        // Every block was lost before the first stage could run: the batch
+        // contributes nothing and the client hears nothing.
+        if (dead) return;
+        deliver_batch(task, run, std::vector<float>(), 0);
+        return;
+      }
+      // Quantized streams: park the batch at the chain's rank barrier; the
+      // chain delivers once its last batch lands.
+      if (!dead) run.finals.push_back(task);
+      HARMONY_CHECK(run.open_batches > 0);
+      if (--run.open_batches == 0) finalize_chain(run);
     };
 
     // The hop into task.next_block was lost (dead machine): remove the
@@ -514,7 +608,7 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
 
     // Seed every chain's pipeline batches.
     for (size_t r = 0; r < runs.size(); ++r, ++chain_seq) {
-      const ChainRun& run = runs[r];
+      ChainRun& run = runs[r];
       const size_t total = run.cand.id.size();
       const uint64_t all_blocks =
           b_dim == 64 ? ~uint64_t{0} : ((uint64_t{1} << b_dim) - 1);
@@ -561,6 +655,7 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
         const size_t seed_machine = block_machine_of(run, task.next_block);
         queued_ops[seed_machine] += task.queued_ops;
         machine_queues[seed_machine].pending.push(task);
+        if (ctx.use_pq) ++run.open_batches;
         ++outstanding;
       }
     }
@@ -636,7 +731,9 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       const size_t w = ScanBlock(
           scan, task.begin, task.survivors, run.cand.id.data(),
           run.cand.list.data(), run.cand.row.data(), run.cand.partial.data(),
-          use_norms ? run.cand.rem_p_sq.data() : nullptr, &counters);
+          use_norms ? run.cand.rem_p_sq.data() : nullptr,
+          ctx.use_pq ? run.cand.bound.data() : nullptr, &counters);
+      task.scanned_mask |= uint64_t{1} << d;
       out.prune.dropped_after[task.processed > 0 ? task.processed - 1 : 0] +=
           counters.dropped;
       if (node.has_lanes()) {
@@ -684,11 +781,17 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
       {
         const size_t chain_idx =
             static_cast<size_t>(run.chain - routing.chains.data());
-        const uint64_t scan_bytes =
-            biller.StageBytes(chain_idx, chain, run.cand, d, task.begin, w,
-                              range.width() * sizeof(float));
-        backend.ChargeStreamedBytes(machine, scan_bytes);
-        if (hedged) backend.ChargeStreamedBytes(hedge_machine, scan_bytes);
+        const uint64_t row_bytes =
+            ctx.use_pq ? scan.code_size : range.width() * sizeof(float);
+        const uint64_t scan_bytes = biller.StageBytes(
+            chain_idx, chain, run.cand, d, task.begin, w, row_bytes);
+        if (ctx.use_pq) {
+          backend.ChargeCompressedBytes(machine, scan_bytes);
+          if (hedged) backend.ChargeCompressedBytes(hedge_machine, scan_bytes);
+        } else {
+          backend.ChargeStreamedBytes(machine, scan_bytes);
+          if (hedged) backend.ChargeStreamedBytes(hedge_machine, scan_bytes);
+        }
       }
       if (use_norms) task.rem_q_sq -= run.cand.q_block_norm[d];
       task.remaining &= ~(uint64_t{1} << d);

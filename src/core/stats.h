@@ -44,8 +44,12 @@ struct MemoryStats {
   uint64_t index_bytes_total = 0;
   /// Largest per-machine stored index footprint.
   uint64_t index_bytes_max_node = 0;
-  /// Client-side bytes (centroids + prewarm cache).
+  /// Client-side bytes (centroids + prewarm cache + PQ codebooks).
   uint64_t client_bytes = 0;
+  /// Quantized code-stream bytes stored across machines (PQ codes plus the
+  /// per-row residual slack floats) — a subset of index_bytes_total; 0
+  /// without use_pq_streams. Table 4's compressed column.
+  uint64_t index_code_bytes = 0;
   /// Peak per-machine bytes during query execution (stored blocks plus the
   /// widest concurrent set of in-flight intermediates).
   uint64_t peak_query_bytes = 0;

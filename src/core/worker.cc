@@ -1,8 +1,42 @@
 #include "core/worker.h"
 
+#include <cmath>
+
 #include "index/distance.h"
+#include "index/pq.h"
 
 namespace harmony {
+
+namespace {
+
+/// Encodes slice rows [begin_row, num_rows) of block `dim_block` into the
+/// list's code stream. Codes quantize the row's *coarse-centroid residual*
+/// (IVFADC): `c_slice` is the list centroid restricted to this block's
+/// columns, and row p encodes r = p - c. The recorded slack
+/// ||r - decode(code)|| equals ||p - (c + decode(code))||, so the ADC prune
+/// bounds stay conservative unchanged (docs/quantization.md).
+void EncodeCodeRows(const GridQuantizer& pq, size_t dim_block,
+                    const float* c_slice, size_t begin_row, ListSlice* ls) {
+  const ProductQuantizer& q = pq.block(dim_block);
+  const size_t width = q.dim();
+  const size_t rows = ls->slice.num_rows();
+  ls->code_size = q.code_size();
+  ls->codes.resize(rows * q.code_size());
+  ls->code_err.resize(rows);
+  std::vector<float> residual(width);
+  std::vector<float> decoded(width);
+  for (size_t r = begin_row; r < rows; ++r) {
+    const float* row = ls->slice.Row(r);
+    for (size_t k = 0; k < width; ++k) residual[k] = row[k] - c_slice[k];
+    uint8_t* code = ls->codes.data() + r * q.code_size();
+    q.Encode(residual.data(), code);
+    q.Decode(code, decoded.data());
+    ls->code_err[r] =
+        std::sqrt(PartialL2Sq(residual.data(), decoded.data(), width));
+  }
+}
+
+}  // namespace
 
 void WorkerStore::IndexBlock(size_t index) {
   const Block& block = blocks_[index];
@@ -22,7 +56,9 @@ const ListSlice* WorkerStore::FindListSlice(size_t vec_shard,
 Status WorkerStore::AppendVector(size_t vec_shard, size_t dim_block,
                                  int32_t list_id, DimRange range,
                                  const float* full_vector, size_t full_dim,
-                                 int64_t global_id, bool with_norms) {
+                                 int64_t global_id, bool with_norms,
+                                 const GridQuantizer* pq,
+                                 const float* centroid) {
   const auto bit = block_index_.find(BlockKey(vec_shard, dim_block));
   if (bit == block_index_.end()) {
     return Status::NotFound("machine does not own the requested block");
@@ -44,6 +80,14 @@ Status WorkerStore::AppendVector(size_t vec_shard, size_t dim_block,
     ls.block_norm_sq.push_back(PartialIp(slice_row, slice_row, range.width()));
     ls.total_norm_sq.push_back(PartialIp(full_vector, full_vector, full_dim));
   }
+  if (pq != nullptr && pq->trained()) {
+    if (centroid == nullptr) {
+      return Status::InvalidArgument(
+          "residual code streams need the list's coarse centroid");
+    }
+    EncodeCodeRows(*pq, dim_block, centroid + range.begin,
+                   ls.slice.num_rows() - 1, &ls);
+  }
   return Status::OK();
 }
 
@@ -58,11 +102,28 @@ size_t WorkerStore::SizeBytes() const {
   return bytes;
 }
 
+size_t WorkerStore::CodeBytes() const {
+  size_t bytes = 0;
+  for (const Block& block : blocks_) {
+    for (const auto& [list_id, slice] : block.lists) {
+      (void)list_id;
+      bytes += slice.CodeBytes();
+    }
+  }
+  return bytes;
+}
+
 Result<std::vector<WorkerStore>> BuildWorkerStores(const IvfIndex& index,
                                                    const PartitionPlan& plan,
-                                                   bool with_norms) {
+                                                   bool with_norms,
+                                                   const GridQuantizer* pq) {
   if (!index.trained()) {
     return Status::FailedPrecondition("index must be trained");
+  }
+  if (pq != nullptr && pq->trained() &&
+      pq->num_blocks() != plan.num_dim_blocks) {
+    return Status::InvalidArgument(
+        "grid quantizer block count does not match the partition plan");
   }
   std::vector<WorkerStore> stores(plan.num_machines);
   for (size_t m = 0; m < plan.num_machines; ++m) {
@@ -98,6 +159,13 @@ Result<std::vector<WorkerStore>> BuildWorkerStores(const IvfIndex& index,
               const float* full = vectors.Row(r);
               ls.total_norm_sq[r] = PartialIp(full, full, vectors.dim());
             }
+          }
+          if (pq != nullptr && pq->trained()) {
+            EncodeCodeRows(
+                *pq, d,
+                index.centroids().Row(static_cast<size_t>(list_id)) +
+                    block.range.begin,
+                0, &ls);
           }
           block.lists.emplace(list_id, std::move(ls));
         }

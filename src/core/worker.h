@@ -12,6 +12,8 @@
 
 namespace harmony {
 
+class GridQuantizer;
+
 /// \brief One IVF list's slice inside a grid block: the list's vectors
 /// restricted to the block's dimension range, plus per-row squared norms of
 /// the slice. The norms are the "intermediate results" the paper attributes
@@ -22,10 +24,28 @@ struct ListSlice {
   DimSlicedMatrix slice;
   std::vector<float> block_norm_sq;  // per local row, ||p^(k)||²
   std::vector<float> total_norm_sq;  // per local row, ||p||² (full vector)
+  /// Quantized block stream (docs/quantization.md): row r's PQ code is
+  /// `codes[r * code_size .. r * code_size + code_size)`, encoding the row's
+  /// coarse-centroid residual (p - c_list, IVFADC style) under the engine's
+  /// GridQuantizer block for this dim range. Empty when the store was built
+  /// without a quantizer; the float slice always remains (rerank reads
+  /// exact rows from it).
+  std::vector<uint8_t> codes;
+  /// Per-row quantization slack ||r^(k) - decode(code_r)||, where r = p - c
+  /// is the row's coarse-centroid residual (IVFADC encoding); this is what
+  /// keeps ADC prune bounds conservative.
+  std::vector<float> code_err;
+  size_t code_size = 0;  ///< Bytes per code row; 0 when codes are absent.
 
   size_t SizeBytes() const {
     return slice.SizeBytes() +
-           (block_norm_sq.size() + total_norm_sq.size()) * sizeof(float);
+           (block_norm_sq.size() + total_norm_sq.size() + code_err.size()) *
+               sizeof(float) +
+           codes.size();
+  }
+  /// Bytes of the quantized stream alone (codes + per-row slack floats).
+  size_t CodeBytes() const {
+    return codes.size() + code_err.size() * sizeof(float);
   }
 };
 
@@ -51,17 +71,28 @@ class WorkerStore {
   /// Appends one vector's slice to the block (vec_shard, dim_block) for
   /// `list_id`, creating the list slice if this is the list's first row on
   /// this machine. `full_vector` is the complete vector; the store copies
-  /// only its own column range (plus norms when `with_norms`). The caller
-  /// is responsible for this machine actually owning the block.
+  /// only its own column range (plus norms when `with_norms`, plus a PQ code
+  /// row and its residual when `pq` is a trained quantizer — `centroid` must
+  /// then be the list's full-dim coarse centroid, since code streams are
+  /// IVFADC residual-encoded). The caller is responsible for this machine
+  /// actually owning the block.
   Status AppendVector(size_t vec_shard, size_t dim_block, int32_t list_id,
                       DimRange range, const float* full_vector,
-                      size_t full_dim, int64_t global_id, bool with_norms);
+                      size_t full_dim, int64_t global_id, bool with_norms,
+                      const GridQuantizer* pq = nullptr,
+                      const float* centroid = nullptr);
 
   size_t SizeBytes() const;
 
+  /// Bytes of quantized code streams stored on this machine (PQ codes +
+  /// per-row residual slack) — a subset of SizeBytes(); 0 when the store was
+  /// built without a quantizer.
+  size_t CodeBytes() const;
+
  private:
   friend Result<std::vector<WorkerStore>> BuildWorkerStores(
-      const IvfIndex& index, const PartitionPlan& plan, bool with_norms);
+      const IvfIndex& index, const PartitionPlan& plan, bool with_norms,
+      const GridQuantizer* pq);
 
   static uint64_t BlockKey(size_t vec_shard, size_t dim_block) {
     return (static_cast<uint64_t>(vec_shard) << 32) |
@@ -85,10 +116,12 @@ class WorkerStore {
 /// stage. Total stored payload is NB × D floats with no duplication.
 /// `with_norms` materializes the per-row norm columns needed for sound
 /// inner-product pruning (only useful when the plan has > 1 dimension
-/// block and the metric is IP/cosine).
-Result<std::vector<WorkerStore>> BuildWorkerStores(const IvfIndex& index,
-                                                   const PartitionPlan& plan,
-                                                   bool with_norms);
+/// block and the metric is IP/cosine). A trained `pq` additionally encodes
+/// every block row into its quantized code stream (ListSlice::codes) with
+/// per-row residual slack, enabling `use_pq_streams` execution.
+Result<std::vector<WorkerStore>> BuildWorkerStores(
+    const IvfIndex& index, const PartitionPlan& plan, bool with_norms,
+    const GridQuantizer* pq = nullptr);
 
 }  // namespace harmony
 

@@ -6,6 +6,7 @@
 
 #include "index/distance.h"
 #include "index/kmeans.h"
+#include "index/scan_kernel.h"
 
 namespace harmony {
 
@@ -94,6 +95,20 @@ void ProductQuantizer::ComputeLookupTable(const float* query,
   }
 }
 
+void ProductQuantizer::ComputeLookupTableIp(const float* query,
+                                            float* table) const {
+  const size_t ksub = codewords();
+  for (size_t m = 0; m < params_.num_subspaces; ++m) {
+    const DimRange band = bands_[m];
+    const float* sub = query + band.begin;
+    const float* book = codebooks_[m].data();
+    float* row = table + m * ksub;
+    for (size_t c = 0; c < ksub; ++c) {
+      row[c] = InnerProduct(sub, book + c * band.width(), band.width());
+    }
+  }
+}
+
 float ProductQuantizer::AdcDistance(const float* table,
                                     const uint8_t* code) const {
   const size_t ksub = codewords();
@@ -107,6 +122,60 @@ float ProductQuantizer::AdcDistance(const float* table,
 size_t ProductQuantizer::SizeBytes() const {
   size_t bytes = 0;
   for (const auto& book : codebooks_) bytes += book.size() * sizeof(float);
+  return bytes;
+}
+
+Status GridQuantizer::Train(const DatasetView& data,
+                            const std::vector<DimRange>& ranges,
+                            const GridPqParams& params) {
+  if (ranges.empty()) return Status::InvalidArgument("no dim ranges to train");
+  if (params.num_subspaces == 0 || params.bits == 0 || params.bits > 8) {
+    return Status::InvalidArgument("need 1..8 bits and >= 1 subspace");
+  }
+  if (data.size() < 2) {
+    return Status::InvalidArgument("need at least 2 training vectors");
+  }
+  size_t total = 0;
+  for (const DimRange& r : ranges) total += r.width();
+  if (total != data.dim()) {
+    return Status::InvalidArgument("dim ranges do not cover the data dim");
+  }
+  // Clamp the codeword budget to the corpus so small test datasets still
+  // train; the clamp depends only on (n, bits), so every block — and every
+  // engine — sees the same effective parameters.
+  size_t bits = params.bits;
+  while (bits > 1 && (size_t{1} << bits) > data.size()) --bits;
+
+  blocks_.clear();
+  params_ = params;
+  dim_ = data.dim();
+  ranges_ = ranges;
+  blocks_.reserve(ranges.size());
+  for (size_t d = 0; d < ranges.size(); ++d) {
+    const DimRange range = ranges[d];
+    // Apportion the subspace budget by block width, >= 1 and <= width.
+    size_t m_b = (params.num_subspaces * range.width() + dim_ / 2) / dim_;
+    m_b = std::min(std::max<size_t>(m_b, 1), range.width());
+    Dataset sub(data.size(), range.width());
+    for (size_t i = 0; i < data.size(); ++i) {
+      const float* src = data.Row(i) + range.begin;
+      std::copy(src, src + range.width(), sub.MutableRow(i));
+    }
+    PqParams pq;
+    pq.num_subspaces = m_b;
+    pq.bits = bits;
+    pq.train_iters = params.train_iters;
+    pq.seed = params.seed + 1315423911u * (d + 1);
+    ProductQuantizer q(pq);
+    HARMONY_RETURN_NOT_OK(q.Train(sub.View()));
+    blocks_.push_back(std::move(q));
+  }
+  return Status::OK();
+}
+
+size_t GridQuantizer::SizeBytes() const {
+  size_t bytes = 0;
+  for (const ProductQuantizer& q : blocks_) bytes += q.SizeBytes();
   return bytes;
 }
 
@@ -196,9 +265,18 @@ Result<std::vector<Neighbor>> IvfPqIndex::Search(const float* query, size_t k,
     for (size_t d = 0; d < dim(); ++d) residual[d] = query[d] - center[d];
     pq_.ComputeLookupTable(residual.data(), table.data());
     const uint8_t* codes = list_codes_[list].data();
-    for (size_t i = 0; i < ids.size(); ++i) {
-      heap.Push(ids[i], pq_.AdcDistance(table.data(),
-                                        codes + i * pq_.code_size()));
+    // Batched ADC through the shared scan-kernel tier (same SIMD gather the
+    // grid's quantized block streams use); bit-identical to AdcDistance.
+    const ScanKernelTable& kt = ScanKernels();
+    constexpr size_t kChunk = 256;
+    float adc[kChunk];
+    size_t done = 0;
+    while (done < ids.size()) {
+      const size_t n = std::min(kChunk, ids.size() - done);
+      kt.adc_batch(table.data(), pq_.codewords(),
+                   codes + done * pq_.code_size(), pq_.code_size(), n, adc);
+      for (size_t i = 0; i < n; ++i) heap.Push(ids[done + i], adc[i]);
+      done += n;
     }
   }
   return heap.SortedResults();

@@ -55,6 +55,11 @@ class ProductQuantizer {
   /// `table` must hold num_subspaces() * codewords() floats.
   void ComputeLookupTable(const float* query, float* table) const;
 
+  /// Inner-product variant: `table[m * codewords() + c]` is the dot product
+  /// between the query's m-th band and codeword c, so the ADC sum estimates
+  /// the full inner product of query and vector over dim().
+  void ComputeLookupTableIp(const float* query, float* table) const;
+
   /// Approximate squared L2 distance from a precomputed lookup table.
   float AdcDistance(const float* table, const uint8_t* code) const;
 
@@ -69,6 +74,59 @@ class ProductQuantizer {
   std::vector<DimRange> bands_;
   /// codebooks_[m] is codewords() x band-width, row-major.
   std::vector<std::vector<float>> codebooks_;
+};
+
+/// \brief Grid-aligned product quantization: one ProductQuantizer per
+/// partition-plan dimension block, so each (vec_shard, dim_block) grid block
+/// can stream M_b-byte codes instead of width_b * 4 float bytes. The total
+/// subspace budget `num_subspaces` is apportioned across blocks by width
+/// (M_b ~ M * width_b / dim, at least 1 per block, at most width_b), and the
+/// per-block seed is derived deterministically from the base seed and the
+/// block index, so a (data, ranges, params) triple always yields the same
+/// codebooks regardless of thread count or engine.
+struct GridPqParams {
+  size_t num_subspaces = 16;  ///< Across the full dimension, split per block.
+  size_t bits = 8;            ///< log2(codewords per subspace), <= 8.
+  size_t train_iters = 10;
+  uint64_t seed = 42;
+};
+
+class GridQuantizer {
+ public:
+  GridQuantizer() = default;
+
+  bool trained() const { return !blocks_.empty(); }
+  size_t dim() const { return dim_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  const GridPqParams& params() const { return params_; }
+  const std::vector<DimRange>& ranges() const { return ranges_; }
+  /// Block d's quantizer; its dim() is ranges()[d].width() and its code
+  /// operates on the columns [ranges()[d].begin, ranges()[d].end).
+  const ProductQuantizer& block(size_t d) const { return blocks_[d]; }
+  /// Bytes per row in block d's code stream.
+  size_t code_size(size_t d) const { return blocks_[d].code_size(); }
+
+  /// Trains one quantizer per dim range on the corresponding columns of
+  /// `data`. When the training set is smaller than 2^bits the codeword
+  /// budget is clamped (deterministically, same for every block) so small
+  /// corpora still train. Retrains from scratch if already trained.
+  Status Train(const DatasetView& data, const std::vector<DimRange>& ranges,
+               const GridPqParams& params);
+
+  void Reset() {
+    blocks_.clear();
+    ranges_.clear();
+    dim_ = 0;
+  }
+
+  /// Codebook footprint across all blocks.
+  size_t SizeBytes() const;
+
+ private:
+  GridPqParams params_;
+  size_t dim_ = 0;
+  std::vector<DimRange> ranges_;
+  std::vector<ProductQuantizer> blocks_;
 };
 
 /// \brief IVF with PQ-compressed residuals (IVFADC): the standard

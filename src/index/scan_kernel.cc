@@ -125,6 +125,19 @@ uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
   return mask;
 }
 
+void AdcBatch(const float* lut, size_t ksub, const uint8_t* codes,
+              size_t code_size, size_t count, float* out) {
+  // One accumulator, ascending-m: the bitwise reference for the AVX2 gather
+  // kernel (which runs the same per-lane addition sequence) and identical to
+  // ProductQuantizer::AdcDistance.
+  for (size_t r = 0; r < count; ++r) {
+    const uint8_t* code = codes + r * code_size;
+    float acc = 0.0f;
+    for (size_t m = 0; m < code_size; ++m) acc += lut[m * ksub + code[m]];
+    out[r] = acc;
+  }
+}
+
 }  // namespace portable
 
 namespace {
@@ -132,14 +145,16 @@ namespace {
 constexpr ScanKernelTable kPortableTable = {
     portable::L2Row,       portable::IpRow,       portable::L2Batch,
     portable::IpBatch,     portable::L2Group,     portable::IpGroup,
-    portable::PruneMaskL2, portable::PruneMaskIp, "portable",
+    portable::PruneMaskL2, portable::PruneMaskIp, portable::AdcBatch,
+    "portable",
 };
 
 #if defined(HARMONY_HAVE_AVX2_TU)
 constexpr ScanKernelTable kAvx2Table = {
     avx2::L2Row,       avx2::IpRow,       avx2::L2Batch,
     avx2::IpBatch,     avx2::L2Group,     avx2::IpGroup,
-    avx2::PruneMaskL2, avx2::PruneMaskIp, "avx2",
+    avx2::PruneMaskL2, avx2::PruneMaskIp, avx2::AdcBatch,
+    "avx2",
 };
 #endif
 

@@ -62,6 +62,15 @@ struct ScanKernelTable {
   uint32_t (*prune_mask_ip)(const float* partial, const float* rem_p_sq,
                             size_t count, float rem_q_sq, float tau);
 
+  /// Batched ADC over `count` contiguous code rows (stride == code_size
+  /// bytes): `out[i] = sum_m lut[m * ksub + codes[i * code_size + m]]`.
+  /// Writes block-local ADC sums (does NOT accumulate) — the caller folds
+  /// them into running partials so the same kernel serves L2 and IP tables.
+  /// Per row the additions run in ascending-m order with one accumulator,
+  /// matching ProductQuantizer::AdcDistance bit for bit.
+  void (*adc_batch)(const float* lut, size_t ksub, const uint8_t* codes,
+                    size_t code_size, size_t count, float* out);
+
   /// "avx2" or "portable"; surfaced in logs and BENCH_kernels.json.
   const char* name;
 };
@@ -88,6 +97,8 @@ void IpGroup(const float* const* qs, size_t nq, const float* rows,
 uint32_t PruneMaskL2(const float* partial, size_t count, float tau);
 uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
                      size_t count, float rem_q_sq, float tau);
+void AdcBatch(const float* lut, size_t ksub, const uint8_t* codes,
+              size_t code_size, size_t count, float* out);
 }  // namespace portable
 
 /// AVX2 kernels, defined in scan_kernel_avx2.cc (compiled with -mavx2;
@@ -108,6 +119,8 @@ void IpGroup(const float* const* qs, size_t nq, const float* rows,
 uint32_t PruneMaskL2(const float* partial, size_t count, float tau);
 uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
                      size_t count, float rem_q_sq, float tau);
+void AdcBatch(const float* lut, size_t ksub, const uint8_t* codes,
+              size_t code_size, size_t count, float* out);
 }  // namespace avx2
 
 /// Maximum candidates covered by one prune-mask call.

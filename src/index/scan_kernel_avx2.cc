@@ -452,6 +452,34 @@ uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
   return mask;
 }
 
+void AdcBatch(const float* lut, size_t ksub, const uint8_t* codes,
+              size_t code_size, size_t count, float* out) {
+  // 8 rows per iteration, one ymm lane per row. For each subspace m the 8
+  // rows' byte codes are widened to int32 indices and gathered from the
+  // m-th LUT segment; the per-lane adds run in ascending-m order with a
+  // single accumulator, the exact addition sequence of the scalar kernel —
+  // so the gather kernel is bit-identical to portable::AdcBatch.
+  size_t r = 0;
+  for (; r + 8 <= count; r += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    alignas(32) int32_t idx[8];
+    for (size_t m = 0; m < code_size; ++m) {
+      const uint8_t* col = codes + r * code_size + m;
+      for (size_t l = 0; l < 8; ++l) {
+        idx[l] = static_cast<int32_t>(col[l * code_size]);
+      }
+      const __m256i vi = _mm256_load_si256(reinterpret_cast<__m256i*>(idx));
+      const __m256 vals = _mm256_i32gather_ps(lut + m * ksub, vi, 4);
+      acc = _mm256_add_ps(acc, vals);
+    }
+    _mm256_storeu_ps(out + r, acc);
+  }
+  if (r < count) {
+    portable::AdcBatch(lut, ksub, codes + r * code_size, code_size, count - r,
+                       out + r);
+  }
+}
+
 }  // namespace avx2
 }  // namespace harmony
 

@@ -14,7 +14,8 @@ std::string ClusterBreakdown::ToString() const {
      << " comm=" << comm_seconds * 1e3 << "ms"
      << " other=" << other_seconds * 1e3 << "ms"
      << " msgs=" << total_messages << " bytes=" << total_bytes
-     << " streamed=" << total_bytes_streamed;
+     << " streamed=" << total_bytes_streamed
+     << " compressed=" << total_bytes_compressed;
   return os.str();
 }
 
@@ -72,6 +73,7 @@ ClusterBreakdown SimCluster::Breakdown() const {
     b.total_messages += w.messages_sent();
     b.total_ops += w.ops_executed();
     b.total_bytes_streamed += w.bytes_streamed();
+    b.total_bytes_compressed += w.bytes_streamed_compressed();
   }
   b.total_bytes += client_.bytes_sent();
   b.total_messages += client_.messages_sent();

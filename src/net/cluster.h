@@ -45,6 +45,9 @@ class SimNode {
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_streamed() const { return bytes_streamed_; }
+  uint64_t bytes_streamed_compressed() const {
+    return bytes_streamed_compressed_;
+  }
 
   /// Straggler factor from the fault plan: every compute charge is scaled
   /// by it. 1.0 (the default) multiplies exactly, so a fault-free run is
@@ -90,6 +93,14 @@ class SimNode {
   /// Pure accounting: never touches a clock, so enabling/disabling it (or
   /// changing how callers bill it) cannot perturb the simulated schedule.
   void ChargeStreamedBytes(uint64_t bytes) { bytes_streamed_ += bytes; }
+
+  /// Books `bytes` of quantized code-stream data (PQ streams,
+  /// docs/quantization.md): counted in the streamed total *and* the
+  /// compressed tally. Pure accounting, like ChargeStreamedBytes.
+  void ChargeCompressedBytes(uint64_t bytes) {
+    bytes_streamed_ += bytes;
+    bytes_streamed_compressed_ += bytes;
+  }
 
   /// Switches the node to `lanes` parallel compute lanes (intra-node worker
   /// threads, `ExecOptions::threads_per_node`). With lanes <= 1 the node
@@ -141,6 +152,7 @@ class SimNode {
   void Reset() {
     clock_ = compute_seconds_ = comm_seconds_ = idle_seconds_ = 0.0;
     ops_executed_ = bytes_sent_ = messages_sent_ = bytes_streamed_ = 0;
+    bytes_streamed_compressed_ = 0;
     for (double& lane : lanes_) lane = 0.0;
   }
 
@@ -156,6 +168,7 @@ class SimNode {
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_streamed_ = 0;
+  uint64_t bytes_streamed_compressed_ = 0;
   std::vector<double> lanes_;  ///< Per-lane completion times; empty = 1 lane.
 };
 
@@ -171,6 +184,9 @@ struct ClusterBreakdown {
   /// Row bytes streamed from memory by block scans (shared scans bill each
   /// group-shared tile once; see ExecOptions::shared_scans).
   uint64_t total_bytes_streamed = 0;
+  /// Subset of total_bytes_streamed that was quantized code-stream data
+  /// (PQ streams; 0 with use_pq_streams off).
+  uint64_t total_bytes_compressed = 0;
 
   std::string ToString() const;
 };
@@ -210,6 +226,12 @@ class SimCluster {
   /// ExecBackend interface exposes. Pure accounting; never touches a clock.
   void ChargeStreamedBytes(size_t i, uint64_t bytes) {
     workers_[i].ChargeStreamedBytes(bytes);
+  }
+
+  /// Books quantized code-stream bytes on worker `i` (counted in the
+  /// streamed total and the compressed tally). Pure accounting.
+  void ChargeCompressedBytes(size_t i, uint64_t bytes) {
+    workers_[i].ChargeCompressedBytes(bytes);
   }
 
   /// Restarts all clocks/counters (e.g. between benchmark repetitions).

@@ -73,6 +73,17 @@ class ThreadedCluster {
     return bytes_streamed_.load(std::memory_order_relaxed);
   }
 
+  /// Books quantized code-stream bytes (PQ streams): counted in the
+  /// streamed total and the separate compressed tally, mirroring
+  /// SimNode::ChargeCompressedBytes.
+  void ChargeCompressedBytes(uint64_t bytes) {
+    bytes_streamed_.fetch_add(bytes, std::memory_order_relaxed);
+    bytes_compressed_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  uint64_t bytes_streamed_compressed() const {
+    return bytes_compressed_.load(std::memory_order_relaxed);
+  }
+
  private:
   FaultInjector faults_;
   size_t threads_per_node_ = 1;
@@ -81,6 +92,7 @@ class ThreadedCluster {
   std::condition_variable barrier_cv_;
   std::atomic<int64_t> outstanding_{0};
   std::atomic<uint64_t> bytes_streamed_{0};
+  std::atomic<uint64_t> bytes_compressed_{0};
 };
 
 }  // namespace harmony

@@ -31,6 +31,7 @@
 #include "core/coordinator.h"
 #include "core/pipeline.h"
 #include "core/router.h"
+#include "index/pq.h"
 #include "net/fault.h"
 #include "test_util.h"
 
@@ -45,18 +46,28 @@ struct RunSetup {
   std::vector<WorkerStore> stores;
   PrewarmCache prewarm;
   BatchRouting routing;
+  /// Trained iff the setup was built with_pq; ExecOptions::pq borrows it.
+  GridQuantizer pq;
 };
 
 RunSetup MakeSetup(const SmallWorld& world, size_t machines, size_t b_vec,
                    size_t b_dim, size_t nprobe, size_t group_size,
-                   bool with_norms = false, size_t replication = 1) {
+                   bool with_norms = false, size_t replication = 1,
+                   bool with_pq = false) {
   RunSetup setup;
   auto plan = BuildPartitionPlan(world.index, machines, b_vec, b_dim,
                                  ShardAssignment::kGreedyBalanced);
   EXPECT_TRUE(plan.ok());
   setup.plan = std::move(plan).value();
   EXPECT_TRUE(ApplyReplication(&setup.plan, replication).ok());
-  auto stores = BuildWorkerStores(world.index, setup.plan, with_norms);
+  if (with_pq) {
+    EXPECT_TRUE(setup.pq
+                    .Train(world.mixture.vectors.View(), setup.plan.dim_ranges,
+                           GridPqParams{})
+                    .ok());
+  }
+  auto stores = BuildWorkerStores(world.index, setup.plan, with_norms,
+                                  with_pq ? &setup.pq : nullptr);
   EXPECT_TRUE(stores.ok());
   setup.stores = std::move(stores).value();
   setup.prewarm = PrewarmCache::Build(world.index, 4);
@@ -93,6 +104,11 @@ struct MatrixCase {
   /// Straggler threshold enabling hedged requests (0 = off).
   double hedge_after = 0.0;
   bool enable_failover = true;
+  /// Quantized block streams: ADC scans over PQ codes with a full exact
+  /// rerank (rerank_depth = 0), so both engines still agree bitwise — the
+  /// rank barrier holds only exact float distances. The setup must have
+  /// been built with_pq.
+  bool use_pq = false;
 };
 
 void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
@@ -104,7 +120,8 @@ void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
                << mc.threads_per_node << " filtered=" << mc.filtered
                << " pruning=" << mc.pruning << " R=" << mc.replication
                << " hedge=" << mc.hedge_after
-               << " failover=" << mc.enable_failover);
+               << " failover=" << mc.enable_failover
+               << " pq=" << mc.use_pq);
   ExecOptions opts;
   opts.k = 10;
   opts.nprobe = 4;
@@ -121,6 +138,11 @@ void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
   if (mc.filtered) {
     opts.labels = &labels;
     opts.allowed_label = 1;
+  }
+  if (mc.use_pq) {
+    opts.use_pq_streams = true;
+    opts.pq = &setup.pq;
+    opts.rerank_depth = 0;  // exact full rerank: bitwise parity holds
   }
   FaultPlan plan;
   if (mc.faults == FaultMode::kCrash) {
@@ -165,6 +187,20 @@ void ExpectEnginesAgree(const SmallWorld& world, const RunSetup& setup,
   if (mc.faults == FaultMode::kNone && mc.hedge_after == 0.0) {
     EXPECT_FALSE(sim.value().faults.any());
     EXPECT_FALSE(thr.value().faults.any());
+  }
+  if (mc.use_pq) {
+    // Code streams really flowed on both engines.
+    EXPECT_GT(thr.value().bytes_compressed, 0u);
+    EXPECT_GT(cluster.Breakdown().total_bytes_compressed, 0u);
+    if (!mc.pruning && mc.faults == FaultMode::kNone &&
+        mc.hedge_after == 0.0) {
+      // With pruning off every chain streams every candidate row, so the
+      // union-of-group-rows byte accounting agrees exactly across engines
+      // — total, and compressed share.
+      const ClusterBreakdown b = cluster.Breakdown();
+      EXPECT_EQ(b.total_bytes_streamed, thr.value().bytes_streamed);
+      EXPECT_EQ(b.total_bytes_compressed, thr.value().bytes_compressed);
+    }
   }
 }
 
@@ -229,6 +265,174 @@ TEST(ExecParityTest, ReplicationMatrixSweep) {
                            /*hedge=*/2.0,    /*failover=*/true};
     ExpectEnginesAgree(world, grouped, machines, labels, lanes);
   }
+}
+
+// Quantized block streams (docs/quantization.md): the full engine-parity
+// contract must survive ADC scans over PQ codes. With rerank_depth = 0 the
+// rank barrier holds only exact float distances, so results stay bitwise
+// identical across engines under every fault mode, with pruning on or off
+// — ADC-bound pruning is sound, it only changes *which* rows are streamed,
+// never the final heap.
+TEST(ExecParityTest, PqStreamsMatrixSweep) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const size_t machines = 4;
+  const RunSetup grouped =
+      MakeSetup(world, machines, 2, 2, 4, 4, /*with_norms=*/false,
+                /*replication=*/1, /*with_pq=*/true);
+  const RunSetup solo =
+      MakeSetup(world, machines, 2, 2, 4, 1, /*with_norms=*/false,
+                /*replication=*/1, /*with_pq=*/true);
+  std::vector<int32_t> labels(world.index.num_vectors());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int32_t>(i % 2);
+  }
+
+  for (const FaultMode faults :
+       {FaultMode::kNone, FaultMode::kCrash, FaultMode::kDrop}) {
+    for (const bool grouping : {false, true}) {
+      for (const size_t tpn : {size_t{1}, size_t{4}}) {
+        for (const bool pruning : {false, true}) {
+          MatrixCase mc{faults, grouping, tpn, /*filtered=*/false, pruning};
+          mc.use_pq = true;
+          ExpectEnginesAgree(world, grouping ? grouped : solo, machines,
+                             labels, mc);
+        }
+      }
+    }
+  }
+  // Filtered search composes with quantized streams.
+  MatrixCase filtered{FaultMode::kNone, /*grouping=*/true, /*tpn=*/1,
+                      /*filtered=*/true, /*pruning=*/true};
+  filtered.use_pq = true;
+  ExpectEnginesAgree(world, grouped, machines, labels, filtered);
+}
+
+// Quantized streams x replication x faults x hedging: failover re-routes a
+// chain's code-stream hops to surviving replicas (every replica stores the
+// same codes), and the engines must still agree bitwise.
+TEST(ExecParityTest, PqStreamsReplicatedFaultSweep) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const size_t machines = 4;
+  const RunSetup setup =
+      MakeSetup(world, machines, 2, 2, 4, 4, /*with_norms=*/false,
+                /*replication=*/2, /*with_pq=*/true);
+  const std::vector<int32_t> labels;  // unfiltered throughout
+  for (const FaultMode faults :
+       {FaultMode::kNone, FaultMode::kCrash, FaultMode::kDrop}) {
+    for (const double hedge : {0.0, 2.0}) {
+      MatrixCase mc{faults,
+                    /*grouping=*/true,
+                    /*tpn=*/1,
+                    /*filtered=*/false,
+                    /*pruning=*/true,
+                    /*replication=*/2,
+                    hedge,
+                    /*failover=*/true};
+      mc.use_pq = true;
+      ExpectEnginesAgree(world, setup, machines, labels, mc);
+    }
+  }
+}
+
+// Acceptance (ISSUE 7): with the pipeline off and a full exact rerank the
+// quantized path returns the *float path's results bit for bit* — the ADC
+// stage only decides streaming order and prune timing, the rank barrier
+// re-scores every survivor from the float blocks.
+TEST(ExecParityTest, PqFullRerankMatchesFloatPath) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const size_t machines = 4;
+  const RunSetup flt = MakeSetup(world, machines, 2, 2, 4, 4);
+  const RunSetup pq =
+      MakeSetup(world, machines, 2, 2, 4, 4, /*with_norms=*/false,
+                /*replication=*/1, /*with_pq=*/true);
+
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  opts.enable_pipeline = false;
+  opts.dynamic_dim_order = false;
+  opts.pipeline_batch = 1u << 20;
+
+  SimCluster flt_cluster(machines);
+  auto flt_out = ExecuteSimulated(world.index, flt.plan, flt.stores,
+                                  flt.prewarm, flt.routing,
+                                  world.workload.queries.View(), opts,
+                                  &flt_cluster);
+  ASSERT_TRUE(flt_out.ok()) << flt_out.status();
+
+  ExecOptions pq_opts = opts;
+  pq_opts.use_pq_streams = true;
+  pq_opts.pq = &pq.pq;
+  pq_opts.rerank_depth = 0;
+  SimCluster pq_cluster(machines);
+  auto pq_out = ExecuteSimulated(world.index, pq.plan, pq.stores, pq.prewarm,
+                                 pq.routing, world.workload.queries.View(),
+                                 pq_opts, &pq_cluster);
+  ASSERT_TRUE(pq_out.ok()) << pq_out.status();
+
+  ExpectBitIdenticalResults(flt_out.value().results, pq_out.value().results);
+  // And the quantized run streamed compressed bytes the float run didn't.
+  EXPECT_GT(pq_cluster.Breakdown().total_bytes_compressed, 0u);
+  EXPECT_EQ(flt_cluster.Breakdown().total_bytes_compressed, 0u);
+}
+
+// The depth cap is a property of the *chain*, not of the simulator's
+// pipeline batching: with the vector pipeline on and a batch size small
+// enough to split every chain many ways, the simulator must hold finished
+// batches at the chain's rank barrier and pick the rerank set chain-wide —
+// bit-identical to the threaded engine (which never batches) and to a
+// one-batch-per-chain run. Pruning stays off so the pick is the pure
+// top-`depth` by ADC score and the byte bill has no tau dependence; with
+// b_dim = 2 the two engines' block orders commute in the ADC sum, so the
+// pick agrees bitwise.
+TEST(ExecParityTest, PqDepthCapSpansPipelineBatches) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const size_t machines = 4;
+  const RunSetup pq =
+      MakeSetup(world, machines, 2, 2, 4, 4, /*with_norms=*/false,
+                /*replication=*/1, /*with_pq=*/true);
+
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  opts.enable_pruning = false;
+  opts.enable_pipeline = true;
+  opts.dynamic_dim_order = false;
+  opts.pipeline_batch = 64;  // many batches per chain
+  opts.use_pq_streams = true;
+  opts.pq = &pq.pq;
+  opts.rerank_depth = 32;
+
+  SimCluster batched_cluster(machines);
+  auto batched = ExecuteSimulated(world.index, pq.plan, pq.stores, pq.prewarm,
+                                  pq.routing, world.workload.queries.View(),
+                                  opts, &batched_cluster);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+
+  auto threaded = ExecuteThreaded(world.index, pq.plan, pq.stores, pq.prewarm,
+                                  pq.routing, world.workload.queries.View(),
+                                  opts);
+  ASSERT_TRUE(threaded.ok()) << threaded.status();
+
+  ExecOptions one_batch = opts;
+  one_batch.enable_pipeline = false;
+  one_batch.pipeline_batch = 1u << 20;
+  SimCluster solo_cluster(machines);
+  auto solo = ExecuteSimulated(world.index, pq.plan, pq.stores, pq.prewarm,
+                               pq.routing, world.workload.queries.View(),
+                               one_batch, &solo_cluster);
+  ASSERT_TRUE(solo.ok()) << solo.status();
+
+  ExpectBitIdenticalResults(batched.value().results, threaded.value().results);
+  ExpectBitIdenticalResults(batched.value().results, solo.value().results);
+  // Rerank row re-reads are capped by the chain-wide depth, so the byte
+  // bill is invariant to batching too.
+  EXPECT_EQ(batched_cluster.Breakdown().total_bytes_streamed,
+            solo_cluster.Breakdown().total_bytes_streamed);
+  EXPECT_EQ(batched_cluster.Breakdown().total_bytes_streamed,
+            threaded.value().bytes_streamed);
+  EXPECT_EQ(batched_cluster.Breakdown().total_bytes_compressed,
+            threaded.value().bytes_compressed);
 }
 
 // Acceptance (ISSUE 5): with 5% drops and one node crashed from the start,

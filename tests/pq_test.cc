@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <thread>
 
 #include "index/distance.h"
 #include "index/flat_index.h"
@@ -122,6 +125,139 @@ TEST(ProductQuantizerTest, SubspacesTileDimensions) {
     begin = pq.Subspace(m).end;
   }
   EXPECT_EQ(begin, 30u);
+}
+
+// --------------------------------------------------------------------------
+// GridQuantizer: the per-dimension-block quantizer behind use_pq_streams
+// (docs/quantization.md).
+
+TEST(GridQuantizerTest, BudgetApportionedByWidth) {
+  const GaussianMixture mix = PqMixture();
+  GridPqParams p;
+  p.num_subspaces = 8;
+  p.bits = 6;
+  GridQuantizer even;
+  ASSERT_TRUE(even.Train(mix.vectors.View(), {{0, 16}, {16, 32}}, p).ok());
+  ASSERT_EQ(even.num_blocks(), 2u);
+  EXPECT_EQ(even.code_size(0), 4u);
+  EXPECT_EQ(even.code_size(1), 4u);
+  EXPECT_EQ(even.dim(), 32u);
+  // Uneven split: the subspace budget follows block width.
+  GridQuantizer uneven;
+  ASSERT_TRUE(uneven.Train(mix.vectors.View(), {{0, 8}, {8, 32}}, p).ok());
+  EXPECT_EQ(uneven.code_size(0), 2u);
+  EXPECT_EQ(uneven.code_size(1), 6u);
+  // A sliver block still gets at least one subspace.
+  GridQuantizer sliver;
+  ASSERT_TRUE(sliver.Train(mix.vectors.View(), {{0, 2}, {2, 32}}, p).ok());
+  EXPECT_GE(sliver.code_size(0), 1u);
+}
+
+// Codebooks are a pure function of (data, ranges, params): training the
+// same triple again — on the main thread or on any number of concurrent
+// worker threads — must produce bitwise-identical codes and ADC tables.
+// This is what keeps PQ-stream executions reproducible across engines and
+// thread counts.
+TEST(GridQuantizerTest, TrainDeterministicAcrossThreads) {
+  const GaussianMixture mix = PqMixture();
+  const std::vector<DimRange> ranges = {{0, 16}, {16, 32}};
+  GridPqParams p;
+  p.num_subspaces = 8;
+  p.bits = 6;
+
+  GridQuantizer baseline;
+  ASSERT_TRUE(baseline.Train(mix.vectors.View(), ranges, p).ok());
+
+  std::vector<GridQuantizer> replicas(4);
+  std::vector<Status> statuses(replicas.size());
+  {
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < replicas.size(); ++t) {
+      threads.emplace_back([&, t] {
+        statuses[t] = replicas[t].Train(mix.vectors.View(), ranges, p);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (const Status& st : statuses) ASSERT_TRUE(st.ok());
+
+  for (const GridQuantizer& q : replicas) {
+    ASSERT_EQ(q.num_blocks(), baseline.num_blocks());
+    for (size_t d = 0; d < q.num_blocks(); ++d) {
+      const ProductQuantizer& a = baseline.block(d);
+      const ProductQuantizer& b = q.block(d);
+      ASSERT_EQ(a.code_size(), b.code_size());
+      const size_t begin = baseline.ranges()[d].begin;
+      std::vector<uint8_t> code_a(a.code_size()), code_b(b.code_size());
+      std::vector<float> lut_a(a.num_subspaces() * a.codewords());
+      std::vector<float> lut_b(lut_a.size());
+      for (size_t i = 0; i < 64; ++i) {
+        const float* row = mix.vectors.Row(i * 37) + begin;
+        a.Encode(row, code_a.data());
+        b.Encode(row, code_b.data());
+        EXPECT_EQ(code_a, code_b) << "block " << d << " row " << i * 37;
+        a.ComputeLookupTable(row, lut_a.data());
+        b.ComputeLookupTable(row, lut_b.data());
+        for (size_t j = 0; j < lut_a.size(); ++j) {
+          ASSERT_EQ(std::bit_cast<uint32_t>(lut_a[j]),
+                    std::bit_cast<uint32_t>(lut_b[j]))
+              << "block " << d << " lut entry " << j;
+        }
+      }
+    }
+  }
+}
+
+// The conservative prune bounds the executor derives from an ADC sum and
+// the row's stored quantization residual err = ||p - decode(code)|| must be
+// sound (docs/quantization.md):
+//   L2: (max(0, sqrt(adc) - err))^2  <=  ||q - p||^2   (triangle inequality)
+//   IP: adc + ||q|| * err            >=  <q, p>        (Cauchy–Schwarz)
+// Checked per block over a deliberately coarse quantizer (small M, 6-bit
+// codewords) so the residuals are large and the inequalities are stressed.
+TEST(GridQuantizerTest, AdcBoundSoundness) {
+  const GaussianMixture mix = PqMixture(3000, 32, 8, 66);
+  GridPqParams p;
+  p.num_subspaces = 8;
+  p.bits = 6;
+  GridQuantizer grid;
+  ASSERT_TRUE(grid.Train(mix.vectors.View(), {{0, 16}, {16, 32}}, p).ok());
+
+  for (size_t d = 0; d < grid.num_blocks(); ++d) {
+    const ProductQuantizer& q = grid.block(d);
+    const size_t begin = grid.ranges()[d].begin;
+    const size_t width = q.dim();
+    std::vector<float> lut_l2(q.num_subspaces() * q.codewords());
+    std::vector<float> lut_ip(lut_l2.size());
+    std::vector<uint8_t> code(q.code_size());
+    std::vector<float> decoded(width);
+    for (size_t qi = 0; qi < 20; ++qi) {
+      const float* query = mix.vectors.Row(2000 + qi * 17) + begin;
+      q.ComputeLookupTable(query, lut_l2.data());
+      q.ComputeLookupTableIp(query, lut_ip.data());
+      const float q_norm = std::sqrt(InnerProduct(query, query, width));
+      for (size_t i = 0; i < 200; ++i) {
+        const float* row = mix.vectors.Row(i * 7) + begin;
+        q.Encode(row, code.data());
+        q.Decode(code.data(), decoded.data());
+        const float err = std::sqrt(L2SqDistance(row, decoded.data(), width));
+
+        const float adc_l2 = q.AdcDistance(lut_l2.data(), code.data());
+        const float t = std::sqrt(adc_l2) - err;
+        const float lower = t > 0.0f ? t * t : 0.0f;
+        const float exact_l2 = L2SqDistance(query, row, width);
+        ASSERT_LE(lower, exact_l2 * (1.0f + 1e-4f) + 1e-4f)
+            << "block " << d << " query " << qi << " row " << i * 7;
+
+        const float adc_ip = q.AdcDistance(lut_ip.data(), code.data());
+        const float upper = adc_ip + q_norm * err;
+        const float exact_ip = InnerProduct(query, row, width);
+        ASSERT_GE(upper,
+                  exact_ip - 1e-4f * (1.0f + std::fabs(exact_ip)))
+            << "block " << d << " query " << qi << " row " << i * 7;
+      }
+    }
+  }
 }
 
 TEST(IvfPqIndexTest, LifecycleErrors) {

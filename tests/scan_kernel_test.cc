@@ -366,7 +366,8 @@ void CheckScanBlockParity(Metric metric, bool prune, bool use_norms) {
     const size_t w = ScanBlock(
         rp, 0, copy.id.size(), copy.id.data(), copy.list.data(),
         copy.row.data(), copy.partial.data(),
-        use_norms ? copy.rem_p_sq.data() : nullptr, &counters);
+        use_norms ? copy.rem_p_sq.data() : nullptr, /*bound=*/nullptr,
+        &counters);
     return std::make_tuple(std::move(copy), w, counters);
   };
 

@@ -60,6 +60,10 @@ struct CliArgs {
   size_t replication_factor = 1;
   double hedge_after = 0.0;
   bool failover = true;
+  // Quantized block streams (docs/quantization.md); 0 subspaces = off.
+  size_t pq_subspaces = 0;
+  size_t pq_bits = 8;
+  size_t rerank_depth = 0;
   // Continuous-serving frontend (docs/serving.md).
   bool serve = false;
   double serve_qps = 0.0;     // 0 = 1x estimated capacity
@@ -108,6 +112,13 @@ void Usage() {
       "                        primary's straggler factor >= X (0 = off)\n"
       "  --no-failover         disable failover routing (replicas still\n"
       "                        spread load; lost hops degrade as at R = 1)\n"
+      "  --pq-subspaces M      quantized block streams: PQ codes with M\n"
+      "                        subspaces across the full dim (0 = off);\n"
+      "                        scans run on codes, exact float rerank at the\n"
+      "                        rank barrier (docs/quantization.md)\n"
+      "  --pq-bits B           PQ codeword bits, 1..8 (default 8)\n"
+      "  --rerank-depth N      cap the exact rerank at the N best ADC\n"
+      "                        candidates per chain (0 = rerank all)\n"
       "  --serve               run the continuous-serving frontend (SLO\n"
       "                        admission control; stand-in datasets only);\n"
       "                        with --threaded replays on real threads too\n"
@@ -192,6 +203,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->replication_factor = std::strtoul(v, nullptr, 10);
     } else if (flag == "--hedge-after") {
       args->hedge_after = std::strtod(v, nullptr);
+    } else if (flag == "--pq-subspaces") {
+      args->pq_subspaces = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--pq-bits") {
+      args->pq_bits = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--rerank-depth") {
+      args->rerank_depth = std::strtoul(v, nullptr, 10);
     } else if (flag == "--serve-qps") {
       args->serve_qps = std::strtod(v, nullptr);
     } else if (flag == "--serve-queries") {
@@ -336,6 +353,14 @@ int Run(const CliArgs& args) {
   options.replication_factor = args.replication_factor;
   options.hedge_after = args.hedge_after;
   options.enable_failover = args.failover;
+  options.use_pq_streams = args.pq_subspaces > 0;
+  options.pq_subspaces = args.pq_subspaces;
+  options.pq_bits = args.pq_bits;
+  options.rerank_depth = args.rerank_depth;
+  if (options.use_pq_streams) {
+    std::printf("pq streams: M=%zu bits=%zu rerank_depth=%zu\n",
+                options.pq_subspaces, options.pq_bits, options.rerank_depth);
+  }
   if (options.faults.enabled()) {
     std::printf("fault plan: %s\n", options.faults.ToString().c_str());
   }
@@ -408,6 +433,15 @@ int Run(const CliArgs& args) {
   std::printf("per-node index : %.2f MB max, peak query %.2f MB\n",
               static_cast<double>(stats.memory.index_bytes_max_node) / 1e6,
               static_cast<double>(stats.memory.peak_query_bytes) / 1e6);
+  if (options.use_pq_streams) {
+    std::printf("pq streams     : code %.2f MB stored, %.3f / %.3f MB "
+                "streamed compressed\n",
+                static_cast<double>(stats.memory.index_code_bytes) / 1e6,
+                static_cast<double>(stats.breakdown.total_bytes_compressed) /
+                    1e6,
+                static_cast<double>(stats.breakdown.total_bytes_streamed) /
+                    1e6);
+  }
   if (options.faults.enabled()) {
     FaultStats faults = stats.faults;
     if (gt.ok()) {

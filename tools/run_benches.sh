@@ -7,6 +7,7 @@
 #   tools/run_benches.sh throughput # just fig_throughput -> BENCH_throughput.json
 #   tools/run_benches.sh fault      # just fig_fault_recall -> BENCH_fault.json
 #   tools/run_benches.sh serving    # just fig_serving -> BENCH_serving.json
+#   tools/run_benches.sh pq         # just fig_pq_recall -> BENCH_pq.json
 #
 # The JSON files land in the repository root (the benches write to their
 # working directory). HARMONY_SCALE applies as usual.
@@ -16,7 +17,8 @@ cd "$(dirname "$0")/.."
 
 cmake --preset bench-release >/dev/null
 cmake --build --preset bench-release -j"$(nproc)" \
-  --target micro_kernels fig_throughput fig_fault_recall fig_serving
+  --target micro_kernels fig_throughput fig_fault_recall fig_serving \
+  fig_pq_recall
 
 what="${1:-all}"
 
@@ -31,4 +33,7 @@ if [[ "$what" == "all" || "$what" == "fault" ]]; then
 fi
 if [[ "$what" == "all" || "$what" == "serving" ]]; then
   ./build-bench/bench/fig_serving
+fi
+if [[ "$what" == "all" || "$what" == "pq" ]]; then
+  ./build-bench/bench/fig_pq_recall
 fi
