@@ -11,12 +11,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "index/distance.h"
+#include "index/kernel_tune.h"
 #include "index/kmeans.h"
 #include "index/scan_kernel.h"
 #include "util/rng.h"
@@ -142,7 +145,7 @@ BENCHMARK(BM_BlockScanBatched)
 // kept per side, so background load perturbs both curves alike instead of
 // biasing whichever side happened to run during a busy slice.
 template <typename Fn>
-size_t CalibrateIters(const Fn& fn) {
+size_t CalibrateIters(const Fn& fn, double sample_ns = 1e6) {
   using clock = std::chrono::steady_clock;
   size_t iters = 1;
   for (;;) {
@@ -151,7 +154,7 @@ size_t CalibrateIters(const Fn& fn) {
     const double ns = static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
             .count());
-    if (ns >= 1e6 || iters >= (size_t{1} << 24)) return iters;
+    if (ns >= sample_ns || iters >= (size_t{1} << 24)) return iters;
     iters *= 4;
   }
 }
@@ -167,20 +170,44 @@ double TimeOnceNs(const Fn& fn, size_t iters) {
   return ns / static_cast<double>(iters);
 }
 
+struct InterleavedTimes {
+  double a_ns = 0.0;
+  double b_ns = 0.0;
+  double ratio = 0.0;  // robust a/b estimate from paired samples
+};
+
 template <typename FnA, typename FnB>
-std::pair<double, double> MeasureInterleavedNs(const FnA& a, const FnB& b) {
-  const size_t ia = CalibrateIters(a);
-  const size_t ib = CalibrateIters(b);
+InterleavedTimes MeasureInterleavedNs(const FnA& a, const FnB& b,
+                                      int reps = 21, double sample_ns = 1e6) {
+  const size_t ia = CalibrateIters(a, sample_ns);
+  const size_t ib = CalibrateIters(b, sample_ns);
+  InterleavedTimes out;
   double best_a = std::numeric_limits<double>::max();
   double best_b = std::numeric_limits<double>::max();
   // Min over many interleaved reps: on a 1-vCPU VM, individual reps are
   // regularly inflated by host steal time; the minimum of each side is the
-  // stable signal.
-  for (int rep = 0; rep < 21; ++rep) {
-    best_a = std::min(best_a, TimeOnceNs(a, ia));
-    best_b = std::min(best_b, TimeOnceNs(b, ib));
+  // stable signal. Callers raise `reps` for the tiniest grid points, whose
+  // per-call times sit near the timer floor.
+  //
+  // The ratio is estimated separately as the median of *paired* samples
+  // (a_i / b_i with the two sides timed back to back). Host frequency
+  // states drift on multi-millisecond scales, so two independent min
+  // estimates can each be clean yet come from different clock regimes;
+  // pairing cancels the drift because adjacent samples share it.
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    const double na = TimeOnceNs(a, ia);
+    const double nb = TimeOnceNs(b, ib);
+    best_a = std::min(best_a, na);
+    best_b = std::min(best_b, nb);
+    ratios.push_back(na / nb);
   }
-  return {best_a, best_b};
+  std::sort(ratios.begin(), ratios.end());
+  out.a_ns = best_a;
+  out.b_ns = best_b;
+  out.ratio = ratios[ratios.size() / 2];
+  return out;
 }
 
 /// Fills `storage` and returns a pointer to `n` random floats at a fixed
@@ -204,25 +231,40 @@ float* AlignedRandomVec(size_t n, uint64_t seed, size_t phase,
 }
 
 void WriteKernelCurves(const char* path) {
-  const ScanKernelTable& kt = ScanKernels();
+  // Best available tier + the startup autotuner's tile picks — exactly the
+  // dispatch a default engine run records in its plan. The batched side
+  // runs the shaped entries under the tuned shape; counts below the tuned
+  // row block take the shaped kernels' per-row dispatch guard, which is
+  // what keeps small batches at per-row cost (no cell below ~1.0x).
+  const KernelTuneTable& tune = ResolveKernelTune(KernelTier::kAuto);
+  const ScanKernelTable& kt = ScanKernelsFor(tune.tier);
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for write\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"kernel_table\": \"%s\",\n  \"results\": [", kt.name);
+  std::fprintf(f,
+               "{\n  \"kernel_table\": \"%s\",\n  \"tier\": \"%s\",\n"
+               "  \"tuned\": \"%s\",\n"
+               "  \"note\": \"speedup = median of paired interleaved "
+               "samples; rows below the tuned row block dispatch to the "
+               "identical per-row kernel, so those cells measure 1.0 "
+               "within host noise\",\n  \"results\": [",
+               kt.name, KernelTierName(tune.tier), tune.ToString().c_str());
   const size_t rows_grid[] = {4, 16, 64, 256, 1024};
   const size_t width_grid[] = {16, 32, 64, 128, 256};
   bool first = true;
   for (const bool ip : {false, true}) {
+    const Metric metric = ip ? Metric::kInnerProduct : Metric::kL2;
     for (const size_t rows : rows_grid) {
       for (const size_t width : width_grid) {
+        const KernelShape shape = tune.shape(metric, width);
         std::vector<float> q_store, data_store;
         const float* q = AlignedRandomVec(width, 31, /*phase=*/1, &q_store);
         const float* data =
             AlignedRandomVec(rows * width, 32, /*phase=*/8, &data_store);
         std::vector<float> accum(rows, 0.0f);
-        const auto [per_row_ns, batched_ns] = MeasureInterleavedNs(
+        const InterleavedTimes t = MeasureInterleavedNs(
             [&] {
               for (size_t i = 0; i < rows; ++i) {
                 accum[i] += ip ? kt.ip_row(q, data + i * width, width)
@@ -232,25 +274,126 @@ void WriteKernelCurves(const char* path) {
             },
             [&] {
               if (ip) {
-                kt.ip_batch(q, data, rows, width, accum.data());
+                kt.ip_batch_shaped(q, data, rows, width, accum.data(), shape);
               } else {
-                kt.l2_batch(q, data, rows, width, accum.data());
+                kt.l2_batch_shaped(q, data, rows, width, accum.data(), shape);
               }
               benchmark::DoNotOptimize(accum.data());
-            });
+            },
+            /*reps=*/rows <= 16 ? 61 : 21,
+            // Longer samples for the tiniest grid points: their per-call
+            // times sit near the timer floor, and the paired-ratio noise
+            // shrinks with sample length.
+            /*sample_ns=*/rows <= 16 ? 4e6 : 1e6);
         std::fprintf(f,
                      "%s\n    {\"metric\": \"%s\", \"rows\": %zu, "
                      "\"width\": %zu, \"per_row_ns\": %.1f, "
                      "\"batched_ns\": %.1f, \"speedup\": %.3f}",
                      first ? "" : ",", ip ? "ip" : "l2", rows, width,
-                     per_row_ns, batched_ns, per_row_ns / batched_ns);
+                     t.a_ns, t.b_ns, t.ratio);
         first = false;
       }
     }
   }
+  // Group kernels vs nq independent shaped batch calls: the win is the
+  // shared row stream — each tile's rows are loaded once for the whole
+  // query tile instead of once per query.
+  std::fprintf(f, "\n  ],\n  \"group_results\": [");
+  first = true;
+  for (const bool ip : {false, true}) {
+    const Metric metric = ip ? Metric::kInnerProduct : Metric::kL2;
+    for (const size_t nq : {size_t{2}, size_t{4}, size_t{8}}) {
+      for (const size_t rows : {size_t{64}, size_t{256}}) {
+        for (const size_t width : {size_t{32}, size_t{128}}) {
+          const KernelShape shape = tune.shape(metric, width);
+          std::vector<std::vector<float>> q_stores(nq);
+          std::vector<const float*> qs(nq);
+          for (size_t i = 0; i < nq; ++i) {
+            qs[i] = AlignedRandomVec(width, 41 + i, /*phase=*/1 + i,
+                                     &q_stores[i]);
+          }
+          std::vector<float> data_store;
+          const float* data =
+              AlignedRandomVec(rows * width, 52, /*phase=*/8, &data_store);
+          std::vector<float> accum(nq * rows, 0.0f);
+          std::vector<float*> accums(nq);
+          for (size_t i = 0; i < nq; ++i) accums[i] = accum.data() + i * rows;
+          const InterleavedTimes t = MeasureInterleavedNs(
+              [&] {
+                for (size_t i = 0; i < nq; ++i) {
+                  if (ip) {
+                    kt.ip_batch_shaped(qs[i], data, rows, width, accums[i],
+                                       shape);
+                  } else {
+                    kt.l2_batch_shaped(qs[i], data, rows, width, accums[i],
+                                       shape);
+                  }
+                }
+                benchmark::DoNotOptimize(accum.data());
+              },
+              [&] {
+                if (ip) {
+                  kt.ip_group_shaped(qs.data(), nq, data, rows, width,
+                                     accums.data(), shape);
+                } else {
+                  kt.l2_group_shaped(qs.data(), nq, data, rows, width,
+                                     accums.data(), shape);
+                }
+                benchmark::DoNotOptimize(accum.data());
+              });
+          std::fprintf(f,
+                       "%s\n    {\"metric\": \"%s\", \"nq\": %zu, "
+                       "\"rows\": %zu, \"width\": %zu, \"batch_ns\": %.1f, "
+                       "\"group_ns\": %.1f, \"speedup\": %.3f}",
+                       first ? "" : ",", ip ? "ip" : "l2", nq, rows, width,
+                       t.a_ns, t.b_ns, t.ratio);
+          first = false;
+        }
+      }
+    }
+  }
+  // ADC code-stream kernel vs the scalar per-row table walk (the reference
+  // PQ loop).
+  std::fprintf(f, "\n  ],\n  \"adc_results\": [");
+  first = true;
+  const size_t ksub = 256;
+  for (const size_t m : {size_t{8}, size_t{16}}) {
+    for (const size_t count : {size_t{16}, size_t{256}, size_t{1024}}) {
+      std::vector<float> lut_store;
+      const float* lut =
+          AlignedRandomVec(m * ksub, 61, /*phase=*/1, &lut_store);
+      Rng rng(62);
+      std::vector<uint8_t> codes(count * m);
+      for (uint8_t& c : codes) {
+        c = static_cast<uint8_t>(rng.NextU64() & 0xFF);
+      }
+      std::vector<float> out(count, 0.0f);
+      const InterleavedTimes t = MeasureInterleavedNs(
+          [&] {
+            for (size_t r = 0; r < count; ++r) {
+              float adc = 0.0f;
+              const uint8_t* code = codes.data() + r * m;
+              for (size_t s = 0; s < m; ++s) adc += lut[s * ksub + code[s]];
+              out[r] = adc;
+            }
+            benchmark::DoNotOptimize(out.data());
+          },
+          [&] {
+            kt.adc_batch(lut, ksub, codes.data(), m, count, out.data());
+            benchmark::DoNotOptimize(out.data());
+          });
+      std::fprintf(f,
+                   "%s\n    {\"code_size\": %zu, \"count\": %zu, "
+                   "\"scalar_ns\": %.1f, \"batched_ns\": %.1f, "
+                   "\"speedup\": %.3f}",
+                   first ? "" : ",", m, count, t.a_ns, t.b_ns, t.ratio);
+      first = false;
+    }
+  }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
-  std::fprintf(stderr, "wrote %s (kernel table: %s)\n", path, kt.name);
+  std::fprintf(stderr, "wrote %s (tier %s, tuned %s)\n", path,
+               KernelTierName(tune.tier), tune.ToString().c_str());
 }
 
 }  // namespace harmony

@@ -13,6 +13,26 @@ namespace harmony {
 
 namespace {
 
+/// The stage's kernel table: the dispatch's recorded tier table when one is
+/// attached (plan-recorded replay), otherwise the process-wide resolved
+/// table — the historical behavior of default-constructed params.
+inline const ScanKernelTable& TableOf(const KernelDispatch& d) {
+  return d.table != nullptr ? *d.table : ScanKernels();
+}
+
+/// Cross-run streaming prefetch (tuned distance): touch the head rows of
+/// the *next* candidate run while the current run's kernel streams, so the
+/// walk does not stall on the list-slice boundary. A pure memory hint —
+/// never reads out of bounds (capped by the slice's row count) and never
+/// changes results.
+inline void PrefetchRunHead(const DimSlicedMatrix& slice, size_t r0,
+                            size_t rows_ahead) {
+  const size_t limit = std::min(r0 + rows_ahead, slice.num_rows());
+  for (size_t r = r0; r < limit; ++r) {
+    __builtin_prefetch(slice.Row(r), 0 /*read*/, 1 /*low locality*/);
+  }
+}
+
 /// Folds one row's raw ADC sum into the candidate's running partial and
 /// conservative prune bound (docs/quantization.md). Scalar on purpose: the
 /// batched path calls it row by row after the adc_batch kernel, so reference
@@ -47,6 +67,7 @@ size_t ScanBlockReference(const BlockScanParams& p, size_t begin, size_t count,
                           int64_t* id, int32_t* list, int32_t* row,
                           float* partial, float* rem_p_sq, float* bound,
                           BlockScanCounters* counters) {
+  const ScanKernelTable& kt = TableOf(p.dispatch);
   const bool use_ip = p.metric != Metric::kL2;
   const bool use_pq = p.luts != nullptr;
   size_t w = 0;
@@ -73,12 +94,12 @@ size_t ScanBlockReference(const BlockScanParams& p, size_t begin, size_t count,
     } else {
       const float* vrow = ls->slice.Row(static_cast<size_t>(row[i]));
       if (use_ip) {
-        partial[i] += PartialIp(p.q_slice, vrow, p.width);
+        partial[i] += kt.ip_row(p.q_slice, vrow, p.width);
         if (p.use_norms) {
           rem_p_sq[i] -= ls->block_norm_sq[static_cast<size_t>(row[i])];
         }
       } else {
-        partial[i] += PartialL2Sq(p.q_slice, vrow, p.width);
+        partial[i] += kt.l2_row(p.q_slice, vrow, p.width);
       }
       counters->ops += DistanceOpCost(p.width);
     }
@@ -100,7 +121,7 @@ size_t ScanBlockReference(const BlockScanParams& p, size_t begin, size_t count,
 size_t PruneCompact(const BlockScanParams& p, size_t begin, size_t count,
                     int64_t* id, int32_t* list, int32_t* row, float* partial,
                     float* rem_p_sq, float* bound, BlockScanCounters* counters) {
-  const ScanKernelTable& kt = ScanKernels();
+  const ScanKernelTable& kt = TableOf(p.dispatch);
   const bool use_ip = p.metric != Metric::kL2;
   const bool use_pq = p.luts != nullptr;
   // PQ streams test the conservative bound column with the same mask
@@ -111,7 +132,7 @@ size_t PruneCompact(const BlockScanParams& p, size_t begin, size_t count,
   size_t i = 0;
   while (i < count) {
     const size_t chunk = std::min(kPruneMaskWidth, count - i);
-    uint32_t mask;
+    uint64_t mask;
     if (!use_ip) {
       mask = kt.prune_mask_l2(gate + begin + i, chunk, p.tau);
     } else if (p.use_norms) {
@@ -125,7 +146,7 @@ size_t PruneCompact(const BlockScanParams& p, size_t begin, size_t count,
       for (size_t j = 0; j < chunk; ++j) {
         if (CanPrune(p.metric, gate[begin + i + j], 0.0f, p.rem_q_sq,
                      p.tau)) {
-          mask |= uint32_t{1} << j;
+          mask |= uint64_t{1} << j;
         }
       }
     }
@@ -137,7 +158,7 @@ size_t PruneCompact(const BlockScanParams& p, size_t begin, size_t count,
       continue;
     }
     for (size_t j = 0; j < chunk; ++j) {
-      if ((mask & (uint32_t{1} << j)) != 0) {
+      if ((mask & (uint64_t{1} << j)) != 0) {
         ++counters->dropped;
         continue;
       }
@@ -169,7 +190,7 @@ constexpr size_t kAdcChunk = 256;
 void ScanCodeRun(const BlockScanParams& p, bool use_ip, const ListSlice* ls,
                  const float* lut, size_t r0, size_t run, float* partial,
                  float* rem_p_sq, float* bound) {
-  const ScanKernelTable& kt = ScanKernels();
+  const ScanKernelTable& kt = TableOf(p.dispatch);
   float adc[kAdcChunk];
   size_t done = 0;
   while (done < run) {
@@ -195,7 +216,9 @@ void ScanCodeRun(const BlockScanParams& p, bool use_ip, const ListSlice* ls,
 void ScanRuns(const BlockScanParams& p, size_t begin, size_t survivors,
               const int32_t* list, const int32_t* row, float* partial,
               float* rem_p_sq, float* bound) {
-  const ScanKernelTable& kt = ScanKernels();
+  const ScanKernelTable& kt = TableOf(p.dispatch);
+  const bool shaped = p.dispatch.table != nullptr;
+  const size_t pf_rows = shaped ? p.dispatch.shape.prefetch : 0;
   const bool use_ip = p.metric != Metric::kL2;
   const bool use_pq = p.luts != nullptr;
   size_t j = 0;
@@ -209,6 +232,17 @@ void ScanRuns(const BlockScanParams& p, size_t begin, size_t survivors,
            static_cast<size_t>(row[begin + j + run]) == r0 + run) {
       ++run;
     }
+    // Cross-run streaming: while this run's kernel prefetches within the
+    // run, the boundary into the next run (usually another list's slice)
+    // has no coverage — hint its head rows now, at the tuned distance.
+    if (pf_rows > 0 && !use_pq && j + run < survivors) {
+      const int32_t nli = list[begin + j + run];
+      const ListSlice* nls = p.slices[static_cast<size_t>(nli)];
+      if (nls != nullptr) {
+        PrefetchRunHead(nls->slice,
+                        static_cast<size_t>(row[begin + j + run]), pf_rows);
+      }
+    }
     if (use_pq) {
       // Runs never cross lists, so one residual ADC table covers the run.
       ScanCodeRun(p, use_ip, ls, p.luts[static_cast<size_t>(li)], r0, run,
@@ -218,13 +252,23 @@ void ScanRuns(const BlockScanParams& p, size_t begin, size_t survivors,
     } else {
       const float* rows = ls->slice.RowBlock(r0, run);
       if (use_ip) {
-        kt.ip_batch(p.q_slice, rows, run, p.width, partial + begin + j);
+        if (shaped) {
+          kt.ip_batch_shaped(p.q_slice, rows, run, p.width,
+                             partial + begin + j, p.dispatch.shape);
+        } else {
+          kt.ip_batch(p.q_slice, rows, run, p.width, partial + begin + j);
+        }
         if (p.use_norms) {
           const float* bn = ls->block_norm_sq.data() + r0;
           for (size_t t = 0; t < run; ++t) rem_p_sq[begin + j + t] -= bn[t];
         }
       } else {
-        kt.l2_batch(p.q_slice, rows, run, p.width, partial + begin + j);
+        if (shaped) {
+          kt.l2_batch_shaped(p.q_slice, rows, run, p.width,
+                             partial + begin + j, p.dispatch.shape);
+        } else {
+          kt.l2_batch(p.q_slice, rows, run, p.width, partial + begin + j);
+        }
       }
     }
     j += run;
@@ -287,6 +331,7 @@ BlockScanParams MemberParams(const GroupScanParams& p,
   mp.ksub = p.ksub;
   mp.code_size = p.code_size;
   mp.q_band_norm = m.q_band_norm;
+  mp.dispatch = p.dispatch;
   return mp;
 }
 
@@ -361,7 +406,9 @@ uint64_t ScanBlockGroup(const GroupScanParams& p, GroupMemberScan* members,
   // tiles. A tile is a run of consecutive rows that every member of the
   // subset S wants next; it is cut short where a member outside S would
   // join, so divergent streams re-align at the earliest opportunity.
-  const ScanKernelTable& kt = ScanKernels();
+  const ScanKernelTable& kt = TableOf(p.dispatch);
+  const bool shaped = p.dispatch.table != nullptr;
+  const size_t pf_rows = shaped ? p.dispatch.shape.prefetch : 0;
   std::vector<const float*> qs(num_members);
   std::vector<float*> accums(num_members);
   std::vector<ListSeg*> active(num_members);
@@ -417,13 +464,31 @@ uint64_t ScanBlockGroup(const GroupScanParams& p, GroupMemberScan* members,
       } else {
         const float* rows =
             lw.ls->slice.RowBlock(static_cast<size_t>(rmin), len);
+        // Merge-walk streaming: the tile's kernel prefetches within the
+        // tile; hint the rows just past it (the likely next tile of this
+        // list) at the tuned distance so the walk crosses tile boundaries
+        // without a cold stall.
+        if (pf_rows > 0) {
+          PrefetchRunHead(lw.ls->slice, static_cast<size_t>(rmin) + len,
+                          pf_rows);
+        }
         if (ns == 1) {
           const GroupMemberScan& mem = members[active[0]->member];
           float* acc = mem.partial + active[0]->cursor;
           if (use_ip) {
-            kt.ip_batch(mem.q_slice, rows, len, p.width, acc);
+            if (shaped) {
+              kt.ip_batch_shaped(mem.q_slice, rows, len, p.width, acc,
+                                 p.dispatch.shape);
+            } else {
+              kt.ip_batch(mem.q_slice, rows, len, p.width, acc);
+            }
           } else {
-            kt.l2_batch(mem.q_slice, rows, len, p.width, acc);
+            if (shaped) {
+              kt.l2_batch_shaped(mem.q_slice, rows, len, p.width, acc,
+                                 p.dispatch.shape);
+            } else {
+              kt.l2_batch(mem.q_slice, rows, len, p.width, acc);
+            }
           }
         } else {
           for (size_t s = 0; s < ns; ++s) {
@@ -432,9 +497,19 @@ uint64_t ScanBlockGroup(const GroupScanParams& p, GroupMemberScan* members,
             accums[s] = mem.partial + active[s]->cursor;
           }
           if (use_ip) {
-            kt.ip_group(qs.data(), ns, rows, len, p.width, accums.data());
+            if (shaped) {
+              kt.ip_group_shaped(qs.data(), ns, rows, len, p.width,
+                                 accums.data(), p.dispatch.shape);
+            } else {
+              kt.ip_group(qs.data(), ns, rows, len, p.width, accums.data());
+            }
           } else {
-            kt.l2_group(qs.data(), ns, rows, len, p.width, accums.data());
+            if (shaped) {
+              kt.l2_group_shaped(qs.data(), ns, rows, len, p.width,
+                                 accums.data(), p.dispatch.shape);
+            } else {
+              kt.l2_group(qs.data(), ns, rows, len, p.width, accums.data());
+            }
           }
         }
         if (use_ip && p.use_norms) {

@@ -6,6 +6,7 @@
 
 #include "core/worker.h"
 #include "index/distance.h"
+#include "index/kernel_tune.h"
 
 namespace harmony {
 
@@ -57,6 +58,12 @@ struct BlockScanParams {
   size_t ksub = 0;               ///< Codewords per subspace (LUT row length).
   size_t code_size = 0;          ///< Bytes per code row (M_d).
   float q_band_norm = 0.0f;      ///< IP only: ||q^(d)||.
+  /// Resolved kernel dispatch of the batch (ExecContext::DispatchFor): the
+  /// tier table plus the tuned tile shape the shaped kernels run with. A
+  /// null table (the default) selects the process-wide ScanKernels() table
+  /// through the unshaped entries — the historical behavior. Shapes are
+  /// bit-transparent, so this field moves throughput only.
+  KernelDispatch dispatch;
 };
 
 struct BlockScanCounters {
@@ -85,6 +92,9 @@ struct GroupScanParams {
   bool use_pq = false;
   size_t ksub = 0;
   size_t code_size = 0;
+  /// Resolved kernel dispatch (see BlockScanParams::dispatch). Null table =
+  /// historical unshaped ScanKernels() path.
+  KernelDispatch dispatch;
 };
 
 /// One member of a query-group shared scan: the member's candidate arrays

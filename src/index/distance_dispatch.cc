@@ -32,5 +32,15 @@ bool Avx2Available() {
 #endif
 }
 
+bool Avx512Available() {
+#if defined(HARMONY_HAVE_AVX512_TU)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512bw");
+#else
+  return false;
+#endif
+}
+
 }  // namespace simd
 }  // namespace harmony

@@ -15,6 +15,11 @@ float InnerProductAvx2(const float* a, const float* b, size_t dim);
 /// supports them.
 bool Avx2Available();
 
+/// True when this build carries the AVX-512 scan kernels
+/// (scan_kernel_avx512.cc, compiled with -mavx512f/dq/bw) AND the running
+/// CPU supports those sets.
+bool Avx512Available();
+
 }  // namespace simd
 }  // namespace harmony
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "index/distance_simd.h"
 
@@ -47,8 +48,8 @@ float IpRow(const float* a, const float* b, size_t width) {
 
 namespace {
 
-/// Rows ~2 iterations ahead of the current one are pulled toward L1 while
-/// the current group computes; one line per 16 floats.
+/// Rows `prefetch` iterations ahead of the current one are pulled toward L1
+/// while the current group computes; one line per 16 floats.
 inline void PrefetchRow(const float* row, size_t width) {
   for (size_t i = 0; i < width; i += 16) {
     __builtin_prefetch(row + i, /*rw=*/0, /*locality=*/3);
@@ -104,31 +105,92 @@ void IpGroup(const float* const* qs, size_t nq, const float* rows,
   }
 }
 
-uint32_t PruneMaskL2(const float* partial, size_t count, float tau) {
-  uint32_t mask = 0;
+// The portable tier has no register-blocked variants — the row loop IS the
+// per-row path — so the shaped entries only honor the prefetch distance and
+// the query-tile width. Results are L2Row/IpRow per (query, row) for any
+// shape, like every other tier.
+
+void L2BatchShaped(const float* q, const float* rows, size_t count,
+                   size_t width, float* accum, KernelShape shape) {
+  const size_t pf = shape.prefetch;
+  for (size_t r = 0; r < count; ++r) {
+    if (pf != 0 && r + pf < count) PrefetchRow(rows + (r + pf) * width, width);
+    accum[r] += L2Row(q, rows + r * width, width);
+  }
+}
+
+void IpBatchShaped(const float* q, const float* rows, size_t count,
+                   size_t width, float* accum, KernelShape shape) {
+  const size_t pf = shape.prefetch;
+  for (size_t r = 0; r < count; ++r) {
+    if (pf != 0 && r + pf < count) PrefetchRow(rows + (r + pf) * width, width);
+    accum[r] += IpRow(q, rows + r * width, width);
+  }
+}
+
+void L2GroupShaped(const float* const* qs, size_t nq, const float* rows,
+                   size_t count, size_t width, float* const* accums,
+                   KernelShape shape) {
+  const size_t qt = std::clamp<size_t>(shape.query_tile, 1, kMaxQueryTile);
+  const size_t pf = shape.prefetch;
+  for (size_t q0 = 0; q0 < nq; q0 += qt) {
+    const size_t qn = std::min(qt, nq - q0);
+    for (size_t r = 0; r < count; ++r) {
+      if (pf != 0 && r + pf < count) {
+        PrefetchRow(rows + (r + pf) * width, width);
+      }
+      const float* row = rows + r * width;
+      for (size_t g = 0; g < qn; ++g) {
+        accums[q0 + g][r] += L2Row(qs[q0 + g], row, width);
+      }
+    }
+  }
+}
+
+void IpGroupShaped(const float* const* qs, size_t nq, const float* rows,
+                   size_t count, size_t width, float* const* accums,
+                   KernelShape shape) {
+  const size_t qt = std::clamp<size_t>(shape.query_tile, 1, kMaxQueryTile);
+  const size_t pf = shape.prefetch;
+  for (size_t q0 = 0; q0 < nq; q0 += qt) {
+    const size_t qn = std::min(qt, nq - q0);
+    for (size_t r = 0; r < count; ++r) {
+      if (pf != 0 && r + pf < count) {
+        PrefetchRow(rows + (r + pf) * width, width);
+      }
+      const float* row = rows + r * width;
+      for (size_t g = 0; g < qn; ++g) {
+        accums[q0 + g][r] += IpRow(qs[q0 + g], row, width);
+      }
+    }
+  }
+}
+
+uint64_t PruneMaskL2(const float* partial, size_t count, float tau) {
+  uint64_t mask = 0;
   for (size_t i = 0; i < count; ++i) {
-    if (partial[i] > tau) mask |= uint32_t{1} << i;
+    if (partial[i] > tau) mask |= uint64_t{1} << i;
   }
   return mask;
 }
 
-uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
+uint64_t PruneMaskIp(const float* partial, const float* rem_p_sq,
                      size_t count, float rem_q_sq, float tau) {
   // Identical arithmetic to CanPrune (core/pruning.h): the Cauchy–Schwarz
   // bound on the unprocessed blocks' inner-product contribution.
-  uint32_t mask = 0;
+  uint64_t mask = 0;
   for (size_t i = 0; i < count; ++i) {
     const float rest =
         std::sqrt(std::max(0.0f, rem_p_sq[i]) * std::max(0.0f, rem_q_sq));
-    if (-(partial[i] + rest) > tau) mask |= uint32_t{1} << i;
+    if (-(partial[i] + rest) > tau) mask |= uint64_t{1} << i;
   }
   return mask;
 }
 
 void AdcBatch(const float* lut, size_t ksub, const uint8_t* codes,
               size_t code_size, size_t count, float* out) {
-  // One accumulator, ascending-m: the bitwise reference for the AVX2 gather
-  // kernel (which runs the same per-lane addition sequence) and identical to
+  // One accumulator, ascending-m: the bitwise reference for the SIMD gather
+  // kernels (which run the same per-lane addition sequence) and identical to
   // ProductQuantizer::AdcDistance.
   for (size_t r = 0; r < count; ++r) {
     const uint8_t* code = codes + r * code_size;
@@ -143,33 +205,135 @@ void AdcBatch(const float* lut, size_t ksub, const uint8_t* codes,
 namespace {
 
 constexpr ScanKernelTable kPortableTable = {
-    portable::L2Row,       portable::IpRow,       portable::L2Batch,
-    portable::IpBatch,     portable::L2Group,     portable::IpGroup,
-    portable::PruneMaskL2, portable::PruneMaskIp, portable::AdcBatch,
-    "portable",
+    portable::L2Row,          portable::IpRow,
+    portable::L2Batch,        portable::IpBatch,
+    portable::L2Group,        portable::IpGroup,
+    portable::L2BatchShaped,  portable::IpBatchShaped,
+    portable::L2GroupShaped,  portable::IpGroupShaped,
+    portable::PruneMaskL2,    portable::PruneMaskIp,
+    portable::AdcBatch,       "portable",
 };
 
 #if defined(HARMONY_HAVE_AVX2_TU)
 constexpr ScanKernelTable kAvx2Table = {
-    avx2::L2Row,       avx2::IpRow,       avx2::L2Batch,
-    avx2::IpBatch,     avx2::L2Group,     avx2::IpGroup,
-    avx2::PruneMaskL2, avx2::PruneMaskIp, avx2::AdcBatch,
-    "avx2",
+    avx2::L2Row,          avx2::IpRow,
+    avx2::L2Batch,        avx2::IpBatch,
+    avx2::L2Group,        avx2::IpGroup,
+    avx2::L2BatchShaped,  avx2::IpBatchShaped,
+    avx2::L2GroupShaped,  avx2::IpGroupShaped,
+    avx2::PruneMaskL2,    avx2::PruneMaskIp,
+    avx2::AdcBatch,       "avx2",
 };
 #endif
 
-ScanKernelTable ResolveTable() {
-#if defined(HARMONY_HAVE_AVX2_TU)
-  if (simd::Avx2Available()) return kAvx2Table;
+#if defined(HARMONY_HAVE_AVX512_TU)
+constexpr ScanKernelTable kAvx512Table = {
+    avx512::L2Row,          avx512::IpRow,
+    avx512::L2Batch,        avx512::IpBatch,
+    avx512::L2Group,        avx512::IpGroup,
+    avx512::L2BatchShaped,  avx512::IpBatchShaped,
+    avx512::L2GroupShaped,  avx512::IpGroupShaped,
+    avx512::PruneMaskL2,    avx512::PruneMaskIp,
+    avx512::AdcBatch,       "avx512",
+};
 #endif
-  return kPortableTable;
+
+/// Widest tier available on this build + CPU.
+KernelTier BestAvailableTier() {
+#if defined(HARMONY_HAVE_AVX512_TU)
+  if (simd::Avx512Available()) return KernelTier::kAvx512;
+#endif
+#if defined(HARMONY_HAVE_AVX2_TU)
+  if (simd::Avx2Available()) return KernelTier::kAvx2;
+#endif
+  return KernelTier::kPortable;
+}
+
+/// HARMONY_KERNEL_TIER, parsed once: the process-wide pin CI legs use to
+/// run a whole test binary on one tier. Unset/unparsable/unavailable ->
+/// kAuto (the CPU pick).
+KernelTier EnvTier() {
+  static const KernelTier tier = [] {
+    const char* env = std::getenv("HARMONY_KERNEL_TIER");
+    KernelTier t = KernelTier::kAuto;
+    if (env != nullptr && ParseKernelTier(env, &t) && !KernelTierAvailable(t)) {
+      t = KernelTier::kAuto;
+    }
+    return t;
+  }();
+  return tier;
 }
 
 }  // namespace
 
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kAuto:
+      return "auto";
+    case KernelTier::kPortable:
+      return "portable";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kAvx512:
+      return "avx512";
+  }
+  return "auto";
+}
+
+bool ParseKernelTier(std::string_view name, KernelTier* out) {
+  if (name == "auto") {
+    *out = KernelTier::kAuto;
+  } else if (name == "portable") {
+    *out = KernelTier::kPortable;
+  } else if (name == "avx2") {
+    *out = KernelTier::kAvx2;
+  } else if (name == "avx512") {
+    *out = KernelTier::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool KernelTierAvailable(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kAuto:
+    case KernelTier::kPortable:
+      return true;
+    case KernelTier::kAvx2:
+      return simd::Avx2Available();
+    case KernelTier::kAvx512:
+      return simd::Avx512Available();
+  }
+  return false;
+}
+
+KernelTier ResolveKernelTier(KernelTier requested) {
+  if (requested == KernelTier::kAuto) {
+    const KernelTier pinned = EnvTier();
+    return pinned == KernelTier::kAuto ? BestAvailableTier() : pinned;
+  }
+  return KernelTierAvailable(requested) ? requested : BestAvailableTier();
+}
+
+const ScanKernelTable& ScanKernelsFor(KernelTier tier) {
+  switch (ResolveKernelTier(tier)) {
+#if defined(HARMONY_HAVE_AVX512_TU)
+    case KernelTier::kAvx512:
+      return kAvx512Table;
+#endif
+#if defined(HARMONY_HAVE_AVX2_TU)
+    case KernelTier::kAvx2:
+      return kAvx2Table;
+#endif
+    default:
+      return kPortableTable;
+  }
+}
+
 const ScanKernelTable& ScanKernels() {
   // Resolved exactly once; hot loops pay a table load, never a CPU check.
-  static const ScanKernelTable table = ResolveTable();
+  static const ScanKernelTable& table = ScanKernelsFor(KernelTier::kAuto);
   return table;
 }
 

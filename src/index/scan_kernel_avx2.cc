@@ -3,13 +3,15 @@
 // AVX2 support — ScanKernels() resolves the table once at first use.
 //
 // Bitwise-identity contract (docs/kernels.md): every row of a batched call
-// goes through exactly the operation sequence of the single-row AVX2
-// kernels in distance_avx2.cc — 16-wide chunks into two accumulators, an
-// 8-wide chunk into the first, horizontal sum, then a scalar tail — and
-// widths below 16 fall back to the portable bodies, preserving the
-// historical runtime-dispatch cutover bit-for-bit. The 4-row register
-// blocking only reuses each *query* load across the row group; it never
-// reorders a row's own accumulation.
+// goes through exactly the operation sequence of this TU's single-row
+// RowImpl — 16-wide chunks into two accumulators, an 8-wide chunk into the
+// first, horizontal sum, then an unfused scalar tail (-ffp-contract=off is
+// pinned on this TU so the tail's rounding is not compiler-discretionary) —
+// and widths below 16 fall back to the portable bodies, preserving the
+// historical runtime-dispatch cutover bit-for-bit. The register blocking
+// (4/6/8 rows, picked by the autotuned KernelShape on the shaped entries)
+// only reuses each *query* load across the row group; it never reorders a
+// row's own accumulation, so every shape produces identical bits.
 
 #include "index/scan_kernel.h"
 
@@ -18,8 +20,6 @@
 #include <immintrin.h>
 
 #include <algorithm>
-
-#include "index/distance_simd.h"
 
 namespace harmony {
 namespace avx2 {
@@ -40,7 +40,7 @@ inline float Hsum256(__m256 v) {
 /// Each lane goes through the *same* addition tree as Hsum256 —
 /// lo+hi, then ((s0+s1)+(s2+s3)) via two hadd levels — so the results are
 /// bit-identical to four scalar Hsum256 calls at a third of the shuffle
-/// uops. This is what makes the 4-row blocking pay off at narrow widths,
+/// uops. This is what makes the row blocking pay off at narrow widths,
 /// where the reduction rivals the accumulation loop in cost.
 inline __m128 Hsum256x4(__m256 v0, __m256 v1, __m256 v2, __m256 v3) {
   const __m128 s0 = _mm_add_ps(_mm256_castps256_ps128(v0),
@@ -64,6 +64,57 @@ inline __m256 FmaddOrMulAdd(__m256 a, __m256 b, __m256 acc) {
 #endif
 }
 
+/// Single-row kernel: the frozen AVX2 accumulation sequence — 16-wide
+/// chunks into two accumulators, an 8-wide chunk into the first, the
+/// Hsum256 tree, then a scalar tail. Defined here (not delegated to
+/// distance_avx2.cc) because this TU pins -ffp-contract=off: the scalar
+/// tail must round each multiply separately so the batch/group/AVX-512
+/// kernels — whose tails are compiled identically — can reproduce it
+/// bit-for-bit at every width. distance_avx2.cc predates that pin and its
+/// tail contraction is compiler-discretionary, so it cannot serve as the
+/// table's row reference.
+template <bool kIp>
+float RowImpl(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    if constexpr (kIp) {
+      acc0 = FmaddOrMulAdd(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+      acc1 = FmaddOrMulAdd(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    } else {
+      const __m256 d0 =
+          _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+      const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                                      _mm256_loadu_ps(b + i + 8));
+      acc0 = FmaddOrMulAdd(d0, d0, acc0);
+      acc1 = FmaddOrMulAdd(d1, d1, acc1);
+    }
+  }
+  for (; i + 8 <= dim; i += 8) {
+    if constexpr (kIp) {
+      acc0 = FmaddOrMulAdd(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    } else {
+      const __m256 d =
+          _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+      acc0 = FmaddOrMulAdd(d, d, acc0);
+    }
+  }
+  float total = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    if constexpr (kIp) {
+      total += a[i] * b[i];
+    } else {
+      const float d = a[i] - b[i];
+      total += d * d;
+    }
+  }
+  return total;
+}
+
 /// Pulls the head of an upcoming row toward L1 while the current row group
 /// computes. Rows are one contiguous stream, so the hardware prefetcher
 /// covers the body; issuing more than a few lines here only burns load-port
@@ -75,191 +126,182 @@ inline void PrefetchRow(const float* row, size_t width) {
   }
 }
 
+/// Reduces RB (acc0, acc1) register pairs to scalars, four at a time
+/// through Hsum256x4 and one at a time through Hsum256 for the remainder —
+/// each lane runs the identical addition tree either way.
+template <size_t RB>
+inline void ReduceBlock(const __m256* a0, const __m256* a1, float* t) {
+  size_t g = 0;
+  for (; g + 4 <= RB; g += 4) {
+    alignas(16) float s[4];
+    _mm_store_ps(
+        s, Hsum256x4(_mm256_add_ps(a0[g], a1[g]),
+                     _mm256_add_ps(a0[g + 1], a1[g + 1]),
+                     _mm256_add_ps(a0[g + 2], a1[g + 2]),
+                     _mm256_add_ps(a0[g + 3], a1[g + 3])));
+    t[g] = s[0];
+    t[g + 1] = s[1];
+    t[g + 2] = s[2];
+    t[g + 3] = s[3];
+  }
+  for (; g < RB; ++g) t[g] = Hsum256(_mm256_add_ps(a0[g], a1[g]));
+}
+
+/// Register-blocked batch body: RB rows' frozen accumulation chains carried
+/// concurrently, `pf` rows of the next group prefetched ahead. Per row the
+/// sequence is exactly the single-row AVX2 kernel; RB and pf never change a
+/// bit of the result.
+template <size_t RB, bool kIp>
+void BatchImpl(const float* q, const float* rows, size_t count, size_t width,
+               float* accum, size_t pf) {
+  size_t r = 0;
+  for (; r + RB <= count; r += RB) {
+    const float* rp[RB];
+    for (size_t g = 0; g < RB; ++g) rp[g] = rows + (r + g) * width;
+    if (pf != 0 && r + RB + pf <= count) {
+      for (size_t g = 0; g < pf; ++g) {
+        PrefetchRow(rows + (r + RB + g) * width, width);
+      }
+    }
+    __m256 a0[RB], a1[RB];
+    for (size_t g = 0; g < RB; ++g) {
+      a0[g] = _mm256_setzero_ps();
+      a1[g] = _mm256_setzero_ps();
+    }
+    size_t i = 0;
+    for (; i + 16 <= width; i += 16) {
+      const __m256 q0 = _mm256_loadu_ps(q + i);
+      const __m256 q1 = _mm256_loadu_ps(q + i + 8);
+      for (size_t g = 0; g < RB; ++g) {
+        if constexpr (kIp) {
+          a0[g] = FmaddOrMulAdd(q0, _mm256_loadu_ps(rp[g] + i), a0[g]);
+          a1[g] = FmaddOrMulAdd(q1, _mm256_loadu_ps(rp[g] + i + 8), a1[g]);
+        } else {
+          __m256 d = _mm256_sub_ps(q0, _mm256_loadu_ps(rp[g] + i));
+          a0[g] = FmaddOrMulAdd(d, d, a0[g]);
+          d = _mm256_sub_ps(q1, _mm256_loadu_ps(rp[g] + i + 8));
+          a1[g] = FmaddOrMulAdd(d, d, a1[g]);
+        }
+      }
+    }
+    for (; i + 8 <= width; i += 8) {
+      const __m256 q0 = _mm256_loadu_ps(q + i);
+      for (size_t g = 0; g < RB; ++g) {
+        if constexpr (kIp) {
+          a0[g] = FmaddOrMulAdd(q0, _mm256_loadu_ps(rp[g] + i), a0[g]);
+        } else {
+          const __m256 d = _mm256_sub_ps(q0, _mm256_loadu_ps(rp[g] + i));
+          a0[g] = FmaddOrMulAdd(d, d, a0[g]);
+        }
+      }
+    }
+    float t[RB];
+    ReduceBlock<RB>(a0, a1, t);
+    for (; i < width; ++i) {
+      const float qi = q[i];
+      for (size_t g = 0; g < RB; ++g) {
+        if constexpr (kIp) {
+          t[g] += qi * rp[g][i];
+        } else {
+          const float d = qi - rp[g][i];
+          t[g] += d * d;
+        }
+      }
+    }
+    for (size_t g = 0; g < RB; ++g) accum[r + g] += t[g];
+  }
+  for (; r < count; ++r) {
+    accum[r] += RowImpl<kIp>(q, rows + r * width, width);
+  }
+}
+
+template <bool kIp>
+void BatchShapedImpl(const float* q, const float* rows, size_t count,
+                     size_t width, float* accum, KernelShape shape) {
+  // Small-batch guard: below the row block there is nothing to register-
+  // block — dispatch straight to the tier's canonical per-row kernel, the
+  // exact exported function the per-row path runs, so tiny runs pay
+  // per-row cost, never blocked-kernel setup.
+  if (count < shape.row_block) {
+    for (size_t r = 0; r < count; ++r) {
+      accum[r] += kIp ? IpRow(q, rows + r * width, width)
+                      : L2Row(q, rows + r * width, width);
+    }
+    return;
+  }
+  switch (shape.row_block) {
+    case 6:
+      BatchImpl<6, kIp>(q, rows, count, width, accum, shape.prefetch);
+      break;
+    case 8:
+      BatchImpl<8, kIp>(q, rows, count, width, accum, shape.prefetch);
+      break;
+    default:
+      BatchImpl<4, kIp>(q, rows, count, width, accum, shape.prefetch);
+      break;
+  }
+}
+
 }  // namespace
 
 float L2Row(const float* a, const float* b, size_t width) {
   if (width < 16) return portable::L2Row(a, b, width);
-  return simd::L2SqDistanceAvx2(a, b, width);
+  return RowImpl<false>(a, b, width);
 }
 
 float IpRow(const float* a, const float* b, size_t width) {
   if (width < 16) return portable::IpRow(a, b, width);
-  return simd::InnerProductAvx2(a, b, width);
+  return RowImpl<true>(a, b, width);
+}
+
+void L2BatchShaped(const float* q, const float* rows, size_t count,
+                   size_t width, float* accum, KernelShape shape) {
+  if (width < 16) {
+    portable::L2BatchShaped(q, rows, count, width, accum, shape);
+    return;
+  }
+  BatchShapedImpl<false>(q, rows, count, width, accum, shape);
+}
+
+void IpBatchShaped(const float* q, const float* rows, size_t count,
+                   size_t width, float* accum, KernelShape shape) {
+  if (width < 16) {
+    portable::IpBatchShaped(q, rows, count, width, accum, shape);
+    return;
+  }
+  BatchShapedImpl<true>(q, rows, count, width, accum, shape);
 }
 
 void L2Batch(const float* q, const float* rows, size_t count, size_t width,
              float* accum) {
-  if (width < 16) {
-    portable::L2Batch(q, rows, count, width, accum);
-    return;
-  }
-  size_t r = 0;
-  for (; r + 4 <= count; r += 4) {
-    const float* r0 = rows + r * width;
-    const float* r1 = r0 + width;
-    const float* r2 = r1 + width;
-    const float* r3 = r2 + width;
-    if (r + 8 <= count) {
-      PrefetchRow(r3 + width, width);
-      PrefetchRow(r3 + 2 * width, width);
-    }
-    __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
-    __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
-    __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
-    __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
-    size_t i = 0;
-    for (; i + 16 <= width; i += 16) {
-      const __m256 q0 = _mm256_loadu_ps(q + i);
-      const __m256 q1 = _mm256_loadu_ps(q + i + 8);
-      __m256 d = _mm256_sub_ps(q0, _mm256_loadu_ps(r0 + i));
-      a00 = FmaddOrMulAdd(d, d, a00);
-      d = _mm256_sub_ps(q1, _mm256_loadu_ps(r0 + i + 8));
-      a01 = FmaddOrMulAdd(d, d, a01);
-      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r1 + i));
-      a10 = FmaddOrMulAdd(d, d, a10);
-      d = _mm256_sub_ps(q1, _mm256_loadu_ps(r1 + i + 8));
-      a11 = FmaddOrMulAdd(d, d, a11);
-      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r2 + i));
-      a20 = FmaddOrMulAdd(d, d, a20);
-      d = _mm256_sub_ps(q1, _mm256_loadu_ps(r2 + i + 8));
-      a21 = FmaddOrMulAdd(d, d, a21);
-      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r3 + i));
-      a30 = FmaddOrMulAdd(d, d, a30);
-      d = _mm256_sub_ps(q1, _mm256_loadu_ps(r3 + i + 8));
-      a31 = FmaddOrMulAdd(d, d, a31);
-    }
-    for (; i + 8 <= width; i += 8) {
-      const __m256 q0 = _mm256_loadu_ps(q + i);
-      __m256 d = _mm256_sub_ps(q0, _mm256_loadu_ps(r0 + i));
-      a00 = FmaddOrMulAdd(d, d, a00);
-      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r1 + i));
-      a10 = FmaddOrMulAdd(d, d, a10);
-      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r2 + i));
-      a20 = FmaddOrMulAdd(d, d, a20);
-      d = _mm256_sub_ps(q0, _mm256_loadu_ps(r3 + i));
-      a30 = FmaddOrMulAdd(d, d, a30);
-    }
-    alignas(16) float t[4];
-    _mm_store_ps(t, Hsum256x4(_mm256_add_ps(a00, a01), _mm256_add_ps(a10, a11),
-                              _mm256_add_ps(a20, a21),
-                              _mm256_add_ps(a30, a31)));
-    float t0 = t[0], t1 = t[1], t2 = t[2], t3 = t[3];
-    for (; i < width; ++i) {
-      const float qi = q[i];
-      float d = qi - r0[i];
-      t0 += d * d;
-      d = qi - r1[i];
-      t1 += d * d;
-      d = qi - r2[i];
-      t2 += d * d;
-      d = qi - r3[i];
-      t3 += d * d;
-    }
-    accum[r] += t0;
-    accum[r + 1] += t1;
-    accum[r + 2] += t2;
-    accum[r + 3] += t3;
-  }
-  for (; r < count; ++r) {
-    accum[r] += simd::L2SqDistanceAvx2(q, rows + r * width, width);
-  }
+  // Historical default shape: 4-row blocking, 2-row prefetch.
+  L2BatchShaped(q, rows, count, width, accum, KernelShape{4, 4, 2});
 }
 
 void IpBatch(const float* q, const float* rows, size_t count, size_t width,
              float* accum) {
-  if (width < 16) {
-    portable::IpBatch(q, rows, count, width, accum);
-    return;
-  }
   // IP has no subtract temporary, so 6 rows x 2 accumulators plus the two
   // query registers still fit the 16 ymm registers; the wider group
   // amortizes each query load over 6 FMAs instead of 4 (the kernel is
   // load-port-bound, so fewer loads per row is the win).
-  size_t r = 0;
-  for (; r + 6 <= count; r += 6) {
-    const float* r0 = rows + r * width;
-    const float* r1 = r0 + width;
-    const float* r2 = r1 + width;
-    const float* r3 = r2 + width;
-    const float* r4 = r3 + width;
-    const float* r5 = r4 + width;
-    if (r + 12 <= count) {
-      PrefetchRow(r5 + width, width);
-      PrefetchRow(r5 + 2 * width, width);
-    }
-    __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
-    __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
-    __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
-    __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
-    __m256 a40 = _mm256_setzero_ps(), a41 = _mm256_setzero_ps();
-    __m256 a50 = _mm256_setzero_ps(), a51 = _mm256_setzero_ps();
-    size_t i = 0;
-    for (; i + 16 <= width; i += 16) {
-      const __m256 q0 = _mm256_loadu_ps(q + i);
-      const __m256 q1 = _mm256_loadu_ps(q + i + 8);
-      a00 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r0 + i), a00);
-      a01 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r0 + i + 8), a01);
-      a10 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r1 + i), a10);
-      a11 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r1 + i + 8), a11);
-      a20 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r2 + i), a20);
-      a21 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r2 + i + 8), a21);
-      a30 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r3 + i), a30);
-      a31 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r3 + i + 8), a31);
-      a40 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r4 + i), a40);
-      a41 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r4 + i + 8), a41);
-      a50 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r5 + i), a50);
-      a51 = FmaddOrMulAdd(q1, _mm256_loadu_ps(r5 + i + 8), a51);
-    }
-    for (; i + 8 <= width; i += 8) {
-      const __m256 q0 = _mm256_loadu_ps(q + i);
-      a00 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r0 + i), a00);
-      a10 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r1 + i), a10);
-      a20 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r2 + i), a20);
-      a30 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r3 + i), a30);
-      a40 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r4 + i), a40);
-      a50 = FmaddOrMulAdd(q0, _mm256_loadu_ps(r5 + i), a50);
-    }
-    alignas(16) float t[4];
-    _mm_store_ps(t, Hsum256x4(_mm256_add_ps(a00, a01), _mm256_add_ps(a10, a11),
-                              _mm256_add_ps(a20, a21),
-                              _mm256_add_ps(a30, a31)));
-    float t0 = t[0], t1 = t[1], t2 = t[2], t3 = t[3];
-    float t4 = Hsum256(_mm256_add_ps(a40, a41));
-    float t5 = Hsum256(_mm256_add_ps(a50, a51));
-    for (; i < width; ++i) {
-      const float qi = q[i];
-      t0 += qi * r0[i];
-      t1 += qi * r1[i];
-      t2 += qi * r2[i];
-      t3 += qi * r3[i];
-      t4 += qi * r4[i];
-      t5 += qi * r5[i];
-    }
-    accum[r] += t0;
-    accum[r + 1] += t1;
-    accum[r + 2] += t2;
-    accum[r + 3] += t3;
-    accum[r + 4] += t4;
-    accum[r + 5] += t5;
-  }
-  for (; r < count; ++r) {
-    accum[r] += simd::InnerProductAvx2(q, rows + r * width, width);
-  }
+  IpBatchShaped(q, rows, count, width, accum, KernelShape{6, 4, 2});
 }
 
 namespace {
 
-/// Query-tiled L2 over one row at a time: the row chunks v0/v1 are loaded
+/// Query-tiled scan over one row at a time: the row chunks v0/v1 are loaded
 /// once and scored against NQ queries (two accumulators each — NQ <= 4
-/// keeps 2*NQ + 2 + 1 ymm registers live). Per (query, row) the chunking,
-/// accumulator split, reduction, and scalar tail are exactly the single-row
-/// scheme, so the tile is bit-identical to NQ independent L2Batch calls.
-template <size_t NQ>
-void L2GroupTile(const float* const* qs, const float* rows, size_t count,
-                 size_t width, float* const* accums) {
-  static_assert(NQ >= 2 && NQ <= kMaxQueryGroup);
+/// keeps 2*NQ + 2 + 1 ymm registers live; wider tiles spill and exist only
+/// for the autotuner to measure and reject on this tier). Per (query, row)
+/// the chunking, accumulator split, reduction, and scalar tail are exactly
+/// the single-row scheme, so the tile is bit-identical to NQ independent
+/// batch calls.
+template <size_t NQ, bool kIp>
+void GroupTile(const float* const* qs, const float* rows, size_t count,
+               size_t width, float* const* accums, size_t pf) {
+  static_assert(NQ >= 2 && NQ <= kMaxQueryTile);
   for (size_t r = 0; r < count; ++r) {
-    if (r + 2 < count) PrefetchRow(rows + (r + 2) * width, width);
+    if (pf != 0 && r + pf < count) PrefetchRow(rows + (r + pf) * width, width);
     const float* row = rows + r * width;
     __m256 a0[NQ], a1[NQ];
     for (size_t g = 0; g < NQ; ++g) {
@@ -271,153 +313,137 @@ void L2GroupTile(const float* const* qs, const float* rows, size_t count,
       const __m256 v0 = _mm256_loadu_ps(row + i);
       const __m256 v1 = _mm256_loadu_ps(row + i + 8);
       for (size_t g = 0; g < NQ; ++g) {
-        __m256 d = _mm256_sub_ps(_mm256_loadu_ps(qs[g] + i), v0);
-        a0[g] = FmaddOrMulAdd(d, d, a0[g]);
-        d = _mm256_sub_ps(_mm256_loadu_ps(qs[g] + i + 8), v1);
-        a1[g] = FmaddOrMulAdd(d, d, a1[g]);
+        if constexpr (kIp) {
+          a0[g] = FmaddOrMulAdd(_mm256_loadu_ps(qs[g] + i), v0, a0[g]);
+          a1[g] = FmaddOrMulAdd(_mm256_loadu_ps(qs[g] + i + 8), v1, a1[g]);
+        } else {
+          __m256 d = _mm256_sub_ps(_mm256_loadu_ps(qs[g] + i), v0);
+          a0[g] = FmaddOrMulAdd(d, d, a0[g]);
+          d = _mm256_sub_ps(_mm256_loadu_ps(qs[g] + i + 8), v1);
+          a1[g] = FmaddOrMulAdd(d, d, a1[g]);
+        }
       }
     }
     for (; i + 8 <= width; i += 8) {
       const __m256 v0 = _mm256_loadu_ps(row + i);
       for (size_t g = 0; g < NQ; ++g) {
-        const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(qs[g] + i), v0);
-        a0[g] = FmaddOrMulAdd(d, d, a0[g]);
+        if constexpr (kIp) {
+          a0[g] = FmaddOrMulAdd(_mm256_loadu_ps(qs[g] + i), v0, a0[g]);
+        } else {
+          const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(qs[g] + i), v0);
+          a0[g] = FmaddOrMulAdd(d, d, a0[g]);
+        }
       }
     }
     float t[NQ];
-    if constexpr (NQ == 4) {
-      alignas(16) float s[4];
-      _mm_store_ps(s,
-                   Hsum256x4(_mm256_add_ps(a0[0], a1[0]),
-                             _mm256_add_ps(a0[1], a1[1]),
-                             _mm256_add_ps(a0[2], a1[2]),
-                             _mm256_add_ps(a0[3], a1[3])));
-      for (size_t g = 0; g < NQ; ++g) t[g] = s[g];
-    } else {
-      for (size_t g = 0; g < NQ; ++g) {
-        t[g] = Hsum256(_mm256_add_ps(a0[g], a1[g]));
-      }
-    }
+    ReduceBlock<NQ>(a0, a1, t);
     for (; i < width; ++i) {
       const float ri = row[i];
       for (size_t g = 0; g < NQ; ++g) {
-        const float d = qs[g][i] - ri;
-        t[g] += d * d;
+        if constexpr (kIp) {
+          t[g] += qs[g][i] * ri;
+        } else {
+          const float d = qs[g][i] - ri;
+          t[g] += d * d;
+        }
       }
     }
     for (size_t g = 0; g < NQ; ++g) accums[g][r] += t[g];
   }
 }
 
-template <size_t NQ>
-void IpGroupTile(const float* const* qs, const float* rows, size_t count,
-                 size_t width, float* const* accums) {
-  static_assert(NQ >= 2 && NQ <= kMaxQueryGroup);
-  for (size_t r = 0; r < count; ++r) {
-    if (r + 2 < count) PrefetchRow(rows + (r + 2) * width, width);
-    const float* row = rows + r * width;
-    __m256 a0[NQ], a1[NQ];
-    for (size_t g = 0; g < NQ; ++g) {
-      a0[g] = _mm256_setzero_ps();
-      a1[g] = _mm256_setzero_ps();
-    }
-    size_t i = 0;
-    for (; i + 16 <= width; i += 16) {
-      const __m256 v0 = _mm256_loadu_ps(row + i);
-      const __m256 v1 = _mm256_loadu_ps(row + i + 8);
-      for (size_t g = 0; g < NQ; ++g) {
-        a0[g] = FmaddOrMulAdd(_mm256_loadu_ps(qs[g] + i), v0, a0[g]);
-        a1[g] = FmaddOrMulAdd(_mm256_loadu_ps(qs[g] + i + 8), v1, a1[g]);
-      }
-    }
-    for (; i + 8 <= width; i += 8) {
-      const __m256 v0 = _mm256_loadu_ps(row + i);
-      for (size_t g = 0; g < NQ; ++g) {
-        a0[g] = FmaddOrMulAdd(_mm256_loadu_ps(qs[g] + i), v0, a0[g]);
-      }
-    }
-    float t[NQ];
-    if constexpr (NQ == 4) {
-      alignas(16) float s[4];
-      _mm_store_ps(s,
-                   Hsum256x4(_mm256_add_ps(a0[0], a1[0]),
-                             _mm256_add_ps(a0[1], a1[1]),
-                             _mm256_add_ps(a0[2], a1[2]),
-                             _mm256_add_ps(a0[3], a1[3])));
-      for (size_t g = 0; g < NQ; ++g) t[g] = s[g];
-    } else {
-      for (size_t g = 0; g < NQ; ++g) {
-        t[g] = Hsum256(_mm256_add_ps(a0[g], a1[g]));
-      }
-    }
-    for (; i < width; ++i) {
-      const float ri = row[i];
-      for (size_t g = 0; g < NQ; ++g) t[g] += qs[g][i] * ri;
-    }
-    for (size_t g = 0; g < NQ; ++g) accums[g][r] += t[g];
+/// Runtime tile-width dispatch: n == 1 degenerates to a batch call (same
+/// bits), 2..8 pick the matching GroupTile instantiation.
+template <bool kIp>
+void GroupTileRun(const float* const* qs, size_t n, const float* rows,
+                  size_t count, size_t width, float* const* accums,
+                  KernelShape shape) {
+  const size_t pf = shape.prefetch;
+  switch (n) {
+    case 1:
+      BatchShapedImpl<kIp>(qs[0], rows, count, width, accums[0], shape);
+      break;
+    case 2:
+      GroupTile<2, kIp>(qs, rows, count, width, accums, pf);
+      break;
+    case 3:
+      GroupTile<3, kIp>(qs, rows, count, width, accums, pf);
+      break;
+    case 4:
+      GroupTile<4, kIp>(qs, rows, count, width, accums, pf);
+      break;
+    case 5:
+      GroupTile<5, kIp>(qs, rows, count, width, accums, pf);
+      break;
+    case 6:
+      GroupTile<6, kIp>(qs, rows, count, width, accums, pf);
+      break;
+    case 7:
+      GroupTile<7, kIp>(qs, rows, count, width, accums, pf);
+      break;
+    default:
+      GroupTile<8, kIp>(qs, rows, count, width, accums, pf);
+      break;
+  }
+}
+
+template <bool kIp>
+void GroupShapedImpl(const float* const* qs, size_t nq, const float* rows,
+                     size_t count, size_t width, float* const* accums,
+                     KernelShape shape) {
+  const size_t qt =
+      std::clamp<size_t>(shape.query_tile, 2, kMaxQueryTile);
+  size_t g = 0;
+  for (; g + qt <= nq; g += qt) {
+    GroupTileRun<kIp>(qs + g, qt, rows, count, width, accums + g, shape);
+  }
+  if (g < nq) {
+    GroupTileRun<kIp>(qs + g, nq - g, rows, count, width, accums + g, shape);
   }
 }
 
 }  // namespace
 
-void L2Group(const float* const* qs, size_t nq, const float* rows,
-             size_t count, size_t width, float* const* accums) {
+void L2GroupShaped(const float* const* qs, size_t nq, const float* rows,
+                   size_t count, size_t width, float* const* accums,
+                   KernelShape shape) {
   if (width < 16) {
-    portable::L2Group(qs, nq, rows, count, width, accums);
+    portable::L2GroupShaped(qs, nq, rows, count, width, accums, shape);
     return;
   }
-  size_t g = 0;
-  for (; g + kMaxQueryGroup <= nq; g += kMaxQueryGroup) {
-    L2GroupTile<4>(qs + g, rows, count, width, accums + g);
+  GroupShapedImpl<false>(qs, nq, rows, count, width, accums, shape);
+}
+
+void IpGroupShaped(const float* const* qs, size_t nq, const float* rows,
+                   size_t count, size_t width, float* const* accums,
+                   KernelShape shape) {
+  if (width < 16) {
+    portable::IpGroupShaped(qs, nq, rows, count, width, accums, shape);
+    return;
   }
-  switch (nq - g) {
-    case 1:
-      L2Batch(qs[g], rows, count, width, accums[g]);
-      break;
-    case 2:
-      L2GroupTile<2>(qs + g, rows, count, width, accums + g);
-      break;
-    case 3:
-      L2GroupTile<3>(qs + g, rows, count, width, accums + g);
-      break;
-    default:
-      break;
-  }
+  GroupShapedImpl<true>(qs, nq, rows, count, width, accums, shape);
+}
+
+void L2Group(const float* const* qs, size_t nq, const float* rows,
+             size_t count, size_t width, float* const* accums) {
+  L2GroupShaped(qs, nq, rows, count, width, accums, KernelShape{4, 4, 2});
 }
 
 void IpGroup(const float* const* qs, size_t nq, const float* rows,
              size_t count, size_t width, float* const* accums) {
-  if (width < 16) {
-    portable::IpGroup(qs, nq, rows, count, width, accums);
-    return;
-  }
-  size_t g = 0;
-  for (; g + kMaxQueryGroup <= nq; g += kMaxQueryGroup) {
-    IpGroupTile<4>(qs + g, rows, count, width, accums + g);
-  }
-  switch (nq - g) {
-    case 1:
-      IpBatch(qs[g], rows, count, width, accums[g]);
-      break;
-    case 2:
-      IpGroupTile<2>(qs + g, rows, count, width, accums + g);
-      break;
-    case 3:
-      IpGroupTile<3>(qs + g, rows, count, width, accums + g);
-      break;
-    default:
-      break;
-  }
+  IpGroupShaped(qs, nq, rows, count, width, accums, KernelShape{6, 4, 2});
 }
 
-uint32_t PruneMaskL2(const float* partial, size_t count, float tau) {
-  uint32_t mask = 0;
+uint64_t PruneMaskL2(const float* partial, size_t count, float tau) {
+  uint64_t mask = 0;
   const __m256 vtau = _mm256_set1_ps(tau);
   size_t i = 0;
   for (; i + 8 <= count; i += 8) {
     const __m256 p = _mm256_loadu_ps(partial + i);
     const __m256 gt = _mm256_cmp_ps(p, vtau, _CMP_GT_OQ);
-    mask |= static_cast<uint32_t>(_mm256_movemask_ps(gt)) << i;
+    mask |= static_cast<uint64_t>(
+                static_cast<uint32_t>(_mm256_movemask_ps(gt)))
+            << i;
   }
   if (i < count) {
     mask |= portable::PruneMaskL2(partial + i, count - i, tau) << i;
@@ -425,9 +451,9 @@ uint32_t PruneMaskL2(const float* partial, size_t count, float tau) {
   return mask;
 }
 
-uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
+uint64_t PruneMaskIp(const float* partial, const float* rem_p_sq,
                      size_t count, float rem_q_sq, float tau) {
-  uint32_t mask = 0;
+  uint64_t mask = 0;
   const __m256 vtau = _mm256_set1_ps(tau);
   const __m256 zero = _mm256_setzero_ps();
   // Hoisting max(0, rem_q_sq) feeds the multiply the same operand the
@@ -442,7 +468,9 @@ uint32_t PruneMaskIp(const float* partial, const float* rem_p_sq,
     const __m256 lower =
         _mm256_xor_ps(_mm256_add_ps(_mm256_loadu_ps(partial + i), rest), sign);
     const __m256 gt = _mm256_cmp_ps(lower, vtau, _CMP_GT_OQ);
-    mask |= static_cast<uint32_t>(_mm256_movemask_ps(gt)) << i;
+    mask |= static_cast<uint64_t>(
+                static_cast<uint32_t>(_mm256_movemask_ps(gt)))
+            << i;
   }
   if (i < count) {
     mask |= portable::PruneMaskIp(partial + i, rem_p_sq + i, count - i,

@@ -231,6 +231,89 @@ TEST(ExecParityTest, OptionMatrixSweep) {
   }
 }
 
+// Kernel dispatch tiers and the plan-recorded tune table
+// (docs/kernels.md): for every tier this machine can run, pinning the tier
+// keeps the two engines bit-identical, and pinning a *custom* tune profile
+// (different tile shapes) replays the exact same result bits — the
+// recorded shape moves throughput, never results. AVX2 and AVX-512 are
+// additionally one bitwise family, so their results must match each other.
+TEST(ExecParityTest, KernelTierAndTunePinSweep) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  const size_t machines = 4;
+  const RunSetup setup = MakeSetup(world, machines, 2, 2, 4, 4);
+
+  const auto run_pair = [&](KernelTier tier, const KernelTuneTable* tune) {
+    ExecOptions opts;  // engine defaults: pipeline + pruning + grouping on
+    opts.k = 10;
+    opts.nprobe = 4;
+    opts.kernel_tier = tier;
+    opts.kernel_tune = tune;
+    SimCluster cluster(machines);
+    auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                                setup.prewarm, setup.routing,
+                                world.workload.queries.View(), opts, &cluster);
+    auto thr = ExecuteThreaded(world.index, setup.plan, setup.stores,
+                               setup.prewarm, setup.routing,
+                               world.workload.queries.View(), opts);
+    EXPECT_TRUE(sim.ok()) << sim.status();
+    EXPECT_TRUE(thr.ok()) << thr.status();
+    ExpectBitIdenticalResults(sim.value().results, thr.value().results);
+    return sim.value().results;
+  };
+
+  std::vector<std::vector<Neighbor>> avx2_results, avx512_results;
+  for (const KernelTier tier :
+       {KernelTier::kPortable, KernelTier::kAvx2, KernelTier::kAvx512}) {
+    if (!KernelTierAvailable(tier)) continue;
+    SCOPED_TRACE(KernelTierName(tier));
+    const auto base = run_pair(tier, nullptr);
+    // A deliberately different pinned profile: max row blocks, widest query
+    // tiles, farthest prefetch. Same bits, by the shape-transparency
+    // contract.
+    KernelTuneTable custom = DefaultKernelTune(tier);
+    for (size_t m = 0; m < 2; ++m) {
+      for (size_t b = 0; b < KernelTuneTable::kNumBuckets; ++b) {
+        custom.shapes[m][b] = KernelShape{8, 8, 8};
+      }
+    }
+    const auto shaped = run_pair(tier, &custom);
+    ExpectBitIdenticalResults(base, shaped);
+    // And the narrow extreme: per-row-sized blocks, minimal tiles, no
+    // prefetch.
+    for (size_t m = 0; m < 2; ++m) {
+      for (size_t b = 0; b < KernelTuneTable::kNumBuckets; ++b) {
+        custom.shapes[m][b] = KernelShape{4, 2, 0};
+      }
+    }
+    const auto narrow = run_pair(tier, &custom);
+    ExpectBitIdenticalResults(base, narrow);
+    if (tier == KernelTier::kAvx2) avx2_results = base;
+    if (tier == KernelTier::kAvx512) avx512_results = base;
+  }
+  if (!avx2_results.empty() && !avx512_results.empty()) {
+    ExpectBitIdenticalResults(avx2_results, avx512_results);
+  }
+}
+
+// A pinned tune table naming an unresolved or unavailable tier is rejected
+// up front, not silently re-resolved.
+TEST(ExecParityTest, BadKernelTunePinIsRejected) {
+  const SmallWorld world = MakeSmallWorld(500, 32, 8, 4, 10);
+  const size_t machines = 4;
+  const RunSetup setup = MakeSetup(world, machines, 2, 2, 4, 1);
+  ExecOptions opts;
+  opts.k = 10;
+  opts.nprobe = 4;
+  KernelTuneTable bad = DefaultKernelTune(KernelTier::kPortable);
+  bad.tier = KernelTier::kAuto;
+  opts.kernel_tune = &bad;
+  SimCluster cluster(machines);
+  auto sim = ExecuteSimulated(world.index, setup.plan, setup.stores,
+                              setup.prewarm, setup.routing,
+                              world.workload.queries.View(), opts, &cluster);
+  EXPECT_FALSE(sim.ok());
+}
+
 // Replicated plans: the same cross-engine agreement must hold with R > 1
 // replicas per grid block, with and without hedging and failover, under
 // every fault mode. Hedging cases make node 0 a straggler so the threshold

@@ -56,7 +56,8 @@ TEST(ScanKernelTest, TableIsResolvedOnceAndNamed) {
   const ScanKernelTable& a = ScanKernels();
   const ScanKernelTable& b = ScanKernels();
   EXPECT_EQ(&a, &b);
-  EXPECT_TRUE(std::strcmp(a.name, "avx2") == 0 ||
+  EXPECT_TRUE(std::strcmp(a.name, "avx512") == 0 ||
+              std::strcmp(a.name, "avx2") == 0 ||
               std::strcmp(a.name, "portable") == 0)
       << a.name;
 }
@@ -180,11 +181,11 @@ TEST(ScanKernelTest, PruneMasksMatchScalarCanPrune) {
       }
       const float rem_q = static_cast<float>(rng.NextGaussian());
 
-      const uint32_t l2 = kt.prune_mask_l2(partial.data(), count, tau);
-      const uint32_t l2p = portable::PruneMaskL2(partial.data(), count, tau);
-      const uint32_t ip = kt.prune_mask_ip(partial.data(), rem_p.data(),
+      const uint64_t l2 = kt.prune_mask_l2(partial.data(), count, tau);
+      const uint64_t l2p = portable::PruneMaskL2(partial.data(), count, tau);
+      const uint64_t ip = kt.prune_mask_ip(partial.data(), rem_p.data(),
                                            count, rem_q, tau);
-      const uint32_t ipp = portable::PruneMaskIp(partial.data(), rem_p.data(),
+      const uint64_t ipp = portable::PruneMaskIp(partial.data(), rem_p.data(),
                                                  count, rem_q, tau);
       EXPECT_EQ(l2, l2p);
       EXPECT_EQ(ip, ipp);
@@ -196,9 +197,9 @@ TEST(ScanKernelTest, PruneMasksMatchScalarCanPrune) {
         EXPECT_EQ((ip >> i) & 1u, want_ip ? 1u : 0u) << "i=" << i;
       }
       // Bits at and above `count` must be clear.
-      if (count < 32) {
-        EXPECT_EQ(l2 >> count, 0u);
-        EXPECT_EQ(ip >> count, 0u);
+      if (count < 64) {
+        EXPECT_EQ(l2 >> count, uint64_t{0});
+        EXPECT_EQ(ip >> count, uint64_t{0});
       }
     }
   }
@@ -266,6 +267,228 @@ TEST(ScanKernelTest, PortableGroupMatchesPortableBatches) {
   CheckGroupMatchesBatches(/*ip=*/false, /*use_portable=*/true);
   CheckGroupMatchesBatches(/*ip=*/true, /*use_portable=*/true);
 }
+
+// --- Shaped kernels: every tuner-reachable shape is bit-transparent. -----
+
+// The autotuner's whole license to pick shapes freely (kernel_tune.h) is
+// that row_block / query_tile / prefetch only reorder *which* frozen
+// per-row chains run concurrently, never the chains themselves. Verify:
+// for every shape in the candidate grid, the shaped entries reproduce the
+// unshaped row/batch results bit-for-bit on the resolved table.
+TEST(ScanKernelTest, ShapedBatchBitIdenticalForAllShapes) {
+  const ScanKernelTable& kt = ScanKernels();
+  const size_t counts[] = {1, 3, 4, 5, 7, 8, 9, 17, 64};
+  for (const size_t w : {size_t{8}, size_t{16}, size_t{24}, size_t{100}}) {
+    const auto q = RandomVec(w, 61 * w);
+    for (const size_t n : counts) {
+      const auto rows = RandomVec(n * w, 67 * w + n);
+      std::vector<float> expect(n, 0.0f), expect_ip(n, 0.0f);
+      for (size_t i = 0; i < n; ++i) {
+        expect[i] = kt.l2_row(q.data(), rows.data() + i * w, w);
+        expect_ip[i] = kt.ip_row(q.data(), rows.data() + i * w, w);
+      }
+      for (const uint8_t rb : {uint8_t{4}, uint8_t{6}, uint8_t{8}}) {
+        for (const uint8_t pf : {uint8_t{0}, uint8_t{4}, uint8_t{8}}) {
+          const KernelShape shape{rb, 4, pf};
+          std::vector<float> accum(n, 0.0f);
+          kt.l2_batch_shaped(q.data(), rows.data(), n, w, accum.data(), shape);
+          ASSERT_EQ(
+              std::memcmp(accum.data(), expect.data(), n * sizeof(float)), 0)
+              << "l2 w=" << w << " n=" << n << " rb=" << int(rb)
+              << " pf=" << int(pf);
+          std::fill(accum.begin(), accum.end(), 0.0f);
+          kt.ip_batch_shaped(q.data(), rows.data(), n, w, accum.data(), shape);
+          ASSERT_EQ(
+              std::memcmp(accum.data(), expect_ip.data(), n * sizeof(float)),
+              0)
+              << "ip w=" << w << " n=" << n << " rb=" << int(rb)
+              << " pf=" << int(pf);
+        }
+      }
+    }
+  }
+}
+
+TEST(ScanKernelTest, ShapedGroupBitIdenticalForAllShapes) {
+  const ScanKernelTable& kt = ScanKernels();
+  const size_t count = 21;
+  for (const size_t w : {size_t{8}, size_t{24}, size_t{100}}) {
+    for (size_t nq = 1; nq <= kMaxQueryTile + 1; ++nq) {
+      std::vector<std::vector<float>> qs;
+      std::vector<const float*> q_ptrs;
+      for (size_t g = 0; g < nq; ++g) {
+        qs.push_back(RandomVec(w, 300 * w + g));
+        q_ptrs.push_back(qs.back().data());
+      }
+      const auto rows = RandomVec(count * w, 500 * w);
+      std::vector<std::vector<float>> expect(nq,
+                                             std::vector<float>(count, 0.0f));
+      for (size_t g = 0; g < nq; ++g) {
+        for (size_t i = 0; i < count; ++i) {
+          expect[g][i] = kt.l2_row(q_ptrs[g], rows.data() + i * w, w);
+        }
+      }
+      for (const uint8_t qt : {uint8_t{2}, uint8_t{4}, uint8_t{8}}) {
+        for (const uint8_t pf : {uint8_t{0}, uint8_t{4}}) {
+          std::vector<std::vector<float>> got(
+              nq, std::vector<float>(count, 0.0f));
+          std::vector<float*> accums;
+          for (size_t g = 0; g < nq; ++g) accums.push_back(got[g].data());
+          kt.l2_group_shaped(q_ptrs.data(), nq, rows.data(), count, w,
+                             accums.data(), KernelShape{4, qt, pf});
+          for (size_t g = 0; g < nq; ++g) {
+            ASSERT_EQ(std::memcmp(got[g].data(), expect[g].data(),
+                                  count * sizeof(float)),
+                      0)
+                << "w=" << w << " nq=" << nq << " qt=" << int(qt)
+                << " pf=" << int(pf) << " q=" << g;
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- AVX-512 tier: runtime-gated bitwise parity with the AVX2 family. ----
+
+// The AVX-512 kernels are constructed as "one zmm = two AVX2 ymm lanes"
+// (scan_kernel_avx512.cc) precisely so the tier swap never changes a bit:
+// auto-dispatch may resolve to either tier on different hosts and all
+// goldens/replay fingerprints must agree. Skips cleanly when the host (or
+// build) lacks AVX-512.
+#if defined(HARMONY_HAVE_AVX512_TU) && defined(HARMONY_HAVE_AVX2_TU)
+#define HARMONY_AVX512_PARITY_TESTS 1
+#endif
+
+class Avx512ParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!KernelTierAvailable(KernelTier::kAvx512) ||
+        !KernelTierAvailable(KernelTier::kAvx2)) {
+      GTEST_SKIP() << "AVX-512 (or AVX2) unavailable on this host/build";
+    }
+  }
+};
+
+#if defined(HARMONY_AVX512_PARITY_TESTS)
+
+TEST_F(Avx512ParityTest, RowKernelsMatchAvx2Bitwise) {
+  for (const size_t w : Widths()) {
+    const auto a = RandomVec(w, 21 * w + 1);
+    const auto b = RandomVec(w, 23 * w + 2);
+    EXPECT_BITEQ(avx512::L2Row(a.data(), b.data(), w),
+                 avx2::L2Row(a.data(), b.data(), w))
+        << "width " << w;
+    EXPECT_BITEQ(avx512::IpRow(a.data(), b.data(), w),
+                 avx2::IpRow(a.data(), b.data(), w))
+        << "width " << w;
+  }
+}
+
+TEST_F(Avx512ParityTest, BatchKernelsMatchAvx2Bitwise) {
+  const size_t counts[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 64};
+  for (const size_t w : Widths()) {
+    if (w > 256 && w != 1024) continue;
+    const auto q = RandomVec(w, 31 * w);
+    for (const size_t n : counts) {
+      const auto rows = RandomVec(n * w, 37 * w + n);
+      auto a5 = RandomVec(n, 41 * w + n);
+      std::vector<float> a2(a5);
+      avx512::L2Batch(q.data(), rows.data(), n, w, a5.data());
+      avx2::L2Batch(q.data(), rows.data(), n, w, a2.data());
+      ASSERT_EQ(std::memcmp(a5.data(), a2.data(), n * sizeof(float)), 0)
+          << "l2 width " << w << " count " << n;
+      avx512::IpBatch(q.data(), rows.data(), n, w, a5.data());
+      avx2::IpBatch(q.data(), rows.data(), n, w, a2.data());
+      ASSERT_EQ(std::memcmp(a5.data(), a2.data(), n * sizeof(float)), 0)
+          << "ip width " << w << " count " << n;
+      // Shaped entries across the tuner grid agree too.
+      for (const uint8_t rb : {uint8_t{4}, uint8_t{6}, uint8_t{8}}) {
+        const KernelShape shape{rb, 4, 2};
+        avx512::L2BatchShaped(q.data(), rows.data(), n, w, a5.data(), shape);
+        avx2::L2BatchShaped(q.data(), rows.data(), n, w, a2.data(), shape);
+        ASSERT_EQ(std::memcmp(a5.data(), a2.data(), n * sizeof(float)), 0)
+            << "shaped l2 width " << w << " count " << n << " rb=" << int(rb);
+      }
+    }
+  }
+}
+
+TEST_F(Avx512ParityTest, GroupKernelsMatchAvx2Bitwise) {
+  const size_t counts[] = {1, 4, 17, 33};
+  for (const size_t w : {size_t{16}, size_t{24}, size_t{48}, size_t{100}}) {
+    for (size_t nq = 1; nq <= kMaxQueryTile; ++nq) {
+      for (const size_t count : counts) {
+        std::vector<std::vector<float>> qs;
+        std::vector<const float*> q_ptrs;
+        for (size_t g = 0; g < nq; ++g) {
+          qs.push_back(RandomVec(w, 900 * w + g));
+          q_ptrs.push_back(qs.back().data());
+        }
+        const auto rows = RandomVec(count * w, 1100 * w + count);
+        std::vector<std::vector<float>> g5(nq,
+                                           std::vector<float>(count, 0.5f));
+        std::vector<std::vector<float>> g2(g5);
+        std::vector<float*> p5, p2;
+        for (size_t g = 0; g < nq; ++g) {
+          p5.push_back(g5[g].data());
+          p2.push_back(g2[g].data());
+        }
+        avx512::IpGroup(q_ptrs.data(), nq, rows.data(), count, w, p5.data());
+        avx2::IpGroup(q_ptrs.data(), nq, rows.data(), count, w, p2.data());
+        for (size_t g = 0; g < nq; ++g) {
+          ASSERT_EQ(std::memcmp(g5[g].data(), g2[g].data(),
+                                count * sizeof(float)),
+                    0)
+              << "width " << w << " nq " << nq << " count " << count;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(Avx512ParityTest, PruneMasksMatchPortable) {
+  Rng rng(99);
+  for (size_t count = 1; count <= kPruneMaskWidth; ++count) {
+    const float tau = static_cast<float>(rng.NextGaussian());
+    std::vector<float> partial(count), rem_p(count);
+    for (size_t i = 0; i < count; ++i) {
+      partial[i] = (i % 3 == 0) ? tau
+                                : tau + static_cast<float>(rng.NextGaussian());
+      rem_p[i] = static_cast<float>(rng.NextGaussian());
+    }
+    const float rem_q = std::abs(static_cast<float>(rng.NextGaussian()));
+    EXPECT_EQ(avx512::PruneMaskL2(partial.data(), count, tau),
+              portable::PruneMaskL2(partial.data(), count, tau))
+        << "count " << count;
+    EXPECT_EQ(
+        avx512::PruneMaskIp(partial.data(), rem_p.data(), count, rem_q, tau),
+        portable::PruneMaskIp(partial.data(), rem_p.data(), count, rem_q, tau))
+        << "count " << count;
+  }
+}
+
+TEST_F(Avx512ParityTest, AdcBatchMatchesPortable) {
+  Rng rng(123);
+  for (const size_t m : {size_t{4}, size_t{8}, size_t{16}}) {
+    const size_t ksub = 256;
+    std::vector<float> luts(m * ksub);
+    for (float& x : luts) x = static_cast<float>(rng.NextGaussian());
+    for (const size_t n : {size_t{1}, size_t{7}, size_t{16}, size_t{33}}) {
+      std::vector<uint8_t> codes(n * m);
+      for (uint8_t& c : codes) {
+        c = static_cast<uint8_t>(rng.NextBounded(256));
+      }
+      std::vector<float> got(n), want(n);
+      avx512::AdcBatch(luts.data(), ksub, codes.data(), m, n, got.data());
+      portable::AdcBatch(luts.data(), ksub, codes.data(), m, n, want.data());
+      ASSERT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+          << "m " << m << " n " << n;
+    }
+  }
+}
+
+#endif  // HARMONY_AVX512_PARITY_TESTS
 
 // --- ScanBlock: batched two-pass vs the historical reference loop. -------
 

@@ -64,6 +64,8 @@ struct CliArgs {
   size_t pq_subspaces = 0;
   size_t pq_bits = 8;
   size_t rerank_depth = 0;
+  // Kernel dispatch tier (docs/kernels.md); auto = best the CPU supports.
+  std::string kernel_tier = "auto";
   // Continuous-serving frontend (docs/serving.md).
   bool serve = false;
   double serve_qps = 0.0;     // 0 = 1x estimated capacity
@@ -117,6 +119,9 @@ void Usage() {
       "                        scans run on codes, exact float rerank at the\n"
       "                        rank barrier (docs/quantization.md)\n"
       "  --pq-bits B           PQ codeword bits, 1..8 (default 8)\n"
+      "  --kernel-tier T       scan-kernel dispatch tier: auto | portable |\n"
+      "                        avx2 | avx512 (auto picks the widest the CPU\n"
+      "                        supports; results are identical across tiers)\n"
       "  --rerank-depth N      cap the exact rerank at the N best ADC\n"
       "                        candidates per chain (0 = rerank all)\n"
       "  --serve               run the continuous-serving frontend (SLO\n"
@@ -209,6 +214,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->pq_bits = std::strtoul(v, nullptr, 10);
     } else if (flag == "--rerank-depth") {
       args->rerank_depth = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--kernel-tier") {
+      args->kernel_tier = v;
     } else if (flag == "--serve-qps") {
       args->serve_qps = std::strtod(v, nullptr);
     } else if (flag == "--serve-queries") {
@@ -357,6 +364,22 @@ int Run(const CliArgs& args) {
   options.pq_subspaces = args.pq_subspaces;
   options.pq_bits = args.pq_bits;
   options.rerank_depth = args.rerank_depth;
+  KernelTier tier;
+  if (!ParseKernelTier(args.kernel_tier, &tier)) {
+    std::fprintf(stderr, "unknown kernel tier: %s\n", args.kernel_tier.c_str());
+    return 1;
+  }
+  if (tier != KernelTier::kAuto && !KernelTierAvailable(tier)) {
+    std::fprintf(stderr, "kernel tier %s is not available on this CPU\n",
+                 KernelTierName(tier));
+    return 1;
+  }
+  options.kernel_tier = tier;
+  // The resolved tier + tuned tile shapes every scan stage will run with —
+  // measured once here (process-wide cache), then recorded per batch.
+  const KernelTuneTable& tune = ResolveKernelTune(tier);
+  std::printf("kernels: tier=%s tuned=%s\n", KernelTierName(tune.tier),
+              tune.ToString().c_str());
   if (options.use_pq_streams) {
     std::printf("pq streams: M=%zu bits=%zu rerank_depth=%zu\n",
                 options.pq_subspaces, options.pq_bits, options.rerank_depth);
