@@ -18,6 +18,7 @@ void IndexMemory(benchmark::State& state, const std::string& dataset) {
   const BenchWorld& world = GetWorld(dataset);
   uint64_t faiss = 0, vec = 0, dim = 0, har = 0;
   MemoryStats pq;
+  MemoryStats mut;
   for (auto _ : state) {
     faiss = world.index->SizeBytes();
     vec = GetEngine(world, Mode::kHarmonyVector, 4)
@@ -35,6 +36,24 @@ void IndexMemory(benchmark::State& state, const std::string& dataset) {
     // alone are what a scan touches before the rerank.
     pq = GetPqEngine(world, Mode::kHarmony, 4, /*subspaces=*/16)
              ->IndexMemory();
+    // Mutable-store columns: a fresh engine carrying one pending update
+    // wave — 1% inserts (rows re-drawn from the base set under new ids)
+    // and 0.5% deletes — measures the delta-shard buffers and tombstone
+    // bitset a node pays for between merges (docs/mutability.md). Fresh
+    // because the cached engines must stay pristine for the rows above.
+    std::unique_ptr<HarmonyEngine> fresh =
+        MakeEngine(MakeOptions(world, Mode::kHarmony, 4), world);
+    const size_t rows = world.data.mixture.vectors.size();
+    const size_t inserts = rows / 100 > 0 ? rows / 100 : 1;
+    const DatasetView wave(world.data.mixture.vectors.Row(0), inserts,
+                           world.data.mixture.vectors.dim());
+    HARMONY_CHECK(fresh->InsertVectors(wave).ok());
+    std::vector<int64_t> victims;
+    for (size_t i = 0; i < rows; i += 200) {
+      victims.push_back(static_cast<int64_t>(i));
+    }
+    HARMONY_CHECK(fresh->DeleteVectors(victims).ok());
+    mut = fresh->IndexMemory();
   }
   state.counters["faiss_MB"] = static_cast<double>(faiss) / 1e6;
   state.counters["harmony_vector_MB"] = static_cast<double>(vec) / 1e6;
@@ -48,6 +67,17 @@ void IndexMemory(benchmark::State& state, const std::string& dataset) {
       pq.index_code_bytes > 0
           ? static_cast<double>(pq.index_bytes_total) /
                 static_cast<double>(pq.index_code_bytes)
+          : 0.0;
+  state.counters["delta_shard_MB"] =
+      static_cast<double>(mut.delta_bytes_total) / 1e6;
+  state.counters["tombstone_KB"] =
+      static_cast<double>(mut.tombstone_bytes) / 1e3;
+  state.counters["delta_overhead_pct"] =
+      mut.index_bytes_total > 0
+          ? 100.0 *
+                static_cast<double>(mut.delta_bytes_total +
+                                    mut.tombstone_bytes) /
+                static_cast<double>(mut.index_bytes_total)
           : 0.0;
 }
 

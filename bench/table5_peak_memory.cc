@@ -22,6 +22,7 @@ uint64_t PeakBytes(const BenchWorld& world, Mode mode) {
 void PeakMemory(benchmark::State& state, const std::string& dataset) {
   const BenchWorld& world = GetWorld(dataset);
   uint64_t vec = 0, har = 0, dim = 0, pq = 0;
+  MemoryStats mut;
   for (auto _ : state) {
     vec = PeakBytes(world, Mode::kHarmonyVector);
     har = PeakBytes(world, Mode::kHarmony);
@@ -33,6 +34,29 @@ void PeakMemory(benchmark::State& state, const std::string& dataset) {
                                       /*subspaces=*/16, /*rerank_depth=*/40),
                    /*k=*/10, /*nprobe=*/8, /*with_recall=*/false)
              .stats.memory.peak_query_bytes;
+    // Mutable-store columns: peak execution against a pending update wave
+    // (1% inserts, 0.5% deletes) — the epoch fold re-materializes the
+    // delta rows inside the scanned stores, and the delta buffers +
+    // tombstone bitset ride on top until a merge (docs/mutability.md).
+    // Fresh engine: the cached ones must stay pristine.
+    std::unique_ptr<HarmonyEngine> fresh =
+        MakeEngine(MakeOptions(world, Mode::kHarmony, 4), world);
+    const size_t rows = world.data.mixture.vectors.size();
+    const size_t inserts = rows / 100 > 0 ? rows / 100 : 1;
+    const DatasetView wave(world.data.mixture.vectors.Row(0), inserts,
+                           world.data.mixture.vectors.dim());
+    HARMONY_CHECK(fresh->InsertVectors(wave).ok());
+    std::vector<int64_t> victims;
+    for (size_t i = 0; i < rows; i += 200) {
+      victims.push_back(static_cast<int64_t>(i));
+    }
+    HARMONY_CHECK(fresh->DeleteVectors(victims).ok());
+    mut = RunSearch(world, fresh.get(), /*k=*/10, /*nprobe=*/8,
+                    /*with_recall=*/false)
+              .stats.memory;
+    const MemoryStats stored = fresh->IndexMemory();
+    mut.delta_bytes_total = stored.delta_bytes_total;
+    mut.tombstone_bytes = stored.tombstone_bytes;
   }
   state.counters["harmony_vector_MB"] = static_cast<double>(vec) / 1e6;
   state.counters["harmony_MB"] = static_cast<double>(har) / 1e6;
@@ -42,6 +66,12 @@ void PeakMemory(benchmark::State& state, const std::string& dataset) {
       vec > 0 ? 100.0 * (static_cast<double>(dim) - static_cast<double>(vec)) /
                     static_cast<double>(vec)
               : 0.0;
+  state.counters["harmony_delta_peak_MB"] =
+      static_cast<double>(mut.peak_query_bytes) / 1e6;
+  state.counters["delta_shard_MB"] =
+      static_cast<double>(mut.delta_bytes_total) / 1e6;
+  state.counters["tombstone_KB"] =
+      static_cast<double>(mut.tombstone_bytes) / 1e3;
 }
 
 }  // namespace

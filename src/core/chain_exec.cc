@@ -327,6 +327,10 @@ size_t RerankChainIndices(const ExecContext& ctx, const QueryChain& chain,
       const float lb = use_ip ? -cand.bound[i] : cand.bound[i];
       if (lb > tau) continue;
     }
+    // The rank barrier is where tombstones take effect: a deleted row's
+    // exact distance is never computed, so its dist stays +inf (both
+    // callers pre-fill) and it cannot survive the rerank into any heap.
+    if (ctx.IsDeleted(cand.id[i])) continue;
     float acc = 0.0f;
     for (size_t d = 0; d < ctx.b_dim; ++d) {
       if (((scanned_mask >> d) & 1) == 0) continue;
@@ -721,6 +725,7 @@ void ChainExecutor::MergeChainResults(const ChainExecState& task) {
   if (!ctx_.use_pq) {
     backend_->WithQueryHeap(task.chain->query, [&](TopKHeap& heap) {
       for (size_t i = 0; i < cand.id.size(); ++i) {
+        if (ctx_.IsDeleted(cand.id[i])) continue;  // dead at the rank barrier
         const float dist = ctx_.use_ip ? -cand.partial[i] : cand.partial[i];
         heap.Push(cand.id[i], dist);
       }

@@ -89,6 +89,9 @@ Status HarmonyEngine::FinishBuild() {
   HARMONY_RETURN_NOT_OK(Repartition(last_choice_.plan));
   prewarm_ = PrewarmCache::Build(index_, options_.prewarm_per_list);
   build_stats_.preassign_seconds = preassign.ElapsedSeconds();
+  next_id_ = index_.num_vectors();
+  update_log_ = UpdateLog(index_.dim());
+  delta_.assign(plan_.num_vec_shards, DeltaShard());
   built_ = true;
   return Status::OK();
 }
@@ -136,8 +139,39 @@ Status HarmonyEngine::Repartition(const PartitionPlan& plan) {
       stores_, BuildWorkerStores(index_, plan, with_norms,
                                  quantizer_.trained() ? &quantizer_ : nullptr));
   stores_with_norms_ = with_norms;
+  // Pending delta rows ride out a repartition: list→shard ownership and dim
+  // ranges may both have moved, so re-bucket them from their retained
+  // full-dim originals, and force the next batch to fold a fresh epoch on
+  // top of the rebuilt frozen stores.
+  if (pending_delta_rows() > 0) {
+    RedistributeDelta(plan);
+    epoch_dirty_ = true;
+  } else {
+    delta_.assign(plan.num_vec_shards, DeltaShard());
+  }
+  epoch_stores_.reset();
   plan_ = plan;
   return Status::OK();
+}
+
+size_t HarmonyEngine::pending_delta_rows() const {
+  size_t rows = 0;
+  for (const DeltaShard& shard : delta_) rows += shard.rows();
+  return rows;
+}
+
+void HarmonyEngine::RedistributeDelta(const PartitionPlan& plan) {
+  std::vector<DeltaShard> old = std::move(delta_);
+  delta_.assign(plan.num_vec_shards, DeltaShard());
+  for (const DeltaShard& shard : old) {
+    for (size_t r = 0; r < shard.rows(); ++r) {
+      const float* row = shard.full_rows.data() + r * shard.dim;
+      const int32_t list = shard.lists[r];
+      const size_t dest =
+          static_cast<size_t>(plan.list_to_shard[static_cast<size_t>(list)]);
+      delta_[dest].Append(row, shard.dim, shard.ids[r], list, plan.dim_ranges);
+    }
+  }
 }
 
 Status HarmonyEngine::AddVectors(const DatasetView& vectors) {
@@ -145,6 +179,15 @@ Status HarmonyEngine::AddVectors(const DatasetView& vectors) {
   if (vectors.empty()) return Status::OK();
   if (vectors.dim() != index_.dim()) {
     return Status::InvalidArgument("dimension mismatch on AddVectors");
+  }
+  // Bulk load assigns ids densely from index_.num_vectors(); once the
+  // epoch-versioned path has run (pending inserts, or a merge after
+  // deletes made the id space sparse) that would collide with or reuse a
+  // live id.
+  if (next_id_ != index_.num_vectors() || tombstone_count_ > 0) {
+    return Status::FailedPrecondition(
+        "AddVectors requires a pristine id space: use InsertVectors once "
+        "epoch-versioned updates have run");
   }
   const size_t first_id = index_.num_vectors();
   HARMONY_RETURN_NOT_OK(index_.Add(vectors));
@@ -169,6 +212,163 @@ Status HarmonyEngine::AddVectors(const DatasetView& vectors) {
       }
     }
   }
+  next_id_ = index_.num_vectors();
+  return Status::OK();
+}
+
+Status HarmonyEngine::InsertOne(const float* row, int64_t gid) {
+  const int32_t list = NearestCentroid(index_.centroids().View(), row);
+  const size_t shard =
+      static_cast<size_t>(plan_.list_to_shard[static_cast<size_t>(list)]);
+  update_log_.AppendInsert(gid, row, index_.dim());
+  delta_[shard].Append(row, index_.dim(), gid, list, plan_.dim_ranges);
+  epoch_dirty_ = true;
+  return Status::OK();
+}
+
+Status HarmonyEngine::InsertVectors(const DatasetView& vectors) {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  if (vectors.empty()) return Status::OK();
+  if (vectors.dim() != index_.dim()) {
+    return Status::InvalidArgument("dimension mismatch on InsertVectors");
+  }
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    const int64_t gid = static_cast<int64_t>(next_id_++);
+    HARMONY_RETURN_NOT_OK(InsertOne(vectors.Row(i), gid));
+  }
+  return Status::OK();
+}
+
+Status HarmonyEngine::DeleteVectors(const std::vector<int64_t>& ids) {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  for (const int64_t id : ids) {
+    if (id < 0 || static_cast<size_t>(id) >= next_id_) {
+      return Status::InvalidArgument("delete id out of range: " +
+                                     std::to_string(id));
+    }
+    update_log_.AppendDelete(id);
+    const size_t word = static_cast<size_t>(id) >> 6;
+    if (word >= tombstones_.size()) tombstones_.resize(word + 1, 0);
+    const uint64_t bit = uint64_t{1} << (static_cast<size_t>(id) & 63);
+    if ((tombstones_[word] & bit) == 0) {
+      tombstones_[word] |= bit;
+      ++tombstone_count_;
+    }
+  }
+  return Status::OK();
+}
+
+Status HarmonyEngine::RefreshEpoch() {
+  if (!epoch_dirty_) return Status::OK();
+  epoch_dirty_ = false;
+  if (pending_delta_rows() == 0) {
+    epoch_stores_.reset();
+    return Status::OK();
+  }
+  // Copy-on-write fold: clone the frozen stores and append every delta
+  // row's slices (norm columns and residual PQ codes included, using the
+  // build-pinned codebooks). The clone is what in-flight batches keep
+  // pinned while a later merge swaps generations underneath.
+  auto epoch = std::make_shared<std::vector<WorkerStore>>(stores_);
+  const size_t dim = index_.dim();
+  for (size_t s = 0; s < delta_.size(); ++s) {
+    const DeltaShard& shard = delta_[s];
+    for (size_t r = 0; r < shard.rows(); ++r) {
+      const float* row = shard.full_rows.data() + r * dim;
+      const int32_t list = shard.lists[r];
+      for (size_t d = 0; d < plan_.num_dim_blocks; ++d) {
+        for (size_t rep = 0; rep < plan_.replication; ++rep) {
+          const size_t machine =
+              static_cast<size_t>(plan_.ReplicaOf(s, d, rep));
+          HARMONY_RETURN_NOT_OK((*epoch)[machine].AppendVector(
+              s, d, list, plan_.dim_ranges[d], row, dim, shard.ids[r],
+              stores_with_norms_,
+              quantizer_.trained() ? &quantizer_ : nullptr,
+              quantizer_.trained()
+                  ? index_.centroids().Row(static_cast<size_t>(list))
+                  : nullptr));
+        }
+      }
+    }
+  }
+  epoch_stores_ = std::move(epoch);
+  return Status::OK();
+}
+
+Result<StoreSnapshot> HarmonyEngine::AcquireSnapshot() {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  HARMONY_RETURN_NOT_OK(RefreshEpoch());
+  StoreSnapshot snap;
+  if (epoch_stores_ != nullptr) {
+    snap.stores = epoch_stores_;
+  } else {
+    // No pending delta: alias the frozen stores without owning them — the
+    // updates-off path stays byte-identical (same payload, same addresses).
+    snap.stores = std::shared_ptr<const std::vector<WorkerStore>>(
+        std::shared_ptr<const std::vector<WorkerStore>>(), &stores_);
+  }
+  if (tombstone_count_ > 0) {
+    snap.tombstones = tombstones_.data();
+    snap.tombstone_words = tombstones_.size();
+  }
+  snap.generation = generation_;
+  return snap;
+}
+
+Status HarmonyEngine::MergeUpdates() {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  if (pending_delta_rows() == 0 && tombstone_count_ == 0) return Status::OK();
+  // Fold pending inserts into the IVF index first, then remove tombstoned
+  // rows — this order makes delete-of-a-pending-insert land correctly —
+  // then rebuild the grid (and PQ codes) on the current plan at a rank
+  // barrier. Ids survive untouched, so the id space goes sparse after
+  // deletes and is never reused.
+  const size_t dim = index_.dim();
+  for (const DeltaShard& shard : delta_) {
+    for (size_t r = 0; r < shard.rows(); ++r) {
+      HARMONY_RETURN_NOT_OK(index_.AddAssigned(
+          shard.lists[r], shard.ids[r], shard.full_rows.data() + r * dim,
+          dim));
+    }
+  }
+  if (tombstone_count_ > 0) {
+    index_.RemoveIds(tombstones_.data(), tombstones_.size());
+  }
+  delta_.assign(plan_.num_vec_shards, DeltaShard());
+  tombstones_.clear();
+  tombstone_count_ = 0;
+  epoch_dirty_ = false;
+  HARMONY_RETURN_NOT_OK(Repartition(plan_));
+  prewarm_ = PrewarmCache::Build(index_, options_.prewarm_per_list);
+  ++generation_;
+  update_log_.MarkMerged();
+  update_log_.Compact();
+  return Status::OK();
+}
+
+Status HarmonyEngine::ReplayUpdates(const UpdateLog& log) {
+  if (!built_) return Status::FailedPrecondition("Build() must run first");
+  if (log.dim() != index_.dim()) {
+    return Status::InvalidArgument("update log dimension mismatch");
+  }
+  for (const UpdateRecord& rec : log.records()) {
+    switch (rec.op) {
+      case UpdateOp::kInsert: {
+        if (rec.id != static_cast<int64_t>(next_id_)) {
+          return Status::FailedPrecondition(
+              "replayed insert id " + std::to_string(rec.id) +
+              " does not continue this engine's id space at " +
+              std::to_string(next_id_));
+        }
+        ++next_id_;
+        HARMONY_RETURN_NOT_OK(InsertOne(rec.vec.data(), rec.id));
+        break;
+      }
+      case UpdateOp::kDelete:
+        HARMONY_RETURN_NOT_OK(DeleteVectors({rec.id}));
+        break;
+    }
+  }
   return Status::OK();
 }
 
@@ -184,16 +384,26 @@ ExecOptions HarmonyEngine::MakeExecOptions(size_t k, size_t nprobe) const {
   exec.dynamic_dim_order =
       options_.enable_pipeline && options_.enable_balanced_load;
   exec.pq = quantizer_.trained() ? &quantizer_ : nullptr;
+  // Mutable-store state rides along with every batch: a null tombstone
+  // pointer when no deletes are pending keeps the updates-off path
+  // byte-identical to the pinned goldens.
+  if (tombstone_count_ > 0) {
+    exec.tombstones = tombstones_.data();
+    exec.tombstone_words = tombstones_.size();
+  }
+  exec.store_generation = generation_;
   return exec;
 }
 
 Status HarmonyEngine::SetLabels(std::vector<int32_t> labels) {
   if (!built_) return Status::FailedPrecondition("Build() must run first");
-  if (labels.size() != index_.num_vectors()) {
+  // One label per assigned global id. IdSpan (not num_vectors) is the
+  // authority once updates run: deltas widen the id space before they reach
+  // the index, and merged deletes leave it sparse.
+  if (labels.size() != IdSpan()) {
     return Status::InvalidArgument(
-        "need exactly one label per stored vector (" +
-        std::to_string(index_.num_vectors()) + "), got " +
-        std::to_string(labels.size()));
+        "need exactly one label per assigned global id (" +
+        std::to_string(IdSpan()) + "), got " + std::to_string(labels.size()));
   }
   labels_ = std::move(labels);
   return Status::OK();
@@ -210,9 +420,9 @@ Result<BatchResult> HarmonyEngine::SearchBatchFiltered(
   if (labels_.empty()) {
     return Status::FailedPrecondition("SetLabels() must run before filtering");
   }
-  if (labels_.size() != index_.num_vectors()) {
+  if (labels_.size() != IdSpan()) {
     return Status::FailedPrecondition(
-        "labels are stale: call SetLabels() again after AddVectors()");
+        "labels are stale: call SetLabels() again after adding vectors");
   }
   ExecOptions exec = MakeExecOptions(k, nprobe);
   exec.labels = &labels_;
@@ -275,6 +485,9 @@ Result<BatchResult> HarmonyEngine::SearchBatchPinned(const DatasetView& queries,
 Result<BatchResult> HarmonyEngine::ExecuteOnCurrentPlan(
     const DatasetView& queries, size_t k, size_t nprobe,
     const ExecOptions* exec_override, double plan_seconds) {
+  // Acquired once per batch: the whole run executes one generation's stores
+  // no matter when a merge lands (the shared_ptr pins the epoch payload).
+  HARMONY_ASSIGN_OR_RETURN(const StoreSnapshot snap, AcquireSnapshot());
   SimCluster cluster(effective_machines_, options_.net, options_.machine);
   const ExecOptions exec =
       exec_override != nullptr ? *exec_override : MakeExecOptions(k, nprobe);
@@ -284,7 +497,7 @@ Result<BatchResult> HarmonyEngine::ExecuteOnCurrentPlan(
   if (exec.faults.enabled()) cluster.SetFaultPlan(exec.faults);
   HARMONY_ASSIGN_OR_RETURN(
       PipelineOutput output,
-      ExecuteSimulated(index_, plan_, stores_, prewarm_, routing, queries,
+      ExecuteSimulated(index_, plan_, *snap.stores, prewarm_, routing, queries,
                        exec, &cluster));
 
   BatchResult result;
@@ -331,12 +544,13 @@ Result<BatchResult> HarmonyEngine::ExecuteOnCurrentPlan(
 Result<ThreadedOutput> HarmonyEngine::SearchBatchThreaded(
     const DatasetView& queries, size_t k, size_t nprobe) {
   if (!built_) return Status::FailedPrecondition("Build() must run first");
+  HARMONY_ASSIGN_OR_RETURN(const StoreSnapshot snap, AcquireSnapshot());
   const ExecOptions exec = MakeExecOptions(k, nprobe);
   const BatchRouting routing =
       RouteBatch(index_, plan_, queries, nprobe,
                  exec.shared_scans ? exec.query_group_size : 1);
-  return ExecuteThreaded(index_, plan_, stores_, prewarm_, routing, queries,
-                         exec);
+  return ExecuteThreaded(index_, plan_, *snap.stores, prewarm_, routing,
+                         queries, exec);
 }
 
 Result<ThreadedOutput> HarmonyEngine::SearchBatchThreadedFiltered(
@@ -346,18 +560,19 @@ Result<ThreadedOutput> HarmonyEngine::SearchBatchThreadedFiltered(
   if (labels_.empty()) {
     return Status::FailedPrecondition("SetLabels() must run before filtering");
   }
-  if (labels_.size() != index_.num_vectors()) {
+  if (labels_.size() != IdSpan()) {
     return Status::FailedPrecondition(
-        "labels are stale: call SetLabels() again after AddVectors()");
+        "labels are stale: call SetLabels() again after adding vectors");
   }
+  HARMONY_ASSIGN_OR_RETURN(const StoreSnapshot snap, AcquireSnapshot());
   ExecOptions exec = MakeExecOptions(k, nprobe);
   exec.labels = &labels_;
   exec.allowed_label = allowed_label;
   const BatchRouting routing =
       RouteBatch(index_, plan_, queries, nprobe,
                  exec.shared_scans ? exec.query_group_size : 1);
-  return ExecuteThreaded(index_, plan_, stores_, prewarm_, routing, queries,
-                         exec);
+  return ExecuteThreaded(index_, plan_, *snap.stores, prewarm_, routing,
+                         queries, exec);
 }
 
 MemoryStats HarmonyEngine::IndexMemory() const {
@@ -370,6 +585,10 @@ MemoryStats HarmonyEngine::IndexMemory() const {
   }
   mem.client_bytes = index_.centroids().SizeBytes() + prewarm_.SizeBytes() +
                      quantizer_.SizeBytes();
+  for (const DeltaShard& shard : delta_) {
+    mem.delta_bytes_total += shard.SizeBytes();
+  }
+  mem.tombstone_bytes = tombstones_.size() * sizeof(uint64_t);
   return mem;
 }
 

@@ -16,6 +16,7 @@
 #include "index/pq.h"
 #include "net/cluster.h"
 #include "storage/dataset.h"
+#include "storage/update_log.h"
 #include "util/status.h"
 
 namespace harmony {
@@ -93,8 +94,71 @@ class HarmonyEngine {
   /// Inserts new vectors into a built engine: each is assigned to its
   /// nearest IVF list and its dimension slices are appended to the owning
   /// machines' grid blocks in place — no re-partitioning, mirroring how a
-  /// deployment absorbs online writes between re-balancing epochs.
+  /// deployment absorbs online writes between re-balancing epochs. This is
+  /// the legacy bulk-load path and requires a pristine id space: once
+  /// epoch-versioned updates have run (InsertVectors / a merge after
+  /// deletes), it refuses rather than risk reusing a global id.
   Status AddVectors(const DatasetView& vectors);
+
+  /// Epoch-versioned insert (docs/mutability.md): each vector is appended
+  /// to the durable update log and buffered in its vector shard's
+  /// DeltaShard; the next batch folds the delta into a fresh store epoch
+  /// that both engines execute against. Frozen blocks and pinned goldens
+  /// are untouched until MergeUpdates() rebuilds them.
+  Status InsertVectors(const DatasetView& vectors);
+
+  /// Epoch-versioned delete: logs a tombstone per id and sets its bit in
+  /// the live bitset. Tombstoned rows keep being scanned (and billed) until
+  /// the next merge, but are filtered at the rank barrier — they never
+  /// survive exact rerank into a result heap. Deleting an id twice is a
+  /// no-op; ids outside [0, IdSpan()) are rejected.
+  Status DeleteVectors(const std::vector<int64_t>& ids);
+
+  /// Rank-barrier merge: folds every pending insert into the IVF index,
+  /// physically removes tombstoned rows, rebuilds the grid blocks (and
+  /// re-trains PQ codes) on the current plan, refreshes the prewarm cache,
+  /// bumps the store generation, and advances the update log's head marker.
+  /// In-flight chains keep their pinned snapshot; new batches see the new
+  /// generation.
+  Status MergeUpdates();
+
+  /// Recovery path: replays `log`'s retained records (ascending seq) into
+  /// this freshly built engine. Insert records must carry the exact next
+  /// global id — the log was written by a sequential assigner — so a replayed
+  /// engine reproduces the original's id space bit-for-bit.
+  Status ReplayUpdates(const UpdateLog& log);
+
+  /// Acquires the store view the next batch would execute against: the
+  /// current epoch's worker stores (delta folded in) plus the tombstone
+  /// bitset and generation. Folds a dirty delta first, so acquiring is what
+  /// materializes a new epoch.
+  Result<StoreSnapshot> AcquireSnapshot();
+
+  /// One past the largest global id ever assigned (dense after Build, then
+  /// advanced by inserts; deletes never shrink it — ids are not reused).
+  size_t IdSpan() const { return next_id_; }
+
+  /// Store generation: 0 after Build, +1 per MergeUpdates().
+  uint64_t generation() const { return generation_; }
+
+  /// The engine's durable update log (head/tail markers, pending records).
+  const UpdateLog& update_log() const { return update_log_; }
+
+  /// Pending (unmerged) delta rows across all vector shards.
+  size_t pending_delta_rows() const;
+
+  /// Live tombstones (set bits) awaiting the next merge.
+  size_t tombstone_count() const { return tombstone_count_; }
+
+  /// Whether `id` is currently tombstoned (always false after a merge —
+  /// the row is physically gone and the bitset cleared). Out-of-range ids
+  /// report false.
+  bool IsDeleted(int64_t id) const {
+    if (id < 0) return false;
+    const size_t word = static_cast<size_t>(id) >> 6;
+    if (word >= tombstones_.size()) return false;
+    return (tombstones_[word] >> (static_cast<size_t>(id) & 63)) & 1u;
+  }
 
   /// Attaches one int32 metadata label per stored vector (e.g. a tenant,
   /// category, or shard-group id). Must be called after Build()/AddVectors
@@ -161,6 +225,22 @@ class HarmonyEngine {
  private:
   Status FinishBuild();
   Status Repartition(const PartitionPlan& plan);
+  /// Folds the pending delta rows into a fresh copy-on-write epoch of the
+  /// worker stores (shared_ptr so in-flight batches pin their generation
+  /// while a merge swaps underneath). No-op when the delta is clean; a
+  /// delta that emptied (all rows merged) drops the epoch so execution
+  /// falls back to the frozen stores byte-identically.
+  Status RefreshEpoch();
+  /// The store vector batches execute against: the materialized epoch when
+  /// one exists, otherwise the frozen stores.
+  const std::vector<WorkerStore>& ActiveStores() const {
+    return epoch_stores_ != nullptr ? *epoch_stores_ : stores_;
+  }
+  /// Re-buckets pending delta rows after a plan change: list→shard
+  /// ownership and dim ranges may both have moved, so rows are re-appended
+  /// from their retained full-dim originals.
+  void RedistributeDelta(const PartitionPlan& plan);
+  Status InsertOne(const float* row, int64_t gid);
   /// (Re)trains the grid quantizer for `plan`'s dim ranges on a
   /// deterministic sample of the stored vectors; clears it when
   /// use_pq_streams is off. Runs before worker stores materialize so they
@@ -189,6 +269,19 @@ class HarmonyEngine {
   BuildStats build_stats_;
   size_t repartition_count_ = 0;
   bool built_ = false;
+
+  // Epoch-versioned mutable-store state (docs/mutability.md).
+  UpdateLog update_log_;
+  std::vector<DeltaShard> delta_;        // one per vector shard
+  std::vector<uint64_t> tombstones_;     // bitset over [0, next_id_)
+  size_t tombstone_count_ = 0;
+  uint64_t generation_ = 0;
+  /// Materialized epoch: frozen stores + delta rows folded in. Null when no
+  /// delta is pending (execution reads stores_ directly — the updates-off
+  /// byte-identity path). shared_ptr pins the payload for in-flight chains.
+  std::shared_ptr<std::vector<WorkerStore>> epoch_stores_;
+  bool epoch_dirty_ = false;
+  size_t next_id_ = 0;
 };
 
 }  // namespace harmony

@@ -84,6 +84,9 @@ Result<ExecContext> MakeExecContext(const IvfIndex& index,
   ctx.use_ip = opts.metric != Metric::kL2;
   ctx.use_norms = ctx.use_ip && ctx.b_dim > 1;
   ctx.max_retries = static_cast<uint32_t>(opts.max_retries);
+  ctx.tombstones = opts.tombstones;
+  ctx.tombstone_words = opts.tombstone_words;
+  ctx.store_generation = opts.store_generation;
   ctx.replication = plan.replication;
   ctx.routed = ctx.replication > 1;  // AttachFaults widens this when faulty.
   // Record the batch's kernel dispatch once: an explicitly pinned table wins
@@ -264,8 +267,11 @@ void BuildChainCandidateArrays(const ExecContext& ctx, const QueryChain& chain,
     for (size_t r = 0; r < ls->slice.num_rows(); ++r) {
       const int64_t gid = ls->slice.GlobalId(r);
       if (prewarmed.count(gid) > 0) continue;
+      // Rows inserted after the label column was set have no label and can
+      // never match the predicate.
       if (opts.labels != nullptr &&
-          (*opts.labels)[static_cast<size_t>(gid)] != opts.allowed_label) {
+          (static_cast<size_t>(gid) >= opts.labels->size() ||
+           (*opts.labels)[static_cast<size_t>(gid)] != opts.allowed_label)) {
         continue;
       }
       cand->id.push_back(gid);
@@ -309,7 +315,16 @@ void PrewarmQuery(const ExecContext& ctx, size_t q, TopKHeap* heap,
         ctx.prewarm->ListVectors(static_cast<size_t>(list_id));
     for (size_t i = 0; i < ids.size(); ++i) {
       if (opts.labels != nullptr &&
-          (*opts.labels)[static_cast<size_t>(ids[i])] != opts.allowed_label) {
+          (static_cast<size_t>(ids[i]) >= opts.labels->size() ||
+           (*opts.labels)[static_cast<size_t>(ids[i])] != opts.allowed_label)) {
+        continue;
+      }
+      // Tombstoned rows stay out of the heap (a dead row must never surface
+      // in results) but are still recorded as prewarmed so chains skip them
+      // identically in both engines; the scan charge below is unchanged —
+      // the cached sample was scored either way.
+      if (ctx.IsDeleted(ids[i])) {
+        prewarmed->insert(ids[i]);
         continue;
       }
       const float d =

@@ -48,6 +48,16 @@ struct ExecOptions : ExecTuning {
   /// `use_pq_streams` is on, ignored otherwise. Like `labels`, a borrowed
   /// pointer — the engine owns the quantizer.
   const GridQuantizer* pq = nullptr;
+  /// Tombstone bitset over global ids (docs/mutability.md); null when no
+  /// deletes are pending. Tombstoned rows are still scanned and billed —
+  /// they live in the frozen blocks until the next merge — but are filtered
+  /// at the rank barrier, so they never reach a result heap or survive
+  /// exact rerank. Borrowed from the engine's mutable-store state.
+  const uint64_t* tombstones = nullptr;
+  size_t tombstone_words = 0;
+  /// Store generation the batch executes against (bumped by each merge);
+  /// recorded so traces and parity checks can name the snapshot.
+  uint64_t store_generation = 0;
 };
 
 /// \brief Everything one batch execution needs, resolved once up front and
@@ -108,6 +118,22 @@ struct ExecContext {
   std::vector<float> pq_q_norm;
   /// Ops one query's LUT build costs (billed by PrewarmQuery's charge hook).
   uint64_t lut_build_ops = 0;
+
+  /// Tombstone bitset of the batch's store snapshot (copied from the
+  /// options): rows whose bit is set are dead — scanned and billed like any
+  /// frozen row, but dropped at the rank barrier by both engines.
+  const uint64_t* tombstones = nullptr;
+  size_t tombstone_words = 0;
+  uint64_t store_generation = 0;
+
+  /// True when `id` is tombstoned in this batch's snapshot. Ids past the
+  /// bitset (rows inserted after the set was sized) are live.
+  bool IsDeleted(int64_t id) const {
+    if (tombstones == nullptr || id < 0) return false;
+    const size_t word = static_cast<size_t>(id) >> 6;
+    if (word >= tombstone_words) return false;
+    return (tombstones[word] >> (static_cast<size_t>(id) & 63)) & 1u;
+  }
 
   /// Node-health tracker of the running batch; attached by the engine glue
   /// (each engine owns one tracker per Execute* call). May stay null: all

@@ -422,6 +422,9 @@ Result<PipelineOutput> ExecuteSimulated(const IvfIndex& index,
                   ? rerank[i - task.begin]
                   : (use_ip ? -run.cand.partial[i] : run.cand.partial[i]);
           if (ctx.use_pq && dist == kInf) continue;  // τ-skip / depth cap
+          // Non-PQ rank barrier: drop tombstoned rows here (the PQ path
+          // already dropped them in the rerank — their dist stayed +inf).
+          if (!ctx.use_pq && ctx.IsDeleted(run.cand.id[i])) continue;
           if (dist < tau_final || !state.heap.full()) {
             local.Push(run.cand.id[i], dist);
           }

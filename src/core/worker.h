@@ -2,6 +2,7 @@
 #define HARMONY_CORE_WORKER_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -109,6 +110,51 @@ class WorkerStore {
   /// AppendVector are O(1) instead of a linear scan over the machine's
   /// grid blocks.
   std::unordered_map<uint64_t, size_t> block_index_;
+};
+
+/// \brief Uncompacted update buffer of one vector shard (docs/mutability.md):
+/// rows inserted since the last merge, held in the same dim-sliced layout as
+/// the shard's frozen grid blocks — `block_rows[d]` is the row-major buffer
+/// of every delta row's columns in dimension block d — plus the full-dim
+/// originals the next epoch fold and merge consume (slicing is a column
+/// copy, so the full rows are the durable source of truth and survive a
+/// re-slice when the plan's dim ranges change).
+struct DeltaShard {
+  std::vector<float> full_rows;  ///< Row-major, full dimension.
+  std::vector<int64_t> ids;      ///< Global id per delta row.
+  std::vector<int32_t> lists;    ///< Owning IVF list per delta row.
+  /// Per dim block: the delta rows' columns restricted to the block's range,
+  /// in the same append order as `ids` (the frozen blocks' slice layout).
+  std::vector<std::vector<float>> block_rows;
+  size_t dim = 0;
+
+  size_t rows() const { return ids.size(); }
+
+  /// Appends one full row, slicing it across `ranges` in place.
+  void Append(const float* row, size_t full_dim, int64_t id, int32_t list,
+              const std::vector<DimRange>& ranges);
+
+  /// Rebuilds the dim-sliced mirrors from the retained full rows — called
+  /// when a repartition changes the plan's dim ranges under pending deltas.
+  void Reslice(const std::vector<DimRange>& ranges);
+
+  void Clear();
+
+  /// Buffered bytes: full rows + sliced mirrors + id/list columns.
+  size_t SizeBytes() const;
+};
+
+/// \brief The store view one batch executes against, acquired once at plan
+/// time: a generation's worker stores (frozen blocks with the generation's
+/// delta rows folded in) plus the live tombstone bitset. Both engines replay
+/// the identical generation because they share this one snapshot; the
+/// shared_ptr pins the store payload for in-flight chains while a merge
+/// swaps the engine's current generation underneath.
+struct StoreSnapshot {
+  std::shared_ptr<const std::vector<WorkerStore>> stores;
+  const uint64_t* tombstones = nullptr;  ///< Bitset over global ids; may be null.
+  size_t tombstone_words = 0;
+  uint64_t generation = 0;
 };
 
 /// \brief Materializes per-machine storage for a plan: every grid block is

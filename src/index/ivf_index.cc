@@ -110,6 +110,62 @@ Status IvfIndex::Add(const DatasetView& data) {
   return Status::OK();
 }
 
+Status IvfIndex::AddAssigned(int32_t list_id, int64_t id, const float* vec,
+                             size_t dim) {
+  if (!trained()) return Status::FailedPrecondition("Train() must run first");
+  if (dim != this->dim()) {
+    return Status::InvalidArgument("dimension mismatch on AddAssigned");
+  }
+  if (list_id < 0 || static_cast<size_t>(list_id) >= nlist()) {
+    return Status::InvalidArgument("list id out of range");
+  }
+  if (id < 0) return Status::InvalidArgument("negative global id");
+  list_ids_[static_cast<size_t>(list_id)].push_back(id);
+  HARMONY_RETURN_NOT_OK(
+      list_vectors_[static_cast<size_t>(list_id)].Append(vec, dim));
+  ++num_vectors_;
+  return Status::OK();
+}
+
+size_t IvfIndex::RemoveIds(const uint64_t* bits, size_t words) {
+  if (bits == nullptr || words == 0) return 0;
+  const auto is_set = [bits, words](int64_t id) {
+    if (id < 0) return false;
+    const size_t word = static_cast<size_t>(id) >> 6;
+    if (word >= words) return false;
+    return ((bits[word] >> (static_cast<size_t>(id) & 63)) & 1u) != 0;
+  };
+  size_t removed = 0;
+  for (size_t l = 0; l < nlist(); ++l) {
+    std::vector<int64_t>& ids = list_ids_[l];
+    bool any = false;
+    for (const int64_t id : ids) {
+      if (is_set(id)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    const DatasetView old_vecs = list_vectors_[l].View();
+    std::vector<int64_t> kept_ids;
+    Dataset kept_vecs;
+    kept_ids.reserve(ids.size());
+    kept_vecs = Dataset(std::vector<float>(), dim());
+    for (size_t r = 0; r < ids.size(); ++r) {
+      if (is_set(ids[r])) {
+        ++removed;
+        continue;
+      }
+      kept_ids.push_back(ids[r]);
+      (void)kept_vecs.Append(old_vecs.Row(r), dim());
+    }
+    list_ids_[l] = std::move(kept_ids);
+    list_vectors_[l] = std::move(kept_vecs);
+  }
+  num_vectors_ -= removed;
+  return removed;
+}
+
 std::vector<int32_t> IvfIndex::ProbeLists(const float* query,
                                           size_t nprobe) const {
   const size_t k = std::min(nprobe, nlist());

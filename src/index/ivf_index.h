@@ -58,6 +58,20 @@ class IvfIndex {
   /// Add calls. Requires Train() first.
   Status Add(const DatasetView& data);
 
+  /// Appends one vector with a caller-assigned global id to list `list_id`
+  /// — the merge path (docs/mutability.md) folds delta rows in with ids
+  /// handed out by the engine, which stay sparse after deletes. Requires
+  /// Train() first.
+  Status AddAssigned(int32_t list_id, int64_t id, const float* vec,
+                     size_t dim);
+
+  /// Physically removes every row whose id bit is set in the tombstone
+  /// bitset (`words` 64-bit words, id i at word i/64 bit i%64). Ids are
+  /// never reused: num_vectors() shrinks but surviving ids keep their
+  /// values, so the id space becomes sparse. Returns the number of rows
+  /// removed.
+  size_t RemoveIds(const uint64_t* bits, size_t words);
+
   /// ANNS: scans the `nprobe` nearest lists. Results ascend by distance.
   Result<std::vector<Neighbor>> Search(const float* query, size_t k,
                                        size_t nprobe) const;

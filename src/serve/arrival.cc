@@ -98,6 +98,44 @@ Result<ArrivalTrace> GenerateArrivalTrace(const GaussianMixture& mixture,
                                 spec.seed * 0x9E3779B97F4A7C15ULL + 1));
   trace.queries = std::move(workload.queries);
   trace.target_component = std::move(workload.target_component);
+
+  // Update stream: a second Poisson process over the same timeline, drawn
+  // from its own derived RNG *after* every query-stream draw, so a trace
+  // with update_rate == 0 is bit-identical to one generated before the
+  // update stream existed (schedule fingerprints included).
+  if (spec.update_rate > 0.0) {
+    if (spec.delete_frac < 0.0 || spec.delete_frac > 1.0) {
+      return Status::InvalidArgument("delete_frac must lie in [0, 1]");
+    }
+    constexpr size_t kMaxUpdates = 1 << 20;
+    Rng urng(spec.seed * 0x9E3779B97F4A7C15ULL + 2);
+    const double span = trace.SpanSeconds();
+    const double update_gap = 1.0 / spec.update_rate;
+    std::vector<int32_t> insert_tenants;
+    double ut = 0.0;
+    while (trace.updates.size() < kMaxUpdates) {
+      ut += NextExp(&urng, update_gap);
+      if (ut > span) break;
+      UpdateArrival u;
+      u.at_seconds = ut;
+      u.is_delete = urng.NextDouble() < spec.delete_frac;
+      if (u.is_delete) {
+        u.target_draw = urng.NextU64();
+      } else {
+        u.vec_row = static_cast<int32_t>(insert_tenants.size());
+        insert_tenants.push_back(
+            static_cast<int32_t>(tenant_sampler.Sample(&urng)));
+      }
+      trace.updates.push_back(u);
+    }
+    if (!insert_tenants.empty()) {
+      HARMONY_ASSIGN_OR_RETURN(
+          QueryWorkload inserts,
+          GenerateQueriesForTenants(mixture, insert_tenants, spec.noise,
+                                    spec.seed * 0x9E3779B97F4A7C15ULL + 3));
+      trace.update_vectors = std::move(inserts.queries);
+    }
+  }
   return trace;
 }
 

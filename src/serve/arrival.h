@@ -36,6 +36,15 @@ struct ArrivalSpec {
   /// Gaussian query noise around each tenant's home component center.
   double noise = 1.0;
   uint64_t seed = 42;
+  /// Mean update arrivals per second (inserts + deletes) riding the same
+  /// serving timeline as a second op class; 0 disables the update stream
+  /// entirely — the trace (and its schedule fingerprint) is then bit-
+  /// identical to a pre-update-stream trace, because the stream draws from
+  /// its own derived RNG.
+  double update_rate = 0.0;
+  /// Fraction of update arrivals that are deletes (the rest are inserts);
+  /// only read when update_rate > 0.
+  double delete_frac = 0.0;
 };
 
 /// \brief One query arrival on the serving timeline.
@@ -50,6 +59,21 @@ struct QueryArrival {
   int32_t query_row = 0;
 };
 
+/// \brief One update arrival (insert or delete) on the serving timeline —
+/// the second op class a mutable deployment interleaves with queries.
+struct UpdateArrival {
+  double at_seconds = 0.0;
+  bool is_delete = false;
+  /// Inserts: row of the new vector in ArrivalTrace::update_vectors.
+  /// Deletes: -1.
+  int32_t vec_row = -1;
+  /// Deletes: raw entropy for picking the victim. The trace cannot know the
+  /// engine's live id space, so the frontend resolves the target as
+  /// `target_draw % engine->IdSpan()` at apply time — deterministic given
+  /// the same engine state sequence.
+  uint64_t target_draw = 0;
+};
+
 /// \brief A fully-materialized serving trace: query vectors plus timestamped
 /// tenant-tagged arrivals sorted by arrival time.
 struct ArrivalTrace {
@@ -57,6 +81,10 @@ struct ArrivalTrace {
   std::vector<QueryArrival> arrivals;
   /// Mixture component each query targets (recall/skew verification).
   std::vector<int32_t> target_component;
+  /// Update stream in timestamp order; empty when spec.update_rate == 0.
+  std::vector<UpdateArrival> updates;
+  /// Insert payload vectors, row-indexed by UpdateArrival::vec_row.
+  Dataset update_vectors;
   size_t num_tenants = 0;
   ArrivalSpec spec;
 

@@ -1,6 +1,7 @@
 #include "serve/serving.h"
 
 #include <algorithm>
+#include <limits>
 #include <thread>
 
 #include "serve/msg_queue.h"
@@ -42,10 +43,44 @@ Result<ServingReport> ServingFrontend::Replay(const ArrivalTrace& trace,
   std::vector<double> lane_clock(options_.policy.executors, 0.0);
   double last_completion = trace.SpanSeconds();
 
+  // Update stream: arrivals are applied in timestamp order as the replay
+  // reaches them — every update at or before a group's close is applied
+  // before the group executes, on the group's lane, so both backends mutate
+  // the engine at the identical points in schedule order (per-generation
+  // determinism) and a write burst delays that lane's queries.
+  size_t next_update = 0;
+  auto apply_updates_until = [&](double close_seconds,
+                                 size_t lane) -> Status {
+    while (next_update < trace.updates.size() &&
+           trace.updates[next_update].at_seconds <= close_seconds) {
+      const UpdateArrival& u = trace.updates[next_update++];
+      if (u.is_delete) {
+        // The trace carries raw entropy; the live id space is only known
+        // here. Tombstoning an already-deleted id is a no-op by design.
+        const int64_t victim = static_cast<int64_t>(
+            u.target_draw % static_cast<uint64_t>(engine_->IdSpan()));
+        HARMONY_RETURN_NOT_OK(engine_->DeleteVectors({victim}));
+        ++report.deletes_applied;
+      } else {
+        const DatasetView row(
+            trace.update_vectors.Row(static_cast<size_t>(u.vec_row)), 1,
+            trace.update_vectors.dim());
+        HARMONY_RETURN_NOT_OK(engine_->InsertVectors(row));
+        ++report.inserts_applied;
+      }
+      if (lane < lane_clock.size()) {
+        lane_clock[lane] += options_.est_update_seconds;
+      }
+    }
+    return Status::OK();
+  };
+
   // Executes group `gi` against the engine and stamps its members' records.
   Status exec_status = Status::OK();
   auto run_group = [&](int32_t gi) -> Status {
     const ServingGroup& g = sched.groups[static_cast<size_t>(gi)];
+    HARMONY_RETURN_NOT_OK(
+        apply_updates_until(g.close_seconds, static_cast<size_t>(g.lane)));
     std::vector<int64_t> rows;
     rows.reserve(g.members.size());
     for (const ScheduledQuery& m : g.members) {
@@ -134,6 +169,11 @@ Result<ServingReport> ServingFrontend::Replay(const ArrivalTrace& trace,
     producer.join();
     HARMONY_RETURN_NOT_OK(exec_status);
   }
+
+  // Updates arriving after the last group's close still land (no lane to
+  // charge — every query group is done).
+  HARMONY_RETURN_NOT_OK(apply_updates_until(
+      std::numeric_limits<double>::infinity(), lane_clock.size()));
 
   // Aggregate per-arrival records into the tail-latency accounting.
   std::vector<QueryRecord> records(n);

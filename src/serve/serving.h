@@ -18,6 +18,10 @@ struct ServingOptions {
   /// nprobe for degrade-lane groups (LatePolicy::kDegrade): deadline-pressed
   /// queries trade recall for latency without slowing full-quality groups.
   size_t degraded_nprobe = 2;
+  /// Estimated service time one update (insert or delete) costs the lane it
+  /// lands on: updates share the SLO scheduler's executor lanes with query
+  /// groups, so a write burst shows up as queueing delay on that lane.
+  double est_update_seconds = 2e-4;
   ServePolicy policy;
 };
 
@@ -38,6 +42,11 @@ struct ServingReport {
   std::vector<double> dispatch_seconds;
   /// Per arrival index: top-k neighbors (empty for shed queries).
   std::vector<std::vector<Neighbor>> results;
+  /// Update-stream accounting: arrivals from ArrivalTrace::updates applied
+  /// to the engine during the replay (inserts buffered into delta shards,
+  /// deletes tombstoned). Both zero when the trace carries no update stream.
+  size_t inserts_applied = 0;
+  size_t deletes_applied = 0;
   ServingStats stats;
 };
 

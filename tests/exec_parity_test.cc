@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/coordinator.h"
+#include "core/engine.h"
 #include "core/pipeline.h"
 #include "core/router.h"
 #include "index/pq.h"
@@ -704,6 +705,106 @@ void PrintAndCheckSim(const SimGolden& want, const PipelineOutput& out,
   EXPECT_EQ(want.total_candidates, got.total_candidates);
   EXPECT_EQ(want.dropped_total, got.dropped_total);
   EXPECT_EQ(want.fault_fingerprint, got.fault_fingerprint);
+}
+
+// Epoch-versioned mutable store (docs/mutability.md): the parity contract
+// extends to batches executed against a live delta — inserts folded into
+// the batch's epoch stores and deletes filtered at the rank barrier. Both
+// engines acquire the identical StoreSnapshot, so under the alignment
+// preconditions (pipeline off, one batch per chain) results stay bitwise
+// identical with pruning on or off, serial or lane-scheduled, float or
+// quantized streams.
+HarmonyOptions MutableParityOptions(bool pruning, size_t tpn, bool pq) {
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = 4;
+  opts.ivf.nlist = 8;
+  opts.ivf.seed = 7;
+  opts.enable_pipeline = false;
+  opts.pipeline_batch = 1 << 20;
+  opts.enable_pruning = pruning;
+  opts.threads_per_node = tpn;
+  if (pq) {
+    opts.use_pq_streams = true;
+    opts.pq_subspaces = 8;
+    opts.rerank_depth = 0;  // full exact rerank: bitwise across engines
+  }
+  return opts;
+}
+
+TEST(ExecParityTest, DeltaPresentEngineSweep) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  for (const bool pq : {false, true}) {
+    for (const size_t tpn : {size_t{1}, size_t{4}}) {
+      for (const bool pruning : {false, true}) {
+        HarmonyEngine engine(MutableParityOptions(pruning, tpn, pq));
+        ASSERT_TRUE(engine.BuildFromIndex(world.index).ok());
+        // Pending delta: re-inserted mixture rows under fresh ids plus a
+        // spread of tombstones, none merged.
+        const DatasetView ins(world.mixture.vectors.Row(7), 6,
+                              world.mixture.vectors.dim());
+        ASSERT_TRUE(engine.InsertVectors(ins).ok());
+        ASSERT_TRUE(engine.DeleteVectors({2, 31, 500, 1999}).ok());
+        ASSERT_EQ(engine.pending_delta_rows(), 6u);
+
+        auto sim =
+            engine.SearchBatchPinned(world.workload.queries.View(), 10, 4);
+        ASSERT_TRUE(sim.ok()) << sim.status();
+        auto thr =
+            engine.SearchBatchThreaded(world.workload.queries.View(), 10, 4);
+        ASSERT_TRUE(thr.ok()) << thr.status();
+        SCOPED_TRACE(::testing::Message() << "pq=" << pq << " tpn=" << tpn
+                                          << " pruning=" << pruning);
+        ExpectBitIdenticalResults(sim.value().results, thr.value().results);
+      }
+    }
+  }
+}
+
+// Parity across the generation swap: before the merge (delta + tombstones
+// live), after it (rebuilt frozen blocks, generation bumped), and again
+// with a second wave of updates on the new generation — including a delete
+// of a first-wave insert that is now a frozen row.
+TEST(ExecParityTest, MidMergeGenerationSweep) {
+  const SmallWorld world = MakeSmallWorld(2500, 32, 8, 8, 25);
+  HarmonyEngine engine(
+      MutableParityOptions(/*pruning=*/true, /*tpn=*/1, /*pq=*/false));
+  ASSERT_TRUE(engine.BuildFromIndex(world.index).ok());
+  const size_t base = engine.IdSpan();
+
+  auto expect_parity = [&](const char* what) {
+    auto sim = engine.SearchBatchPinned(world.workload.queries.View(), 10, 4);
+    ASSERT_TRUE(sim.ok()) << sim.status() << " (" << what << ")";
+    auto thr =
+        engine.SearchBatchThreaded(world.workload.queries.View(), 10, 4);
+    ASSERT_TRUE(thr.ok()) << thr.status() << " (" << what << ")";
+    SCOPED_TRACE(what);
+    ExpectBitIdenticalResults(sim.value().results, thr.value().results);
+  };
+
+  const DatasetView wave1(world.mixture.vectors.Row(50), 5,
+                          world.mixture.vectors.dim());
+  ASSERT_TRUE(engine.InsertVectors(wave1).ok());
+  ASSERT_TRUE(engine.DeleteVectors({11, 640}).ok());
+  expect_parity("generation 0, delta present");
+
+  ASSERT_TRUE(engine.MergeUpdates().ok());
+  ASSERT_EQ(engine.generation(), 1u);
+  expect_parity("generation 1, frozen");
+
+  const DatasetView wave2(world.mixture.vectors.Row(200), 3,
+                          world.mixture.vectors.dim());
+  ASSERT_TRUE(engine.InsertVectors(wave2).ok());
+  // Delete a wave-1 insert (now merged into the frozen blocks) and a
+  // wave-2 insert still sitting in the delta.
+  ASSERT_TRUE(engine.DeleteVectors({static_cast<int64_t>(base),
+                                    static_cast<int64_t>(engine.IdSpan()) - 1})
+                  .ok());
+  expect_parity("generation 1, second wave pending");
+
+  ASSERT_TRUE(engine.MergeUpdates().ok());
+  ASSERT_EQ(engine.generation(), 2u);
+  expect_parity("generation 2, frozen");
 }
 
 TEST(ExecPinnedGoldens, SimulatedDefaultsHealthy) {

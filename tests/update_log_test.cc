@@ -1,0 +1,235 @@
+// Durable update log (src/storage/update_log.{h,cc}): round-trip fidelity,
+// head/tail marker semantics across merge + compaction, and a seeded
+// corruption sweep asserting that DecodeFrom rejects every truncated or
+// bit-flipped buffer with a status — never a crash, never a silently
+// wrong log.
+
+#include "storage/update_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace harmony {
+namespace {
+
+std::vector<float> MakeVec(size_t dim, float base) {
+  std::vector<float> v(dim);
+  for (size_t i = 0; i < dim; ++i) v[i] = base + static_cast<float>(i) * 0.5f;
+  return v;
+}
+
+UpdateLog MakeSampleLog(size_t dim, size_t inserts, size_t deletes) {
+  UpdateLog log(dim);
+  for (size_t i = 0; i < inserts; ++i) {
+    const std::vector<float> v = MakeVec(dim, static_cast<float>(i));
+    log.AppendInsert(static_cast<int64_t>(1000 + i), v.data(), dim);
+  }
+  for (size_t i = 0; i < deletes; ++i) {
+    log.AppendDelete(static_cast<int64_t>(i));
+  }
+  return log;
+}
+
+TEST(UpdateLogTest, AppendAssignsMonotoneSeqAndAdvancesTail) {
+  UpdateLog log(4);
+  EXPECT_EQ(log.pending(), 0u);
+  const std::vector<float> v = MakeVec(4, 1.0f);
+  EXPECT_EQ(log.AppendInsert(7, v.data(), 4), 0u);
+  EXPECT_EQ(log.AppendDelete(3), 1u);
+  EXPECT_EQ(log.AppendInsert(8, v.data(), 4), 2u);
+  EXPECT_EQ(log.tail().seq, 3u);
+  EXPECT_EQ(log.head().seq, 0u);
+  EXPECT_EQ(log.pending(), 3u);
+  ASSERT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.records()[0].op, UpdateOp::kInsert);
+  EXPECT_EQ(log.records()[1].op, UpdateOp::kDelete);
+  EXPECT_TRUE(log.records()[1].vec.empty());
+  EXPECT_EQ(log.records()[2].id, 8);
+}
+
+TEST(UpdateLogTest, MarkMergedAdvancesHeadAndOpensNextGeneration) {
+  UpdateLog log = MakeSampleLog(4, 3, 2);
+  const uint64_t tail_gen = log.tail().gen;
+  log.MarkMerged();
+  EXPECT_EQ(log.head(), log.tail());
+  EXPECT_EQ(log.tail().gen, tail_gen + 1);
+  EXPECT_EQ(log.pending(), 0u);
+  // Records appended after a merge carry the new generation.
+  const std::vector<float> v = MakeVec(4, 9.0f);
+  log.AppendInsert(50, v.data(), 4);
+  EXPECT_EQ(log.records().back().gen, tail_gen + 1);
+  EXPECT_EQ(log.pending(), 1u);
+}
+
+TEST(UpdateLogTest, CompactDropsOnlyMergedPrefix) {
+  UpdateLog log = MakeSampleLog(4, 3, 2);
+  log.MarkMerged();
+  const std::vector<float> v = MakeVec(4, 9.0f);
+  log.AppendInsert(50, v.data(), 4);
+  log.AppendDelete(1);
+  ASSERT_EQ(log.records().size(), 7u);
+  log.Compact();
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].id, 50);
+  EXPECT_EQ(log.records()[1].op, UpdateOp::kDelete);
+  EXPECT_EQ(log.pending(), 2u);
+  // Compacting twice is a no-op.
+  log.Compact();
+  EXPECT_EQ(log.records().size(), 2u);
+}
+
+void ExpectLogsEqual(const UpdateLog& a, const UpdateLog& b) {
+  EXPECT_EQ(a.dim(), b.dim());
+  EXPECT_EQ(a.head(), b.head());
+  EXPECT_EQ(a.tail(), b.tail());
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    const UpdateRecord& ra = a.records()[i];
+    const UpdateRecord& rb = b.records()[i];
+    EXPECT_EQ(ra.op, rb.op);
+    EXPECT_EQ(ra.seq, rb.seq);
+    EXPECT_EQ(ra.gen, rb.gen);
+    EXPECT_EQ(ra.id, rb.id);
+    EXPECT_EQ(ra.vec, rb.vec);
+  }
+}
+
+TEST(UpdateLogTest, EncodeDecodeRoundTrip) {
+  UpdateLog log = MakeSampleLog(8, 5, 3);
+  log.MarkMerged();
+  const std::vector<float> v = MakeVec(8, 2.0f);
+  log.AppendInsert(99, v.data(), 8);
+  std::string buf;
+  log.EncodeTo(&buf);
+  auto decoded = UpdateLog::DecodeFrom(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectLogsEqual(log, decoded.value());
+}
+
+TEST(UpdateLogTest, RoundTripAfterCompactPreservesMarkers) {
+  UpdateLog log = MakeSampleLog(8, 5, 3);
+  log.MarkMerged();
+  const std::vector<float> v = MakeVec(8, 2.0f);
+  log.AppendInsert(99, v.data(), 8);
+  log.Compact();
+  std::string buf;
+  log.EncodeTo(&buf);
+  auto decoded = UpdateLog::DecodeFrom(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectLogsEqual(log, decoded.value());
+  EXPECT_EQ(decoded.value().pending(), 1u);
+}
+
+TEST(UpdateLogTest, EmptyLogRoundTrips) {
+  UpdateLog log(16);
+  std::string buf;
+  log.EncodeTo(&buf);
+  auto decoded = UpdateLog::DecodeFrom(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectLogsEqual(log, decoded.value());
+}
+
+TEST(UpdateLogTest, SaveLoadRoundTrip) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "harmony_update_log_test.bin";
+  UpdateLog log = MakeSampleLog(8, 4, 2);
+  ASSERT_TRUE(log.Save(path.string()).ok());
+  auto loaded = UpdateLog::Load(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectLogsEqual(log, loaded.value());
+  std::filesystem::remove(path);
+}
+
+TEST(UpdateLogTest, LoadMissingFileIsAnError) {
+  auto loaded = UpdateLog::Load("/nonexistent/harmony_update_log.bin");
+  EXPECT_FALSE(loaded.ok());
+}
+
+// Every truncation point must be rejected: the decoder may never read past
+// the buffer, and a partial record is an IoError, not a shorter log.
+TEST(UpdateLogTest, EveryTruncationIsRejected) {
+  UpdateLog log = MakeSampleLog(8, 3, 2);
+  std::string buf;
+  log.EncodeTo(&buf);
+  for (size_t len = 0; len < buf.size(); ++len) {
+    auto decoded = UpdateLog::DecodeFrom(buf.data(), len);
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << len << " accepted";
+  }
+  // Trailing garbage is also rejected — the frame is exact.
+  std::string padded = buf + "x";
+  EXPECT_FALSE(UpdateLog::DecodeFrom(padded.data(), padded.size()).ok());
+}
+
+// Seeded corruption sweep: flip bytes at random offsets; the decoder must
+// either reject (the common case — the checksum or framing breaks) or, if
+// it accepts, the mutation must have been semantically neutral. It must
+// never crash and never return a log that fails its own re-encode.
+TEST(UpdateLogTest, RandomByteFlipsNeverCrashAndRarelySlipPast) {
+  UpdateLog log = MakeSampleLog(8, 4, 3);
+  log.MarkMerged();
+  const std::vector<float> v = MakeVec(8, 3.0f);
+  log.AppendInsert(123, v.data(), 8);
+  std::string buf;
+  log.EncodeTo(&buf);
+
+  Rng rng(0xFEEDu);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string corrupt = buf;
+    const size_t off = static_cast<size_t>(rng.NextU64() % corrupt.size());
+    const uint8_t flip = static_cast<uint8_t>(1u << (rng.NextU64() % 8));
+    corrupt[off] = static_cast<char>(
+        static_cast<uint8_t>(corrupt[off]) ^ flip);
+    auto decoded = UpdateLog::DecodeFrom(corrupt.data(), corrupt.size());
+    if (!decoded.ok()) continue;  // Rejection is the expected outcome.
+    // Accepted: the flip must re-encode to exactly what was decoded
+    // (self-consistency) — the decoder never fabricates state.
+    std::string reencoded;
+    decoded.value().EncodeTo(&reencoded);
+    auto again = UpdateLog::DecodeFrom(reencoded.data(), reencoded.size());
+    ASSERT_TRUE(again.ok());
+    ExpectLogsEqual(decoded.value(), again.value());
+  }
+}
+
+// Checksum coverage: payload bit flips specifically (not just framing
+// fields) are caught.
+TEST(UpdateLogTest, PayloadFlipBreaksChecksum) {
+  UpdateLog log(4);
+  const std::vector<float> v = MakeVec(4, 1.0f);
+  log.AppendInsert(7, v.data(), 4);
+  std::string buf;
+  log.EncodeTo(&buf);
+  // The record payload sits in the back half of the buffer; flip a byte in
+  // the float region (well past the fixed header) and expect rejection.
+  ASSERT_GT(buf.size(), 16u);
+  std::string corrupt = buf;
+  corrupt[corrupt.size() - 6] =
+      static_cast<char>(static_cast<uint8_t>(corrupt[corrupt.size() - 6]) ^
+                        0x40);
+  EXPECT_FALSE(UpdateLog::DecodeFrom(corrupt.data(), corrupt.size()).ok());
+}
+
+TEST(UpdateLogTest, BadMagicAndVersionAreRejected) {
+  UpdateLog log = MakeSampleLog(4, 1, 0);
+  std::string buf;
+  log.EncodeTo(&buf);
+  {
+    std::string bad = buf;
+    bad[0] = 'X';
+    EXPECT_FALSE(UpdateLog::DecodeFrom(bad.data(), bad.size()).ok());
+  }
+  {
+    std::string bad = buf;
+    bad[4] = static_cast<char>(0x7F);  // format version field
+    EXPECT_FALSE(UpdateLog::DecodeFrom(bad.data(), bad.size()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace harmony

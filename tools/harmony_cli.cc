@@ -75,6 +75,9 @@ struct CliArgs {
   double serve_burst = 1.0;
   uint64_t serve_seed = 42;
   bool serve_shed = false;    // shed late queries instead of degrading
+  // Update stream riding the serving timeline (docs/mutability.md).
+  double update_rate = 0.0;   // mean updates/second; 0 = no update stream
+  double delete_frac = 0.0;   // fraction of updates that are deletes
 };
 
 void Usage() {
@@ -133,7 +136,12 @@ void Usage() {
       "  --serve-slo-ms X      per-query SLO (default: auto-calibrated)\n"
       "  --serve-burst F       burstiness factor (default 1; 0 = Poisson)\n"
       "  --serve-seed S        arrival-trace seed (default 42)\n"
-      "  --serve-shed          shed late queries instead of degrading them");
+      "  --serve-shed          shed late queries instead of degrading them\n"
+      "  --update-rate R       with --serve: mean update arrivals/second\n"
+      "                        (inserts + deletes) sharing the SLO lanes;\n"
+      "                        0 = no update stream (docs/mutability.md)\n"
+      "  --delete-frac F       fraction of update arrivals that are deletes\n"
+      "                        (default 0 = inserts only)");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -228,6 +236,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->serve_burst = std::strtod(v, nullptr);
     } else if (flag == "--serve-seed") {
       args->serve_seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--update-rate") {
+      args->update_rate = std::strtod(v, nullptr);
+    } else if (flag == "--delete-frac") {
+      args->delete_frac = std::strtod(v, nullptr);
     } else if (flag == "--threads-per-node") {
       args->threads_per_node = std::strtoul(v, nullptr, 10);
     } else if (flag == "--group-size") {
@@ -520,6 +532,8 @@ int Run(const CliArgs& args) {
             : 8.0 * sopts.policy.est_query_seconds *
                   static_cast<double>(sopts.policy.max_group);
     spec.seed = args.serve_seed;
+    spec.update_rate = args.update_rate;
+    spec.delete_frac = args.delete_frac;
     auto trace = GenerateArrivalTrace(serve_mixture, spec);
     if (!trace.ok()) {
       std::fprintf(stderr, "serve trace failed: %s\n",
@@ -544,6 +558,25 @@ int Run(const CliArgs& args) {
                     serve_report.value().schedule.Fingerprint()));
     std::printf("stats          : %s\n",
                 serve_report.value().stats.ToString().c_str());
+    if (spec.update_rate > 0.0) {
+      std::printf("updates (sim)  : %zu inserts, %zu deletes applied; "
+                  "pending delta rows %zu, tombstones %zu, "
+                  "log head/tail %s/%s\n",
+                  serve_report.value().inserts_applied,
+                  serve_report.value().deletes_applied,
+                  engine.pending_delta_rows(), engine.tombstone_count(),
+                  engine.update_log().head().ToString().c_str(),
+                  engine.update_log().tail().ToString().c_str());
+      if (Status st = engine.MergeUpdates(); !st.ok()) {
+        std::fprintf(stderr, "merge failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("merge          : generation %llu, %zu vectors frozen, "
+                  "log head advanced to %s\n",
+                  static_cast<unsigned long long>(engine.generation()),
+                  engine.index().num_vectors(),
+                  engine.update_log().head().ToString().c_str());
+    }
     if (args.threaded) {
       auto thr_report = frontend.RunThreaded(trace.value());
       if (!thr_report.ok()) {

@@ -8,6 +8,7 @@
 #   tools/run_benches.sh fault      # just fig_fault_recall -> BENCH_fault.json
 #   tools/run_benches.sh serving    # just fig_serving -> BENCH_serving.json
 #   tools/run_benches.sh pq         # just fig_pq_recall -> BENCH_pq.json
+#   tools/run_benches.sh update     # just fig_update -> BENCH_update.json
 #
 # The JSON files land in the repository root (the benches write to their
 # working directory). HARMONY_SCALE applies as usual.
@@ -18,7 +19,7 @@ cd "$(dirname "$0")/.."
 cmake --preset bench-release >/dev/null
 cmake --build --preset bench-release -j"$(nproc)" \
   --target micro_kernels fig_throughput fig_fault_recall fig_serving \
-  fig_pq_recall
+  fig_pq_recall fig_update
 
 what="${1:-all}"
 
@@ -36,4 +37,7 @@ if [[ "$what" == "all" || "$what" == "serving" ]]; then
 fi
 if [[ "$what" == "all" || "$what" == "pq" ]]; then
   ./build-bench/bench/fig_pq_recall
+fi
+if [[ "$what" == "all" || "$what" == "update" ]]; then
+  ./build-bench/bench/fig_update
 fi
