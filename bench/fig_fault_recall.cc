@@ -22,11 +22,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "net/fault.h"
+#include "net/remote_worker.h"
+#include "net/socket_backend.h"
+#include "net/socket_transport.h"
 
 namespace harmony {
 namespace bench {
@@ -35,6 +43,9 @@ namespace {
 /// One benchmark point, collected for BENCH_fault.json.
 struct Row {
   std::string dataset;
+  std::string backend = "sim";
+  uint64_t rpcs = 0;
+  uint64_t workers_killed = 0;
   double drop_prob = 0.0;
   size_t crashed_nodes = 0;
   size_t replication = 1;
@@ -141,19 +152,25 @@ void WriteJson(const char* path) {
   for (const Row& r : Rows()) {
     std::fprintf(
         f,
-        "%s\n    {\"dataset\": \"%s\", \"drop_prob\": %.2f, "
+        "%s\n    {\"dataset\": \"%s\", \"backend\": \"%s\", "
+        "\"drop_prob\": %.2f, "
         "\"crashed_nodes\": %zu, \"replication\": %zu, "
+        "\"workers_killed\": %llu, "
         "\"num_queries\": %zu, \"recall_at_10\": %.4f, "
         "\"degraded_recall\": %.4f, \"degraded_frac\": %.4f, "
         "\"blocks_lost\": %llu, \"shards_lost\": %llu, \"retries\": %llu, "
-        "\"failovers\": %llu, \"hedged\": %llu, \"qps\": %.2f}",
-        first ? "" : ",", r.dataset.c_str(), r.drop_prob, r.crashed_nodes,
-        r.replication, r.num_queries, r.recall, r.degraded_recall,
+        "\"failovers\": %llu, \"hedged\": %llu, \"rpcs\": %llu, "
+        "\"qps\": %.2f}",
+        first ? "" : ",", r.dataset.c_str(), r.backend.c_str(), r.drop_prob,
+        r.crashed_nodes,
+        r.replication, static_cast<unsigned long long>(r.workers_killed),
+        r.num_queries, r.recall, r.degraded_recall,
         r.degraded_frac, static_cast<unsigned long long>(r.blocks_lost),
         static_cast<unsigned long long>(r.shards_lost),
         static_cast<unsigned long long>(r.retries),
         static_cast<unsigned long long>(r.failovers),
-        static_cast<unsigned long long>(r.hedged), r.qps);
+        static_cast<unsigned long long>(r.hedged),
+        static_cast<unsigned long long>(r.rpcs), r.qps);
     first = false;
   }
   std::fprintf(f, "\n  ]\n}\n");
@@ -176,6 +193,109 @@ void ReplicationPoint(benchmark::State& state, const std::string& dataset,
   FaultPointOn(state, dataset, plan,
                GetReplicatedEngine(world, machines, replication), replication,
                nprobe);
+}
+
+/// The real-socket transport row: in-process worker serve loops on
+/// unix-domain sockets (thread workers, the multi-process topology without
+/// fork cost in a bench), a frontend engine bit-identical by construction.
+/// With kill_frames > 0 worker 1 hangs up for good after that many frames:
+/// at R = 2 failover must absorb the death with zero degraded queries.
+void SocketPoint(benchmark::State& state, const std::string& dataset,
+                 size_t replication, uint64_t kill_frames, size_t nprobe) {
+  const BenchWorld& world = GetWorld(dataset);
+  HarmonyOptions opts = MakeOptions(world, Mode::kHarmony, 4);
+  opts.replication_factor = replication;
+  // Bitwise-parity alignment across backends (docs/execution.md).
+  opts.enable_pipeline = false;
+  opts.pipeline_batch = 1 << 20;
+  HarmonyEngine frontend(opts);
+  HARMONY_CHECK(frontend.BuildFromIndex(*world.index).ok());
+
+  constexpr size_t kWorkers = 2;
+  std::vector<SocketAddr> addrs(kWorkers);
+  std::vector<std::unique_ptr<HarmonyEngine>> engines;
+  std::vector<std::unique_ptr<SocketWorker>> workers;
+  std::vector<SocketListener> listeners;
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  for (size_t w = 0; w < kWorkers; ++w) {
+    addrs[w].is_unix = true;
+    addrs[w].path = "/tmp/harmony_bench_" + std::to_string(getpid()) + "_" +
+                    std::to_string(w) + ".sock";
+    engines.push_back(std::make_unique<HarmonyEngine>(opts));
+    HARMONY_CHECK(engines.back()->BuildFromIndex(*world.index).ok());
+    SocketWorkerOptions wopts;
+    wopts.worker_id = static_cast<uint32_t>(w);
+    wopts.num_workers = kWorkers;
+    wopts.poll_ms = 50;
+    if (w == 1) wopts.faults.kill_after_frames = kill_frames;
+    workers.push_back(
+        std::make_unique<SocketWorker>(engines.back().get(), wopts));
+    HARMONY_CHECK(workers.back()->Init().ok());
+    auto listener = SocketListener::Listen(addrs[w]);
+    HARMONY_CHECK_MSG(listener.ok(), listener.status().ToString());
+    listeners.push_back(std::move(listener).value());
+  }
+  for (size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w]() {
+      (void)workers[w]->Serve(&listeners[w], &stop);
+    });
+  }
+
+  auto hello = MakeEngineHello(&frontend, 0, kWorkers);
+  HARMONY_CHECK_MSG(hello.ok(), hello.status().ToString());
+  SocketFrontendOptions fopts;
+  fopts.rpc_deadline_ms = 5000;
+  fopts.max_attempts = 2;
+  SocketFrontend net(fopts);
+  HARMONY_CHECK(net.Connect(addrs, hello.value()).ok());
+
+  ThreadedOutput out;
+  for (auto _ : state) {
+    auto result = SearchBatchOverSockets(
+        &frontend, &net, world.data.workload.queries.View(), /*k=*/10,
+        nprobe);
+    HARMONY_CHECK_MSG(result.ok(), result.status().ToString());
+    out = std::move(result).value();
+  }
+
+  net.ShutdownWorkers();
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  for (const SocketAddr& a : addrs) unlink(a.path.c_str());
+
+  const auto& gt = GetGroundTruth(world, 10);
+  size_t degraded = 0;
+  for (const uint8_t flag : out.degraded) degraded += flag != 0;
+  Row row;
+  row.dataset = dataset;
+  row.backend = "socket";
+  row.replication = replication;
+  row.workers_killed = net.stats().workers_marked_dead;
+  row.rpcs = net.stats().rpcs;
+  row.num_queries = out.degraded.size();
+  row.recall = MeanRecallAtK(out.results, gt, 10);
+  row.degraded_recall = RecallOverFlagged(out.results, out.degraded, gt, 10);
+  row.degraded_frac = out.degraded.empty()
+                          ? 0.0
+                          : static_cast<double>(degraded) /
+                                static_cast<double>(out.degraded.size());
+  row.blocks_lost = out.faults.blocks_lost;
+  row.shards_lost = out.faults.shards_lost;
+  row.retries = out.faults.retries;
+  row.failovers = out.faults.failovers;
+  row.hedged = out.faults.hedged;
+  row.qps = out.wall_seconds > 0.0
+                ? static_cast<double>(row.num_queries) / out.wall_seconds
+                : 0.0;
+  Rows().push_back(row);
+
+  state.counters["recall_at_10"] = row.recall;
+  state.counters["degraded_frac"] = row.degraded_frac;
+  state.counters["failovers"] = static_cast<double>(row.failovers);
+  state.counters["workers_killed"] = static_cast<double>(row.workers_killed);
+  state.counters["rpcs"] = static_cast<double>(row.rpcs);
+  state.counters["qps"] = row.qps;
 }
 
 void RegisterAll() {
@@ -209,6 +329,19 @@ void RegisterAll() {
           ->Unit(benchmark::kMillisecond);
     }
   }
+
+  // Socket-backend rows: the real transport, fault-free at R = 1 and with
+  // a worker killed mid-run at R = 2 (docs/failure_model.md).
+  benchmark::RegisterBenchmark("fig_fault/sift1m/socket:R1", SocketPoint,
+                               std::string("sift1m"), /*replication=*/1,
+                               /*kill_frames=*/0, kNprobe)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig_fault/sift1m/socket:R2-killed", SocketPoint,
+                               std::string("sift1m"), /*replication=*/2,
+                               /*kill_frames=*/6, kNprobe)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
 
   // Availability sweep: drop_prob x replication factor, with one node
   // crashed from the start so failover runs against a dead machine.

@@ -222,6 +222,16 @@ class HarmonyEngine {
   /// and the current plan's stores carry code streams.
   const GridQuantizer& quantizer() const { return quantizer_; }
 
+  /// The exact ExecOptions SearchBatchThreaded would execute with — the
+  /// socket backend builds its remote batches from the same tuning so its
+  /// results are bit-comparable to the in-process engines.
+  ExecOptions BuildExecOptions(size_t k, size_t nprobe) const {
+    return MakeExecOptions(k, nprobe);
+  }
+
+  /// Client-side prewarm cache (shared by every execution backend).
+  const PrewarmCache& prewarm_cache() const { return prewarm_; }
+
  private:
   Status FinishBuild();
   Status Repartition(const PartitionPlan& plan);

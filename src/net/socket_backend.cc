@@ -1,0 +1,518 @@
+#include "net/socket_backend.h"
+
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "core/chain_exec.h"
+#include "core/exec_plan.h"
+#include "core/router.h"
+#include "util/timer.h"
+
+namespace harmony {
+
+SocketFrontend::SocketFrontend(SocketFrontendOptions opts)
+    : opts_(opts) {}
+
+Status SocketFrontend::Connect(const std::vector<SocketAddr>& workers,
+                               const WorkerHello& expect) {
+  if (workers.empty()) {
+    return Status::InvalidArgument("socket frontend needs >= 1 worker");
+  }
+  HARMONY_RETURN_NOT_OK(opts_.faults.Validate());
+  expect_ = expect;
+  expect_.num_workers = static_cast<uint32_t>(workers.size());
+  peers_.clear();
+  peers_.resize(workers.size());
+  for (size_t w = 0; w < workers.size(); ++w) {
+    peers_[w].addr = workers[w];
+    if (opts_.faults.enabled()) {
+      peers_[w].shim =
+          std::make_unique<SocketFaultInjector>(opts_.faults, 2ULL * w);
+    }
+  }
+  for (size_t w = 0; w < workers.size(); ++w) {
+    HARMONY_RETURN_NOT_OK(Dial(w));
+  }
+  return Status::OK();
+}
+
+size_t SocketFrontend::workers_dead() const {
+  size_t n = 0;
+  for (const Peer& p : peers_) n += p.dead ? 1 : 0;
+  return n;
+}
+
+Status SocketFrontend::Dial(size_t w) {
+  Peer& p = peers_[w];
+  p.ch.Close();
+  HARMONY_ASSIGN_OR_RETURN(const int fd,
+                           ConnectFd(p.addr, opts_.connect_deadline_ms));
+  SocketChannel ch(fd, static_cast<uint16_t>(w + 1));
+  ch.set_deadline_millis(opts_.rpc_deadline_ms);
+  if (p.shim != nullptr) ch.set_fault_injector(p.shim.get());
+  WorkerHello mine = expect_;
+  mine.worker_id = static_cast<uint32_t>(w);
+  std::vector<uint32_t> payload;
+  EncodeHello(mine, &payload);
+  HARMONY_RETURN_NOT_OK(ch.Send(kOpHello, payload));
+  HARMONY_ASSIGN_OR_RETURN(const WireMessage ack, ch.Recv());
+  if (ack.op == kOpError) return DecodeErrorStatus(ack.payload);
+  if (ack.op != kOpHelloAck) {
+    return Status::IoError("unexpected handshake reply opcode " +
+                           std::to_string(ack.op));
+  }
+  HARMONY_ASSIGN_OR_RETURN(const WorkerHello theirs, DecodeHello(ack.payload));
+  HARMONY_RETURN_NOT_OK(CheckHelloMatch(mine, theirs));
+  p.ch = std::move(ch);
+  ++stats_.reconnects;
+  return Status::OK();
+}
+
+Result<WireMessage> SocketFrontend::Call(size_t w, uint16_t op,
+                                         const std::vector<uint32_t>& payload,
+                                         uint32_t* attempts_out) {
+  HARMONY_CHECK(w < peers_.size());
+  if (attempts_out != nullptr) *attempts_out = 0;
+  Peer& p = peers_[w];
+  if (p.dead) {
+    return Status::Unavailable("worker " + std::to_string(w) +
+                               " is marked dead");
+  }
+  Status last = Status::Unavailable("no attempt made");
+  for (uint32_t attempt = 0; attempt < opts_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Deterministic capped exponential backoff: a pure function of
+      // (seed, worker, attempt) — a replayed failure retries on the same
+      // schedule.
+      const uint64_t delay = BackoffDelayMicros(
+          opts_.backoff_seed + 0x9E3779B97F4A7C15ULL * (w + 1), attempt - 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+    if (!p.ch.valid()) {
+      Status dialed = Dial(w);
+      if (!dialed.ok()) {
+        if (dialed.code() == StatusCode::kFailedPrecondition) {
+          // Handshake identity mismatch (e.g. a restarted worker that did
+          // not replay its log): retrying cannot fix state divergence.
+          if (attempts_out != nullptr) *attempts_out = attempt + 1;
+          return dialed;
+        }
+        ++stats_.rpc_failures;
+        last = std::move(dialed);
+        continue;
+      }
+    }
+    Status sent = p.ch.Send(op, payload);
+    if (!sent.ok()) {
+      p.ch.Close();
+      ++stats_.rpc_failures;
+      last = std::move(sent);
+      continue;
+    }
+    Result<WireMessage> reply = p.ch.Recv();
+    if (!reply.ok()) {
+      p.ch.Close();
+      ++stats_.rpc_failures;
+      last = reply.status();
+      continue;
+    }
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
+    ++stats_.rpcs;
+    // Application-level rejection from a live worker: surface the Status
+    // as-is, no retry (the request, not the transport, is the problem).
+    if (reply.value().op == kOpError) {
+      return DecodeErrorStatus(reply.value().payload);
+    }
+    return reply;
+  }
+  p.dead = true;
+  p.ch.Close();
+  ++stats_.workers_marked_dead;
+  if (attempts_out != nullptr) *attempts_out = opts_.max_attempts;
+  return Status::Unavailable(
+      "worker " + std::to_string(w) + " unreachable after " +
+      std::to_string(opts_.max_attempts) + " attempts: " + last.message());
+}
+
+Status SocketFrontend::Ping(size_t w) {
+  HARMONY_ASSIGN_OR_RETURN(const WireMessage pong, Call(w, kOpPing, {}));
+  if (pong.op != kOpPong) {
+    return Status::IoError("ping answered with opcode " +
+                           std::to_string(pong.op));
+  }
+  return Status::OK();
+}
+
+Status SocketFrontend::ReconnectDead() {
+  for (size_t w = 0; w < peers_.size(); ++w) {
+    if (!peers_[w].dead) continue;
+    bool joined = false;
+    for (uint32_t attempt = 0; attempt < opts_.max_attempts && !joined;
+         ++attempt) {
+      if (attempt > 0) {
+        const uint64_t delay = BackoffDelayMicros(
+            opts_.backoff_seed + 0x9E3779B97F4A7C15ULL * (w + 1), attempt - 1);
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+      Status dialed = Dial(w);
+      if (dialed.ok()) {
+        joined = true;
+      } else if (dialed.code() == StatusCode::kFailedPrecondition) {
+        return dialed;  // came back with divergent state: replay missing
+      }
+    }
+    if (joined) {
+      peers_[w].dead = false;
+      ++stats_.workers_rejoined;
+    }
+  }
+  return Status::OK();
+}
+
+void SocketFrontend::ShutdownWorkers() {
+  for (Peer& p : peers_) {
+    if (!p.dead && p.ch.valid()) {
+      (void)p.ch.Send(kOpShutdown, nullptr, 0);
+    }
+  }
+}
+
+namespace {
+
+/// In-process half of the socket backend: plain per-query state driven by
+/// one thread (the frontend's sequential chain loop), so the ExecBackend
+/// surface needs no synchronization — PostStage runs inline and PostHop is
+/// a plain call (the real hops are the RPCs, handled outside the
+/// executor).
+class SocketLocalBackend final : public ExecBackend {
+ public:
+  struct QueryState {
+    explicit QueryState(size_t k) : heap(k) {}
+    TopKHeap heap;
+    std::unordered_set<int64_t> prewarmed;
+    uint8_t degraded = 0;
+    size_t chains_left = 0;
+    double done_seconds = -1.0;
+  };
+
+  SocketLocalBackend(size_t num_queries, size_t k) {
+    states_.reserve(num_queries);
+    for (size_t q = 0; q < num_queries; ++q) states_.emplace_back(k);
+  }
+
+  QueryState& state(size_t q) { return states_[q]; }
+
+  void ReadThreshold(int32_t query, float* tau, bool* heap_full) override {
+    const TopKHeap& heap = states_[static_cast<size_t>(query)].heap;
+    *tau = heap.threshold();
+    *heap_full = heap.full();
+  }
+  const std::unordered_set<int64_t>* PrewarmedIds(size_t query) override {
+    return &states_[query].prewarmed;
+  }
+  void WithQueryHeap(int32_t query,
+                     const std::function<void(TopKHeap&)>& fn) override {
+    fn(states_[static_cast<size_t>(query)].heap);
+  }
+  void TagDegraded(int32_t query) override {
+    states_[static_cast<size_t>(query)].degraded = 1;
+  }
+  void ChargeStreamedBytes(size_t machine, uint64_t bytes) override {
+    (void)machine;
+    bytes_streamed_ += bytes;
+  }
+  void ChargeCompressedBytes(size_t machine, uint64_t bytes) override {
+    (void)machine;
+    bytes_streamed_ += bytes;
+    bytes_compressed_ += bytes;
+  }
+  void PostStage(size_t machine, std::function<void()> stage) override {
+    (void)machine;
+    stage();
+  }
+  uint32_t PostHop(size_t machine, uint64_t msg_key, uint32_t max_retries,
+                   std::function<void()> stage) override {
+    (void)machine;
+    (void)msg_key;
+    (void)max_retries;
+    stage();
+    return 1;
+  }
+
+  uint64_t bytes_streamed() const { return bytes_streamed_; }
+  uint64_t bytes_compressed() const { return bytes_compressed_; }
+
+ private:
+  std::vector<QueryState> states_;
+  uint64_t bytes_streamed_ = 0;
+  uint64_t bytes_compressed_ = 0;
+};
+
+/// Runs one chain's dimension stages over the RPC channels: per stage,
+/// walk the block's replicas in health order, ship the scan, apply the
+/// compacted survivors. All replicas down => the block is lost exactly as
+/// a threaded baton past its retry budget (BookDynamicHopLoss + degrade).
+Status RunChainOverSockets(const ExecContext& ctx, SocketLocalBackend* backend,
+                           FaultLedger* ledger, NodeHealthTracker* health,
+                           SocketFrontend* net, const QueryChain& chain,
+                           ChainExecState* task) {
+  const PartitionPlan& plan = *ctx.plan;
+  const size_t shard = static_cast<size_t>(chain.shard);
+  ChainCandidates& cand = task->cand;
+  std::vector<uint32_t> payload;
+  std::vector<uint8_t> rorder;
+  for (size_t p = 0; p < task->order.size(); ++p) {
+    if (cand.id.empty()) break;
+    const size_t d = task->order[p];
+    const DimRange range = plan.dim_ranges[d];
+    const BlockScanParams scan =
+        MakeStageScanParams(ctx, backend, chain, cand, d, p, task->rem_q_sq);
+
+    StageScanRequest req;
+    req.vec_shard = static_cast<uint32_t>(shard);
+    req.dim_block = static_cast<uint32_t>(d);
+    req.metric = static_cast<uint32_t>(scan.metric);
+    req.prune = scan.prune;
+    req.use_norms = scan.use_norms;
+    req.use_batched = scan.use_batched;
+    req.tau = scan.tau;
+    req.rem_q_sq = scan.rem_q_sq;
+    req.width = static_cast<uint32_t>(range.width());
+    req.q_slice.assign(scan.q_slice, scan.q_slice + range.width());
+    req.lists = chain.lists;
+    req.id = cand.id;
+    req.list = cand.list;
+    req.row = cand.row;
+    req.partial = cand.partial;
+    if (scan.use_norms) req.rem_p_sq = cand.rem_p_sq;
+
+    StageReplicaOrder(ctx, chain, d, &rorder);
+    bool delivered = false;
+    uint32_t skipped = 0;
+    size_t deliver_machine = 0;
+    StageScanResult result;
+    for (size_t ri = 0; ri < rorder.size() && !delivered; ++ri) {
+      const size_t machine =
+          static_cast<size_t>(plan.ReplicaOf(shard, d, rorder[ri]));
+      const size_t w = net->WorkerOf(machine);
+      if (net->WorkerDead(w)) {
+        ++skipped;
+        continue;
+      }
+      req.machine = static_cast<uint32_t>(machine);
+      EncodeStageScanRequest(req, &payload);
+      uint32_t attempts = 0;
+      Result<WireMessage> reply =
+          net->Call(w, kOpStageScan, payload, &attempts);
+      if (reply.ok()) {
+        health->RecordAttempts(machine, attempts);
+        if (attempts > 1) health->RecordFailures(machine, attempts - 1);
+        ledger->BookDelivery(attempts);
+        if (reply.value().op != kOpStageResult) {
+          return Status::IoError("stage scan answered with opcode " +
+                                 std::to_string(reply.value().op));
+        }
+        HARMONY_ASSIGN_OR_RETURN(result,
+                                 DecodeStageScanResult(reply.value().payload));
+        if (result.has_norms != scan.use_norms ||
+            result.id.size() > req.id.size()) {
+          return Status::IoError("stage scan reply shape mismatch");
+        }
+        delivered = true;
+        deliver_machine = machine;
+      } else {
+        const StatusCode code = reply.status().code();
+        // A live worker rejecting the request (decode/validation/state
+        // divergence) is a protocol failure, not a dead peer: failing over
+        // would mask real divergence. Fail the batch loudly.
+        if (code == StatusCode::kInvalidArgument ||
+            code == StatusCode::kFailedPrecondition ||
+            code == StatusCode::kNotSupported ||
+            code == StatusCode::kIoError) {
+          return reply.status();
+        }
+        // Transport exhaustion: Call marked the worker dead. Every machine
+        // that worker owned is now known-dead for replica ordering.
+        health->RecordAttempts(machine, attempts);
+        health->RecordFailures(machine, attempts);
+        for (size_t m = 0; m < plan.num_machines; ++m) {
+          if (net->WorkerOf(m) == w) health->RecordDead(m);
+        }
+        ++skipped;
+      }
+    }
+    if (!delivered) {
+      // Whole replica set unreachable: the block is lost; the query runs
+      // on and completes degraded (rem_q_sq keeps the block's mass — the
+      // pruning bound stays conservative without it scanned).
+      ledger->BookDynamicHopLoss(chain.query, ctx.max_retries);
+      continue;
+    }
+    for (uint32_t i = 0; i < skipped; ++i) ledger->BookFailover();
+
+    const size_t survivors = result.id.size();
+    cand.id = std::move(result.id);
+    cand.list = std::move(result.list);
+    cand.row = std::move(result.row);
+    cand.partial = std::move(result.partial);
+    if (scan.use_norms) {
+      cand.rem_p_sq = std::move(result.rem_p_sq);
+      task->rem_q_sq -= cand.q_block_norm[d];
+    }
+    ++task->processed;
+    task->scanned_mask |= uint64_t{1} << d;
+    backend->ChargeStreamedBytes(
+        deliver_machine,
+        static_cast<uint64_t>(survivors) * range.width() * sizeof(float));
+    if (survivors == 0) break;
+  }
+  return Status::OK();
+}
+
+/// The non-PQ rank-barrier merge, verbatim from
+/// ChainExecutor::MergeChainResults (PQ streams are gated off over
+/// sockets).
+void MergeChain(const ExecContext& ctx, ExecBackend* backend,
+                const QueryChain& chain, const ChainCandidates& cand) {
+  backend->WithQueryHeap(chain.query, [&](TopKHeap& heap) {
+    for (size_t i = 0; i < cand.id.size(); ++i) {
+      if (ctx.IsDeleted(cand.id[i])) continue;  // dead at the rank barrier
+      const float dist = ctx.use_ip ? -cand.partial[i] : cand.partial[i];
+      heap.Push(cand.id[i], dist);
+    }
+  });
+}
+
+}  // namespace
+
+Result<ThreadedOutput> ExecuteSocket(const IvfIndex& index,
+                                     const PartitionPlan& plan,
+                                     const std::vector<WorkerStore>& stores,
+                                     const PrewarmCache& prewarm,
+                                     const BatchRouting& routing,
+                                     const DatasetView& queries,
+                                     const ExecOptions& opts,
+                                     SocketFrontend* net) {
+  if (net == nullptr || net->num_workers() == 0) {
+    return Status::InvalidArgument("socket backend requires connected workers");
+  }
+  if (stores.size() != plan.num_machines) {
+    return Status::InvalidArgument("store count does not match plan");
+  }
+  if (opts.use_pq_streams) {
+    return Status::NotSupported(
+        "PQ streams are not supported over the socket backend");
+  }
+  if (opts.faults.enabled()) {
+    return Status::InvalidArgument(
+        "modeled FaultPlans are sim/threaded-only; socket runs inject "
+        "connection-level faults via SocketFrontendOptions::faults");
+  }
+  if (opts.hedge_after > 0.0) {
+    return Status::NotSupported(
+        "hedged requests are not supported over the socket backend");
+  }
+  StopWatch watch;
+  HARMONY_ASSIGN_OR_RETURN(
+      ExecContext ctx, MakeExecContext(index, plan, stores, prewarm, routing,
+                                       queries, opts));
+  NodeHealthTracker health(plan.num_machines);
+  ctx.AttachHealth(&health);
+
+  SocketLocalBackend backend(queries.size(), opts.k);
+  for (const QueryChain& chain : routing.chains) {
+    ++backend.state(static_cast<size_t>(chain.query)).chains_left;
+  }
+  for (size_t q = 0; q < queries.size(); ++q) {
+    SocketLocalBackend::QueryState& state = backend.state(q);
+    PrewarmQuery(ctx, q, &state.heap, &state.prewarmed, {});
+  }
+
+  FaultLedger ledger(&backend);
+  ChainExecutor executor(ctx, &backend, &ledger, [] {});
+  const auto note_chain_done = [&backend, &watch](int32_t query) {
+    SocketLocalBackend::QueryState& state =
+        backend.state(static_cast<size_t>(query));
+    if (--state.chains_left == 0) {
+      state.done_seconds = watch.ElapsedSeconds();
+    }
+  };
+  // Queries the router gave no chain at all complete at t=0 (prewarm only).
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (backend.state(q).chains_left == 0) {
+      backend.state(q).done_seconds = watch.ElapsedSeconds();
+    }
+  }
+
+  // Rank-staged chain loop, sequential: later ranks inherit tightened
+  // thresholds exactly as in both in-process engines; the rank barrier
+  // folds health epochs so replica ordering shifts only between ranks.
+  size_t begin = 0;
+  size_t chain_index = 0;
+  while (begin < routing.chains.size()) {
+    size_t end = begin;
+    const int32_t rank = routing.chains[begin].probe_rank;
+    while (end < routing.chains.size() &&
+           routing.chains[end].probe_rank == rank) {
+      ++end;
+    }
+    for (size_t c = begin; c < end; ++c, ++chain_index) {
+      const QueryChain& chain = routing.chains[c];
+      std::shared_ptr<ChainExecState> task = executor.PrepareChain(chain);
+      if (task == nullptr) {
+        note_chain_done(chain.query);
+        continue;
+      }
+      if (executor.BuildSoloOrder(task.get(), chain_index)) {
+        note_chain_done(chain.query);
+        continue;
+      }
+      HARMONY_RETURN_NOT_OK(RunChainOverSockets(ctx, &backend, &ledger,
+                                                &health, net, chain,
+                                                task.get()));
+      MergeChain(ctx, &backend, chain, task->cand);
+      note_chain_done(chain.query);
+    }
+    health.FoldEpoch();
+    begin = end;
+  }
+
+  ThreadedOutput out;
+  out.results.resize(queries.size());
+  out.degraded.assign(queries.size(), 0);
+  out.query_seconds.assign(queries.size(), -1.0);
+  out.faults = ledger.Snapshot();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    SocketLocalBackend::QueryState& state = backend.state(q);
+    out.results[q] = state.heap.SortedResults();
+    out.query_seconds[q] = state.done_seconds;
+    if (state.degraded != 0) {
+      out.degraded[q] = 1;
+      ++out.faults.degraded_queries;
+    }
+  }
+  out.bytes_streamed = backend.bytes_streamed();
+  out.bytes_compressed = backend.bytes_compressed();
+  out.wall_seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+Result<ThreadedOutput> SearchBatchOverSockets(HarmonyEngine* engine,
+                                              SocketFrontend* net,
+                                              const DatasetView& queries,
+                                              size_t k, size_t nprobe) {
+  if (!engine->built()) {
+    return Status::FailedPrecondition("engine not built");
+  }
+  HARMONY_ASSIGN_OR_RETURN(const StoreSnapshot snap, engine->AcquireSnapshot());
+  const ExecOptions exec = engine->BuildExecOptions(k, nprobe);
+  const BatchRouting routing =
+      RouteBatch(engine->index(), engine->plan(), queries, nprobe,
+                 exec.shared_scans ? exec.query_group_size : 1);
+  return ExecuteSocket(engine->index(), engine->plan(), *snap.stores,
+                       engine->prewarm_cache(), routing, queries, exec, net);
+}
+
+}  // namespace harmony

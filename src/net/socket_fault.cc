@@ -1,0 +1,96 @@
+#include "net/socket_fault.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace harmony {
+namespace {
+
+// SplitMix64 finalizer — the same mixer net/fault.cc keys its message coins
+// with, reproduced here because that copy is TU-local by design (each fault
+// layer owns its stream; sharing state would couple their schedules).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double CoinDouble(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Stream salts keep the four fault kinds' coins independent per op.
+constexpr uint64_t kSaltTear = 0x7453ULL;   // 't'<<8|'s'
+constexpr uint64_t kSaltShort = 0x7368ULL;  // 's'<<8|'h'
+constexpr uint64_t kSaltStall = 0x7374ULL;  // 's'<<8|'t'
+constexpr uint64_t kSaltReset = 0x7273ULL;  // 'r'<<8|'s'
+
+uint64_t OpHash(uint64_t seed, uint64_t channel, uint64_t salt,
+                uint64_t op_index) {
+  return Mix64(seed ^ Mix64(channel ^ Mix64(salt ^ op_index)));
+}
+
+}  // namespace
+
+Status SocketFaultPlan::Validate() const {
+  const auto bad = [](double p) { return p < 0.0 || p > 1.0; };
+  if (bad(torn_write_prob) || bad(short_read_prob) || bad(stall_prob) ||
+      bad(reset_prob)) {
+    return Status::InvalidArgument(
+        "socket fault probabilities must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+std::string SocketFaultPlan::ToString() const {
+  std::ostringstream os;
+  os << "SocketFaultPlan{seed=" << seed << " tear=" << torn_write_prob
+     << " short=" << short_read_prob << " stall=" << stall_prob << "/"
+     << stall_micros << "us reset=" << reset_prob
+     << " kill_after=" << kill_after_frames << "}";
+  return os.str();
+}
+
+bool SocketFaultInjector::TearWrite(uint64_t op_index, size_t frame_bytes,
+                                    size_t* torn_bytes) const {
+  if (plan_.torn_write_prob <= 0.0 || frame_bytes < 2) return false;
+  const uint64_t h = OpHash(plan_.seed, channel_, kSaltTear, op_index);
+  if (CoinDouble(h) >= plan_.torn_write_prob) return false;
+  // A second mix picks the tear point in [1, frame_bytes) so a replay tears
+  // the identical byte.
+  *torn_bytes = 1 + static_cast<size_t>(Mix64(h) % (frame_bytes - 1));
+  return true;
+}
+
+bool SocketFaultInjector::ShortRead(uint64_t op_index, size_t* cap_bytes) const {
+  if (plan_.short_read_prob <= 0.0) return false;
+  const uint64_t h = OpHash(plan_.seed, channel_, kSaltShort, op_index);
+  if (CoinDouble(h) >= plan_.short_read_prob) return false;
+  *cap_bytes = 1 + static_cast<size_t>(Mix64(h) % 16);
+  return true;
+}
+
+bool SocketFaultInjector::Stall(uint64_t op_index) const {
+  if (plan_.stall_prob <= 0.0 || plan_.stall_micros == 0) return false;
+  const uint64_t h = OpHash(plan_.seed, channel_, kSaltStall, op_index);
+  return CoinDouble(h) < plan_.stall_prob;
+}
+
+bool SocketFaultInjector::Reset(uint64_t op_index) const {
+  if (plan_.reset_prob <= 0.0) return false;
+  const uint64_t h = OpHash(plan_.seed, channel_, kSaltReset, op_index);
+  return CoinDouble(h) < plan_.reset_prob;
+}
+
+uint64_t BackoffDelayMicros(uint64_t seed, uint32_t attempt) {
+  const uint32_t shift = std::min<uint32_t>(attempt, 8);
+  const uint64_t exp =
+      std::min<uint64_t>(kBackoffCapMicros, kBackoffBaseMicros << shift);
+  // Deterministic jitter in [exp/2, exp]: a pure function of (seed, attempt),
+  // never of the clock.
+  const uint64_t h = Mix64(seed ^ (0xB0FFULL * (attempt + 1)));
+  return exp / 2 + h % (exp / 2 + 1);
+}
+
+}  // namespace harmony

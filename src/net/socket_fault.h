@@ -1,0 +1,98 @@
+#ifndef HARMONY_NET_SOCKET_FAULT_H_
+#define HARMONY_NET_SOCKET_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Deterministic connection-layer fault plan for the socket
+/// transport — the `net/fault.h` seeded-coin pattern applied one layer
+/// down, at the byte stream instead of the modeled message. Every fault
+/// fires from a SplitMix64 coin keyed on (seed, channel, direction,
+/// operation counter), so a failing run replays bit-for-bit: same torn
+/// write on the same frame, same stall before the same read, every time.
+///
+/// All probabilities default to 0 (the shim is transparent); a plan with
+/// every knob at 0 and kill_after_frames == 0 reports !enabled() and the
+/// transport skips the coin flips entirely, keeping the fault-free path
+/// byte-identical to a build without the shim.
+struct SocketFaultPlan {
+  uint64_t seed = 0;
+  /// Probability a Send tears mid-frame: only a seeded prefix of the bytes
+  /// reaches the wire, then the connection is hard-closed. The peer sees a
+  /// truncated frame (bounds-checked decode rejects it); the sender sees
+  /// IoError and owns the reconnect.
+  double torn_write_prob = 0.0;
+  /// Probability a read is fragmented: the shim caps each recv() at a
+  /// seeded small byte count, exercising the reassembly loop. Never fails
+  /// the operation — short reads are legal TCP behavior.
+  double short_read_prob = 0.0;
+  /// Probability an operation stalls `stall_micros` before touching the
+  /// socket (deadline-pressure; a stall past the deadline is a timeout).
+  double stall_prob = 0.0;
+  uint64_t stall_micros = 0;
+  /// Probability the connection is reset (hard close) before the
+  /// operation: the local side gets IoError, the peer ECONNRESET/EOF.
+  double reset_prob = 0.0;
+  /// Worker-side crash switch: after this many frames sent, the serve loop
+  /// dies (process mode: _exit; thread mode: hangs up and stops serving).
+  /// 0 = never. This is the deterministic "mid-frame kill" of the issue —
+  /// it fires at a frame boundary chosen by count, not by chance.
+  uint64_t kill_after_frames = 0;
+
+  bool enabled() const {
+    return torn_write_prob > 0.0 || short_read_prob > 0.0 || stall_prob > 0.0 ||
+           reset_prob > 0.0 || kill_after_frames > 0;
+  }
+
+  /// Probabilities must be in [0, 1] (same validation contract as
+  /// FaultPlan's engine-side checks).
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Per-channel coin oracle over a SocketFaultPlan. One injector per
+/// channel endpoint; `channel` salts the stream so two connections under
+/// the same plan fail independently but reproducibly.
+class SocketFaultInjector {
+ public:
+  SocketFaultInjector() = default;
+  SocketFaultInjector(const SocketFaultPlan& plan, uint64_t channel)
+      : plan_(plan), channel_(channel) {}
+
+  const SocketFaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled(); }
+
+  /// Coin for send op `op_index` on this channel: tear the write after
+  /// `*torn_bytes` of `frame_bytes`? (torn_bytes in [1, frame_bytes)).
+  bool TearWrite(uint64_t op_index, size_t frame_bytes, size_t* torn_bytes) const;
+  /// Coin for read op `op_index`: cap this recv at `*cap_bytes` (in
+  /// [1, 16])?
+  bool ShortRead(uint64_t op_index, size_t* cap_bytes) const;
+  /// Coin: stall before this operation? (Duration is plan().stall_micros.)
+  bool Stall(uint64_t op_index) const;
+  /// Coin: reset the connection before this operation?
+  bool Reset(uint64_t op_index) const;
+
+ private:
+  SocketFaultPlan plan_;
+  uint64_t channel_ = 0;
+};
+
+/// \brief Pure, capped exponential backoff with deterministic jitter: the
+/// delay before retry `attempt` (0-based) is a function of (seed, attempt)
+/// only — no clocks, no global RNG — so a replayed failure schedules the
+/// identical retry timeline. Property-tested: deterministic, capped at
+/// kBackoffCapMicros, and never below half the exponential base.
+constexpr uint64_t kBackoffBaseMicros = 200;
+constexpr uint64_t kBackoffCapMicros = 50000;
+uint64_t BackoffDelayMicros(uint64_t seed, uint32_t attempt);
+
+}  // namespace harmony
+
+#endif  // HARMONY_NET_SOCKET_FAULT_H_

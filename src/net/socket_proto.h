@@ -1,0 +1,121 @@
+#ifndef HARMONY_NET_SOCKET_PROTO_H_
+#define HARMONY_NET_SOCKET_PROTO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace harmony {
+
+/// \brief Opcodes of the frontend <-> worker RPC protocol carried by
+/// SocketChannel messages. Request/response pairing is strict: the frontend
+/// sends one request and reads exactly one reply per call (the channel is
+/// serial), so a worker reply is always kOpStageResult/kOpHelloAck/kOpPong
+/// for the matching request, or kOpError carrying a Status.
+enum WireOp : uint16_t {
+  kOpHello = 1,       ///< Handshake: WorkerHello of the connecting frontend.
+  kOpHelloAck = 2,    ///< Handshake reply: WorkerHello of the worker.
+  kOpStageScan = 3,   ///< One chain dimension-stage scan request.
+  kOpStageResult = 4, ///< Compacted survivors of a stage scan.
+  kOpPing = 5,        ///< Liveness probe (empty payload).
+  kOpPong = 6,        ///< Liveness reply (empty payload).
+  kOpShutdown = 7,    ///< Worker should stop serving (no reply).
+  kOpError = 8,       ///< Encoded Status (application-level failure).
+};
+
+/// Protocol revision; bumped on any wire-incompatible change. Checked by
+/// the handshake before anything else.
+constexpr uint32_t kWireVersion = 1;
+
+/// \brief Everything the handshake pins so a frontend and a worker agree
+/// they execute against bit-identical state: the grid shape, the store
+/// generation and a content digest over the worker stores + tombstones. A
+/// worker restarted without replaying its update log produces a different
+/// digest and is rejected with kFailedPrecondition — the crash-restart
+/// recovery contract (replay first, then rejoin) is enforced on the wire.
+struct WorkerHello {
+  uint32_t version = kWireVersion;
+  uint32_t worker_id = 0;     ///< Index of this worker in the worker list.
+  uint32_t num_workers = 0;   ///< Worker-process count (machine -> worker map).
+  uint32_t num_machines = 0;  ///< PartitionPlan::num_machines.
+  uint32_t replication = 1;   ///< PartitionPlan::replication.
+  uint32_t b_dim = 0;         ///< Dimension blocks of the plan.
+  uint32_t dim = 0;           ///< Full vector dimension.
+  uint64_t generation = 0;    ///< Engine store generation.
+  uint64_t digest = 0;        ///< ComputeStoreDigest over stores+tombstones.
+};
+
+void EncodeHello(const WorkerHello& hello, std::vector<uint32_t>* out);
+Result<WorkerHello> DecodeHello(const std::vector<uint32_t>& payload);
+
+/// Field-by-field handshake check; kFailedPrecondition naming the first
+/// mismatched field. Both ends run it (the worker against the frontend's
+/// hello, the frontend against the ack).
+Status CheckHelloMatch(const WorkerHello& expected, const WorkerHello& got);
+
+/// \brief One dimension-stage scan shipped to a worker: the scalar scan
+/// parameters MakeStageScanParams derived on the frontend plus the chain's
+/// compacted candidate SoA. The worker resolves list slices from its own
+/// (bit-identical) stores, runs ScanBlock, and returns the survivors.
+struct StageScanRequest {
+  uint32_t machine = 0;    ///< Grid machine whose store holds the block.
+  uint32_t vec_shard = 0;  ///< Chain's vector shard.
+  uint32_t dim_block = 0;  ///< Dimension block (stage) to scan.
+  uint32_t metric = 0;     ///< Metric enum value.
+  bool prune = false;      ///< Stage-gated pruning switch.
+  bool use_norms = false;  ///< IP norm columns present (rem_p_sq shipped).
+  bool use_batched = false;
+  float tau = 0.0f;
+  float rem_q_sq = 0.0f;
+  uint32_t width = 0;  ///< Block width; q_slice has this many floats.
+  std::vector<float> q_slice;
+  std::vector<int32_t> lists;  ///< Global IVF list ids probed by the chain.
+  // Candidate SoA (all sized `count`; rem_p_sq only when use_norms).
+  std::vector<int64_t> id;
+  std::vector<int32_t> list;  ///< Index into `lists` per candidate.
+  std::vector<int32_t> row;   ///< Row within the list's slice.
+  std::vector<float> partial;
+  std::vector<float> rem_p_sq;
+};
+
+/// Decode-time caps: a corrupt or hostile request cannot make the worker
+/// allocate unboundedly (checked before any resize).
+constexpr uint32_t kMaxScanWidth = 1u << 20;
+constexpr uint32_t kMaxScanLists = 1u << 20;
+constexpr uint32_t kMaxScanCandidates = 1u << 26;
+
+void EncodeStageScanRequest(const StageScanRequest& req,
+                            std::vector<uint32_t>* out);
+Result<StageScanRequest> DecodeStageScanRequest(
+    const std::vector<uint32_t>& payload);
+
+/// \brief A stage scan's compacted survivors (the in-place compaction
+/// ScanBlock performed, shipped back), plus the scan counters for stats.
+struct StageScanResult {
+  uint64_t ops = 0;
+  uint64_t dropped = 0;
+  bool has_norms = false;
+  std::vector<int64_t> id;
+  std::vector<int32_t> list;
+  std::vector<int32_t> row;
+  std::vector<float> partial;
+  std::vector<float> rem_p_sq;
+};
+
+void EncodeStageScanResult(const StageScanResult& res,
+                           std::vector<uint32_t>* out);
+Result<StageScanResult> DecodeStageScanResult(
+    const std::vector<uint32_t>& payload);
+
+/// kOpError payload: the Status code word plus its message bytes, so a
+/// worker-side rejection surfaces on the frontend with its original code
+/// and text.
+void EncodeErrorStatus(const Status& status, std::vector<uint32_t>* out);
+Status DecodeErrorStatus(const std::vector<uint32_t>& payload);
+
+}  // namespace harmony
+
+#endif  // HARMONY_NET_SOCKET_PROTO_H_

@@ -1,0 +1,537 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace harmony {
+namespace {
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deadline timepoint for a per-operation budget; < 0 means "no deadline".
+int64_t DeadlineAt(int64_t budget_ms) {
+  return budget_ms < 0 ? -1 : NowMillis() + budget_ms;
+}
+
+/// Remaining poll timeout toward `deadline_at` (-1 = block).
+Result<int> PollTimeout(int64_t deadline_at) {
+  if (deadline_at < 0) return -1;
+  const int64_t rem = deadline_at - NowMillis();
+  if (rem <= 0) return Status::Timeout("socket deadline expired");
+  return static_cast<int>(std::min<int64_t>(rem, 1 << 30));
+}
+
+/// Polls `fd` for `events` until readable/writable or the deadline passes.
+Status PollFor(int fd, short events, int64_t deadline_at) {
+  while (true) {
+    HARMONY_ASSIGN_OR_RETURN(const int timeout, PollTimeout(deadline_at));
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, timeout);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::Timeout("socket deadline expired");
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("poll: ") + strerror(errno));
+  }
+}
+
+Status MakeSockaddr(const SocketAddr& addr, sockaddr_storage* ss,
+                    socklen_t* len) {
+  memset(ss, 0, sizeof(*ss));
+  if (addr.is_unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(ss);
+    sun->sun_family = AF_UNIX;
+    if (addr.path.size() + 1 > sizeof(sun->sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " + addr.path);
+    }
+    memcpy(sun->sun_path, addr.path.c_str(), addr.path.size() + 1);
+    *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                  addr.path.size() + 1);
+    return Status::OK();
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(ss);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(addr.port);
+  if (inet_pton(AF_INET, addr.host.c_str(), &sin->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host: " + addr.host);
+  }
+  *len = sizeof(sockaddr_in);
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(std::string("fcntl: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+constexpr uint16_t kFlagFin = 1;
+
+uint32_t OpWord(uint16_t op, uint16_t flags) {
+  return static_cast<uint32_t>(op) | (static_cast<uint32_t>(flags) << 16);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t init) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = init ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string SocketAddr::ToString() const {
+  if (is_unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Result<SocketAddr> ParseSocketAddr(const std::string& spec) {
+  SocketAddr addr;
+  if (spec.rfind("unix:", 0) == 0) {
+    addr.is_unix = true;
+    addr.path = spec.substr(5);
+    if (addr.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path: " + spec);
+    }
+    return addr;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("expected tcp:host:port, got " + spec);
+    }
+    addr.is_unix = false;
+    addr.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = strtol(port_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+      return Status::InvalidArgument("bad port in " + spec);
+    }
+    addr.port = static_cast<uint16_t>(port);
+    return addr;
+  }
+  return Status::InvalidArgument(
+      "socket address must start with unix: or tcp:, got " + spec);
+}
+
+// --- SocketChannel -----------------------------------------------------
+
+SocketChannel::SocketChannel(int fd, uint16_t tenant, bool adopt_tenant)
+    : fd_(fd), tenant_(tenant), adopt_tenant_(adopt_tenant) {}
+
+SocketChannel::~SocketChannel() { Close(); }
+
+SocketChannel& SocketChannel::operator=(SocketChannel&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    tenant_ = other.tenant_;
+    adopt_tenant_ = other.adopt_tenant_;
+    tenant_locked_ = other.tenant_locked_;
+    send_seq_ = other.send_seq_;
+    recv_seq_ = other.recv_seq_;
+    deadline_ms_ = other.deadline_ms_;
+    frames_sent_ = other.frames_sent_;
+    frames_received_ = other.frames_received_;
+    shim_ = other.shim_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void SocketChannel::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SocketChannel::WriteAll(const uint8_t* data, size_t size,
+                               int64_t deadline_at) {
+  size_t off = 0;
+  while (off < size) {
+    HARMONY_RETURN_NOT_OK(PollFor(fd_, POLLOUT, deadline_at));
+    const ssize_t n = send(fd_, data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    return Status::IoError(std::string("send: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SocketChannel::ReadAll(uint8_t* data, size_t size, int64_t deadline_at,
+                              size_t read_cap, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  size_t off = 0;
+  while (off < size) {
+    HARMONY_RETURN_NOT_OK(PollFor(fd_, POLLIN, deadline_at));
+    const size_t want = std::min(size - off, read_cap);
+    const ssize_t n = recv(fd_, data + off, want, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (off == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::Unavailable("peer closed connection");
+      }
+      return Status::IoError("peer closed connection mid-frame (truncated after " +
+                             std::to_string(off) + " of " +
+                             std::to_string(size) + " bytes)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    return Status::IoError(std::string("recv: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SocketChannel::SendFrame(uint16_t op, bool fin, const uint32_t* chunk,
+                                size_t words, int64_t deadline_at) {
+  if (!valid()) return Status::FailedPrecondition("channel is closed");
+  FrameHeader h;
+  h.tenant = tenant_;
+  h.seq = send_seq_;
+  h.length = static_cast<uint16_t>(words + 2);
+
+  std::vector<uint32_t> payload(words + 2);
+  payload[0] = OpWord(op, fin ? kFlagFin : 0);
+  if (words > 0) std::memcpy(payload.data() + 2, chunk, words * sizeof(uint32_t));
+  uint32_t crc = Crc32(&payload[0], sizeof(uint32_t));
+  if (words > 0) crc = Crc32(payload.data() + 2, words * sizeof(uint32_t), crc);
+  payload[1] = crc;
+
+  std::vector<uint8_t> wire;
+  wire.reserve(FrameWireBytes(payload.size()));
+  AppendFrameBytes(h, payload.data(), &wire);
+
+  // Deterministic connection-layer faults, keyed by this channel's send
+  // frame counter so a replay fails on the identical frame.
+  if (shim_ != nullptr && shim_->enabled()) {
+    const uint64_t op_index = frames_sent_;
+    if (shim_->Stall(op_index)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(shim_->plan().stall_micros));
+    }
+    if (shim_->Reset(op_index)) {
+      Close();
+      return Status::IoError("injected connection reset before send");
+    }
+    size_t torn = 0;
+    if (shim_->TearWrite(op_index, wire.size(), &torn)) {
+      // Best-effort write of the torn prefix, then hard-close: the peer
+      // sees a truncated frame, we see a dead connection.
+      (void)WriteAll(wire.data(), torn, deadline_at);
+      Close();
+      return Status::IoError("injected torn write (" + std::to_string(torn) +
+                             "/" + std::to_string(wire.size()) + " bytes)");
+    }
+  }
+
+  HARMONY_RETURN_NOT_OK(WriteAll(wire.data(), wire.size(), deadline_at));
+  ++send_seq_;
+  ++frames_sent_;
+  return Status::OK();
+}
+
+Status SocketChannel::Send(uint16_t op, const uint32_t* payload, size_t words) {
+  if (!valid()) return Status::FailedPrecondition("channel is closed");
+  const int64_t deadline_at = DeadlineAt(deadline_ms_);
+  size_t off = 0;
+  do {
+    const size_t chunk = std::min(words - off, kMaxChunkWords);
+    const bool fin = off + chunk == words;
+    HARMONY_RETURN_NOT_OK(
+        SendFrame(op, fin, payload + off, chunk, deadline_at));
+    off += chunk;
+  } while (off < words);
+  return Status::OK();
+}
+
+Result<WireMessage> SocketChannel::Recv() {
+  if (!valid()) return Status::FailedPrecondition("channel is closed");
+  const int64_t deadline_at = DeadlineAt(deadline_ms_);
+  WireMessage msg;
+  bool first_frame = true;
+  while (true) {
+    // Per-frame short-read fault: one coin keyed by the receive frame
+    // counter caps every recv() of this frame, exercising reassembly.
+    size_t read_cap = static_cast<size_t>(-1);
+    if (shim_ != nullptr && shim_->enabled()) {
+      const uint64_t op_index = frames_received_;
+      if (shim_->Stall(op_index)) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(shim_->plan().stall_micros));
+      }
+      if (shim_->Reset(op_index)) {
+        Close();
+        return Status::IoError("injected connection reset before recv");
+      }
+      size_t cap = 0;
+      if (shim_->ShortRead(op_index, &cap)) read_cap = cap;
+    }
+
+    uint8_t header_bytes[FrameHeader::kWireBytes];
+    bool clean_eof = false;
+    Status st = ReadAll(header_bytes, sizeof(header_bytes), deadline_at,
+                        read_cap, first_frame ? &clean_eof : nullptr);
+    if (!st.ok()) return st;
+    uint64_t word = 0;
+    std::memcpy(&word, header_bytes, sizeof(word));
+    HARMONY_ASSIGN_OR_RETURN(const FrameHeader h, ValidateFrameHeader(word));
+    if (h.length < 2) {
+      return Status::IoError("frame too short for opcode + checksum: " +
+                             std::to_string(h.length) + " words");
+    }
+    if (adopt_tenant_ && !tenant_locked_) {
+      tenant_ = h.tenant;
+      tenant_locked_ = true;
+    } else if (h.tenant != tenant_) {
+      return Status::IoError("frame tenant mismatch: got " +
+                             std::to_string(h.tenant) + ", expected " +
+                             std::to_string(tenant_));
+    }
+    if (h.seq != recv_seq_) {
+      return Status::IoError("out-of-sequence frame: got seq " +
+                             std::to_string(h.seq) + ", expected " +
+                             std::to_string(recv_seq_));
+    }
+
+    std::vector<uint32_t> payload(h.length);
+    HARMONY_RETURN_NOT_OK(
+        ReadAll(reinterpret_cast<uint8_t*>(payload.data()),
+                payload.size() * sizeof(uint32_t), deadline_at, read_cap,
+                nullptr));
+    uint32_t crc = Crc32(&payload[0], sizeof(uint32_t));
+    if (h.length > 2) {
+      crc = Crc32(payload.data() + 2, (h.length - 2) * sizeof(uint32_t), crc);
+    }
+    if (crc != payload[1]) {
+      return Status::IoError("frame checksum mismatch (seq " +
+                             std::to_string(h.seq) + ")");
+    }
+    ++recv_seq_;
+    ++frames_received_;
+
+    const uint16_t op = static_cast<uint16_t>(payload[0]);
+    const uint16_t flags = static_cast<uint16_t>(payload[0] >> 16);
+    if (first_frame) {
+      msg.op = op;
+      first_frame = false;
+    } else if (op != msg.op) {
+      return Status::IoError("opcode changed mid-message: " +
+                             std::to_string(op) + " vs " +
+                             std::to_string(msg.op));
+    }
+    if (msg.payload.size() + (h.length - 2) > kMaxMessageWords) {
+      return Status::IoError("reassembled message exceeds cap");
+    }
+    msg.payload.insert(msg.payload.end(), payload.begin() + 2, payload.end());
+    if (flags & kFlagFin) return msg;
+  }
+}
+
+// --- SocketListener ----------------------------------------------------
+
+SocketListener::~SocketListener() { Close(); }
+
+SocketListener& SocketListener::operator=(SocketListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    addr_ = std::move(other.addr_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void SocketListener::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<SocketListener> SocketListener::Listen(const SocketAddr& addr) {
+  const int family = addr.is_unix ? AF_UNIX : AF_INET;
+  const int fd = socket(family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  SocketListener listener;
+  listener.fd_ = fd;
+  listener.addr_ = addr;
+  if (addr.is_unix) {
+    unlink(addr.path.c_str());
+  } else {
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  sockaddr_storage ss;
+  socklen_t len = 0;
+  HARMONY_RETURN_NOT_OK(MakeSockaddr(addr, &ss, &len));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&ss), len) < 0) {
+    return Status::IoError("bind " + addr.ToString() + ": " + strerror(errno));
+  }
+  if (listen(fd, 16) < 0) {
+    return Status::IoError("listen " + addr.ToString() + ": " +
+                           strerror(errno));
+  }
+  if (!addr.is_unix && addr.port == 0) {
+    sockaddr_in bound;
+    socklen_t blen = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+      listener.addr_.port = ntohs(bound.sin_port);
+    }
+  }
+  HARMONY_RETURN_NOT_OK(SetNonBlocking(fd));
+  return listener;
+}
+
+Result<int> SocketListener::AcceptFd(int64_t deadline_ms) {
+  if (!valid()) return Status::FailedPrecondition("listener is closed");
+  const int64_t deadline_at = DeadlineAt(deadline_ms);
+  while (true) {
+    HARMONY_RETURN_NOT_OK(PollFor(fd_, POLLIN, deadline_at));
+    const int conn = accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      HARMONY_RETURN_NOT_OK(SetNonBlocking(conn));
+      return conn;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    return Status::IoError(std::string("accept: ") + strerror(errno));
+  }
+}
+
+Result<int> ConnectFd(const SocketAddr& addr, int64_t deadline_ms) {
+  const int family = addr.is_unix ? AF_UNIX : AF_INET;
+  const int fd = socket(family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    close(fd);
+    return st;
+  }
+  sockaddr_storage ss;
+  socklen_t len = 0;
+  st = MakeSockaddr(addr, &ss, &len);
+  if (!st.ok()) {
+    close(fd);
+    return st;
+  }
+  const int64_t deadline_at = DeadlineAt(deadline_ms);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&ss), len) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      const std::string err = strerror(errno);
+      close(fd);
+      return Status::Unavailable("connect " + addr.ToString() + ": " + err);
+    }
+    st = PollFor(fd, POLLOUT, deadline_at);
+    if (!st.ok()) {
+      close(fd);
+      return st;
+    }
+    int so_error = 0;
+    socklen_t elen = sizeof(so_error);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &elen) < 0 ||
+        so_error != 0) {
+      close(fd);
+      return Status::Unavailable("connect " + addr.ToString() + ": " +
+                                 strerror(so_error != 0 ? so_error : errno));
+    }
+  }
+  if (!addr.is_unix) {
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+Result<SocketChannel> ConnectChannel(const SocketAddr& addr, uint16_t tenant,
+                                     int64_t deadline_ms,
+                                     uint32_t max_attempts,
+                                     uint64_t backoff_seed) {
+  Status last = Status::Unavailable("no connect attempts made");
+  for (uint32_t attempt = 0; attempt < std::max(max_attempts, 1u); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          BackoffDelayMicros(backoff_seed, attempt - 1)));
+    }
+    Result<int> fd = ConnectFd(addr, deadline_ms);
+    if (fd.ok()) {
+      SocketChannel ch(fd.value(), tenant);
+      ch.set_deadline_millis(deadline_ms);
+      return ch;
+    }
+    last = fd.status();
+  }
+  return last;
+}
+
+Result<std::pair<SocketChannel, SocketChannel>> MakeChannelPair(
+    uint16_t tenant) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    return Status::IoError(std::string("socketpair: ") + strerror(errno));
+  }
+  for (const int fd : fds) {
+    const Status st = SetNonBlocking(fd);
+    if (!st.ok()) {
+      close(fds[0]);
+      close(fds[1]);
+      return st;
+    }
+  }
+  return std::make_pair(SocketChannel(fds[0], tenant),
+                        SocketChannel(fds[1], 0, /*adopt_tenant=*/true));
+}
+
+}  // namespace harmony

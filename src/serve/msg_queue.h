@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace harmony {
 
@@ -25,6 +27,10 @@ namespace harmony {
 struct FrameHeader {
   /// 0xAA55 = 10101010 01010101: self-identifying on a byte dump.
   static constexpr uint16_t kMarker = 0xAA55;
+  /// Largest payload the 16-bit length field can frame (words).
+  static constexpr size_t kMaxPayloadWords = 0xFFFF;
+  /// Serialized header size on a byte stream.
+  static constexpr size_t kWireBytes = 8;
 
   uint16_t marker = kMarker;
   uint16_t tenant = 0;  ///< Producing tenant (mailbox id).
@@ -54,6 +60,91 @@ struct FrameHeader {
     return a.Encode() == b.Encode();
   }
 };
+
+/// Serialized size of a frame carrying `payload_words` words.
+constexpr size_t FrameWireBytes(size_t payload_words) {
+  return FrameHeader::kWireBytes + payload_words * sizeof(uint32_t);
+}
+
+/// \brief A frame parsed off a byte stream: the validated header plus a
+/// borrowed view of its payload words (into the caller's buffer).
+struct DecodedFrame {
+  FrameHeader header;
+  const uint8_t* payload = nullptr;  ///< `header.length` words, unaligned.
+  size_t wire_bytes = 0;             ///< Total bytes the frame consumed.
+
+  /// Copies payload word `i` out of the unaligned buffer.
+  uint32_t Word(size_t i) const {
+    uint32_t w = 0;
+    std::memcpy(&w, payload + i * sizeof(uint32_t), sizeof(uint32_t));
+    return w;
+  }
+};
+
+/// Appends the frame (8-byte header word + payload words, host byte order)
+/// to `out`. The header's `length` must already equal `payload_words`; this
+/// is the exact byte layout DecodeFrameBytes accepts and what the socket
+/// transport puts on the wire (docs/serving.md documents it as ABI).
+inline void AppendFrameBytes(const FrameHeader& header, const uint32_t* payload,
+                             std::vector<uint8_t>* out) {
+  HARMONY_CHECK(header.length == 0 || payload != nullptr);
+  const uint64_t word = header.Encode();
+  const size_t base = out->size();
+  out->resize(base + FrameWireBytes(header.length));
+  std::memcpy(out->data() + base, &word, sizeof(word));
+  if (header.length > 0) {
+    std::memcpy(out->data() + base + FrameHeader::kWireBytes, payload,
+                header.length * sizeof(uint32_t));
+  }
+}
+
+/// Validates a raw 8-byte header word read off a stream: the marker must
+/// match and the declared payload must not exceed `max_words` (a transport's
+/// negotiated cap; oversized frames are rejected *before* any allocation or
+/// read of that size happens). Every failure is a Status — a corrupt or
+/// hostile stream must never crash the process (mirrors update_log.cc's
+/// bounds-checked decode).
+inline Result<FrameHeader> ValidateFrameHeader(
+    uint64_t word, size_t max_words = FrameHeader::kMaxPayloadWords) {
+  const FrameHeader h = FrameHeader::Decode(word);
+  if (!h.valid()) {
+    return Status::IoError("bad frame marker: " + std::to_string(h.marker));
+  }
+  if (h.length > max_words) {
+    return Status::IoError("oversized frame: " + std::to_string(h.length) +
+                           " words > cap " + std::to_string(max_words));
+  }
+  return h;
+}
+
+/// Parses one frame from the front of [data, data+size). Bounds-checked at
+/// every step: a truncated header, bad marker, oversized declaration, or a
+/// payload cut short by `size` all return IoError without reading past the
+/// buffer.
+inline Result<DecodedFrame> DecodeFrameBytes(
+    const uint8_t* data, size_t size,
+    size_t max_words = FrameHeader::kMaxPayloadWords) {
+  if (data == nullptr) return Status::InvalidArgument("null frame buffer");
+  if (size < FrameHeader::kWireBytes) {
+    return Status::IoError("truncated frame header: " + std::to_string(size) +
+                           " bytes");
+  }
+  uint64_t word = 0;
+  std::memcpy(&word, data, sizeof(word));
+  HARMONY_ASSIGN_OR_RETURN(const FrameHeader h,
+                           ValidateFrameHeader(word, max_words));
+  const size_t need = FrameWireBytes(h.length);
+  if (size < need) {
+    return Status::IoError("truncated frame payload: header declares " +
+                           std::to_string(h.length) + " words, buffer holds " +
+                           std::to_string(size) + " bytes");
+  }
+  DecodedFrame frame;
+  frame.header = h;
+  frame.payload = data + FrameHeader::kWireBytes;
+  frame.wire_bytes = need;
+  return frame;
+}
 
 /// \brief Bounded single-producer/single-consumer ring buffer (the Rcmp
 /// `msg_queue.hpp` idiom: a power-of-two ring addressed by free-running

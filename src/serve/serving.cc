@@ -9,7 +9,8 @@
 namespace harmony {
 
 Result<ServingReport> ServingFrontend::Replay(const ArrivalTrace& trace,
-                                              bool threaded) {
+                                              bool threaded,
+                                              const BatchExecHook* hook) {
   if (engine_ == nullptr || !engine_->built()) {
     return Status::FailedPrecondition("engine must be built before serving");
   }
@@ -93,7 +94,13 @@ Result<ServingReport> ServingFrontend::Replay(const ArrivalTrace& trace,
     double wall = 0.0;
     std::vector<double> query_seconds;
     std::vector<std::vector<Neighbor>> results;
-    if (threaded) {
+    if (hook != nullptr) {
+      HARMONY_ASSIGN_OR_RETURN(ThreadedOutput out,
+                               (*hook)(sub.View(), options_.k, nprobe));
+      wall = out.wall_seconds;
+      query_seconds = std::move(out.query_seconds);
+      results = std::move(out.results);
+    } else if (threaded) {
       HARMONY_ASSIGN_OR_RETURN(
           ThreadedOutput out,
           engine_->SearchBatchThreaded(sub.View(), options_.k, nprobe));

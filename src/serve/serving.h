@@ -1,6 +1,7 @@
 #ifndef HARMONY_SERVE_SERVING_H_
 #define HARMONY_SERVE_SERVING_H_
 
+#include <functional>
 #include <vector>
 
 #include "core/engine.h"
@@ -80,8 +81,26 @@ class ServingFrontend {
     return Replay(trace, /*threaded=*/true);
   }
 
+  /// Pluggable execution backend for one scheduled group: given the group's
+  /// query rows and quality knobs, returns the batch output. The serving
+  /// layer stays ignorant of what executes the batch — the socket backend
+  /// injects SearchBatchOverSockets through this seam without a
+  /// serve -> net/socket dependency.
+  using BatchExecHook = std::function<Result<ThreadedOutput>(
+      const DatasetView& queries, size_t k, size_t nprobe)>;
+
+  /// Replays the trace with every group executed by `hook` (groups run
+  /// sequentially in schedule order, like RunSimulated). The decision
+  /// sequence — and so ServingSchedule::Fingerprint() — is identical to the
+  /// other backends by construction; only measured latencies differ.
+  Result<ServingReport> RunWithBackend(const ArrivalTrace& trace,
+                                       const BatchExecHook& hook) {
+    return Replay(trace, /*threaded=*/false, &hook);
+  }
+
  private:
-  Result<ServingReport> Replay(const ArrivalTrace& trace, bool threaded);
+  Result<ServingReport> Replay(const ArrivalTrace& trace, bool threaded,
+                               const BatchExecHook* hook = nullptr);
 
   HarmonyEngine* engine_;
   ServingOptions options_;

@@ -7,15 +7,22 @@
 //     entries concurrently with every value delivered exactly once and in
 //     order (run under tsan, this is the data-race proof);
 //  4. a full ring rejects pushes (bounded backpressure) and recovers once
-//     the consumer drains.
+//     the consumer drains;
+//  5. the byte-level frame codec (AppendFrameBytes / DecodeFrameBytes) is
+//     hostile-input safe: seeded fuzzing with truncations, bit flips, and
+//     random garbage always yields a Status, never a crash or overread —
+//     this is the decode path the socket transport trusts with wire bytes.
 
 #include "serve/msg_queue.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <thread>
 #include <vector>
+
+#include "util/rng.h"
 
 namespace harmony {
 namespace {
@@ -38,6 +45,151 @@ TEST(FrameHeaderTest, CorruptMarkerIsInvalid) {
   uint64_t word = h.Encode();
   word ^= 0x1;  // flip a marker bit
   EXPECT_FALSE(FrameHeader::Decode(word).valid());
+}
+
+std::vector<uint8_t> MakeWellFormedFrame(uint16_t tenant, uint16_t seq,
+                                         uint16_t words) {
+  FrameHeader h;
+  h.tenant = tenant;
+  h.seq = seq;
+  h.length = words;
+  std::vector<uint32_t> payload(words);
+  for (uint16_t i = 0; i < words; ++i) payload[i] = 0xC0DE0000u + i;
+  std::vector<uint8_t> bytes;
+  AppendFrameBytes(h, payload.data(), &bytes);
+  return bytes;
+}
+
+TEST(FrameCodecTest, AppendDecodeRoundTrip) {
+  const std::vector<uint8_t> bytes = MakeWellFormedFrame(3, 41, 5);
+  ASSERT_EQ(bytes.size(), FrameWireBytes(5));
+  auto frame = DecodeFrameBytes(bytes.data(), bytes.size());
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame.value().header.tenant, 3);
+  EXPECT_EQ(frame.value().header.seq, 41);
+  EXPECT_EQ(frame.value().header.length, 5);
+  EXPECT_EQ(frame.value().wire_bytes, bytes.size());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(frame.value().Word(i), 0xC0DE0000u + i);
+  }
+}
+
+TEST(FrameCodecTest, ZeroLengthFrameRoundTrips) {
+  const std::vector<uint8_t> bytes = MakeWellFormedFrame(0, 0, 0);
+  ASSERT_EQ(bytes.size(), FrameHeader::kWireBytes);
+  auto frame = DecodeFrameBytes(bytes.data(), bytes.size());
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame.value().header.length, 0);
+  EXPECT_EQ(frame.value().wire_bytes, FrameHeader::kWireBytes);
+}
+
+TEST(FrameCodecTest, NullAndShortBuffersAreStatusNotCrash) {
+  EXPECT_EQ(DecodeFrameBytes(nullptr, 64).status().code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<uint8_t> bytes = MakeWellFormedFrame(1, 0, 2);
+  // Every strict header prefix must fail cleanly.
+  for (size_t n = 0; n < FrameHeader::kWireBytes; ++n) {
+    auto r = DecodeFrameBytes(bytes.data(), n);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST(FrameCodecTest, TruncatedPayloadIsIoError) {
+  const std::vector<uint8_t> bytes = MakeWellFormedFrame(1, 7, 6);
+  // Header complete, payload cut anywhere short of full: IoError.
+  for (size_t n = FrameHeader::kWireBytes; n < bytes.size(); ++n) {
+    auto r = DecodeFrameBytes(bytes.data(), n);
+    ASSERT_FALSE(r.ok()) << "prefix " << n;
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  }
+  // The full buffer decodes.
+  EXPECT_TRUE(DecodeFrameBytes(bytes.data(), bytes.size()).ok());
+}
+
+TEST(FrameCodecTest, OversizedDeclarationRejectedBeforePayloadRead) {
+  FrameHeader h;
+  h.length = 100;
+  const uint64_t word = h.Encode();
+  // Only the 8 header bytes exist; the cap check must fire without ever
+  // touching the (absent) 100-word payload.
+  uint8_t buf[FrameHeader::kWireBytes];
+  std::memcpy(buf, &word, sizeof(word));
+  auto r = DecodeFrameBytes(buf, sizeof(buf), /*max_words=*/64);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("oversized"), std::string::npos);
+  // Under the same cap, a conforming declaration proceeds to the (now
+  // failing) payload-bounds check instead.
+  h.length = 64;
+  const uint64_t ok_word = h.Encode();
+  std::memcpy(buf, &ok_word, sizeof(ok_word));
+  auto r2 = DecodeFrameBytes(buf, sizeof(buf), /*max_words=*/64);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(FrameCodecTest, SeededBitFlipFuzzNeverCrashes) {
+  // Flip one random bit of a well-formed frame, decode, and check the
+  // invariant: either the flip landed in the payload (decode succeeds but
+  // the payload differs) or the decode fails with a Status. Either way the
+  // decoder must not crash, hang, or read out of bounds (asan is the
+  // overread proof).
+  Rng rng(0xF7A3E5);
+  const std::vector<uint8_t> clean = MakeWellFormedFrame(9, 1234, 12);
+  size_t rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> bytes = clean;
+    const size_t bit = static_cast<size_t>(rng.NextU64() % (bytes.size() * 8));
+    bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto r = DecodeFrameBytes(bytes.data(), bytes.size(), /*max_words=*/12);
+    if (!r.ok()) {
+      ++rejected;
+      continue;
+    }
+    // Accepted: the flip must be confined to payload bytes (or the length
+    // field shrank the frame — then wire_bytes reflects the shorter frame).
+    EXPECT_LE(r.value().wire_bytes, bytes.size());
+  }
+  // Header flips (marker/oversized-length) must actually be caught: with 8
+  // of every 56 bytes being header, a meaningful fraction rejects.
+  EXPECT_GT(rejected, 50u);
+}
+
+TEST(FrameCodecTest, SeededRandomGarbageFuzzNeverCrashes) {
+  Rng rng(0xBADF00D);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t size = static_cast<size_t>(rng.NextU64() % 96);
+    std::vector<uint8_t> bytes(size);
+    for (uint8_t& b : bytes) b = static_cast<uint8_t>(rng.NextU64());
+    auto r = DecodeFrameBytes(bytes.empty() ? nullptr : bytes.data(),
+                              bytes.size(), /*max_words=*/16);
+    if (r.ok()) {
+      // A lucky marker: the decode must still be fully in bounds.
+      EXPECT_LE(r.value().wire_bytes, bytes.size());
+      EXPECT_LE(r.value().header.length, 16u);
+    }
+  }
+}
+
+TEST(FrameCodecTest, BackToBackFramesParseSequentially) {
+  // The stream idiom the socket reader uses: frames concatenated on a byte
+  // buffer, each decode consuming exactly wire_bytes.
+  std::vector<uint8_t> stream;
+  for (uint16_t i = 0; i < 8; ++i) {
+    const std::vector<uint8_t> f =
+        MakeWellFormedFrame(2, i, static_cast<uint16_t>(i % 4));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  size_t off = 0;
+  for (uint16_t i = 0; i < 8; ++i) {
+    auto r = DecodeFrameBytes(stream.data() + off, stream.size() - off);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r.value().header.seq, i);
+    EXPECT_EQ(r.value().header.length, i % 4);
+    off += r.value().wire_bytes;
+  }
+  EXPECT_EQ(off, stream.size());
 }
 
 TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {

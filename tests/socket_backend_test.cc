@@ -1,0 +1,494 @@
+// The socket execution backend (net/socket_backend.h) against in-process
+// thread workers serving real unix-domain sockets:
+//  1. fault-free runs are bitwise identical to both in-process engines
+//     (results AND zero degraded) — the third backend joins the parity set;
+//  2. the handshake digest rejects a worker whose store diverged (restart
+//     without update-log replay), and accepts one that replayed;
+//  3. a worker killed mid-run at R = 2 fails over with ZERO degraded
+//     queries and unchanged results; at R = 1 the run completes degraded,
+//     never hangs;
+//  4. deterministic connection-fault runs (torn writes, short reads)
+//     complete with either bit-identical results or degraded-tagged
+//     queries — never a hang, never a crash;
+//  5. ReconnectDead rejoins a restarted-and-replayed worker;
+//  6. the serving frontend driven through the BatchExecHook seam produces
+//     the identical ServingSchedule fingerprint and bitwise results as the
+//     simulated backend.
+
+#include "net/socket_backend.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/remote_worker.h"
+#include "serve/arrival.h"
+#include "serve/serving.h"
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+/// Bitwise cross-engine parity needs the exec_parity_test alignment
+/// preconditions: pipeline off (all backends walk blocks 0..B-1) and one
+/// pipeline batch per chain, so float accumulation order matches exactly.
+HarmonyOptions BaseOptions(size_t machines = 4, size_t replication = 1) {
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = machines;
+  opts.ivf.nlist = 8;
+  opts.ivf.seed = 7;
+  opts.enable_pipeline = false;
+  opts.pipeline_batch = 1 << 20;
+  opts.replication_factor = replication;
+  return opts;
+}
+
+void ExpectBitIdentical(const std::vector<std::vector<Neighbor>>& a,
+                        const std::vector<std::vector<Neighbor>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      EXPECT_EQ(a[q][i].id, b[q][i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ(std::bit_cast<uint32_t>(a[q][i].distance),
+                std::bit_cast<uint32_t>(b[q][i].distance))
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+/// In-process worker fleet: each worker owns its own engine instance built
+/// from the same deterministic spec (so stores are bit-identical to the
+/// frontend's) and serves a unix-domain socket on a background thread.
+class ThreadWorkerFleet {
+ public:
+  /// `tag` names the socket paths: fleets sharing a tag serve the same
+  /// addresses across restarts (what ReconnectDead dials back into).
+  explicit ThreadWorkerFleet(std::string tag) : tag_(std::move(tag)) {}
+  ~ThreadWorkerFleet() { Stop(); }
+
+  /// Builds `n` worker engines from `world` with `opts`, applying
+  /// `mutate` (may be null) to each before serving — the replay hook.
+  /// `kill_worker` (when < n) serves under `kill_faults` — the one that
+  /// dies mid-run.
+  Status Start(const SmallWorld& world, const HarmonyOptions& opts, size_t n,
+               const std::function<Status(HarmonyEngine*)>& mutate = nullptr,
+               size_t kill_worker = static_cast<size_t>(-1),
+               const SocketFaultPlan& kill_faults = {}) {
+    addrs_.clear();
+    for (size_t w = 0; w < n; ++w) {
+      addrs_.push_back(WorkerAddr(w));
+    }
+    for (size_t w = 0; w < n; ++w) {
+      HARMONY_RETURN_NOT_OK(StartWorker(
+          world, opts, w, n, mutate,
+          w == kill_worker ? kill_faults : SocketFaultPlan{}));
+    }
+    return Status::OK();
+  }
+
+  /// (Re)starts worker `w` on its known address — the crash-restart path.
+  Status StartWorker(const SmallWorld& world, const HarmonyOptions& opts,
+                     size_t w, size_t n,
+                     const std::function<Status(HarmonyEngine*)>& mutate,
+                     const SocketFaultPlan& faults = {}) {
+    auto engine = std::make_unique<HarmonyEngine>(opts);
+    HARMONY_RETURN_NOT_OK(engine->BuildFromIndex(world.index));
+    if (mutate) HARMONY_RETURN_NOT_OK(mutate(engine.get()));
+    SocketWorkerOptions wopts;
+    wopts.worker_id = static_cast<uint32_t>(w);
+    wopts.num_workers = static_cast<uint32_t>(n);
+    wopts.poll_ms = 50;
+    wopts.faults = faults;
+    wopts.kill_is_exit = false;  // thread mode: hang up, don't _exit
+    auto worker = std::make_unique<SocketWorker>(engine.get(), wopts);
+    HARMONY_RETURN_NOT_OK(worker->Init());
+    HARMONY_ASSIGN_OR_RETURN(SocketListener listener,
+                             SocketListener::Listen(addrs_[w]));
+    auto listener_ptr = std::make_unique<SocketListener>(std::move(listener));
+    threads_.emplace_back(
+        [worker = worker.get(), listener = listener_ptr.get(), this] {
+          (void)worker->Serve(listener, &stop_);
+        });
+    engines_.push_back(std::move(engine));
+    workers_.push_back(std::move(worker));
+    listeners_.push_back(std::move(listener_ptr));
+    return Status::OK();
+  }
+
+  void Stop() {
+    stop_.store(true);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+    for (auto& l : listeners_) l->Close();
+    for (size_t w = 0; w < addrs_.size(); ++w) {
+      unlink(addrs_[w].path.c_str());
+    }
+  }
+
+  const std::vector<SocketAddr>& addrs() const { return addrs_; }
+
+ private:
+  SocketAddr WorkerAddr(size_t w) const {
+    SocketAddr addr;
+    addr.is_unix = true;
+    addr.path = "/tmp/harmony_bk_" + std::to_string(getpid()) + "_" + tag_ +
+                "_" + std::to_string(w) + ".sock";
+    return addr;
+  }
+
+  std::string tag_;
+  std::vector<SocketAddr> addrs_;
+  std::vector<std::unique_ptr<HarmonyEngine>> engines_;
+  std::vector<std::unique_ptr<SocketWorker>> workers_;
+  std::vector<std::unique_ptr<SocketListener>> listeners_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+};
+
+TEST(SocketBackendTest, FaultFreeRunMatchesBothInProcessEnginesBitwise) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 16);
+  HarmonyEngine frontend(BaseOptions());
+  ASSERT_TRUE(frontend.BuildFromIndex(world.index).ok());
+
+  ThreadWorkerFleet fleet("parity");
+  ASSERT_TRUE(fleet.Start(world, BaseOptions(), 2).ok());
+
+  auto expect = MakeEngineHello(&frontend, 0, 2);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+  SocketFrontend net;
+  ASSERT_TRUE(net.Connect(fleet.addrs(), expect.value()).ok());
+
+  auto sock = SearchBatchOverSockets(&frontend, &net,
+                                     world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(sock.ok()) << sock.status();
+  auto thr = frontend.SearchBatchThreaded(world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(thr.ok()) << thr.status();
+  auto sim = frontend.SearchBatchPinned(world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+
+  ExpectBitIdentical(sock.value().results, thr.value().results);
+  ExpectBitIdentical(sock.value().results, sim.value().results);
+  for (const uint8_t d : sock.value().degraded) EXPECT_EQ(d, 0);
+  EXPECT_EQ(sock.value().faults.degraded_queries, 0u);
+  EXPECT_EQ(sock.value().faults.failovers, 0u);
+  EXPECT_GT(sock.value().bytes_streamed, 0u);
+  EXPECT_GT(net.stats().rpcs, 0u);
+  EXPECT_EQ(net.stats().workers_marked_dead, 0u);
+  net.ShutdownWorkers();
+}
+
+TEST(SocketBackendTest, PingAndScopeGates) {
+  SmallWorld world = MakeSmallWorld(1200, 16, 4, 8, 8);
+  HarmonyEngine frontend(BaseOptions());
+  ASSERT_TRUE(frontend.BuildFromIndex(world.index).ok());
+
+  ThreadWorkerFleet fleet("gates");
+  ASSERT_TRUE(fleet.Start(world, BaseOptions(), 2).ok());
+  auto expect = MakeEngineHello(&frontend, 0, 2);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+  SocketFrontend net;
+  ASSERT_TRUE(net.Connect(fleet.addrs(), expect.value()).ok());
+  EXPECT_TRUE(net.Ping(0).ok());
+  EXPECT_TRUE(net.Ping(1).ok());
+
+  // Modeled message-level fault plans belong to sim/threaded; the socket
+  // backend rejects them loudly instead of silently ignoring the plan.
+  {
+    HarmonyOptions opts = BaseOptions();
+    opts.faults.drop_prob = 0.1;
+    opts.faults.seed = 3;
+    HarmonyEngine faulty(opts);
+    ASSERT_TRUE(faulty.BuildFromIndex(world.index).ok());
+    auto out = SearchBatchOverSockets(&faulty, &net,
+                                      world.workload.queries.View(), 10, 4);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Hedging requires the threaded engine's timing model.
+  {
+    HarmonyOptions opts = BaseOptions(4, 2);
+    opts.hedge_after = 1.5;
+    HarmonyEngine hedged(opts);
+    ASSERT_TRUE(hedged.BuildFromIndex(world.index).ok());
+    auto out = SearchBatchOverSockets(&hedged, &net,
+                                      world.workload.queries.View(), 10, 4);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kNotSupported);
+  }
+  net.ShutdownWorkers();
+}
+
+TEST(SocketBackendTest, HandshakeRejectsDivergentWorkerState) {
+  SmallWorld world = MakeSmallWorld(1200, 16, 4, 8, 8);
+  HarmonyEngine frontend(BaseOptions());
+  ASSERT_TRUE(frontend.BuildFromIndex(world.index).ok());
+
+  // The worker "restarted without replaying its log": one extra insert the
+  // frontend never saw changes the digest.
+  ThreadWorkerFleet fleet("diverge");
+  const DatasetView extra(world.mixture.vectors.Row(0), 1,
+                          world.mixture.vectors.dim());
+  ASSERT_TRUE(fleet
+                  .Start(world, BaseOptions(), 1,
+                         [&extra](HarmonyEngine* e) {
+                           return e->InsertVectors(extra);
+                         })
+                  .ok());
+  auto expect = MakeEngineHello(&frontend, 0, 1);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+  SocketFrontend net;
+  const Status st = net.Connect(fleet.addrs(), expect.value());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("digest"), std::string::npos) << st;
+}
+
+TEST(SocketBackendTest, RestartedWorkerRejoinsAfterUpdateLogReplay) {
+  SmallWorld world = MakeSmallWorld(1500, 16, 4, 8, 10);
+  HarmonyEngine frontend(BaseOptions());
+  ASSERT_TRUE(frontend.BuildFromIndex(world.index).ok());
+  // Live mutations before serving starts: inserts + a delete, all pending.
+  const DatasetView ins(world.mixture.vectors.Row(10), 3,
+                        world.mixture.vectors.dim());
+  ASSERT_TRUE(frontend.InsertVectors(ins).ok());
+  ASSERT_TRUE(frontend.DeleteVectors({5}).ok());
+
+  const auto replay = [&frontend](HarmonyEngine* e) {
+    return e->ReplayUpdates(frontend.update_log());
+  };
+  ThreadWorkerFleet fleet("rejoin");
+  ASSERT_TRUE(fleet.Start(world, BaseOptions(), 2, replay).ok());
+  auto expect = MakeEngineHello(&frontend, 0, 2);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+  SocketFrontend net;
+  ASSERT_TRUE(net.Connect(fleet.addrs(), expect.value()).ok());
+
+  auto before = SearchBatchOverSockets(&frontend, &net,
+                                       world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  // Crash worker 1: stop the whole fleet, then bring worker 0 back replayed
+  // and worker 1 back WITHOUT replay — ReconnectDead must reject the
+  // diverged one (kFailedPrecondition), then accept it once replayed.
+  fleet.Stop();
+  SocketFrontendOptions fast;
+  fast.connect_deadline_ms = 100;
+  fast.rpc_deadline_ms = 500;
+  fast.max_attempts = 2;
+  // Both workers are gone: calls fail over to nothing and mark them dead.
+  SocketFrontend net2(fast);
+  {
+    ThreadWorkerFleet fleet2("rejoin");
+    ASSERT_TRUE(fleet2.Start(world, BaseOptions(), 2, replay).ok());
+    ASSERT_TRUE(net2.Connect(fleet2.addrs(), expect.value()).ok());
+    fleet2.Stop();
+  }
+  EXPECT_FALSE(net2.Ping(0).ok());
+  EXPECT_FALSE(net2.Ping(1).ok());
+  EXPECT_EQ(net2.workers_dead(), 2u);
+
+  // Restart without replay: the handshake digest catches it.
+  {
+    ThreadWorkerFleet fleet3("rejoin");
+    ASSERT_TRUE(fleet3.Start(world, BaseOptions(), 2, nullptr).ok());
+    const Status rejoin = net2.ReconnectDead();
+    ASSERT_FALSE(rejoin.ok());
+    EXPECT_EQ(rejoin.code(), StatusCode::kFailedPrecondition);
+    fleet3.Stop();
+  }
+
+  // Restart with replay: both rejoin and the next batch matches the
+  // pre-crash run bitwise.
+  ThreadWorkerFleet fleet4("rejoin");
+  ASSERT_TRUE(fleet4.Start(world, BaseOptions(), 2, replay).ok());
+  ASSERT_TRUE(net2.ReconnectDead().ok());
+  EXPECT_EQ(net2.workers_dead(), 0u);
+  EXPECT_EQ(net2.stats().workers_rejoined, 2u);
+  auto after = SearchBatchOverSockets(&frontend, &net2,
+                                      world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(after.ok()) << after.status();
+  ExpectBitIdentical(before.value().results, after.value().results);
+  net2.ShutdownWorkers();
+}
+
+TEST(SocketBackendTest, WorkerKilledMidRunAtR2FailsOverWithZeroDegraded) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 16);
+  const HarmonyOptions opts = BaseOptions(4, /*replication=*/2);
+  HarmonyEngine frontend(opts);
+  ASSERT_TRUE(frontend.BuildFromIndex(world.index).ok());
+  auto baseline = frontend.SearchBatchThreaded(world.workload.queries.View(),
+                                               10, 4);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  // Worker 1 dies after a handful of frames (handshake + a few scans); with
+  // machine -> worker = m % 2 and replicas (m, m+1 mod 4), every block has
+  // a surviving replica on worker 0.
+  ThreadWorkerFleet fleet("killr2");
+  SocketFaultPlan kill;
+  kill.kill_after_frames = 6;
+  ASSERT_TRUE(fleet.Start(world, opts, 2, nullptr, /*kill_worker=*/1, kill)
+                  .ok());
+  auto expect = MakeEngineHello(&frontend, 0, 2);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+  SocketFrontendOptions fopts;
+  fopts.connect_deadline_ms = 500;
+  fopts.rpc_deadline_ms = 2000;
+  fopts.max_attempts = 2;
+  SocketFrontend net(fopts);
+  ASSERT_TRUE(net.Connect(fleet.addrs(), expect.value()).ok());
+
+  auto out = SearchBatchOverSockets(&frontend, &net,
+                                    world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // The kill fired and worker 1 was declared dead...
+  EXPECT_EQ(net.stats().workers_marked_dead, 1u);
+  EXPECT_TRUE(net.WorkerDead(1));
+  EXPECT_GT(out.value().faults.failovers, 0u);
+  // ...yet replication absorbed it: zero degraded, results unchanged.
+  EXPECT_EQ(out.value().faults.degraded_queries, 0u);
+  for (const uint8_t d : out.value().degraded) EXPECT_EQ(d, 0);
+  ExpectBitIdentical(out.value().results, baseline.value().results);
+  net.ShutdownWorkers();
+}
+
+TEST(SocketBackendTest, WorkerKilledAtR1CompletesDegradedNeverHangs) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 16);
+  const HarmonyOptions opts = BaseOptions(4, /*replication=*/1);
+  HarmonyEngine frontend(opts);
+  ASSERT_TRUE(frontend.BuildFromIndex(world.index).ok());
+
+  ThreadWorkerFleet fleet("killr1");
+  SocketFaultPlan kill;
+  kill.kill_after_frames = 4;
+  ASSERT_TRUE(fleet.Start(world, opts, 2, nullptr, /*kill_worker=*/1, kill)
+                  .ok());
+  auto expect = MakeEngineHello(&frontend, 0, 2);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+  SocketFrontendOptions fopts;
+  fopts.connect_deadline_ms = 500;
+  fopts.rpc_deadline_ms = 2000;
+  fopts.max_attempts = 2;
+  SocketFrontend net(fopts);
+  ASSERT_TRUE(net.Connect(fleet.addrs(), expect.value()).ok());
+
+  auto out = SearchBatchOverSockets(&frontend, &net,
+                                    world.workload.queries.View(), 10, 4);
+  // At R = 1 a dead worker means lost blocks: the run still completes with
+  // a Status::OK, results for every query, and honest degraded tags.
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(net.stats().workers_marked_dead, 1u);
+  EXPECT_GT(out.value().faults.degraded_queries, 0u);
+  EXPECT_GT(out.value().faults.blocks_lost, 0u);
+  ASSERT_EQ(out.value().results.size(), world.workload.queries.size());
+  net.ShutdownWorkers();
+}
+
+TEST(SocketBackendTest, ConnectionFaultShimRunCompletesHonestly) {
+  // Deterministic torn writes + short reads + stalls on the frontend side:
+  // the run must complete (no hang, no crash); any query either matches the
+  // fault-free baseline bitwise or is tagged degraded.
+  SmallWorld world = MakeSmallWorld(1500, 16, 4, 8, 10);
+  const HarmonyOptions opts = BaseOptions(4, /*replication=*/2);
+  HarmonyEngine frontend(opts);
+  ASSERT_TRUE(frontend.BuildFromIndex(world.index).ok());
+  auto baseline = frontend.SearchBatchThreaded(world.workload.queries.View(),
+                                               10, 4);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  ThreadWorkerFleet fleet("shim");
+  ASSERT_TRUE(fleet.Start(world, opts, 2).ok());
+  auto expect = MakeEngineHello(&frontend, 0, 2);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+
+  SocketFrontendOptions fopts;
+  fopts.connect_deadline_ms = 1000;
+  fopts.rpc_deadline_ms = 3000;
+  fopts.max_attempts = 4;
+  fopts.faults.seed = 0x51C;
+  fopts.faults.torn_write_prob = 0.05;
+  fopts.faults.short_read_prob = 0.20;
+  fopts.faults.stall_prob = 0.05;
+  fopts.faults.stall_micros = 200;
+  SocketFrontend net(fopts);
+  ASSERT_TRUE(net.Connect(fleet.addrs(), expect.value()).ok());
+
+  auto out = SearchBatchOverSockets(&frontend, &net,
+                                    world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out.value().results.size(), baseline.value().results.size());
+  for (size_t q = 0; q < out.value().results.size(); ++q) {
+    if (out.value().degraded[q] != 0) continue;  // honestly tagged
+    ASSERT_EQ(out.value().results[q].size(), baseline.value().results[q].size())
+        << "query " << q;
+    for (size_t i = 0; i < out.value().results[q].size(); ++i) {
+      EXPECT_EQ(out.value().results[q][i].id,
+                baseline.value().results[q][i].id);
+      EXPECT_EQ(std::bit_cast<uint32_t>(out.value().results[q][i].distance),
+                std::bit_cast<uint32_t>(baseline.value().results[q][i].distance));
+    }
+  }
+  net.ShutdownWorkers();
+}
+
+TEST(SocketBackendTest, ServingFingerprintAndResultsMatchSimBackend) {
+  SmallWorld world = MakeSmallWorld(1500, 16, 4, 8, 10);
+  HarmonyEngine frontend(BaseOptions());
+  ASSERT_TRUE(frontend.BuildFromIndex(world.index).ok());
+
+  ThreadWorkerFleet fleet("serve");
+  ASSERT_TRUE(fleet.Start(world, BaseOptions(), 2).ok());
+  auto expect = MakeEngineHello(&frontend, 0, 2);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+  SocketFrontend net;
+  ASSERT_TRUE(net.Connect(fleet.addrs(), expect.value()).ok());
+
+  ArrivalSpec spec;
+  spec.num_queries = 64;
+  spec.num_tenants = 3;
+  spec.offered_qps = 2000.0;
+  spec.slo_seconds = 0.05;
+  spec.seed = 42;
+  auto trace = GenerateArrivalTrace(world.mixture, spec);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+
+  ServingOptions sopts;
+  sopts.k = 10;
+  sopts.nprobe = 4;
+  ServingFrontend serving(&frontend, sopts);
+
+  auto sim = serving.RunSimulated(trace.value());
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  auto sock = serving.RunWithBackend(
+      trace.value(),
+      [&frontend, &net](const DatasetView& queries, size_t k, size_t nprobe) {
+        return SearchBatchOverSockets(&frontend, &net, queries, k, nprobe);
+      });
+  ASSERT_TRUE(sock.ok()) << sock.status();
+
+  // The wire backend makes the identical scheduling decisions...
+  EXPECT_EQ(sim.value().schedule.Fingerprint(),
+            sock.value().schedule.Fingerprint());
+  // ...and the identical per-arrival answers, bit for bit.
+  ExpectBitIdentical(sim.value().results, sock.value().results);
+  net.ShutdownWorkers();
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,260 @@
+// True multi-process serving: the gtest process is the frontend; worker
+// processes are fork()ed children each serving a unix-domain socket against
+// an engine built from the same deterministic spec (copy-on-write snapshot
+// of the parent's build — bit-identical by construction).
+//  1. a fault-free 1-frontend + 2-worker run returns results bitwise
+//     identical to the in-process engines;
+//  2. a worker process killed mid-run (deterministic kill_after_frames ->
+//     _exit) at R = 2 fails over with zero degraded queries and unchanged
+//     results, and the frontend observes the death;
+//  3. the killed worker is re-fork()ed (crash-restart), replays the update
+//     log to the pinned generation, passes the digest handshake via
+//     ReconnectDead, and the next batch is again bitwise identical.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/remote_worker.h"
+#include "net/socket_backend.h"
+#include "test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing_util::MakeSmallWorld;
+using testing_util::SmallWorld;
+
+HarmonyOptions BaseOptions(size_t replication) {
+  HarmonyOptions opts;
+  opts.mode = Mode::kHarmony;
+  opts.num_machines = 4;
+  opts.ivf.nlist = 8;
+  opts.ivf.seed = 7;
+  // Bitwise parity alignment (see exec_parity_test.cc).
+  opts.enable_pipeline = false;
+  opts.pipeline_batch = 1 << 20;
+  opts.replication_factor = replication;
+  return opts;
+}
+
+void ExpectBitIdentical(const std::vector<std::vector<Neighbor>>& a,
+                        const std::vector<std::vector<Neighbor>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      EXPECT_EQ(a[q][i].id, b[q][i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ(std::bit_cast<uint32_t>(a[q][i].distance),
+                std::bit_cast<uint32_t>(b[q][i].distance))
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+SocketAddr WorkerAddr(const std::string& tag, size_t w) {
+  SocketAddr addr;
+  addr.is_unix = true;
+  addr.path = "/tmp/harmony_proc_" + std::to_string(getppid()) + "_" + tag +
+              "_" + std::to_string(w) + ".sock";
+  return addr;
+}
+
+/// Forks a worker process serving `addr` against `engine` (inherited
+/// copy-on-write from the parent — bit-identical stores for free). The
+/// child never returns; it _exit()s on shutdown, serve error, or kill.
+pid_t ForkWorker(HarmonyEngine* engine, const SocketAddr& addr, size_t w,
+                 size_t n, const SocketFaultPlan& faults) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  // --- child ---
+  SocketWorkerOptions wopts;
+  wopts.worker_id = static_cast<uint32_t>(w);
+  wopts.num_workers = static_cast<uint32_t>(n);
+  wopts.poll_ms = 100;
+  wopts.faults = faults;
+  wopts.kill_is_exit = true;  // process mode: the kill is a real _exit(137)
+  SocketWorker worker(engine, wopts);
+  if (!worker.Init().ok()) _exit(3);
+  auto listener = SocketListener::Listen(addr);
+  if (!listener.ok()) _exit(4);
+  const Status served = worker.Serve(&listener.value(), nullptr);
+  _exit(served.ok() ? 0 : 5);
+}
+
+/// Dials + handshakes with patience for worker-process boot (the child
+/// builds its engine before Listen; plain Connect fails fast on a missing
+/// socket path).
+Status ConnectWithRetry(SocketFrontend* net, const std::vector<SocketAddr>& addrs,
+                        const WorkerHello& expect) {
+  Status last = Status::Unavailable("no connect attempts");
+  for (int i = 0; i < 200; ++i) {
+    last = net->Connect(addrs, expect);
+    if (last.ok() || last.code() == StatusCode::kFailedPrecondition) {
+      return last;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return last;
+}
+
+void ReapWorkers(std::vector<pid_t>* pids) {
+  for (const pid_t pid : *pids) {
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+    }
+  }
+  pids->clear();
+}
+
+TEST(SocketProcessTest, TwoWorkerProcessesMatchInProcessEnginesBitwise) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 16);
+  HarmonyEngine engine(BaseOptions(/*replication=*/1));
+  ASSERT_TRUE(engine.BuildFromIndex(world.index).ok());
+  // Reference runs BEFORE forking, so children inherit the identical
+  // post-build state (threaded runs leave no engine mutation behind).
+  auto thr = engine.SearchBatchThreaded(world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(thr.ok()) << thr.status();
+
+  std::vector<pid_t> pids;
+  std::vector<SocketAddr> addrs = {WorkerAddr("parity", 0),
+                                   WorkerAddr("parity", 1)};
+  for (size_t w = 0; w < 2; ++w) {
+    pids.push_back(ForkWorker(&engine, addrs[w], w, 2, {}));
+    ASSERT_GT(pids.back(), 0);
+  }
+
+  auto expect = MakeEngineHello(&engine, 0, 2);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+  SocketFrontendOptions fopts;
+  fopts.connect_deadline_ms = 5000;
+  SocketFrontend net(fopts);
+  ASSERT_TRUE(ConnectWithRetry(&net, addrs, expect.value()).ok());
+
+  auto sock = SearchBatchOverSockets(&engine, &net,
+                                     world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(sock.ok()) << sock.status();
+  ExpectBitIdentical(sock.value().results, thr.value().results);
+  EXPECT_EQ(sock.value().faults.degraded_queries, 0u);
+  EXPECT_EQ(net.stats().workers_marked_dead, 0u);
+  net.ShutdownWorkers();
+  ReapWorkers(&pids);
+  for (const SocketAddr& a : addrs) unlink(a.path.c_str());
+}
+
+TEST(SocketProcessTest, KilledWorkerProcessAtR2ThenRestartReplayRejoins) {
+  SmallWorld world = MakeSmallWorld(2000, 32, 8, 8, 16);
+  const HarmonyOptions opts = BaseOptions(/*replication=*/2);
+  HarmonyEngine engine(opts);
+  ASSERT_TRUE(engine.BuildFromIndex(world.index).ok());
+  // Pending epoch-versioned updates: what the restarted worker must replay
+  // before it may rejoin.
+  const DatasetView ins(world.mixture.vectors.Row(20), 3,
+                        world.mixture.vectors.dim());
+  ASSERT_TRUE(engine.InsertVectors(ins).ok());
+  ASSERT_TRUE(engine.DeleteVectors({7}).ok());
+
+  auto baseline = engine.SearchBatchThreaded(world.workload.queries.View(),
+                                             10, 4);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  std::vector<SocketAddr> addrs = {WorkerAddr("kill", 0),
+                                   WorkerAddr("kill", 1)};
+  std::vector<pid_t> pids;
+  pids.push_back(ForkWorker(&engine, addrs[0], 0, 2, {}));
+  ASSERT_GT(pids.back(), 0);
+  // Worker 1 _exit(137)s after 6 frames: deterministically mid-run.
+  SocketFaultPlan kill;
+  kill.kill_after_frames = 6;
+  pids.push_back(ForkWorker(&engine, addrs[1], 1, 2, kill));
+  ASSERT_GT(pids.back(), 0);
+
+  auto expect = MakeEngineHello(&engine, 0, 2);
+  ASSERT_TRUE(expect.ok()) << expect.status();
+  SocketFrontendOptions fopts;
+  fopts.connect_deadline_ms = 5000;
+  fopts.rpc_deadline_ms = 2000;
+  fopts.max_attempts = 2;
+  SocketFrontend net(fopts);
+  ASSERT_TRUE(ConnectWithRetry(&net, addrs, expect.value()).ok());
+
+  auto out = SearchBatchOverSockets(&engine, &net,
+                                    world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // The process died (137), the frontend noticed, replication absorbed it:
+  // zero degraded, bitwise-unchanged results.
+  EXPECT_EQ(net.stats().workers_marked_dead, 1u);
+  EXPECT_TRUE(net.WorkerDead(1));
+  EXPECT_GT(out.value().faults.failovers, 0u);
+  EXPECT_EQ(out.value().faults.degraded_queries, 0u);
+  ExpectBitIdentical(out.value().results, baseline.value().results);
+  int status = 0;
+  ASSERT_EQ(waitpid(pids[1], &status, 0), pids[1]);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), SocketWorker::kKillExitCode);
+  pids[1] = -1;
+
+  // Crash-restart recovery: rebuild the worker's engine from the base spec
+  // in a fresh child, replay the parent's update log to the pinned
+  // generation, re-bind the same address, and rejoin via the digest
+  // handshake.
+  {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // --- child: cold restart, replay, serve ---
+      HarmonyEngine restarted(opts);
+      if (!restarted.BuildFromIndex(world.index).ok()) _exit(6);
+      if (!restarted.ReplayUpdates(engine.update_log()).ok()) _exit(7);
+      SocketWorkerOptions wopts;
+      wopts.worker_id = 1;
+      wopts.num_workers = 2;
+      wopts.poll_ms = 100;
+      wopts.kill_is_exit = true;
+      SocketWorker worker(&restarted, wopts);
+      if (!worker.Init().ok()) _exit(8);
+      auto listener = SocketListener::Listen(addrs[1]);
+      if (!listener.ok()) _exit(9);
+      const Status served = worker.Serve(&listener.value(), nullptr);
+      _exit(served.ok() ? 0 : 10);
+    }
+    pids[1] = pid;
+  }
+  // The restarted child rebuilds + replays before it listens: poll the
+  // rejoin until the handshake lands (a digest mismatch would surface as
+  // kFailedPrecondition and fail immediately).
+  for (int i = 0; i < 300 && net.workers_dead() > 0; ++i) {
+    ASSERT_TRUE(net.ReconnectDead().ok());
+    if (net.workers_dead() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  EXPECT_EQ(net.workers_dead(), 0u);
+  EXPECT_EQ(net.stats().workers_rejoined, 1u);
+
+  auto after = SearchBatchOverSockets(&engine, &net,
+                                      world.workload.queries.View(), 10, 4);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after.value().faults.degraded_queries, 0u);
+  EXPECT_EQ(after.value().faults.failovers, 0u);
+  ExpectBitIdentical(after.value().results, baseline.value().results);
+
+  net.ShutdownWorkers();
+  ReapWorkers(&pids);
+  for (const SocketAddr& a : addrs) unlink(a.path.c_str());
+}
+
+}  // namespace
+}  // namespace harmony

@@ -10,13 +10,23 @@
 //
 // Prints one human-readable report: plan, QPS, recall, breakdown, pruning.
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/engine.h"
+#include "net/remote_worker.h"
+#include "net/socket_backend.h"
+#include "net/socket_transport.h"
 #include "serve/serving.h"
 #include "storage/io.h"
 #include "workload/datasets.h"
@@ -78,6 +88,14 @@ struct CliArgs {
   // Update stream riding the serving timeline (docs/mutability.md).
   double update_rate = 0.0;   // mean updates/second; 0 = no update stream
   double delete_frac = 0.0;   // fraction of updates that are deletes
+  // Real-socket worker transport (docs/failure_model.md, docs/serving.md).
+  bool worker = false;          // serve one worker process on --listen
+  std::string listen_addr;      // unix:/path or tcp:host:port
+  size_t worker_id = 0;
+  size_t num_workers = 0;       // required with --worker
+  std::string workers_csv;      // frontend mode: comma-separated addresses
+  bool shutdown_workers = false;
+  bool socket_smoke = false;    // self-contained fork-based smoke run
 };
 
 void Usage() {
@@ -141,7 +159,21 @@ void Usage() {
       "                        (inserts + deletes) sharing the SLO lanes;\n"
       "                        0 = no update stream (docs/mutability.md)\n"
       "  --delete-frac F       fraction of update arrivals that are deletes\n"
-      "                        (default 0 = inserts only)");
+      "                        (default 0 = inserts only)\n"
+      "  --worker              serve one worker process: build the stand-in\n"
+      "                        engine deterministically and answer scan RPCs\n"
+      "                        on --listen until a shutdown frame arrives\n"
+      "  --listen A            worker bind address: unix:/path or tcp:host:port\n"
+      "  --worker-id N         this worker's id (0-based)\n"
+      "  --num-workers N       total workers in the fleet\n"
+      "  --workers A,B,...     frontend mode: run the query batch over real\n"
+      "                        sockets against these workers and check the\n"
+      "                        results bitwise against the in-process engine\n"
+      "  --shutdown-workers    frontend sends shutdown frames when done\n"
+      "  --socket-smoke        self-contained multi-process smoke: fork two\n"
+      "                        workers, run with R=2, kill one mid-run (zero\n"
+      "                        degraded), restart it with update-log replay,\n"
+      "                        rejoin, and verify bitwise parity throughout");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -174,6 +206,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->serve = true;
     } else if (flag == "--serve-shed") {
       args->serve_shed = true;
+    } else if (flag == "--worker") {
+      args->worker = true;
+    } else if (flag == "--shutdown-workers") {
+      args->shutdown_workers = true;
+    } else if (flag == "--socket-smoke") {
+      args->socket_smoke = true;
     } else if (flag == "--explain") {
       args->explain = true;
     } else if ((v = need_value(i)) == nullptr) {
@@ -240,6 +278,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->update_rate = std::strtod(v, nullptr);
     } else if (flag == "--delete-frac") {
       args->delete_frac = std::strtod(v, nullptr);
+    } else if (flag == "--listen") {
+      args->listen_addr = v;
+    } else if (flag == "--worker-id") {
+      args->worker_id = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--num-workers") {
+      args->num_workers = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--workers") {
+      args->workers_csv = v;
     } else if (flag == "--threads-per-node") {
       args->threads_per_node = std::strtoul(v, nullptr, 10);
     } else if (flag == "--group-size") {
@@ -619,6 +665,384 @@ int Run(const CliArgs& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Real-socket worker transport modes (--worker / --workers / --socket-smoke).
+//
+// Every process builds the SAME engine from the stand-in spec: the build is
+// deterministic (seeded k-means over seeded synthetic data), so separately
+// started worker and frontend processes hold bit-identical stores and the
+// digest handshake passes without any state transfer. --base files work the
+// same way (both sides read identical bytes).
+
+struct SocketWorld {
+  Dataset base;
+  Dataset queries;
+  HarmonyOptions options;
+};
+
+Result<SocketWorld> MakeSocketWorld(const CliArgs& args) {
+  SocketWorld world;
+  if (!args.base_path.empty()) {
+    HARMONY_ASSIGN_OR_RETURN(world.base, ReadFvecs(args.base_path));
+    if (args.query_path.empty()) {
+      return Status::InvalidArgument("--queries required with --base");
+    }
+    HARMONY_ASSIGN_OR_RETURN(world.queries, ReadFvecs(args.query_path));
+  } else {
+    const std::string name = args.dataset.empty() ? "sift1m" : args.dataset;
+    HARMONY_ASSIGN_OR_RETURN(const StandInSpec spec, GetStandIn(name));
+    HARMONY_ASSIGN_OR_RETURN(BenchData data,
+                             MakeStandIn(spec, args.scale, args.zipf));
+    world.base = std::move(data.mixture.vectors);
+    world.queries = std::move(data.workload.queries);
+    if (args.nlist == 0) world.options.ivf.nlist = spec.nlist_hint;
+  }
+  HARMONY_ASSIGN_OR_RETURN(world.options.mode, ParseMode(args.mode));
+  HARMONY_ASSIGN_OR_RETURN(world.options.ivf.metric, ParseMetric(args.metric));
+  if (world.options.ivf.metric == Metric::kCosine) NormalizeRows(&world.base);
+  world.options.num_machines = args.nmachine;
+  if (args.nlist > 0) world.options.ivf.nlist = args.nlist;
+  world.options.alpha = args.alpha;
+  world.options.replication_factor = args.replication_factor;
+  world.options.threads_per_node = args.threads_per_node;
+  world.options.query_group_size = args.group_size;
+  world.options.shared_scans = args.shared_scans;
+  // Bitwise-parity alignment across backends (docs/execution.md): every
+  // backend must walk dim blocks in the same order with the same
+  // accumulation grouping.
+  world.options.enable_pipeline = false;
+  world.options.pipeline_batch = 1 << 20;
+  return world;
+}
+
+Result<std::vector<SocketAddr>> ParseWorkerList(const std::string& csv) {
+  std::vector<SocketAddr> addrs;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string spec = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!spec.empty()) {
+      HARMONY_ASSIGN_OR_RETURN(const SocketAddr addr, ParseSocketAddr(spec));
+      addrs.push_back(addr);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (addrs.empty()) return Status::InvalidArgument("empty --workers list");
+  return addrs;
+}
+
+/// Dials + handshakes with patience for worker-process boot: a worker that
+/// is still building its engine has not bound its address yet.
+Status ConnectWithRetry(SocketFrontend* net, const std::vector<SocketAddr>& addrs,
+                        const WorkerHello& expect, int budget_ms) {
+  Status last = Status::Unavailable("no connect attempts");
+  for (int waited = 0;; waited += 100) {
+    last = net->Connect(addrs, expect);
+    if (last.ok() || last.code() == StatusCode::kFailedPrecondition ||
+        waited >= budget_ms) {
+      return last;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+int RunWorkerMode(const CliArgs& args) {
+  if (args.listen_addr.empty() || args.num_workers == 0) {
+    std::fprintf(stderr, "--worker requires --listen and --num-workers\n");
+    return 2;
+  }
+  auto world = MakeSocketWorld(args);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  auto addr = ParseSocketAddr(args.listen_addr);
+  if (!addr.ok()) {
+    std::fprintf(stderr, "%s\n", addr.status().ToString().c_str());
+    return 1;
+  }
+  HarmonyEngine engine(world.value().options);
+  if (Status st = engine.Build(world.value().base.View()); !st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  SocketWorkerOptions wopts;
+  wopts.worker_id = static_cast<uint32_t>(args.worker_id);
+  wopts.num_workers = static_cast<uint32_t>(args.num_workers);
+  SocketWorker worker(&engine, wopts);
+  if (Status st = worker.Init(); !st.ok()) {
+    std::fprintf(stderr, "worker init failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto listener = SocketListener::Listen(addr.value());
+  if (!listener.ok()) {
+    std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("worker %zu/%zu serving on %s\n", args.worker_id,
+              args.num_workers, addr.value().ToString().c_str());
+  std::fflush(stdout);
+  const Status served = worker.Serve(&listener.value(), nullptr);
+  if (!served.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  std::printf("worker %zu: shutdown frame received, exiting\n", args.worker_id);
+  return 0;
+}
+
+int RunFrontendMode(const CliArgs& args) {
+  auto world = MakeSocketWorld(args);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  auto addrs = ParseWorkerList(args.workers_csv);
+  if (!addrs.ok()) {
+    std::fprintf(stderr, "%s\n", addrs.status().ToString().c_str());
+    return 1;
+  }
+  HarmonyEngine engine(world.value().options);
+  if (Status st = engine.Build(world.value().base.View()); !st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const DatasetView queries = world.value().queries.View();
+  auto thr = engine.SearchBatchThreaded(queries, args.k, args.nprobe);
+  if (!thr.ok()) {
+    std::fprintf(stderr, "threaded baseline failed: %s\n",
+                 thr.status().ToString().c_str());
+    return 1;
+  }
+  auto expect =
+      MakeEngineHello(&engine, 0, static_cast<uint32_t>(addrs.value().size()));
+  if (!expect.ok()) {
+    std::fprintf(stderr, "%s\n", expect.status().ToString().c_str());
+    return 1;
+  }
+  SocketFrontend net((SocketFrontendOptions()));
+  if (Status st = ConnectWithRetry(&net, addrs.value(), expect.value(),
+                                   /*budget_ms=*/15000);
+      !st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto sock = SearchBatchOverSockets(&engine, &net, queries, args.k,
+                                     args.nprobe);
+  if (!sock.ok()) {
+    std::fprintf(stderr, "socket run failed: %s\n",
+                 sock.status().ToString().c_str());
+    return 1;
+  }
+  bool bitwise = sock.value().results.size() == thr.value().results.size();
+  for (size_t q = 0; bitwise && q < sock.value().results.size(); ++q) {
+    const auto& a = sock.value().results[q];
+    const auto& b = thr.value().results[q];
+    bitwise = a.size() == b.size();
+    for (size_t i = 0; bitwise && i < a.size(); ++i) {
+      bitwise = a[i].id == b[i].id &&
+                std::bit_cast<uint32_t>(a[i].distance) ==
+                    std::bit_cast<uint32_t>(b[i].distance);
+    }
+  }
+  const SocketNetStats& stats = net.stats();
+  std::printf("socket backend : %zu workers, rpcs=%llu reconnects=%llu "
+              "failures=%llu dead=%llu bytes=%.2f MB\n",
+              addrs.value().size(),
+              static_cast<unsigned long long>(stats.rpcs),
+              static_cast<unsigned long long>(stats.reconnects),
+              static_cast<unsigned long long>(stats.rpc_failures),
+              static_cast<unsigned long long>(stats.workers_marked_dead),
+              static_cast<double>(sock.value().bytes_streamed) / 1e6);
+  std::printf("socket parity  : %s (degraded %zu/%zu)\n",
+              bitwise ? "bitwise identical to in-process threaded engine"
+                      : "MISMATCH (determinism bug)",
+              sock.value().faults.degraded_queries, queries.size());
+  if (args.shutdown_workers) net.ShutdownWorkers();
+  return bitwise ? 0 : 1;
+}
+
+int RunSocketSmoke(const CliArgs& args) {
+  CliArgs smoke = args;
+  smoke.replication_factor = 2;  // the kill must be absorbed, not degraded
+  auto world = MakeSocketWorld(smoke);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  HarmonyEngine engine(world.value().options);
+  if (Status st = engine.Build(world.value().base.View()); !st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Pending updates give the crash-restart path real replay work.
+  const Dataset& base = world.value().base;
+  const DatasetView extra(base.Row(0), 3, base.dim());
+  if (!engine.InsertVectors(extra).ok() ||
+      !engine.DeleteVectors({1}).ok()) {
+    std::fprintf(stderr, "update setup failed\n");
+    return 1;
+  }
+  const DatasetView queries = world.value().queries.View();
+  auto baseline = engine.SearchBatchThreaded(queries, smoke.k, smoke.nprobe);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline failed: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<SocketAddr> addrs(2);
+  for (size_t w = 0; w < 2; ++w) {
+    addrs[w].is_unix = true;
+    addrs[w].path = "/tmp/harmony_smoke_" + std::to_string(getpid()) + "_" +
+                    std::to_string(w) + ".sock";
+  }
+  // Fork the workers AFTER build + baseline: the children inherit the exact
+  // engine state copy-on-write, the multi-process analogue of the test
+  // fleet. Worker 1 carries a deterministic kill switch.
+  auto fork_worker = [&](size_t w, uint64_t kill_after) -> pid_t {
+    const pid_t pid = fork();
+    if (pid != 0) return pid;
+    SocketWorkerOptions wopts;
+    wopts.worker_id = static_cast<uint32_t>(w);
+    wopts.num_workers = 2;
+    wopts.poll_ms = 100;
+    wopts.faults.kill_after_frames = kill_after;
+    wopts.kill_is_exit = true;
+    SocketWorker worker(&engine, wopts);
+    if (!worker.Init().ok()) _exit(3);
+    auto listener = SocketListener::Listen(addrs[w]);
+    if (!listener.ok()) _exit(4);
+    _exit(worker.Serve(&listener.value(), nullptr).ok() ? 0 : 5);
+  };
+  std::vector<pid_t> pids;
+  pids.push_back(fork_worker(0, 0));
+  pids.push_back(fork_worker(1, 6));
+  auto reap_all = [&pids]() {
+    for (pid_t pid : pids) {
+      if (pid > 0) {
+        kill(pid, SIGKILL);
+        waitpid(pid, nullptr, 0);
+      }
+    }
+  };
+  std::printf("socket smoke   : 2 worker processes on unix sockets, R=2\n");
+
+  auto expect = MakeEngineHello(&engine, 0, 2);
+  SocketFrontendOptions fopts;
+  fopts.rpc_deadline_ms = 5000;
+  fopts.max_attempts = 2;
+  SocketFrontend net(fopts);
+  Status st = expect.ok() ? ConnectWithRetry(&net, addrs, expect.value(),
+                                             /*budget_ms=*/15000)
+                          : expect.status();
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    reap_all();
+    return 1;
+  }
+
+  auto check_bitwise = [&](const ThreadedOutput& out) {
+    if (out.results.size() != baseline.value().results.size()) return false;
+    for (size_t q = 0; q < out.results.size(); ++q) {
+      const auto& a = out.results[q];
+      const auto& b = baseline.value().results[q];
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].id != b[i].id ||
+            std::bit_cast<uint32_t>(a[i].distance) !=
+                std::bit_cast<uint32_t>(b[i].distance)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  auto run = SearchBatchOverSockets(&engine, &net, queries, smoke.k,
+                                    smoke.nprobe);
+  if (!run.ok() || !check_bitwise(run.value()) ||
+      run.value().faults.degraded_queries != 0 ||
+      net.stats().workers_marked_dead != 1) {
+    std::fprintf(stderr,
+                 "kill run failed: %s degraded=%zu dead=%llu parity=%d\n",
+                 run.ok() ? "ok" : run.status().ToString().c_str(),
+                 run.ok() ? run.value().faults.degraded_queries : 0,
+                 static_cast<unsigned long long>(
+                     net.stats().workers_marked_dead),
+                 run.ok() && check_bitwise(run.value()));
+    reap_all();
+    return 1;
+  }
+  std::printf("parity         : bitwise identical to in-process threaded "
+              "engine\n");
+  int wstatus = 0;
+  if (waitpid(pids[1], &wstatus, 0) != pids[1] || !WIFEXITED(wstatus) ||
+      WEXITSTATUS(wstatus) != SocketWorker::kKillExitCode) {
+    std::fprintf(stderr, "worker 1 did not die with the kill exit code\n");
+    pids[1] = -1;
+    reap_all();
+    return 1;
+  }
+  pids[1] = -1;
+  std::printf("kill           : worker 1 exited %d mid-run; failovers=%zu "
+              "degraded=0\n",
+              SocketWorker::kKillExitCode, run.value().faults.failovers);
+
+  // Crash-restart recovery: a cold child rebuilds from the spec, replays
+  // the frontend's update log to the pinned generation, and rejoins.
+  {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      HarmonyEngine restarted(world.value().options);
+      if (!restarted.Build(base.View()).ok()) _exit(6);
+      if (!restarted.ReplayUpdates(engine.update_log()).ok()) _exit(7);
+      SocketWorkerOptions wopts;
+      wopts.worker_id = 1;
+      wopts.num_workers = 2;
+      wopts.poll_ms = 100;
+      wopts.kill_is_exit = true;
+      SocketWorker worker(&restarted, wopts);
+      if (!worker.Init().ok()) _exit(8);
+      auto listener = SocketListener::Listen(addrs[1]);
+      if (!listener.ok()) _exit(9);
+      _exit(worker.Serve(&listener.value(), nullptr).ok() ? 0 : 10);
+    }
+    pids[1] = pid;
+  }
+  for (int waited = 0; net.workers_dead() > 0 && waited < 30000;
+       waited += 100) {
+    if (Status rs = net.ReconnectDead(); !rs.ok()) {
+      std::fprintf(stderr, "rejoin failed: %s\n", rs.ToString().c_str());
+      reap_all();
+      return 1;
+    }
+    if (net.workers_dead() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  auto after = SearchBatchOverSockets(&engine, &net, queries, smoke.k,
+                                      smoke.nprobe);
+  const bool rejoined = net.workers_dead() == 0 && after.ok() &&
+                        check_bitwise(after.value()) &&
+                        after.value().faults.degraded_queries == 0 &&
+                        after.value().faults.failovers == 0;
+  if (!rejoined) {
+    std::fprintf(stderr, "post-rejoin run failed\n");
+    reap_all();
+    return 1;
+  }
+  std::printf("rejoin         : restart + update-log replay rejoined; second "
+              "batch bitwise identical\n");
+  net.ShutdownWorkers();
+  reap_all();
+  for (const SocketAddr& a : addrs) unlink(a.path.c_str());
+  std::printf("socket smoke   : PASS\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -627,5 +1051,8 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (args.worker) return RunWorkerMode(args);
+  if (args.socket_smoke) return RunSocketSmoke(args);
+  if (!args.workers_csv.empty()) return RunFrontendMode(args);
   return Run(args);
 }
